@@ -1,0 +1,174 @@
+//! Discretized training data for the profiler.
+
+use crate::discretize::Discretizer;
+
+/// A table of discrete observations: one row per training job, one column
+/// per variable (template stage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscreteData {
+    rows: Vec<Vec<usize>>,
+    card: Vec<usize>,
+}
+
+/// Errors building [`DiscreteData`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscreteDataError {
+    /// A row's arity differs from the cardinality vector's.
+    RaggedRow {
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// A value is out of range for its variable's cardinality.
+    ValueOutOfRange {
+        /// Row index.
+        row: usize,
+        /// Column (variable) index.
+        col: usize,
+    },
+    /// A variable has cardinality zero.
+    ZeroCardinality {
+        /// The offending variable.
+        var: usize,
+    },
+}
+
+impl std::fmt::Display for DiscreteDataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscreteDataError::RaggedRow { row } => write!(f, "row {row} has the wrong arity"),
+            DiscreteDataError::ValueOutOfRange { row, col } => {
+                write!(f, "value at ({row},{col}) exceeds the variable's cardinality")
+            }
+            DiscreteDataError::ZeroCardinality { var } => {
+                write!(f, "variable {var} has cardinality zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscreteDataError {}
+
+impl DiscreteData {
+    /// Builds a table from rows and per-variable cardinalities.
+    ///
+    /// # Errors
+    /// Returns [`DiscreteDataError`] on ragged rows, zero cardinalities or
+    /// out-of-range values.
+    pub fn new(rows: Vec<Vec<usize>>, card: Vec<usize>) -> Result<Self, DiscreteDataError> {
+        for (v, &c) in card.iter().enumerate() {
+            if c == 0 {
+                return Err(DiscreteDataError::ZeroCardinality { var: v });
+            }
+        }
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != card.len() {
+                return Err(DiscreteDataError::RaggedRow { row: r });
+            }
+            for (c, &val) in row.iter().enumerate() {
+                if val >= card[c] {
+                    return Err(DiscreteDataError::ValueOutOfRange { row: r, col: c });
+                }
+            }
+        }
+        Ok(DiscreteData { rows, card })
+    }
+
+    /// Discretizes continuous samples column-wise with per-column
+    /// equal-frequency [`Discretizer`]s (at most `max_bins` positive bins
+    /// each), returning the fitted discretizers alongside the table.
+    ///
+    /// `samples[r][c]` is the value of variable `c` in training job `r`.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or ragged.
+    pub fn discretize(samples: &[Vec<f64>], max_bins: usize) -> (Vec<Discretizer>, Self) {
+        assert!(!samples.is_empty(), "need at least one training row");
+        let n_vars = samples[0].len();
+        assert!(samples.iter().all(|r| r.len() == n_vars), "ragged training rows");
+        let discretizers: Vec<Discretizer> = (0..n_vars)
+            .map(|c| {
+                let col: Vec<f64> = samples.iter().map(|r| r[c]).collect();
+                Discretizer::fit(&col, max_bins)
+            })
+            .collect();
+        let rows: Vec<Vec<usize>> = samples
+            .iter()
+            .map(|r| r.iter().enumerate().map(|(c, &x)| discretizers[c].bin(x)).collect())
+            .collect();
+        let card: Vec<usize> = discretizers.iter().map(|d| d.n_bins()).collect();
+        let data = DiscreteData::new(rows, card).expect("discretizer output is in range");
+        (discretizers, data)
+    }
+
+    /// Number of variables (columns).
+    pub fn n_vars(&self) -> usize {
+        self.card.len()
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Per-variable cardinalities.
+    pub fn cardinalities(&self) -> &[usize] {
+        &self.card
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Vec<usize>] {
+        &self.rows
+    }
+
+    /// Column `c` as a vector.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    pub fn column(&self, c: usize) -> Vec<usize> {
+        assert!(c < self.n_vars(), "column out of range");
+        self.rows.iter().map(|r| r[c]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_rows() {
+        assert!(DiscreteData::new(vec![vec![0, 1]], vec![2, 2]).is_ok());
+        assert_eq!(
+            DiscreteData::new(vec![vec![0]], vec![2, 2]).unwrap_err(),
+            DiscreteDataError::RaggedRow { row: 0 }
+        );
+        assert_eq!(
+            DiscreteData::new(vec![vec![0, 5]], vec![2, 2]).unwrap_err(),
+            DiscreteDataError::ValueOutOfRange { row: 0, col: 1 }
+        );
+        assert_eq!(
+            DiscreteData::new(vec![], vec![0]).unwrap_err(),
+            DiscreteDataError::ZeroCardinality { var: 0 }
+        );
+    }
+
+    #[test]
+    fn discretize_produces_consistent_table() {
+        let samples = vec![
+            vec![0.0, 10.0],
+            vec![1.0, 20.0],
+            vec![2.0, 30.0],
+            vec![3.0, 40.0],
+            vec![0.0, 50.0],
+        ];
+        let (ds, data) = DiscreteData::discretize(&samples, 3);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(data.n_rows(), 5);
+        assert_eq!(data.n_vars(), 2);
+        // Column 0 has zeros -> zero bin present.
+        assert!(ds[0].has_zero_bin());
+        assert_eq!(data.rows()[0][0], 0);
+        assert_eq!(data.rows()[4][0], 0);
+        // Every stored value is within cardinality (checked by constructor).
+        assert_eq!(data.column(1).len(), 5);
+    }
+}

@@ -1,0 +1,345 @@
+//! Equal-frequency discretization of stage durations.
+//!
+//! The profiler (§IV-B) discretizes each stage's duration distribution into
+//! **up to 6 frequency-based intervals**, with non-execution represented as
+//! duration 0 — so an LLM stage's random variable has up to `k + 1` distinct
+//! values (§IV-C). [`Discretizer`] reserves bin 0 for exact zeros whenever
+//! the training sample contains any, and splits the positive mass into
+//! equal-frequency intervals with de-duplicated edges.
+
+/// Maps a continuous duration to a small discrete bin, remembering per-bin
+/// representative values (training means) for expectation queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discretizer {
+    /// Upper-edge cut points between positive bins (length = positive bins − 1).
+    edges: Vec<f64>,
+    /// Whether bin 0 is reserved for exact zeros (non-execution).
+    zero_bin: bool,
+    /// Mean training value per bin (index = bin).
+    bin_means: Vec<f64>,
+    /// Observed minimum and maximum of the training sample.
+    lo: f64,
+    hi: f64,
+}
+
+impl Discretizer {
+    /// Fits a discretizer on `samples` with at most `max_bins` positive
+    /// intervals (the paper uses 6). Exact zeros, if present, get their own
+    /// bin 0. Negative samples are clamped to 0.
+    ///
+    /// # Panics
+    /// Panics if `max_bins == 0` or `samples` is empty.
+    pub fn fit(samples: &[f64], max_bins: usize) -> Self {
+        assert!(max_bins > 0, "need at least one bin");
+        assert!(!samples.is_empty(), "cannot fit a discretizer on no samples");
+        let clean: Vec<f64> = samples.iter().map(|&x| x.max(0.0)).collect();
+        let zeros: Vec<f64> = clean.iter().copied().filter(|&x| x == 0.0).collect();
+        let mut pos: Vec<f64> = clean.iter().copied().filter(|&x| x > 0.0).collect();
+        pos.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let zero_bin = !zeros.is_empty();
+
+        let lo = clean.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = clean.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        // Equal-frequency cut points over the positive part. A cut is the
+        // *last value of the left bin* (bin b covers (edge_{b-1}, edge_b]),
+        // de-duplicated so ties never create empty bins, and a cut equal to
+        // the maximum is dropped (it would leave the last bin empty).
+        let mut edges: Vec<f64> = Vec::new();
+        if pos.len() > 1 {
+            let bins = max_bins.min(pos.len());
+            let target = pos.len() as f64 / bins as f64;
+            for b in 1..bins {
+                let idx = ((b as f64 * target).round() as usize).clamp(1, pos.len() - 1);
+                let cut = pos[idx - 1];
+                if edges.last().map_or(true, |&e| cut > e) {
+                    edges.push(cut);
+                }
+            }
+            if edges.last() == Some(&pos[pos.len() - 1]) {
+                edges.pop();
+            }
+        }
+
+        // Per-bin training means.
+        let n_pos_bins = edges.len() + usize::from(!pos.is_empty());
+        let n_bins = n_pos_bins + usize::from(zero_bin);
+        let mut sums = vec![0.0; n_bins.max(1)];
+        let mut counts = vec![0u64; n_bins.max(1)];
+        let proto = Discretizer {
+            edges: edges.clone(),
+            zero_bin,
+            bin_means: vec![0.0; n_bins.max(1)],
+            lo,
+            hi,
+        };
+        for &x in &clean {
+            let b = proto.bin(x);
+            sums[b] += x;
+            counts[b] += 1;
+        }
+        let bin_means = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect();
+
+        Discretizer { edges, zero_bin, bin_means, lo, hi }
+    }
+
+    /// The discrete bin of value `x` (values below 0 are clamped to 0).
+    pub fn bin(&self, x: f64) -> usize {
+        let x = x.max(0.0);
+        if self.zero_bin && x == 0.0 {
+            return 0;
+        }
+        let offset = usize::from(self.zero_bin);
+        if self.n_bins() <= offset {
+            // Degenerate all-zero training sample: everything is bin 0.
+            return self.n_bins() - 1;
+        }
+        let pos_bin = self.edges.partition_point(|&e| e < x);
+        offset + pos_bin.min(self.n_bins() - offset - 1)
+    }
+
+    /// Total number of bins (including the zero bin, if any).
+    pub fn n_bins(&self) -> usize {
+        self.bin_means.len()
+    }
+
+    /// True if bin 0 is the non-execution (zero-duration) bin.
+    pub fn has_zero_bin(&self) -> bool {
+        self.zero_bin
+    }
+
+    /// Mean training value of bin `b` — the representative duration used
+    /// when converting posterior bin distributions back to seconds.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn bin_mean(&self, b: usize) -> f64 {
+        self.bin_means[b]
+    }
+
+    /// All per-bin representative values.
+    pub fn bin_means(&self) -> &[f64] {
+        &self.bin_means
+    }
+
+    /// Expected value of a bin distribution `p` (probabilities per bin).
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n_bins()`.
+    pub fn expectation(&self, p: &[f64]) -> f64 {
+        assert_eq!(p.len(), self.n_bins(), "distribution arity mismatch");
+        p.iter().zip(&self.bin_means).map(|(&pi, &m)| pi * m).sum()
+    }
+
+    /// Observed support width of the training sample (max − min): the
+    /// `Range(Y)` factor of Eq. (6).
+    pub fn range(&self) -> f64 {
+        (self.hi - self.lo).max(0.0)
+    }
+
+    /// Central-probability interval of a bin distribution: the
+    /// representative values spanned after trimming `q` probability mass
+    /// from each tail (e.g. `q = 0.15` gives the central 70%). Used for the
+    /// non-overlapping job grouping, where full supports would merge every
+    /// job into one group.
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n_bins()` or `q` is not in `[0, 0.5)`.
+    pub fn quantile_interval(&self, p: &[f64], q: f64) -> (f64, f64) {
+        assert_eq!(p.len(), self.n_bins(), "distribution arity mismatch");
+        assert!((0.0..0.5).contains(&q), "tail mass must be in [0, 0.5)");
+        let total: f64 = p.iter().sum();
+        if total <= 0.0 {
+            return (0.0, 0.0);
+        }
+        // The bin containing the `target` quantile: the first non-empty bin
+        // whose cumulative mass reaches it.
+        let quantile_bin = |target: f64| -> usize {
+            let mut acc = 0.0;
+            let mut last_nonzero = 0;
+            for (b, &pb) in p.iter().enumerate() {
+                if pb <= 0.0 {
+                    continue;
+                }
+                last_nonzero = b;
+                acc += pb;
+                if acc / total >= target - 1e-12 {
+                    return b;
+                }
+            }
+            last_nonzero
+        };
+        let lo = self.bin_means[quantile_bin(q)];
+        let hi = self.bin_means[quantile_bin(1.0 - q)];
+        (lo.min(hi), hi.max(lo))
+    }
+
+    /// Support interval restricted to bins with non-zero probability in `p`:
+    /// `(lowest representative, highest representative)`. Used for the
+    /// non-overlapping job grouping (Algorithm 1, line 5).
+    ///
+    /// # Panics
+    /// Panics if `p.len() != self.n_bins()`.
+    pub fn support_interval(&self, p: &[f64]) -> (f64, f64) {
+        assert_eq!(p.len(), self.n_bins(), "distribution arity mismatch");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (b, &pb) in p.iter().enumerate() {
+            if pb > 1e-12 {
+                lo = lo.min(self.bin_means[b]);
+                hi = hi.max(self.bin_means[b]);
+            }
+        }
+        if lo > hi {
+            (0.0, 0.0)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bin_reserved_when_zeros_present() {
+        let samples = [0.0, 0.0, 1.0, 2.0, 3.0, 4.0];
+        let d = Discretizer::fit(&samples, 6);
+        assert!(d.has_zero_bin());
+        assert_eq!(d.bin(0.0), 0);
+        assert_eq!(d.bin_mean(0), 0.0);
+        assert!(d.bin(1.0) > 0);
+    }
+
+    #[test]
+    fn no_zero_bin_without_zeros() {
+        let samples = [1.0, 2.0, 3.0, 4.0];
+        let d = Discretizer::fit(&samples, 2);
+        assert!(!d.has_zero_bin());
+        assert_eq!(d.n_bins(), 2);
+        // Negative and zero queries clamp into the first positive bin.
+        assert_eq!(d.bin(-5.0), 0);
+        assert_eq!(d.bin(0.0), 0);
+    }
+
+    #[test]
+    fn equal_frequency_splits_mass_evenly() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let d = Discretizer::fit(&samples, 4);
+        assert_eq!(d.n_bins(), 4);
+        let mut counts = vec![0usize; 4];
+        for &s in &samples {
+            counts[d.bin(s)] += 1;
+        }
+        for &c in &counts {
+            assert!((20..=30).contains(&c), "bins should be ~25 each, got {counts:?}");
+        }
+    }
+
+    #[test]
+    fn bins_partition_the_line() {
+        let samples = [0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+        let d = Discretizer::fit(&samples, 6);
+        for x in [-1.0, 0.0, 0.1, 0.5, 1.5, 3.0, 7.0, 100.0] {
+            let b = d.bin(x);
+            assert!(b < d.n_bins(), "bin {b} out of range for x={x}");
+        }
+    }
+
+    #[test]
+    fn constant_positive_data_is_one_bin() {
+        let d = Discretizer::fit(&[5.0; 10], 6);
+        assert_eq!(d.n_bins(), 1);
+        assert_eq!(d.bin(5.0), 0);
+        assert_eq!(d.bin(99.0), 0);
+        assert!((d.bin_mean(0) - 5.0).abs() < 1e-12);
+        assert_eq!(d.range(), 0.0);
+    }
+
+    #[test]
+    fn duplicate_heavy_data_does_not_create_empty_bins() {
+        // 90% of the mass is the value 1.0.
+        let mut samples = vec![1.0; 90];
+        samples.extend([2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0]);
+        let d = Discretizer::fit(&samples, 6);
+        let mut seen = vec![false; d.n_bins()];
+        for &s in &samples {
+            seen[d.bin(s)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bin should receive samples: {seen:?}");
+    }
+
+    #[test]
+    fn expectation_uses_bin_means() {
+        let samples = [0.0, 0.0, 2.0, 4.0];
+        let d = Discretizer::fit(&samples, 1);
+        // Bins: {0} and {2,4} (mean 3).
+        assert_eq!(d.n_bins(), 2);
+        let e = d.expectation(&[0.5, 0.5]);
+        assert!((e - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_interval_ignores_zero_probability_bins() {
+        let samples = [0.0, 1.0, 1.0, 10.0, 10.0];
+        let d = Discretizer::fit(&samples, 2);
+        assert_eq!(d.n_bins(), 3);
+        let (lo, hi) = d.support_interval(&[0.0, 1.0, 0.0]);
+        assert!((lo - 1.0).abs() < 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+        let (lo, hi) = d.support_interval(&[0.2, 0.4, 0.4]);
+        assert_eq!(lo, 0.0);
+        assert!((hi - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_spans_observed_support() {
+        let d = Discretizer::fit(&[0.0, 2.0, 8.0], 6);
+        assert!((d.range() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interval_trims_tails() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let d = Discretizer::fit(&samples, 6);
+        assert_eq!(d.n_bins(), 6);
+        let uniform = vec![1.0 / 6.0; 6];
+        // Full support.
+        let (lo0, hi0) = d.quantile_interval(&uniform, 0.0);
+        assert!((lo0 - 1.0).abs() < 1e-12 && (hi0 - 6.0).abs() < 1e-12);
+        // Trimming one bin from each tail (0.2 quantile falls in bin 2,
+        // 0.8 quantile in bin 5).
+        let (lo, hi) = d.quantile_interval(&uniform, 0.2);
+        assert!((lo - 2.0).abs() < 1e-12 && (hi - 5.0).abs() < 1e-12);
+        assert!(hi - lo < hi0 - lo0, "trimmed interval must be narrower");
+        // A heavy head bin survives trimming: its mass spans the quantile.
+        let heavy_head = [0.4, 0.12, 0.12, 0.12, 0.12, 0.12];
+        let (lo, _) = d.quantile_interval(&heavy_head, 0.3);
+        assert!((lo - 1.0).abs() < 1e-12, "40%-probability head bin must be kept");
+        // Point mass: degenerate interval.
+        let mut point = vec![0.0; 6];
+        point[2] = 1.0;
+        let (plo, phi) = d.quantile_interval(&point, 0.2);
+        assert!((plo - phi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_sample_is_single_bin() {
+        let d = Discretizer::fit(&[0.0, 0.0, 0.0], 6);
+        assert_eq!(d.n_bins(), 1);
+        assert_eq!(d.bin(0.0), 0);
+        assert_eq!(d.bin(7.0), 0); // unseen positives clamp into the only bin
+        assert_eq!(d.bin_mean(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn empty_fit_panics() {
+        let _ = Discretizer::fit(&[], 6);
+    }
+}

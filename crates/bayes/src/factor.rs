@@ -1,0 +1,427 @@
+//! Discrete factors and variable elimination — the exact-inference engine
+//! under the Bayesian profiler.
+//!
+//! A [`Factor`] is a non-negative table over a sorted set of discrete
+//! variables. Values are stored row-major with the **last** variable varying
+//! fastest. Networks in this project are tiny (≤ ~12 variables of
+//! cardinality ≤ 7), so exact variable elimination is cheap and fully
+//! deterministic.
+
+/// A table over a sorted list of discrete variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Factor {
+    /// Variable ids, strictly ascending.
+    vars: Vec<usize>,
+    /// Cardinality of each variable, aligned with `vars`.
+    card: Vec<usize>,
+    /// Row-major values, last variable fastest.
+    values: Vec<f64>,
+}
+
+impl Factor {
+    /// Creates a factor.
+    ///
+    /// # Panics
+    /// Panics if `vars` is not strictly ascending, lengths mismatch, or the
+    /// value count differs from the product of cardinalities.
+    pub fn new(vars: Vec<usize>, card: Vec<usize>, values: Vec<f64>) -> Self {
+        assert_eq!(vars.len(), card.len(), "vars/card length mismatch");
+        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
+        assert!(card.iter().all(|&c| c > 0), "cardinalities must be positive");
+        let size: usize = card.iter().product();
+        assert_eq!(values.len(), size, "value count must equal the table size");
+        Factor { vars, card, values }
+    }
+
+    /// The constant factor 1 over no variables.
+    pub fn unit() -> Self {
+        Factor { vars: vec![], card: vec![], values: vec![1.0] }
+    }
+
+    /// The factor's variables (ascending).
+    pub fn vars(&self) -> &[usize] {
+        &self.vars
+    }
+
+    /// Cardinalities aligned with [`Factor::vars`].
+    pub fn card(&self) -> &[usize] {
+        &self.card
+    }
+
+    /// Raw values (row-major, last variable fastest).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of table entries.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True for the empty-scope unit factor.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Strides per variable for this factor's layout (last var stride 1).
+    fn strides(&self) -> Vec<usize> {
+        let mut s = vec![1usize; self.vars.len()];
+        for i in (0..self.vars.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.card[i + 1];
+        }
+        s
+    }
+
+    /// Value at a full assignment (aligned with `vars`).
+    ///
+    /// # Panics
+    /// Panics if the assignment arity or any value is out of range.
+    pub fn at(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.vars.len(), "assignment arity mismatch");
+        let strides = self.strides();
+        let mut idx = 0;
+        for (i, &a) in assignment.iter().enumerate() {
+            assert!(a < self.card[i], "assignment out of range");
+            idx += a * strides[i];
+        }
+        self.values[idx]
+    }
+
+    /// Pointwise product of two factors over the union of their scopes.
+    pub fn product(&self, other: &Factor) -> Factor {
+        // Union of scopes, merging cardinalities.
+        let mut vars: Vec<usize> = Vec::new();
+        let mut card: Vec<usize> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() || j < other.vars.len() {
+            let take_left = j >= other.vars.len()
+                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            if take_left {
+                let v = self.vars[i];
+                vars.push(v);
+                card.push(self.card[i]);
+                if j < other.vars.len() && other.vars[j] == v {
+                    assert_eq!(other.card[j], self.card[i], "cardinality conflict for var {v}");
+                    j += 1;
+                }
+                i += 1;
+            } else {
+                vars.push(other.vars[j]);
+                card.push(other.card[j]);
+                j += 1;
+            }
+        }
+        let size: usize = card.iter().product();
+        // Map union positions to positions in each operand.
+        let pos_of = |f: &Factor| -> Vec<Option<usize>> {
+            vars.iter().map(|v| f.vars.iter().position(|x| x == v)).collect()
+        };
+        let lpos = pos_of(self);
+        let rpos = pos_of(other);
+        let lstr = self.strides();
+        let rstr = other.strides();
+
+        let mut values = vec![0.0; size];
+        let mut assign = vec![0usize; vars.len()];
+        for (flat, value) in values.iter_mut().enumerate() {
+            // Decode `flat` into the union assignment (last var fastest).
+            let mut rem = flat;
+            for k in (0..vars.len()).rev() {
+                assign[k] = rem % card[k];
+                rem /= card[k];
+            }
+            let mut li = 0;
+            let mut ri = 0;
+            for k in 0..vars.len() {
+                if let Some(p) = lpos[k] {
+                    li += assign[k] * lstr[p];
+                }
+                if let Some(p) = rpos[k] {
+                    ri += assign[k] * rstr[p];
+                }
+            }
+            *value = self.values[li] * other.values[ri];
+        }
+        Factor { vars, card, values }
+    }
+
+    /// Sums out variable `var`, removing it from the scope.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in the factor's scope.
+    pub fn sum_out(&self, var: usize) -> Factor {
+        let p = self.vars.iter().position(|&v| v == var).expect("var not in scope");
+        let mut vars = self.vars.clone();
+        let mut card = self.card.clone();
+        vars.remove(p);
+        let vcard = card.remove(p);
+        let size: usize = card.iter().product();
+        let strides = self.strides();
+        let mut values = vec![0.0; size];
+        let mut assign = vec![0usize; vars.len()];
+        for (flat, value) in values.iter_mut().enumerate() {
+            let mut rem = flat;
+            for k in (0..vars.len()).rev() {
+                assign[k] = rem % card[k];
+                rem /= card[k];
+            }
+            let mut base = 0;
+            let mut ai = 0;
+            for (k, &stride) in strides.iter().enumerate() {
+                if k == p {
+                    continue;
+                }
+                base += assign[ai] * stride;
+                ai += 1;
+            }
+            let mut sum = 0.0;
+            for v in 0..vcard {
+                sum += self.values[base + v * strides[p]];
+            }
+            *value = sum;
+        }
+        Factor { vars, card, values }
+    }
+
+    /// Conditions on `var = value`, removing it from the scope.
+    ///
+    /// # Panics
+    /// Panics if `var` is not in scope or `value` is out of range.
+    pub fn reduce(&self, var: usize, value: usize) -> Factor {
+        let p = self.vars.iter().position(|&v| v == var).expect("var not in scope");
+        assert!(value < self.card[p], "evidence value out of range");
+        let mut vars = self.vars.clone();
+        let mut card = self.card.clone();
+        vars.remove(p);
+        card.remove(p);
+        let size: usize = card.iter().product();
+        let strides = self.strides();
+        let mut values = vec![0.0; size];
+        let mut assign = vec![0usize; vars.len()];
+        for (flat, out) in values.iter_mut().enumerate() {
+            let mut rem = flat;
+            for k in (0..vars.len()).rev() {
+                assign[k] = rem % card[k];
+                rem /= card[k];
+            }
+            let mut idx = value * strides[p];
+            let mut ai = 0;
+            for (k, &stride) in strides.iter().enumerate() {
+                if k == p {
+                    continue;
+                }
+                idx += assign[ai] * stride;
+                ai += 1;
+            }
+            *out = self.values[idx];
+        }
+        Factor { vars, card, values }
+    }
+
+    /// Marginal over a subset of the scope (sums out everything else).
+    ///
+    /// # Panics
+    /// Panics if `keep` contains a variable outside the scope.
+    pub fn marginalize_to(&self, keep: &[usize]) -> Factor {
+        for v in keep {
+            assert!(self.vars.contains(v), "variable {v} not in scope");
+        }
+        let mut f = self.clone();
+        let drop: Vec<usize> =
+            self.vars.iter().copied().filter(|v| !keep.contains(v)).collect();
+        for v in drop {
+            f = f.sum_out(v);
+        }
+        f
+    }
+
+    /// Normalizes in place to sum 1; an all-zero factor becomes uniform.
+    pub fn normalize(&mut self) {
+        let sum: f64 = self.values.iter().sum();
+        if sum > 0.0 {
+            for v in &mut self.values {
+                *v /= sum;
+            }
+        } else {
+            let u = 1.0 / self.values.len() as f64;
+            self.values.fill(u);
+        }
+    }
+
+    /// Total mass.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+}
+
+/// Exact variable elimination.
+///
+/// Multiplies `factors` (each already reduced by evidence), eliminates every
+/// variable not in `targets` (ascending order — networks here are tiny), and
+/// returns the normalized joint over `targets`.
+///
+/// # Panics
+/// Panics if a target variable does not appear in any factor.
+pub fn eliminate_to_joint(factors: &[Factor], targets: &[usize]) -> Factor {
+    let mut pool: Vec<Factor> = factors.to_vec();
+    let mut all_vars: Vec<usize> = Vec::new();
+    for f in &pool {
+        for &v in f.vars() {
+            if !all_vars.contains(&v) {
+                all_vars.push(v);
+            }
+        }
+    }
+    for t in targets {
+        assert!(all_vars.contains(t), "target variable {t} not in any factor");
+    }
+    all_vars.sort_unstable();
+    for v in all_vars {
+        if targets.contains(&v) {
+            continue;
+        }
+        // Multiply all factors mentioning v, sum v out, put the result back.
+        let (with, without): (Vec<Factor>, Vec<Factor>) =
+            pool.into_iter().partition(|f| f.vars().contains(&v));
+        let mut merged = Factor::unit();
+        for f in &with {
+            merged = merged.product(f);
+        }
+        pool = without;
+        if !with.is_empty() {
+            pool.push(merged.sum_out(v));
+        }
+    }
+    let mut joint = Factor::unit();
+    for f in &pool {
+        joint = joint.product(f);
+    }
+    // Present in canonical target order (ascending is automatic).
+    let mut joint = joint.marginalize_to(targets);
+    joint.normalize();
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// P(A) with P(A=1)=0.6.
+    fn pa() -> Factor {
+        Factor::new(vec![0], vec![2], vec![0.4, 0.6])
+    }
+
+    /// P(B|A): B=A with probability 0.9.
+    fn pb_given_a() -> Factor {
+        // Layout: vars [0,1], last var (B) fastest: (a0b0, a0b1, a1b0, a1b1).
+        Factor::new(vec![0, 1], vec![2, 2], vec![0.9, 0.1, 0.1, 0.9])
+    }
+
+    #[test]
+    fn product_of_independent_tables() {
+        let f = pa().product(&Factor::new(vec![1], vec![2], vec![0.5, 0.5]));
+        assert_eq!(f.vars(), &[0, 1]);
+        assert!((f.at(&[1, 0]) - 0.3).abs() < 1e-12);
+        assert!((f.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn product_is_commutative() {
+        let ab = pa().product(&pb_given_a());
+        let ba = pb_given_a().product(&pa());
+        assert_eq!(ab.vars(), ba.vars());
+        for (x, y) in ab.values().iter().zip(ba.values()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sum_out_gives_marginal() {
+        let joint = pa().product(&pb_given_a());
+        let pb = joint.sum_out(0);
+        assert_eq!(pb.vars(), &[1]);
+        // P(B=1) = 0.4*0.1 + 0.6*0.9 = 0.58.
+        assert!((pb.at(&[1]) - 0.58).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduce_conditions_on_evidence() {
+        let joint = pa().product(&pb_given_a());
+        let mut pa_given_b1 = joint.reduce(1, 1);
+        pa_given_b1.normalize();
+        // P(A=1|B=1) = 0.54 / 0.58.
+        assert!((pa_given_b1.at(&[1]) - 0.54 / 0.58).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marginalize_to_subset() {
+        let joint = pa().product(&pb_given_a());
+        let m = joint.marginalize_to(&[0]);
+        assert_eq!(m.vars(), &[0]);
+        assert!((m.at(&[1]) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_handles_zero_mass() {
+        let mut f = Factor::new(vec![0], vec![3], vec![0.0, 0.0, 0.0]);
+        f.normalize();
+        for &v in f.values() {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_factor_is_identity() {
+        let f = pa();
+        let g = Factor::unit().product(&f);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn elimination_matches_direct_marginalization() {
+        let factors = vec![pa(), pb_given_a()];
+        let pb = eliminate_to_joint(&factors, &[1]);
+        assert!((pb.at(&[1]) - 0.58).abs() < 1e-12);
+        assert!((pb.sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elimination_with_evidence() {
+        // Condition on B=1 by reducing the CPT before elimination.
+        let factors = vec![pa(), pb_given_a().reduce(1, 1)];
+        let pa_post = eliminate_to_joint(&factors, &[0]);
+        assert!((pa_post.at(&[1]) - 0.54 / 0.58).abs() < 1e-12);
+    }
+
+    #[test]
+    fn joint_over_multiple_targets() {
+        let factors = vec![pa(), pb_given_a()];
+        let j = eliminate_to_joint(&factors, &[0, 1]);
+        assert_eq!(j.vars(), &[0, 1]);
+        assert!((j.at(&[1, 1]) - 0.54).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_vars_panic() {
+        let _ = Factor::new(vec![1, 0], vec![2, 2], vec![0.25; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table size")]
+    fn wrong_size_panics() {
+        let _ = Factor::new(vec![0], vec![3], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn three_var_chain_inference() {
+        // A -> B -> C, all binary, noisy copies (0.8 fidelity).
+        let pa = Factor::new(vec![0], vec![2], vec![0.5, 0.5]);
+        let pba = Factor::new(vec![0, 1], vec![2, 2], vec![0.8, 0.2, 0.2, 0.8]);
+        let pcb = Factor::new(vec![1, 2], vec![2, 2], vec![0.8, 0.2, 0.2, 0.8]);
+        // P(C=1 | A=1): 0.8*0.8 + 0.2*0.2 = 0.68.
+        let factors = vec![pa.reduce(0, 1), pba.reduce(0, 1), pcb];
+        let pc = eliminate_to_joint(&factors, &[2]);
+        assert!((pc.at(&[1]) - 0.68).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,246 @@
+//! Descriptive statistics: means, Pearson correlation (the Fig. 5 heatmaps)
+//! and histograms (the Fig. 1 characterization plots).
+
+/// Mean of a sample; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance of a sample; 0 for fewer than two points.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Observed range (max − min); 0 for an empty slice.
+pub fn range(xs: &[f64]) -> f64 {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if lo > hi {
+        0.0
+    } else {
+        hi - lo
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0 when either sample is (numerically) constant — the convention
+/// used by the paper's heatmaps for stages with degenerate durations.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal-length samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= f64::EPSILON || syy <= f64::EPSILON {
+        return 0.0;
+    }
+    (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Pairwise Pearson matrix over columns: `columns[i]` is the sample of
+/// variable `i`. Diagonal entries are 1 (or 0 for constant columns).
+///
+/// # Panics
+/// Panics if columns have differing lengths.
+pub fn pearson_matrix(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = columns.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        for j in i..k {
+            let r = if i == j {
+                if variance(&columns[i]) <= f64::EPSILON {
+                    0.0
+                } else {
+                    1.0
+                }
+            } else {
+                pearson(&columns[i], &columns[j])
+            };
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+/// A fixed-width histogram with probability-density normalization, matching
+/// the Fig. 1 plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with `bins` equal-width bins spanning
+    /// the observed range (degenerate ranges get a unit-width span).
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn new(data: &[f64], bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in data {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if data.is_empty() {
+            lo = 0.0;
+            hi = 1.0;
+        }
+        if hi - lo < f64::EPSILON {
+            hi = lo + 1.0;
+        }
+        let mut counts = vec![0u64; bins];
+        let width = (hi - lo) / bins as f64;
+        for &x in data {
+            let mut b = ((x - lo) / width) as usize;
+            if b >= bins {
+                b = bins - 1; // the max lands in the last bin
+            }
+            counts[b] += 1;
+        }
+        Histogram { lo, hi, counts, total: data.len() as u64 }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Probability density per bin (integrates to 1 over the span).
+    pub fn densities(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let denom = (self.total as f64 * width).max(f64::MIN_POSITIVE);
+        self.counts.iter().map(|&c| c as f64 / denom).collect()
+    }
+
+    /// `(low, high)` bounds of bin `b`.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    pub fn bin_bounds(&self, b: usize) -> (f64, f64) {
+        assert!(b < self.counts.len(), "bin out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + width * b as f64, self.lo + width * (b + 1) as f64)
+    }
+
+    /// Center of bin `b`.
+    pub fn bin_center(&self, b: usize) -> f64 {
+        let (l, h) = self.bin_bounds(b);
+        (l + h) / 2.0
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((variance(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn range_of_samples() {
+        assert_eq!(range(&[]), 0.0);
+        assert_eq!(range(&[3.0]), 0.0);
+        assert_eq!(range(&[1.0, 5.0, 2.0]), 4.0);
+    }
+
+    #[test]
+    fn pearson_perfectly_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_independent_is_small() {
+        // Deterministic pseudo-random-ish sequences with no linear relation.
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| ((i * 59) % 103) as f64).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.1);
+    }
+
+    #[test]
+    fn pearson_matrix_symmetry_and_diagonal() {
+        let cols = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.1], vec![0.0, 0.0, 0.0]];
+        let m = pearson_matrix(&cols);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[2][2], 0.0); // constant column
+        assert!((m[0][1] - m[1][0]).abs() < 1e-15);
+        assert!(m[0][1] > 0.99);
+    }
+
+    #[test]
+    fn histogram_counts_and_density() {
+        let data = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let h = Histogram::new(&data, 2);
+        assert_eq!(h.counts(), &[2, 3]); // [0,1): {0, .5}; [1,2]: {1, 1.5, 2}
+        let d = h.densities();
+        // Densities integrate to 1: (d0 + d1) * width = 1, width = 1.
+        assert!(((d[0] + d[1]) * 1.0 - 1.0).abs() < 1e-12);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bin_bounds(0), (0.0, 1.0));
+        assert_eq!(h.bin_center(1), 1.5);
+    }
+
+    #[test]
+    fn histogram_degenerate_data() {
+        let h = Histogram::new(&[3.0, 3.0], 4);
+        assert_eq!(h.counts().iter().sum::<u64>(), 2);
+        let h = Histogram::new(&[], 3);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.densities(), vec![0.0, 0.0, 0.0]);
+    }
+}

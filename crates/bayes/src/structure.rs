@@ -1,0 +1,271 @@
+//! Bayesian-network structure learning.
+//!
+//! Two deterministic learners, both constrained to a caller-supplied
+//! variable order (the stage topological order of the application DAG, so
+//! learned edges always point "forward in time" and the paper's
+//! directed-path correlation test of Eq. (1) is meaningful):
+//!
+//! * [`learn_order_hill_climb`] — greedy K2-style parent selection under the
+//!   BIC score (the default);
+//! * [`learn_chow_liu`] — maximum-spanning-tree over pairwise mutual
+//!   information, oriented along the order (an ablation alternative).
+
+use crate::dataset::DiscreteData;
+
+/// Greedy BIC hill-climbing restricted to `order`.
+///
+/// For each variable, parents are greedily added from its predecessors in
+/// `order` while the family BIC score improves, up to `max_parents`.
+/// Returns parent sets indexed by variable.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of `0..data.n_vars()`.
+pub fn learn_order_hill_climb(
+    data: &DiscreteData,
+    order: &[usize],
+    max_parents: usize,
+) -> Vec<Vec<usize>> {
+    validate_order(order, data.n_vars());
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); data.n_vars()];
+    for (pos, &v) in order.iter().enumerate() {
+        let candidates = &order[..pos];
+        let mut current: Vec<usize> = Vec::new();
+        let mut current_score = family_bic(data, v, &current);
+        while current.len() < max_parents {
+            let mut best: Option<(usize, f64)> = None;
+            for &c in candidates {
+                if current.contains(&c) {
+                    continue;
+                }
+                let mut trial = current.clone();
+                trial.push(c);
+                trial.sort_unstable();
+                let s = family_bic(data, v, &trial);
+                if s > current_score + 1e-9 && best.map_or(true, |(_, bs)| s > bs) {
+                    best = Some((c, s));
+                }
+            }
+            match best {
+                Some((c, s)) => {
+                    current.push(c);
+                    current.sort_unstable();
+                    current_score = s;
+                }
+                None => break,
+            }
+        }
+        parents[v] = current;
+    }
+    parents
+}
+
+/// Chow-Liu tree: maximum spanning tree over pairwise empirical mutual
+/// information, oriented to follow `order` (earlier variable becomes the
+/// parent). Edges with negligible MI (< `min_mi` bits) are dropped, so
+/// genuinely independent stages stay disconnected.
+///
+/// # Panics
+/// Panics if `order` is not a permutation of `0..data.n_vars()`.
+pub fn learn_chow_liu(data: &DiscreteData, order: &[usize], min_mi: f64) -> Vec<Vec<usize>> {
+    let n = data.n_vars();
+    validate_order(order, n);
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v] = i;
+    }
+
+    // All candidate edges with their MI weight.
+    let mut edges: Vec<(f64, usize, usize)> = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let mi = empirical_mi(data, a, b);
+            if mi >= min_mi {
+                edges.push((mi, a, b));
+            }
+        }
+    }
+    // Kruskal maximum spanning forest (deterministic tie-break on ids).
+    edges.sort_by(|x, y| {
+        y.0.partial_cmp(&x.0).expect("finite MI").then_with(|| (x.1, x.2).cmp(&(y.1, y.2)))
+    });
+    let mut dsu: Vec<usize> = (0..n).collect();
+    fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
+        if dsu[x] != x {
+            let r = find(dsu, dsu[x]);
+            dsu[x] = r;
+        }
+        dsu[x]
+    }
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (_, a, b) in edges {
+        let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+        if ra != rb {
+            dsu[ra] = rb;
+            // Orient along the order: earlier -> later.
+            let (p, c) = if pos[a] < pos[b] { (a, b) } else { (b, a) };
+            parents[c].push(p);
+            parents[c].sort_unstable();
+        }
+    }
+    parents
+}
+
+/// BIC family score of `var` with the given (sorted) parent set:
+/// log-likelihood − ½·ln(N)·(free parameters).
+pub fn family_bic(data: &DiscreteData, var: usize, parents: &[usize]) -> f64 {
+    let card = data.cardinalities();
+    let vcard = card[var];
+    let pcard: usize = parents.iter().map(|&p| card[p]).product();
+    // counts[parent_assignment][value]
+    let mut counts = vec![vec![0.0f64; vcard]; pcard];
+    for row in data.rows() {
+        let mut pi = 0;
+        for &p in parents {
+            pi = pi * card[p] + row[p];
+        }
+        counts[pi][row[var]] += 1.0;
+    }
+    let mut loglik = 0.0;
+    for assignment in &counts {
+        let total: f64 = assignment.iter().sum();
+        if total == 0.0 {
+            continue;
+        }
+        for &c in assignment {
+            if c > 0.0 {
+                loglik += c * (c / total).ln();
+            }
+        }
+    }
+    let n = data.n_rows().max(1) as f64;
+    let params = (vcard - 1) as f64 * pcard as f64;
+    loglik - 0.5 * n.ln() * params
+}
+
+/// Empirical mutual information (bits) between two columns.
+pub fn empirical_mi(data: &DiscreteData, a: usize, b: usize) -> f64 {
+    let card = data.cardinalities();
+    let (ca, cb) = (card[a], card[b]);
+    let mut joint = vec![vec![0.0f64; cb]; ca];
+    let n = data.n_rows();
+    if n == 0 {
+        return 0.0;
+    }
+    for row in data.rows() {
+        joint[row[a]][row[b]] += 1.0;
+    }
+    let n = n as f64;
+    let pa: Vec<f64> = joint.iter().map(|r| r.iter().sum::<f64>() / n).collect();
+    let mut pb = vec![0.0f64; cb];
+    for r in &joint {
+        for (j, &c) in r.iter().enumerate() {
+            pb[j] += c / n;
+        }
+    }
+    let mut mi = 0.0;
+    for (i, r) in joint.iter().enumerate() {
+        for (j, &c) in r.iter().enumerate() {
+            let pij = c / n;
+            if pij > 0.0 && pa[i] > 0.0 && pb[j] > 0.0 {
+                mi += pij * (pij / (pa[i] * pb[j])).log2();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+fn validate_order(order: &[usize], n: usize) {
+    assert_eq!(order.len(), n, "order must cover all variables");
+    let mut seen = vec![false; n];
+    for &v in order {
+        assert!(v < n && !seen[v], "order must be a permutation");
+        seen[v] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A -> B -> C noisy chain, plus an independent variable D.
+    fn chain_data(n: usize, seed: u64) -> DiscreteData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = rng.gen_range(0..2usize);
+            let b = if rng.gen_bool(0.9) { a } else { 1 - a };
+            let c = if rng.gen_bool(0.9) { b } else { 1 - b };
+            let d = rng.gen_range(0..2usize);
+            rows.push(vec![a, b, c, d]);
+        }
+        DiscreteData::new(rows, vec![2, 2, 2, 2]).unwrap()
+    }
+
+    #[test]
+    fn hill_climb_recovers_chain() {
+        let data = chain_data(800, 1);
+        let parents = learn_order_hill_climb(&data, &[0, 1, 2, 3], 2);
+        assert_eq!(parents[0], Vec::<usize>::new());
+        assert_eq!(parents[1], vec![0]);
+        assert_eq!(parents[2], vec![1], "C should attach to B (stronger than A)");
+        assert_eq!(parents[3], Vec::<usize>::new(), "D is independent");
+    }
+
+    #[test]
+    fn hill_climb_respects_max_parents() {
+        let data = chain_data(500, 2);
+        let parents = learn_order_hill_climb(&data, &[0, 1, 2, 3], 0);
+        assert!(parents.iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    fn hill_climb_edges_follow_order() {
+        let data = chain_data(500, 3);
+        // Reverse order: now parents must come from later original vars.
+        let parents = learn_order_hill_climb(&data, &[3, 2, 1, 0], 2);
+        for (v, ps) in parents.iter().enumerate() {
+            for &p in ps {
+                // Parent must precede child in the reversed order.
+                let posv = [3, 2, 1, 0].iter().position(|&x| x == v).unwrap();
+                let posp = [3, 2, 1, 0].iter().position(|&x| x == p).unwrap();
+                assert!(posp < posv);
+            }
+        }
+    }
+
+    #[test]
+    fn chow_liu_recovers_chain_skeleton() {
+        let data = chain_data(800, 4);
+        let parents = learn_chow_liu(&data, &[0, 1, 2, 3], 0.05);
+        assert_eq!(parents[1], vec![0]);
+        assert_eq!(parents[2], vec![1]);
+        assert!(parents[3].is_empty(), "D should stay disconnected");
+    }
+
+    #[test]
+    fn empirical_mi_detects_dependence() {
+        let data = chain_data(800, 5);
+        let mi_ab = empirical_mi(&data, 0, 1);
+        let mi_ad = empirical_mi(&data, 0, 3);
+        assert!(mi_ab > 0.3, "strongly coupled pair should have high MI, got {mi_ab}");
+        assert!(mi_ad < 0.05, "independent pair should have ~0 MI, got {mi_ad}");
+        assert!(mi_ab > mi_ad);
+    }
+
+    #[test]
+    fn bic_penalizes_spurious_parents() {
+        let data = chain_data(800, 6);
+        let with = family_bic(&data, 3, &[0]);
+        let without = family_bic(&data, 3, &[]);
+        assert!(without > with, "BIC must prefer no parent for an independent variable");
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn bad_order_panics() {
+        let data = chain_data(10, 7);
+        let _ = learn_order_hill_climb(&data, &[0, 0, 1, 2], 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Criterion micro-benchmarks:
+//!
+//! * `schedule/...` — end-to-end simulation of a small workload per policy
+//!   (the per-decision overhead behind Table I, in miniature);
+//! * `bn/...` — Bayesian-network inference primitives (posterior marginal
+//!   and joint, the inner loops of the profiler);
+//! * `uncertainty/...` — the Eq. 6 computation under both MI estimators;
+//! * `engine/...` — raw event throughput of the two engine fidelities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use llmsched_bayes::network::Evidence;
+use llmsched_bench::{run_policy, ExperimentConfig, Policy, TrainedArtifacts};
+use llmsched_core::prelude::*;
+use llmsched_sim::engine::EngineMode;
+use llmsched_sim::state::JobRt;
+use llmsched_workloads::prelude::*;
+
+fn artifacts() -> TrainedArtifacts {
+    TrainedArtifacts::train(60, 1)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let art = artifacts();
+    let mut g = c.benchmark_group("schedule");
+    g.sample_size(10);
+    for policy in [Policy::Fcfs, Policy::Sjf, Policy::Carbyne, Policy::LlmSched] {
+        g.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let exp = ExperimentConfig {
+                    n_jobs: 30,
+                    ..ExperimentConfig::paper_default(WorkloadKind::Mixed, 5)
+                };
+                black_box(run_policy(&art, policy, &exp).avg_jct_secs())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_bn(c: &mut Criterion) {
+    let templates = all_templates();
+    let corpus = training_jobs(&[AppKind::SequenceSorting], 300, 2);
+    let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+    let p = profiler.profile(AppKind::SequenceSorting.app_id()).expect("trained");
+    let mut ev = Evidence::new();
+    ev.insert(0, 1);
+
+    let mut g = c.benchmark_group("bn");
+    g.sample_size(20);
+    g.bench_function("posterior_marginal", |b| {
+        b.iter(|| black_box(p.net().posterior_marginal(9, &ev)))
+    });
+    g.bench_function("posterior_joint3", |b| {
+        b.iter(|| black_box(p.net().posterior_joint(&[3, 7, 9], &ev)))
+    });
+    g.bench_function("train_profile_sorting_300", |b| {
+        b.iter(|| {
+            black_box(Profiler::train(&templates, &corpus, &ProfilerConfig::default()).len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_uncertainty(c: &mut Criterion) {
+    let templates = all_templates();
+    let corpus = training_jobs(&[AppKind::SequenceSorting], 300, 2);
+    let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+    let p = profiler.profile(AppKind::SequenceSorting.app_id()).expect("trained");
+    let job = JobRt::new(corpus[0].clone());
+    let ev = Evidence::new();
+
+    let mut g = c.benchmark_group("uncertainty");
+    g.sample_size(20);
+    g.bench_function("eq6_exact_joint3", |b| {
+        b.iter(|| {
+            black_box(uncertainty_reduction(
+                p,
+                &job,
+                llmsched_dag::ids::StageId(0),
+                &ev,
+                MiEstimator::ExactJoint { max_joint: 3 },
+            ))
+        })
+    });
+    g.bench_function("eq6_pairwise", |b| {
+        b.iter(|| {
+            black_box(uncertainty_reduction(
+                p,
+                &job,
+                llmsched_dag::ids::StageId(0),
+                &ev,
+                MiEstimator::PairwiseSum,
+            ))
+        })
+    });
+    g.bench_function("remaining_work", |b| {
+        b.iter(|| black_box(remaining_work(p, &job, &ev, true).expected(1.1)))
+    });
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let art = artifacts();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for (name, mode) in
+        [("analytic_30jobs", EngineMode::Analytic), ("token_level_30jobs", EngineMode::TokenLevel)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cluster = WorkloadKind::ChainLike.default_cluster();
+                cluster.mode = mode;
+                cluster.iteration_chunk = 8;
+                let exp = ExperimentConfig {
+                    n_jobs: 30,
+                    mode,
+                    cluster: Some(cluster),
+                    ..ExperimentConfig::paper_default(WorkloadKind::ChainLike, 7)
+                };
+                black_box(run_policy(&art, Policy::Fcfs, &exp).events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_bn, bench_uncertainty, bench_engine);
+criterion_main!(benches);

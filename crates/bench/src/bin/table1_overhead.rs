@@ -1,0 +1,44 @@
+//! **Table I** — average scheduling overhead per invocation (ms) for every
+//! method on the four workloads, measured on analytic-engine runs at the
+//! paper's defaults (300 jobs, λ = 0.9).
+//!
+//! Paper shape: FCFS/SJF/Fair/Argus well under 1 ms; LLMSched under 3 ms
+//! (its figure includes BN inference and entropy calculation); Decima and
+//! Carbyne the most expensive of their groups.
+//!
+//! Writes `results/table1_analytic.csv`.
+//!
+//! Usage: `cargo run --release -p llmsched-bench --bin table1_overhead [--quick]`
+
+use llmsched_bench::{run_policy, write_csv, ExperimentConfig, Policy, Table, TrainedArtifacts};
+use llmsched_workloads::prelude::WorkloadKind;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_jobs = if quick { 100 } else { 300 };
+    let art = TrainedArtifacts::train(
+        if quick { 150 } else { llmsched_bench::roster::DEFAULT_TRAINING_PER_APP },
+        1,
+    );
+
+    let mut table = Table::new(vec!["policy", "Mixed", "Predefined", "Chain-like", "Planning"]);
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}   (ms per invocation)",
+        "policy", "Mixed", "Predefined", "Chain-like", "Planning"
+    );
+    for policy in Policy::FIG7 {
+        let mut cells = vec![policy.name().to_string()];
+        let mut row_print = format!("{:<12}", policy.name());
+        for kind in WorkloadKind::ALL {
+            let exp =
+                ExperimentConfig { n_jobs, ..ExperimentConfig::paper_default(kind, 42) };
+            let r = run_policy(&art, policy, &exp);
+            let ms = r.sched_overhead_ms();
+            cells.push(format!("{ms:.3}"));
+            row_print.push_str(&format!(" {ms:>11.3}"));
+        }
+        println!("{row_print}");
+        table.row(cells);
+    }
+    println!("\nwrote {}", write_csv(&table, "table1_analytic").display());
+}

@@ -1,0 +1,17 @@
+//! # llmsched-bench — experiment harness
+//!
+//! Shared machinery for regenerating every table and figure of the paper's
+//! evaluation (§V): the scheduler roster, training pipeline, workload
+//! runners, and plain-text/CSV reporting. Each figure/table has a binary
+//! (`fig1_characterization`, `fig7_simulation`, …) built on this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod roster;
+pub mod runner;
+
+pub use report::{write_csv, Table};
+pub use roster::{Policy, TrainedArtifacts};
+pub use runner::{run_policy, ExperimentConfig};

@@ -1,0 +1,131 @@
+//! The scheduler roster: every policy of Fig. 7/8 plus the ablation
+//! variants of Fig. 10, constructed from shared training artifacts.
+
+use llmsched_core::prelude::*;
+use llmsched_dag::template::TemplateSet;
+use llmsched_schedulers::prelude::*;
+use llmsched_sim::scheduler::Scheduler;
+use llmsched_workloads::prelude::*;
+
+/// Every scheduling policy appearing in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// First Come First Serve.
+    Fcfs,
+    /// Shortest Job First.
+    Sjf,
+    /// Fair scheduling.
+    Fair,
+    /// Argus-like topology ranking.
+    Argus,
+    /// Decima-like single-stage dispatch.
+    Decima,
+    /// Carbyne-like altruistic sharing.
+    Carbyne,
+    /// LLMSched (this paper).
+    LlmSched,
+    /// Ablation: LLMSched without the Bayesian network (Fig. 10).
+    LlmSchedNoBn,
+    /// Ablation: LLMSched without the uncertainty strategy (Fig. 10).
+    LlmSchedNoUncertainty,
+    /// Plain SRTF on static estimates (analysis helper).
+    Srtf,
+}
+
+impl Policy {
+    /// The seven policies of Fig. 7/8, in the paper's legend order.
+    pub const FIG7: [Policy; 7] = [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::Fair,
+        Policy::Argus,
+        Policy::Decima,
+        Policy::Carbyne,
+        Policy::LlmSched,
+    ];
+
+    /// Display name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fcfs => "FCFS",
+            Policy::Sjf => "SJF",
+            Policy::Fair => "Fair",
+            Policy::Argus => "Argus",
+            Policy::Decima => "Decima",
+            Policy::Carbyne => "Carbyne",
+            Policy::LlmSched => "LLMSched",
+            Policy::LlmSchedNoBn => "LLMSched w/o BN",
+            Policy::LlmSchedNoUncertainty => "LLMSched w/o uncertainty",
+            Policy::Srtf => "SRTF",
+        }
+    }
+}
+
+/// Offline training artifacts shared by all policies: the application
+/// templates, the historical priors granted to the baselines, and the
+/// trained Bayesian profiler used by LLMSched.
+#[derive(Debug, Clone)]
+pub struct TrainedArtifacts {
+    /// All application templates.
+    pub templates: TemplateSet,
+    /// Historical per-app duration averages (baseline prior knowledge).
+    pub priors: AppPriors,
+    /// The trained BN profiler.
+    pub profiler: Profiler,
+}
+
+impl TrainedArtifacts {
+    /// Trains on `per_app` historical jobs of every application.
+    pub fn train(per_app: usize, seed: u64) -> Self {
+        let templates = all_templates();
+        let corpus = training_jobs(&AppKind::ALL, per_app, seed);
+        let cfg = ProfilerConfig::default();
+        let profiler = Profiler::train(&templates, &corpus, &cfg);
+        let priors = AppPriors::from_training(&corpus, cfg.per_token_b1);
+        TrainedArtifacts { templates, priors, profiler }
+    }
+
+    /// Builds a policy instance. `llmsched_cfg` customizes the LLMSched
+    /// variants (ε, r, MI estimator); pass `None` for defaults.
+    pub fn build(&self, policy: Policy, llmsched_cfg: Option<LlmSchedConfig>) -> Box<dyn Scheduler> {
+        let base = llmsched_cfg.unwrap_or_default();
+        match policy {
+            Policy::Fcfs => Box::new(Fcfs),
+            Policy::Fair => Box::new(Fair),
+            Policy::Sjf => Box::new(Sjf::new(self.priors.clone())),
+            Policy::Srtf => Box::new(Srtf::new(self.priors.clone())),
+            Policy::Argus => Box::new(Argus),
+            Policy::Decima => Box::new(DecimaLike::new(self.priors.clone())),
+            Policy::Carbyne => Box::new(CarbyneLike::new(self.priors.clone())),
+            Policy::LlmSched => Box::new(LlmSched::new(self.profiler.clone(), base)),
+            Policy::LlmSchedNoBn => Box::new(LlmSched::new(
+                self.profiler.clone(),
+                LlmSchedConfig { use_bn: false, ..base },
+            )),
+            Policy::LlmSchedNoUncertainty => Box::new(LlmSched::new(
+                self.profiler.clone(),
+                LlmSchedConfig { use_uncertainty: false, ..base },
+            )),
+        }
+    }
+}
+
+/// Default training-corpus size per application (the paper records the
+/// full datasets: 500-1000 queries per app).
+pub const DEFAULT_TRAINING_PER_APP: usize = 400;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_policies_build() {
+        let art = TrainedArtifacts::train(30, 1);
+        for p in Policy::FIG7 {
+            let s = art.build(p, None);
+            assert_eq!(s.name(), p.name());
+        }
+        let s = art.build(Policy::LlmSchedNoBn, None);
+        assert_eq!(s.name(), "LLMSched w/o BN");
+    }
+}

@@ -1,0 +1,118 @@
+//! Workload runners: one simulation per (policy, workload, parameters),
+//! with optional crossbeam-parallel sweeps.
+
+use llmsched_core::prelude::LlmSchedConfig;
+use llmsched_sim::engine::{simulate, ClusterConfig, EngineMode};
+use llmsched_sim::metrics::SimResult;
+use llmsched_workloads::prelude::*;
+
+use crate::roster::{Policy, TrainedArtifacts};
+
+/// Parameters of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Workload mix.
+    pub kind: WorkloadKind,
+    /// Number of jobs.
+    pub n_jobs: usize,
+    /// Poisson arrival rate (jobs/s).
+    pub lambda: f64,
+    /// Workload seed (same seed ⇒ identical job sequence for every policy).
+    pub seed: u64,
+    /// Engine fidelity (analytic = Fig. 7 simulator, token-level = Fig. 8
+    /// testbed stand-in).
+    pub mode: EngineMode,
+    /// LLMSched parameter overrides (ε, r, …).
+    pub llmsched: Option<LlmSchedConfig>,
+    /// Cluster override; `None` uses the mix's tuned default.
+    pub cluster: Option<ClusterConfig>,
+}
+
+impl ExperimentConfig {
+    /// The paper's default setting: 300 jobs, λ = 0.9, analytic engine.
+    pub fn paper_default(kind: WorkloadKind, seed: u64) -> Self {
+        ExperimentConfig {
+            kind,
+            n_jobs: 300,
+            lambda: 0.9,
+            seed,
+            mode: EngineMode::Analytic,
+            llmsched: None,
+            cluster: None,
+        }
+    }
+
+    /// The effective cluster configuration.
+    pub fn cluster(&self) -> ClusterConfig {
+        let mut c = self.cluster.clone().unwrap_or_else(|| self.kind.default_cluster());
+        c.mode = self.mode;
+        c
+    }
+}
+
+/// Runs one policy on one workload instance.
+pub fn run_policy(art: &TrainedArtifacts, policy: Policy, exp: &ExperimentConfig) -> SimResult {
+    let w = generate_workload(exp.kind, exp.n_jobs, exp.lambda, exp.seed);
+    let mut sched = art.build(policy, exp.llmsched.clone());
+    simulate(&exp.cluster(), &w.templates, w.jobs, &mut sched)
+}
+
+/// Runs several policies on the same workload in parallel (one thread per
+/// policy) and returns results in roster order.
+pub fn run_policies_parallel(
+    art: &TrainedArtifacts,
+    policies: &[Policy],
+    exp: &ExperimentConfig,
+) -> Vec<SimResult> {
+    let mut out: Vec<Option<SimResult>> = (0..policies.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &p in policies {
+            let art = &*art;
+            let exp = &*exp;
+            handles.push(scope.spawn(move |_| run_policy(art, p, exp)));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("policy run panicked"));
+        }
+    })
+    .expect("scope join");
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_carries_parameters() {
+        let e = ExperimentConfig::paper_default(WorkloadKind::Planning, 7);
+        assert_eq!(e.n_jobs, 300);
+        assert!((e.lambda - 0.9).abs() < 1e-12);
+        assert_eq!(e.cluster().mode, EngineMode::Analytic);
+    }
+
+    #[test]
+    fn run_policy_completes_small_run() {
+        let art = crate::TrainedArtifacts::train(25, 3);
+        let exp = ExperimentConfig {
+            n_jobs: 12,
+            ..ExperimentConfig::paper_default(WorkloadKind::ChainLike, 5)
+        };
+        let r = run_policy(&art, Policy::Fcfs, &exp);
+        assert_eq!(r.incomplete, 0);
+        assert_eq!(r.jobs.len(), 12);
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential() {
+        let art = crate::TrainedArtifacts::train(25, 3);
+        let exp = ExperimentConfig {
+            n_jobs: 10,
+            ..ExperimentConfig::paper_default(WorkloadKind::Planning, 9)
+        };
+        let seq = run_policy(&art, Policy::Sjf, &exp);
+        let par = run_policies_parallel(&art, &[Policy::Sjf], &exp);
+        assert_eq!(seq.avg_jct_secs(), par[0].avg_jct_secs());
+    }
+}

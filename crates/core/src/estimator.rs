@@ -1,0 +1,217 @@
+//! Remaining-duration estimation with Bayesian updates and batching-aware
+//! calibration (§IV-B, Eq. 2).
+//!
+//! The estimate behind Algorithm 1's `job.est_rd()`: the posterior mean of
+//! every unfinished template stage's duration given the completed stages'
+//! evidence, with LLM work scaled by the current batching calibration
+//! factor `l(b_t)/l(b_r)`. The same machinery produces the support
+//! *interval* used to group jobs into non-overlapping sets (line 5).
+
+use llmsched_bayes::network::Evidence;
+use llmsched_dag::ids::StageId;
+use llmsched_dag::job::StageKind;
+use llmsched_sim::state::JobRt;
+
+use crate::profiler::AppProfile;
+
+/// Work estimate split by executor class: LLM seconds are batch-1
+/// normalized and must be multiplied by the Eq. 2 calibration ratio before
+/// being compared against wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkEstimate {
+    /// Expected remaining LLM work (batch-1 seconds).
+    pub llm_secs: f64,
+    /// Expected remaining regular work (seconds).
+    pub regular_secs: f64,
+    /// Lower support bound, split the same way.
+    pub lo: (f64, f64),
+    /// Upper support bound.
+    pub hi: (f64, f64),
+}
+
+impl WorkEstimate {
+    /// Point estimate of remaining duration under batching calibration
+    /// `calib = l(b_t)/l(b_1)` (Eq. 2).
+    pub fn expected(&self, calib: f64) -> f64 {
+        self.llm_secs * calib + self.regular_secs
+    }
+
+    /// Calibrated support interval `(lo, hi)`.
+    pub fn interval(&self, calib: f64) -> (f64, f64) {
+        (self.lo.0 * calib + self.lo.1, self.hi.0 * calib + self.hi.1)
+    }
+}
+
+/// Default tail probability mass trimmed from each side of a stage's
+/// posterior when forming the job-duration interval used for
+/// non-overlapping grouping (Algorithm 1, line 5).
+///
+/// `0.0` is the paper-literal reading (full distribution supports), under
+/// which almost every pair of fresh jobs overlaps into one group and the
+/// exploration list degenerates to a pure Eq. 6 ordering. A tight central
+/// band keeps the grouping informative — exploration then proceeds
+/// plausibly-shortest group first — and measurably improves every workload
+/// mix (see DESIGN.md §3.6 and the `fig9_sensitivity` bench).
+pub const INTERVAL_TAIL_MASS: f64 = 0.35;
+
+/// Posterior remaining-work estimate for one job.
+///
+/// * With `use_bn = true` the posterior conditions on `evidence` (completed
+///   stage duration bins) — the full LLMSched estimator.
+/// * With `use_bn = false` the evidence is ignored and the static training
+///   marginals are used — the paper's *LLMSched w/o BN* ablation.
+///
+/// `tail_mass` sets the per-stage quantile band used for the interval
+/// bounds (see [`INTERVAL_TAIL_MASS`]).
+///
+/// Dynamic placeholders whose generated stages already partially completed
+/// are credited with that completed work (it is observable).
+pub fn remaining_work_with(
+    profile: &AppProfile,
+    job: &JobRt,
+    evidence: &Evidence,
+    use_bn: bool,
+    tail_mass: f64,
+) -> WorkEstimate {
+    let mut est = WorkEstimate::default();
+    let empty = Evidence::new();
+    let cond: &Evidence = if use_bn { evidence } else { &empty };
+    for s in 0..profile.n_stages() {
+        let sid = StageId(s as u32);
+        if job.completed_nominal_secs(sid).is_some() {
+            continue; // stage done: contributes nothing to *remaining* work
+        }
+        let disc = &profile.discretizers()[s];
+        // With the BN: condition on evidence. Without it (w/o-BN ablation):
+        // `cond` is empty, so the marginal is the training prior and the
+        // mean falls back to the historical average.
+        let p = profile.net().posterior_marginal(s, cond);
+        let (mut lo, mut hi) = disc.quantile_interval(&p, tail_mass);
+        let mut mean = if use_bn { disc.expectation(&p) } else { profile.static_mean(sid) };
+        // Credit observable progress inside an expanded-but-unfinished
+        // placeholder.
+        if is_placeholder(job, sid) {
+            let done = completed_children_work(job, sid);
+            mean = (mean - done).max(0.0);
+            lo = (lo - done).max(0.0);
+            hi = (hi - done).max(0.0);
+        }
+        if profile.is_llm_stage(sid) {
+            est.llm_secs += mean;
+            est.lo.0 += lo;
+            est.hi.0 += hi;
+        } else {
+            est.regular_secs += mean;
+            est.lo.1 += lo;
+            est.hi.1 += hi;
+        }
+    }
+    est
+}
+
+/// [`remaining_work_with`] at the default [`INTERVAL_TAIL_MASS`].
+pub fn remaining_work(
+    profile: &AppProfile,
+    job: &JobRt,
+    evidence: &Evidence,
+    use_bn: bool,
+) -> WorkEstimate {
+    remaining_work_with(profile, job, evidence, use_bn, INTERVAL_TAIL_MASS)
+}
+
+fn is_placeholder(job: &JobRt, stage: StageId) -> bool {
+    job.stage_view(stage).map(|v| v.kind == StageKind::DynamicPlaceholder).unwrap_or(false)
+}
+
+fn completed_children_work(job: &JobRt, placeholder: StageId) -> f64 {
+    job.visible_stage_ids()
+        .into_iter()
+        .filter_map(|g| job.stage_view(g))
+        .filter(|v| v.parent_dynamic == Some(placeholder))
+        .filter_map(|v| v.completed_nominal_secs)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use llmsched_workloads::prelude::*;
+
+    fn profile_and_job(kind: AppKind) -> (crate::profiler::Profiler, JobRt) {
+        let templates = all_templates();
+        let corpus = training_jobs(&[kind], 300, 77);
+        let p = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+        let fresh = kind.generator().generate(
+            llmsched_dag::ids::JobId(9999),
+            llmsched_dag::time::SimTime::ZERO,
+            &mut rand::SeedableRng::seed_from_u64(5),
+        );
+        (p, JobRt::new(fresh))
+    }
+
+    use llmsched_sim::state::JobRt;
+
+    #[test]
+    fn fresh_job_estimate_is_near_app_mean() {
+        let (p, job) = profile_and_job(AppKind::SequenceSorting);
+        let prof = p.profile(AppKind::SequenceSorting.app_id()).unwrap();
+        let est = remaining_work(prof, &job, &Evidence::new(), true);
+        let total = est.expected(1.0);
+        let static_total: f64 =
+            (0..prof.n_stages()).map(|s| prof.static_mean(StageId(s as u32))).sum();
+        // Prior posterior mean ≈ training mean (same marginals).
+        assert!(
+            (total - static_total).abs() / static_total < 0.25,
+            "prior estimate {total} should be near static mean {static_total}"
+        );
+        let (lo, hi) = est.interval(1.0);
+        assert!(lo <= total && total <= hi, "mean within support: {lo} <= {total} <= {hi}");
+    }
+
+    #[test]
+    fn calibration_scales_only_llm_work() {
+        let (p, job) = profile_and_job(AppKind::TaskAutomation);
+        let prof = p.profile(AppKind::TaskAutomation.app_id()).unwrap();
+        let est = remaining_work(prof, &job, &Evidence::new(), true);
+        assert!(est.llm_secs > 0.0, "plan stage is LLM work");
+        assert!(est.regular_secs > 0.0, "tools are regular work");
+        let base = est.expected(1.0);
+        let doubled = est.expected(2.0);
+        assert!((doubled - base - est.llm_secs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_and_bn_estimates_agree_without_evidence_roughly() {
+        let (p, job) = profile_and_job(AppKind::CodeGeneration);
+        let prof = p.profile(AppKind::CodeGeneration.app_id()).unwrap();
+        let with_bn = remaining_work(prof, &job, &Evidence::new(), true).expected(1.0);
+        let without = remaining_work(prof, &job, &Evidence::new(), false).expected(1.0);
+        assert!(
+            (with_bn - without).abs() / without.max(1e-9) < 0.2,
+            "no evidence: {with_bn} vs static {without}"
+        );
+    }
+
+    #[test]
+    fn evidence_shifts_the_estimate() {
+        let (p, job) = profile_and_job(AppKind::SequenceSorting);
+        let prof = p.profile(AppKind::SequenceSorting.app_id()).unwrap();
+        // Pretend the split stage (S0) finished in its slowest bin.
+        let slow_bin = prof.discretizers()[0].n_bins() - 1;
+        let mut ev = Evidence::new();
+        ev.insert(0, slow_bin);
+        let slow = remaining_work(prof, &job, &ev, true).expected(1.0);
+        let mut ev_fast = Evidence::new();
+        ev_fast.insert(0, 0);
+        let fast = remaining_work(prof, &job, &ev_fast, true).expected(1.0);
+        assert!(
+            slow > fast,
+            "observing a slow split must raise the remaining estimate: slow={slow}, fast={fast}"
+        );
+        // The w/o-BN ablation ignores the evidence entirely.
+        let s = remaining_work(prof, &job, &ev, false).expected(1.0);
+        let f = remaining_work(prof, &job, &ev_fast, false).expected(1.0);
+        assert!((s - f).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,414 @@
+//! The Bayesian-network-based profiler (§IV-B).
+//!
+//! For every application, the profiler learns — from a corpus of historical
+//! jobs — a discrete Bayesian network over the durations of the template
+//! stages (≤ 6 equal-frequency intervals each, non-execution = 0 s), plus
+//! structure statistics for every dynamic placeholder (candidate-inclusion
+//! and inner-edge frequencies, feeding Eq. 4).
+//!
+//! At runtime the profile answers three queries given the durations of the
+//! stages completed so far (the *evidence*):
+//!
+//! * posterior marginals of unfinished stage durations (for SRTF
+//!   estimates, with Eq. 2 batching calibration applied by the caller);
+//! * joint posteriors over correlated stage sets (for Eq. 5/6);
+//! * the correlated-stage sets themselves via BN reachability (Eq. 1).
+
+use std::collections::HashMap;
+
+use llmsched_bayes::dataset::DiscreteData;
+use llmsched_bayes::discretize::Discretizer;
+use llmsched_bayes::network::{BayesNet, Evidence};
+use llmsched_bayes::structure::{learn_chow_liu, learn_order_hill_climb};
+use llmsched_dag::ids::{AppId, StageId};
+use llmsched_dag::job::JobSpec;
+use llmsched_dag::template::{TemplateSet, TemplateStageKind};
+use llmsched_dag::time::SimDuration;
+use llmsched_sim::state::JobRt;
+
+/// Structure-learning algorithm choice (ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StructureLearner {
+    /// Order-constrained BIC hill climbing (default).
+    #[default]
+    HillClimb,
+    /// Chow-Liu maximum-MI tree.
+    ChowLiu,
+}
+
+/// Profiler configuration.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// Maximum duration intervals per stage (the paper uses 6).
+    pub max_bins: usize,
+    /// Maximum parents per BN node.
+    pub max_parents: usize,
+    /// Laplace smoothing for CPTs.
+    pub alpha: f64,
+    /// Structure learner.
+    pub learner: StructureLearner,
+    /// Batch-1 decode latency used to price LLM work in training jobs.
+    pub per_token_b1: SimDuration,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig {
+            max_bins: 6,
+            max_parents: 2,
+            alpha: 1.0,
+            learner: StructureLearner::HillClimb,
+            per_token_b1: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Structure statistics of one dynamic placeholder (Eq. 4 inputs).
+#[derive(Debug, Clone)]
+pub struct DynamicStats {
+    /// `P(candidate c is instantiated)` per candidate index.
+    pub candidate_freq: Vec<f64>,
+    /// `P(edge between candidates (a, b) exists)`, for pairs observed at
+    /// least once.
+    pub edge_freq: HashMap<(usize, usize), f64>,
+    /// Training jobs observed.
+    pub n_samples: usize,
+}
+
+impl DynamicStats {
+    /// The dynamic stage's structural entropy: node entropy + edge entropy
+    /// (Eq. 4), in bits.
+    pub fn structural_entropy(&self) -> f64 {
+        let nodes: f64 =
+            self.candidate_freq.iter().map(|&p| llmsched_bayes::info::binary_entropy(p)).sum();
+        let edges: f64 =
+            self.edge_freq.values().map(|&p| llmsched_bayes::info::binary_entropy(p)).sum();
+        nodes + edges
+    }
+}
+
+/// The learned profile of one application.
+#[derive(Debug, Clone)]
+pub struct AppProfile {
+    app: AppId,
+    /// Per-template-stage discretizers (index = stage id).
+    discretizers: Vec<Discretizer>,
+    /// BN over template-stage duration bins (variable i = stage i).
+    net: BayesNet,
+    /// Static (prior) mean duration per template stage — the "historical
+    /// average" estimator used by the w/o-BN ablation and for fallbacks.
+    static_means: Vec<f64>,
+    /// Whether each template stage is an LLM stage (Eq. 2 calibration
+    /// applies) — placeholders count as regular work (tool executions).
+    is_llm: Vec<bool>,
+    /// Dynamic-placeholder statistics keyed by placeholder stage id.
+    dynamic: HashMap<StageId, DynamicStats>,
+    /// Which LLM stage precedes each dynamic placeholder.
+    dynamic_preceding: HashMap<StageId, StageId>,
+}
+
+impl AppProfile {
+    /// The application this profile describes.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The learned Bayesian network.
+    pub fn net(&self) -> &BayesNet {
+        &self.net
+    }
+
+    /// Per-stage discretizers.
+    pub fn discretizers(&self) -> &[Discretizer] {
+        &self.discretizers
+    }
+
+    /// Static mean duration of a template stage (seconds).
+    pub fn static_mean(&self, stage: StageId) -> f64 {
+        self.static_means.get(stage.index()).copied().unwrap_or(0.0)
+    }
+
+    /// True if the template stage runs on LLM executors.
+    pub fn is_llm_stage(&self, stage: StageId) -> bool {
+        self.is_llm.get(stage.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of template stages (BN variables).
+    pub fn n_stages(&self) -> usize {
+        self.discretizers.len()
+    }
+
+    /// Dynamic-placeholder statistics, if `stage` is one.
+    pub fn dynamic_stats(&self, stage: StageId) -> Option<&DynamicStats> {
+        self.dynamic.get(&stage)
+    }
+
+    /// Iterates over `(placeholder, preceding LLM stage)` pairs.
+    pub fn dynamic_placeholders(&self) -> impl Iterator<Item = (StageId, StageId)> + '_ {
+        self.dynamic_preceding.iter().map(|(&d, &p)| (d, p))
+    }
+
+    /// The runtime evidence of a job: completed template stages mapped to
+    /// their duration bins (void stages contribute their 0-duration bin).
+    pub fn evidence_of(&self, job: &JobRt) -> Evidence {
+        let mut e = Evidence::new();
+        for s in 0..self.n_stages() {
+            let sid = StageId(s as u32);
+            if let Some(d) = job.completed_nominal_secs(sid) {
+                e.insert(s, self.discretizers[s].bin(d));
+            }
+        }
+        e
+    }
+
+    /// A compact fingerprint of which template stages are complete — the
+    /// cache key for posterior computations (evidence only changes when a
+    /// stage completes).
+    pub fn evidence_mask(&self, job: &JobRt) -> u64 {
+        let mut mask = 0u64;
+        for s in 0..self.n_stages().min(64) {
+            if job.completed_nominal_secs(StageId(s as u32)).is_some() {
+                mask |= 1 << s;
+            }
+        }
+        mask
+    }
+
+    /// The unscheduled template stages *correlated* with `stage` (Eq. 1):
+    /// BN descendants that are not yet complete.
+    pub fn correlated_unfinished(&self, job: &JobRt, stage: StageId) -> Vec<StageId> {
+        self.net
+            .descendants(stage.index())
+            .into_iter()
+            .map(|v| StageId(v as u32))
+            .filter(|&s| job.completed_nominal_secs(s).is_none())
+            .collect()
+    }
+}
+
+/// The trained profiler: one [`AppProfile`] per application.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    profiles: HashMap<AppId, AppProfile>,
+}
+
+impl Profiler {
+    /// Trains profiles for every template from a historical corpus.
+    ///
+    /// Jobs of applications absent from `templates` are ignored;
+    /// applications without training jobs get no profile (the scheduler
+    /// falls back to zero estimates for them).
+    pub fn train(templates: &TemplateSet, corpus: &[JobSpec], cfg: &ProfilerConfig) -> Self {
+        let mut by_app: HashMap<AppId, Vec<&JobSpec>> = HashMap::new();
+        for j in corpus {
+            if templates.get(j.app()).is_some() {
+                by_app.entry(j.app()).or_default().push(j);
+            }
+        }
+        let mut profiles = HashMap::new();
+        for (app, jobs) in by_app {
+            let template = templates.expect(app);
+            profiles.insert(app, train_one(template, &jobs, cfg));
+        }
+        Profiler { profiles }
+    }
+
+    /// The profile for `app`, if trained.
+    pub fn profile(&self, app: AppId) -> Option<&AppProfile> {
+        self.profiles.get(&app)
+    }
+
+    /// Number of trained applications.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if no applications were trained.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+}
+
+fn train_one(
+    template: &llmsched_dag::template::Template,
+    jobs: &[&JobSpec],
+    cfg: &ProfilerConfig,
+) -> AppProfile {
+    let n = template.len();
+    // Duration matrix: one row per job, one column per template stage
+    // (placeholders aggregate generated work; unexecuted stages are 0 s).
+    let samples: Vec<Vec<f64>> =
+        jobs.iter().map(|j| j.template_stage_durations_secs(cfg.per_token_b1)).collect();
+    let (discretizers, data) = DiscreteData::discretize(&samples, cfg.max_bins);
+
+    // Stage topological order constrains edge direction (§3.4 of DESIGN.md).
+    let order: Vec<usize> = template
+        .dag()
+        .topo_order()
+        .expect("templates are DAGs");
+    let parents = match cfg.learner {
+        StructureLearner::HillClimb => learn_order_hill_climb(&data, &order, cfg.max_parents),
+        StructureLearner::ChowLiu => learn_chow_liu(&data, &order, 0.02),
+    };
+    let net = BayesNet::fit(&data, parents, cfg.alpha).expect("learned structure is valid");
+
+    let static_means: Vec<f64> = (0..n)
+        .map(|s| {
+            let col: Vec<f64> = samples.iter().map(|r| r[s]).collect();
+            llmsched_bayes::stats::mean(&col)
+        })
+        .collect();
+    let is_llm: Vec<bool> = template
+        .stages()
+        .iter()
+        .map(|s| matches!(s.kind, TemplateStageKind::Llm))
+        .collect();
+
+    // Dynamic-placeholder structure statistics.
+    let mut dynamic = HashMap::new();
+    let mut dynamic_preceding = HashMap::new();
+    for d in template.dynamic_stages() {
+        let TemplateStageKind::Dynamic { candidates, preceding_llm } = &template.stage(d).kind
+        else {
+            unreachable!("dynamic_stages() only returns dynamic stages");
+        };
+        let mut cand_count = vec![0usize; candidates.len()];
+        let mut edge_count: HashMap<(usize, usize), usize> = HashMap::new();
+        for j in jobs {
+            let children = j.children_of_dynamic(d);
+            // Candidate inclusion.
+            let mut cand_of_stage: HashMap<u32, usize> = HashMap::new();
+            for &g in &children {
+                if let Some(c) = j.stage(g).candidate {
+                    if c < cand_count.len() {
+                        cand_count[c] += 1;
+                        cand_of_stage.insert(g.0, c);
+                    }
+                }
+            }
+            // Inner edges (between generated stages of this placeholder).
+            for &(u, v) in j.generated_edges() {
+                if let (Some(&cu), Some(&cv)) =
+                    (cand_of_stage.get(&u.0), cand_of_stage.get(&v.0))
+                {
+                    *edge_count.entry((cu, cv)).or_insert(0) += 1;
+                }
+            }
+        }
+        let n_jobs = jobs.len().max(1);
+        dynamic.insert(
+            d,
+            DynamicStats {
+                candidate_freq: cand_count
+                    .into_iter()
+                    .map(|c| c as f64 / n_jobs as f64)
+                    .collect(),
+                edge_freq: edge_count
+                    .into_iter()
+                    .map(|(k, c)| (k, c as f64 / n_jobs as f64))
+                    .collect(),
+                n_samples: n_jobs,
+            },
+        );
+        dynamic_preceding.insert(d, *preceding_llm);
+    }
+
+    AppProfile {
+        app: template.app(),
+        discretizers,
+        net,
+        static_means,
+        is_llm,
+        dynamic,
+        dynamic_preceding,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_workloads::prelude::*;
+
+    fn trained(kind: AppKind, n: usize) -> Profiler {
+        let templates = all_templates();
+        let corpus = training_jobs(&[kind], n, 99);
+        Profiler::train(&templates, &corpus, &ProfilerConfig::default())
+    }
+
+    #[test]
+    fn trains_profiles_for_all_apps() {
+        let templates = all_templates();
+        let corpus = training_jobs(&AppKind::ALL, 60, 3);
+        let p = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+        assert_eq!(p.len(), 6);
+        for k in AppKind::ALL {
+            assert!(p.profile(k.app_id()).is_some(), "{} missing", k.name());
+        }
+    }
+
+    #[test]
+    fn sorting_profile_learns_correlations() {
+        let p = trained(AppKind::SequenceSorting, 400);
+        let prof = p.profile(AppKind::SequenceSorting.app_id()).unwrap();
+        // The latent sequence length couples the LLM stages; the split stage
+        // (S0) must reach other stages by directed paths.
+        let correlated = prof.net().descendants(0);
+        assert!(
+            !correlated.is_empty(),
+            "split stage should correlate with later stages, net edges: {:?}",
+            prof.net().edges()
+        );
+    }
+
+    #[test]
+    fn codegen_profile_sees_zero_bins_for_padded_stages() {
+        let p = trained(AppKind::CodeGeneration, 300);
+        let prof = p.profile(AppKind::CodeGeneration.app_id()).unwrap();
+        // Later-iteration stages are unexecuted in many jobs -> zero bin.
+        let last = prof.discretizers().last().unwrap();
+        assert!(last.has_zero_bin(), "padded stages must have a non-execution bin");
+        assert!(prof.static_mean(StageId(0)) > 0.0);
+    }
+
+    #[test]
+    fn taskauto_profile_has_dynamic_stats() {
+        let p = trained(AppKind::TaskAutomation, 300);
+        let prof = p.profile(AppKind::TaskAutomation.app_id()).unwrap();
+        let d = StageId(1);
+        let stats = prof.dynamic_stats(d).expect("placeholder stats");
+        assert_eq!(stats.n_samples, 300);
+        // Cheap tools are more frequent than expensive ones.
+        assert!(stats.candidate_freq[0] > stats.candidate_freq[19]);
+        // Structural entropy is positive (real uncertainty).
+        assert!(stats.structural_entropy() > 0.5);
+        assert_eq!(prof.dynamic_placeholders().next(), Some((d, StageId(0))));
+    }
+
+    #[test]
+    fn evidence_of_fresh_job_is_empty() {
+        let templates = all_templates();
+        let corpus = training_jobs(&[AppKind::WebSearch], 100, 5);
+        let p = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+        let prof = p.profile(AppKind::WebSearch.app_id()).unwrap();
+        let job = llmsched_sim::state::JobRt::new(corpus[0].clone());
+        assert!(prof.evidence_of(&job).is_empty());
+        assert_eq!(prof.evidence_mask(&job), 0);
+    }
+
+    #[test]
+    fn chow_liu_learner_also_trains() {
+        let templates = all_templates();
+        let corpus = training_jobs(&[AppKind::SequenceSorting], 200, 6);
+        let cfg = ProfilerConfig { learner: StructureLearner::ChowLiu, ..Default::default() };
+        let p = Profiler::train(&templates, &corpus, &cfg);
+        let prof = p.profile(AppKind::SequenceSorting.app_id()).unwrap();
+        assert!(!prof.net().edges().is_empty(), "Chow-Liu should find the latent coupling");
+    }
+
+    #[test]
+    fn untrained_app_has_no_profile() {
+        let p = trained(AppKind::WebSearch, 50);
+        assert!(p.profile(AppKind::SequenceSorting.app_id()).is_none());
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Small directed-acyclic-graph utilities shared by the DAG model, the
+//! profiler and the topology-aware schedulers.
+//!
+//! Nodes are dense `usize` indices; callers map [`StageId`](crate::ids::StageId)s
+//! onto them. All algorithms are deterministic (stable tie-breaking on node
+//! index).
+
+/// A directed graph over nodes `0..n` stored as forward + reverse adjacency
+/// lists. Intended for DAGs; [`Dag::topo_order`] reports cycles.
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    succ: Vec<Vec<usize>>,
+    pred: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Dag { succ: vec![Vec::new(); n], pred: vec![Vec::new(); n] }
+    }
+
+    /// Creates a graph from an edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge references a node `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Dag::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Appends a new node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        self.succ.len() - 1
+    }
+
+    /// Adds edge `u -> v`. Duplicate edges are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge ({u},{v}) out of range");
+        if !self.succ[u].contains(&v) {
+            self.succ[u].push(v);
+            self.pred[v].push(u);
+        }
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: usize) -> &[usize] {
+        &self.succ[u]
+    }
+
+    /// Predecessors of `u`.
+    pub fn predecessors(&self, u: usize) -> &[usize] {
+        &self.pred[u]
+    }
+
+    /// Out-degree of `u` (the paper's "number of children" feature in Argus).
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.succ[u].len()
+    }
+
+    /// Kahn topological order with stable (smallest-index-first) tie-breaking.
+    ///
+    /// Returns `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<usize>> {
+        let n = self.len();
+        let mut indeg: Vec<usize> = (0..n).map(|v| self.pred[v].len()).collect();
+        // A sorted frontier keeps the order deterministic and stable.
+        let mut frontier: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&v| indeg[v] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(u)) = frontier.pop() {
+            order.push(u);
+            for &v in &self.succ[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    frontier.push(std::cmp::Reverse(v));
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// True if the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// All nodes reachable from `u` by directed paths (excluding `u` itself),
+    /// in ascending index order.
+    ///
+    /// This implements the paper's Eq. (1): `correlated(u, v) = 1` iff a
+    /// directed path `u ->* v` exists.
+    pub fn descendants(&self, u: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![u];
+        while let Some(x) = stack.pop() {
+            for &v in &self.succ[x] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.iter().enumerate().filter(|&(_, &s)| s).map(|(i, _)| i).collect()
+    }
+
+    /// All nodes that reach `u` by directed paths (excluding `u` itself),
+    /// in ascending index order.
+    pub fn ancestors(&self, u: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![u];
+        while let Some(x) = stack.pop() {
+            for &v in &self.pred[x] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen.iter().enumerate().filter(|&(_, &s)| s).map(|(i, _)| i).collect()
+    }
+
+    /// Longest-path depth of every node measured from the sources
+    /// (sources have depth 0).
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic.
+    pub fn depths(&self) -> Vec<usize> {
+        let order = self.topo_order().expect("depths() requires an acyclic graph");
+        let mut depth = vec![0usize; self.len()];
+        for &u in &order {
+            for &v in &self.succ[u] {
+                depth[v] = depth[v].max(depth[u] + 1);
+            }
+        }
+        depth
+    }
+
+    /// Longest-path "height" of every node measured to the sinks
+    /// (sinks have height 0). Argus ranks stages by this critical-path depth.
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic.
+    pub fn heights(&self) -> Vec<usize> {
+        let order = self.topo_order().expect("heights() requires an acyclic graph");
+        let mut height = vec![0usize; self.len()];
+        for &u in order.iter().rev() {
+            for &v in &self.succ[u] {
+                height[u] = height[u].max(height[v] + 1);
+            }
+        }
+        height
+    }
+
+    /// Weighted critical-path length: the maximum over all paths of the sum
+    /// of node weights, where `weight[v]` is the cost of node `v`.
+    ///
+    /// Nodes with zero weight (e.g. void stages) simply contribute nothing.
+    ///
+    /// # Panics
+    /// Panics if the graph is cyclic or `weight.len() != self.len()`.
+    pub fn critical_path(&self, weight: &[f64]) -> f64 {
+        assert_eq!(weight.len(), self.len(), "weight vector length mismatch");
+        let order = self.topo_order().expect("critical_path() requires an acyclic graph");
+        let mut best = vec![0.0f64; self.len()];
+        let mut max = 0.0f64;
+        for &u in &order {
+            let through = best[u] + weight[u];
+            max = max.max(through);
+            for &v in &self.succ[u] {
+                if through > best[v] {
+                    best[v] = through;
+                }
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Dag {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        Dag::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn topo_order_is_stable_and_valid() {
+        let g = diamond();
+        assert_eq!(g.topo_order(), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = Dag::from_edges(2, &[(0, 1), (1, 0)]);
+        assert_eq!(g.topo_order(), None);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn descendants_follow_directed_paths() {
+        let g = diamond();
+        assert_eq!(g.descendants(0), vec![1, 2, 3]);
+        assert_eq!(g.descendants(1), vec![3]);
+        assert_eq!(g.descendants(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ancestors_mirror_descendants() {
+        let g = diamond();
+        assert_eq!(g.ancestors(3), vec![0, 1, 2]);
+        assert_eq!(g.ancestors(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn depths_and_heights() {
+        let g = diamond();
+        assert_eq!(g.depths(), vec![0, 1, 1, 2]);
+        assert_eq!(g.heights(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn critical_path_weighted() {
+        let g = diamond();
+        // Path 0 -> 2 -> 3 is heavier: 1 + 5 + 1 = 7.
+        assert_eq!(g.critical_path(&[1.0, 2.0, 5.0, 1.0]), 7.0);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = Dag::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.successors(0), &[1]);
+        assert_eq!(g.predecessors(1), &[0]);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = Dag::new(1);
+        let v = g.add_node();
+        assert_eq!(v, 1);
+        g.add_edge(0, v);
+        assert_eq!(g.descendants(0), vec![1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Dag::new(0);
+        assert!(g.is_empty());
+        assert_eq!(g.topo_order(), Some(vec![]));
+        assert_eq!(g.critical_path(&[]), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Strongly-typed identifiers for jobs, stages, tasks and applications.
+//!
+//! Newtypes keep the many `u32`/`u64` indices in the scheduler from being
+//! mixed up (C-NEWTYPE). All ids are cheap `Copy` values and order exactly
+//! like their underlying integers.
+
+use std::fmt;
+
+/// Identifier of a job (a runtime instance of a compound LLM application).
+///
+/// Jobs are numbered in arrival-generation order by the workload generator,
+/// so `JobId` order is also submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl From<u64> for JobId {
+    fn from(v: u64) -> Self {
+        JobId(v)
+    }
+}
+
+/// Identifier of a stage *within one job*.
+///
+/// Stage ids index into the job's stage vector. Stages instantiated from the
+/// application template keep the template's stage ids (sorted in topological
+/// order, as in Fig. 4 of the paper); stages generated at runtime by a
+/// dynamic stage receive fresh ids past the template range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StageId(pub u32);
+
+impl StageId {
+    /// Returns the stage id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl From<u32> for StageId {
+    fn from(v: u32) -> Self {
+        StageId(v)
+    }
+}
+
+/// Fully-qualified identifier of a task: job, stage and the task's index
+/// within the stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId {
+    /// The job this task belongs to.
+    pub job: JobId,
+    /// The stage within the job.
+    pub stage: StageId,
+    /// Index of the task inside the stage's task vector.
+    pub index: u32,
+}
+
+impl TaskId {
+    /// Creates a task id from its components.
+    pub fn new(job: JobId, stage: StageId, index: u32) -> Self {
+        TaskId { job, stage, index }
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}#{}", self.job, self.stage, self.index)
+    }
+}
+
+/// Identifier of a compound LLM application (a template), e.g. "sequence
+/// sorting" or "code generation".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AppId(pub u32);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl From<u32> for AppId {
+    fn from(v: u32) -> Self {
+        AppId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_like_integers() {
+        assert!(JobId(1) < JobId(2));
+        assert!(StageId(0) < StageId(10));
+        assert!(AppId(3) > AppId(1));
+    }
+
+    #[test]
+    fn task_id_orders_by_job_then_stage_then_index() {
+        let a = TaskId::new(JobId(1), StageId(2), 0);
+        let b = TaskId::new(JobId(1), StageId(2), 1);
+        let c = TaskId::new(JobId(2), StageId(0), 0);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(JobId(7).to_string(), "J7");
+        assert_eq!(StageId(3).to_string(), "S3");
+        assert_eq!(TaskId::new(JobId(7), StageId(3), 2).to_string(), "J7/S3#2");
+        assert_eq!(AppId(1).to_string(), "A1");
+    }
+
+    #[test]
+    fn stage_id_index_roundtrip() {
+        assert_eq!(StageId(42).index(), 42);
+        assert_eq!(StageId::from(42u32), StageId(42));
+    }
+}

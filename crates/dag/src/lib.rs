@@ -1,0 +1,71 @@
+//! # llmsched-dag — the LLM DAG model
+//!
+//! The DAG-based model for compound LLM applications from *LLMSched*
+//! (ICDCS 2025), §IV-A. A compound LLM application is described by a
+//! [`template::Template`] — a DAG over three kinds of stages:
+//!
+//! * **regular stages** ([`job::StageKind::Regular`]) — non-LLM tasks that run
+//!   on regular executors (containers);
+//! * **LLM stages** ([`job::StageKind::Llm`]) — autoregressive inference
+//!   tasks that run on batching LLM executors;
+//! * **dynamic stages** ([`template::TemplateStageKind::Dynamic`]) —
+//!   placeholders for LLM-generated stages drawn from a candidate set.
+//!
+//! Structural uncertainty is resolved by two mechanisms:
+//!
+//! * chain-like applications are padded to their maximum iteration count,
+//!   with padded stages carrying `revealed_by` markers;
+//! * planning applications expand their dynamic placeholder when its
+//!   preceding LLM stage completes.
+//!
+//! A [`job::JobSpec`] is the hidden ground truth of one runtime instance; the
+//! simulator (in `llmsched-sim`) reveals it to schedulers incrementally.
+//!
+//! ## Example
+//!
+//! ```
+//! use llmsched_dag::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A two-stage code-generation-like template.
+//! let mut b = TemplateBuilder::new(AppId(0), "toy_codegen");
+//! let gen = b.llm("code gen");
+//! let exec = b.regular("code exec");
+//! b.edge(gen, exec);
+//! let template = b.build()?;
+//!
+//! // One concrete job of that application.
+//! let stages = vec![
+//!     StageSpec::executing("code gen", StageKind::Llm,
+//!         vec![TaskWork::Llm { prompt_tokens: 200, output_tokens: 150 }]),
+//!     StageSpec::executing("code exec", StageKind::Regular,
+//!         vec![TaskWork::Regular { duration: SimDuration::from_millis(400) }]),
+//! ];
+//! let job = JobSpec::new(JobId(0), &template, SimTime::ZERO, stages, vec![])?;
+//! assert_eq!(job.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod ids;
+pub mod job;
+pub mod template;
+pub mod time;
+pub mod work;
+
+/// Convenient glob-import of the common model types.
+pub mod prelude {
+    pub use crate::graph::Dag;
+    pub use crate::ids::{AppId, JobId, StageId, TaskId};
+    pub use crate::job::{JobSpec, JobSpecError, StageKind, StageSpec};
+    pub use crate::template::{
+        Candidate, Template, TemplateBuilder, TemplateError, TemplateSet, TemplateStage,
+        TemplateStageKind,
+    };
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::work::{ExecutorClass, TaskWork};
+}

@@ -1,0 +1,121 @@
+//! Task work definitions: what a task costs to execute.
+
+use crate::time::SimDuration;
+
+/// The executor class a stage's tasks require.
+///
+/// This is the paper's regular-task / LLM-task split (§II-B): regular tasks
+/// run on regular executors (containers) one at a time; LLM tasks run on LLM
+/// executors that batch up to a maximum batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutorClass {
+    /// Non-LLM work (tool invocation, code execution, scoring function…).
+    Regular,
+    /// Autoregressive LLM inference.
+    Llm,
+}
+
+/// Ground-truth work content of a single task.
+///
+/// This lives in the hidden [`JobSpec`](crate::job::JobSpec); schedulers never
+/// see it directly — they only observe durations of *completed* stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskWork {
+    /// A regular task with a fixed execution duration.
+    Regular {
+        /// Wall-clock duration on a regular executor.
+        duration: SimDuration,
+    },
+    /// An LLM inference task. Its duration is *not* fixed: it depends on the
+    /// decode latency of the executor it lands on, which in turn depends on
+    /// the number of co-batched requests (the paper's batching effect).
+    Llm {
+        /// Prompt length in tokens (prefill work).
+        prompt_tokens: u32,
+        /// Number of tokens the model will generate (decode work).
+        output_tokens: u32,
+    },
+}
+
+impl TaskWork {
+    /// The executor class this work must run on.
+    pub fn class(&self) -> ExecutorClass {
+        match self {
+            TaskWork::Regular { .. } => ExecutorClass::Regular,
+            TaskWork::Llm { .. } => ExecutorClass::Llm,
+        }
+    }
+
+    /// Total decode tokens for an LLM task including the prefill surcharge,
+    /// or `None` for a regular task.
+    ///
+    /// Prefill is folded into an equivalent number of decode iterations
+    /// (`PREFILL_TOKEN_EQUIV` decode tokens per prompt token), matching how
+    /// the analytic and token-level engines charge prompt processing.
+    pub fn llm_token_cost(&self) -> Option<u64> {
+        match *self {
+            TaskWork::Llm { prompt_tokens, output_tokens } => {
+                let prefill = (prompt_tokens as f64 * PREFILL_TOKEN_EQUIV).ceil() as u64;
+                Some(prefill + output_tokens as u64)
+            }
+            TaskWork::Regular { .. } => None,
+        }
+    }
+
+    /// The task's duration when run alone: regular tasks take their fixed
+    /// duration; LLM tasks are priced at batch-size-1 decode latency
+    /// `per_token_b1`.
+    ///
+    /// This is the "nominal" duration used for offline profiling (the paper
+    /// profiles with batch size 1, §III-A) and for critical-path bounds.
+    pub fn nominal_duration(&self, per_token_b1: SimDuration) -> SimDuration {
+        match *self {
+            TaskWork::Regular { duration } => duration,
+            TaskWork::Llm { .. } => {
+                let tokens = self.llm_token_cost().expect("llm task has token cost");
+                per_token_b1 * tokens
+            }
+        }
+    }
+}
+
+/// How many batch-1 decode-token equivalents one prompt token costs.
+///
+/// Prefill is much cheaper per token than decode (it is compute-bound and
+/// parallel over the prompt); 0.05 decode-equivalents per prompt token gives
+/// prefill:decode cost ratios in line with 7B-class models on modern GPUs.
+pub const PREFILL_TOKEN_EQUIV: f64 = 0.05;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_matches_variant() {
+        let r = TaskWork::Regular { duration: SimDuration::from_secs(1) };
+        let l = TaskWork::Llm { prompt_tokens: 10, output_tokens: 20 };
+        assert_eq!(r.class(), ExecutorClass::Regular);
+        assert_eq!(l.class(), ExecutorClass::Llm);
+    }
+
+    #[test]
+    fn token_cost_includes_prefill() {
+        let l = TaskWork::Llm { prompt_tokens: 100, output_tokens: 200 };
+        // 100 * 0.05 = 5 prefill-equivalent tokens + 200 decode tokens.
+        assert_eq!(l.llm_token_cost(), Some(205));
+        let r = TaskWork::Regular { duration: SimDuration::ZERO };
+        assert_eq!(r.llm_token_cost(), None);
+    }
+
+    #[test]
+    fn nominal_duration_regular_is_fixed() {
+        let r = TaskWork::Regular { duration: SimDuration::from_millis(300) };
+        assert_eq!(r.nominal_duration(SimDuration::from_millis(20)), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn nominal_duration_llm_scales_with_tokens() {
+        let l = TaskWork::Llm { prompt_tokens: 0, output_tokens: 50 };
+        assert_eq!(l.nominal_duration(SimDuration::from_millis(20)), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,100 @@
+//! Argus-style topology-aware baseline (§II-C, §V).
+//!
+//! Argus (IPDPS'21) ranks stages by their position in the DAG: stages with
+//! greater critical-path depth, more children, and more tasks are served
+//! first. It exploits topology but has no notion of duration uncertainty —
+//! in the paper's Predefined workloads it effectively degenerates to
+//! application-level scheduling, which LLMSched beats by re-estimating
+//! durations per job (§V-A).
+
+use llmsched_dag::ids::StageId;
+use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler};
+use llmsched_sim::state::JobRt;
+
+use crate::util::visible_heights;
+
+/// The Argus-like stage-rank scheduler.
+#[derive(Debug, Default)]
+pub struct Argus;
+
+/// Rank of one candidate stage (higher = served first).
+///
+/// Depth is the stage's critical-path height *normalized by its job's
+/// total height* (per-mille, so `Ord` applies): comparing absolute heights
+/// across applications would strictly prioritize the deepest application's
+/// jobs — effectively longest-app-first, which is not how a per-job
+/// topology ranker behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Rank {
+    depth_per_mille: u32,
+    children: usize,
+    tasks: usize,
+}
+
+fn rank(job: &JobRt, stage: StageId, heights: &std::collections::HashMap<StageId, usize>) -> Rank {
+    let view = job.stage_view(stage).expect("ready stage is visible");
+    let h = heights.get(&stage).copied().unwrap_or(0);
+    let max_h = heights.values().copied().max().unwrap_or(0).max(1);
+    Rank {
+        depth_per_mille: (h * 1000 / max_h) as u32,
+        children: job.visible_succs(stage).len(),
+        tasks: view.n_tasks.unwrap_or(0),
+    }
+}
+
+impl Scheduler for Argus {
+    fn name(&self) -> &str {
+        "Argus"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        // Collect every ready stage with its rank.
+        let mut candidates: Vec<(Rank, &JobRt, StageId)> = Vec::new();
+        for job in &ctx.jobs {
+            let heights = visible_heights(job);
+            for s in job.ready_stage_ids() {
+                candidates.push((rank(job, s, &heights), job, s));
+            }
+        }
+        // Jobs are served in arrival order (Argus is job-duration-blind);
+        // the topology rank orders stages *within* a job. Comparing ranks
+        // across jobs would strictly prioritize the deepest application —
+        // longest-app-first, which no fair reading of Argus intends.
+        candidates.sort_by(|a, b| {
+            (a.1.arrival(), a.1.id())
+                .cmp(&(b.1.arrival(), b.1.id()))
+                .then_with(|| b.0.cmp(&a.0))
+                .then_with(|| a.2.cmp(&b.2))
+        });
+        let mut p = Preference::new();
+        for (_, job, s) in candidates {
+            p.push_stage_tasks(job, s);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::run_two_class_workload;
+
+    #[test]
+    fn completes_the_fixture() {
+        let r = run_two_class_workload(&mut Argus);
+        assert_eq!(r.incomplete, 0);
+        assert_eq!(r.scheduler, "Argus");
+    }
+
+    #[test]
+    fn rank_orders_lexicographically() {
+        let a = Rank { depth_per_mille: 900, children: 0, tasks: 0 };
+        let b = Rank { depth_per_mille: 500, children: 9, tasks: 9 };
+        assert!(a > b, "depth dominates");
+        let c = Rank { depth_per_mille: 500, children: 2, tasks: 0 };
+        assert!(
+            c > Rank { depth_per_mille: 500, children: 1, tasks: 5 },
+            "children beat tasks"
+        );
+    }
+}

@@ -1,0 +1,202 @@
+//! Job-agnostic and duration-based baselines: FCFS, Fair, SJF, SRTF.
+
+use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler};
+use llmsched_sim::state::JobRt;
+
+use crate::util::AppPriors;
+
+/// Pushes every ready task of `job` in ascending stage order.
+fn push_all_ready(p: &mut Preference, job: &JobRt) {
+    for s in job.ready_stage_ids() {
+        p.push_stage_tasks(job, s);
+    }
+}
+
+/// **First Come First Serve** — jobs in arrival order (Spark's default
+/// scheme; job-agnostic).
+#[derive(Debug, Default)]
+pub struct Fcfs;
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &str {
+        "FCFS"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
+        jobs.sort_by_key(|j| (j.arrival(), j.id()));
+        let mut p = Preference::new();
+        for job in jobs {
+            push_all_ready(&mut p, job);
+        }
+        p
+    }
+}
+
+/// **Fair Scheduling** — equalizes the number of concurrently running
+/// tasks across jobs (Spark's fair scheduler): tasks are offered
+/// round-robin, least-served job first.
+#[derive(Debug, Default)]
+pub struct Fair;
+
+impl Scheduler for Fair {
+    fn name(&self) -> &str {
+        "Fair"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        // Per job: the queue of ready tasks in stage order.
+        let mut queues: Vec<(usize, &JobRt, Vec<(llmsched_dag::ids::StageId, u32)>)> = ctx
+            .jobs
+            .iter()
+            .map(|j| {
+                let tasks: Vec<_> = j
+                    .ready_stage_ids()
+                    .into_iter()
+                    .flat_map(|s| j.unstarted_tasks(s).into_iter().map(move |t| (s, t)))
+                    .collect();
+                (j.running_tasks(), *j, tasks)
+            })
+            .collect();
+        // Least currently-served first, then arrival.
+        queues.sort_by_key(|(running, j, _)| (*running, j.arrival(), j.id()));
+
+        let mut p = Preference::new();
+        let mut cursors = vec![0usize; queues.len()];
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for (qi, (_, job, tasks)) in queues.iter().enumerate() {
+                if let Some(&(stage, task)) = tasks.get(cursors[qi]) {
+                    cursors[qi] += 1;
+                    progressed = true;
+                    let view = job.stage_view(stage).expect("ready stage is visible");
+                    let r = llmsched_sim::scheduler::TaskRef { job: job.id(), stage, task };
+                    match view.kind {
+                        llmsched_dag::job::StageKind::Llm => p.llm.push(r),
+                        llmsched_dag::job::StageKind::Regular => p.regular.push(r),
+                        llmsched_dag::job::StageKind::DynamicPlaceholder => {}
+                    }
+                }
+            }
+        }
+        p
+    }
+}
+
+/// **Shortest Job First** — prioritizes the job with the shortest
+/// *historical mean* duration for its application (§II-C). Static: it never
+/// updates with runtime observations, which is exactly the weakness the
+/// motivating example (Fig. 2) exposes.
+#[derive(Debug)]
+pub struct Sjf {
+    priors: AppPriors,
+}
+
+impl Sjf {
+    /// Builds SJF with historical priors.
+    pub fn new(priors: AppPriors) -> Self {
+        Sjf { priors }
+    }
+}
+
+impl Scheduler for Sjf {
+    fn name(&self) -> &str {
+        "SJF"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
+        jobs.sort_by(|a, b| {
+            self.priors
+                .job_mean(a.app())
+                .partial_cmp(&self.priors.job_mean(b.app()))
+                .expect("means are finite")
+                .then_with(|| (a.arrival(), a.id()).cmp(&(b.arrival(), b.id())))
+        });
+        let mut p = Preference::new();
+        for job in jobs {
+            push_all_ready(&mut p, job);
+        }
+        p
+    }
+}
+
+/// **Shortest Remaining Time First** — like SJF but subtracts completed
+/// stages from the static estimate. This is the JCT-efficient scheme inside
+/// Algorithm 1 when stripped of both the BN and the uncertainty strategy.
+#[derive(Debug)]
+pub struct Srtf {
+    priors: AppPriors,
+}
+
+impl Srtf {
+    /// Builds SRTF with historical priors.
+    pub fn new(priors: AppPriors) -> Self {
+        Srtf { priors }
+    }
+}
+
+impl Scheduler for Srtf {
+    fn name(&self) -> &str {
+        "SRTF"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        let mut jobs: Vec<(f64, &&JobRt)> =
+            ctx.jobs.iter().map(|j| (self.priors.remaining_estimate(j), j)).collect();
+        jobs.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("estimates are finite")
+                .then_with(|| (a.1.arrival(), a.1.id()).cmp(&(b.1.arrival(), b.1.id())))
+        });
+        let mut p = Preference::new();
+        for (_, job) in jobs {
+            push_all_ready(&mut p, job);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{run_two_class_workload, two_class_training};
+    use llmsched_dag::time::SimDuration;
+
+    #[test]
+    fn sjf_beats_fcfs_on_bimodal_jobs() {
+        // Long jobs arrive first; SJF should leapfrog the short ones.
+        let priors = AppPriors::from_training(&two_class_training(), SimDuration::from_millis(20));
+        let fcfs = run_two_class_workload(&mut Fcfs);
+        let sjf = run_two_class_workload(&mut Sjf::new(priors));
+        assert_eq!(fcfs.incomplete, 0);
+        assert_eq!(sjf.incomplete, 0);
+        assert!(
+            sjf.avg_jct_secs() < fcfs.avg_jct_secs() * 0.95,
+            "SJF {:.2}s should beat FCFS {:.2}s",
+            sjf.avg_jct_secs(),
+            fcfs.avg_jct_secs()
+        );
+    }
+
+    #[test]
+    fn srtf_matches_or_beats_sjf() {
+        let priors = AppPriors::from_training(&two_class_training(), SimDuration::from_millis(20));
+        let sjf = run_two_class_workload(&mut Sjf::new(priors.clone()));
+        let srtf = run_two_class_workload(&mut Srtf::new(priors));
+        assert!(srtf.avg_jct_secs() <= sjf.avg_jct_secs() * 1.05);
+    }
+
+    #[test]
+    fn fair_completes_everything() {
+        let r = run_two_class_workload(&mut Fair);
+        assert_eq!(r.incomplete, 0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Fcfs.name(), "FCFS");
+        assert_eq!(Fair.name(), "Fair");
+    }
+}

@@ -1,0 +1,117 @@
+//! Decima-like baseline (§II-C, §V).
+//!
+//! Decima (SIGCOMM'19) learns a scheduling policy with a GNN + RL. Training
+//! an RL agent is outside this reproduction's scope; what the paper
+//! measures and explains is Decima's *deployed behavior*: it favors jobs
+//! with little remaining work and dispatches **the tasks of a single stage
+//! per scheduling event** with bounded per-job parallelism. That
+//! single-stage granularity is precisely why the paper reports Decima
+//! under-utilizing the cluster on Planning workloads (high stage
+//! parallelism, one task per stage — §V-A) and omits it from the Planning
+//! plots (average JCT above 100 s).
+//!
+//! This substitution is documented in `DESIGN.md` §6.
+
+use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler};
+
+use crate::util::AppPriors;
+
+/// The Decima-like single-stage dispatcher.
+#[derive(Debug)]
+pub struct DecimaLike {
+    priors: AppPriors,
+}
+
+impl DecimaLike {
+    /// Builds the policy with historical priors (Decima trains on the same
+    /// four workload types; the priors are its learned duration knowledge).
+    pub fn new(priors: AppPriors) -> Self {
+        DecimaLike { priors }
+    }
+}
+
+impl Scheduler for DecimaLike {
+    fn name(&self) -> &str {
+        "Decima"
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        // Pick the single most attractive (job, stage): shortest remaining
+        // work first, then the job's earliest ready stage.
+        let mut best: Option<(f64, &&llmsched_sim::state::JobRt)> = None;
+        for job in &ctx.jobs {
+            if job.ready_stage_ids().is_empty() {
+                continue;
+            }
+            let rem = self.priors.remaining_estimate(job);
+            let better = match best {
+                None => true,
+                Some((b, bj)) => {
+                    rem < b - 1e-12
+                        || ((rem - b).abs() <= 1e-12
+                            && (job.arrival(), job.id()) < (bj.arrival(), bj.id()))
+                }
+            };
+            if better {
+                best = Some((rem, job));
+            }
+        }
+        let mut p = Preference::new();
+        if let Some((_, job)) = best {
+            if let Some(&stage) = job.ready_stage_ids().first() {
+                p.push_stage_tasks(job, stage);
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{run_two_class_workload, two_class_training};
+    use llmsched_dag::time::SimDuration;
+
+    fn decima() -> DecimaLike {
+        DecimaLike::new(AppPriors::from_training(
+            &two_class_training(),
+            SimDuration::from_millis(20),
+        ))
+    }
+
+    #[test]
+    fn completes_the_fixture() {
+        let r = run_two_class_workload(&mut decima());
+        assert_eq!(r.incomplete, 0);
+        assert_eq!(r.scheduler, "Decima");
+    }
+
+    #[test]
+    fn dispatches_at_most_one_stage_per_event() {
+        // Indirect but deterministic check: the schedule() output never
+        // references two distinct stages.
+        struct Probe(DecimaLike, bool);
+        impl Scheduler for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn schedule(
+                &mut self,
+                ctx: &llmsched_sim::scheduler::SchedContext<'_>,
+            ) -> Preference {
+                let p = self.0.schedule(ctx);
+                let mut stages: Vec<_> =
+                    p.regular.iter().chain(&p.llm).map(|t| (t.job, t.stage)).collect();
+                stages.dedup();
+                if stages.len() > 1 {
+                    self.1 = true;
+                }
+                p
+            }
+        }
+        let mut probe = Probe(decima(), false);
+        let r = run_two_class_workload(&mut probe);
+        assert_eq!(r.incomplete, 0);
+        assert!(!probe.1, "Decima-like must offer a single stage per event");
+    }
+}

@@ -1,0 +1,936 @@
+//! The discrete-event cluster engine.
+//!
+//! Two fidelities share one entry point ([`simulate`]):
+//!
+//! * [`EngineMode::Analytic`] — the paper's *simulator*: each running LLM
+//!   task tracks remaining tokens; whenever an executor's batch membership
+//!   changes, progress is settled at the old per-token rate and finish
+//!   events are re-posted at the new rate (stale events are invalidated by
+//!   per-task epochs).
+//! * [`EngineMode::TokenLevel`] — the paper's *testbed* stand-in: executors
+//!   step per decode iteration with continuous batching (requests join at
+//!   iteration boundaries, every iteration costs `l(batch)` and emits
+//!   `chunk` tokens per request).
+//!
+//! The engine owns the hidden [`JobSpec`]s and implements the reveal
+//! protocol of §IV-A; schedulers only observe the filtered
+//! [`SchedContext`](crate::scheduler::SchedContext).
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use llmsched_dag::ids::JobId;
+use llmsched_dag::job::{JobSpec, StageKind};
+use llmsched_dag::template::TemplateSet;
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::{ExecutorClass, TaskWork};
+
+use crate::event::{Event, EventQueue};
+use crate::latency::LatencyProfile;
+use crate::metrics::{JobOutcome, SimResult, Utilization};
+use crate::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
+use crate::state::{JobRt, LlmExecutorView, TaskState, Visibility};
+
+/// LLM execution fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Rate-rescaling analytic batching (fast; the paper's simulator).
+    #[default]
+    Analytic,
+    /// Per-iteration continuous batching (the paper's testbed stand-in).
+    TokenLevel,
+}
+
+/// Cluster resources and engine options.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of regular executors (each runs one regular task at a time).
+    pub regular_executors: usize,
+    /// Number of LLM executors (each batches up to `max_batch` LLM tasks).
+    pub llm_executors: usize,
+    /// Maximum batch size per LLM executor.
+    pub max_batch: usize,
+    /// Decode-latency curve shared by all LLM executors.
+    pub latency: LatencyProfile,
+    /// Execution fidelity.
+    pub mode: EngineMode,
+    /// Token-level mode only: tokens decoded per iteration event (1 =
+    /// faithful per-token stepping; larger values trade fidelity for speed).
+    pub iteration_chunk: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            regular_executors: 4,
+            llm_executors: 1,
+            max_batch: 8,
+            latency: LatencyProfile::default(),
+            mode: EngineMode::Analytic,
+            iteration_chunk: 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LLM executor pools
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct RunningLlm {
+    job: usize,
+    stage: u32,
+    task: u32,
+    remaining_tokens: f64,
+}
+
+#[derive(Debug, Default)]
+struct AnalyticExec {
+    running: Vec<RunningLlm>,
+    last_settle: SimTime,
+}
+
+impl AnalyticExec {
+    /// Settles decode progress since the last membership change at the
+    /// current batch rate.
+    fn settle(&mut self, now: SimTime, latency: &LatencyProfile) {
+        if !self.running.is_empty() {
+            let elapsed = (now - self.last_settle).as_secs_f64();
+            if elapsed > 0.0 {
+                let rate = latency.per_token(self.running.len()).as_secs_f64();
+                let done = elapsed / rate;
+                for r in &mut self.running {
+                    r.remaining_tokens = (r.remaining_tokens - done).max(0.0);
+                }
+            }
+        }
+        self.last_settle = now;
+    }
+
+    /// Re-posts finish events for every running task at the current batch
+    /// rate, invalidating older events via task epochs.
+    fn retime(
+        &self,
+        now: SimTime,
+        jobs: &mut [JobRt],
+        queue: &mut EventQueue,
+        latency: &LatencyProfile,
+    ) {
+        if self.running.is_empty() {
+            return;
+        }
+        let rate = latency.per_token(self.running.len()).as_secs_f64();
+        for r in &self.running {
+            let t = &mut jobs[r.job].stages[r.stage as usize].tasks[r.task as usize];
+            t.epoch += 1;
+            let finish = now + SimDuration::from_secs_f64(r.remaining_tokens * rate);
+            queue.push(
+                finish,
+                Event::TaskFinish { job: r.job, stage: r.stage, task: r.task, epoch: t.epoch },
+            );
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TokenTask {
+    job: usize,
+    stage: u32,
+    task: u32,
+    remaining_tokens: u64,
+}
+
+#[derive(Debug, Default)]
+struct TokenExec {
+    running: Vec<TokenTask>,
+    joining: Vec<TokenTask>,
+    epoch: u64,
+    iterating: bool,
+}
+
+impl TokenExec {
+    fn occupancy(&self) -> usize {
+        self.running.len() + self.joining.len()
+    }
+}
+
+#[derive(Debug)]
+enum LlmPool {
+    Analytic(Vec<AnalyticExec>),
+    Token(Vec<TokenExec>),
+}
+
+impl LlmPool {
+    fn new(cfg: &ClusterConfig) -> Self {
+        match cfg.mode {
+            EngineMode::Analytic => {
+                LlmPool::Analytic((0..cfg.llm_executors).map(|_| AnalyticExec::default()).collect())
+            }
+            EngineMode::TokenLevel => {
+                LlmPool::Token((0..cfg.llm_executors).map(|_| TokenExec::default()).collect())
+            }
+        }
+    }
+
+    fn occupancy(&self, e: usize) -> usize {
+        match self {
+            LlmPool::Analytic(v) => v[e].running.len(),
+            LlmPool::Token(v) => v[e].occupancy(),
+        }
+    }
+
+    fn n_execs(&self) -> usize {
+        match self {
+            LlmPool::Analytic(v) => v.len(),
+            LlmPool::Token(v) => v.len(),
+        }
+    }
+
+    /// The paper's load balancing: the executor with the fewest running
+    /// tasks that still has a free slot (ties broken by index).
+    fn least_loaded(&self, max_batch: usize) -> Option<usize> {
+        (0..self.n_execs())
+            .filter(|&e| self.occupancy(e) < max_batch)
+            .min_by_key(|&e| self.occupancy(e))
+    }
+
+    fn views(&self, max_batch: usize) -> Vec<LlmExecutorView> {
+        (0..self.n_execs())
+            .map(|e| LlmExecutorView { index: e, batch_len: self.occupancy(e), max_batch })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+struct Engine<'a> {
+    cfg: &'a ClusterConfig,
+    templates: &'a TemplateSet,
+    jobs: Vec<JobRt>,
+    id_to_idx: HashMap<JobId, usize>,
+    active: BTreeSet<usize>,
+    queue: EventQueue,
+    now: SimTime,
+    regular_busy: usize,
+    llm: LlmPool,
+    outcomes: Vec<JobOutcome>,
+    events: u64,
+    sched_calls: u64,
+    sched_wall: std::time::Duration,
+    // Utilization integrals (executor-seconds / slot-seconds).
+    last_integral_at: SimTime,
+    reg_busy_integral: f64,
+    llm_slot_integral: f64,
+    llm_active_integral: f64,
+}
+
+/// Runs one simulation to completion.
+///
+/// `jobs` are the hidden ground-truth specs (arrival times inside); the
+/// scheduler observes them only through the reveal protocol. Returns the
+/// aggregate [`SimResult`].
+///
+/// # Panics
+/// Panics if a job references a template missing from `templates`, or if
+/// the config has zero executors of a class some task requires.
+pub fn simulate(
+    cfg: &ClusterConfig,
+    templates: &TemplateSet,
+    jobs: Vec<JobSpec>,
+    scheduler: &mut dyn Scheduler,
+) -> SimResult {
+    assert!(cfg.regular_executors > 0, "need at least one regular executor");
+    assert!(cfg.llm_executors > 0 && cfg.max_batch > 0, "need LLM capacity");
+    for j in &jobs {
+        assert!(templates.get(j.app()).is_some(), "job {} uses unregistered app {}", j.id(), j.app());
+    }
+
+    let mut engine = Engine {
+        cfg,
+        templates,
+        id_to_idx: jobs.iter().enumerate().map(|(i, j)| (j.id(), i)).collect(),
+        jobs: jobs.into_iter().map(JobRt::new).collect(),
+        active: BTreeSet::new(),
+        queue: EventQueue::new(),
+        now: SimTime::ZERO,
+        regular_busy: 0,
+        llm: LlmPool::new(cfg),
+        outcomes: Vec::new(),
+        events: 0,
+        sched_calls: 0,
+        sched_wall: std::time::Duration::ZERO,
+        last_integral_at: SimTime::ZERO,
+        reg_busy_integral: 0.0,
+        llm_slot_integral: 0.0,
+        llm_active_integral: 0.0,
+    };
+    engine.run(scheduler)
+}
+
+impl Engine<'_> {
+    fn run(&mut self, scheduler: &mut dyn Scheduler) -> SimResult {
+        for (i, j) in self.jobs.iter().enumerate() {
+            self.queue.push(j.spec.arrival(), Event::Arrival { job: i });
+        }
+        while let Some((t, ev)) = self.queue.pop() {
+            self.advance_integrals(t);
+            self.now = t;
+            let mut effective = self.apply(ev);
+            while self.queue.peek_time() == Some(t) {
+                let (_, ev) = self.queue.pop().expect("peeked");
+                effective |= self.apply(ev);
+            }
+            if effective && self.has_free_capacity() && !self.active.is_empty() {
+                self.invoke_scheduler(scheduler);
+            }
+        }
+        let makespan = self.outcomes.iter().map(|o| o.completion).max().unwrap_or(SimTime::ZERO);
+        let horizon = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+        let slots = (self.cfg.llm_executors * self.cfg.max_batch) as f64;
+        SimResult {
+            scheduler: scheduler.name().to_string(),
+            jobs: std::mem::take(&mut self.outcomes),
+            makespan,
+            sched_calls: self.sched_calls,
+            sched_wall: self.sched_wall,
+            utilization: Utilization {
+                regular_busy_frac: self.reg_busy_integral
+                    / (self.cfg.regular_executors as f64 * horizon),
+                llm_slot_frac: self.llm_slot_integral / (slots * horizon),
+                llm_active_frac: self.llm_active_integral
+                    / (self.cfg.llm_executors as f64 * horizon),
+            },
+            events: self.events,
+            incomplete: self.jobs.iter().filter(|j| !j.is_complete()).count(),
+        }
+    }
+
+    fn advance_integrals(&mut self, t: SimTime) {
+        let dt = (t - self.last_integral_at).as_secs_f64();
+        if dt > 0.0 {
+            self.reg_busy_integral += self.regular_busy as f64 * dt;
+            let mut slots = 0usize;
+            let mut busy = 0usize;
+            for e in 0..self.llm.n_execs() {
+                let occ = self.llm.occupancy(e);
+                slots += occ;
+                busy += usize::from(occ > 0);
+            }
+            self.llm_slot_integral += slots as f64 * dt;
+            self.llm_active_integral += busy as f64 * dt;
+        }
+        self.last_integral_at = t;
+    }
+
+    fn has_free_capacity(&self) -> bool {
+        self.regular_busy < self.cfg.regular_executors
+            || self.llm.least_loaded(self.cfg.max_batch).is_some()
+    }
+
+    /// Applies one event; returns whether it changed state (stale events
+    /// return `false` so they do not trigger a scheduler invocation).
+    fn apply(&mut self, ev: Event) -> bool {
+        self.events += 1;
+        match ev {
+            Event::Arrival { job } => {
+                self.jobs[job].arrived = true;
+                self.active.insert(job);
+                // A pathological template could start with an auto-completing
+                // placeholder; run the fixpoint for safety.
+                let roots: Vec<u32> =
+                    (0..self.jobs[job].spec.len() as u32).collect();
+                for s in roots {
+                    self.try_auto_complete(job, s);
+                }
+                self.finalize_completions();
+                true
+            }
+            Event::TaskFinish { job, stage, task, epoch } => {
+                let t = &self.jobs[job].stages[stage as usize].tasks[task as usize];
+                let valid = t.epoch == epoch && matches!(t.state, TaskState::Running { .. });
+                if !valid {
+                    return false;
+                }
+                self.finish_task(job, stage, task);
+                true
+            }
+            Event::LlmIteration { exec, epoch } => self.apply_iteration(exec, epoch),
+        }
+    }
+
+    /// Completes one task and any stage / job completions that follow.
+    fn finish_task(&mut self, job: usize, stage: u32, task: u32) {
+        let spec_work = self.jobs[job].spec.stage(llmsched_dag::ids::StageId(stage)).tasks
+            [task as usize];
+        let exec = {
+            let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
+            let TaskState::Running { exec } = t.state else { unreachable!("validated by caller") };
+            exec
+        };
+        match spec_work {
+            TaskWork::Regular { duration } => {
+                debug_assert!(self.regular_busy > 0);
+                self.regular_busy -= 1;
+                let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
+                t.nominal_secs = duration.as_secs_f64();
+            }
+            TaskWork::Llm { .. } => {
+                let tokens = spec_work.llm_token_cost().expect("llm task").max(1);
+                let nominal = self.cfg.latency.per_token_b1().as_secs_f64() * tokens as f64;
+                let e = exec.expect("llm task runs on an executor");
+                // Remove from the batch and re-time survivors (analytic).
+                if let LlmPool::Analytic(execs) = &mut self.llm {
+                    let ex = &mut execs[e];
+                    ex.settle(self.now, &self.cfg.latency);
+                    ex.running.retain(|r| !(r.job == job && r.stage == stage && r.task == task));
+                    ex.retime(self.now, &mut self.jobs, &mut self.queue, &self.cfg.latency);
+                }
+                // Token mode removes inside apply_iteration; nothing here.
+                let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
+                t.nominal_secs = nominal;
+            }
+        }
+        let st = &mut self.jobs[job].stages[stage as usize];
+        st.tasks[task as usize].state = TaskState::Done;
+        st.tasks_running -= 1;
+        st.tasks_done += 1;
+        if st.tasks_done == st.tasks.len() {
+            self.complete_stage(job, stage);
+        }
+        self.finalize_completions();
+    }
+
+    /// Token-level iteration end for executor `exec`.
+    fn apply_iteration(&mut self, exec: usize, epoch: u64) -> bool {
+        let LlmPool::Token(execs) = &mut self.llm else {
+            return false; // stale event from a mismatched mode; impossible in practice
+        };
+        let ex = &mut execs[exec];
+        if !ex.iterating || ex.epoch != epoch {
+            return false;
+        }
+        let chunk = self.cfg.iteration_chunk.max(1);
+        let mut finished: Vec<TokenTask> = Vec::new();
+        for r in &mut ex.running {
+            r.remaining_tokens = r.remaining_tokens.saturating_sub(chunk);
+        }
+        ex.running.retain_mut(|r| {
+            if r.remaining_tokens == 0 {
+                finished.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        ex.running.append(&mut ex.joining);
+        if ex.running.is_empty() {
+            ex.iterating = false;
+        } else {
+            ex.epoch += 1;
+            let batch = ex.running.len();
+            let dur = self.cfg.latency.per_token(batch).mul_f64(chunk as f64);
+            let next_epoch = ex.epoch;
+            self.queue.push(self.now + dur, Event::LlmIteration { exec, epoch: next_epoch });
+        }
+        let any = !finished.is_empty();
+        for f in finished {
+            self.finish_task(f.job, f.stage, f.task);
+        }
+        // An iteration with no finishes still changed batch composition only
+        // if tasks joined; scheduling on it is harmless but noisy — only
+        // report effectiveness when a task finished.
+        any
+    }
+
+    /// Marks `stage` complete, propagates dependency counts, processes
+    /// reveals (void cascades) and placeholder auto-completion.
+    fn complete_stage(&mut self, job: usize, stage: u32) {
+        {
+            let jr = &mut self.jobs[job];
+            let st = &mut jr.stages[stage as usize];
+            debug_assert!(!st.done, "stage completed twice");
+            st.done = true;
+            st.done_at = Some(self.now);
+            jr.stages_remaining -= 1;
+        }
+        // Dependents see one fewer pending predecessor.
+        let succs: Vec<u32> = self.jobs[job]
+            .spec
+            .dag()
+            .successors(stage as usize)
+            .iter()
+            .map(|&s| s as u32)
+            .collect();
+        for s in &succs {
+            self.jobs[job].stages[*s as usize].preds_remaining -= 1;
+        }
+        // Reveal protocol: stages whose existence hinged on this one.
+        let revealed = self.jobs[job].reveals[stage as usize].clone();
+        for r in revealed {
+            let executed = self.jobs[job].spec.stage(r).executed;
+            let st = &mut self.jobs[job].stages[r.index()];
+            match st.vis {
+                Visibility::Hidden | Visibility::Undetermined => {
+                    if executed {
+                        st.vis = Visibility::Known;
+                    } else {
+                        st.vis = Visibility::Void;
+                        self.complete_stage(job, r.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Placeholders (zero-task stages) downstream may now auto-complete.
+        for s in succs {
+            self.try_auto_complete(job, s);
+        }
+    }
+
+    /// Completes placeholder stages whose predecessors are all done.
+    fn try_auto_complete(&mut self, job: usize, stage: u32) {
+        let jr = &self.jobs[job];
+        let sid = llmsched_dag::ids::StageId(stage);
+        let st = &jr.stages[stage as usize];
+        if !st.done
+            && st.vis == Visibility::Known
+            && st.preds_remaining == 0
+            && jr.spec.stage(sid).kind == StageKind::DynamicPlaceholder
+        {
+            self.complete_stage(job, stage);
+        }
+    }
+
+    /// Records completions of any jobs that just finished all stages.
+    fn finalize_completions(&mut self) {
+        let newly: Vec<usize> = self
+            .active
+            .iter()
+            .copied()
+            .filter(|&j| self.jobs[j].stages_remaining == 0 && self.jobs[j].completed_at.is_none())
+            .collect();
+        for j in newly {
+            self.jobs[j].completed_at = Some(self.now);
+            self.active.remove(&j);
+            self.outcomes.push(JobOutcome {
+                id: self.jobs[j].id(),
+                app: self.jobs[j].app(),
+                arrival: self.jobs[j].arrival(),
+                completion: self.now,
+            });
+        }
+    }
+
+    fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler) {
+        let pref = {
+            let ctx = SchedContext {
+                now: self.now,
+                jobs: self.active.iter().map(|&i| &self.jobs[i]).collect(),
+                llm_executors: self.llm.views(self.cfg.max_batch),
+                regular_total: self.cfg.regular_executors,
+                regular_busy: self.regular_busy,
+                templates: self.templates,
+                latency: &self.cfg.latency,
+            };
+            let start = std::time::Instant::now();
+            let pref = scheduler.schedule(&ctx);
+            self.sched_wall += start.elapsed();
+            self.sched_calls += 1;
+            pref
+        };
+        self.dispatch(&pref);
+    }
+
+    /// Looks up a task reference, returning the dense job index if the task
+    /// is startable on the given executor class.
+    fn validate(&self, tr: &TaskRef, class: ExecutorClass) -> Option<usize> {
+        let &j = self.id_to_idx.get(&tr.job)?;
+        if !self.active.contains(&j) {
+            return None;
+        }
+        let jr = &self.jobs[j];
+        if tr.stage.index() >= jr.stages.len() || !jr.stage_ready(tr.stage) {
+            return None;
+        }
+        let spec = jr.spec.stage(tr.stage);
+        if spec.kind.class() != Some(class) {
+            return None;
+        }
+        let st = &jr.stages[tr.stage.index()];
+        let task = st.tasks.get(tr.task as usize)?;
+        (task.state == TaskState::NotStarted).then_some(j)
+    }
+
+    fn dispatch(&mut self, pref: &Preference) {
+        // Regular executors are interchangeable: count free slots.
+        for tr in &pref.regular {
+            if self.regular_busy >= self.cfg.regular_executors {
+                break;
+            }
+            if let Some(j) = self.validate(tr, ExecutorClass::Regular) {
+                self.start_regular(j, tr);
+            }
+        }
+        // LLM tasks go to the least-loaded executor (paper's load balancer).
+        for tr in &pref.llm {
+            let Some(e) = self.llm.least_loaded(self.cfg.max_batch) else { break };
+            if let Some(j) = self.validate(tr, ExecutorClass::Llm) {
+                self.start_llm(j, tr, e);
+            }
+        }
+    }
+
+    fn start_regular(&mut self, j: usize, tr: &TaskRef) {
+        let TaskWork::Regular { duration } =
+            self.jobs[j].spec.stage(tr.stage).tasks[tr.task as usize]
+        else {
+            unreachable!("validated as regular");
+        };
+        let st = &mut self.jobs[j].stages[tr.stage.index()];
+        st.started_at.get_or_insert(self.now);
+        st.tasks_running += 1;
+        let t = &mut st.tasks[tr.task as usize];
+        t.state = TaskState::Running { exec: None };
+        self.regular_busy += 1;
+        self.queue.push(
+            self.now + duration,
+            Event::TaskFinish { job: j, stage: tr.stage.0, task: tr.task, epoch: t.epoch },
+        );
+    }
+
+    fn start_llm(&mut self, j: usize, tr: &TaskRef, e: usize) {
+        let work = self.jobs[j].spec.stage(tr.stage).tasks[tr.task as usize];
+        let tokens = work.llm_token_cost().expect("validated as llm").max(1);
+        {
+            let st = &mut self.jobs[j].stages[tr.stage.index()];
+            st.started_at.get_or_insert(self.now);
+            st.tasks_running += 1;
+            st.tasks[tr.task as usize].state = TaskState::Running { exec: Some(e) };
+        }
+        match &mut self.llm {
+            LlmPool::Analytic(execs) => {
+                let ex = &mut execs[e];
+                ex.settle(self.now, &self.cfg.latency);
+                ex.running.push(RunningLlm {
+                    job: j,
+                    stage: tr.stage.0,
+                    task: tr.task,
+                    remaining_tokens: tokens as f64,
+                });
+                ex.retime(self.now, &mut self.jobs, &mut self.queue, &self.cfg.latency);
+            }
+            LlmPool::Token(execs) => {
+                let ex = &mut execs[e];
+                ex.joining.push(TokenTask {
+                    job: j,
+                    stage: tr.stage.0,
+                    task: tr.task,
+                    remaining_tokens: tokens,
+                });
+                if !ex.iterating {
+                    ex.running.append(&mut ex.joining);
+                    ex.iterating = true;
+                    ex.epoch += 1;
+                    let chunk = self.cfg.iteration_chunk.max(1);
+                    let dur = self.cfg.latency.per_token(ex.running.len()).mul_f64(chunk as f64);
+                    let epoch = ex.epoch;
+                    self.queue.push(self.now + dur, Event::LlmIteration { exec: e, epoch });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_dag::prelude::*;
+
+    /// A scheduler that always offers every ready task FCFS by job id.
+    struct Greedy;
+
+    impl Scheduler for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+
+        fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+            let mut p = Preference::new();
+            for job in &ctx.jobs {
+                for s in job.ready_stage_ids() {
+                    p.push_stage_tasks(job, s);
+                }
+            }
+            p
+        }
+    }
+
+    fn templates_and_job(arrival: f64) -> (TemplateSet, JobSpec) {
+        let mut b = TemplateBuilder::new(AppId(0), "pipeline");
+        let g = b.llm("gen");
+        let e = b.regular("exec");
+        b.edge(g, e);
+        let t = b.build().unwrap();
+        let spec = JobSpec::new(
+            JobId(0),
+            &t,
+            SimTime::from_secs_f64(arrival),
+            vec![
+                StageSpec::executing(
+                    "gen",
+                    StageKind::Llm,
+                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                ),
+                StageSpec::executing(
+                    "exec",
+                    StageKind::Regular,
+                    vec![TaskWork::Regular { duration: SimDuration::from_secs(2) }],
+                ),
+            ],
+            vec![],
+        )
+        .unwrap();
+        let set: TemplateSet = [t].into_iter().collect();
+        (set, spec)
+    }
+
+    fn flat_latency() -> LatencyProfile {
+        // 10 ms/token regardless of batch: easy hand computation.
+        LatencyProfile::new(vec![(1, SimDuration::from_millis(10))]).unwrap()
+    }
+
+    #[test]
+    fn single_job_pipeline_completes_at_expected_time() {
+        let (set, spec) = templates_and_job(0.0);
+        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
+        assert_eq!(res.jobs.len(), 1);
+        assert_eq!(res.incomplete, 0);
+        // 100 tokens * 10ms = 1s decode, then 2s regular => JCT 3s.
+        assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
+        assert_eq!(res.makespan, SimTime::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn arrival_offset_shifts_completion_not_jct() {
+        let (set, spec) = templates_and_job(5.0);
+        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
+        assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
+        assert_eq!(res.jobs[0].completion, SimTime::from_secs_f64(8.0));
+    }
+
+    #[test]
+    fn batching_slows_decoding_analytically() {
+        // Two identical 100-token LLM jobs, one executor, batch-dependent
+        // latency: l(1)=10ms, l(2)=20ms. Both start at t=0 and co-batch:
+        // each token pair costs 20ms, so both finish at 100*20ms = 2s.
+        let mut b = TemplateBuilder::new(AppId(0), "llm_only");
+        b.llm("gen");
+        let t = b.build().unwrap();
+        let set: TemplateSet = [t.clone()].into_iter().collect();
+        let mk = |id: u64| {
+            JobSpec::new(
+                JobId(id),
+                &t,
+                SimTime::ZERO,
+                vec![StageSpec::executing(
+                    "gen",
+                    StageKind::Llm,
+                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                )],
+                vec![],
+            )
+            .unwrap()
+        };
+        let latency = LatencyProfile::new(vec![
+            (1, SimDuration::from_millis(10)),
+            (2, SimDuration::from_millis(20)),
+        ])
+        .unwrap();
+        let cfg = ClusterConfig { latency, ..Default::default() };
+        let res = simulate(&cfg, &set, vec![mk(0), mk(1)], &mut Greedy);
+        assert_eq!(res.incomplete, 0);
+        for j in &res.jobs {
+            assert!(
+                (j.jct().as_secs_f64() - 2.0).abs() < 1e-3,
+                "expected ~2s co-batched, got {}",
+                j.jct()
+            );
+        }
+    }
+
+    #[test]
+    fn token_level_matches_analytic_for_lone_task() {
+        let (set, spec) = templates_and_job(0.0);
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            mode: EngineMode::TokenLevel,
+            ..Default::default()
+        };
+        let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
+        assert_eq!(res.incomplete, 0);
+        assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn regular_capacity_is_respected() {
+        // 4 one-second regular tasks, 2 executors => makespan 2s.
+        let mut b = TemplateBuilder::new(AppId(0), "wide");
+        let s = b.regular("wide");
+        b.typical_tasks(s, 4);
+        let t = b.build().unwrap();
+        let spec = JobSpec::new(
+            JobId(0),
+            &t,
+            SimTime::ZERO,
+            vec![StageSpec::executing(
+                "wide",
+                StageKind::Regular,
+                vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }; 4],
+            )],
+            vec![],
+        )
+        .unwrap();
+        let set: TemplateSet = [t].into_iter().collect();
+        let cfg = ClusterConfig { regular_executors: 2, ..Default::default() };
+        let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
+        assert_eq!(res.makespan, SimTime::from_secs_f64(2.0));
+        // Both regular executors were fully busy until the end.
+        assert!((res.utilization.regular_busy_frac - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn void_chain_stages_cascade_and_job_completes() {
+        // gen -> exec -> [gen2 -> exec2] (iteration 2 void).
+        let mut b = TemplateBuilder::new(AppId(0), "chain");
+        let g = b.llm("gen");
+        let e = b.regular("exec");
+        let g2 = b.llm("gen2");
+        let e2 = b.regular("exec2");
+        b.edge(g, e);
+        b.edge(e, g2);
+        b.edge(g2, e2);
+        b.revealed_by(g2, e);
+        b.revealed_by(e2, e);
+        let t = b.build().unwrap();
+        let spec = JobSpec::new(
+            JobId(0),
+            &t,
+            SimTime::ZERO,
+            vec![
+                StageSpec::executing(
+                    "gen",
+                    StageKind::Llm,
+                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                ),
+                StageSpec::executing(
+                    "exec",
+                    StageKind::Regular,
+                    vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }],
+                ),
+                StageSpec {
+                    executed: false,
+                    tasks: vec![],
+                    revealed_by: Some(e),
+                    ..StageSpec::executing("gen2", StageKind::Llm, vec![])
+                },
+                StageSpec {
+                    executed: false,
+                    tasks: vec![],
+                    revealed_by: Some(e),
+                    ..StageSpec::executing("exec2", StageKind::Regular, vec![])
+                },
+            ],
+            vec![],
+        )
+        .unwrap();
+        let set: TemplateSet = [t].into_iter().collect();
+        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
+        assert_eq!(res.incomplete, 0);
+        // 1s decode + 1s exec; void stages add nothing.
+        assert!((res.jobs[0].jct().as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dynamic_placeholder_expands_and_gates_completion() {
+        // plan (LLM) -> dynamic {2 parallel tools} ; placeholder completes
+        // only after both generated tools complete.
+        let mut b = TemplateBuilder::new(AppId(0), "planning");
+        let plan = b.llm("plan");
+        let dynamic = b.dynamic(
+            "exec_plan",
+            plan,
+            vec![
+                Candidate { name: "tool_a".into(), class: ExecutorClass::Regular },
+                Candidate { name: "tool_b".into(), class: ExecutorClass::Regular },
+            ],
+        );
+        b.edge(plan, dynamic);
+        let t = b.build().unwrap();
+        let g0 = StageId(2);
+        let g1 = StageId(3);
+        let spec = JobSpec::new(
+            JobId(0),
+            &t,
+            SimTime::ZERO,
+            vec![
+                StageSpec::executing(
+                    "plan",
+                    StageKind::Llm,
+                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                ),
+                StageSpec::executing("exec_plan", StageKind::DynamicPlaceholder, vec![]),
+                StageSpec {
+                    revealed_by: Some(plan),
+                    parent_dynamic: Some(dynamic),
+                    candidate: Some(0),
+                    ..StageSpec::executing(
+                        "tool_a",
+                        StageKind::Regular,
+                        vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }],
+                    )
+                },
+                StageSpec {
+                    revealed_by: Some(plan),
+                    parent_dynamic: Some(dynamic),
+                    candidate: Some(1),
+                    ..StageSpec::executing(
+                        "tool_b",
+                        StageKind::Regular,
+                        vec![TaskWork::Regular { duration: SimDuration::from_secs(3) }],
+                    )
+                },
+            ],
+            vec![(plan, g0), (plan, g1), (g0, dynamic), (g1, dynamic)],
+        )
+        .unwrap();
+        let set: TemplateSet = [t].into_iter().collect();
+        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
+        assert_eq!(res.incomplete, 0);
+        // 1s plan + max(1, 3)s parallel tools = 4s.
+        assert!((res.jobs[0].jct().as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lazy_scheduler_strands_jobs_without_hanging() {
+        struct Idle;
+        impl Scheduler for Idle {
+            fn name(&self) -> &str {
+                "idle"
+            }
+            fn schedule(&mut self, _: &SchedContext<'_>) -> Preference {
+                Preference::new()
+            }
+        }
+        let (set, spec) = templates_and_job(0.0);
+        let cfg = ClusterConfig::default();
+        let res = simulate(&cfg, &set, vec![spec], &mut Idle);
+        assert_eq!(res.jobs.len(), 0);
+        assert_eq!(res.incomplete, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! The discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence number)`; the sequence number is a
+//! monotone counter assigned at push time, which makes simultaneous events
+//! pop in insertion order and the whole simulation bit-deterministic.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use llmsched_dag::time::SimTime;
+
+/// An event in the cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Job `job` (dense engine index) arrives.
+    Arrival {
+        /// Dense index into the engine's job table.
+        job: usize,
+    },
+    /// A task finishes. `epoch` invalidates stale finish events after an
+    /// LLM batch-size change re-timed the task.
+    TaskFinish {
+        /// Dense job index.
+        job: usize,
+        /// Stage id within the job.
+        stage: u32,
+        /// Task index within the stage.
+        task: u32,
+        /// Task re-timing epoch the event was scheduled under.
+        epoch: u32,
+    },
+    /// Token-level mode: a decode iteration of LLM executor `exec` ends.
+    LlmIteration {
+        /// LLM executor index.
+        exec: usize,
+        /// Executor iteration epoch the event was scheduled under.
+        epoch: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Queued {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of timestamped events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Queued>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn push(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Queued { time, seq, event }));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(q)| (q.time, q.event))
+    }
+
+    /// The timestamp of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(q)| q.time)
+    }
+
+    /// Number of pending events (including stale ones awaiting lazy
+    /// invalidation).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(2.0), Event::Arrival { job: 2 });
+        q.push(t(1.0), Event::Arrival { job: 1 });
+        q.push(t(3.0), Event::Arrival { job: 3 });
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival { job } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_push_order() {
+        let mut q = EventQueue::new();
+        for job in 0..10 {
+            q.push(t(1.0), Event::Arrival { job });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Arrival { job } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(t(5.0), Event::LlmIteration { exec: 0, epoch: 0 });
+        assert_eq!(q.peek_time(), Some(t(5.0)));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

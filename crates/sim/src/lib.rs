@@ -1,0 +1,77 @@
+//! # llmsched-sim — discrete-event cluster simulator for compound LLM jobs
+//!
+//! The serving substrate of the LLMSched reproduction (§II-B and §V of the
+//! paper): a cluster of **regular executors** (one task each) and **LLM
+//! executors** (continuous batching up to a max batch size, with a
+//! batch-size-dependent decode-latency curve [`latency::LatencyProfile`]).
+//!
+//! Scheduling policies implement [`scheduler::Scheduler`] and are invoked at
+//! every decision point with a filtered [`scheduler::SchedContext`]; the
+//! engine enforces the paper's reveal protocol, so policies can only observe
+//! what a real serving frontend could (revealed structure, completed-stage
+//! durations, executor occupancy).
+//!
+//! Two fidelities are provided (see [`engine::EngineMode`]): the analytic
+//! rate-rescaling engine — the paper's *simulator* — and a token-level
+//! continuous-batching engine standing in for the paper's GPU *testbed*.
+//!
+//! ## Example: simulate one job under a trivial FCFS-ish policy
+//!
+//! ```
+//! use llmsched_dag::prelude::*;
+//! use llmsched_sim::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! struct EveryReadyTask;
+//! impl Scheduler for EveryReadyTask {
+//!     fn name(&self) -> &str { "every-ready-task" }
+//!     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+//!         let mut p = Preference::new();
+//!         for job in &ctx.jobs {
+//!             for s in job.ready_stage_ids() {
+//!                 p.push_stage_tasks(job, s);
+//!             }
+//!         }
+//!         p
+//!     }
+//! }
+//!
+//! let mut b = TemplateBuilder::new(AppId(0), "demo");
+//! let gen = b.llm("gen");
+//! let exec = b.regular("exec");
+//! b.edge(gen, exec);
+//! let template = b.build()?;
+//! let job = JobSpec::new(JobId(0), &template, SimTime::ZERO, vec![
+//!     StageSpec::executing("gen", StageKind::Llm,
+//!         vec![TaskWork::Llm { prompt_tokens: 32, output_tokens: 64 }]),
+//!     StageSpec::executing("exec", StageKind::Regular,
+//!         vec![TaskWork::Regular { duration: SimDuration::from_millis(500) }]),
+//! ], vec![])?;
+//!
+//! let templates: TemplateSet = [template].into_iter().collect();
+//! let result = simulate(&ClusterConfig::default(), &templates, vec![job],
+//!                       &mut EveryReadyTask);
+//! assert_eq!(result.jobs.len(), 1);
+//! assert_eq!(result.incomplete, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod latency;
+pub mod metrics;
+pub mod scheduler;
+pub mod state;
+
+/// Convenient glob-import of the simulator's public surface.
+pub mod prelude {
+    pub use crate::engine::{simulate, ClusterConfig, EngineMode};
+    pub use crate::latency::{LatencyProfile, LatencyProfileError};
+    pub use crate::metrics::{JobOutcome, SimResult, Utilization};
+    pub use crate::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
+    pub use crate::state::{Existence, JobRt, LlmExecutorView, StageView};
+}

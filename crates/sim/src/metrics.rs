@@ -1,0 +1,177 @@
+//! Simulation outcome metrics: per-job completion times, average JCT,
+//! utilization integrals, and scheduler overhead (Table I).
+
+use llmsched_dag::ids::{AppId, JobId};
+use llmsched_dag::time::{SimDuration, SimTime};
+
+/// Outcome of one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: JobId,
+    /// Application the job instantiated.
+    pub app: AppId,
+    /// Arrival time.
+    pub arrival: SimTime,
+    /// Completion time.
+    pub completion: SimTime,
+}
+
+impl JobOutcome {
+    /// Job completion time (response time): completion − arrival.
+    pub fn jct(&self) -> SimDuration {
+        self.completion - self.arrival
+    }
+}
+
+/// Executor utilization over the simulated horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Utilization {
+    /// Mean fraction of regular executors that were busy.
+    pub regular_busy_frac: f64,
+    /// Mean fraction of LLM batch *slots* that were occupied.
+    pub llm_slot_frac: f64,
+    /// Mean fraction of LLM executors that were non-idle.
+    pub llm_active_frac: f64,
+}
+
+/// Full result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Scheduling policy name.
+    pub scheduler: String,
+    /// Per-job outcomes, in completion order.
+    pub jobs: Vec<JobOutcome>,
+    /// Time of the last completion.
+    pub makespan: SimTime,
+    /// Number of scheduler invocations.
+    pub sched_calls: u64,
+    /// Total wall-clock time spent inside `Scheduler::schedule`.
+    pub sched_wall: std::time::Duration,
+    /// Executor utilization.
+    pub utilization: Utilization,
+    /// Number of simulation events processed.
+    pub events: u64,
+    /// Jobs that never completed (a scheduler that stops scheduling can
+    /// starve jobs; healthy runs have 0).
+    pub incomplete: usize,
+}
+
+impl SimResult {
+    /// Average job completion time in seconds — the paper's headline metric.
+    pub fn avg_jct_secs(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(|j| j.jct().as_secs_f64()).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// The `p`-quantile of JCT in seconds (`p` in [0, 1], nearest-rank).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside [0, 1].
+    pub fn jct_quantile_secs(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile must be in [0,1]");
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        let mut v: Vec<f64> = self.jobs.iter().map(|j| j.jct().as_secs_f64()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
+        let idx = ((p * (v.len() - 1) as f64).round() as usize).min(v.len() - 1);
+        v[idx]
+    }
+
+    /// Average wall-clock scheduling overhead per invocation, in
+    /// milliseconds (Table I's metric).
+    pub fn sched_overhead_ms(&self) -> f64 {
+        if self.sched_calls == 0 {
+            return 0.0;
+        }
+        self.sched_wall.as_secs_f64() * 1e3 / self.sched_calls as f64
+    }
+
+    /// Average JCT restricted to jobs of one application.
+    pub fn avg_jct_secs_for(&self, app: AppId) -> Option<f64> {
+        let v: Vec<f64> =
+            self.jobs.iter().filter(|j| j.app == app).map(|j| j.jct().as_secs_f64()).collect();
+        if v.is_empty() {
+            None
+        } else {
+            Some(v.iter().sum::<f64>() / v.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, arrival: f64, completion: f64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            app: AppId(0),
+            arrival: SimTime::from_secs_f64(arrival),
+            completion: SimTime::from_secs_f64(completion),
+        }
+    }
+
+    fn result(jobs: Vec<JobOutcome>) -> SimResult {
+        SimResult {
+            scheduler: "test".into(),
+            jobs,
+            makespan: SimTime::from_secs_f64(10.0),
+            sched_calls: 4,
+            sched_wall: std::time::Duration::from_millis(2),
+            utilization: Utilization::default(),
+            events: 0,
+            incomplete: 0,
+        }
+    }
+
+    #[test]
+    fn avg_jct_matches_hand_computation() {
+        let r = result(vec![outcome(0, 0.0, 3.0), outcome(1, 1.0, 9.0)]);
+        // JCTs: 3 and 8 -> mean 5.5.
+        assert!((r.avg_jct_secs() - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_result_is_zero() {
+        let r = result(vec![]);
+        assert_eq!(r.avg_jct_secs(), 0.0);
+        assert_eq!(r.jct_quantile_secs(0.5), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let r = result(vec![
+            outcome(0, 0.0, 1.0),
+            outcome(1, 0.0, 2.0),
+            outcome(2, 0.0, 3.0),
+            outcome(3, 0.0, 4.0),
+            outcome(4, 0.0, 5.0),
+        ]);
+        assert!((r.jct_quantile_secs(0.0) - 1.0).abs() < 1e-9);
+        assert!((r.jct_quantile_secs(0.5) - 3.0).abs() < 1e-9);
+        assert!((r.jct_quantile_secs(1.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_per_call() {
+        let r = result(vec![]);
+        assert!((r.sched_overhead_ms() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_app_average() {
+        let mut r = result(vec![outcome(0, 0.0, 2.0)]);
+        r.jobs.push(JobOutcome {
+            id: JobId(1),
+            app: AppId(7),
+            arrival: SimTime::ZERO,
+            completion: SimTime::from_secs_f64(4.0),
+        });
+        assert_eq!(r.avg_jct_secs_for(AppId(7)), Some(4.0));
+        assert_eq!(r.avg_jct_secs_for(AppId(9)), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! The scheduler interface: what every policy (the baselines and LLMSched
+//! itself) implements, and the context the engine hands it at each decision
+//! point.
+
+use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::template::TemplateSet;
+use llmsched_dag::time::SimTime;
+
+use crate::latency::LatencyProfile;
+use crate::state::{JobRt, LlmExecutorView};
+
+/// Reference to one schedulable task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskRef {
+    /// The job.
+    pub job: JobId,
+    /// The stage within the job.
+    pub stage: StageId,
+    /// The task index within the stage.
+    pub task: u32,
+}
+
+/// Ordered scheduling preferences: the engine starts tasks from the front of
+/// each list as capacity allows (Algorithm 1 returns exactly these two
+/// lists, `T_r` and `T_l`).
+#[derive(Debug, Clone, Default)]
+pub struct Preference {
+    /// Preference order for regular-executor tasks.
+    pub regular: Vec<TaskRef>,
+    /// Preference order for LLM-executor tasks.
+    pub llm: Vec<TaskRef>,
+}
+
+impl Preference {
+    /// An empty preference (schedule nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends all unstarted ready tasks of `stage`, routed to the matching
+    /// list by the stage's kind. Convenience shared by every scheduler.
+    pub fn push_stage_tasks(&mut self, job: &JobRt, stage: StageId) {
+        use llmsched_dag::job::StageKind;
+        let Some(view) = job.stage_view(stage) else { return };
+        let list = match view.kind {
+            StageKind::Regular => &mut self.regular,
+            StageKind::Llm => &mut self.llm,
+            StageKind::DynamicPlaceholder => return,
+        };
+        for task in job.unstarted_tasks(stage) {
+            list.push(TaskRef { job: job.id(), stage, task });
+        }
+    }
+
+    /// Appends a *prefix* of the unstarted ready tasks of `stage` — used by
+    /// Algorithm 1's task sampling (line 15). `fraction` is clamped to
+    /// [0, 1]; at least one task is sampled from a non-empty stage.
+    pub fn push_stage_sample(&mut self, job: &JobRt, stage: StageId, fraction: f64) {
+        use llmsched_dag::job::StageKind;
+        let Some(view) = job.stage_view(stage) else { return };
+        let list = match view.kind {
+            StageKind::Regular => &mut self.regular,
+            StageKind::Llm => &mut self.llm,
+            StageKind::DynamicPlaceholder => return,
+        };
+        let tasks = job.unstarted_tasks(stage);
+        if tasks.is_empty() {
+            return;
+        }
+        let f = fraction.clamp(0.0, 1.0);
+        let k = ((tasks.len() as f64 * f).ceil() as usize).max(1).min(tasks.len());
+        for &task in &tasks[..k] {
+            list.push(TaskRef { job: job.id(), stage, task });
+        }
+    }
+
+    /// Total number of task references across both lists.
+    pub fn len(&self) -> usize {
+        self.regular.len() + self.llm.len()
+    }
+
+    /// True if both lists are empty.
+    pub fn is_empty(&self) -> bool {
+        self.regular.is_empty() && self.llm.is_empty()
+    }
+}
+
+/// Everything a scheduler may consult at a decision point.
+///
+/// Lifetimes borrow from the engine; the context is rebuilt per invocation.
+#[derive(Debug)]
+pub struct SchedContext<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Active (arrived, incomplete) jobs, ascending by `JobId`.
+    pub jobs: Vec<&'a JobRt>,
+    /// LLM executor occupancy.
+    pub llm_executors: Vec<LlmExecutorView>,
+    /// Total number of regular executors.
+    pub regular_total: usize,
+    /// Currently busy regular executors.
+    pub regular_busy: usize,
+    /// Registered application templates.
+    pub templates: &'a TemplateSet,
+    /// The cluster's decode-latency curve (public knowledge: providers
+    /// profile their own engines; Eq. 2 relies on it).
+    pub latency: &'a LatencyProfile,
+}
+
+impl SchedContext<'_> {
+    /// Free regular-executor count.
+    pub fn regular_free(&self) -> usize {
+        self.regular_total - self.regular_busy
+    }
+
+    /// Total free LLM batch slots across executors.
+    pub fn llm_free_slots(&self) -> usize {
+        self.llm_executors.iter().map(|e| e.free_slots()).sum()
+    }
+
+    /// Average batch size over busy LLM executors (1 if all idle) — the
+    /// `b_t` plugged into Eq. (2) when predicting run-time durations.
+    pub fn average_busy_batch(&self) -> f64 {
+        crate::state::average_busy_batch(&self.llm_executors)
+    }
+
+    /// Looks up an active job by id.
+    pub fn job(&self, id: JobId) -> Option<&JobRt> {
+        self.jobs.iter().find(|j| j.id() == id).copied()
+    }
+}
+
+/// A scheduling policy.
+///
+/// The engine calls [`Scheduler::schedule`] after every event batch (job
+/// arrival, task completion, stage reveal) and dispatches tasks from the
+/// returned preference lists in order, subject to executor capacity and
+/// readiness. Invalid or stale [`TaskRef`]s are skipped silently, so a
+/// scheduler may cheaply resubmit its full preference each time.
+pub trait Scheduler {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &str;
+
+    /// Produces scheduling preferences for the current cluster state.
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference;
+}
+
+/// Blanket impl so `Box<dyn Scheduler>` is itself a scheduler — lets the
+/// bench harness treat heterogeneous policies uniformly.
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        (**self).schedule(ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_dag::prelude::*;
+
+    fn job_with_parallel_stage(n_tasks: usize) -> crate::state::JobRt {
+        let mut b = TemplateBuilder::new(AppId(0), "wide");
+        let s = b.regular("wide");
+        b.typical_tasks(s, n_tasks as u32);
+        let t = b.build().unwrap();
+        let tasks =
+            vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }; n_tasks];
+        let spec = JobSpec::new(
+            JobId(3),
+            &t,
+            SimTime::ZERO,
+            vec![StageSpec::executing("wide", StageKind::Regular, tasks)],
+            vec![],
+        )
+        .unwrap();
+        crate::state::JobRt::new(spec)
+    }
+
+    #[test]
+    fn push_stage_tasks_routes_by_kind() {
+        let job = job_with_parallel_stage(3);
+        let mut p = Preference::new();
+        p.push_stage_tasks(&job, StageId(0));
+        assert_eq!(p.regular.len(), 3);
+        assert!(p.llm.is_empty());
+        assert_eq!(p.regular[0], TaskRef { job: JobId(3), stage: StageId(0), task: 0 });
+    }
+
+    #[test]
+    fn sampling_takes_ceil_fraction_with_min_one() {
+        let job = job_with_parallel_stage(10);
+        let mut p = Preference::new();
+        p.push_stage_sample(&job, StageId(0), 0.25);
+        assert_eq!(p.regular.len(), 3); // ceil(10 * 0.25)
+
+        let mut p = Preference::new();
+        p.push_stage_sample(&job, StageId(0), 0.0);
+        assert_eq!(p.regular.len(), 1); // at least one task
+
+        let mut p = Preference::new();
+        p.push_stage_sample(&job, StageId(0), 5.0);
+        assert_eq!(p.regular.len(), 10); // clamped to all
+    }
+
+    #[test]
+    fn preference_len_counts_both_lists() {
+        let mut p = Preference::new();
+        assert!(p.is_empty());
+        p.regular.push(TaskRef { job: JobId(0), stage: StageId(0), task: 0 });
+        p.llm.push(TaskRef { job: JobId(0), stage: StageId(1), task: 0 });
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,465 @@
+//! Runtime state of jobs, stages and tasks inside the engine, plus the
+//! *filtered* read-only views handed to schedulers.
+//!
+//! The engine owns the hidden [`JobSpec`] ground truth; scheduler code only
+//! receives [`JobRt`] references whose public methods expose exactly the
+//! information the paper's reveal protocol allows: template structure,
+//! revealed existence, task counts of known stages, task progress, and
+//! batch-1-normalized durations of *completed* stages.
+
+use llmsched_dag::ids::{AppId, JobId, StageId};
+use llmsched_dag::job::{JobSpec, StageKind};
+use llmsched_dag::time::SimTime;
+
+/// Scheduler-visible existence of a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Existence {
+    /// The stage will execute.
+    Known,
+    /// Whether the stage executes is still unknown (padded chain stage whose
+    /// revealing stage has not completed).
+    Undetermined,
+    /// The stage was revealed as not executing; it is complete with zero
+    /// duration.
+    Void,
+}
+
+/// Internal visibility of a stage (superset of [`Existence`]: generated
+/// stages start entirely hidden).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Visibility {
+    Hidden,
+    Undetermined,
+    Known,
+    Void,
+}
+
+/// Execution state of a single task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskState {
+    NotStarted,
+    /// Running; for LLM tasks, `exec` is the executor index.
+    Running { exec: Option<usize> },
+    Done,
+}
+
+/// Runtime record of one task.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskRt {
+    pub state: TaskState,
+    /// Re-timing epoch; finish events from older epochs are stale.
+    pub epoch: u32,
+    /// Batch-1-equivalent duration in seconds, set at completion. For
+    /// regular tasks this equals the actual duration; for LLM tasks it is
+    /// `total_tokens × l(1)` — what the task *would* have taken alone.
+    pub nominal_secs: f64,
+}
+
+impl TaskRt {
+    fn new() -> Self {
+        TaskRt { state: TaskState::NotStarted, epoch: 0, nominal_secs: 0.0 }
+    }
+}
+
+/// Runtime record of one stage.
+#[derive(Debug, Clone)]
+pub(crate) struct StageRt {
+    pub vis: Visibility,
+    pub done: bool,
+    pub done_at: Option<SimTime>,
+    pub started_at: Option<SimTime>,
+    pub tasks: Vec<TaskRt>,
+    pub tasks_done: usize,
+    pub tasks_running: usize,
+    /// Number of predecessor stages (over the *full* hidden DAG) not yet
+    /// complete.
+    pub preds_remaining: usize,
+}
+
+/// Runtime record of one job: hidden spec + visible progress.
+#[derive(Debug)]
+pub struct JobRt {
+    pub(crate) spec: JobSpec,
+    pub(crate) stages: Vec<StageRt>,
+    /// Stages revealed by each stage's completion (index = revealer).
+    pub(crate) reveals: Vec<Vec<StageId>>,
+    pub(crate) arrived: bool,
+    pub(crate) completed_at: Option<SimTime>,
+    pub(crate) stages_remaining: usize,
+}
+
+impl JobRt {
+    /// Builds the initial runtime state for a job spec (template stages
+    /// visible, padded stages undetermined, generated stages hidden).
+    ///
+    /// Used by the engine at arrival; public so downstream crates can unit
+    /// test schedulers against hand-built jobs without running a
+    /// simulation.
+    pub fn new(spec: JobSpec) -> Self {
+        let n = spec.len();
+        let mut reveals: Vec<Vec<StageId>> = vec![Vec::new(); n];
+        for (i, s) in spec.stages().iter().enumerate() {
+            if let Some(r) = s.revealed_by {
+                reveals[r.index()].push(StageId(i as u32));
+            }
+        }
+        let stages = (0..n)
+            .map(|i| {
+                let sspec = &spec.stages()[i];
+                let vis = if spec.is_generated(StageId(i as u32)) {
+                    Visibility::Hidden
+                } else if sspec.revealed_by.is_some() {
+                    Visibility::Undetermined
+                } else {
+                    Visibility::Known
+                };
+                StageRt {
+                    vis,
+                    done: false,
+                    done_at: None,
+                    started_at: None,
+                    tasks: sspec.tasks.iter().map(|_| TaskRt::new()).collect(),
+                    tasks_done: 0,
+                    tasks_running: 0,
+                    preds_remaining: spec.dag().predecessors(i).len(),
+                }
+            })
+            .collect();
+        JobRt { spec, stages, reveals, arrived: false, completed_at: None, stages_remaining: n }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler-visible API (leaks nothing the reveal protocol forbids).
+    // ------------------------------------------------------------------
+
+    /// The job id.
+    pub fn id(&self) -> JobId {
+        self.spec.id()
+    }
+
+    /// The application the job instantiates.
+    pub fn app(&self) -> AppId {
+        self.spec.app()
+    }
+
+    /// Submission time.
+    pub fn arrival(&self) -> SimTime {
+        self.spec.arrival()
+    }
+
+    /// Number of template stages (visible from the application template).
+    pub fn template_len(&self) -> usize {
+        self.spec.template_len()
+    }
+
+    /// True once every stage has completed (or voided).
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Completion time, if complete.
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.completed_at
+    }
+
+    /// Ids of all currently *visible* stages (template stages plus revealed
+    /// generated stages), ascending.
+    pub fn visible_stage_ids(&self) -> Vec<StageId> {
+        self.stages
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.vis != Visibility::Hidden)
+            .map(|(i, _)| StageId(i as u32))
+            .collect()
+    }
+
+    /// True if `stage` is currently visible.
+    pub fn is_visible(&self, stage: StageId) -> bool {
+        self.stages.get(stage.index()).map(|s| s.vis != Visibility::Hidden).unwrap_or(false)
+    }
+
+    /// A filtered snapshot of one stage.
+    ///
+    /// Returns `None` for hidden (not yet revealed) or out-of-range stages.
+    pub fn stage_view(&self, stage: StageId) -> Option<StageView<'_>> {
+        let rt = self.stages.get(stage.index())?;
+        if rt.vis == Visibility::Hidden {
+            return None;
+        }
+        let sspec = self.spec.stage(stage);
+        let existence = match rt.vis {
+            Visibility::Known => Existence::Known,
+            Visibility::Undetermined => Existence::Undetermined,
+            Visibility::Void => Existence::Void,
+            Visibility::Hidden => unreachable!("filtered above"),
+        };
+        let completed_nominal_secs = if rt.done && rt.vis == Visibility::Known {
+            Some(rt.tasks.iter().map(|t| t.nominal_secs).sum())
+        } else if rt.vis == Visibility::Void {
+            Some(0.0)
+        } else {
+            None
+        };
+        Some(StageView {
+            id: stage,
+            name: &sspec.name,
+            kind: sspec.kind,
+            existence,
+            // Task count is only public knowledge once execution is certain.
+            n_tasks: (rt.vis == Visibility::Known).then_some(rt.tasks.len()),
+            tasks_done: rt.tasks_done,
+            tasks_running: rt.tasks_running,
+            done: rt.done,
+            done_at: rt.done_at,
+            started_at: rt.started_at,
+            ready: self.stage_ready(stage),
+            completed_nominal_secs,
+            parent_dynamic: sspec.parent_dynamic,
+            candidate: sspec.candidate,
+            is_generated: self.spec.is_generated(stage),
+        })
+    }
+
+    /// True if `stage` can run tasks now: revealed as executing, all
+    /// predecessors complete, and not itself complete.
+    pub fn stage_ready(&self, stage: StageId) -> bool {
+        let rt = &self.stages[stage.index()];
+        rt.vis == Visibility::Known
+            && !rt.done
+            && rt.preds_remaining == 0
+            && self.spec.stage(stage).kind != StageKind::DynamicPlaceholder
+    }
+
+    /// Ids of stages that are ready and still have unstarted tasks,
+    /// ascending.
+    pub fn ready_stage_ids(&self) -> Vec<StageId> {
+        (0..self.stages.len() as u32)
+            .map(StageId)
+            .filter(|&s| {
+                self.stage_ready(s) && {
+                    let rt = &self.stages[s.index()];
+                    rt.tasks_done + rt.tasks_running < rt.tasks.len()
+                }
+            })
+            .collect()
+    }
+
+    /// Indices of unstarted tasks of a ready stage (empty if not ready).
+    pub fn unstarted_tasks(&self, stage: StageId) -> Vec<u32> {
+        if !self.stage_ready(stage) {
+            return Vec::new();
+        }
+        self.stages[stage.index()]
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TaskState::NotStarted)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Visible predecessor stages of `stage` (hidden generated stages are
+    /// omitted, exactly as a real scheduler would see the DAG).
+    pub fn visible_preds(&self, stage: StageId) -> Vec<StageId> {
+        self.spec
+            .dag()
+            .predecessors(stage.index())
+            .iter()
+            .map(|&p| StageId(p as u32))
+            .filter(|&p| self.is_visible(p))
+            .collect()
+    }
+
+    /// Visible successor stages of `stage`.
+    pub fn visible_succs(&self, stage: StageId) -> Vec<StageId> {
+        self.spec
+            .dag()
+            .successors(stage.index())
+            .iter()
+            .map(|&s| StageId(s as u32))
+            .filter(|&s| self.is_visible(s))
+            .collect()
+    }
+
+    /// Batch-1-normalized duration (seconds) of a *completed* stage: the
+    /// evidence variable the Bayesian profiler conditions on. Dynamic
+    /// placeholders aggregate their generated stages' durations.
+    pub fn completed_nominal_secs(&self, stage: StageId) -> Option<f64> {
+        let rt = self.stages.get(stage.index())?;
+        if !rt.done {
+            return None;
+        }
+        match rt.vis {
+            Visibility::Void => Some(0.0),
+            Visibility::Known if self.spec.stage(stage).kind == StageKind::DynamicPlaceholder => {
+                let mut sum = 0.0;
+                for c in self.spec.children_of_dynamic(stage) {
+                    sum += self.completed_nominal_secs(c)?;
+                }
+                Some(sum)
+            }
+            Visibility::Known => Some(rt.tasks.iter().map(|t| t.nominal_secs).sum()),
+            _ => None,
+        }
+    }
+
+    /// Total work (batch-1 seconds) completed so far across the whole job —
+    /// an observable progress measure.
+    pub fn completed_work_secs(&self) -> f64 {
+        self.stages
+            .iter()
+            .flat_map(|s| s.tasks.iter())
+            .filter(|t| t.state == TaskState::Done)
+            .map(|t| t.nominal_secs)
+            .sum()
+    }
+
+    /// Number of tasks currently running across the job (the Fair
+    /// scheduler's notion of a job's current service share).
+    pub fn running_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.tasks_running).sum()
+    }
+}
+
+/// A filtered, scheduler-safe snapshot of one stage.
+#[derive(Debug, Clone)]
+pub struct StageView<'a> {
+    /// Stage id within the job.
+    pub id: StageId,
+    /// Stage name.
+    pub name: &'a str,
+    /// Stage kind.
+    pub kind: StageKind,
+    /// Revealed existence.
+    pub existence: Existence,
+    /// Task count, only for stages whose execution is certain.
+    pub n_tasks: Option<usize>,
+    /// Completed task count.
+    pub tasks_done: usize,
+    /// Currently running task count.
+    pub tasks_running: usize,
+    /// True once the stage completed (or voided).
+    pub done: bool,
+    /// Completion time.
+    pub done_at: Option<SimTime>,
+    /// First task start time.
+    pub started_at: Option<SimTime>,
+    /// True if the stage can run tasks now.
+    pub ready: bool,
+    /// Batch-1-normalized duration, only for completed stages.
+    pub completed_nominal_secs: Option<f64>,
+    /// For generated stages: the placeholder they expand.
+    pub parent_dynamic: Option<StageId>,
+    /// For generated stages: candidate-set index.
+    pub candidate: Option<usize>,
+    /// True if the stage was generated at runtime.
+    pub is_generated: bool,
+}
+
+impl StageView<'_> {
+    /// Unstarted task count, when the task count is known.
+    pub fn tasks_unstarted(&self) -> Option<usize> {
+        self.n_tasks.map(|n| n - self.tasks_done - self.tasks_running)
+    }
+}
+
+/// Public occupancy info of one LLM executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlmExecutorView {
+    /// Executor index.
+    pub index: usize,
+    /// Number of co-batched running requests.
+    pub batch_len: usize,
+    /// Maximum batch size.
+    pub max_batch: usize,
+}
+
+impl LlmExecutorView {
+    /// Free batch slots.
+    pub fn free_slots(&self) -> usize {
+        self.max_batch - self.batch_len
+    }
+}
+
+/// Helper alias: average current batch size over non-empty LLM executors,
+/// used by Eq. (2) calibration when predicting runtime durations. Returns 1
+/// if all executors are idle.
+pub fn average_busy_batch(execs: &[LlmExecutorView]) -> f64 {
+    let busy: Vec<_> = execs.iter().filter(|e| e.batch_len > 0).collect();
+    if busy.is_empty() {
+        1.0
+    } else {
+        busy.iter().map(|e| e.batch_len as f64).sum::<f64>() / busy.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_dag::prelude::*;
+
+    fn toy_job() -> JobRt {
+        let mut b = TemplateBuilder::new(AppId(0), "toy");
+        let g = b.llm("gen");
+        let e = b.regular("exec");
+        let g2 = b.llm("gen2");
+        b.edge(g, e);
+        b.edge(e, g2);
+        b.revealed_by(g2, e);
+        let t = b.build().unwrap();
+        let stages = vec![
+            StageSpec::executing("gen", StageKind::Llm, vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 10 }]),
+            StageSpec::executing(
+                "exec",
+                StageKind::Regular,
+                vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }],
+            ),
+            StageSpec {
+                executed: false,
+                tasks: vec![],
+                revealed_by: Some(e),
+                ..StageSpec::executing("gen2", StageKind::Llm, vec![])
+            },
+        ];
+        JobRt::new(JobSpec::new(JobId(0), &t, SimTime::ZERO, stages, vec![]).unwrap())
+    }
+
+    #[test]
+    fn initial_visibility() {
+        let j = toy_job();
+        assert_eq!(j.visible_stage_ids(), vec![StageId(0), StageId(1), StageId(2)]);
+        assert_eq!(j.stage_view(StageId(0)).unwrap().existence, Existence::Known);
+        assert_eq!(j.stage_view(StageId(2)).unwrap().existence, Existence::Undetermined);
+        // Undetermined stages do not disclose their task count.
+        assert_eq!(j.stage_view(StageId(2)).unwrap().n_tasks, None);
+    }
+
+    #[test]
+    fn readiness_follows_dependencies() {
+        let j = toy_job();
+        assert!(j.stage_ready(StageId(0)));
+        assert!(!j.stage_ready(StageId(1)));
+        assert_eq!(j.ready_stage_ids(), vec![StageId(0)]);
+        assert_eq!(j.unstarted_tasks(StageId(0)), vec![0]);
+        assert!(j.unstarted_tasks(StageId(1)).is_empty());
+    }
+
+    #[test]
+    fn average_batch_ignores_idle_executors() {
+        let execs = vec![
+            LlmExecutorView { index: 0, batch_len: 0, max_batch: 8 },
+            LlmExecutorView { index: 1, batch_len: 4, max_batch: 8 },
+            LlmExecutorView { index: 2, batch_len: 2, max_batch: 8 },
+        ];
+        assert!((average_busy_batch(&execs) - 3.0).abs() < 1e-9);
+        assert_eq!(average_busy_batch(&[]), 1.0);
+        assert_eq!(execs[0].free_slots(), 8);
+    }
+
+    #[test]
+    fn completed_nominal_hidden_until_done() {
+        let j = toy_job();
+        assert_eq!(j.completed_nominal_secs(StageId(0)), None);
+        assert_eq!(j.stage_view(StageId(0)).unwrap().completed_nominal_secs, None);
+    }
+}

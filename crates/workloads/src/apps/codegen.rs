@@ -1,0 +1,255 @@
+//! Reflexion-style code generation on MBPP-like tasks (chain-like
+//! application).
+//!
+//! Workflow (§II-A): the LLM generates test cases, then iteratively
+//! generates code, executes it against the tests, and reflects on failures
+//! until the tests pass or the iteration cap is reached. The template pads
+//! the chain to the maximum iteration count (§IV-A); whether iteration
+//! `k+1` runs is revealed by iteration `k`'s code-exec stage.
+//!
+//! Latent: task difficulty. It drives code size (hence LLM stage
+//! durations), the pass probability per attempt (hence the realized chain
+//! length of Fig. 1b: 3, 6, 9, 12 or 15 stages), and successive code-gen
+//! stages modify the same code so their durations are strongly correlated
+//! (Fig. 5b's ~0.9 coefficients).
+
+use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::job::{JobSpec, StageKind, StageSpec};
+use llmsched_dag::template::{Template, TemplateBuilder};
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::TaskWork;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{tokens_for_secs, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS};
+use crate::randx::mean_one_noise;
+
+/// Maximum repair iterations after the first attempt (chain lengths
+/// 3, 6, 9, 12, 15 — matching Fig. 1b's support).
+pub const MAX_EXTRA_ITERATIONS: usize = 4;
+
+/// Total padded template stages: test-gen + (code-gen, code-exec) +
+/// `MAX_EXTRA_ITERATIONS` × (reflex, code-gen, code-exec).
+pub const TEMPLATE_STAGES: usize = 3 + 3 * MAX_EXTRA_ITERATIONS;
+
+/// Generator for the code-generation application.
+#[derive(Debug)]
+pub struct CodeGeneration {
+    template: Template,
+}
+
+impl CodeGeneration {
+    /// Builds the generator.
+    pub fn new() -> Self {
+        let mut b = TemplateBuilder::new(AppKind::CodeGeneration.app_id(), "code_generation");
+        let test_gen = b.llm("test gen");
+        let cg0 = b.llm("code gen 1");
+        let ce0 = b.regular("code exec 1");
+        b.edge(test_gen, cg0);
+        b.edge(cg0, ce0);
+        let mut prev_exec = ce0;
+        for it in 0..MAX_EXTRA_ITERATIONS {
+            let reflex = b.llm(format!("reflex {}", it + 2));
+            let cg = b.llm(format!("code gen {}", it + 2));
+            let ce = b.regular(format!("code exec {}", it + 2));
+            b.edge(prev_exec, reflex);
+            b.edge(reflex, cg);
+            b.edge(cg, ce);
+            // The previous execution's outcome decides whether this
+            // iteration exists.
+            b.revealed_by(reflex, prev_exec);
+            b.revealed_by(cg, prev_exec);
+            b.revealed_by(ce, prev_exec);
+            prev_exec = ce;
+        }
+        CodeGeneration { template: b.build().expect("static template is valid") }
+    }
+}
+
+impl Default for CodeGeneration {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppGenerator for CodeGeneration {
+    fn kind(&self) -> AppKind {
+        AppKind::CodeGeneration
+    }
+
+    fn template(&self) -> &Template {
+        &self.template
+    }
+
+    fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
+        // Latent difficulty: drives code size and pass probability.
+        let difficulty = mean_one_noise(rng, 0.35);
+        let pass_prob = (0.62 / difficulty).clamp(0.15, 0.92);
+        let mut extra = 0;
+        while extra < MAX_EXTRA_ITERATIONS && !rng.gen_bool(pass_prob) {
+            extra += 1;
+        }
+
+        let base_code_secs =
+            200.0 * difficulty * mean_one_noise(rng, 0.25) * NOMINAL_PER_TOKEN_SECS;
+        let llm = |rng: &mut StdRng, secs: f64, prompt: u32| TaskWork::Llm {
+            prompt_tokens: prompt,
+            output_tokens: tokens_for_secs(secs * mean_one_noise(rng, 0.08)),
+        };
+        let exec_task = |rng: &mut StdRng| TaskWork::Regular {
+            duration: SimDuration::from_secs_f64(
+                (0.15 + 0.10 * difficulty) * mean_one_noise(rng, 0.30),
+            ),
+        };
+
+        let mut stages = Vec::with_capacity(TEMPLATE_STAGES);
+        stages.push(StageSpec::executing(
+            "test gen",
+            StageKind::Llm,
+            vec![llm(rng, 110.0 * difficulty * NOMINAL_PER_TOKEN_SECS, 180)],
+        ));
+        stages.push(StageSpec::executing(
+            "code gen 1",
+            StageKind::Llm,
+            vec![llm(rng, base_code_secs, 260)],
+        ));
+        stages.push(StageSpec::executing("code exec 1", StageKind::Regular, vec![exec_task(rng)]));
+
+        let mut prev_exec = StageId(2);
+        for it in 0..MAX_EXTRA_ITERATIONS {
+            let runs = it < extra;
+            let reveal = Some(prev_exec);
+            let mk = |name: String, kind: StageKind, tasks: Vec<TaskWork>| StageSpec {
+                executed: runs,
+                revealed_by: reveal,
+                tasks: if runs { tasks } else { vec![] },
+                ..StageSpec::executing(name, kind, vec![])
+            };
+            let reflex_secs = 85.0 * difficulty * NOMINAL_PER_TOKEN_SECS;
+            // Each repair modifies the previous code, so sizes drift gently.
+            let gen_secs = base_code_secs * (1.0 + 0.06 * (it + 1) as f64);
+            stages.push(mk(
+                format!("reflex {}", it + 2),
+                StageKind::Llm,
+                vec![llm(rng, reflex_secs, 300)],
+            ));
+            stages.push(mk(
+                format!("code gen {}", it + 2),
+                StageKind::Llm,
+                vec![llm(rng, gen_secs, 340)],
+            ));
+            stages.push(mk(
+                format!("code exec {}", it + 2),
+                StageKind::Regular,
+                vec![exec_task(rng)],
+            ));
+            prev_exec = StageId((5 + 3 * it) as u32);
+        }
+
+        JobSpec::new(id, &self.template, arrival, stages, vec![])
+            .expect("codegen jobs satisfy the template")
+    }
+}
+
+/// Number of *executed* stages of a code-generation job (the paper's
+/// "chain length", Fig. 1b).
+pub fn chain_length(job: &JobSpec) -> usize {
+    job.stages().iter().filter(|s| s.executed).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_bayes::stats::pearson;
+    use rand::SeedableRng;
+
+    #[test]
+    fn template_is_padded_chain() {
+        let g = CodeGeneration::new();
+        let t = g.template();
+        assert_eq!(t.len(), TEMPLATE_STAGES);
+        // First three stages are certain; the rest are revealed.
+        for (i, s) in t.stages().iter().enumerate() {
+            if i < 3 {
+                assert!(s.revealed_by.is_none(), "stage {i} should be certain");
+            } else {
+                assert!(s.revealed_by.is_some(), "stage {i} should be padded");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_lengths_match_fig1b_support() {
+        let g = CodeGeneration::new();
+        let mut rng = StdRng::seed_from_u64(20);
+        let mut seen = std::collections::BTreeMap::new();
+        for i in 0..974 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            *seen.entry(chain_length(&j)).or_insert(0usize) += 1;
+        }
+        // Support is {3, 6, 9, 12, 15}.
+        for &len in seen.keys() {
+            assert!(matches!(len, 3 | 6 | 9 | 12 | 15), "unexpected chain length {len}");
+        }
+        // Shape: short chains dominate, but long chains occur (Fig. 1b).
+        assert!(seen[&3] > seen[&15]);
+        assert!(seen.contains_key(&15), "max-length chains should appear");
+        let frac3 = seen[&3] as f64 / 974.0;
+        assert!((0.3..0.8).contains(&frac3), "~half the jobs pass first try, got {frac3}");
+    }
+
+    #[test]
+    fn durations_span_fig1_codegen_range() {
+        let g = CodeGeneration::new();
+        let mut rng = StdRng::seed_from_u64(21);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let durs: Vec<f64> = (0..500)
+            .map(|i| {
+                g.generate(JobId(i), SimTime::ZERO, &mut rng)
+                    .total_nominal_duration(per_token)
+                    .as_secs_f64()
+            })
+            .collect();
+        let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo > 1.0 && lo < 8.0, "min ~2 s, got {lo}");
+        assert!(hi > 25.0 && hi < 120.0, "max tens of seconds, got {hi}");
+    }
+
+    #[test]
+    fn successive_code_gens_are_strongly_correlated() {
+        let g = CodeGeneration::new();
+        let mut rng = StdRng::seed_from_u64(22);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        // Condition on jobs that ran at least two iterations so both stages
+        // are non-zero (the paper's heatmap treats unexecuted stages as 0,
+        // which only strengthens the correlation).
+        let mut cg1 = Vec::new();
+        let mut cg2 = Vec::new();
+        for i in 0..2000 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            if j.stage(StageId(4)).executed {
+                let d = j.template_stage_durations_secs(per_token);
+                cg1.push(d[1]);
+                cg2.push(d[4]);
+            }
+        }
+        assert!(cg1.len() > 100, "need enough multi-iteration jobs");
+        let c = pearson(&cg1, &cg2);
+        assert!(c > 0.8, "corr(code gen 1, code gen 2) should be ~0.9 (Fig. 5b), got {c}");
+    }
+
+    #[test]
+    fn void_iterations_have_empty_tasks() {
+        let g = CodeGeneration::new();
+        let mut rng = StdRng::seed_from_u64(23);
+        for i in 0..50 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            for s in j.stages() {
+                if !s.executed {
+                    assert!(s.tasks.is_empty());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! LLMCompiler-style parallel function calling on HotpotQA-like questions
+//! (planning application).
+//!
+//! A planner LLM decomposes the question into independent tool calls
+//! (searches, lookups) that execute **in parallel**, and a joiner LLM fuses
+//! the results. This is the paper's example of *high stage parallelism but
+//! low task parallelism* (each generated stage holds a single task) — the
+//! shape on which single-stage-at-a-time schedulers such as Decima
+//! under-utilize the cluster (§V-A).
+
+use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::job::{JobSpec, StageKind, StageSpec};
+use llmsched_dag::template::{Candidate, Template, TemplateBuilder};
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::{ExecutorClass, TaskWork};
+use rand::rngs::StdRng;
+
+use super::{tokens_for_secs, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS};
+use crate::randx::{categorical, mean_one_noise, sample_distinct};
+
+/// The callable-function library (all regular-executor tools).
+pub const FUNCTIONS: [(&str, f64); 12] = [
+    ("wiki search", 0.55),
+    ("web search", 0.72),
+    ("lookup", 0.38),
+    ("calculator", 0.12),
+    ("database query", 0.64),
+    ("entity linker", 0.83),
+    ("date resolver", 0.25),
+    ("geo lookup", 0.91),
+    ("news search", 1.05),
+    ("scholar search", 1.24),
+    ("image search", 1.42),
+    ("code interpreter", 1.77),
+];
+
+/// Probability mass of fan-out sizes 2..=6.
+pub const FANOUT_PMF: [f64; 5] = [0.30, 0.30, 0.20, 0.12, 0.08];
+
+/// Generator for the LLMCompiler application.
+#[derive(Debug)]
+pub struct LlmCompiler {
+    template: Template,
+}
+
+impl LlmCompiler {
+    /// Builds the generator.
+    pub fn new() -> Self {
+        let mut b = TemplateBuilder::new(AppKind::LlmCompiler.app_id(), "llm_compiler");
+        let plan = b.llm("planner");
+        let candidates = FUNCTIONS
+            .iter()
+            .map(|&(name, _)| Candidate { name: name.into(), class: ExecutorClass::Regular })
+            .collect();
+        let dynamic = b.dynamic("parallel calls", plan, candidates);
+        let join = b.llm("joiner");
+        b.edge(plan, dynamic);
+        b.edge(dynamic, join);
+        LlmCompiler { template: b.build().expect("static template is valid") }
+    }
+}
+
+impl Default for LlmCompiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppGenerator for LlmCompiler {
+    fn kind(&self) -> AppKind {
+        AppKind::LlmCompiler
+    }
+
+    fn template(&self) -> &Template {
+        &self.template
+    }
+
+    fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
+        let plan_stage = StageId(0);
+        let dynamic = StageId(1);
+
+        let m = 2 + categorical(rng, &FANOUT_PMF);
+        let verbosity = mean_one_noise(rng, 0.25);
+        let plan_secs =
+            (55.0 + 18.0 * m as f64) * verbosity * NOMINAL_PER_TOKEN_SECS;
+        let join_secs =
+            130.0 * (0.8 + 0.08 * m as f64) * verbosity * NOMINAL_PER_TOKEN_SECS;
+
+        let weights: Vec<f64> = (0..FUNCTIONS.len()).map(|i| 1.0 / (i as f64 + 1.5)).collect();
+        let chosen = sample_distinct(rng, &weights, m);
+
+        let mut stages = vec![
+            StageSpec::executing(
+                "planner",
+                StageKind::Llm,
+                vec![TaskWork::Llm {
+                    prompt_tokens: 380,
+                    output_tokens: tokens_for_secs(plan_secs * mean_one_noise(rng, 0.12)),
+                }],
+            ),
+            StageSpec::executing("parallel calls", StageKind::DynamicPlaceholder, vec![]),
+            StageSpec::executing(
+                "joiner",
+                StageKind::Llm,
+                vec![TaskWork::Llm {
+                    prompt_tokens: 520,
+                    output_tokens: tokens_for_secs(join_secs * mean_one_noise(rng, 0.20)),
+                }],
+            ),
+        ];
+        let mut edges: Vec<(StageId, StageId)> = Vec::new();
+        for (j, &func) in chosen.iter().enumerate() {
+            let (name, base) = FUNCTIONS[func];
+            let sid = StageId((3 + j) as u32);
+            stages.push(StageSpec {
+                revealed_by: Some(plan_stage),
+                parent_dynamic: Some(dynamic),
+                candidate: Some(func),
+                ..StageSpec::executing(
+                    name,
+                    StageKind::Regular,
+                    vec![TaskWork::Regular {
+                        duration: SimDuration::from_secs_f64(base * mean_one_noise(rng, 0.35)),
+                    }],
+                )
+            });
+            // Fully parallel fan-out: every call depends only on the plan.
+            edges.push((plan_stage, sid));
+            edges.push((sid, dynamic));
+        }
+
+        JobSpec::new(id, &self.template, arrival, stages, edges)
+            .expect("llm-compiler jobs satisfy the template")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn template_shape() {
+        let g = LlmCompiler::new();
+        let t = g.template();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dynamic_stages(), vec![StageId(1)]);
+    }
+
+    #[test]
+    fn fanout_is_parallel_single_task_stages() {
+        let g = LlmCompiler::new();
+        let mut rng = StdRng::seed_from_u64(50);
+        for i in 0..200 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            let children = j.children_of_dynamic(StageId(1));
+            assert!((2..=6).contains(&children.len()));
+            for c in children {
+                // Low task parallelism: one task per generated stage.
+                assert_eq!(j.stage(c).tasks.len(), 1);
+                // High stage parallelism: every call hangs off the plan.
+                let preds = j.dag().predecessors(c.index());
+                assert_eq!(preds, vec![0]);
+            }
+        }
+    }
+
+    #[test]
+    fn joiner_waits_for_all_calls() {
+        let g = LlmCompiler::new();
+        let mut rng = StdRng::seed_from_u64(51);
+        let j = g.generate(JobId(0), SimTime::ZERO, &mut rng);
+        // Joiner's only predecessor is the placeholder, which all calls feed.
+        assert_eq!(j.dag().predecessors(2), vec![1]);
+        let m = j.children_of_dynamic(StageId(1)).len();
+        assert_eq!(j.dag().predecessors(1).len(), m + 1); // plan + m calls
+    }
+
+    #[test]
+    fn durations_are_seconds_scale() {
+        let g = LlmCompiler::new();
+        let mut rng = StdRng::seed_from_u64(52);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let durs: Vec<f64> = (0..500)
+            .map(|i| {
+                g.generate(JobId(i), SimTime::ZERO, &mut rng)
+                    .total_nominal_duration(per_token)
+                    .as_secs_f64()
+            })
+            .collect();
+        let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo > 1.0 && lo < 8.0, "min a few seconds, got {lo}");
+        assert!(hi > 10.0 && hi < 60.0, "max tens of seconds, got {hi}");
+    }
+}

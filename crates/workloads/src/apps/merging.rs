@@ -1,0 +1,179 @@
+//! Document merging from Graph-of-Thoughts (predefined application).
+//!
+//! Four documents are summarized by the LLM in parallel, the LLM generates
+//! several merge candidates, a scoring function ranks them, the LLM refines
+//! the best candidate, and a final score is computed.
+//!
+//! Latent: the four document lengths (drawn around a shared per-job scale),
+//! so summarize/merge/refine durations co-vary.
+
+use llmsched_dag::ids::JobId;
+use llmsched_dag::job::{JobSpec, StageKind, StageSpec};
+use llmsched_dag::template::{Template, TemplateBuilder};
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::TaskWork;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{tokens_for_secs, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS};
+use crate::randx::mean_one_noise;
+
+/// Number of documents merged per job (as in the GoT paper's setup).
+pub const N_DOCS: usize = 4;
+/// Merge candidates generated before scoring.
+pub const MERGE_CANDIDATES: usize = 3;
+
+/// Generator for the document-merging application.
+#[derive(Debug)]
+pub struct DocumentMerging {
+    template: Template,
+}
+
+impl DocumentMerging {
+    /// Builds the generator.
+    pub fn new() -> Self {
+        let mut b = TemplateBuilder::new(AppKind::DocumentMerging.app_id(), "document_merging");
+        let summarize: Vec<_> = (0..N_DOCS).map(|i| b.llm(format!("summarize {i}"))).collect();
+        let merge = b.llm("merge");
+        let score_m = b.regular("score merge");
+        let refine = b.llm("refine");
+        let score_f = b.regular("score final");
+        b.typical_tasks(merge, MERGE_CANDIDATES as u32);
+        b.typical_tasks(score_m, MERGE_CANDIDATES as u32);
+        for &s in &summarize {
+            b.edge(s, merge);
+        }
+        b.edge(merge, score_m);
+        b.edge(score_m, refine);
+        b.edge(refine, score_f);
+        DocumentMerging { template: b.build().expect("static template is valid") }
+    }
+}
+
+impl Default for DocumentMerging {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppGenerator for DocumentMerging {
+    fn kind(&self) -> AppKind {
+        AppKind::DocumentMerging
+    }
+
+    fn template(&self) -> &Template {
+        &self.template
+    }
+
+    fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
+        // Per-job document scale plus per-document variation.
+        let scale = rng.gen_range(400.0..=1600.0) * mean_one_noise(rng, 0.30);
+        let doc_lens: Vec<f64> =
+            (0..N_DOCS).map(|_| scale * mean_one_noise(rng, 0.25)).collect();
+        let total_len: f64 = doc_lens.iter().sum();
+
+        let mut stages = Vec::new();
+        for (i, &len) in doc_lens.iter().enumerate() {
+            let out_secs = 0.06 * len * mean_one_noise(rng, 0.20) * NOMINAL_PER_TOKEN_SECS;
+            stages.push(StageSpec::executing(
+                format!("summarize {i}"),
+                StageKind::Llm,
+                vec![TaskWork::Llm {
+                    prompt_tokens: len.round() as u32,
+                    output_tokens: tokens_for_secs(out_secs),
+                }],
+            ));
+        }
+        let merge_tasks: Vec<TaskWork> = (0..MERGE_CANDIDATES)
+            .map(|_| {
+                let out_secs =
+                    0.055 * total_len * mean_one_noise(rng, 0.25) * NOMINAL_PER_TOKEN_SECS;
+                TaskWork::Llm {
+                    prompt_tokens: (0.24 * total_len).round() as u32,
+                    output_tokens: tokens_for_secs(out_secs),
+                }
+            })
+            .collect();
+        stages.push(StageSpec::executing("merge", StageKind::Llm, merge_tasks));
+        stages.push(StageSpec::executing(
+            "score merge",
+            StageKind::Regular,
+            (0..MERGE_CANDIDATES)
+                .map(|_| TaskWork::Regular {
+                    duration: SimDuration::from_secs_f64(0.3 * mean_one_noise(rng, 0.2)),
+                })
+                .collect(),
+        ));
+        let refine_secs = 0.05 * total_len * mean_one_noise(rng, 0.30) * NOMINAL_PER_TOKEN_SECS;
+        stages.push(StageSpec::executing(
+            "refine",
+            StageKind::Llm,
+            vec![TaskWork::Llm {
+                prompt_tokens: (0.1 * total_len).round() as u32,
+                output_tokens: tokens_for_secs(refine_secs),
+            }],
+        ));
+        stages.push(StageSpec::executing(
+            "score final",
+            StageKind::Regular,
+            vec![TaskWork::Regular {
+                duration: SimDuration::from_secs_f64(0.3 * mean_one_noise(rng, 0.2)),
+            }],
+        ));
+
+        JobSpec::new(id, &self.template, arrival, stages, vec![])
+            .expect("merging jobs satisfy the template")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_bayes::stats::pearson;
+    use rand::SeedableRng;
+
+    #[test]
+    fn template_shape() {
+        let g = DocumentMerging::new();
+        let t = g.template();
+        assert_eq!(t.len(), N_DOCS + 4);
+        // Summaries all feed the merge stage.
+        assert_eq!(t.dag().predecessors(N_DOCS).len(), N_DOCS);
+    }
+
+    #[test]
+    fn duration_spread_is_wide() {
+        let g = DocumentMerging::new();
+        let mut rng = StdRng::seed_from_u64(10);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let durs: Vec<f64> = (0..300)
+            .map(|i| {
+                g.generate(JobId(i), SimTime::ZERO, &mut rng)
+                    .total_nominal_duration(per_token)
+                    .as_secs_f64()
+            })
+            .collect();
+        let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo > 3.0, "min merging job should take seconds, got {lo}");
+        assert!(hi > 80.0, "max merging job should take >80 s, got {hi}");
+        assert!(hi / lo > 4.0, "spread should be wide, got {lo}..{hi}");
+    }
+
+    #[test]
+    fn summaries_correlate_with_merge() {
+        let g = DocumentMerging::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let mut sum0 = Vec::new();
+        let mut merge = Vec::new();
+        for i in 0..300 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            let d = j.template_stage_durations_secs(per_token);
+            sum0.push(d[0]);
+            merge.push(d[N_DOCS]);
+        }
+        let c = pearson(&sum0, &merge);
+        assert!(c > 0.4, "summarize/merge durations should correlate, got {c}");
+    }
+}

@@ -1,0 +1,183 @@
+//! The six representative compound LLM applications of the paper's
+//! evaluation (§V, *Workload generation*), one module each.
+//!
+//! Every generator draws a per-job *latent* complexity variable (sequence
+//! length, task difficulty, plan size, …) from which stage token counts,
+//! regular-task durations and — for chain-like / planning apps — the
+//! realized structure all derive. Sharing the latent across stages is what
+//! produces the strong inter-stage duration correlations of Fig. 5, and the
+//! latent's spread reproduces the duration ranges of Fig. 1.
+
+use llmsched_dag::ids::{AppId, JobId};
+use llmsched_dag::job::JobSpec;
+use llmsched_dag::template::{Template, TemplateSet};
+use llmsched_dag::time::SimTime;
+use rand::rngs::StdRng;
+
+pub mod codegen;
+pub mod llmcompiler;
+pub mod merging;
+pub mod sorting;
+pub mod taskauto;
+pub mod websearch;
+
+/// Batch-size-1 decode seconds per token assumed by the generators when
+/// budgeting stage durations. Matches
+/// `llmsched_sim::latency::LatencyProfile::llama2_7b_h800()`'s `l(1)`
+/// (asserted by a cross-crate test).
+pub const NOMINAL_PER_TOKEN_SECS: f64 = 0.020;
+
+/// The three application categories of §II-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppCategory {
+    /// Fixed stages and dependencies (like traditional data-processing jobs).
+    Predefined,
+    /// Iterative step-by-step pattern with uncertain chain length.
+    ChainLike,
+    /// The LLM generates a plan of stages at runtime.
+    Planning,
+}
+
+/// The six concrete applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Sequence sorting from Graph-of-Thoughts (predefined).
+    SequenceSorting,
+    /// Document merging from Graph-of-Thoughts (predefined).
+    DocumentMerging,
+    /// Reflexion-style code generation on MBPP-like tasks (chain-like).
+    CodeGeneration,
+    /// ReAct-style web search on HotpotQA-like questions (chain-like).
+    WebSearch,
+    /// TaskBench-style task automation (planning).
+    TaskAutomation,
+    /// LLMCompiler-style parallel function calling (planning).
+    LlmCompiler,
+}
+
+impl AppKind {
+    /// All six applications, in `AppId` order.
+    pub const ALL: [AppKind; 6] = [
+        AppKind::SequenceSorting,
+        AppKind::DocumentMerging,
+        AppKind::CodeGeneration,
+        AppKind::WebSearch,
+        AppKind::TaskAutomation,
+        AppKind::LlmCompiler,
+    ];
+
+    /// The stable application id.
+    pub fn app_id(self) -> AppId {
+        AppId(match self {
+            AppKind::SequenceSorting => 0,
+            AppKind::DocumentMerging => 1,
+            AppKind::CodeGeneration => 2,
+            AppKind::WebSearch => 3,
+            AppKind::TaskAutomation => 4,
+            AppKind::LlmCompiler => 5,
+        })
+    }
+
+    /// The inverse of [`AppKind::app_id`].
+    pub fn from_app_id(app: AppId) -> Option<AppKind> {
+        AppKind::ALL.into_iter().find(|k| k.app_id() == app)
+    }
+
+    /// The category of §II-A.
+    pub fn category(self) -> AppCategory {
+        match self {
+            AppKind::SequenceSorting | AppKind::DocumentMerging => AppCategory::Predefined,
+            AppKind::CodeGeneration | AppKind::WebSearch => AppCategory::ChainLike,
+            AppKind::TaskAutomation | AppKind::LlmCompiler => AppCategory::Planning,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::SequenceSorting => "sequence_sorting",
+            AppKind::DocumentMerging => "document_merging",
+            AppKind::CodeGeneration => "code_generation",
+            AppKind::WebSearch => "web_search",
+            AppKind::TaskAutomation => "task_automation",
+            AppKind::LlmCompiler => "llm_compiler",
+        }
+    }
+
+    /// Builds the generator for this application.
+    pub fn generator(self) -> Box<dyn AppGenerator> {
+        match self {
+            AppKind::SequenceSorting => Box::new(sorting::SequenceSorting::new()),
+            AppKind::DocumentMerging => Box::new(merging::DocumentMerging::new()),
+            AppKind::CodeGeneration => Box::new(codegen::CodeGeneration::new()),
+            AppKind::WebSearch => Box::new(websearch::WebSearch::new()),
+            AppKind::TaskAutomation => Box::new(taskauto::TaskAutomation::new()),
+            AppKind::LlmCompiler => Box::new(llmcompiler::LlmCompiler::new()),
+        }
+    }
+}
+
+/// A compound-LLM application workload generator.
+pub trait AppGenerator: Send + Sync {
+    /// Which application this generates.
+    fn kind(&self) -> AppKind;
+
+    /// The application template (public structure knowledge).
+    fn template(&self) -> &Template;
+
+    /// Generates one job's hidden ground truth.
+    fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec;
+}
+
+/// The template set containing all six applications.
+pub fn all_templates() -> TemplateSet {
+    AppKind::ALL.iter().map(|k| k.generator().template().clone()).collect()
+}
+
+/// Converts a decode-token budget expressed in seconds to output tokens.
+pub(crate) fn tokens_for_secs(secs: f64) -> u32 {
+    (secs / NOMINAL_PER_TOKEN_SECS).round().max(1.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_ids_are_stable_and_distinct() {
+        let ids: Vec<u32> = AppKind::ALL.iter().map(|k| k.app_id().0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        for k in AppKind::ALL {
+            assert_eq!(AppKind::from_app_id(k.app_id()), Some(k));
+        }
+        assert_eq!(AppKind::from_app_id(AppId(99)), None);
+    }
+
+    #[test]
+    fn categories_match_the_paper() {
+        use AppCategory::*;
+        assert_eq!(AppKind::SequenceSorting.category(), Predefined);
+        assert_eq!(AppKind::DocumentMerging.category(), Predefined);
+        assert_eq!(AppKind::CodeGeneration.category(), ChainLike);
+        assert_eq!(AppKind::WebSearch.category(), ChainLike);
+        assert_eq!(AppKind::TaskAutomation.category(), Planning);
+        assert_eq!(AppKind::LlmCompiler.category(), Planning);
+    }
+
+    #[test]
+    fn all_templates_build_and_register() {
+        let set = all_templates();
+        assert_eq!(set.len(), 6);
+        for k in AppKind::ALL {
+            let t = set.expect(k.app_id());
+            assert_eq!(t.name(), k.name());
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn token_conversion_rounds_and_floors_at_one() {
+        assert_eq!(tokens_for_secs(1.0), 50);
+        assert_eq!(tokens_for_secs(0.0), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Sequence sorting from Graph-of-Thoughts (predefined application).
+//!
+//! The Fig. 4 DAG: an LLM splits the input sequence into two halves, each
+//! half is selected, sorted by the LLM (several candidate generations in
+//! parallel) and scored; the LLM merges the halves, the merge is scored,
+//! the LLM refines, and the final score is computed.
+//!
+//! Latent: the sequence length `n ∈ [16, 64]` (the paper's synthetic
+//! dataset) plus a per-job verbosity factor. Every LLM stage's token count
+//! is proportional to `n × verbosity`, which yields the strong pairwise
+//! duration correlations of Fig. 5a and a job-duration spread of roughly
+//! 10–300 s (Fig. 1a).
+
+use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::job::{JobSpec, StageKind, StageSpec};
+use llmsched_dag::template::{Template, TemplateBuilder};
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::TaskWork;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{tokens_for_secs, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS};
+use crate::randx::mean_one_noise;
+
+/// Number of candidate generations per sort stage (Graph-of-Thoughts
+/// explores several candidates and keeps the best-scoring one).
+pub const SORT_CANDIDATES: usize = 3;
+
+/// Generator for the sequence-sorting application.
+#[derive(Debug)]
+pub struct SequenceSorting {
+    template: Template,
+}
+
+impl SequenceSorting {
+    /// Builds the generator (template included).
+    pub fn new() -> Self {
+        let mut b = TemplateBuilder::new(AppKind::SequenceSorting.app_id(), "sequence_sorting");
+        let split = b.llm("split");
+        let sel_a = b.regular("select A");
+        let sel_b = b.regular("select B");
+        let sort_a = b.llm("sort A");
+        let sort_b = b.llm("sort B");
+        let score_a = b.regular("score A");
+        let score_b = b.regular("score B");
+        let merge = b.llm("merge");
+        let score_m = b.regular("score merge");
+        let refine = b.llm("refine");
+        let score_f = b.regular("score final");
+        b.typical_tasks(sort_a, SORT_CANDIDATES as u32);
+        b.typical_tasks(sort_b, SORT_CANDIDATES as u32);
+        b.typical_tasks(score_a, SORT_CANDIDATES as u32);
+        b.typical_tasks(score_b, SORT_CANDIDATES as u32);
+        b.edge(split, sel_a);
+        b.edge(split, sel_b);
+        b.edge(sel_a, sort_a);
+        b.edge(sel_b, sort_b);
+        b.edge(sort_a, score_a);
+        b.edge(sort_b, score_b);
+        b.edge(score_a, merge);
+        b.edge(score_b, merge);
+        b.edge(merge, score_m);
+        b.edge(score_m, refine);
+        b.edge(refine, score_f);
+        SequenceSorting { template: b.build().expect("static template is valid") }
+    }
+}
+
+impl Default for SequenceSorting {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppGenerator for SequenceSorting {
+    fn kind(&self) -> AppKind {
+        AppKind::SequenceSorting
+    }
+
+    fn template(&self) -> &Template {
+        &self.template
+    }
+
+    fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
+        // Latents: sequence length and job-level verbosity.
+        let n = rng.gen_range(16.0..=64.0);
+        let verbosity = mean_one_noise(rng, 0.40);
+
+        let llm_task = |rng: &mut StdRng, out_coeff: f64, sigma: f64| -> TaskWork {
+            let out_secs =
+                out_coeff * n * verbosity * mean_one_noise(rng, sigma) * NOMINAL_PER_TOKEN_SECS;
+            TaskWork::Llm {
+                prompt_tokens: (3.0 * n).round() as u32,
+                output_tokens: tokens_for_secs(out_secs),
+            }
+        };
+        let reg_task = |rng: &mut StdRng| -> TaskWork {
+            TaskWork::Regular {
+                duration: SimDuration::from_secs_f64(
+                    (0.15 + 0.004 * n) * mean_one_noise(rng, 0.20),
+                ),
+            }
+        };
+
+        // Token coefficients per stage (× n × verbosity): chosen so total
+        // work spans ~10-300 s over the latent ranges.
+        let split = StageSpec::executing("split", StageKind::Llm, vec![llm_task(rng, 11.0, 0.15)]);
+        let sel_a = StageSpec::executing("select A", StageKind::Regular, vec![reg_task(rng)]);
+        let sel_b = StageSpec::executing("select B", StageKind::Regular, vec![reg_task(rng)]);
+        let sort = |rng: &mut StdRng, name: &str| {
+            let tasks = (0..SORT_CANDIDATES).map(|_| llm_task(rng, 6.5, 0.20)).collect();
+            StageSpec::executing(name, StageKind::Llm, tasks)
+        };
+        let sort_a = sort(rng, "sort A");
+        let sort_b = sort(rng, "sort B");
+        let score = |rng: &mut StdRng, name: &str, k: usize| {
+            let tasks = (0..k).map(|_| reg_task(rng)).collect();
+            StageSpec::executing(name, StageKind::Regular, tasks)
+        };
+        let score_a = score(rng, "score A", SORT_CANDIDATES);
+        let score_b = score(rng, "score B", SORT_CANDIDATES);
+        let merge = StageSpec::executing("merge", StageKind::Llm, vec![llm_task(rng, 21.0, 0.20)]);
+        let score_m = score(rng, "score merge", 1);
+        let refine =
+            StageSpec::executing("refine", StageKind::Llm, vec![llm_task(rng, 16.0, 0.25)]);
+        let score_f = score(rng, "score final", 1);
+
+        JobSpec::new(
+            id,
+            &self.template,
+            arrival,
+            vec![
+                split, sel_a, sel_b, sort_a, sort_b, score_a, score_b, merge, score_m, refine,
+                score_f,
+            ],
+            vec![],
+        )
+        .expect("sorting jobs satisfy the template")
+    }
+}
+
+/// Stage ids of the LLM stages, matching Fig. 4's topological numbering.
+pub mod stages {
+    use super::StageId;
+    /// The split stage (S0 in Fig. 6's example).
+    pub const SPLIT: StageId = StageId(0);
+    /// Sort half A (S3).
+    pub const SORT_A: StageId = StageId(3);
+    /// Sort half B (S4).
+    pub const SORT_B: StageId = StageId(4);
+    /// The merge stage (S7).
+    pub const MERGE: StageId = StageId(7);
+    /// The refine stage (S9).
+    pub const REFINE: StageId = StageId(9);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_bayes::stats::pearson;
+    use rand::SeedableRng;
+
+    fn nominal(job: &JobSpec) -> f64 {
+        job.total_nominal_duration(SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS))
+            .as_secs_f64()
+    }
+
+    #[test]
+    fn template_matches_fig4_topology() {
+        let g = SequenceSorting::new();
+        let t = g.template();
+        assert_eq!(t.len(), 11);
+        assert!(t.dynamic_stages().is_empty());
+        // Stage kinds alternate per Fig. 4.
+        use llmsched_dag::template::TemplateStageKind::*;
+        let kinds: Vec<bool> =
+            t.stages().iter().map(|s| matches!(s.kind, Llm)).collect();
+        assert_eq!(
+            kinds,
+            vec![true, false, false, true, true, false, false, true, false, true, false]
+        );
+    }
+
+    #[test]
+    fn durations_span_fig1a_range() {
+        let g = SequenceSorting::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let durs: Vec<f64> = (0..500)
+            .map(|i| nominal(&g.generate(JobId(i), SimTime::ZERO, &mut rng)))
+            .collect();
+        let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+        assert!(lo > 5.0 && lo < 40.0, "min should be tens of seconds, got {lo}");
+        assert!(hi > 150.0 && hi < 600.0, "max should reach hundreds of seconds, got {hi}");
+        assert!((50.0..150.0).contains(&mean), "mean in the tens-to-hundred range, got {mean}");
+    }
+
+    #[test]
+    fn stage_durations_are_correlated_like_fig5a() {
+        let g = SequenceSorting::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let mut split = Vec::new();
+        let mut sort_a = Vec::new();
+        let mut refine = Vec::new();
+        for i in 0..400 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            let d = j.template_stage_durations_secs(per_token);
+            split.push(d[stages::SPLIT.index()]);
+            sort_a.push(d[stages::SORT_A.index()]);
+            refine.push(d[stages::REFINE.index()]);
+        }
+        let c03 = pearson(&split, &sort_a);
+        let c09 = pearson(&split, &refine);
+        assert!(c03 > 0.5, "corr(split, sort A) should be strong (paper ~0.7), got {c03}");
+        assert!(c09 > 0.5, "corr(split, refine) should be strong, got {c09}");
+    }
+
+    #[test]
+    fn jobs_are_deterministic_per_seed() {
+        let g = SequenceSorting::new();
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let ja = g.generate(JobId(0), SimTime::ZERO, &mut a);
+        let jb = g.generate(JobId(0), SimTime::ZERO, &mut b);
+        assert_eq!(nominal(&ja), nominal(&jb));
+    }
+
+    #[test]
+    fn sort_stages_have_candidate_tasks() {
+        let g = SequenceSorting::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let j = g.generate(JobId(0), SimTime::ZERO, &mut rng);
+        assert_eq!(j.stage(stages::SORT_A).tasks.len(), SORT_CANDIDATES);
+        assert_eq!(j.stage(stages::SORT_B).tasks.len(), SORT_CANDIDATES);
+    }
+}

@@ -1,0 +1,225 @@
+//! TaskBench-style task automation (planning application).
+//!
+//! An LLM analyzes the user's request and emits a plan: a DAG of tool
+//! invocations (deep-learning models such as image segmentation, object
+//! detection, translation…) drawn from a 20-tool library. The template is
+//! just *plan → dynamic placeholder*; the generated stages (1–8 of them,
+//! Fig. 1c) and their dependencies appear only when the plan stage
+//! completes.
+//!
+//! Latent: the plan size `m`. Plan verbosity grows with `m`, which is the
+//! correlation the motivating example of Fig. 2 exploits (finishing the
+//! plan stage resolves the job's remaining duration and structure).
+
+use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::job::{JobSpec, StageKind, StageSpec};
+use llmsched_dag::template::{Candidate, Template, TemplateBuilder};
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::{ExecutorClass, TaskWork};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::{tokens_for_secs, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS};
+use crate::randx::{categorical, mean_one_noise, sample_distinct};
+
+/// The tool library: 20 deep-learning tools with characteristic mean
+/// inference durations (seconds), cheap tools first.
+pub const TOOLS: [(&str, f64); 20] = [
+    ("text classification", 0.35),
+    ("sentiment analysis", 0.42),
+    ("token classification", 0.51),
+    ("text translation", 0.62),
+    ("summarization", 0.75),
+    ("question answering", 0.91),
+    ("fill mask", 1.10),
+    ("text to speech", 1.34),
+    ("automatic speech recognition", 1.63),
+    ("audio classification", 1.98),
+    ("image classification", 2.41),
+    ("object detection", 2.93),
+    ("image segmentation", 3.56),
+    ("depth estimation", 4.33),
+    ("image to text", 5.27),
+    ("visual question answering", 6.41),
+    ("text to image", 7.80),
+    ("image inpainting", 9.48),
+    ("video classification", 11.53),
+    ("text to video", 14.02),
+];
+
+/// Probability mass of plan sizes 1..=8 (Fig. 1c: peaked at 2, long tail).
+pub const PLAN_SIZE_PMF: [f64; 8] = [0.16, 0.30, 0.20, 0.12, 0.09, 0.06, 0.04, 0.03];
+
+/// Generator for the task-automation application.
+#[derive(Debug)]
+pub struct TaskAutomation {
+    template: Template,
+}
+
+impl TaskAutomation {
+    /// Builds the generator.
+    pub fn new() -> Self {
+        let mut b = TemplateBuilder::new(AppKind::TaskAutomation.app_id(), "task_automation");
+        let plan = b.llm("task plan");
+        let candidates = TOOLS
+            .iter()
+            .map(|&(name, _)| Candidate { name: name.into(), class: ExecutorClass::Regular })
+            .collect();
+        let dynamic = b.dynamic("execute plan", plan, candidates);
+        b.edge(plan, dynamic);
+        TaskAutomation { template: b.build().expect("static template is valid") }
+    }
+}
+
+impl Default for TaskAutomation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppGenerator for TaskAutomation {
+    fn kind(&self) -> AppKind {
+        AppKind::TaskAutomation
+    }
+
+    fn template(&self) -> &Template {
+        &self.template
+    }
+
+    fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
+        let plan_stage = StageId(0);
+        let dynamic = StageId(1);
+
+        // Latent plan size; plan verbosity tracks it.
+        let m = 1 + categorical(rng, &PLAN_SIZE_PMF);
+        let plan_secs = (45.0 + 26.0 * m as f64) * mean_one_noise(rng, 0.18)
+            * NOMINAL_PER_TOKEN_SECS;
+
+        // Common/cheap tools are requested more often.
+        let weights: Vec<f64> = (0..TOOLS.len()).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+        let chosen = sample_distinct(rng, &weights, m);
+
+        let mut stages = vec![
+            StageSpec::executing(
+                "task plan",
+                StageKind::Llm,
+                vec![TaskWork::Llm {
+                    prompt_tokens: 320,
+                    output_tokens: tokens_for_secs(plan_secs),
+                }],
+            ),
+            StageSpec::executing("execute plan", StageKind::DynamicPlaceholder, vec![]),
+        ];
+        let mut edges: Vec<(StageId, StageId)> = Vec::new();
+        for (j, &tool) in chosen.iter().enumerate() {
+            let (name, base) = TOOLS[tool];
+            let sid = StageId((2 + j) as u32);
+            stages.push(StageSpec {
+                revealed_by: Some(plan_stage),
+                parent_dynamic: Some(dynamic),
+                candidate: Some(tool),
+                ..StageSpec::executing(
+                    name,
+                    StageKind::Regular,
+                    vec![TaskWork::Regular {
+                        duration: SimDuration::from_secs_f64(base * mean_one_noise(rng, 0.30)),
+                    }],
+                )
+            });
+            // Pipeline with probability 0.55, otherwise branch off the plan.
+            if j > 0 && rng.gen_bool(0.55) {
+                edges.push((StageId((2 + j - 1) as u32), sid));
+            } else {
+                edges.push((plan_stage, sid));
+            }
+            edges.push((sid, dynamic));
+        }
+
+        JobSpec::new(id, &self.template, arrival, stages, edges)
+            .expect("task-automation jobs satisfy the template")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn template_is_plan_plus_dynamic() {
+        let g = TaskAutomation::new();
+        let t = g.template();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dynamic_stages(), vec![StageId(1)]);
+    }
+
+    #[test]
+    fn generated_stage_counts_match_fig1c() {
+        let g = TaskAutomation::new();
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut counts = [0usize; 9];
+        for i in 0..3000 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            let m = j.children_of_dynamic(StageId(1)).len();
+            assert!((1..=8).contains(&m), "plan size out of Fig. 1c support: {m}");
+            counts[m] += 1;
+        }
+        // Peaked at 2, monotone tail (Fig. 1c shape).
+        assert!(counts[2] > counts[1]);
+        assert!(counts[2] > counts[3]);
+        assert!(counts[3] > counts[5]);
+        assert!(counts[8] > 0, "8-stage plans should occur");
+    }
+
+    #[test]
+    fn durations_span_fig1_taskauto_range() {
+        let g = TaskAutomation::new();
+        let mut rng = StdRng::seed_from_u64(41);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let durs: Vec<f64> = (0..1000)
+            .map(|i| {
+                g.generate(JobId(i), SimTime::ZERO, &mut rng)
+                    .total_nominal_duration(per_token)
+                    .as_secs_f64()
+            })
+            .collect();
+        let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo < 3.0, "cheapest jobs ~1-2 s, got {lo}");
+        assert!(hi > 40.0, "heaviest jobs tens of seconds, got {hi}");
+    }
+
+    #[test]
+    fn plan_duration_correlates_with_plan_size() {
+        let g = TaskAutomation::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let mut plan_d = Vec::new();
+        let mut sizes = Vec::new();
+        for i in 0..1000 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            plan_d.push(j.stage_nominal_duration(StageId(0), per_token).as_secs_f64());
+            sizes.push(j.children_of_dynamic(StageId(1)).len() as f64);
+        }
+        let c = llmsched_bayes::stats::pearson(&plan_d, &sizes);
+        assert!(c > 0.6, "plan duration should track plan size, got {c}");
+    }
+
+    #[test]
+    fn tools_are_distinct_within_a_job() {
+        let g = TaskAutomation::new();
+        let mut rng = StdRng::seed_from_u64(43);
+        for i in 0..200 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            let mut cands: Vec<usize> = j
+                .children_of_dynamic(StageId(1))
+                .into_iter()
+                .map(|s| j.stage(s).candidate.expect("generated"))
+                .collect();
+            cands.sort_unstable();
+            let before = cands.len();
+            cands.dedup();
+            assert_eq!(cands.len(), before, "tools must be distinct");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! ReAct-style web search on HotpotQA-like multi-hop questions (chain-like
+//! application).
+//!
+//! The agent alternates *think* (LLM) and *search* (tool) steps for an
+//! uncertain number of hops, then produces a final answer (LLM). The
+//! template pads to the maximum hop count; hop `h+1`'s existence is
+//! revealed by hop `h`'s search stage.
+//!
+//! Latent: the question's hop count and a complexity factor that scales
+//! both reasoning verbosity and retrieval latency.
+
+use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::job::{JobSpec, StageKind, StageSpec};
+use llmsched_dag::template::{Template, TemplateBuilder};
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::TaskWork;
+use rand::rngs::StdRng;
+
+use super::{tokens_for_secs, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS};
+use crate::randx::{categorical, mean_one_noise};
+
+/// Maximum hops (think+search pairs) in the padded chain.
+pub const MAX_HOPS: usize = 4;
+
+/// Generator for the web-search application.
+#[derive(Debug)]
+pub struct WebSearch {
+    template: Template,
+}
+
+impl WebSearch {
+    /// Builds the generator.
+    pub fn new() -> Self {
+        let mut b = TemplateBuilder::new(AppKind::WebSearch.app_id(), "web_search");
+        let mut prev: Option<StageId> = None;
+        for h in 0..MAX_HOPS {
+            let think = b.llm(format!("think {}", h + 1));
+            let search = b.regular(format!("search {}", h + 1));
+            b.edge(think, search);
+            if let Some(p) = prev {
+                b.edge(p, think);
+                // Hop h's search decides whether hop h+1 happens.
+                b.revealed_by(think, p);
+                b.revealed_by(search, p);
+            }
+            prev = Some(search);
+        }
+        let answer = b.llm("answer");
+        b.edge(prev.expect("MAX_HOPS >= 1"), answer);
+        WebSearch { template: b.build().expect("static template is valid") }
+    }
+}
+
+impl Default for WebSearch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AppGenerator for WebSearch {
+    fn kind(&self) -> AppKind {
+        AppKind::WebSearch
+    }
+
+    fn template(&self) -> &Template {
+        &self.template
+    }
+
+    fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
+        // Hop count: 2-hop questions dominate HotpotQA.
+        let hops = 1 + categorical(rng, &[0.30, 0.40, 0.20, 0.10]);
+        let complexity = (0.7 + 0.2 * hops as f64) * mean_one_noise(rng, 0.30);
+
+        let mut stages = Vec::new();
+        for h in 0..MAX_HOPS {
+            let runs = h < hops;
+            let reveal = if h == 0 { None } else { Some(StageId((2 * h - 1) as u32)) };
+            let think_secs = 110.0 * complexity * NOMINAL_PER_TOKEN_SECS;
+            let think_tasks = if runs {
+                vec![TaskWork::Llm {
+                    prompt_tokens: 260,
+                    output_tokens: tokens_for_secs(think_secs * mean_one_noise(rng, 0.20)),
+                }]
+            } else {
+                vec![]
+            };
+            let search_tasks = if runs {
+                vec![TaskWork::Regular {
+                    duration: SimDuration::from_secs_f64(
+                        (0.5 + 0.35 * complexity) * mean_one_noise(rng, 0.30),
+                    ),
+                }]
+            } else {
+                vec![]
+            };
+            stages.push(StageSpec {
+                executed: runs,
+                revealed_by: reveal,
+                tasks: think_tasks,
+                ..StageSpec::executing(format!("think {}", h + 1), StageKind::Llm, vec![])
+            });
+            stages.push(StageSpec {
+                executed: runs,
+                revealed_by: reveal,
+                tasks: search_tasks,
+                ..StageSpec::executing(format!("search {}", h + 1), StageKind::Regular, vec![])
+            });
+        }
+        let answer_secs = 170.0 * complexity * NOMINAL_PER_TOKEN_SECS;
+        stages.push(StageSpec::executing(
+            "answer",
+            StageKind::Llm,
+            vec![TaskWork::Llm {
+                prompt_tokens: 420,
+                output_tokens: tokens_for_secs(answer_secs * mean_one_noise(rng, 0.25)),
+            }],
+        ));
+
+        JobSpec::new(id, &self.template, arrival, stages, vec![])
+            .expect("web-search jobs satisfy the template")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn template_pads_to_max_hops() {
+        let g = WebSearch::new();
+        assert_eq!(g.template().len(), 2 * MAX_HOPS + 1);
+        // Hop 1 is certain, later hops padded.
+        assert!(g.template().stage(StageId(0)).revealed_by.is_none());
+        assert!(g.template().stage(StageId(2)).revealed_by.is_some());
+        // The answer stage always exists.
+        assert!(g.template().stage(StageId(2 * MAX_HOPS as u32)).revealed_by.is_none());
+    }
+
+    #[test]
+    fn hop_counts_follow_the_pmf() {
+        let g = WebSearch::new();
+        let mut rng = StdRng::seed_from_u64(30);
+        let mut counts = [0usize; MAX_HOPS + 1];
+        for i in 0..2000 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            let hops = (0..MAX_HOPS)
+                .filter(|&h| j.stage(StageId((2 * h) as u32)).executed)
+                .count();
+            counts[hops] += 1;
+        }
+        assert_eq!(counts[0], 0, "at least one hop always runs");
+        assert!(counts[2] > counts[4], "2-hop questions dominate 4-hop");
+    }
+
+    #[test]
+    fn durations_are_seconds_scale() {
+        let g = WebSearch::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        let durs: Vec<f64> = (0..300)
+            .map(|i| {
+                g.generate(JobId(i), SimTime::ZERO, &mut rng)
+                    .total_nominal_duration(per_token)
+                    .as_secs_f64()
+            })
+            .collect();
+        let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo > 1.0 && lo < 8.0, "min a few seconds, got {lo}");
+        assert!(hi > 12.0 && hi < 80.0, "max tens of seconds, got {hi}");
+    }
+
+    #[test]
+    fn answer_always_executes() {
+        let g = WebSearch::new();
+        let mut rng = StdRng::seed_from_u64(32);
+        for i in 0..100 {
+            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
+            assert!(j.stage(StageId((2 * MAX_HOPS) as u32)).executed);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # llmsched-workloads — compound LLM application workload generators
+//!
+//! The six representative applications of the paper's evaluation (§II-A,
+//! §V) as synthetic-but-calibrated generators:
+//!
+//! | App | Category | Dataset stand-in |
+//! |---|---|---|
+//! | sequence sorting | predefined | random sequences of length 16–64 |
+//! | document merging | predefined | documents with latent length scale |
+//! | code generation | chain-like | MBPP-like difficulty distribution |
+//! | web search | chain-like | HotpotQA-like multi-hop questions |
+//! | task automation | planning | TaskBench-like 20-tool library |
+//! | LLMCompiler | planning | parallel function-calling questions |
+//!
+//! Each generator draws a latent complexity variable per job so that stage
+//! durations are **correlated** (Fig. 5), spans match Fig. 1, and the
+//! structural uncertainty (chain length, generated plan) is real. The
+//! scheduler never sees the latents — only what the reveal protocol
+//! exposes.
+//!
+//! ## Example
+//!
+//! ```
+//! use llmsched_workloads::prelude::*;
+//!
+//! // 20 mixed-workload jobs arriving at rate 0.9 jobs/s, seeded.
+//! let w = generate_workload(WorkloadKind::Mixed, 20, 0.9, 42);
+//! assert_eq!(w.jobs.len(), 20);
+//! assert!(w.templates.len() == 6);
+//!
+//! // A training corpus for the profiler.
+//! let corpus = training_jobs(&[AppKind::CodeGeneration], 50, 7);
+//! assert_eq!(corpus.len(), 50);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod mix;
+pub mod randx;
+
+/// Convenient glob-import of the workload surface.
+pub mod prelude {
+    pub use crate::apps::{
+        all_templates, AppCategory, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS,
+    };
+    pub use crate::mix::{
+        generate_workload, poisson_arrivals, training_jobs, Workload, WorkloadKind,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::apps::NOMINAL_PER_TOKEN_SECS;
+
+    #[test]
+    fn nominal_token_cost_matches_default_latency_profile() {
+        let profile = llmsched_sim::latency::LatencyProfile::llama2_7b_h800();
+        assert!(
+            (profile.per_token_b1().as_secs_f64() - NOMINAL_PER_TOKEN_SECS).abs() < 1e-9,
+            "generator calibration must match the default latency curve"
+        );
+    }
+}

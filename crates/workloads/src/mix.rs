@@ -1,0 +1,227 @@
+//! The four workload mixes of §V (*Workload generation*) and Poisson job
+//! arrivals, plus per-mix cluster configurations tuned for a moderate
+//! (~85%) cluster load at the paper's default λ = 0.9.
+
+use llmsched_dag::ids::JobId;
+use llmsched_dag::job::JobSpec;
+use llmsched_dag::template::TemplateSet;
+use llmsched_dag::time::SimTime;
+use llmsched_sim::engine::ClusterConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::AppKind;
+use crate::randx::exponential;
+
+/// The four evaluated workload types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Jobs uniformly distributed across all six applications.
+    Mixed,
+    /// 50% sequence sorting + 50% document merging.
+    Predefined,
+    /// 50% code generation + 50% web search.
+    ChainLike,
+    /// 50% task automation + 50% LLMCompiler.
+    Planning,
+}
+
+impl WorkloadKind {
+    /// All four mixes in the paper's presentation order.
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Mixed,
+        WorkloadKind::Predefined,
+        WorkloadKind::ChainLike,
+        WorkloadKind::Planning,
+    ];
+
+    /// The applications participating in this mix.
+    pub fn apps(self) -> Vec<AppKind> {
+        match self {
+            WorkloadKind::Mixed => AppKind::ALL.to_vec(),
+            WorkloadKind::Predefined => {
+                vec![AppKind::SequenceSorting, AppKind::DocumentMerging]
+            }
+            WorkloadKind::ChainLike => vec![AppKind::CodeGeneration, AppKind::WebSearch],
+            WorkloadKind::Planning => vec![AppKind::TaskAutomation, AppKind::LlmCompiler],
+        }
+    }
+
+    /// Display name matching the paper's figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Mixed => "Mixed",
+            WorkloadKind::Predefined => "Predefined",
+            WorkloadKind::ChainLike => "Chain-like",
+            WorkloadKind::Planning => "Planning",
+        }
+    }
+
+    /// Cluster resources for this mix, manually configured — as in §V
+    /// (*Parameter setting*) — so that λ = 0.9 yields a moderate average
+    /// cluster load (~85% on the bottleneck resource).
+    pub fn default_cluster(self) -> ClusterConfig {
+        let (llm, batch, regular) = match self {
+            WorkloadKind::Mixed => (2, 7, 2),
+            WorkloadKind::Predefined => (4, 6, 2),
+            WorkloadKind::ChainLike => (2, 3, 2),
+            WorkloadKind::Planning => (1, 4, 4),
+        };
+        ClusterConfig {
+            regular_executors: regular,
+            llm_executors: llm,
+            max_batch: batch,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// A generated workload: templates plus arrival-ordered hidden job specs.
+#[derive(Debug)]
+pub struct Workload {
+    /// The mix this workload instantiates.
+    pub kind: WorkloadKind,
+    /// Templates of every application appearing in the mix.
+    pub templates: TemplateSet,
+    /// Hidden job specs in arrival order.
+    pub jobs: Vec<JobSpec>,
+}
+
+/// Draws `n` Poisson arrival times with rate `lambda` (jobs per second).
+///
+/// # Panics
+/// Panics if `lambda` is not positive.
+pub fn poisson_arrivals(rng: &mut StdRng, n: usize, lambda: f64) -> Vec<SimTime> {
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += exponential(rng, lambda);
+            SimTime::from_secs_f64(t)
+        })
+        .collect()
+}
+
+/// Generates a workload of `n_jobs` jobs of mix `kind` arriving as a
+/// Poisson process with rate `lambda`, fully determined by `seed`.
+pub fn generate_workload(kind: WorkloadKind, n_jobs: usize, lambda: f64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let apps = kind.apps();
+    let generators: Vec<_> = apps.iter().map(|k| k.generator()).collect();
+    let templates: TemplateSet = generators.iter().map(|g| g.template().clone()).collect();
+    let arrivals = poisson_arrivals(&mut rng, n_jobs, lambda);
+    let jobs = arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, at)| {
+            let g = &generators[rng.gen_range(0..generators.len())];
+            g.generate(JobId(i as u64), at, &mut rng)
+        })
+        .collect();
+    Workload { kind, templates, jobs }
+}
+
+/// Generates `per_app` historical (training) jobs for each listed
+/// application, all with arrival time 0 — the corpus the profiler learns
+/// from (§V trains on recorded runtime durations).
+pub fn training_jobs(apps: &[AppKind], per_app: usize, seed: u64) -> Vec<JobSpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(apps.len() * per_app);
+    let mut next_id = 0u64;
+    for &app in apps {
+        let g = app.generator();
+        for _ in 0..per_app {
+            out.push(g.generate(JobId(next_id), SimTime::ZERO, &mut rng));
+            next_id += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_contain_the_right_apps() {
+        assert_eq!(WorkloadKind::Mixed.apps().len(), 6);
+        assert_eq!(
+            WorkloadKind::Predefined.apps(),
+            vec![AppKind::SequenceSorting, AppKind::DocumentMerging]
+        );
+        assert_eq!(
+            WorkloadKind::ChainLike.apps(),
+            vec![AppKind::CodeGeneration, AppKind::WebSearch]
+        );
+        assert_eq!(
+            WorkloadKind::Planning.apps(),
+            vec![AppKind::TaskAutomation, AppKind::LlmCompiler]
+        );
+    }
+
+    #[test]
+    fn arrivals_are_increasing_with_mean_one_over_lambda() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let at = poisson_arrivals(&mut rng, n, 0.9);
+        assert!(at.windows(2).all(|w| w[0] <= w[1]));
+        let horizon = at.last().unwrap().as_secs_f64();
+        let rate = n as f64 / horizon;
+        assert!((rate - 0.9).abs() < 0.03, "empirical rate ~0.9, got {rate}");
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_arrival_ordered() {
+        let a = generate_workload(WorkloadKind::Mixed, 50, 0.9, 123);
+        let b = generate_workload(WorkloadKind::Mixed, 50, 0.9, 123);
+        assert_eq!(a.jobs.len(), 50);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.id(), y.id());
+            assert_eq!(x.arrival(), y.arrival());
+            assert_eq!(x.app(), y.app());
+            assert_eq!(x.len(), y.len());
+        }
+        assert!(a.jobs.windows(2).all(|w| w[0].arrival() <= w[1].arrival()));
+    }
+
+    #[test]
+    fn workload_only_uses_mix_apps_and_all_templates_registered() {
+        for kind in WorkloadKind::ALL {
+            let w = generate_workload(kind, 40, 0.9, 9);
+            let allowed: Vec<_> = kind.apps().iter().map(|a| a.app_id()).collect();
+            for j in &w.jobs {
+                assert!(allowed.contains(&j.app()), "{kind:?} produced foreign app");
+                assert!(w.templates.get(j.app()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_workload_covers_all_apps() {
+        let w = generate_workload(WorkloadKind::Mixed, 300, 0.9, 11);
+        let mut seen = std::collections::BTreeSet::new();
+        for j in &w.jobs {
+            seen.insert(j.app().0);
+        }
+        assert_eq!(seen.len(), 6, "300 mixed jobs should touch all 6 apps");
+    }
+
+    #[test]
+    fn training_jobs_cover_apps_with_unique_ids() {
+        let jobs = training_jobs(&AppKind::ALL, 10, 5);
+        assert_eq!(jobs.len(), 60);
+        let mut ids: Vec<u64> = jobs.iter().map(|j| j.id().0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 60);
+        assert!(jobs.iter().all(|j| j.arrival() == SimTime::ZERO));
+    }
+
+    #[test]
+    fn default_clusters_have_capacity() {
+        for kind in WorkloadKind::ALL {
+            let c = kind.default_cluster();
+            assert!(c.regular_executors > 0);
+            assert!(c.llm_executors > 0 && c.max_batch > 0);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Small distribution-sampling helpers on top of `rand`.
+//!
+//! Implemented in-crate (Box-Muller, inverse-CDF exponential, categorical
+//! scan) to keep the dependency set to the approved list — `rand_distr` is
+//! deliberately not used.
+
+use rand::Rng;
+
+/// A standard-normal sample via Box-Muller.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 exactly (log would be -inf).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A `N(mu, sigma²)` sample.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    mu + sigma * std_normal(rng)
+}
+
+/// A log-normal sample `exp(N(mu_log, sigma_log²))`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu_log: f64, sigma_log: f64) -> f64 {
+    normal(rng, mu_log, sigma_log).exp()
+}
+
+/// Multiplicative noise with **mean 1**: `exp(N(−σ²/2, σ²))`.
+///
+/// Scaling a duration by this keeps its expectation unchanged while adding
+/// the heavy-tailed variation characteristic of LLM response lengths.
+pub fn mean_one_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    lognormal(rng, -sigma * sigma / 2.0, sigma)
+}
+
+/// An `Exp(rate)` sample (mean `1/rate`) — Poisson-process inter-arrival.
+///
+/// # Panics
+/// Panics if `rate` is not positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Samples an index proportionally to `weights` (not necessarily
+/// normalized).
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "categorical needs at least one weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples `k` distinct indices from `0..n` weighted by `weights`
+/// (weighted sampling without replacement).
+///
+/// # Panics
+/// Panics if `k > n` or `weights.len() != n`.
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], k: usize) -> Vec<usize> {
+    let n = weights.len();
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    let mut w = weights.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let i = categorical(rng, &w);
+        out.push(i);
+        w[i] = 0.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean ~3, got {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var ~4, got {var}");
+    }
+
+    #[test]
+    fn mean_one_noise_has_mean_one() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| mean_one_noise(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean ~1, got {mean}");
+        assert!((0..100).all(|_| mean_one_noise(&mut r, 0.5) > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.9)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / 0.9).abs() < 0.03, "mean ~1/0.9, got {mean}");
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut r = rng();
+        let w = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let n = 30_000;
+        for _ in 0..n {
+            counts[categorical(&mut r, &w)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.02);
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_skips_zero_weights() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(categorical(&mut r, &[0.0, 1.0, 0.0]), 1);
+        }
+    }
+
+    #[test]
+    fn sample_distinct_no_repeats() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_distinct(&mut r, &[1.0; 10], 6);
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(std_normal(&mut a).to_bits(), std_normal(&mut b).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn bad_rate_panics() {
+        let _ = exponential(&mut rng(), 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Online serving scenario: a provider serves four workload mixes
+//! back-to-back and watches LLMSched adapt, reporting per-application
+//! latency breakdowns and executor utilization — the operational view a
+//! service operator would care about.
+//!
+//! Run with: `cargo run --release --example online_serving [n_jobs]`
+
+use llmsched::prelude::*;
+
+fn main() {
+    let n_jobs: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+
+    println!("training profiler…");
+    let templates = all_templates();
+    let corpus = training_jobs(&AppKind::ALL, 300, 11);
+    let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+
+    for kind in WorkloadKind::ALL {
+        let w = generate_workload(kind, n_jobs, 0.9, 77);
+        let cluster = kind.default_cluster();
+        let mut sched = LlmSched::new(profiler.clone(), LlmSchedConfig::default());
+        let r = simulate(&cluster, &w.templates, w.jobs, &mut sched);
+        assert_eq!(r.incomplete, 0);
+
+        println!("\n=== {} workload — {} jobs ===", kind.name(), n_jobs);
+        println!(
+            "  avg JCT {:.1}s | p50 {:.1}s | p95 {:.1}s | makespan {:.0}s",
+            r.avg_jct_secs(),
+            r.jct_quantile_secs(0.5),
+            r.jct_quantile_secs(0.95),
+            r.makespan.as_secs_f64()
+        );
+        println!(
+            "  utilization: regular {:.0}% | LLM slots {:.0}% | scheduling {:.2} ms/decision over {} decisions",
+            r.utilization.regular_busy_frac * 100.0,
+            r.utilization.llm_slot_frac * 100.0,
+            r.sched_overhead_ms(),
+            r.sched_calls
+        );
+        for app in kind.apps() {
+            if let Some(jct) = r.avg_jct_secs_for(app.app_id()) {
+                let n = r.jobs.iter().filter(|j| j.app == app.app_id()).count();
+                println!("    {:<18} {:>4} jobs, avg JCT {:>7.1}s", app.name(), n, jct);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: profile, schedule and simulate a mixed compound-LLM
+//! workload, comparing LLMSched with two baselines.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use llmsched::prelude::*;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Offline profiling: record historical jobs of each application
+    //    and train the Bayesian profiler on their stage durations.
+    // ---------------------------------------------------------------
+    println!("training the Bayesian profiler on 200 historical jobs/app…");
+    let templates = all_templates();
+    let corpus = training_jobs(&AppKind::ALL, 200, 1);
+    let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+    for kind in AppKind::ALL {
+        let p = profiler.profile(kind.app_id()).expect("trained");
+        println!(
+            "  {:<18} {} stages, BN edges: {:?}",
+            kind.name(),
+            p.n_stages(),
+            p.net().edges()
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // 2. Generate an online workload: 120 jobs, Poisson λ=0.9.
+    // ---------------------------------------------------------------
+    let n_jobs = 120;
+    let make_workload = || generate_workload(WorkloadKind::Mixed, n_jobs, 0.9, 42);
+    let cluster = WorkloadKind::Mixed.default_cluster();
+    println!(
+        "\nsimulating {n_jobs} mixed jobs on {} LLM executors (batch {}) + {} regular executors",
+        cluster.llm_executors, cluster.max_batch, cluster.regular_executors
+    );
+
+    // ---------------------------------------------------------------
+    // 3. Simulate under three policies and compare average JCT.
+    // ---------------------------------------------------------------
+    let priors = AppPriors::from_training(&corpus, SimDuration::from_millis(20));
+    let mut results = Vec::new();
+
+    let w = make_workload();
+    let mut fcfs = Fcfs;
+    results.push(simulate(&cluster, &w.templates, w.jobs, &mut fcfs));
+
+    let w = make_workload();
+    let mut sjf = Sjf::new(priors);
+    results.push(simulate(&cluster, &w.templates, w.jobs, &mut sjf));
+
+    let w = make_workload();
+    let mut llmsched = LlmSched::new(profiler, LlmSchedConfig::default());
+    results.push(simulate(&cluster, &w.templates, w.jobs, &mut llmsched));
+
+    println!("\n{:<12} {:>12} {:>12} {:>12}", "policy", "avg JCT (s)", "p95 JCT (s)", "overhead(ms)");
+    for r in &results {
+        assert_eq!(r.incomplete, 0, "all jobs must complete");
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>12.3}",
+            r.scheduler,
+            r.avg_jct_secs(),
+            r.jct_quantile_secs(0.95),
+            r.sched_overhead_ms()
+        );
+    }
+    let base = results[0].avg_jct_secs();
+    let ours = results[2].avg_jct_secs();
+    println!("\nLLMSched reduces average JCT by {:.0}% vs FCFS", (1.0 - ours / base) * 100.0);
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full profile → schedule → simulate
+//! pipeline on every workload mix, under every policy.
+
+use llmsched::prelude::*;
+
+fn artifacts() -> (TemplateSet, Profiler, AppPriors) {
+    let templates = all_templates();
+    let corpus = training_jobs(&AppKind::ALL, 80, 1);
+    let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+    let priors = AppPriors::from_training(&corpus, SimDuration::from_millis(20));
+    (templates, profiler, priors)
+}
+
+fn run(kind: WorkloadKind, sched: &mut dyn Scheduler, n_jobs: usize, seed: u64) -> SimResult {
+    let w = generate_workload(kind, n_jobs, 0.9, seed);
+    simulate(&kind.default_cluster(), &w.templates, w.jobs, sched)
+}
+
+#[test]
+fn every_policy_completes_every_mix() {
+    let (_, profiler, priors) = artifacts();
+    for kind in WorkloadKind::ALL {
+        let mut policies: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Fcfs),
+            Box::new(Fair),
+            Box::new(Sjf::new(priors.clone())),
+            Box::new(Srtf::new(priors.clone())),
+            Box::new(Argus),
+            Box::new(DecimaLike::new(priors.clone())),
+            Box::new(CarbyneLike::new(priors.clone())),
+            Box::new(LlmSched::new(profiler.clone(), LlmSchedConfig::default())),
+        ];
+        for sched in policies.iter_mut() {
+            let r = run(kind, sched.as_mut(), 25, 7);
+            assert_eq!(
+                r.incomplete,
+                0,
+                "{} stranded jobs on {}",
+                r.scheduler,
+                kind.name()
+            );
+            assert_eq!(r.jobs.len(), 25);
+            // Sanity: completions never precede arrivals.
+            for j in &r.jobs {
+                assert!(j.completion >= j.arrival);
+            }
+        }
+    }
+}
+
+#[test]
+fn jct_respects_critical_path_lower_bound() {
+    // No schedule can beat the per-job critical path at batch-1 latency.
+    let (_, profiler, _) = artifacts();
+    let kind = WorkloadKind::Mixed;
+    let w = generate_workload(kind, 20, 0.9, 11);
+    let per_token = SimDuration::from_millis(20);
+    let bounds: std::collections::HashMap<u64, f64> = w
+        .jobs
+        .iter()
+        .map(|j| (j.id().0, j.critical_path_lower_bound(per_token).as_secs_f64()))
+        .collect();
+    let mut sched = LlmSched::new(profiler, LlmSchedConfig::default());
+    let r = simulate(&kind.default_cluster(), &w.templates, w.jobs, &mut sched);
+    for o in &r.jobs {
+        let bound = bounds[&o.id.0];
+        assert!(
+            o.jct().as_secs_f64() >= bound - 1e-6,
+            "job {} finished in {:.3}s, below its critical-path bound {:.3}s",
+            o.id,
+            o.jct().as_secs_f64(),
+            bound
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_results_across_full_stack() {
+    let (_, profiler, _) = artifacts();
+    let run_once = |profiler: &Profiler| {
+        let mut sched = LlmSched::new(profiler.clone(), LlmSchedConfig::default());
+        run(WorkloadKind::Planning, &mut sched, 30, 3)
+    };
+    let a = run_once(&profiler);
+    let b = run_once(&profiler);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.avg_jct_secs(), b.avg_jct_secs());
+    let jcts_a: Vec<_> = a.jobs.iter().map(|j| (j.id, j.completion)).collect();
+    let jcts_b: Vec<_> = b.jobs.iter().map(|j| (j.id, j.completion)).collect();
+    assert_eq!(jcts_a, jcts_b);
+}
+
+#[test]
+fn llmsched_beats_job_agnostic_baselines_on_mixed() {
+    // The headline claim at small scale: uncertainty-aware scheduling
+    // beats arrival-order and fairness policies on the mixed workload.
+    let (_, profiler, _) = artifacts();
+    let n = 80;
+    let mut fcfs = Fcfs;
+    let fcfs_jct = run(WorkloadKind::Mixed, &mut fcfs, n, 5).avg_jct_secs();
+    let mut fair = Fair;
+    let fair_jct = run(WorkloadKind::Mixed, &mut fair, n, 5).avg_jct_secs();
+    let mut ours = LlmSched::new(profiler, LlmSchedConfig::default());
+    let ours_jct = run(WorkloadKind::Mixed, &mut ours, n, 5).avg_jct_secs();
+    assert!(
+        ours_jct < fcfs_jct,
+        "LLMSched ({ours_jct:.1}s) should beat FCFS ({fcfs_jct:.1}s)"
+    );
+    assert!(
+        ours_jct < fair_jct,
+        "LLMSched ({ours_jct:.1}s) should beat Fair ({fair_jct:.1}s)"
+    );
+}
+
+#[test]
+fn token_level_and_analytic_agree_roughly() {
+    // The testbed stand-in should validate the simulator (paper §V-B):
+    // same workload, same policy, JCTs within a modest factor.
+    let (_, _, priors) = artifacts();
+    let kind = WorkloadKind::ChainLike;
+    let w = generate_workload(kind, 25, 0.9, 9);
+    let mut cfg = kind.default_cluster();
+    let mut sched = Sjf::new(priors.clone());
+    let analytic = simulate(&cfg, &w.templates, w.jobs, &mut sched);
+
+    let w = generate_workload(kind, 25, 0.9, 9);
+    cfg.mode = EngineMode::TokenLevel;
+    cfg.iteration_chunk = 1;
+    let mut sched = Sjf::new(priors);
+    let token = simulate(&cfg, &w.templates, w.jobs, &mut sched);
+
+    assert_eq!(token.incomplete, 0);
+    let ratio = token.avg_jct_secs() / analytic.avg_jct_secs();
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "token-level vs analytic ratio {ratio:.3} out of range ({:.1}s vs {:.1}s)",
+        token.avg_jct_secs(),
+        analytic.avg_jct_secs()
+    );
+}
