@@ -37,7 +37,10 @@ impl std::fmt::Display for DiscreteDataError {
         match self {
             DiscreteDataError::RaggedRow { row } => write!(f, "row {row} has the wrong arity"),
             DiscreteDataError::ValueOutOfRange { row, col } => {
-                write!(f, "value at ({row},{col}) exceeds the variable's cardinality")
+                write!(
+                    f,
+                    "value at ({row},{col}) exceeds the variable's cardinality"
+                )
             }
             DiscreteDataError::ZeroCardinality { var } => {
                 write!(f, "variable {var} has cardinality zero")
@@ -84,7 +87,10 @@ impl DiscreteData {
     pub fn discretize(samples: &[Vec<f64>], max_bins: usize) -> (Vec<Discretizer>, Self) {
         assert!(!samples.is_empty(), "need at least one training row");
         let n_vars = samples[0].len();
-        assert!(samples.iter().all(|r| r.len() == n_vars), "ragged training rows");
+        assert!(
+            samples.iter().all(|r| r.len() == n_vars),
+            "ragged training rows"
+        );
         let discretizers: Vec<Discretizer> = (0..n_vars)
             .map(|c| {
                 let col: Vec<f64> = samples.iter().map(|r| r[c]).collect();
@@ -93,7 +99,12 @@ impl DiscreteData {
             .collect();
         let rows: Vec<Vec<usize>> = samples
             .iter()
-            .map(|r| r.iter().enumerate().map(|(c, &x)| discretizers[c].bin(x)).collect())
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .map(|(c, &x)| discretizers[c].bin(x))
+                    .collect()
+            })
             .collect();
         let card: Vec<usize> = discretizers.iter().map(|d| d.n_bins()).collect();
         let data = DiscreteData::new(rows, card).expect("discretizer output is in range");

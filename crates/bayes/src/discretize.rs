@@ -31,7 +31,10 @@ impl Discretizer {
     /// Panics if `max_bins == 0` or `samples` is empty.
     pub fn fit(samples: &[f64], max_bins: usize) -> Self {
         assert!(max_bins > 0, "need at least one bin");
-        assert!(!samples.is_empty(), "cannot fit a discretizer on no samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot fit a discretizer on no samples"
+        );
         let clean: Vec<f64> = samples.iter().map(|&x| x.max(0.0)).collect();
         let zeros: Vec<f64> = clean.iter().copied().filter(|&x| x == 0.0).collect();
         let mut pos: Vec<f64> = clean.iter().copied().filter(|&x| x > 0.0).collect();
@@ -84,7 +87,13 @@ impl Discretizer {
             .map(|(&s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
             .collect();
 
-        Discretizer { edges, zero_bin, bin_means, lo, hi }
+        Discretizer {
+            edges,
+            zero_bin,
+            bin_means,
+            lo,
+            hi,
+        }
     }
 
     /// The discrete bin of value `x` (values below 0 are clamped to 0).
@@ -237,7 +246,10 @@ mod tests {
             counts[d.bin(s)] += 1;
         }
         for &c in &counts {
-            assert!((20..=30).contains(&c), "bins should be ~25 each, got {counts:?}");
+            assert!(
+                (20..=30).contains(&c),
+                "bins should be ~25 each, got {counts:?}"
+            );
         }
     }
 
@@ -271,7 +283,10 @@ mod tests {
         for &s in &samples {
             seen[d.bin(s)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "every bin should receive samples: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every bin should receive samples: {seen:?}"
+        );
     }
 
     #[test]
@@ -320,7 +335,10 @@ mod tests {
         // A heavy head bin survives trimming: its mass spans the quantile.
         let heavy_head = [0.4, 0.12, 0.12, 0.12, 0.12, 0.12];
         let (lo, _) = d.quantile_interval(&heavy_head, 0.3);
-        assert!((lo - 1.0).abs() < 1e-12, "40%-probability head bin must be kept");
+        assert!(
+            (lo - 1.0).abs() < 1e-12,
+            "40%-probability head bin must be kept"
+        );
         // Point mass: degenerate interval.
         let mut point = vec![0.0; 6];
         point[2] = 1.0;

@@ -26,8 +26,14 @@ impl Factor {
     /// value count differs from the product of cardinalities.
     pub fn new(vars: Vec<usize>, card: Vec<usize>, values: Vec<f64>) -> Self {
         assert_eq!(vars.len(), card.len(), "vars/card length mismatch");
-        assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be strictly ascending");
-        assert!(card.iter().all(|&c| c > 0), "cardinalities must be positive");
+        assert!(
+            vars.windows(2).all(|w| w[0] < w[1]),
+            "vars must be strictly ascending"
+        );
+        assert!(
+            card.iter().all(|&c| c > 0),
+            "cardinalities must be positive"
+        );
         let size: usize = card.iter().product();
         assert_eq!(values.len(), size, "value count must equal the table size");
         Factor { vars, card, values }
@@ -35,7 +41,11 @@ impl Factor {
 
     /// The constant factor 1 over no variables.
     pub fn unit() -> Self {
-        Factor { vars: vec![], card: vec![], values: vec![1.0] }
+        Factor {
+            vars: vec![],
+            card: vec![],
+            values: vec![1.0],
+        }
     }
 
     /// The factor's variables (ascending).
@@ -77,7 +87,11 @@ impl Factor {
     /// # Panics
     /// Panics if the assignment arity or any value is out of range.
     pub fn at(&self, assignment: &[usize]) -> f64 {
-        assert_eq!(assignment.len(), self.vars.len(), "assignment arity mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.vars.len(),
+            "assignment arity mismatch"
+        );
         let strides = self.strides();
         let mut idx = 0;
         for (i, &a) in assignment.iter().enumerate() {
@@ -94,14 +108,17 @@ impl Factor {
         let mut card: Vec<usize> = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.vars.len() || j < other.vars.len() {
-            let take_left = j >= other.vars.len()
-                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            let take_left =
+                j >= other.vars.len() || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
             if take_left {
                 let v = self.vars[i];
                 vars.push(v);
                 card.push(self.card[i]);
                 if j < other.vars.len() && other.vars[j] == v {
-                    assert_eq!(other.card[j], self.card[i], "cardinality conflict for var {v}");
+                    assert_eq!(
+                        other.card[j], self.card[i],
+                        "cardinality conflict for var {v}"
+                    );
                     j += 1;
                 }
                 i += 1;
@@ -114,7 +131,9 @@ impl Factor {
         let size: usize = card.iter().product();
         // Map union positions to positions in each operand.
         let pos_of = |f: &Factor| -> Vec<Option<usize>> {
-            vars.iter().map(|v| f.vars.iter().position(|x| x == v)).collect()
+            vars.iter()
+                .map(|v| f.vars.iter().position(|x| x == v))
+                .collect()
         };
         let lpos = pos_of(self);
         let rpos = pos_of(other);
@@ -150,7 +169,11 @@ impl Factor {
     /// # Panics
     /// Panics if `var` is not in the factor's scope.
     pub fn sum_out(&self, var: usize) -> Factor {
-        let p = self.vars.iter().position(|&v| v == var).expect("var not in scope");
+        let p = self
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("var not in scope");
         let mut vars = self.vars.clone();
         let mut card = self.card.clone();
         vars.remove(p);
@@ -188,7 +211,11 @@ impl Factor {
     /// # Panics
     /// Panics if `var` is not in scope or `value` is out of range.
     pub fn reduce(&self, var: usize, value: usize) -> Factor {
-        let p = self.vars.iter().position(|&v| v == var).expect("var not in scope");
+        let p = self
+            .vars
+            .iter()
+            .position(|&v| v == var)
+            .expect("var not in scope");
         assert!(value < self.card[p], "evidence value out of range");
         let mut vars = self.vars.clone();
         let mut card = self.card.clone();
@@ -227,8 +254,12 @@ impl Factor {
             assert!(self.vars.contains(v), "variable {v} not in scope");
         }
         let mut f = self.clone();
-        let drop: Vec<usize> =
-            self.vars.iter().copied().filter(|v| !keep.contains(v)).collect();
+        let drop: Vec<usize> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| !keep.contains(v))
+            .collect();
         for v in drop {
             f = f.sum_out(v);
         }
@@ -273,7 +304,10 @@ pub fn eliminate_to_joint(factors: &[Factor], targets: &[usize]) -> Factor {
         }
     }
     for t in targets {
-        assert!(all_vars.contains(t), "target variable {t} not in any factor");
+        assert!(
+            all_vars.contains(t),
+            "target variable {t} not in any factor"
+        );
     }
     all_vars.sort_unstable();
     for v in all_vars {

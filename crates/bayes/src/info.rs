@@ -124,7 +124,10 @@ mod tests {
         }
         let j = Factor::new(vec![0, 1, 2], vec![2, 2, 2], values);
         let mi = mutual_information(&j, 0, &[1, 2]);
-        assert!((mi - 1.0).abs() < 1e-12, "I(X; Y1,Y2) = H(X) = 1 bit, got {mi}");
+        assert!(
+            (mi - 1.0).abs() < 1e-12,
+            "I(X; Y1,Y2) = H(X) = 1 bit, got {mi}"
+        );
         // And X tells nothing about Y2 alone.
         assert!(mutual_information(&j, 0, &[2]).abs() < 1e-12);
     }

@@ -64,10 +64,6 @@ pub mod prelude {
     pub use crate::factor::{eliminate_to_joint, Factor};
     pub use crate::info::{binary_entropy, entropy, mutual_information};
     pub use crate::network::{BayesNet, BayesNetError, Evidence};
-    pub use crate::stats::{
-        mean, pearson, pearson_matrix, range, std_dev, variance, Histogram,
-    };
-    pub use crate::structure::{
-        empirical_mi, family_bic, learn_chow_liu, learn_order_hill_climb,
-    };
+    pub use crate::stats::{mean, pearson, pearson_matrix, range, std_dev, variance, Histogram};
+    pub use crate::structure::{empirical_mi, family_bic, learn_chow_liu, learn_order_hill_climb};
 }

@@ -117,20 +117,22 @@ impl BayesNet {
                 let mut total = 0.0;
                 for val in 0..vcard {
                     assign[vpos] = val;
-                    let idx: usize =
-                        assign.iter().zip(&strides).map(|(&a, &s)| a * s).sum();
+                    let idx: usize = assign.iter().zip(&strides).map(|(&a, &s)| a * s).sum();
                     total += counts[idx];
                 }
                 for val in 0..vcard {
                     assign[vpos] = val;
-                    let idx: usize =
-                        assign.iter().zip(&strides).map(|(&a, &s)| a * s).sum();
+                    let idx: usize = assign.iter().zip(&strides).map(|(&a, &s)| a * s).sum();
                     values[idx] = (counts[idx] + alpha) / (total + alpha * vcard as f64);
                 }
             }
             cpts.push(Factor::new(scope, scard, values));
         }
-        Ok(BayesNet { card, parents, cpts })
+        Ok(BayesNet {
+            card,
+            parents,
+            cpts,
+        })
     }
 
     /// Number of variables.
@@ -342,7 +344,11 @@ mod tests {
         let mut ev = Evidence::new();
         ev.insert(0, 1);
         let pb = net.posterior_marginal(1, &ev);
-        assert!((pb[1] - 0.9).abs() < 0.02, "P(B=1|A=1) should be ~0.9, got {}", pb[1]);
+        assert!(
+            (pb[1] - 0.9).abs() < 0.02,
+            "P(B=1|A=1) should be ~0.9, got {}",
+            pb[1]
+        );
     }
 
     #[test]
@@ -352,7 +358,11 @@ mod tests {
         let mut ev = Evidence::new();
         ev.insert(1, 0); // observe the child
         let pa = net.posterior_marginal(0, &ev);
-        assert!(pa[0] > 0.85, "observing B=0 should make A=0 likely, got {:?}", pa);
+        assert!(
+            pa[0] > 0.85,
+            "observing B=0 should make A=0 likely, got {:?}",
+            pa
+        );
     }
 
     #[test]
@@ -426,7 +436,10 @@ mod tests {
             }
         }
         let frac = agree as f64 / n as f64;
-        assert!((frac - 0.9).abs() < 0.02, "agreement should be ~0.9, got {frac}");
+        assert!(
+            (frac - 0.9).abs() < 0.02,
+            "agreement should be ~0.9, got {frac}"
+        );
     }
 
     #[test]

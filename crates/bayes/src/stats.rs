@@ -121,7 +121,7 @@ impl Histogram {
             lo = 0.0;
             hi = 1.0;
         }
-        if hi - lo < f64::EPSILON {
+        if (hi - lo).abs() < f64::EPSILON {
             hi = lo + 1.0;
         }
         let mut counts = vec![0u64; bins];
@@ -133,7 +133,12 @@ impl Histogram {
             }
             counts[b] += 1;
         }
-        Histogram { lo, hi, counts, total: data.len() as u64 }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total: data.len() as u64,
+        }
     }
 
     /// Bin counts.
@@ -214,7 +219,11 @@ mod tests {
 
     #[test]
     fn pearson_matrix_symmetry_and_diagonal() {
-        let cols = vec![vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.1], vec![0.0, 0.0, 0.0]];
+        let cols = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.1],
+            vec![0.0, 0.0, 0.0],
+        ];
         let m = pearson_matrix(&cols);
         assert_eq!(m[0][0], 1.0);
         assert_eq!(m[2][2], 0.0); // constant column

@@ -86,7 +86,9 @@ pub fn learn_chow_liu(data: &DiscreteData, order: &[usize], min_mi: f64) -> Vec<
     }
     // Kruskal maximum spanning forest (deterministic tie-break on ids).
     edges.sort_by(|x, y| {
-        y.0.partial_cmp(&x.0).expect("finite MI").then_with(|| (x.1, x.2).cmp(&(y.1, y.2)))
+        y.0.partial_cmp(&x.0)
+            .expect("finite MI")
+            .then_with(|| (x.1, x.2).cmp(&(y.1, y.2)))
     });
     let mut dsu: Vec<usize> = (0..n).collect();
     fn find(dsu: &mut Vec<usize>, x: usize) -> usize {
@@ -209,7 +211,11 @@ mod tests {
         let parents = learn_order_hill_climb(&data, &[0, 1, 2, 3], 2);
         assert_eq!(parents[0], Vec::<usize>::new());
         assert_eq!(parents[1], vec![0]);
-        assert_eq!(parents[2], vec![1], "C should attach to B (stronger than A)");
+        assert_eq!(
+            parents[2],
+            vec![1],
+            "C should attach to B (stronger than A)"
+        );
         assert_eq!(parents[3], Vec::<usize>::new(), "D is independent");
     }
 
@@ -249,8 +255,14 @@ mod tests {
         let data = chain_data(800, 5);
         let mi_ab = empirical_mi(&data, 0, 1);
         let mi_ad = empirical_mi(&data, 0, 3);
-        assert!(mi_ab > 0.3, "strongly coupled pair should have high MI, got {mi_ab}");
-        assert!(mi_ad < 0.05, "independent pair should have ~0 MI, got {mi_ad}");
+        assert!(
+            mi_ab > 0.3,
+            "strongly coupled pair should have high MI, got {mi_ab}"
+        );
+        assert!(
+            mi_ad < 0.05,
+            "independent pair should have ~0 MI, got {mi_ad}"
+        );
         assert!(mi_ab > mi_ad);
     }
 
@@ -259,7 +271,10 @@ mod tests {
         let data = chain_data(800, 6);
         let with = family_bic(&data, 3, &[0]);
         let without = family_bic(&data, 3, &[]);
-        assert!(without > with, "BIC must prefer no parent for an independent variable");
+        assert!(
+            without > with,
+            "BIC must prefer no parent for an independent variable"
+        );
     }
 
     #[test]

@@ -1,109 +1,187 @@
 //! Property-based tests for the probabilistic substrate: factor algebra,
 //! information-theoretic bounds, discretization partitioning and BN
 //! posterior sanity.
+//!
+//! Written as seeded-random sweeps (many cases per property, deterministic
+//! per seed) rather than with `proptest`: this workspace builds offline,
+//! so the shrinking machinery is traded for reproducible case generation
+//! on the vendored [`rand`] subset.
 
 use llmsched_bayes::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// A strategy for small probability tables over `k` values.
-fn prob_vec(k: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(0.01f64..1.0, k).prop_map(|v| {
-        let s: f64 = v.iter().sum();
-        v.into_iter().map(|x| x / s).collect()
-    })
+/// Number of random cases checked per property.
+const CASES: u64 = 64;
+
+/// A random normalized probability table over `k` values (entries bounded
+/// away from zero, like the original `0.01..1.0` strategy).
+fn prob_vec(rng: &mut StdRng, k: usize) -> Vec<f64> {
+    let v: Vec<f64> = (0..k).map(|_| rng.gen_range(0.01..1.0)).collect();
+    let s: f64 = v.iter().sum();
+    v.into_iter().map(|x| x / s).collect()
 }
 
-proptest! {
-    /// 0 ≤ H(X) ≤ log₂ k for any distribution over k values.
-    #[test]
-    fn entropy_bounds(p in prob_vec(6)) {
+/// 0 ≤ H(X) ≤ log₂ k for any distribution over k values.
+#[test]
+fn entropy_bounds() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = prob_vec(&mut rng, 6);
         let h = entropy(&p);
-        prop_assert!(h >= 0.0);
-        prop_assert!(h <= (6f64).log2() + 1e-9);
+        assert!(h >= 0.0, "seed {seed}: H={h} negative");
+        assert!(
+            h <= (6f64).log2() + 1e-9,
+            "seed {seed}: H={h} above log2(6)"
+        );
     }
+}
 
-    /// Binary entropy is symmetric and maximized at 1/2.
-    #[test]
-    fn binary_entropy_properties(p in 0.0f64..1.0) {
+/// Binary entropy is symmetric and maximized at 1/2.
+#[test]
+fn binary_entropy_properties() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p: f64 = rng.gen_range(0.0..1.0);
         let h = binary_entropy(p);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
-        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
-        prop_assert!(h <= binary_entropy(0.5) + 1e-12);
+        assert!((0.0..=1.0 + 1e-12).contains(&h), "seed {seed}: H_b={h}");
+        assert!(
+            (h - binary_entropy(1.0 - p)).abs() < 1e-9,
+            "seed {seed}: asymmetric at {p}"
+        );
+        assert!(
+            h <= binary_entropy(0.5) + 1e-12,
+            "seed {seed}: above the p=1/2 maximum"
+        );
     }
+}
 
-    /// 0 ≤ I(X;Y) ≤ min(H(X), H(Y)) for any joint.
-    #[test]
-    fn mutual_information_bounds(joint in prob_vec(12)) {
+/// 0 ≤ I(X;Y) ≤ min(H(X), H(Y)) for any joint.
+#[test]
+fn mutual_information_bounds() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let joint = prob_vec(&mut rng, 12);
         let f = Factor::new(vec![0, 1], vec![3, 4], joint);
         let mi = mutual_information(&f, 0, &[1]);
         let hx = entropy(f.marginalize_to(&[0]).values());
         let hy = entropy(f.marginalize_to(&[1]).values());
-        prop_assert!(mi >= -1e-12);
-        prop_assert!(mi <= hx.min(hy) + 1e-9, "I={mi} > min(H)={}", hx.min(hy));
+        assert!(mi >= -1e-12, "seed {seed}: I={mi} negative");
+        assert!(
+            mi <= hx.min(hy) + 1e-9,
+            "seed {seed}: I={mi} > min(H)={}",
+            hx.min(hy)
+        );
     }
+}
 
-    /// Factor product then marginalization is order-independent.
-    #[test]
-    fn factor_product_marginal_consistency(pa in prob_vec(3), pb in prob_vec(4)) {
+/// Factor product then marginalization is order-independent.
+#[test]
+fn factor_product_marginal_consistency() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pa = prob_vec(&mut rng, 3);
+        let pb = prob_vec(&mut rng, 4);
         let fa = Factor::new(vec![0], vec![3], pa);
         let fb = Factor::new(vec![1], vec![4], pb.clone());
         let joint = fa.product(&fb);
         // Marginalizing the independent product recovers the operand.
         let back = joint.marginalize_to(&[1]);
         for (x, y) in back.values().iter().zip(&pb) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!(
+                (x - y).abs() < 1e-9,
+                "seed {seed}: marginal {x} != operand {y}"
+            );
         }
-        prop_assert!((joint.sum() - 1.0).abs() < 1e-9);
+        assert!(
+            (joint.sum() - 1.0).abs() < 1e-9,
+            "seed {seed}: joint not normalized"
+        );
     }
+}
 
-    /// Discretizer bins partition: every value maps to exactly one valid
-    /// bin, and training values map to the bin whose mean they helped form.
-    #[test]
-    fn discretizer_partitions(
-        samples in proptest::collection::vec(0.0f64..500.0, 5..60),
-        probes in proptest::collection::vec(-10.0f64..600.0, 20),
-    ) {
+/// Discretizer bins partition: every value maps to exactly one valid bin,
+/// and a point-mass posterior's expectation equals that bin's mean.
+#[test]
+fn discretizer_partitions() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_samples = rng.gen_range(5..60usize);
+        let samples: Vec<f64> = (0..n_samples).map(|_| rng.gen_range(0.0..500.0)).collect();
+        let probes: Vec<f64> = (0..20).map(|_| rng.gen_range(-10.0..600.0)).collect();
         let d = Discretizer::fit(&samples, 6);
-        prop_assert!(d.n_bins() >= 1 && d.n_bins() <= 7);
+        assert!(
+            d.n_bins() >= 1 && d.n_bins() <= 7,
+            "seed {seed}: {} bins",
+            d.n_bins()
+        );
         for x in samples.iter().chain(&probes) {
             let b = d.bin(*x);
-            prop_assert!(b < d.n_bins());
+            assert!(
+                b < d.n_bins(),
+                "seed {seed}: value {x} fell in invalid bin {b}"
+            );
         }
-        // Expectation of a point-mass equals that bin's mean.
         for b in 0..d.n_bins() {
             let mut p = vec![0.0; d.n_bins()];
             p[b] = 1.0;
-            prop_assert!((d.expectation(&p) - d.bin_mean(b)).abs() < 1e-9);
+            assert!(
+                (d.expectation(&p) - d.bin_mean(b)).abs() < 1e-9,
+                "seed {seed}: point-mass expectation drifted in bin {b}"
+            );
         }
     }
+}
 
-    /// Quantile intervals are nested: a wider tail mass never widens the
-    /// interval, and the interval is always inside the support.
-    #[test]
-    fn quantile_intervals_nested(p in prob_vec(6), q1 in 0.0f64..0.25, q2 in 0.25f64..0.49) {
+/// Quantile intervals are nested: a wider tail mass never widens the
+/// interval, and the interval is always inside the support.
+#[test]
+fn quantile_intervals_nested() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let raw = prob_vec(&mut rng, 6);
+        let q1: f64 = rng.gen_range(0.0..0.25);
+        let q2: f64 = rng.gen_range(0.25..0.49);
         let samples: Vec<f64> = (1..=12).map(|i| i as f64).collect();
         let d = Discretizer::fit(&samples, 6);
-        let p = &p[..d.n_bins().min(p.len())];
+        let p = &raw[..d.n_bins().min(raw.len())];
         let p: Vec<f64> = {
             let mut v = p.to_vec();
-            while v.len() < d.n_bins() { v.push(0.01); }
+            while v.len() < d.n_bins() {
+                v.push(0.01);
+            }
             let s: f64 = v.iter().sum();
             v.into_iter().map(|x| x / s).collect()
         };
         let (lo1, hi1) = d.quantile_interval(&p, q1);
         let (lo2, hi2) = d.quantile_interval(&p, q2);
-        prop_assert!(lo1 <= lo2 + 1e-9 && hi2 <= hi1 + 1e-9,
-            "tighter q must nest: [{lo2},{hi2}] within [{lo1},{hi1}]");
-        prop_assert!(lo1 >= 0.0 && hi1 <= 12.0 + 1e-9);
+        assert!(
+            lo1 <= lo2 + 1e-9 && hi2 <= hi1 + 1e-9,
+            "seed {seed}: tighter q must nest: [{lo2},{hi2}] within [{lo1},{hi1}]"
+        );
+        assert!(
+            lo1 >= 0.0 && hi1 <= 12.0 + 1e-9,
+            "seed {seed}: interval escaped support"
+        );
     }
+}
 
-    /// BN posteriors are normalized for every evidence assignment, and
-    /// conditioning on a variable's own value yields a point mass.
-    #[test]
-    fn bn_posteriors_normalize(rows in proptest::collection::vec(
-        (0usize..3, 0usize..2, 0usize..2), 30..80))
-    {
-        let data: Vec<Vec<usize>> = rows.iter().map(|&(a, b, c)| vec![a, b, c]).collect();
+/// BN posteriors are normalized for every evidence assignment, and
+/// conditioning on a variable's own value yields a point mass.
+#[test]
+fn bn_posteriors_normalize() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_rows = rng.gen_range(30..80usize);
+        let data: Vec<Vec<usize>> = (0..n_rows)
+            .map(|_| {
+                vec![
+                    rng.gen_range(0..3usize),
+                    rng.gen_range(0..2usize),
+                    rng.gen_range(0..2usize),
+                ]
+            })
+            .collect();
         let data = DiscreteData::new(data, vec![3, 2, 2]).expect("valid rows");
         let parents = learn_order_hill_climb(&data, &[0, 1, 2], 2);
         let net = BayesNet::fit(&data, parents, 1.0).expect("valid structure");
@@ -113,11 +191,17 @@ proptest! {
             for var in 1..3 {
                 let p = net.posterior_marginal(var, &ev);
                 let sum: f64 = p.iter().sum();
-                prop_assert!((sum - 1.0).abs() < 1e-9);
-                prop_assert!(p.iter().all(|&x| x >= -1e-12));
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "seed {seed}: posterior sums to {sum}"
+                );
+                assert!(p.iter().all(|&x| x >= -1e-12), "seed {seed}: negative mass");
             }
             let self_p = net.posterior_marginal(0, &ev);
-            prop_assert_eq!(self_p[v0], 1.0);
+            assert_eq!(
+                self_p[v0], 1.0,
+                "seed {seed}: self-conditioning not a point mass"
+            );
         }
     }
 }

@@ -11,8 +11,10 @@ use llmsched_bench::{run_policy, ExperimentConfig, Policy, Table, TrainedArtifac
 use llmsched_workloads::prelude::WorkloadKind;
 
 fn main() {
-    let n_jobs: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let n_jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     let art = TrainedArtifacts::train(llmsched_bench::roster::DEFAULT_TRAINING_PER_APP, 1);
     let mut table = Table::new(vec![
         "workload",
@@ -36,7 +38,10 @@ fn main() {
             Policy::LlmSchedNoBn,
             Policy::LlmSched,
         ] {
-            let exp = ExperimentConfig { n_jobs, ..ExperimentConfig::paper_default(kind, 42) };
+            let exp = ExperimentConfig {
+                n_jobs,
+                ..ExperimentConfig::paper_default(kind, 42)
+            };
             let r = run_policy(&art, policy, &exp);
             table.row(vec![
                 kind.name().to_string(),

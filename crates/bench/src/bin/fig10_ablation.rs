@@ -21,13 +21,20 @@ use llmsched_workloads::prelude::*;
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let n_jobs = if quick { 120 } else { 300 };
-    let per_app = if quick { 150 } else { llmsched_bench::roster::DEFAULT_TRAINING_PER_APP };
+    let per_app = if quick {
+        150
+    } else {
+        llmsched_bench::roster::DEFAULT_TRAINING_PER_APP
+    };
     let art = TrainedArtifacts::train(per_app, 1);
 
     let mut table = Table::new(vec!["workload", "variant", "avg_jct_s", "norm_jct"]);
     println!("Fig. 10 — ablation (normalized to full LLMSched):");
     for kind in WorkloadKind::ALL {
-        let exp = ExperimentConfig { n_jobs, ..ExperimentConfig::paper_default(kind, 42) };
+        let exp = ExperimentConfig {
+            n_jobs,
+            ..ExperimentConfig::paper_default(kind, 42)
+        };
         let full = run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs();
         let no_bn = run_policy(&art, Policy::LlmSchedNoBn, &exp).avg_jct_secs();
         let no_unc = run_policy(&art, Policy::LlmSchedNoUncertainty, &exp).avg_jct_secs();
@@ -40,9 +47,11 @@ fn main() {
             no_unc,
             (no_unc / full - 1.0) * 100.0,
         );
-        for (name, v) in
-            [("LLMSched", full), ("LLMSched w/o BN", no_bn), ("LLMSched w/o uncertainty", no_unc)]
-        {
+        for (name, v) in [
+            ("LLMSched", full),
+            ("LLMSched w/o BN", no_bn),
+            ("LLMSched w/o uncertainty", no_unc),
+        ] {
             table.row(vec![
                 kind.name().to_string(),
                 name.to_string(),
@@ -56,13 +65,22 @@ fn main() {
     // --- Extra design-choice ablations (DESIGN.md §4) -------------------
     println!("\nMI estimator ablation (Mixed):");
     for (label, mi) in [
-        ("exact joint (cap 3)", MiEstimator::ExactJoint { max_joint: 3 }),
-        ("exact joint (cap 2)", MiEstimator::ExactJoint { max_joint: 2 }),
+        (
+            "exact joint (cap 3)",
+            MiEstimator::ExactJoint { max_joint: 3 },
+        ),
+        (
+            "exact joint (cap 2)",
+            MiEstimator::ExactJoint { max_joint: 2 },
+        ),
         ("pairwise sum", MiEstimator::PairwiseSum),
     ] {
         let exp = ExperimentConfig {
             n_jobs,
-            llmsched: Some(LlmSchedConfig { mi, ..Default::default() }),
+            llmsched: Some(LlmSchedConfig {
+                mi,
+                ..Default::default()
+            }),
             ..ExperimentConfig::paper_default(WorkloadKind::Mixed, 42)
         };
         let r = run_policy(&art, Policy::LlmSched, &exp);
@@ -76,10 +94,14 @@ fn main() {
     println!("\nBN structure-learner ablation (Mixed):");
     let templates = all_templates();
     let corpus = training_jobs(&AppKind::ALL, per_app, 1);
-    for (label, learner) in
-        [("hill-climb BIC", StructureLearner::HillClimb), ("Chow-Liu tree", StructureLearner::ChowLiu)]
-    {
-        let cfg = ProfilerConfig { learner, ..Default::default() };
+    for (label, learner) in [
+        ("hill-climb BIC", StructureLearner::HillClimb),
+        ("Chow-Liu tree", StructureLearner::ChowLiu),
+    ] {
+        let cfg = ProfilerConfig {
+            learner,
+            ..Default::default()
+        };
         let profiler = Profiler::train(&templates, &corpus, &cfg);
         let mut sched = LlmSched::new(profiler, LlmSchedConfig::default());
         let w = generate_workload(WorkloadKind::Mixed, n_jobs, 0.9, 42);

@@ -39,7 +39,12 @@ fn main() {
     println!("Fig. 1a — sequence sorting job duration ({n_sort} jobs):");
     for (b, d) in hist.densities().iter().enumerate() {
         let c = hist.bin_center(b);
-        println!("  {:>6.0}s  {:.4}  {}", c, d, "#".repeat((d * 400.0) as usize));
+        println!(
+            "  {:>6.0}s  {:.4}  {}",
+            c,
+            d,
+            "#".repeat((d * 400.0) as usize)
+        );
         t.row(vec![format!("{c:.1}"), format!("{d:.6}")]);
     }
     let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
@@ -59,10 +64,18 @@ fn main() {
     println!("Fig. 1b — code generation chain length ({n_cg} jobs):");
     for (len, c) in &counts {
         let d = *c as f64 / n_cg as f64;
-        println!("  len {:>2}  {:.3}  {}", len, d, "#".repeat((d * 80.0) as usize));
+        println!(
+            "  len {:>2}  {:.3}  {}",
+            len,
+            d,
+            "#".repeat((d * 80.0) as usize)
+        );
         t.row(vec![len.to_string(), format!("{d:.4}")]);
     }
-    println!("  support: {:?}   (paper: 3 … 15)\n", counts.keys().collect::<Vec<_>>());
+    println!(
+        "  support: {:?}   (paper: 3 … 15)\n",
+        counts.keys().collect::<Vec<_>>()
+    );
     write_csv(&t, "fig1b");
 
     // (c) Generated stages in task automation.
@@ -71,15 +84,25 @@ fn main() {
     let mut counts = std::collections::BTreeMap::new();
     for i in 0..n_ta {
         let j = g.generate(JobId(i as u64), SimTime::ZERO, &mut rng);
-        *counts.entry(j.children_of_dynamic(StageId(1)).len()).or_insert(0usize) += 1;
+        *counts
+            .entry(j.children_of_dynamic(StageId(1)).len())
+            .or_insert(0usize) += 1;
     }
     let mut t = Table::new(vec!["generated_stages", "density"]);
     println!("Fig. 1c — task automation generated stages ({n_ta} jobs):");
     for (m, c) in &counts {
         let d = *c as f64 / n_ta as f64;
-        println!("  m = {:>2}  {:.3}  {}", m, d, "#".repeat((d * 80.0) as usize));
+        println!(
+            "  m = {:>2}  {:.3}  {}",
+            m,
+            d,
+            "#".repeat((d * 80.0) as usize)
+        );
         t.row(vec![m.to_string(), format!("{d:.4}")]);
     }
-    println!("  support: {:?}   (paper: 1 … 8)", counts.keys().collect::<Vec<_>>());
+    println!(
+        "  support: {:?}   (paper: 1 … 8)",
+        counts.keys().collect::<Vec<_>>()
+    );
     write_csv(&t, "fig1c");
 }

@@ -16,8 +16,20 @@ fn main() {
     let (sjf, ours) = fig2::run();
     let mut t = Table::new(vec!["policy", "job1_jct_s", "job2_jct_s", "avg_jct_s"]);
     for r in [&sjf, &ours] {
-        let j1 = r.jobs.iter().find(|j| j.id.0 == 1).expect("job 1").jct().as_secs_f64();
-        let j2 = r.jobs.iter().find(|j| j.id.0 == 2).expect("job 2").jct().as_secs_f64();
+        let j1 = r
+            .jobs
+            .iter()
+            .find(|j| j.id.0 == 1)
+            .expect("job 1")
+            .jct()
+            .as_secs_f64();
+        let j2 = r
+            .jobs
+            .iter()
+            .find(|j| j.id.0 == 2)
+            .expect("job 2")
+            .jct()
+            .as_secs_f64();
         t.row(vec![
             r.scheduler.clone(),
             format!("{j1:.1}"),
@@ -26,7 +38,10 @@ fn main() {
         ]);
         println!(
             "{:<28} job1 {:>4.1}s  job2 {:>4.1}s  avg {:>5.2}s",
-            r.scheduler, j1, j2, r.avg_jct_secs()
+            r.scheduler,
+            j1,
+            j2,
+            r.avg_jct_secs()
         );
     }
     println!("(paper: SJF 6.5 s — strictly job-serial — vs uncertainty-aware 5.0 s)");
@@ -50,8 +65,14 @@ mod fig2 {
             "TA exec",
             plan,
             vec![
-                Candidate { name: "fast tool".into(), class: ExecutorClass::Regular },
-                Candidate { name: "slow tool".into(), class: ExecutorClass::Regular },
+                Candidate {
+                    name: "fast tool".into(),
+                    class: ExecutorClass::Regular,
+                },
+                Candidate {
+                    name: "slow tool".into(),
+                    class: ExecutorClass::Regular,
+                },
             ],
         );
         b.edge(plan, dynamic);
@@ -69,11 +90,16 @@ mod fig2 {
     }
 
     fn llm_secs(secs: f64) -> TaskWork {
-        TaskWork::Llm { prompt_tokens: 0, output_tokens: (secs * 50.0).round() as u32 }
+        TaskWork::Llm {
+            prompt_tokens: 0,
+            output_tokens: (secs * 50.0).round() as u32,
+        }
     }
 
     fn reg_secs(secs: f64) -> TaskWork {
-        TaskWork::Regular { duration: SimDuration::from_secs_f64(secs) }
+        TaskWork::Regular {
+            duration: SimDuration::from_secs_f64(secs),
+        }
     }
 
     fn ta_job(id: u64, t: &Template, fast: bool, slow: f64) -> JobSpec {
@@ -121,7 +147,12 @@ mod fig2 {
         let mut rng = StdRng::seed_from_u64(7);
         let mut corpus = Vec::new();
         for i in 0..160u64 {
-            corpus.push(ta_job(1000 + i, &ta, i % 10 < 3, 19.0 + rng.gen_range(-2.0..2.0)));
+            corpus.push(ta_job(
+                1000 + i,
+                &ta,
+                i % 10 < 3,
+                19.0 + rng.gen_range(-2.0..2.0),
+            ));
             corpus.push(cg_job(2000 + i, &cg, 2.0 + 4.0 * rng.gen_range(0.5..1.5)));
         }
         let jobs = || vec![ta_job(1, &ta, true, 19.0), cg_job(2, &cg, 2.0)];

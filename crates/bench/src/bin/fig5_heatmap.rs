@@ -23,7 +23,11 @@ fn heatmap(kind: AppKind, n_jobs: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n_jobs); n_stages];
     for i in 0..n_jobs {
         let j = g.generate(JobId(i as u64), SimTime::ZERO, &mut rng);
-        for (s, d) in j.template_stage_durations_secs(per_token).iter().enumerate() {
+        for (s, d) in j
+            .template_stage_durations_secs(per_token)
+            .iter()
+            .enumerate()
+        {
             cols[s].push(*d);
         }
     }
@@ -37,8 +41,9 @@ fn print_and_save(name: &str, label: &str, m: &[Vec<f64>]) {
         print!("S{j:<5}");
     }
     println!();
-    let header: Vec<String> =
-        std::iter::once("stage".to_string()).chain((0..m.len()).map(|j| format!("S{j}"))).collect();
+    let header: Vec<String> = std::iter::once("stage".to_string())
+        .chain((0..m.len()).map(|j| format!("S{j}")))
+        .collect();
     let mut t = Table::new(header);
     for (i, row) in m.iter().enumerate() {
         print!("S{i:<4} ");

@@ -23,11 +23,18 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(if quick { 1 } else { 2 });
-    let job_counts: Vec<usize> =
-        if quick { vec![100, 200] } else { vec![100, 200, 300, 400] };
+    let job_counts: Vec<usize> = if quick {
+        vec![100, 200]
+    } else {
+        vec![100, 200, 300, 400]
+    };
 
     let art = TrainedArtifacts::train(
-        if quick { 150 } else { llmsched_bench::roster::DEFAULT_TRAINING_PER_APP },
+        if quick {
+            150
+        } else {
+            llmsched_bench::roster::DEFAULT_TRAINING_PER_APP
+        },
         1,
     );
     let mut table = Table::new(vec!["workload", "n_jobs", "policy", "avg_jct_s"]);
@@ -56,7 +63,11 @@ fn main() {
             println!(
                 "{:<10} {}",
                 n_jobs,
-                means.iter().map(|m| format!("{m:>10.1}")).collect::<Vec<_>>().join(" ")
+                means
+                    .iter()
+                    .map(|m| format!("{m:>10.1}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
             );
             for (p, m) in Policy::FIG7.iter().zip(&means) {
                 table.row(vec![
@@ -67,10 +78,14 @@ fn main() {
                 ]);
             }
             let ours = means[Policy::FIG7.len() - 1];
-            let best_baseline =
-                means[..Policy::FIG7.len() - 1].iter().copied().fold(f64::INFINITY, f64::min);
-            let worst_baseline =
-                means[..Policy::FIG7.len() - 1].iter().copied().fold(0.0, f64::max);
+            let best_baseline = means[..Policy::FIG7.len() - 1]
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let worst_baseline = means[..Policy::FIG7.len() - 1]
+                .iter()
+                .copied()
+                .fold(0.0, f64::max);
             println!(
                 "           LLMSched reduction: {:.0}% vs best baseline, {:.0}% vs worst",
                 (1.0 - ours / best_baseline) * 100.0,

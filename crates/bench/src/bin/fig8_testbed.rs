@@ -23,7 +23,11 @@ fn main() {
     let chunk = if quick { 8 } else { 4 };
 
     let art = TrainedArtifacts::train(
-        if quick { 150 } else { llmsched_bench::roster::DEFAULT_TRAINING_PER_APP },
+        if quick {
+            150
+        } else {
+            llmsched_bench::roster::DEFAULT_TRAINING_PER_APP
+        },
         1,
     );
     let mut fig8 = Table::new(vec!["workload", "policy", "avg_jct_s"]);
@@ -39,7 +43,10 @@ fn main() {
             ..ExperimentConfig::paper_default(kind, 42)
         };
         let results = run_policies_parallel(&art, &Policy::FIG7, &exp);
-        println!("== {} workload (token-level, {n_jobs} jobs) ==", kind.name());
+        println!(
+            "== {} workload (token-level, {n_jobs} jobs) ==",
+            kind.name()
+        );
         for r in &results {
             assert_eq!(r.incomplete, 0, "{} stranded jobs", r.scheduler);
             println!(
@@ -65,7 +72,10 @@ fn main() {
             .iter()
             .map(|r| r.avg_jct_secs())
             .fold(f64::INFINITY, f64::min);
-        println!("  -> LLMSched reduction vs best baseline: {:.0}%\n", (1.0 - ours / best) * 100.0);
+        println!(
+            "  -> LLMSched reduction vs best baseline: {:.0}%\n",
+            (1.0 - ours / best) * 100.0
+        );
     }
     println!("wrote {}", write_csv(&fig8, "fig8").display());
     println!("wrote {}", write_csv(&table1, "table1").display());

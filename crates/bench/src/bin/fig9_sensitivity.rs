@@ -19,7 +19,11 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let n_jobs = if quick { 120 } else { 300 };
     let art = TrainedArtifacts::train(
-        if quick { 150 } else { llmsched_bench::roster::DEFAULT_TRAINING_PER_APP },
+        if quick {
+            150
+        } else {
+            llmsched_bench::roster::DEFAULT_TRAINING_PER_APP
+        },
         1,
     );
     let base = |kind, seed| ExperimentConfig {
@@ -34,7 +38,10 @@ fn main() {
     let mut jcts = Vec::new();
     for &eps in &eps_values {
         let exp = ExperimentConfig {
-            llmsched: Some(LlmSchedConfig { epsilon: eps, ..Default::default() }),
+            llmsched: Some(LlmSchedConfig {
+                epsilon: eps,
+                ..Default::default()
+            }),
             ..base(WorkloadKind::Planning, 42)
         };
         jcts.push(run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs());
@@ -43,7 +50,11 @@ fn main() {
     let mut t = Table::new(vec!["epsilon", "avg_jct_s", "norm_jct"]);
     for (&eps, &j) in eps_values.iter().zip(&jcts) {
         println!("  eps {eps:>3.1}: {j:>7.1}s  norm {:.3}", j / best);
-        t.row(vec![format!("{eps}"), format!("{j:.2}"), format!("{:.4}", j / best)]);
+        t.row(vec![
+            format!("{eps}"),
+            format!("{j:.2}"),
+            format!("{:.4}", j / best),
+        ]);
     }
     write_csv(&t, "fig9a");
 
@@ -53,7 +64,10 @@ fn main() {
     let mut jcts = Vec::new();
     for &r in &r_values {
         let exp = ExperimentConfig {
-            llmsched: Some(LlmSchedConfig { sampling_ratio: r, ..Default::default() }),
+            llmsched: Some(LlmSchedConfig {
+                sampling_ratio: r,
+                ..Default::default()
+            }),
             ..base(WorkloadKind::Mixed, 42)
         };
         jcts.push(run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs());
@@ -62,7 +76,11 @@ fn main() {
     let mut t = Table::new(vec!["sampling_ratio", "avg_jct_s", "norm_jct"]);
     for (&r, &j) in r_values.iter().zip(&jcts) {
         println!("  r {r:>3.1}: {j:>7.1}s  norm {:.3}", j / best);
-        t.row(vec![format!("{r}"), format!("{j:.2}"), format!("{:.4}", j / best)]);
+        t.row(vec![
+            format!("{r}"),
+            format!("{j:.2}"),
+            format!("{:.4}", j / best),
+        ]);
     }
     write_csv(&t, "fig9b");
 
@@ -71,12 +89,18 @@ fn main() {
     let mut t = Table::new(vec!["workload", "lambda", "avg_jct_s", "norm_jct"]);
     for kind in WorkloadKind::ALL {
         let ref_jct = {
-            let exp = ExperimentConfig { lambda: 0.9, ..base(kind, 42) };
+            let exp = ExperimentConfig {
+                lambda: 0.9,
+                ..base(kind, 42)
+            };
             run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs()
         };
         print!("  {:<11}", kind.name());
         for lambda in [0.6, 0.9, 1.2] {
-            let exp = ExperimentConfig { lambda, ..base(kind, 42) };
+            let exp = ExperimentConfig {
+                lambda,
+                ..base(kind, 42)
+            };
             let j = run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs();
             print!("  λ={lambda}: {:>6.2}", j / ref_jct);
             t.row(vec![

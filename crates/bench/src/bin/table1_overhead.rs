@@ -17,11 +17,21 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let n_jobs = if quick { 100 } else { 300 };
     let art = TrainedArtifacts::train(
-        if quick { 150 } else { llmsched_bench::roster::DEFAULT_TRAINING_PER_APP },
+        if quick {
+            150
+        } else {
+            llmsched_bench::roster::DEFAULT_TRAINING_PER_APP
+        },
         1,
     );
 
-    let mut table = Table::new(vec!["policy", "Mixed", "Predefined", "Chain-like", "Planning"]);
+    let mut table = Table::new(vec![
+        "policy",
+        "Mixed",
+        "Predefined",
+        "Chain-like",
+        "Planning",
+    ]);
     println!(
         "{:<12} {:>10} {:>12} {:>12} {:>10}   (ms per invocation)",
         "policy", "Mixed", "Predefined", "Chain-like", "Planning"
@@ -30,8 +40,10 @@ fn main() {
         let mut cells = vec![policy.name().to_string()];
         let mut row_print = format!("{:<12}", policy.name());
         for kind in WorkloadKind::ALL {
-            let exp =
-                ExperimentConfig { n_jobs, ..ExperimentConfig::paper_default(kind, 42) };
+            let exp = ExperimentConfig {
+                n_jobs,
+                ..ExperimentConfig::paper_default(kind, 42)
+            };
             let r = run_policy(&art, policy, &exp);
             let ms = r.sched_overhead_ms();
             cells.push(format!("{ms:.3}"));

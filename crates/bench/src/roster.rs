@@ -82,12 +82,20 @@ impl TrainedArtifacts {
         let cfg = ProfilerConfig::default();
         let profiler = Profiler::train(&templates, &corpus, &cfg);
         let priors = AppPriors::from_training(&corpus, cfg.per_token_b1);
-        TrainedArtifacts { templates, priors, profiler }
+        TrainedArtifacts {
+            templates,
+            priors,
+            profiler,
+        }
     }
 
     /// Builds a policy instance. `llmsched_cfg` customizes the LLMSched
     /// variants (ε, r, MI estimator); pass `None` for defaults.
-    pub fn build(&self, policy: Policy, llmsched_cfg: Option<LlmSchedConfig>) -> Box<dyn Scheduler> {
+    pub fn build(
+        &self,
+        policy: Policy,
+        llmsched_cfg: Option<LlmSchedConfig>,
+    ) -> Box<dyn Scheduler> {
         let base = llmsched_cfg.unwrap_or_default();
         match policy {
             Policy::Fcfs => Box::new(Fcfs),
@@ -100,11 +108,17 @@ impl TrainedArtifacts {
             Policy::LlmSched => Box::new(LlmSched::new(self.profiler.clone(), base)),
             Policy::LlmSchedNoBn => Box::new(LlmSched::new(
                 self.profiler.clone(),
-                LlmSchedConfig { use_bn: false, ..base },
+                LlmSchedConfig {
+                    use_bn: false,
+                    ..base
+                },
             )),
             Policy::LlmSchedNoUncertainty => Box::new(LlmSched::new(
                 self.profiler.clone(),
-                LlmSchedConfig { use_uncertainty: false, ..base },
+                LlmSchedConfig {
+                    use_uncertainty: false,
+                    ..base
+                },
             )),
         }
     }

@@ -1,5 +1,5 @@
 //! Workload runners: one simulation per (policy, workload, parameters),
-//! with optional crossbeam-parallel sweeps.
+//! with optional thread-parallel sweeps.
 
 use llmsched_core::prelude::LlmSchedConfig;
 use llmsched_sim::engine::{simulate, ClusterConfig, EngineMode};
@@ -44,7 +44,10 @@ impl ExperimentConfig {
 
     /// The effective cluster configuration.
     pub fn cluster(&self) -> ClusterConfig {
-        let mut c = self.cluster.clone().unwrap_or_else(|| self.kind.default_cluster());
+        let mut c = self
+            .cluster
+            .clone()
+            .unwrap_or_else(|| self.kind.default_cluster());
         c.mode = self.mode;
         c
     }
@@ -65,18 +68,17 @@ pub fn run_policies_parallel(
     exp: &ExperimentConfig,
 ) -> Vec<SimResult> {
     let mut out: Vec<Option<SimResult>> = (0..policies.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &p in policies {
             let art = &*art;
             let exp = &*exp;
-            handles.push(scope.spawn(move |_| run_policy(art, p, exp)));
+            handles.push(scope.spawn(move || run_policy(art, p, exp)));
         }
         for (slot, h) in out.iter_mut().zip(handles) {
             *slot = Some(h.join().expect("policy run panicked"));
         }
-    })
-    .expect("scope join");
+    });
     out.into_iter().map(|r| r.expect("filled")).collect()
 }
 

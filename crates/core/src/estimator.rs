@@ -10,6 +10,7 @@
 use llmsched_bayes::network::Evidence;
 use llmsched_dag::ids::StageId;
 use llmsched_dag::job::StageKind;
+use llmsched_sim::scheduler::SchedContext;
 use llmsched_sim::state::JobRt;
 
 use crate::profiler::AppProfile;
@@ -54,6 +55,18 @@ impl WorkEstimate {
 /// mix (see DESIGN.md §3.6 and the `fig9_sensitivity` bench).
 pub const INTERVAL_TAIL_MASS: f64 = 0.35;
 
+/// The Eq. 2 batching-aware calibration factor `l(b_t)/l(1)` read off the
+/// executor backend's occupancy view: `b_t` is the current average batch
+/// size over busy LLM executors (whatever
+/// [`ExecutorBackend`](llmsched_sim::exec::ExecutorBackend) produced the
+/// view), and `l(·)` the cluster's decode-latency curve. Multiply batch-1
+/// LLM work estimates by this factor to predict wall-clock durations
+/// under the current batching pressure.
+pub fn batching_calibration(ctx: &SchedContext<'_>) -> f64 {
+    let bt = ctx.average_busy_batch().round().max(1.0) as usize;
+    ctx.latency.calibration_ratio(1, bt)
+}
+
 /// Posterior remaining-work estimate for one job.
 ///
 /// * With `use_bn = true` the posterior conditions on `evidence` (completed
@@ -87,7 +100,11 @@ pub fn remaining_work_with(
         // mean falls back to the historical average.
         let p = profile.net().posterior_marginal(s, cond);
         let (mut lo, mut hi) = disc.quantile_interval(&p, tail_mass);
-        let mut mean = if use_bn { disc.expectation(&p) } else { profile.static_mean(sid) };
+        let mut mean = if use_bn {
+            disc.expectation(&p)
+        } else {
+            profile.static_mean(sid)
+        };
         // Credit observable progress inside an expanded-but-unfinished
         // placeholder.
         if is_placeholder(job, sid) {
@@ -120,7 +137,9 @@ pub fn remaining_work(
 }
 
 fn is_placeholder(job: &JobRt, stage: StageId) -> bool {
-    job.stage_view(stage).map(|v| v.kind == StageKind::DynamicPlaceholder).unwrap_or(false)
+    job.stage_view(stage)
+        .map(|v| v.kind == StageKind::DynamicPlaceholder)
+        .unwrap_or(false)
 }
 
 fn completed_children_work(job: &JobRt, placeholder: StageId) -> f64 {
@@ -158,15 +177,28 @@ mod tests {
         let prof = p.profile(AppKind::SequenceSorting.app_id()).unwrap();
         let est = remaining_work(prof, &job, &Evidence::new(), true);
         let total = est.expected(1.0);
-        let static_total: f64 =
-            (0..prof.n_stages()).map(|s| prof.static_mean(StageId(s as u32))).sum();
+        let static_total: f64 = (0..prof.n_stages())
+            .map(|s| prof.static_mean(StageId(s as u32)))
+            .sum();
         // Prior posterior mean ≈ training mean (same marginals).
         assert!(
             (total - static_total).abs() / static_total < 0.25,
             "prior estimate {total} should be near static mean {static_total}"
         );
-        let (lo, hi) = est.interval(1.0);
-        assert!(lo <= total && total <= hi, "mean within support: {lo} <= {total} <= {hi}");
+        // The default band trims 35% per side, so the mean of a skewed
+        // posterior may fall outside it; only the untrimmed support is
+        // guaranteed to contain the expectation.
+        let full = remaining_work_with(prof, &job, &Evidence::new(), true, 0.0);
+        let (lo, hi) = full.interval(1.0);
+        assert!(
+            lo <= total && total <= hi,
+            "mean within full support: {lo} <= {total} <= {hi}"
+        );
+        let (blo, bhi) = est.interval(1.0);
+        assert!(
+            blo >= lo - 1e-9 && bhi <= hi + 1e-9,
+            "trimmed band nests in full support"
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod uncertainty;
 /// Convenient glob-import of the LLMSched surface.
 pub mod prelude {
     pub use crate::estimator::{
-        remaining_work, remaining_work_with, WorkEstimate, INTERVAL_TAIL_MASS,
+        batching_calibration, remaining_work, remaining_work_with, WorkEstimate, INTERVAL_TAIL_MASS,
     };
     pub use crate::profiler::{
         AppProfile, DynamicStats, Profiler, ProfilerConfig, StructureLearner,

@@ -79,10 +79,16 @@ impl DynamicStats {
     /// The dynamic stage's structural entropy: node entropy + edge entropy
     /// (Eq. 4), in bits.
     pub fn structural_entropy(&self) -> f64 {
-        let nodes: f64 =
-            self.candidate_freq.iter().map(|&p| llmsched_bayes::info::binary_entropy(p)).sum();
-        let edges: f64 =
-            self.edge_freq.values().map(|&p| llmsched_bayes::info::binary_entropy(p)).sum();
+        let nodes: f64 = self
+            .candidate_freq
+            .iter()
+            .map(|&p| llmsched_bayes::info::binary_entropy(p))
+            .sum();
+        let edges: f64 = self
+            .edge_freq
+            .values()
+            .map(|&p| llmsched_bayes::info::binary_entropy(p))
+            .sum();
         nodes + edges
     }
 }
@@ -237,15 +243,14 @@ fn train_one(
     let n = template.len();
     // Duration matrix: one row per job, one column per template stage
     // (placeholders aggregate generated work; unexecuted stages are 0 s).
-    let samples: Vec<Vec<f64>> =
-        jobs.iter().map(|j| j.template_stage_durations_secs(cfg.per_token_b1)).collect();
+    let samples: Vec<Vec<f64>> = jobs
+        .iter()
+        .map(|j| j.template_stage_durations_secs(cfg.per_token_b1))
+        .collect();
     let (discretizers, data) = DiscreteData::discretize(&samples, cfg.max_bins);
 
     // Stage topological order constrains edge direction (§3.4 of DESIGN.md).
-    let order: Vec<usize> = template
-        .dag()
-        .topo_order()
-        .expect("templates are DAGs");
+    let order: Vec<usize> = template.dag().topo_order().expect("templates are DAGs");
     let parents = match cfg.learner {
         StructureLearner::HillClimb => learn_order_hill_climb(&data, &order, cfg.max_parents),
         StructureLearner::ChowLiu => learn_chow_liu(&data, &order, 0.02),
@@ -268,7 +273,10 @@ fn train_one(
     let mut dynamic = HashMap::new();
     let mut dynamic_preceding = HashMap::new();
     for d in template.dynamic_stages() {
-        let TemplateStageKind::Dynamic { candidates, preceding_llm } = &template.stage(d).kind
+        let TemplateStageKind::Dynamic {
+            candidates,
+            preceding_llm,
+        } = &template.stage(d).kind
         else {
             unreachable!("dynamic_stages() only returns dynamic stages");
         };
@@ -288,9 +296,7 @@ fn train_one(
             }
             // Inner edges (between generated stages of this placeholder).
             for &(u, v) in j.generated_edges() {
-                if let (Some(&cu), Some(&cv)) =
-                    (cand_of_stage.get(&u.0), cand_of_stage.get(&v.0))
-                {
+                if let (Some(&cu), Some(&cv)) = (cand_of_stage.get(&u.0), cand_of_stage.get(&v.0)) {
                     *edge_count.entry((cu, cv)).or_insert(0) += 1;
                 }
             }
@@ -366,7 +372,10 @@ mod tests {
         let prof = p.profile(AppKind::CodeGeneration.app_id()).unwrap();
         // Later-iteration stages are unexecuted in many jobs -> zero bin.
         let last = prof.discretizers().last().unwrap();
-        assert!(last.has_zero_bin(), "padded stages must have a non-execution bin");
+        assert!(
+            last.has_zero_bin(),
+            "padded stages must have a non-execution bin"
+        );
         assert!(prof.static_mean(StageId(0)) > 0.0);
     }
 
@@ -399,10 +408,16 @@ mod tests {
     fn chow_liu_learner_also_trains() {
         let templates = all_templates();
         let corpus = training_jobs(&[AppKind::SequenceSorting], 200, 6);
-        let cfg = ProfilerConfig { learner: StructureLearner::ChowLiu, ..Default::default() };
+        let cfg = ProfilerConfig {
+            learner: StructureLearner::ChowLiu,
+            ..Default::default()
+        };
         let p = Profiler::train(&templates, &corpus, &cfg);
         let prof = p.profile(AppKind::SequenceSorting.app_id()).unwrap();
-        assert!(!prof.net().edges().is_empty(), "Chow-Liu should find the latent coupling");
+        assert!(
+            !prof.net().edges().is_empty(),
+            "Chow-Liu should find the latent coupling"
+        );
     }
 
     #[test]

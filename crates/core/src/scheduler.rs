@@ -94,7 +94,13 @@ impl LlmSched {
         }
         .to_string();
         let seed = cfg.seed;
-        LlmSched { profiler, cfg, rng: StdRng::seed_from_u64(seed), cache: HashMap::new(), name }
+        LlmSched {
+            profiler,
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            cache: HashMap::new(),
+            name,
+        }
     }
 
     /// The active configuration.
@@ -123,7 +129,11 @@ impl LlmSched {
             self.cfg.use_bn,
             self.cfg.interval_tail_mass,
         );
-        let a = JobAnalysis { work, evidence, reduction: HashMap::new() };
+        let a = JobAnalysis {
+            work,
+            evidence,
+            reduction: HashMap::new(),
+        };
         self.cache.insert((job.id(), mask), a.clone());
         a
     }
@@ -155,8 +165,7 @@ impl LlmSched {
     /// Drops cache entries of jobs no longer active.
     fn prune_cache(&mut self, ctx: &SchedContext<'_>) {
         if self.cache.len() > 4 * ctx.jobs.len() + 64 {
-            let alive: std::collections::HashSet<JobId> =
-                ctx.jobs.iter().map(|j| j.id()).collect();
+            let alive: std::collections::HashSet<JobId> = ctx.jobs.iter().map(|j| j.id()).collect();
             self.cache.retain(|(id, _), _| alive.contains(id));
         }
     }
@@ -175,7 +184,9 @@ struct StageRef {
 /// entries are kept in input order.
 fn non_overlapping_groups(mut intervals: Vec<(usize, f64, f64)>) -> Vec<Vec<usize>> {
     intervals.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1).expect("finite bounds").then_with(|| a.0.cmp(&b.0))
+        a.1.partial_cmp(&b.1)
+            .expect("finite bounds")
+            .then_with(|| a.0.cmp(&b.0))
     });
     let mut groups: Vec<Vec<usize>> = Vec::new();
     let mut cur_hi = f64::NEG_INFINITY;
@@ -198,10 +209,9 @@ impl Scheduler for LlmSched {
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         self.prune_cache(ctx);
-        // Eq. 2 calibration: predicted durations at the current average
-        // busy batch size vs the batch-1 profiling baseline.
-        let bt = ctx.average_busy_batch().round().max(1.0) as usize;
-        let calib = ctx.latency.calibration_ratio(1, bt);
+        // Eq. 2 calibration: predicted durations at the backend-reported
+        // average busy batch size vs the batch-1 profiling baseline.
+        let calib = crate::estimator::batching_calibration(ctx);
 
         // --- Exploitation list St: stages by job est_rd (lines 1-4). ---
         let mut job_order: Vec<(f64, usize)> = ctx
@@ -211,15 +221,20 @@ impl Scheduler for LlmSched {
             .map(|(i, j)| (self.analysis(j).work.expected(calib), i))
             .collect();
         job_order.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("finite estimates").then_with(|| {
-                (ctx.jobs[a.1].arrival(), ctx.jobs[a.1].id())
-                    .cmp(&(ctx.jobs[b.1].arrival(), ctx.jobs[b.1].id()))
-            })
+            a.0.partial_cmp(&b.0)
+                .expect("finite estimates")
+                .then_with(|| {
+                    (ctx.jobs[a.1].arrival(), ctx.jobs[a.1].id())
+                        .cmp(&(ctx.jobs[b.1].arrival(), ctx.jobs[b.1].id()))
+                })
         });
         let mut st: Vec<StageRef> = Vec::new();
         for &(_, i) in &job_order {
             for s in ctx.jobs[i].ready_stage_ids() {
-                st.push(StageRef { job_idx: i, stage: s });
+                st.push(StageRef {
+                    job_idx: i,
+                    stage: s,
+                });
             }
         }
 
@@ -241,14 +256,22 @@ impl Scheduler for LlmSched {
                 for i in group {
                     for s in ctx.jobs[i].ready_stage_ids() {
                         let r = self.reduction_of(ctx.jobs[i], s);
-                        scored.push((r, StageRef { job_idx: i, stage: s }));
+                        scored.push((
+                            r,
+                            StageRef {
+                                job_idx: i,
+                                stage: s,
+                            },
+                        ));
                     }
                 }
                 scored.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0).expect("finite reductions").then_with(|| {
-                        (ctx.jobs[a.1.job_idx].id(), a.1.stage)
-                            .cmp(&(ctx.jobs[b.1.job_idx].id(), b.1.stage))
-                    })
+                    b.0.partial_cmp(&a.0)
+                        .expect("finite reductions")
+                        .then_with(|| {
+                            (ctx.jobs[a.1.job_idx].id(), a.1.stage)
+                                .cmp(&(ctx.jobs[b.1.job_idx].id(), b.1.stage))
+                        })
                 });
                 su.extend(scored.into_iter().map(|(_, s)| s));
             }
@@ -269,8 +292,8 @@ impl Scheduler for LlmSched {
             std::collections::HashSet::new();
         let (mut st_i, mut su_i) = (0usize, 0usize);
         while st_i < st.len() || su_i < su.len() {
-            let explore = su_i < su.len()
-                && (st_i >= st.len() || self.rng.gen::<f64>() <= self.cfg.epsilon);
+            let explore =
+                su_i < su.len() && (st_i >= st.len() || self.rng.gen::<f64>() <= self.cfg.epsilon);
             if explore {
                 let s = su[su_i];
                 su_i += 1;
@@ -349,8 +372,7 @@ mod tests {
             (false, true, "LLMSched w/o BN"),
             (true, false, "LLMSched w/o uncertainty"),
         ] {
-            let profiler =
-                trained_profiler(&[AppKind::TaskAutomation, AppKind::LlmCompiler]);
+            let profiler = trained_profiler(&[AppKind::TaskAutomation, AppKind::LlmCompiler]);
             let cfg = LlmSchedConfig {
                 use_bn,
                 use_uncertainty: use_unc,
@@ -391,10 +413,21 @@ mod tests {
             let profiler = trained_profiler(&AppKind::ALL);
             let w = generate_workload(WorkloadKind::Mixed, 25, 0.9, 53);
             let cluster = WorkloadKind::Mixed.default_cluster();
-            simulate(&cluster, &w.templates, w.jobs, &mut LlmSched::new(profiler, cfg))
+            simulate(
+                &cluster,
+                &w.templates,
+                w.jobs,
+                &mut LlmSched::new(profiler, cfg),
+            )
         };
-        let eps0 = run(LlmSchedConfig { epsilon: 0.0, ..Default::default() });
-        let wo = run(LlmSchedConfig { use_uncertainty: false, ..Default::default() });
+        let eps0 = run(LlmSchedConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        });
+        let wo = run(LlmSchedConfig {
+            use_uncertainty: false,
+            ..Default::default()
+        });
         assert!((eps0.avg_jct_secs() - wo.avg_jct_secs()).abs() < 1e-9);
     }
 }

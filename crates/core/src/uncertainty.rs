@@ -79,7 +79,9 @@ pub fn uncertainty_reduction(
             MiEstimator::ExactJoint { max_joint } => {
                 // Keep the widest-range stages if we must truncate.
                 correlated.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).expect("finite ranges").then(a.0.cmp(&b.0))
+                    b.1.partial_cmp(&a.1)
+                        .expect("finite ranges")
+                        .then(a.0.cmp(&b.0))
                 });
                 correlated.truncate(max_joint.max(1));
                 let mut targets: Vec<usize> = correlated.iter().map(|&(y, _)| y).collect();
@@ -87,8 +89,7 @@ pub fn uncertainty_reduction(
                 targets.sort_unstable();
                 targets.dedup();
                 let joint = profile.net().posterior_joint(&targets, evidence);
-                let ys: Vec<usize> =
-                    targets.iter().copied().filter(|&t| t != x).collect();
+                let ys: Vec<usize> = targets.iter().copied().filter(|&t| t != x).collect();
                 mutual_information(&joint, x, &ys)
             }
             MiEstimator::PairwiseSum => correlated
@@ -158,9 +159,11 @@ mod tests {
         let (p, job) = setup(AppKind::TaskAutomation);
         let prof = p.profile(AppKind::TaskAutomation.app_id()).unwrap();
         let ev = Evidence::new();
-        let r_plan =
-            uncertainty_reduction(prof, &job, StageId(0), &ev, MiEstimator::default());
-        assert!(r_plan > 0.0, "plan stage must reduce uncertainty, got {r_plan}");
+        let r_plan = uncertainty_reduction(prof, &job, StageId(0), &ev, MiEstimator::default());
+        assert!(
+            r_plan > 0.0,
+            "plan stage must reduce uncertainty, got {r_plan}"
+        );
     }
 
     #[test]
@@ -173,7 +176,10 @@ mod tests {
         assert!(r0 > 0.0, "upstream stage should reduce uncertainty");
         // A sink stage (final score) correlates with nothing downstream.
         let r_last = uncertainty_reduction(prof, &job, StageId(10), &ev, MiEstimator::default());
-        assert!(r_last <= r0, "sink reduction {r_last} must not exceed source {r0}");
+        assert!(
+            r_last <= r0,
+            "sink reduction {r_last} must not exceed source {r0}"
+        );
     }
 
     #[test]
@@ -201,8 +207,7 @@ mod tests {
                 &ev,
                 MiEstimator::ExactJoint { max_joint: 2 },
             );
-            let pair =
-                uncertainty_reduction(prof, &job, StageId(s), &ev, MiEstimator::PairwiseSum);
+            let pair = uncertainty_reduction(prof, &job, StageId(s), &ev, MiEstimator::PairwiseSum);
             assert!(exact.is_finite() && exact >= 0.0);
             assert!(pair.is_finite() && pair >= 0.0);
         }
@@ -215,12 +220,10 @@ mod tests {
         // After observing most ancestors, a mid-stage's reduction should
         // not grow.
         let ev = Evidence::new();
-        let before =
-            uncertainty_reduction(prof, &job, StageId(3), &ev, MiEstimator::default());
+        let before = uncertainty_reduction(prof, &job, StageId(3), &ev, MiEstimator::default());
         let mut ev2 = Evidence::new();
         ev2.insert(0, 1);
-        let after =
-            uncertainty_reduction(prof, &job, StageId(3), &ev2, MiEstimator::default());
+        let after = uncertainty_reduction(prof, &job, StageId(3), &ev2, MiEstimator::default());
         assert!(after.is_finite() && before.is_finite());
     }
 }

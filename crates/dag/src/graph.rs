@@ -16,7 +16,10 @@ pub struct Dag {
 impl Dag {
     /// Creates a graph with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        Dag { succ: vec![Vec::new(); n], pred: vec![Vec::new(); n] }
+        Dag {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+        }
     }
 
     /// Creates a graph from an edge list.
@@ -53,7 +56,10 @@ impl Dag {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge ({u},{v}) out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge ({u},{v}) out of range"
+        );
         if !self.succ[u].contains(&v) {
             self.succ[u].push(v);
             self.pred[v].push(u);
@@ -120,7 +126,11 @@ impl Dag {
                 }
             }
         }
-        seen.iter().enumerate().filter(|&(_, &s)| s).map(|(i, _)| i).collect()
+        seen.iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// All nodes that reach `u` by directed paths (excluding `u` itself),
@@ -136,7 +146,11 @@ impl Dag {
                 }
             }
         }
-        seen.iter().enumerate().filter(|&(_, &s)| s).map(|(i, _)| i).collect()
+        seen.iter()
+            .enumerate()
+            .filter(|&(_, &s)| s)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Longest-path depth of every node measured from the sources
@@ -145,7 +159,9 @@ impl Dag {
     /// # Panics
     /// Panics if the graph is cyclic.
     pub fn depths(&self) -> Vec<usize> {
-        let order = self.topo_order().expect("depths() requires an acyclic graph");
+        let order = self
+            .topo_order()
+            .expect("depths() requires an acyclic graph");
         let mut depth = vec![0usize; self.len()];
         for &u in &order {
             for &v in &self.succ[u] {
@@ -161,7 +177,9 @@ impl Dag {
     /// # Panics
     /// Panics if the graph is cyclic.
     pub fn heights(&self) -> Vec<usize> {
-        let order = self.topo_order().expect("heights() requires an acyclic graph");
+        let order = self
+            .topo_order()
+            .expect("heights() requires an acyclic graph");
         let mut height = vec![0usize; self.len()];
         for &u in order.iter().rev() {
             for &v in &self.succ[u] {
@@ -180,7 +198,9 @@ impl Dag {
     /// Panics if the graph is cyclic or `weight.len() != self.len()`.
     pub fn critical_path(&self, weight: &[f64]) -> f64 {
         assert_eq!(weight.len(), self.len(), "weight vector length mismatch");
-        let order = self.topo_order().expect("critical_path() requires an acyclic graph");
+        let order = self
+            .topo_order()
+            .expect("critical_path() requires an acyclic graph");
         let mut best = vec![0.0f64; self.len()];
         let mut max = 0.0f64;
         for &u in &order {

@@ -188,13 +188,22 @@ impl fmt::Display for TemplateError {
             TemplateError::UnknownStage(s) => write!(f, "reference to unknown stage {s}"),
             TemplateError::Cyclic => write!(f, "stage graph contains a cycle"),
             TemplateError::RevealNotAncestor { stage, revealed_by } => {
-                write!(f, "stage {stage} revealed by {revealed_by}, which is not an ancestor")
+                write!(
+                    f,
+                    "stage {stage} revealed by {revealed_by}, which is not an ancestor"
+                )
             }
             TemplateError::PrecedingNotLlm { dynamic, preceding } => {
-                write!(f, "dynamic stage {dynamic} preceded by non-LLM stage {preceding}")
+                write!(
+                    f,
+                    "dynamic stage {dynamic} preceded by non-LLM stage {preceding}"
+                )
             }
             TemplateError::PrecedingNotAncestor { dynamic, preceding } => {
-                write!(f, "dynamic stage {dynamic} preceded by {preceding}, which is not an ancestor")
+                write!(
+                    f,
+                    "dynamic stage {dynamic} preceded by {preceding}, which is not an ancestor"
+                )
             }
             TemplateError::NoCandidates(s) => {
                 write!(f, "dynamic stage {s} has an empty candidate set")
@@ -233,7 +242,9 @@ impl TemplateSet {
     /// # Panics
     /// Panics if `app` is not registered.
     pub fn expect(&self, app: AppId) -> &Template {
-        self.inner.get(&app).unwrap_or_else(|| panic!("no template registered for {app}"))
+        self.inner
+            .get(&app)
+            .unwrap_or_else(|| panic!("no template registered for {app}"))
     }
 
     /// Iterates over templates in `AppId` order.
@@ -291,7 +302,12 @@ pub struct TemplateBuilder {
 impl TemplateBuilder {
     /// Starts a template for application `app` named `name`.
     pub fn new(app: AppId, name: impl Into<String>) -> Self {
-        TemplateBuilder { app, name: name.into(), stages: Vec::new(), edges: Vec::new() }
+        TemplateBuilder {
+            app,
+            name: name.into(),
+            stages: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     fn push(&mut self, stage: TemplateStage) -> StageId {
@@ -328,7 +344,10 @@ impl TemplateBuilder {
     ) -> StageId {
         self.push(TemplateStage {
             name: name.into(),
-            kind: TemplateStageKind::Dynamic { candidates, preceding_llm },
+            kind: TemplateStageKind::Dynamic {
+                candidates,
+                preceding_llm,
+            },
             revealed_by: None,
             typical_tasks: 1,
         })
@@ -381,7 +400,14 @@ impl TemplateBuilder {
             check(u)?;
             check(v)?;
         }
-        let dag = Dag::from_edges(n, &self.edges.iter().map(|&(u, v)| (u.index(), v.index())).collect::<Vec<_>>());
+        let dag = Dag::from_edges(
+            n,
+            &self
+                .edges
+                .iter()
+                .map(|&(u, v)| (u.index(), v.index()))
+                .collect::<Vec<_>>(),
+        );
         if !dag.is_acyclic() {
             return Err(TemplateError::Cyclic);
         }
@@ -390,17 +416,27 @@ impl TemplateBuilder {
             if let Some(r) = stage.revealed_by {
                 check(r)?;
                 if !dag.ancestors(i).contains(&r.index()) {
-                    return Err(TemplateError::RevealNotAncestor { stage: sid, revealed_by: r });
+                    return Err(TemplateError::RevealNotAncestor {
+                        stage: sid,
+                        revealed_by: r,
+                    });
                 }
             }
-            if let TemplateStageKind::Dynamic { candidates, preceding_llm } = &stage.kind {
+            if let TemplateStageKind::Dynamic {
+                candidates,
+                preceding_llm,
+            } = &stage.kind
+            {
                 check(*preceding_llm)?;
                 if candidates.is_empty() {
                     return Err(TemplateError::NoCandidates(sid));
                 }
                 let pre = &self.stages[preceding_llm.index()];
                 if !matches!(pre.kind, TemplateStageKind::Llm) {
-                    return Err(TemplateError::PrecedingNotLlm { dynamic: sid, preceding: *preceding_llm });
+                    return Err(TemplateError::PrecedingNotLlm {
+                        dynamic: sid,
+                        preceding: *preceding_llm,
+                    });
                 }
                 if !dag.ancestors(i).contains(&preceding_llm.index()) {
                     return Err(TemplateError::PrecedingNotAncestor {
@@ -410,7 +446,13 @@ impl TemplateBuilder {
                 }
             }
         }
-        Ok(Template { app: self.app, name: self.name, stages: self.stages, edges: self.edges, dag })
+        Ok(Template {
+            app: self.app,
+            name: self.name,
+            stages: self.stages,
+            edges: self.edges,
+            dag,
+        })
     }
 }
 
@@ -419,7 +461,10 @@ mod tests {
     use super::*;
 
     fn cand(name: &str) -> Candidate {
-        Candidate { name: name.into(), class: ExecutorClass::Regular }
+        Candidate {
+            name: name.into(),
+            class: ExecutorClass::Regular,
+        }
     }
 
     #[test]
@@ -437,7 +482,10 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        assert_eq!(TemplateBuilder::new(AppId(0), "e").build().unwrap_err(), TemplateError::Empty);
+        assert_eq!(
+            TemplateBuilder::new(AppId(0), "e").build().unwrap_err(),
+            TemplateError::Empty
+        );
     }
 
     #[test]
@@ -455,7 +503,10 @@ mod tests {
         let mut b = TemplateBuilder::new(AppId(0), "bad");
         let a = b.llm("a");
         b.edge(a, StageId(9));
-        assert_eq!(b.build().unwrap_err(), TemplateError::UnknownStage(StageId(9)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TemplateError::UnknownStage(StageId(9))
+        );
     }
 
     #[test]
@@ -466,7 +517,10 @@ mod tests {
         b.revealed_by(c, a);
         assert_eq!(
             b.build().unwrap_err(),
-            TemplateError::RevealNotAncestor { stage: c, revealed_by: a }
+            TemplateError::RevealNotAncestor {
+                stage: c,
+                revealed_by: a
+            }
         );
     }
 
@@ -489,7 +543,10 @@ mod tests {
         b.edge(r, d);
         assert_eq!(
             b.build().unwrap_err(),
-            TemplateError::PrecedingNotLlm { dynamic: d, preceding: r }
+            TemplateError::PrecedingNotLlm {
+                dynamic: d,
+                preceding: r
+            }
         );
 
         // preceding is llm but not an ancestor -> error
@@ -498,7 +555,10 @@ mod tests {
         let d = b.dynamic("dyn", l, vec![cand("t1")]);
         assert_eq!(
             b.build().unwrap_err(),
-            TemplateError::PrecedingNotAncestor { dynamic: d, preceding: l }
+            TemplateError::PrecedingNotAncestor {
+                dynamic: d,
+                preceding: l
+            }
         );
     }
 
@@ -516,13 +576,19 @@ mod tests {
         // Fig. 4 right: task plan (LLM) -> dynamic {3 tools}.
         let mut b = TemplateBuilder::new(AppId(5), "task_automation");
         let plan = b.llm("task plan");
-        let dynamic =
-            b.dynamic("plan exec", plan, vec![cand("text trans"), cand("img seg"), cand("obj detec")]);
+        let dynamic = b.dynamic(
+            "plan exec",
+            plan,
+            vec![cand("text trans"), cand("img seg"), cand("obj detec")],
+        );
         b.edge(plan, dynamic);
         let t = b.build().unwrap();
         assert_eq!(t.dynamic_stages(), vec![dynamic]);
         match &t.stage(dynamic).kind {
-            TemplateStageKind::Dynamic { candidates, preceding_llm } => {
+            TemplateStageKind::Dynamic {
+                candidates,
+                preceding_llm,
+            } => {
                 assert_eq!(candidates.len(), 3);
                 assert_eq!(*preceding_llm, plan);
             }
@@ -532,7 +598,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = TemplateError::RevealNotAncestor { stage: StageId(2), revealed_by: StageId(5) };
+        let e = TemplateError::RevealNotAncestor {
+            stage: StageId(2),
+            revealed_by: StageId(5),
+        };
         assert!(e.to_string().contains("S2"));
         assert!(e.to_string().contains("S5"));
     }

@@ -194,7 +194,10 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_secs_f64(2.0) + SimDuration::from_secs_f64(0.5);
         assert_eq!(t, SimTime::from_secs_f64(2.5));
-        assert_eq!(t - SimTime::from_secs_f64(2.0), SimDuration::from_secs_f64(0.5));
+        assert_eq!(
+            t - SimTime::from_secs_f64(2.0),
+            SimDuration::from_secs_f64(0.5)
+        );
         assert_eq!(SimDuration::from_millis(250) * 4, SimDuration::from_secs(1));
         assert_eq!(SimDuration::from_secs(1) / 4, SimDuration::from_millis(250));
     }
@@ -214,7 +217,10 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 

@@ -54,7 +54,10 @@ impl TaskWork {
     /// the analytic and token-level engines charge prompt processing.
     pub fn llm_token_cost(&self) -> Option<u64> {
         match *self {
-            TaskWork::Llm { prompt_tokens, output_tokens } => {
+            TaskWork::Llm {
+                prompt_tokens,
+                output_tokens,
+            } => {
                 let prefill = (prompt_tokens as f64 * PREFILL_TOKEN_EQUIV).ceil() as u64;
                 Some(prefill + output_tokens as u64)
             }
@@ -92,30 +95,51 @@ mod tests {
 
     #[test]
     fn class_matches_variant() {
-        let r = TaskWork::Regular { duration: SimDuration::from_secs(1) };
-        let l = TaskWork::Llm { prompt_tokens: 10, output_tokens: 20 };
+        let r = TaskWork::Regular {
+            duration: SimDuration::from_secs(1),
+        };
+        let l = TaskWork::Llm {
+            prompt_tokens: 10,
+            output_tokens: 20,
+        };
         assert_eq!(r.class(), ExecutorClass::Regular);
         assert_eq!(l.class(), ExecutorClass::Llm);
     }
 
     #[test]
     fn token_cost_includes_prefill() {
-        let l = TaskWork::Llm { prompt_tokens: 100, output_tokens: 200 };
+        let l = TaskWork::Llm {
+            prompt_tokens: 100,
+            output_tokens: 200,
+        };
         // 100 * 0.05 = 5 prefill-equivalent tokens + 200 decode tokens.
         assert_eq!(l.llm_token_cost(), Some(205));
-        let r = TaskWork::Regular { duration: SimDuration::ZERO };
+        let r = TaskWork::Regular {
+            duration: SimDuration::ZERO,
+        };
         assert_eq!(r.llm_token_cost(), None);
     }
 
     #[test]
     fn nominal_duration_regular_is_fixed() {
-        let r = TaskWork::Regular { duration: SimDuration::from_millis(300) };
-        assert_eq!(r.nominal_duration(SimDuration::from_millis(20)), SimDuration::from_millis(300));
+        let r = TaskWork::Regular {
+            duration: SimDuration::from_millis(300),
+        };
+        assert_eq!(
+            r.nominal_duration(SimDuration::from_millis(20)),
+            SimDuration::from_millis(300)
+        );
     }
 
     #[test]
     fn nominal_duration_llm_scales_with_tokens() {
-        let l = TaskWork::Llm { prompt_tokens: 0, output_tokens: 50 };
-        assert_eq!(l.nominal_duration(SimDuration::from_millis(20)), SimDuration::from_secs(1));
+        let l = TaskWork::Llm {
+            prompt_tokens: 0,
+            output_tokens: 50,
+        };
+        assert_eq!(
+            l.nominal_duration(SimDuration::from_millis(20)),
+            SimDuration::from_secs(1)
+        );
     }
 }

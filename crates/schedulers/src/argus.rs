@@ -88,12 +88,28 @@ mod tests {
 
     #[test]
     fn rank_orders_lexicographically() {
-        let a = Rank { depth_per_mille: 900, children: 0, tasks: 0 };
-        let b = Rank { depth_per_mille: 500, children: 9, tasks: 9 };
+        let a = Rank {
+            depth_per_mille: 900,
+            children: 0,
+            tasks: 0,
+        };
+        let b = Rank {
+            depth_per_mille: 500,
+            children: 9,
+            tasks: 9,
+        };
         assert!(a > b, "depth dominates");
-        let c = Rank { depth_per_mille: 500, children: 2, tasks: 0 };
+        let c = Rank {
+            depth_per_mille: 500,
+            children: 2,
+            tasks: 0,
+        };
         assert!(
-            c > Rank { depth_per_mille: 500, children: 1, tasks: 5 },
+            c > Rank {
+                depth_per_mille: 500,
+                children: 1,
+                tasks: 5
+            },
             "children beat tasks"
         );
     }

@@ -3,7 +3,7 @@
 use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler};
 use llmsched_sim::state::JobRt;
 
-use crate::util::AppPriors;
+use crate::util::{AppPriors, ReadyTasks};
 
 /// Pushes every ready task of `job` in ascending stage order.
 fn push_all_ready(p: &mut Preference, job: &JobRt) {
@@ -46,7 +46,7 @@ impl Scheduler for Fair {
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         // Per job: the queue of ready tasks in stage order.
-        let mut queues: Vec<(usize, &JobRt, Vec<(llmsched_dag::ids::StageId, u32)>)> = ctx
+        let mut queues: Vec<(usize, &JobRt, ReadyTasks)> = ctx
             .jobs
             .iter()
             .map(|j| {
@@ -71,7 +71,11 @@ impl Scheduler for Fair {
                     cursors[qi] += 1;
                     progressed = true;
                     let view = job.stage_view(stage).expect("ready stage is visible");
-                    let r = llmsched_sim::scheduler::TaskRef { job: job.id(), stage, task };
+                    let r = llmsched_sim::scheduler::TaskRef {
+                        job: job.id(),
+                        stage,
+                        task,
+                    };
                     match view.kind {
                         llmsched_dag::job::StageKind::Llm => p.llm.push(r),
                         llmsched_dag::job::StageKind::Regular => p.regular.push(r),
@@ -143,8 +147,11 @@ impl Scheduler for Srtf {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        let mut jobs: Vec<(f64, &&JobRt)> =
-            ctx.jobs.iter().map(|j| (self.priors.remaining_estimate(j), j)).collect();
+        let mut jobs: Vec<(f64, &&JobRt)> = ctx
+            .jobs
+            .iter()
+            .map(|j| (self.priors.remaining_estimate(j), j))
+            .collect();
         jobs.sort_by(|a, b| {
             a.0.partial_cmp(&b.0)
                 .expect("estimates are finite")

@@ -21,7 +21,7 @@ use llmsched_dag::ids::StageId;
 use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
 use llmsched_sim::state::JobRt;
 
-use crate::util::{visible_heights, AppPriors};
+use crate::util::{visible_heights, AppPriors, ReadyTasks};
 
 /// The Carbyne-like altruistic scheduler.
 #[derive(Debug)]
@@ -37,8 +37,14 @@ impl CarbyneLike {
 }
 
 fn push_ref(p: &mut Preference, job: &JobRt, stage: StageId, task: u32) {
-    let Some(view) = job.stage_view(stage) else { return };
-    let r = TaskRef { job: job.id(), stage, task };
+    let Some(view) = job.stage_view(stage) else {
+        return;
+    };
+    let r = TaskRef {
+        job: job.id(),
+        stage,
+        task,
+    };
     match view.kind {
         llmsched_dag::job::StageKind::Llm => p.llm.push(r),
         llmsched_dag::job::StageKind::Regular => p.regular.push(r),
@@ -59,7 +65,7 @@ impl Scheduler for CarbyneLike {
         // whose delay would stretch the job's critical path.
         let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
         jobs.sort_by_key(|j| (j.running_tasks(), j.arrival(), j.id()));
-        let mut leftovers: Vec<(f64, &JobRt, Vec<(StageId, u32)>)> = Vec::new();
+        let mut leftovers: Vec<(f64, &JobRt, ReadyTasks)> = Vec::new();
         for job in jobs {
             let heights = visible_heights(job);
             let mut ready = job.ready_stage_ids();
@@ -105,8 +111,7 @@ mod tests {
 
     #[test]
     fn completes_the_fixture() {
-        let priors =
-            AppPriors::from_training(&two_class_training(), SimDuration::from_millis(20));
+        let priors = AppPriors::from_training(&two_class_training(), SimDuration::from_millis(20));
         let r = run_two_class_workload(&mut CarbyneLike::new(priors));
         assert_eq!(r.incomplete, 0);
         assert_eq!(r.scheduler, "Carbyne");

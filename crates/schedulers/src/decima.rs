@@ -95,13 +95,14 @@ mod tests {
             fn name(&self) -> &str {
                 "probe"
             }
-            fn schedule(
-                &mut self,
-                ctx: &llmsched_sim::scheduler::SchedContext<'_>,
-            ) -> Preference {
+            fn schedule(&mut self, ctx: &llmsched_sim::scheduler::SchedContext<'_>) -> Preference {
                 let p = self.0.schedule(ctx);
-                let mut stages: Vec<_> =
-                    p.regular.iter().chain(&p.llm).map(|t| (t.job, t.stage)).collect();
+                let mut stages: Vec<_> = p
+                    .regular
+                    .iter()
+                    .chain(&p.llm)
+                    .map(|t| (t.job, t.stage))
+                    .collect();
                 stages.dedup();
                 if stages.len() > 1 {
                     self.1 = true;

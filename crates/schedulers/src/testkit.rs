@@ -32,12 +32,17 @@ fn job_of(template: &Template, id: u64, arrival: f64, tokens: u32, reg_secs: f64
             StageSpec::executing(
                 "gen",
                 StageKind::Llm,
-                vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: tokens }],
+                vec![TaskWork::Llm {
+                    prompt_tokens: 0,
+                    output_tokens: tokens,
+                }],
             ),
             StageSpec::executing(
                 "exec",
                 StageKind::Regular,
-                vec![TaskWork::Regular { duration: SimDuration::from_secs_f64(reg_secs) }],
+                vec![TaskWork::Regular {
+                    duration: SimDuration::from_secs_f64(reg_secs),
+                }],
             ),
         ],
         vec![],

@@ -13,6 +13,10 @@ use llmsched_dag::job::JobSpec;
 use llmsched_dag::time::SimDuration;
 use llmsched_sim::state::JobRt;
 
+/// A job's schedulable tasks as `(stage, task index)` pairs — the queue
+/// shape the round-robin baselines carry per job.
+pub(crate) type ReadyTasks = Vec<(StageId, u32)>;
+
 /// Historical per-application statistics (static prior knowledge).
 #[derive(Debug, Clone, Default)]
 pub struct AppPriors {
@@ -31,15 +35,25 @@ impl AppPriors {
             let e = job_sum.entry(j.app()).or_insert((0.0, 0));
             e.0 += j.total_nominal_duration(per_token_b1).as_secs_f64();
             e.1 += 1;
-            for (s, d) in j.template_stage_durations_secs(per_token_b1).iter().enumerate() {
+            for (s, d) in j
+                .template_stage_durations_secs(per_token_b1)
+                .iter()
+                .enumerate()
+            {
                 let e = stage_sum.entry((j.app(), s as u32)).or_insert((0.0, 0));
                 e.0 += d;
                 e.1 += 1;
             }
         }
         AppPriors {
-            job_mean: job_sum.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect(),
-            stage_mean: stage_sum.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect(),
+            job_mean: job_sum
+                .into_iter()
+                .map(|(k, (s, n))| (k, s / n as f64))
+                .collect(),
+            stage_mean: stage_sum
+                .into_iter()
+                .map(|(k, (s, n))| (k, s / n as f64))
+                .collect(),
         }
     }
 
@@ -64,7 +78,9 @@ impl AppPriors {
         let mut total = 0.0;
         for s in 0..job.template_len() as u32 {
             let sid = StageId(s);
-            let Some(view) = job.stage_view(sid) else { continue };
+            let Some(view) = job.stage_view(sid) else {
+                continue;
+            };
             if view.done {
                 continue;
             }
@@ -135,12 +151,17 @@ mod tests {
                 StageSpec::executing(
                     "a",
                     StageKind::Llm,
-                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: llm_tokens }],
+                    vec![TaskWork::Llm {
+                        prompt_tokens: 0,
+                        output_tokens: llm_tokens,
+                    }],
                 ),
                 StageSpec::executing(
                     "b",
                     StageKind::Regular,
-                    vec![TaskWork::Regular { duration: SimDuration::from_secs_f64(reg_secs) }],
+                    vec![TaskWork::Regular {
+                        duration: SimDuration::from_secs_f64(reg_secs),
+                    }],
                 ),
             ],
             vec![],

@@ -1,19 +1,19 @@
-//! The discrete-event cluster engine.
+//! The discrete-event cluster engine: event loop, dispatch, and the
+//! reveal protocol of §IV-A.
 //!
-//! Two fidelities share one entry point ([`simulate`]):
+//! LLM serving itself lives behind the [`ExecutorBackend`] trait in
+//! [`crate::exec`]; the engine owns exactly one backend — chosen by
+//! [`ClusterConfig::mode`] — and is otherwise fidelity-agnostic. Two
+//! backends ship today (see [`EngineMode`]):
 //!
-//! * [`EngineMode::Analytic`] — the paper's *simulator*: each running LLM
-//!   task tracks remaining tokens; whenever an executor's batch membership
-//!   changes, progress is settled at the old per-token rate and finish
-//!   events are re-posted at the new rate (stale events are invalidated by
-//!   per-task epochs).
-//! * [`EngineMode::TokenLevel`] — the paper's *testbed* stand-in: executors
-//!   step per decode iteration with continuous batching (requests join at
-//!   iteration boundaries, every iteration costs `l(batch)` and emits
-//!   `chunk` tokens per request).
+//! * [`EngineMode::Analytic`] — the paper's *simulator*
+//!   ([`crate::exec::AnalyticExec`]): rate-rescaling batching, events
+//!   only at batch-membership changes.
+//! * [`EngineMode::TokenLevel`] — the paper's *testbed* stand-in
+//!   ([`crate::exec::TokenExec`]): per-iteration continuous batching.
 //!
 //! The engine owns the hidden [`JobSpec`]s and implements the reveal
-//! protocol of §IV-A; schedulers only observe the filtered
+//! protocol; schedulers only observe the filtered
 //! [`SchedContext`](crate::scheduler::SchedContext).
 
 use std::collections::BTreeSet;
@@ -22,24 +22,17 @@ use std::collections::HashMap;
 use llmsched_dag::ids::JobId;
 use llmsched_dag::job::{JobSpec, StageKind};
 use llmsched_dag::template::TemplateSet;
-use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::time::SimTime;
 use llmsched_dag::work::{ExecutorClass, TaskWork};
 
+pub use crate::exec::pool::EngineMode;
+
 use crate::event::{Event, EventQueue};
+use crate::exec::{pool, ExecCtx, ExecutorBackend, LlmTaskRef};
 use crate::latency::LatencyProfile;
 use crate::metrics::{JobOutcome, SimResult, Utilization};
 use crate::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
-use crate::state::{JobRt, LlmExecutorView, TaskState, Visibility};
-
-/// LLM execution fidelity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum EngineMode {
-    /// Rate-rescaling analytic batching (fast; the paper's simulator).
-    #[default]
-    Analytic,
-    /// Per-iteration continuous batching (the paper's testbed stand-in).
-    TokenLevel,
-}
+use crate::state::{JobRt, TaskState, Visibility};
 
 /// Cluster resources and engine options.
 #[derive(Debug, Clone)]
@@ -52,7 +45,7 @@ pub struct ClusterConfig {
     pub max_batch: usize,
     /// Decode-latency curve shared by all LLM executors.
     pub latency: LatencyProfile,
-    /// Execution fidelity.
+    /// Execution fidelity (selects the [`ExecutorBackend`]).
     pub mode: EngineMode,
     /// Token-level mode only: tokens decoded per iteration event (1 =
     /// faithful per-token stepping; larger values trade fidelity for speed).
@@ -72,138 +65,19 @@ impl Default for ClusterConfig {
     }
 }
 
-// ---------------------------------------------------------------------------
-// LLM executor pools
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-struct RunningLlm {
-    job: usize,
-    stage: u32,
-    task: u32,
-    remaining_tokens: f64,
-}
-
-#[derive(Debug, Default)]
-struct AnalyticExec {
-    running: Vec<RunningLlm>,
-    last_settle: SimTime,
-}
-
-impl AnalyticExec {
-    /// Settles decode progress since the last membership change at the
-    /// current batch rate.
-    fn settle(&mut self, now: SimTime, latency: &LatencyProfile) {
-        if !self.running.is_empty() {
-            let elapsed = (now - self.last_settle).as_secs_f64();
-            if elapsed > 0.0 {
-                let rate = latency.per_token(self.running.len()).as_secs_f64();
-                let done = elapsed / rate;
-                for r in &mut self.running {
-                    r.remaining_tokens = (r.remaining_tokens - done).max(0.0);
-                }
-            }
+/// Borrows the engine fields an [`ExecutorBackend`] hook may touch.
+/// A macro (not a method) so the disjoint field borrows stay visible to
+/// the borrow checker at each call site.
+macro_rules! exec_ctx {
+    ($self:ident) => {
+        ExecCtx {
+            now: $self.now,
+            latency: &$self.cfg.latency,
+            queue: &mut $self.queue,
+            jobs: &mut $self.jobs,
         }
-        self.last_settle = now;
-    }
-
-    /// Re-posts finish events for every running task at the current batch
-    /// rate, invalidating older events via task epochs.
-    fn retime(
-        &self,
-        now: SimTime,
-        jobs: &mut [JobRt],
-        queue: &mut EventQueue,
-        latency: &LatencyProfile,
-    ) {
-        if self.running.is_empty() {
-            return;
-        }
-        let rate = latency.per_token(self.running.len()).as_secs_f64();
-        for r in &self.running {
-            let t = &mut jobs[r.job].stages[r.stage as usize].tasks[r.task as usize];
-            t.epoch += 1;
-            let finish = now + SimDuration::from_secs_f64(r.remaining_tokens * rate);
-            queue.push(
-                finish,
-                Event::TaskFinish { job: r.job, stage: r.stage, task: r.task, epoch: t.epoch },
-            );
-        }
-    }
+    };
 }
-
-#[derive(Debug, Clone)]
-struct TokenTask {
-    job: usize,
-    stage: u32,
-    task: u32,
-    remaining_tokens: u64,
-}
-
-#[derive(Debug, Default)]
-struct TokenExec {
-    running: Vec<TokenTask>,
-    joining: Vec<TokenTask>,
-    epoch: u64,
-    iterating: bool,
-}
-
-impl TokenExec {
-    fn occupancy(&self) -> usize {
-        self.running.len() + self.joining.len()
-    }
-}
-
-#[derive(Debug)]
-enum LlmPool {
-    Analytic(Vec<AnalyticExec>),
-    Token(Vec<TokenExec>),
-}
-
-impl LlmPool {
-    fn new(cfg: &ClusterConfig) -> Self {
-        match cfg.mode {
-            EngineMode::Analytic => {
-                LlmPool::Analytic((0..cfg.llm_executors).map(|_| AnalyticExec::default()).collect())
-            }
-            EngineMode::TokenLevel => {
-                LlmPool::Token((0..cfg.llm_executors).map(|_| TokenExec::default()).collect())
-            }
-        }
-    }
-
-    fn occupancy(&self, e: usize) -> usize {
-        match self {
-            LlmPool::Analytic(v) => v[e].running.len(),
-            LlmPool::Token(v) => v[e].occupancy(),
-        }
-    }
-
-    fn n_execs(&self) -> usize {
-        match self {
-            LlmPool::Analytic(v) => v.len(),
-            LlmPool::Token(v) => v.len(),
-        }
-    }
-
-    /// The paper's load balancing: the executor with the fewest running
-    /// tasks that still has a free slot (ties broken by index).
-    fn least_loaded(&self, max_batch: usize) -> Option<usize> {
-        (0..self.n_execs())
-            .filter(|&e| self.occupancy(e) < max_batch)
-            .min_by_key(|&e| self.occupancy(e))
-    }
-
-    fn views(&self, max_batch: usize) -> Vec<LlmExecutorView> {
-        (0..self.n_execs())
-            .map(|e| LlmExecutorView { index: e, batch_len: self.occupancy(e), max_batch })
-            .collect()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Engine
-// ---------------------------------------------------------------------------
 
 struct Engine<'a> {
     cfg: &'a ClusterConfig,
@@ -214,7 +88,7 @@ struct Engine<'a> {
     queue: EventQueue,
     now: SimTime,
     regular_busy: usize,
-    llm: LlmPool,
+    llm: Box<dyn ExecutorBackend>,
     outcomes: Vec<JobOutcome>,
     events: u64,
     sched_calls: u64,
@@ -241,10 +115,21 @@ pub fn simulate(
     jobs: Vec<JobSpec>,
     scheduler: &mut dyn Scheduler,
 ) -> SimResult {
-    assert!(cfg.regular_executors > 0, "need at least one regular executor");
-    assert!(cfg.llm_executors > 0 && cfg.max_batch > 0, "need LLM capacity");
+    assert!(
+        cfg.regular_executors > 0,
+        "need at least one regular executor"
+    );
+    assert!(
+        cfg.llm_executors > 0 && cfg.max_batch > 0,
+        "need LLM capacity"
+    );
     for j in &jobs {
-        assert!(templates.get(j.app()).is_some(), "job {} uses unregistered app {}", j.id(), j.app());
+        assert!(
+            templates.get(j.app()).is_some(),
+            "job {} uses unregistered app {}",
+            j.id(),
+            j.app()
+        );
     }
 
     let mut engine = Engine {
@@ -256,7 +141,7 @@ pub fn simulate(
         queue: EventQueue::new(),
         now: SimTime::ZERO,
         regular_busy: 0,
-        llm: LlmPool::new(cfg),
+        llm: pool::build_backend(cfg),
         outcomes: Vec::new(),
         events: 0,
         sched_calls: 0,
@@ -286,11 +171,17 @@ impl Engine<'_> {
                 self.invoke_scheduler(scheduler);
             }
         }
-        let makespan = self.outcomes.iter().map(|o| o.completion).max().unwrap_or(SimTime::ZERO);
+        let makespan = self
+            .outcomes
+            .iter()
+            .map(|o| o.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
         let horizon = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
         let slots = (self.cfg.llm_executors * self.cfg.max_batch) as f64;
         SimResult {
             scheduler: scheduler.name().to_string(),
+            backend: self.llm.name(),
             jobs: std::mem::take(&mut self.outcomes),
             makespan,
             sched_calls: self.sched_calls,
@@ -311,13 +202,7 @@ impl Engine<'_> {
         let dt = (t - self.last_integral_at).as_secs_f64();
         if dt > 0.0 {
             self.reg_busy_integral += self.regular_busy as f64 * dt;
-            let mut slots = 0usize;
-            let mut busy = 0usize;
-            for e in 0..self.llm.n_execs() {
-                let occ = self.llm.occupancy(e);
-                slots += occ;
-                busy += usize::from(occ > 0);
-            }
+            let (slots, busy) = pool::slot_stats(&*self.llm);
             self.llm_slot_integral += slots as f64 * dt;
             self.llm_active_integral += busy as f64 * dt;
         }
@@ -326,7 +211,7 @@ impl Engine<'_> {
 
     fn has_free_capacity(&self) -> bool {
         self.regular_busy < self.cfg.regular_executors
-            || self.llm.least_loaded(self.cfg.max_batch).is_some()
+            || pool::least_loaded(&*self.llm, self.cfg.max_batch).is_some()
     }
 
     /// Applies one event; returns whether it changed state (stale events
@@ -339,15 +224,19 @@ impl Engine<'_> {
                 self.active.insert(job);
                 // A pathological template could start with an auto-completing
                 // placeholder; run the fixpoint for safety.
-                let roots: Vec<u32> =
-                    (0..self.jobs[job].spec.len() as u32).collect();
+                let roots: Vec<u32> = (0..self.jobs[job].spec.len() as u32).collect();
                 for s in roots {
                     self.try_auto_complete(job, s);
                 }
                 self.finalize_completions();
                 true
             }
-            Event::TaskFinish { job, stage, task, epoch } => {
+            Event::TaskFinish {
+                job,
+                stage,
+                task,
+                epoch,
+            } => {
                 let t = &self.jobs[job].stages[stage as usize].tasks[task as usize];
                 let valid = t.epoch == epoch && matches!(t.state, TaskState::Running { .. });
                 if !valid {
@@ -356,17 +245,27 @@ impl Engine<'_> {
                 self.finish_task(job, stage, task);
                 true
             }
-            Event::LlmIteration { exec, epoch } => self.apply_iteration(exec, epoch),
+            Event::LlmStep { exec, epoch } => {
+                let out = self.llm.step(exec, epoch, &mut exec_ctx!(self));
+                for f in &out.finished {
+                    self.finish_task(f.job, f.stage, f.task);
+                }
+                out.effective
+            }
         }
     }
 
     /// Completes one task and any stage / job completions that follow.
     fn finish_task(&mut self, job: usize, stage: u32, task: u32) {
-        let spec_work = self.jobs[job].spec.stage(llmsched_dag::ids::StageId(stage)).tasks
-            [task as usize];
+        let spec_work = self.jobs[job]
+            .spec
+            .stage(llmsched_dag::ids::StageId(stage))
+            .tasks[task as usize];
         let exec = {
             let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
-            let TaskState::Running { exec } = t.state else { unreachable!("validated by caller") };
+            let TaskState::Running { exec } = t.state else {
+                unreachable!("validated by caller")
+            };
             exec
         };
         match spec_work {
@@ -380,14 +279,10 @@ impl Engine<'_> {
                 let tokens = spec_work.llm_token_cost().expect("llm task").max(1);
                 let nominal = self.cfg.latency.per_token_b1().as_secs_f64() * tokens as f64;
                 let e = exec.expect("llm task runs on an executor");
-                // Remove from the batch and re-time survivors (analytic).
-                if let LlmPool::Analytic(execs) = &mut self.llm {
-                    let ex = &mut execs[e];
-                    ex.settle(self.now, &self.cfg.latency);
-                    ex.running.retain(|r| !(r.job == job && r.stage == stage && r.task == task));
-                    ex.retime(self.now, &mut self.jobs, &mut self.queue, &self.cfg.latency);
-                }
-                // Token mode removes inside apply_iteration; nothing here.
+                // Release the batch slot; the backend re-times survivors
+                // (analytic) or no-ops (token-level removes inside step).
+                self.llm
+                    .drain(e, LlmTaskRef { job, stage, task }, &mut exec_ctx!(self));
                 let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
                 t.nominal_secs = nominal;
             }
@@ -400,48 +295,6 @@ impl Engine<'_> {
             self.complete_stage(job, stage);
         }
         self.finalize_completions();
-    }
-
-    /// Token-level iteration end for executor `exec`.
-    fn apply_iteration(&mut self, exec: usize, epoch: u64) -> bool {
-        let LlmPool::Token(execs) = &mut self.llm else {
-            return false; // stale event from a mismatched mode; impossible in practice
-        };
-        let ex = &mut execs[exec];
-        if !ex.iterating || ex.epoch != epoch {
-            return false;
-        }
-        let chunk = self.cfg.iteration_chunk.max(1);
-        let mut finished: Vec<TokenTask> = Vec::new();
-        for r in &mut ex.running {
-            r.remaining_tokens = r.remaining_tokens.saturating_sub(chunk);
-        }
-        ex.running.retain_mut(|r| {
-            if r.remaining_tokens == 0 {
-                finished.push(r.clone());
-                false
-            } else {
-                true
-            }
-        });
-        ex.running.append(&mut ex.joining);
-        if ex.running.is_empty() {
-            ex.iterating = false;
-        } else {
-            ex.epoch += 1;
-            let batch = ex.running.len();
-            let dur = self.cfg.latency.per_token(batch).mul_f64(chunk as f64);
-            let next_epoch = ex.epoch;
-            self.queue.push(self.now + dur, Event::LlmIteration { exec, epoch: next_epoch });
-        }
-        let any = !finished.is_empty();
-        for f in finished {
-            self.finish_task(f.job, f.stage, f.task);
-        }
-        // An iteration with no finishes still changed batch composition only
-        // if tasks joined; scheduling on it is harmless but noisy — only
-        // report effectiveness when a task finished.
-        any
     }
 
     /// Marks `stage` complete, propagates dependency counts, processes
@@ -528,7 +381,8 @@ impl Engine<'_> {
             let ctx = SchedContext {
                 now: self.now,
                 jobs: self.active.iter().map(|&i| &self.jobs[i]).collect(),
-                llm_executors: self.llm.views(self.cfg.max_batch),
+                llm_executors: pool::views(&*self.llm, self.cfg.max_batch),
+                backend: self.llm.name(),
                 regular_total: self.cfg.regular_executors,
                 regular_busy: self.regular_busy,
                 templates: self.templates,
@@ -575,7 +429,9 @@ impl Engine<'_> {
         }
         // LLM tasks go to the least-loaded executor (paper's load balancer).
         for tr in &pref.llm {
-            let Some(e) = self.llm.least_loaded(self.cfg.max_batch) else { break };
+            let Some(e) = pool::least_loaded(&*self.llm, self.cfg.max_batch) else {
+                break;
+            };
             if let Some(j) = self.validate(tr, ExecutorClass::Llm) {
                 self.start_llm(j, tr, e);
             }
@@ -596,7 +452,12 @@ impl Engine<'_> {
         self.regular_busy += 1;
         self.queue.push(
             self.now + duration,
-            Event::TaskFinish { job: j, stage: tr.stage.0, task: tr.task, epoch: t.epoch },
+            Event::TaskFinish {
+                job: j,
+                stage: tr.stage.0,
+                task: tr.task,
+                epoch: t.epoch,
+            },
         );
     }
 
@@ -609,44 +470,25 @@ impl Engine<'_> {
             st.tasks_running += 1;
             st.tasks[tr.task as usize].state = TaskState::Running { exec: Some(e) };
         }
-        match &mut self.llm {
-            LlmPool::Analytic(execs) => {
-                let ex = &mut execs[e];
-                ex.settle(self.now, &self.cfg.latency);
-                ex.running.push(RunningLlm {
-                    job: j,
-                    stage: tr.stage.0,
-                    task: tr.task,
-                    remaining_tokens: tokens as f64,
-                });
-                ex.retime(self.now, &mut self.jobs, &mut self.queue, &self.cfg.latency);
-            }
-            LlmPool::Token(execs) => {
-                let ex = &mut execs[e];
-                ex.joining.push(TokenTask {
-                    job: j,
-                    stage: tr.stage.0,
-                    task: tr.task,
-                    remaining_tokens: tokens,
-                });
-                if !ex.iterating {
-                    ex.running.append(&mut ex.joining);
-                    ex.iterating = true;
-                    ex.epoch += 1;
-                    let chunk = self.cfg.iteration_chunk.max(1);
-                    let dur = self.cfg.latency.per_token(ex.running.len()).mul_f64(chunk as f64);
-                    let epoch = ex.epoch;
-                    self.queue.push(self.now + dur, Event::LlmIteration { exec: e, epoch });
-                }
-            }
-        }
+        self.llm.admit(
+            e,
+            LlmTaskRef {
+                job: j,
+                stage: tr.stage.0,
+                task: tr.task,
+            },
+            tokens,
+            &mut exec_ctx!(self),
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use llmsched_dag::ids::StageId;
     use llmsched_dag::prelude::*;
+    use llmsched_dag::time::SimDuration;
 
     /// A scheduler that always offers every ready task FCFS by job id.
     struct Greedy;
@@ -681,12 +523,17 @@ mod tests {
                 StageSpec::executing(
                     "gen",
                     StageKind::Llm,
-                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                    vec![TaskWork::Llm {
+                        prompt_tokens: 0,
+                        output_tokens: 100,
+                    }],
                 ),
                 StageSpec::executing(
                     "exec",
                     StageKind::Regular,
-                    vec![TaskWork::Regular { duration: SimDuration::from_secs(2) }],
+                    vec![TaskWork::Regular {
+                        duration: SimDuration::from_secs(2),
+                    }],
                 ),
             ],
             vec![],
@@ -704,10 +551,14 @@ mod tests {
     #[test]
     fn single_job_pipeline_completes_at_expected_time() {
         let (set, spec) = templates_and_job(0.0);
-        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            ..Default::default()
+        };
         let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
         assert_eq!(res.jobs.len(), 1);
         assert_eq!(res.incomplete, 0);
+        assert_eq!(res.backend, "analytic");
         // 100 tokens * 10ms = 1s decode, then 2s regular => JCT 3s.
         assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
         assert_eq!(res.makespan, SimTime::from_secs_f64(3.0));
@@ -716,7 +567,10 @@ mod tests {
     #[test]
     fn arrival_offset_shifts_completion_not_jct() {
         let (set, spec) = templates_and_job(5.0);
-        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            ..Default::default()
+        };
         let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
         assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
         assert_eq!(res.jobs[0].completion, SimTime::from_secs_f64(8.0));
@@ -739,7 +593,10 @@ mod tests {
                 vec![StageSpec::executing(
                     "gen",
                     StageKind::Llm,
-                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                    vec![TaskWork::Llm {
+                        prompt_tokens: 0,
+                        output_tokens: 100,
+                    }],
                 )],
                 vec![],
             )
@@ -750,7 +607,10 @@ mod tests {
             (2, SimDuration::from_millis(20)),
         ])
         .unwrap();
-        let cfg = ClusterConfig { latency, ..Default::default() };
+        let cfg = ClusterConfig {
+            latency,
+            ..Default::default()
+        };
         let res = simulate(&cfg, &set, vec![mk(0), mk(1)], &mut Greedy);
         assert_eq!(res.incomplete, 0);
         for j in &res.jobs {
@@ -772,6 +632,7 @@ mod tests {
         };
         let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
         assert_eq!(res.incomplete, 0);
+        assert_eq!(res.backend, "token-level");
         assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
     }
 
@@ -789,13 +650,21 @@ mod tests {
             vec![StageSpec::executing(
                 "wide",
                 StageKind::Regular,
-                vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }; 4],
+                vec![
+                    TaskWork::Regular {
+                        duration: SimDuration::from_secs(1)
+                    };
+                    4
+                ],
             )],
             vec![],
         )
         .unwrap();
         let set: TemplateSet = [t].into_iter().collect();
-        let cfg = ClusterConfig { regular_executors: 2, ..Default::default() };
+        let cfg = ClusterConfig {
+            regular_executors: 2,
+            ..Default::default()
+        };
         let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
         assert_eq!(res.makespan, SimTime::from_secs_f64(2.0));
         // Both regular executors were fully busy until the end.
@@ -824,12 +693,17 @@ mod tests {
                 StageSpec::executing(
                     "gen",
                     StageKind::Llm,
-                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                    vec![TaskWork::Llm {
+                        prompt_tokens: 0,
+                        output_tokens: 100,
+                    }],
                 ),
                 StageSpec::executing(
                     "exec",
                     StageKind::Regular,
-                    vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }],
+                    vec![TaskWork::Regular {
+                        duration: SimDuration::from_secs(1),
+                    }],
                 ),
                 StageSpec {
                     executed: false,
@@ -848,7 +722,10 @@ mod tests {
         )
         .unwrap();
         let set: TemplateSet = [t].into_iter().collect();
-        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            ..Default::default()
+        };
         let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
         assert_eq!(res.incomplete, 0);
         // 1s decode + 1s exec; void stages add nothing.
@@ -865,8 +742,14 @@ mod tests {
             "exec_plan",
             plan,
             vec![
-                Candidate { name: "tool_a".into(), class: ExecutorClass::Regular },
-                Candidate { name: "tool_b".into(), class: ExecutorClass::Regular },
+                Candidate {
+                    name: "tool_a".into(),
+                    class: ExecutorClass::Regular,
+                },
+                Candidate {
+                    name: "tool_b".into(),
+                    class: ExecutorClass::Regular,
+                },
             ],
         );
         b.edge(plan, dynamic);
@@ -881,7 +764,10 @@ mod tests {
                 StageSpec::executing(
                     "plan",
                     StageKind::Llm,
-                    vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 100 }],
+                    vec![TaskWork::Llm {
+                        prompt_tokens: 0,
+                        output_tokens: 100,
+                    }],
                 ),
                 StageSpec::executing("exec_plan", StageKind::DynamicPlaceholder, vec![]),
                 StageSpec {
@@ -891,7 +777,9 @@ mod tests {
                     ..StageSpec::executing(
                         "tool_a",
                         StageKind::Regular,
-                        vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }],
+                        vec![TaskWork::Regular {
+                            duration: SimDuration::from_secs(1),
+                        }],
                     )
                 },
                 StageSpec {
@@ -901,7 +789,9 @@ mod tests {
                     ..StageSpec::executing(
                         "tool_b",
                         StageKind::Regular,
-                        vec![TaskWork::Regular { duration: SimDuration::from_secs(3) }],
+                        vec![TaskWork::Regular {
+                            duration: SimDuration::from_secs(3),
+                        }],
                     )
                 },
             ],
@@ -909,7 +799,10 @@ mod tests {
         )
         .unwrap();
         let set: TemplateSet = [t].into_iter().collect();
-        let cfg = ClusterConfig { latency: flat_latency(), ..Default::default() };
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            ..Default::default()
+        };
         let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
         assert_eq!(res.incomplete, 0);
         // 1s plan + max(1, 3)s parallel tools = 4s.

@@ -29,11 +29,14 @@ pub enum Event {
         /// Task re-timing epoch the event was scheduled under.
         epoch: u32,
     },
-    /// Token-level mode: a decode iteration of LLM executor `exec` ends.
-    LlmIteration {
+    /// A backend-posted wake-up for LLM executor `exec` (e.g. a decode
+    /// iteration boundary in the token-level backend). Routed to
+    /// [`ExecutorBackend::step`](crate::exec::ExecutorBackend::step).
+    LlmStep {
         /// LLM executor index.
         exec: usize,
-        /// Executor iteration epoch the event was scheduled under.
+        /// Backend step epoch the event was scheduled under; mismatching
+        /// epochs mark the event stale.
         epoch: u64,
     },
 }
@@ -140,7 +143,7 @@ mod tests {
     #[test]
     fn peek_does_not_remove() {
         let mut q = EventQueue::new();
-        q.push(t(5.0), Event::LlmIteration { exec: 0, epoch: 0 });
+        q.push(t(5.0), Event::LlmStep { exec: 0, epoch: 0 });
         assert_eq!(q.peek_time(), Some(t(5.0)));
         assert_eq!(q.len(), 1);
         assert!(q.pop().is_some());

@@ -1,0 +1,176 @@
+//! The pluggable LLM executor layer.
+//!
+//! The engine used to hardcode the paper's two serving fidelities as an
+//! inlined enum; every future resource model (paged/chunked batching,
+//! multi-replica sharding, disaggregated prefill) would have grown that
+//! match. This module splits the concern behind a trait boundary, the way
+//! DSLab's dslab-dag keeps resource models behind its scheduler/resource
+//! traits:
+//!
+//! * [`ExecutorBackend`] — what the engine needs from a pool of LLM
+//!   executors: **admit** a task into a batch, advance a backend timer
+//!   (**step**), remove a finished task (**drain**), and expose an
+//!   **occupancy view** per executor.
+//! * [`analytic::AnalyticExec`] — the paper's *simulator*: rate-rescaling
+//!   batching that settles decode progress on every membership change and
+//!   re-posts finish events at the new batch rate.
+//! * [`token_level::TokenExec`] — the paper's *testbed* stand-in:
+//!   per-iteration continuous batching (requests join at iteration
+//!   boundaries, every iteration costs `l(batch)` and emits `chunk`
+//!   tokens per request).
+//! * [`pool`] — backend-agnostic pool machinery: the
+//!   [`EngineMode`](pool::EngineMode) → backend factory and the paper's
+//!   least-loaded placement over any backend's occupancy view.
+//!
+//! Backends interact with the engine through [`ExecCtx`]: they may read
+//! the clock and latency curve, and post [`Event`]s — either a
+//! [`Event::TaskFinish`] for a task whose completion time is now known
+//! (analytic re-timing) or a [`Event::LlmStep`] wake-up for their own
+//! iteration loop (token-level). The engine remains the only place that
+//! mutates job/stage/task state; the reveal protocol of §IV-A never
+//! leaks into backends.
+
+pub mod analytic;
+pub mod pool;
+pub mod token_level;
+
+pub use analytic::AnalyticExec;
+pub use pool::{build_backend, EngineMode};
+pub use token_level::TokenExec;
+
+use llmsched_dag::time::SimTime;
+
+use crate::event::{Event, EventQueue};
+use crate::latency::LatencyProfile;
+use crate::state::JobRt;
+
+/// Identifies one LLM task by the engine's dense coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LlmTaskRef {
+    /// Dense job index in the engine's job table.
+    pub job: usize,
+    /// Stage id within the job.
+    pub stage: u32,
+    /// Task index within the stage.
+    pub task: u32,
+}
+
+/// The slice of engine state a backend may touch while handling a hook.
+///
+/// Rebuilt per call; borrows the engine's clock, the shared decode-latency
+/// curve, the event queue and the job table (the latter only for epoch
+/// bumping via [`ExecCtx::post_finish`]).
+#[derive(Debug)]
+pub struct ExecCtx<'a> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// Decode-latency curve shared by all LLM executors.
+    pub latency: &'a LatencyProfile,
+    /// The engine's event queue (backends post wake-ups and finishes).
+    pub queue: &'a mut EventQueue,
+    /// The engine's job table, used to version finish events per task.
+    pub jobs: &'a mut [JobRt],
+}
+
+impl ExecCtx<'_> {
+    /// Schedules `task` to finish at `at`, invalidating any finish event
+    /// posted for it earlier (per-task epochs make stale events no-ops).
+    pub fn post_finish(&mut self, task: LlmTaskRef, at: SimTime) {
+        let rt = &mut self.jobs[task.job].stages[task.stage as usize].tasks[task.task as usize];
+        rt.epoch += 1;
+        self.queue.push(
+            at,
+            Event::TaskFinish {
+                job: task.job,
+                stage: task.stage,
+                task: task.task,
+                epoch: rt.epoch,
+            },
+        );
+    }
+
+    /// Schedules a backend wake-up ([`Event::LlmStep`]) for executor
+    /// `exec` at `at`; `epoch` must match the backend's current step epoch
+    /// when the event fires, or the step is discarded as stale.
+    pub fn post_step(&mut self, exec: usize, epoch: u64, at: SimTime) {
+        self.queue.push(at, Event::LlmStep { exec, epoch });
+    }
+}
+
+/// What one backend timer event changed.
+#[derive(Debug, Default)]
+pub struct StepOutcome {
+    /// Tasks whose decoding completed during this step, in completion
+    /// order. The engine runs its completion cascade for each.
+    pub finished: Vec<LlmTaskRef>,
+    /// Whether the step changed any state a scheduler could observe
+    /// (stale epochs and no-op steps return `false` to suppress a
+    /// scheduler invocation).
+    pub effective: bool,
+}
+
+impl StepOutcome {
+    /// A stale or no-op step: nothing finished, nothing observable moved.
+    pub fn stale() -> Self {
+        StepOutcome::default()
+    }
+}
+
+/// A pool of LLM executors under one batching/serving model.
+///
+/// The engine owns exactly one backend (chosen from
+/// [`pool::EngineMode`] via [`pool::build_backend`]) and talks to it only
+/// through this trait:
+///
+/// * [`admit`](ExecutorBackend::admit) when the dispatcher places a task
+///   on an executor,
+/// * [`step`](ExecutorBackend::step) when a [`Event::LlmStep`] the
+///   backend posted comes due,
+/// * [`drain`](ExecutorBackend::drain) when a task's completion is
+///   processed (the batch slot must be released synchronously),
+/// * [`occupancy`](ExecutorBackend::occupancy) whenever placement,
+///   utilization accounting or the scheduler-visible
+///   [`LlmExecutorView`](crate::state::LlmExecutorView)s need batch
+///   sizes.
+///
+/// # Invariants
+///
+/// Implementations must keep, for every executor index `e`:
+///
+/// 1. `occupancy(e)` equals admitted − drained tasks for `e` (admission
+///    is synchronous, whatever internal join staging is used);
+/// 2. a task admitted exactly once is eventually reported finished
+///    exactly once — via a posted [`Event::TaskFinish`] or a
+///    [`StepOutcome::finished`] entry — provided posted events keep
+///    being delivered;
+/// 3. `drain` of a task already removed by
+///    [`step`](ExecutorBackend::step) is a no-op (the engine always
+///    drains on completion, including completions the backend itself
+///    reported).
+pub trait ExecutorBackend: std::fmt::Debug {
+    /// Short backend name, used in results and reports (e.g.
+    /// `"analytic"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of LLM executors in the pool.
+    fn n_execs(&self) -> usize;
+
+    /// Number of tasks currently holding a batch slot on executor
+    /// `exec` (running or staged to join at the next boundary).
+    fn occupancy(&self, exec: usize) -> usize;
+
+    /// Admits `task` (with `tokens` left to decode) into executor
+    /// `exec`'s batch. Called by the dispatcher after capacity and
+    /// readiness checks; `tokens` is at least 1.
+    fn admit(&mut self, exec: usize, task: LlmTaskRef, tokens: u64, cx: &mut ExecCtx<'_>);
+
+    /// Handles a [`Event::LlmStep`] wake-up this backend posted earlier.
+    /// Returns the tasks that finished and whether anything observable
+    /// changed; a mismatched `epoch` must return [`StepOutcome::stale`].
+    fn step(&mut self, exec: usize, epoch: u64, cx: &mut ExecCtx<'_>) -> StepOutcome;
+
+    /// Releases `task`'s batch slot on executor `exec`. Called by the
+    /// engine for every LLM task completion; must be a no-op if the
+    /// backend already removed the task during the step that finished it.
+    fn drain(&mut self, exec: usize, task: LlmTaskRef, cx: &mut ExecCtx<'_>);
+}

@@ -1,0 +1,98 @@
+//! Backend-agnostic pool machinery: fidelity selection and the placement
+//! / occupancy-view helpers the engine uses over any
+//! [`ExecutorBackend`].
+
+use super::{AnalyticExec, ExecutorBackend, TokenExec};
+use crate::engine::ClusterConfig;
+use crate::state::LlmExecutorView;
+
+/// LLM execution fidelity: which [`ExecutorBackend`] a simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Rate-rescaling analytic batching (fast; the paper's simulator).
+    #[default]
+    Analytic,
+    /// Per-iteration continuous batching (the paper's testbed stand-in).
+    TokenLevel,
+}
+
+/// Builds the executor backend a cluster configuration asks for. The only
+/// place the workspace dispatches on [`EngineMode`]; everything downstream
+/// of here is trait-object code.
+pub fn build_backend(cfg: &ClusterConfig) -> Box<dyn ExecutorBackend> {
+    match cfg.mode {
+        EngineMode::Analytic => Box::new(AnalyticExec::new(cfg.llm_executors)),
+        EngineMode::TokenLevel => Box::new(TokenExec::new(cfg.llm_executors, cfg.iteration_chunk)),
+    }
+}
+
+/// The paper's load balancing: the executor with the fewest occupied batch
+/// slots that still has a free one (ties broken by index).
+pub fn least_loaded(backend: &dyn ExecutorBackend, max_batch: usize) -> Option<usize> {
+    (0..backend.n_execs())
+        .filter(|&e| backend.occupancy(e) < max_batch)
+        .min_by_key(|&e| backend.occupancy(e))
+}
+
+/// Scheduler-visible occupancy snapshot of every executor.
+pub fn views(backend: &dyn ExecutorBackend, max_batch: usize) -> Vec<LlmExecutorView> {
+    (0..backend.n_execs())
+        .map(|e| LlmExecutorView {
+            index: e,
+            batch_len: backend.occupancy(e),
+            max_batch,
+        })
+        .collect()
+}
+
+/// `(occupied slots, non-idle executors)` across the pool — the inputs to
+/// the engine's utilization integrals.
+pub fn slot_stats(backend: &dyn ExecutorBackend) -> (usize, usize) {
+    let mut slots = 0usize;
+    let mut busy = 0usize;
+    for e in 0..backend.n_execs() {
+        let occ = backend.occupancy(e);
+        slots += occ;
+        busy += usize::from(occ > 0);
+    }
+    (slots, busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::LatencyProfile;
+
+    fn cfg(mode: EngineMode) -> ClusterConfig {
+        ClusterConfig {
+            regular_executors: 1,
+            llm_executors: 3,
+            max_batch: 4,
+            latency: LatencyProfile::default(),
+            mode,
+            iteration_chunk: 2,
+        }
+    }
+
+    #[test]
+    fn factory_builds_the_requested_backend() {
+        let a = build_backend(&cfg(EngineMode::Analytic));
+        assert_eq!(a.name(), "analytic");
+        assert_eq!(a.n_execs(), 3);
+        let t = build_backend(&cfg(EngineMode::TokenLevel));
+        assert_eq!(t.name(), "token-level");
+        assert_eq!(t.n_execs(), 3);
+    }
+
+    #[test]
+    fn empty_pool_has_no_placement() {
+        let cfg = ClusterConfig {
+            llm_executors: 0,
+            ..cfg(EngineMode::Analytic)
+        };
+        let be = build_backend(&cfg);
+        assert_eq!(least_loaded(&*be, 8), None);
+        assert!(views(&*be, 8).is_empty());
+        assert_eq!(slot_stats(&*be), (0, 0));
+    }
+}

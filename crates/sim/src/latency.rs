@@ -40,7 +40,10 @@ impl fmt::Display for LatencyProfileError {
                 write!(f, "batch sizes must be strictly increasing and at least 1")
             }
             LatencyProfileError::NonMonotoneLatency => {
-                write!(f, "per-token latency must be positive and non-decreasing in batch size")
+                write!(
+                    f,
+                    "per-token latency must be positive and non-decreasing in batch size"
+                )
             }
         }
     }
@@ -62,9 +65,7 @@ impl LatencyProfile {
         if points[0].0 < 1 || points.windows(2).any(|w| w[0].0 >= w[1].0) {
             return Err(LatencyProfileError::UnsortedBatches);
         }
-        if points.iter().any(|&(_, l)| l.is_zero())
-            || points.windows(2).any(|w| w[0].1 > w[1].1)
-        {
+        if points.iter().any(|&(_, l)| l.is_zero()) || points.windows(2).any(|w| w[0].1 > w[1].1) {
             return Err(LatencyProfileError::NonMonotoneLatency);
         }
         Ok(LatencyProfile { points })
@@ -188,7 +189,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_profiles() {
-        assert_eq!(LatencyProfile::new(vec![]).unwrap_err(), LatencyProfileError::Empty);
+        assert_eq!(
+            LatencyProfile::new(vec![]).unwrap_err(),
+            LatencyProfileError::Empty
+        );
         assert_eq!(
             LatencyProfile::new(vec![(0, ms(1.0))]).unwrap_err(),
             LatencyProfileError::UnsortedBatches

@@ -11,9 +11,14 @@
 //! what a real serving frontend could (revealed structure, completed-stage
 //! durations, executor occupancy).
 //!
-//! Two fidelities are provided (see [`engine::EngineMode`]): the analytic
-//! rate-rescaling engine — the paper's *simulator* — and a token-level
-//! continuous-batching engine standing in for the paper's GPU *testbed*.
+//! LLM serving is pluggable: the engine drives an
+//! [`exec::ExecutorBackend`] trait object, and two backends ship (selected
+//! by [`engine::EngineMode`]): the analytic rate-rescaling backend
+//! [`exec::AnalyticExec`] — the paper's *simulator* — and the token-level
+//! continuous-batching backend [`exec::TokenExec`] standing in for the
+//! paper's GPU *testbed*. New serving models (paged/chunked batching,
+//! multi-replica sharding) plug in behind the same trait without touching
+//! the event loop.
 //!
 //! ## Example: simulate one job under a trivial FCFS-ish policy
 //!
@@ -62,6 +67,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod exec;
 pub mod latency;
 pub mod metrics;
 pub mod scheduler;
@@ -70,6 +76,7 @@ pub mod state;
 /// Convenient glob-import of the simulator's public surface.
 pub mod prelude {
     pub use crate::engine::{simulate, ClusterConfig, EngineMode};
+    pub use crate::exec::{AnalyticExec, ExecutorBackend, LlmTaskRef, StepOutcome, TokenExec};
     pub use crate::latency::{LatencyProfile, LatencyProfileError};
     pub use crate::metrics::{JobOutcome, SimResult, Utilization};
     pub use crate::scheduler::{Preference, SchedContext, Scheduler, TaskRef};

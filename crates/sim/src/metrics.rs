@@ -40,6 +40,9 @@ pub struct Utilization {
 pub struct SimResult {
     /// Scheduling policy name.
     pub scheduler: String,
+    /// Executor backend the run used (e.g. `"analytic"`,
+    /// `"token-level"`) — keeps cross-fidelity comparisons honest.
+    pub backend: &'static str,
     /// Per-job outcomes, in completion order.
     pub jobs: Vec<JobOutcome>,
     /// Time of the last completion.
@@ -92,8 +95,12 @@ impl SimResult {
 
     /// Average JCT restricted to jobs of one application.
     pub fn avg_jct_secs_for(&self, app: AppId) -> Option<f64> {
-        let v: Vec<f64> =
-            self.jobs.iter().filter(|j| j.app == app).map(|j| j.jct().as_secs_f64()).collect();
+        let v: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.app == app)
+            .map(|j| j.jct().as_secs_f64())
+            .collect();
         if v.is_empty() {
             None
         } else {
@@ -118,6 +125,7 @@ mod tests {
     fn result(jobs: Vec<JobOutcome>) -> SimResult {
         SimResult {
             scheduler: "test".into(),
+            backend: "analytic",
             jobs,
             makespan: SimTime::from_secs_f64(10.0),
             sched_calls: 4,

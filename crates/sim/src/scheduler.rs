@@ -41,14 +41,20 @@ impl Preference {
     /// list by the stage's kind. Convenience shared by every scheduler.
     pub fn push_stage_tasks(&mut self, job: &JobRt, stage: StageId) {
         use llmsched_dag::job::StageKind;
-        let Some(view) = job.stage_view(stage) else { return };
+        let Some(view) = job.stage_view(stage) else {
+            return;
+        };
         let list = match view.kind {
             StageKind::Regular => &mut self.regular,
             StageKind::Llm => &mut self.llm,
             StageKind::DynamicPlaceholder => return,
         };
         for task in job.unstarted_tasks(stage) {
-            list.push(TaskRef { job: job.id(), stage, task });
+            list.push(TaskRef {
+                job: job.id(),
+                stage,
+                task,
+            });
         }
     }
 
@@ -57,7 +63,9 @@ impl Preference {
     /// [0, 1]; at least one task is sampled from a non-empty stage.
     pub fn push_stage_sample(&mut self, job: &JobRt, stage: StageId, fraction: f64) {
         use llmsched_dag::job::StageKind;
-        let Some(view) = job.stage_view(stage) else { return };
+        let Some(view) = job.stage_view(stage) else {
+            return;
+        };
         let list = match view.kind {
             StageKind::Regular => &mut self.regular,
             StageKind::Llm => &mut self.llm,
@@ -68,9 +76,15 @@ impl Preference {
             return;
         }
         let f = fraction.clamp(0.0, 1.0);
-        let k = ((tasks.len() as f64 * f).ceil() as usize).max(1).min(tasks.len());
+        let k = ((tasks.len() as f64 * f).ceil() as usize)
+            .max(1)
+            .min(tasks.len());
         for &task in &tasks[..k] {
-            list.push(TaskRef { job: job.id(), stage, task });
+            list.push(TaskRef {
+                job: job.id(),
+                stage,
+                task,
+            });
         }
     }
 
@@ -94,8 +108,13 @@ pub struct SchedContext<'a> {
     pub now: SimTime,
     /// Active (arrived, incomplete) jobs, ascending by `JobId`.
     pub jobs: Vec<&'a JobRt>,
-    /// LLM executor occupancy.
+    /// LLM executor occupancy, as reported by the active
+    /// [`ExecutorBackend`](crate::exec::ExecutorBackend).
     pub llm_executors: Vec<LlmExecutorView>,
+    /// Name of the active executor backend (e.g. `"analytic"`,
+    /// `"token-level"`): lets fidelity-aware policies and the Eq. 2
+    /// calibration know which serving model produced the occupancy view.
+    pub backend: &'static str,
     /// Total number of regular executors.
     pub regular_total: usize,
     /// Currently busy regular executors.
@@ -167,8 +186,12 @@ mod tests {
         let s = b.regular("wide");
         b.typical_tasks(s, n_tasks as u32);
         let t = b.build().unwrap();
-        let tasks =
-            vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }; n_tasks];
+        let tasks = vec![
+            TaskWork::Regular {
+                duration: SimDuration::from_secs(1)
+            };
+            n_tasks
+        ];
         let spec = JobSpec::new(
             JobId(3),
             &t,
@@ -187,7 +210,14 @@ mod tests {
         p.push_stage_tasks(&job, StageId(0));
         assert_eq!(p.regular.len(), 3);
         assert!(p.llm.is_empty());
-        assert_eq!(p.regular[0], TaskRef { job: JobId(3), stage: StageId(0), task: 0 });
+        assert_eq!(
+            p.regular[0],
+            TaskRef {
+                job: JobId(3),
+                stage: StageId(0),
+                task: 0
+            }
+        );
     }
 
     #[test]
@@ -210,8 +240,16 @@ mod tests {
     fn preference_len_counts_both_lists() {
         let mut p = Preference::new();
         assert!(p.is_empty());
-        p.regular.push(TaskRef { job: JobId(0), stage: StageId(0), task: 0 });
-        p.llm.push(TaskRef { job: JobId(0), stage: StageId(1), task: 0 });
+        p.regular.push(TaskRef {
+            job: JobId(0),
+            stage: StageId(0),
+            task: 0,
+        });
+        p.llm.push(TaskRef {
+            job: JobId(0),
+            stage: StageId(1),
+            task: 0,
+        });
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
     }

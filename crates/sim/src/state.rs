@@ -39,7 +39,9 @@ pub(crate) enum Visibility {
 pub(crate) enum TaskState {
     NotStarted,
     /// Running; for LLM tasks, `exec` is the executor index.
-    Running { exec: Option<usize> },
+    Running {
+        exec: Option<usize>,
+    },
     Done,
 }
 
@@ -57,7 +59,11 @@ pub(crate) struct TaskRt {
 
 impl TaskRt {
     fn new() -> Self {
-        TaskRt { state: TaskState::NotStarted, epoch: 0, nominal_secs: 0.0 }
+        TaskRt {
+            state: TaskState::NotStarted,
+            epoch: 0,
+            nominal_secs: 0.0,
+        }
     }
 }
 
@@ -125,7 +131,14 @@ impl JobRt {
                 }
             })
             .collect();
-        JobRt { spec, stages, reveals, arrived: false, completed_at: None, stages_remaining: n }
+        JobRt {
+            spec,
+            stages,
+            reveals,
+            arrived: false,
+            completed_at: None,
+            stages_remaining: n,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -175,7 +188,10 @@ impl JobRt {
 
     /// True if `stage` is currently visible.
     pub fn is_visible(&self, stage: StageId) -> bool {
-        self.stages.get(stage.index()).map(|s| s.vis != Visibility::Hidden).unwrap_or(false)
+        self.stages
+            .get(stage.index())
+            .map(|s| s.vis != Visibility::Hidden)
+            .unwrap_or(false)
     }
 
     /// A filtered snapshot of one stage.
@@ -359,7 +375,8 @@ pub struct StageView<'a> {
 impl StageView<'_> {
     /// Unstarted task count, when the task count is known.
     pub fn tasks_unstarted(&self) -> Option<usize> {
-        self.n_tasks.map(|n| n - self.tasks_done - self.tasks_running)
+        self.n_tasks
+            .map(|n| n - self.tasks_done - self.tasks_running)
     }
 }
 
@@ -393,6 +410,38 @@ pub fn average_busy_batch(execs: &[LlmExecutorView]) -> f64 {
     }
 }
 
+/// Fixtures shared by the in-crate unit tests of the executor layer.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::JobRt;
+    use llmsched_dag::prelude::*;
+
+    /// A [`JobRt`] with one LLM stage of `n_tasks` 100-token tasks —
+    /// enough runtime state for backends to bump task epochs against.
+    pub(crate) fn job_with_llm_tasks(n_tasks: u32) -> JobRt {
+        let mut b = TemplateBuilder::new(AppId(0), "exec_fixture");
+        let s = b.llm("gen");
+        b.typical_tasks(s, n_tasks);
+        let t = b.build().expect("valid fixture template");
+        let tasks = vec![
+            TaskWork::Llm {
+                prompt_tokens: 0,
+                output_tokens: 100
+            };
+            n_tasks as usize
+        ];
+        let spec = JobSpec::new(
+            JobId(0),
+            &t,
+            SimTime::ZERO,
+            vec![StageSpec::executing("gen", StageKind::Llm, tasks)],
+            vec![],
+        )
+        .expect("valid fixture job");
+        JobRt::new(spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,11 +457,20 @@ mod tests {
         b.revealed_by(g2, e);
         let t = b.build().unwrap();
         let stages = vec![
-            StageSpec::executing("gen", StageKind::Llm, vec![TaskWork::Llm { prompt_tokens: 0, output_tokens: 10 }]),
+            StageSpec::executing(
+                "gen",
+                StageKind::Llm,
+                vec![TaskWork::Llm {
+                    prompt_tokens: 0,
+                    output_tokens: 10,
+                }],
+            ),
             StageSpec::executing(
                 "exec",
                 StageKind::Regular,
-                vec![TaskWork::Regular { duration: SimDuration::from_secs(1) }],
+                vec![TaskWork::Regular {
+                    duration: SimDuration::from_secs(1),
+                }],
             ),
             StageSpec {
                 executed: false,
@@ -427,9 +485,18 @@ mod tests {
     #[test]
     fn initial_visibility() {
         let j = toy_job();
-        assert_eq!(j.visible_stage_ids(), vec![StageId(0), StageId(1), StageId(2)]);
-        assert_eq!(j.stage_view(StageId(0)).unwrap().existence, Existence::Known);
-        assert_eq!(j.stage_view(StageId(2)).unwrap().existence, Existence::Undetermined);
+        assert_eq!(
+            j.visible_stage_ids(),
+            vec![StageId(0), StageId(1), StageId(2)]
+        );
+        assert_eq!(
+            j.stage_view(StageId(0)).unwrap().existence,
+            Existence::Known
+        );
+        assert_eq!(
+            j.stage_view(StageId(2)).unwrap().existence,
+            Existence::Undetermined
+        );
         // Undetermined stages do not disclose their task count.
         assert_eq!(j.stage_view(StageId(2)).unwrap().n_tasks, None);
     }
@@ -447,9 +514,21 @@ mod tests {
     #[test]
     fn average_batch_ignores_idle_executors() {
         let execs = vec![
-            LlmExecutorView { index: 0, batch_len: 0, max_batch: 8 },
-            LlmExecutorView { index: 1, batch_len: 4, max_batch: 8 },
-            LlmExecutorView { index: 2, batch_len: 2, max_batch: 8 },
+            LlmExecutorView {
+                index: 0,
+                batch_len: 0,
+                max_batch: 8,
+            },
+            LlmExecutorView {
+                index: 1,
+                batch_len: 4,
+                max_batch: 8,
+            },
+            LlmExecutorView {
+                index: 2,
+                batch_len: 2,
+                max_batch: 8,
+            },
         ];
         assert!((average_busy_batch(&execs) - 3.0).abs() < 1e-9);
         assert_eq!(average_busy_batch(&[]), 1.0);
@@ -460,6 +539,9 @@ mod tests {
     fn completed_nominal_hidden_until_done() {
         let j = toy_job();
         assert_eq!(j.completed_nominal_secs(StageId(0)), None);
-        assert_eq!(j.stage_view(StageId(0)).unwrap().completed_nominal_secs, None);
+        assert_eq!(
+            j.stage_view(StageId(0)).unwrap().completed_nominal_secs,
+            None
+        );
     }
 }

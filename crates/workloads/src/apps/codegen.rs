@@ -62,7 +62,9 @@ impl CodeGeneration {
             b.revealed_by(ce, prev_exec);
             prev_exec = ce;
         }
-        CodeGeneration { template: b.build().expect("static template is valid") }
+        CodeGeneration {
+            template: b.build().expect("static template is valid"),
+        }
     }
 }
 
@@ -113,7 +115,11 @@ impl AppGenerator for CodeGeneration {
             StageKind::Llm,
             vec![llm(rng, base_code_secs, 260)],
         ));
-        stages.push(StageSpec::executing("code exec 1", StageKind::Regular, vec![exec_task(rng)]));
+        stages.push(StageSpec::executing(
+            "code exec 1",
+            StageKind::Regular,
+            vec![exec_task(rng)],
+        ));
 
         let mut prev_exec = StageId(2);
         for it in 0..MAX_EXTRA_ITERATIONS {
@@ -189,13 +195,19 @@ mod tests {
         }
         // Support is {3, 6, 9, 12, 15}.
         for &len in seen.keys() {
-            assert!(matches!(len, 3 | 6 | 9 | 12 | 15), "unexpected chain length {len}");
+            assert!(
+                matches!(len, 3 | 6 | 9 | 12 | 15),
+                "unexpected chain length {len}"
+            );
         }
         // Shape: short chains dominate, but long chains occur (Fig. 1b).
         assert!(seen[&3] > seen[&15]);
         assert!(seen.contains_key(&15), "max-length chains should appear");
         let frac3 = seen[&3] as f64 / 974.0;
-        assert!((0.3..0.8).contains(&frac3), "~half the jobs pass first try, got {frac3}");
+        assert!(
+            (0.3..0.8).contains(&frac3),
+            "~half the jobs pass first try, got {frac3}"
+        );
     }
 
     #[test]
@@ -236,7 +248,10 @@ mod tests {
         }
         assert!(cg1.len() > 100, "need enough multi-iteration jobs");
         let c = pearson(&cg1, &cg2);
-        assert!(c > 0.8, "corr(code gen 1, code gen 2) should be ~0.9 (Fig. 5b), got {c}");
+        assert!(
+            c > 0.8,
+            "corr(code gen 1, code gen 2) should be ~0.9 (Fig. 5b), got {c}"
+        );
     }
 
     #[test]

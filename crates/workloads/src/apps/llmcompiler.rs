@@ -50,13 +50,18 @@ impl LlmCompiler {
         let plan = b.llm("planner");
         let candidates = FUNCTIONS
             .iter()
-            .map(|&(name, _)| Candidate { name: name.into(), class: ExecutorClass::Regular })
+            .map(|&(name, _)| Candidate {
+                name: name.into(),
+                class: ExecutorClass::Regular,
+            })
             .collect();
         let dynamic = b.dynamic("parallel calls", plan, candidates);
         let join = b.llm("joiner");
         b.edge(plan, dynamic);
         b.edge(dynamic, join);
-        LlmCompiler { template: b.build().expect("static template is valid") }
+        LlmCompiler {
+            template: b.build().expect("static template is valid"),
+        }
     }
 }
 
@@ -81,12 +86,12 @@ impl AppGenerator for LlmCompiler {
 
         let m = 2 + categorical(rng, &FANOUT_PMF);
         let verbosity = mean_one_noise(rng, 0.25);
-        let plan_secs =
-            (55.0 + 18.0 * m as f64) * verbosity * NOMINAL_PER_TOKEN_SECS;
-        let join_secs =
-            130.0 * (0.8 + 0.08 * m as f64) * verbosity * NOMINAL_PER_TOKEN_SECS;
+        let plan_secs = (55.0 + 18.0 * m as f64) * verbosity * NOMINAL_PER_TOKEN_SECS;
+        let join_secs = 130.0 * (0.8 + 0.08 * m as f64) * verbosity * NOMINAL_PER_TOKEN_SECS;
 
-        let weights: Vec<f64> = (0..FUNCTIONS.len()).map(|i| 1.0 / (i as f64 + 1.5)).collect();
+        let weights: Vec<f64> = (0..FUNCTIONS.len())
+            .map(|i| 1.0 / (i as f64 + 1.5))
+            .collect();
         let chosen = sample_distinct(rng, &weights, m);
 
         let mut stages = vec![

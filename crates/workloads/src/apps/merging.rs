@@ -33,7 +33,9 @@ impl DocumentMerging {
     /// Builds the generator.
     pub fn new() -> Self {
         let mut b = TemplateBuilder::new(AppKind::DocumentMerging.app_id(), "document_merging");
-        let summarize: Vec<_> = (0..N_DOCS).map(|i| b.llm(format!("summarize {i}"))).collect();
+        let summarize: Vec<_> = (0..N_DOCS)
+            .map(|i| b.llm(format!("summarize {i}")))
+            .collect();
         let merge = b.llm("merge");
         let score_m = b.regular("score merge");
         let refine = b.llm("refine");
@@ -46,7 +48,9 @@ impl DocumentMerging {
         b.edge(merge, score_m);
         b.edge(score_m, refine);
         b.edge(refine, score_f);
-        DocumentMerging { template: b.build().expect("static template is valid") }
+        DocumentMerging {
+            template: b.build().expect("static template is valid"),
+        }
     }
 }
 
@@ -68,8 +72,9 @@ impl AppGenerator for DocumentMerging {
     fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
         // Per-job document scale plus per-document variation.
         let scale = rng.gen_range(400.0..=1600.0) * mean_one_noise(rng, 0.30);
-        let doc_lens: Vec<f64> =
-            (0..N_DOCS).map(|_| scale * mean_one_noise(rng, 0.25)).collect();
+        let doc_lens: Vec<f64> = (0..N_DOCS)
+            .map(|_| scale * mean_one_noise(rng, 0.25))
+            .collect();
         let total_len: f64 = doc_lens.iter().sum();
 
         let mut stages = Vec::new();
@@ -174,6 +179,9 @@ mod tests {
             merge.push(d[N_DOCS]);
         }
         let c = pearson(&sum0, &merge);
-        assert!(c > 0.4, "summarize/merge durations should correlate, got {c}");
+        assert!(
+            c > 0.4,
+            "summarize/merge durations should correlate, got {c}"
+        );
     }
 }

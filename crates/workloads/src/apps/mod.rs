@@ -131,7 +131,10 @@ pub trait AppGenerator: Send + Sync {
 
 /// The template set containing all six applications.
 pub fn all_templates() -> TemplateSet {
-    AppKind::ALL.iter().map(|k| k.generator().template().clone()).collect()
+    AppKind::ALL
+        .iter()
+        .map(|k| k.generator().template().clone())
+        .collect()
 }
 
 /// Converts a decode-token budget expressed in seconds to output tokens.

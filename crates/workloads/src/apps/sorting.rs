@@ -62,7 +62,9 @@ impl SequenceSorting {
         b.edge(merge, score_m);
         b.edge(score_m, refine);
         b.edge(refine, score_f);
-        SequenceSorting { template: b.build().expect("static template is valid") }
+        SequenceSorting {
+            template: b.build().expect("static template is valid"),
+        }
     }
 }
 
@@ -83,7 +85,7 @@ impl AppGenerator for SequenceSorting {
 
     fn generate(&self, id: JobId, arrival: SimTime, rng: &mut StdRng) -> JobSpec {
         // Latents: sequence length and job-level verbosity.
-        let n = rng.gen_range(16.0..=64.0);
+        let n: f64 = rng.gen_range(16.0..=64.0);
         let verbosity = mean_one_noise(rng, 0.40);
 
         let llm_task = |rng: &mut StdRng, out_coeff: f64, sigma: f64| -> TaskWork {
@@ -108,7 +110,9 @@ impl AppGenerator for SequenceSorting {
         let sel_a = StageSpec::executing("select A", StageKind::Regular, vec![reg_task(rng)]);
         let sel_b = StageSpec::executing("select B", StageKind::Regular, vec![reg_task(rng)]);
         let sort = |rng: &mut StdRng, name: &str| {
-            let tasks = (0..SORT_CANDIDATES).map(|_| llm_task(rng, 6.5, 0.20)).collect();
+            let tasks = (0..SORT_CANDIDATES)
+                .map(|_| llm_task(rng, 6.5, 0.20))
+                .collect();
             StageSpec::executing(name, StageKind::Llm, tasks)
         };
         let sort_a = sort(rng, "sort A");
@@ -173,8 +177,7 @@ mod tests {
         assert!(t.dynamic_stages().is_empty());
         // Stage kinds alternate per Fig. 4.
         use llmsched_dag::template::TemplateStageKind::*;
-        let kinds: Vec<bool> =
-            t.stages().iter().map(|s| matches!(s.kind, Llm)).collect();
+        let kinds: Vec<bool> = t.stages().iter().map(|s| matches!(s.kind, Llm)).collect();
         assert_eq!(
             kinds,
             vec![true, false, false, true, true, false, false, true, false, true, false]
@@ -191,9 +194,18 @@ mod tests {
         let lo = durs.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = durs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let mean = durs.iter().sum::<f64>() / durs.len() as f64;
-        assert!(lo > 5.0 && lo < 40.0, "min should be tens of seconds, got {lo}");
-        assert!(hi > 150.0 && hi < 600.0, "max should reach hundreds of seconds, got {hi}");
-        assert!((50.0..150.0).contains(&mean), "mean in the tens-to-hundred range, got {mean}");
+        assert!(
+            lo > 5.0 && lo < 40.0,
+            "min should be tens of seconds, got {lo}"
+        );
+        assert!(
+            hi > 150.0 && hi < 600.0,
+            "max should reach hundreds of seconds, got {hi}"
+        );
+        assert!(
+            (50.0..150.0).contains(&mean),
+            "mean in the tens-to-hundred range, got {mean}"
+        );
     }
 
     #[test]
@@ -213,7 +225,10 @@ mod tests {
         }
         let c03 = pearson(&split, &sort_a);
         let c09 = pearson(&split, &refine);
-        assert!(c03 > 0.5, "corr(split, sort A) should be strong (paper ~0.7), got {c03}");
+        assert!(
+            c03 > 0.5,
+            "corr(split, sort A) should be strong (paper ~0.7), got {c03}"
+        );
         assert!(c09 > 0.5, "corr(split, refine) should be strong, got {c09}");
     }
 

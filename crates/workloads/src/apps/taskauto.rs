@@ -63,11 +63,16 @@ impl TaskAutomation {
         let plan = b.llm("task plan");
         let candidates = TOOLS
             .iter()
-            .map(|&(name, _)| Candidate { name: name.into(), class: ExecutorClass::Regular })
+            .map(|&(name, _)| Candidate {
+                name: name.into(),
+                class: ExecutorClass::Regular,
+            })
             .collect();
         let dynamic = b.dynamic("execute plan", plan, candidates);
         b.edge(plan, dynamic);
-        TaskAutomation { template: b.build().expect("static template is valid") }
+        TaskAutomation {
+            template: b.build().expect("static template is valid"),
+        }
     }
 }
 
@@ -92,8 +97,8 @@ impl AppGenerator for TaskAutomation {
 
         // Latent plan size; plan verbosity tracks it.
         let m = 1 + categorical(rng, &PLAN_SIZE_PMF);
-        let plan_secs = (45.0 + 26.0 * m as f64) * mean_one_noise(rng, 0.18)
-            * NOMINAL_PER_TOKEN_SECS;
+        let plan_secs =
+            (45.0 + 26.0 * m as f64) * mean_one_noise(rng, 0.18) * NOMINAL_PER_TOKEN_SECS;
 
         // Common/cheap tools are requested more often.
         let weights: Vec<f64> = (0..TOOLS.len()).map(|i| 1.0 / (i as f64 + 2.0)).collect();
@@ -161,7 +166,10 @@ mod tests {
         for i in 0..3000 {
             let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
             let m = j.children_of_dynamic(StageId(1)).len();
-            assert!((1..=8).contains(&m), "plan size out of Fig. 1c support: {m}");
+            assert!(
+                (1..=8).contains(&m),
+                "plan size out of Fig. 1c support: {m}"
+            );
             counts[m] += 1;
         }
         // Peaked at 2, monotone tail (Fig. 1c shape).
@@ -198,7 +206,10 @@ mod tests {
         let mut sizes = Vec::new();
         for i in 0..1000 {
             let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
-            plan_d.push(j.stage_nominal_duration(StageId(0), per_token).as_secs_f64());
+            plan_d.push(
+                j.stage_nominal_duration(StageId(0), per_token)
+                    .as_secs_f64(),
+            );
             sizes.push(j.children_of_dynamic(StageId(1)).len() as f64);
         }
         let c = llmsched_bayes::stats::pearson(&plan_d, &sizes);

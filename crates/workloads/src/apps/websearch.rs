@@ -47,7 +47,9 @@ impl WebSearch {
         }
         let answer = b.llm("answer");
         b.edge(prev.expect("MAX_HOPS >= 1"), answer);
-        WebSearch { template: b.build().expect("static template is valid") }
+        WebSearch {
+            template: b.build().expect("static template is valid"),
+        }
     }
 }
 
@@ -74,7 +76,11 @@ impl AppGenerator for WebSearch {
         let mut stages = Vec::new();
         for h in 0..MAX_HOPS {
             let runs = h < hops;
-            let reveal = if h == 0 { None } else { Some(StageId((2 * h - 1) as u32)) };
+            let reveal = if h == 0 {
+                None
+            } else {
+                Some(StageId((2 * h - 1) as u32))
+            };
             let think_secs = 110.0 * complexity * NOMINAL_PER_TOKEN_SECS;
             let think_tasks = if runs {
                 vec![TaskWork::Llm {
@@ -134,7 +140,11 @@ mod tests {
         assert!(g.template().stage(StageId(0)).revealed_by.is_none());
         assert!(g.template().stage(StageId(2)).revealed_by.is_some());
         // The answer stage always exists.
-        assert!(g.template().stage(StageId(2 * MAX_HOPS as u32)).revealed_by.is_none());
+        assert!(g
+            .template()
+            .stage(StageId(2 * MAX_HOPS as u32))
+            .revealed_by
+            .is_none());
     }
 
     #[test]

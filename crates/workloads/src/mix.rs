@@ -117,7 +117,11 @@ pub fn generate_workload(kind: WorkloadKind, n_jobs: usize, lambda: f64, seed: u
             g.generate(JobId(i as u64), at, &mut rng)
         })
         .collect();
-    Workload { kind, templates, jobs }
+    Workload {
+        kind,
+        templates,
+        jobs,
+    }
 }
 
 /// Generates `per_app` historical (training) jobs for each listed

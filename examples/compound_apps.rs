@@ -15,13 +15,23 @@ fn main() {
     for kind in AppKind::ALL {
         let generator = kind.generator();
         let t = generator.template();
-        println!("── {} ({:?}) ─────────────────────────────", kind.name(), kind.category());
+        println!(
+            "── {} ({:?}) ─────────────────────────────",
+            kind.name(),
+            kind.category()
+        );
         for (i, s) in t.stages().iter().enumerate() {
             let kind_str = match &s.kind {
                 TemplateStageKind::Regular => "regular".to_string(),
                 TemplateStageKind::Llm => "LLM".to_string(),
-                TemplateStageKind::Dynamic { candidates, preceding_llm } => {
-                    format!("dynamic[{} candidates, plan={preceding_llm}]", candidates.len())
+                TemplateStageKind::Dynamic {
+                    candidates,
+                    preceding_llm,
+                } => {
+                    format!(
+                        "dynamic[{} candidates, plan={preceding_llm}]",
+                        candidates.len()
+                    )
                 }
             };
             let reveal = s
@@ -30,7 +40,13 @@ fn main() {
                 .unwrap_or_default();
             println!("  S{i:<2} {:<14} {kind_str}{reveal}", s.name);
         }
-        println!("  edges: {:?}", t.edges().iter().map(|(a, b)| format!("{a}->{b}")).collect::<Vec<_>>());
+        println!(
+            "  edges: {:?}",
+            t.edges()
+                .iter()
+                .map(|(a, b)| format!("{a}->{b}"))
+                .collect::<Vec<_>>()
+        );
 
         // Sample 200 jobs: durations and structural statistics.
         let mut durs = Vec::new();

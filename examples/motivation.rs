@@ -25,8 +25,14 @@ fn ta_template() -> Template {
         "TA exec",
         plan,
         vec![
-            Candidate { name: "fast tool".into(), class: ExecutorClass::Regular },
-            Candidate { name: "slow tool".into(), class: ExecutorClass::Regular },
+            Candidate {
+                name: "fast tool".into(),
+                class: ExecutorClass::Regular,
+            },
+            Candidate {
+                name: "slow tool".into(),
+                class: ExecutorClass::Regular,
+            },
         ],
     );
     b.edge(plan, dynamic);
@@ -46,11 +52,16 @@ fn cg_template() -> Template {
 
 fn llm_secs(secs: f64) -> TaskWork {
     // 20 ms/token at batch 1 → 50 tokens per second of decode.
-    TaskWork::Llm { prompt_tokens: 0, output_tokens: (secs * 50.0).round() as u32 }
+    TaskWork::Llm {
+        prompt_tokens: 0,
+        output_tokens: (secs * 50.0).round() as u32,
+    }
 }
 
 fn reg_secs(secs: f64) -> TaskWork {
-    TaskWork::Regular { duration: SimDuration::from_secs_f64(secs) }
+    TaskWork::Regular {
+        duration: SimDuration::from_secs_f64(secs),
+    }
 }
 
 /// A task-automation job: plan 2 s; the generated tool is fast (1 s) or
@@ -122,7 +133,11 @@ fn main() {
             .collect();
         v.iter().sum::<f64>() / v.len() as f64
     };
-    println!("historical means — task automation: {:.1}s, code generation: {:.1}s", mean(AppId(100)), mean(AppId(101)));
+    println!(
+        "historical means — task automation: {:.1}s, code generation: {:.1}s",
+        mean(AppId(100)),
+        mean(AppId(101))
+    );
 
     // The two actual jobs of Fig. 2: Job 1 = 3 s TA, Job 2 = 5 s CG.
     let jobs = || vec![ta_job(1, &ta, true, None), cg_job(2, &cg, 2.0)];
@@ -160,7 +175,12 @@ fn main() {
     for r in [&r_sjf, &r_ours] {
         println!("\n{}:", r.scheduler);
         for j in &r.jobs {
-            println!("  job {} finished at {:>5.1}s (JCT {:.1}s)", j.id, j.completion.as_secs_f64(), j.jct().as_secs_f64());
+            println!(
+                "  job {} finished at {:>5.1}s (JCT {:.1}s)",
+                j.id,
+                j.completion.as_secs_f64(),
+                j.jct().as_secs_f64()
+            );
         }
         println!("  average JCT: {:.2}s", r.avg_jct_secs());
     }

@@ -8,8 +8,10 @@
 use llmsched::prelude::*;
 
 fn main() {
-    let n_jobs: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let n_jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
 
     println!("training profiler…");
     let templates = all_templates();
@@ -23,7 +25,12 @@ fn main() {
         let r = simulate(&cluster, &w.templates, w.jobs, &mut sched);
         assert_eq!(r.incomplete, 0);
 
-        println!("\n=== {} workload — {} jobs ===", kind.name(), n_jobs);
+        println!(
+            "\n=== {} workload — {} jobs ({} backend) ===",
+            kind.name(),
+            n_jobs,
+            r.backend
+        );
         println!(
             "  avg JCT {:.1}s | p50 {:.1}s | p95 {:.1}s | makespan {:.0}s",
             r.avg_jct_secs(),
@@ -41,7 +48,12 @@ fn main() {
         for app in kind.apps() {
             if let Some(jct) = r.avg_jct_secs_for(app.app_id()) {
                 let n = r.jobs.iter().filter(|j| j.app == app.app_id()).count();
-                println!("    {:<18} {:>4} jobs, avg JCT {:>7.1}s", app.name(), n, jct);
+                println!(
+                    "    {:<18} {:>4} jobs, avg JCT {:>7.1}s",
+                    app.name(),
+                    n,
+                    jct
+                );
             }
         }
     }

@@ -19,15 +19,22 @@ fn main() {
     // ------------------------------------------------------------------
     let app = AppKind::SequenceSorting.app_id();
     let p = profiler.profile(app).expect("trained");
-    println!("sequence sorting BN edges (stage -> stage): {:?}", p.net().edges());
+    println!(
+        "sequence sorting BN edges (stage -> stage): {:?}",
+        p.net().edges()
+    );
 
     // A fresh job: prior estimate.
     let gen = AppKind::SequenceSorting.generator();
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let job = JobRt::new(gen.generate(JobId(0), SimTime::ZERO, &mut rng));
     let prior = remaining_work(p, &job, &Evidence::new(), true);
-    println!("fresh job estimate: {:.1}s (LLM {:.1}s + regular {:.1}s)",
-        prior.expected(1.0), prior.llm_secs, prior.regular_secs);
+    println!(
+        "fresh job estimate: {:.1}s (LLM {:.1}s + regular {:.1}s)",
+        prior.expected(1.0),
+        prior.llm_secs,
+        prior.regular_secs
+    );
 
     // Suppose the split stage finished very fast vs very slow.
     let disc0 = &p.discretizers()[0];
@@ -35,7 +42,10 @@ fn main() {
         let mut ev = Evidence::new();
         ev.insert(0, bin);
         let est = remaining_work(p, &job, &ev, true);
-        println!("  split observed {label:<4} -> remaining estimate {:>6.1}s", est.expected(1.0));
+        println!(
+            "  split observed {label:<4} -> remaining estimate {:>6.1}s",
+            est.expected(1.0)
+        );
     }
 
     // Batching-aware calibration (Eq. 2).
@@ -51,9 +61,18 @@ fn main() {
     // Eq. 6 scores: which ready stage reduces the most uncertainty?
     println!("\nuncertainty reduction R(X) per sorting stage (fresh job):");
     for s in 0..p.n_stages() as u32 {
-        let r = uncertainty_reduction(p, &job, StageId(s), &Evidence::new(), MiEstimator::default());
+        let r = uncertainty_reduction(
+            p,
+            &job,
+            StageId(s),
+            &Evidence::new(),
+            MiEstimator::default(),
+        );
         if r > 0.0 {
-            println!("  S{s:<2} {:<14} R = {r:>8.2} bit·s", job.stage_view(StageId(s)).unwrap().name);
+            println!(
+                "  S{s:<2} {:<14} R = {r:>8.2} bit·s",
+                job.stage_view(StageId(s)).unwrap().name
+            );
         }
     }
 
@@ -73,7 +92,12 @@ fn main() {
     );
     let gen = AppKind::TaskAutomation.generator();
     let job = JobRt::new(gen.generate(JobId(1), SimTime::ZERO, &mut rng));
-    let r_plan =
-        uncertainty_reduction(p, &job, StageId(0), &Evidence::new(), MiEstimator::default());
+    let r_plan = uncertainty_reduction(
+        p,
+        &job,
+        StageId(0),
+        &Evidence::new(),
+        MiEstimator::default(),
+    );
     println!("plan stage R = {r_plan:.2} bit·s — the dominant exploration target (Fig. 2)");
 }

@@ -34,6 +34,7 @@ fn main() {
         "\nsimulating {n_jobs} mixed jobs on {} LLM executors (batch {}) + {} regular executors",
         cluster.llm_executors, cluster.max_batch, cluster.regular_executors
     );
+    println!("executor backend: {:?}", cluster.mode);
 
     // ---------------------------------------------------------------
     // 3. Simulate under three policies and compare average JCT.
@@ -53,7 +54,10 @@ fn main() {
     let mut llmsched = LlmSched::new(profiler, LlmSchedConfig::default());
     results.push(simulate(&cluster, &w.templates, w.jobs, &mut llmsched));
 
-    println!("\n{:<12} {:>12} {:>12} {:>12}", "policy", "avg JCT (s)", "p95 JCT (s)", "overhead(ms)");
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>12}",
+        "policy", "avg JCT (s)", "p95 JCT (s)", "overhead(ms)"
+    );
     for r in &results {
         assert_eq!(r.incomplete, 0, "all jobs must complete");
         println!(
@@ -66,5 +70,8 @@ fn main() {
     }
     let base = results[0].avg_jct_secs();
     let ours = results[2].avg_jct_secs();
-    println!("\nLLMSched reduces average JCT by {:.0}% vs FCFS", (1.0 - ours / base) * 100.0);
+    println!(
+        "\nLLMSched reduces average JCT by {:.0}% vs FCFS",
+        (1.0 - ours / base) * 100.0
+    );
 }

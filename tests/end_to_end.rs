@@ -58,7 +58,12 @@ fn jct_respects_critical_path_lower_bound() {
     let bounds: std::collections::HashMap<u64, f64> = w
         .jobs
         .iter()
-        .map(|j| (j.id().0, j.critical_path_lower_bound(per_token).as_secs_f64()))
+        .map(|j| {
+            (
+                j.id().0,
+                j.critical_path_lower_bound(per_token).as_secs_f64(),
+            )
+        })
         .collect();
     let mut sched = LlmSched::new(profiler, LlmSchedConfig::default());
     let r = simulate(&kind.default_cluster(), &w.templates, w.jobs, &mut sched);
