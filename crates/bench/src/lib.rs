@@ -12,6 +12,6 @@ pub mod report;
 pub mod roster;
 pub mod runner;
 
-pub use report::{write_csv, Table};
+pub use report::{jct_summary_cells, write_csv, Table, JCT_SUMMARY_HEADER};
 pub use roster::{Policy, TrainedArtifacts};
 pub use runner::{run_policy, ExperimentConfig};

@@ -1,7 +1,12 @@
-//! Plain-text tables and CSV emission for the experiment binaries.
+//! Plain-text tables and CSV emission for the experiment binaries, plus
+//! the shared JCT-summary columns (mean, p50/p95/p99, SLO attainment)
+//! result tables report per run.
 
 use std::fmt::Write as _;
 use std::path::Path;
+
+use llmsched_dag::time::SimDuration;
+use llmsched_sim::metrics::SimResult;
 
 /// A simple aligned table with a header row.
 #[derive(Debug, Clone, Default)]
@@ -87,6 +92,22 @@ impl Table {
     }
 }
 
+/// Header cells of the per-run JCT summary ([`jct_summary_cells`]).
+pub const JCT_SUMMARY_HEADER: [&str; 5] = ["avg_jct_s", "p50_s", "p95_s", "p99_s", "slo_att"];
+
+/// Formats one run's JCT summary — mean, p50/p95/p99 and attainment of a
+/// JCT SLO at `slo` — as table cells matching [`JCT_SUMMARY_HEADER`].
+pub fn jct_summary_cells(r: &SimResult, slo: SimDuration) -> Vec<String> {
+    let p = r.jct_percentiles();
+    vec![
+        format!("{:.2}", r.avg_jct_secs()),
+        format!("{:.2}", p.p50),
+        format!("{:.2}", p.p95),
+        format!("{:.2}", p.p99),
+        format!("{:.3}", r.slo_attainment(slo)),
+    ]
+}
+
 /// Writes a table's CSV under `results/` (created if missing), returning
 /// the path written.
 ///
@@ -121,6 +142,37 @@ mod tests {
         let mut t = Table::new(vec!["k"]);
         t.row(vec!["a,b"]);
         assert_eq!(t.to_csv(), "k\n\"a,b\"\n");
+    }
+
+    #[test]
+    fn jct_summary_cells_match_header_arity() {
+        use llmsched_dag::ids::{AppId, JobId};
+        use llmsched_dag::time::SimTime;
+        use llmsched_sim::metrics::{JobOutcome, Utilization};
+        let r = SimResult {
+            scheduler: "test".into(),
+            backend: "cluster/jsq".into(),
+            jobs: vec![JobOutcome {
+                id: JobId(0),
+                app: AppId(0),
+                arrival: SimTime::ZERO,
+                completion: SimTime::from_secs_f64(4.0),
+            }],
+            makespan: SimTime::from_secs_f64(4.0),
+            sched_calls: 1,
+            sched_wall: std::time::Duration::ZERO,
+            utilization: Utilization::default(),
+            events: 1,
+            incomplete: 0,
+        };
+        let cells = jct_summary_cells(&r, SimDuration::from_secs(5));
+        assert_eq!(cells.len(), JCT_SUMMARY_HEADER.len());
+        assert_eq!(cells[0], "4.00");
+        assert_eq!(cells[4], "1.000");
+        // The cells drop straight into a table with the shared header.
+        let mut t = Table::new(JCT_SUMMARY_HEADER.to_vec());
+        t.row(cells);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

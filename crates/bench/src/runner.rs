@@ -15,12 +15,15 @@ pub struct ExperimentConfig {
     pub kind: WorkloadKind,
     /// Number of jobs.
     pub n_jobs: usize,
-    /// Poisson arrival rate (jobs/s).
+    /// Poisson arrival rate (jobs/s), used when `arrivals` is `None`.
     pub lambda: f64,
+    /// Arrival-process override (bursty MMPP, diurnal); `None` means
+    /// Poisson at `lambda`.
+    pub arrivals: Option<ArrivalProcess>,
     /// Workload seed (same seed ⇒ identical job sequence for every policy).
     pub seed: u64,
     /// Engine fidelity (analytic = Fig. 7 simulator, token-level = Fig. 8
-    /// testbed stand-in).
+    /// testbed stand-in, cluster/disagg = Fig. 11 serving shapes).
     pub mode: EngineMode,
     /// LLMSched parameter overrides (ε, r, …).
     pub llmsched: Option<LlmSchedConfig>,
@@ -35,6 +38,7 @@ impl ExperimentConfig {
             kind,
             n_jobs: 300,
             lambda: 0.9,
+            arrivals: None,
             seed,
             mode: EngineMode::Analytic,
             llmsched: None,
@@ -51,11 +55,18 @@ impl ExperimentConfig {
         c.mode = self.mode;
         c
     }
+
+    /// The effective arrival process.
+    pub fn arrival_process(&self) -> ArrivalProcess {
+        self.arrivals.unwrap_or(ArrivalProcess::Poisson {
+            lambda: self.lambda,
+        })
+    }
 }
 
 /// Runs one policy on one workload instance.
 pub fn run_policy(art: &TrainedArtifacts, policy: Policy, exp: &ExperimentConfig) -> SimResult {
-    let w = generate_workload(exp.kind, exp.n_jobs, exp.lambda, exp.seed);
+    let w = generate_workload_with(exp.kind, exp.n_jobs, &exp.arrival_process(), exp.seed);
     let mut sched = art.build(policy, exp.llmsched.clone());
     simulate(&exp.cluster(), &w.templates, w.jobs, &mut sched)
 }
@@ -104,6 +115,29 @@ mod tests {
         let r = run_policy(&art, Policy::Fcfs, &exp);
         assert_eq!(r.incomplete, 0);
         assert_eq!(r.jobs.len(), 12);
+    }
+
+    #[test]
+    fn arrival_override_changes_the_trace_poisson_default_does_not() {
+        let art = crate::TrainedArtifacts::train(25, 3);
+        let base = ExperimentConfig {
+            n_jobs: 10,
+            ..ExperimentConfig::paper_default(WorkloadKind::ChainLike, 5)
+        };
+        let explicit = ExperimentConfig {
+            arrivals: Some(ArrivalProcess::Poisson { lambda: 0.9 }),
+            ..base.clone()
+        };
+        let bursty = ExperimentConfig {
+            arrivals: Some(ArrivalProcess::bursty(0.9)),
+            ..base.clone()
+        };
+        let a = run_policy(&art, Policy::Fcfs, &base);
+        let b = run_policy(&art, Policy::Fcfs, &explicit);
+        let c = run_policy(&art, Policy::Fcfs, &bursty);
+        assert_eq!(a.avg_jct_secs(), b.avg_jct_secs());
+        assert_eq!(c.incomplete, 0);
+        assert_ne!(a.makespan, c.makespan);
     }
 
     #[test]

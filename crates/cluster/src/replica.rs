@@ -1,0 +1,300 @@
+//! The cluster topology model: replica groups, the flat replica table the
+//! simulator serves from, and the disaggregated prefill/decode layout.
+//!
+//! A serving cluster is a set of [`ReplicaGroup`]s — homogeneous pools of
+//! model replicas sharing one decode-latency curve and batch capacity (in
+//! production: one deployment of one model build on one GPU SKU). A
+//! [`ClusterSpec`] collects the groups, names the routing policy requests
+//! are spread with, and optionally designates one group as a dedicated
+//! *prefill* pool for disaggregated serving ([`DisaggSpec`]).
+//!
+//! The spec is pure data (no event-loop state), so it can be threaded
+//! through configuration layers, cloned across sweep threads, and compared
+//! in tests; the simulator turns it into an executor backend.
+
+use crate::latency::LatencyProfile;
+use crate::router::RoutingPolicy;
+use llmsched_dag::time::SimDuration;
+
+/// A homogeneous pool of model replicas: same latency curve, same batch
+/// capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaGroup {
+    /// Display name (used in reports, e.g. `"a100-pool"`).
+    pub name: String,
+    /// Number of replicas in the group.
+    pub replicas: usize,
+    /// Maximum co-batched requests per replica.
+    pub max_batch: usize,
+    /// Per-token decode-latency curve shared by the group's replicas.
+    pub latency: LatencyProfile,
+}
+
+impl ReplicaGroup {
+    /// A group of `replicas` replicas batching up to `max_batch`.
+    pub fn new<S: Into<String>>(
+        name: S,
+        replicas: usize,
+        max_batch: usize,
+        latency: LatencyProfile,
+    ) -> Self {
+        ReplicaGroup {
+            name: name.into(),
+            replicas,
+            max_batch,
+            latency,
+        }
+    }
+
+    /// Total batch slots across the group.
+    pub fn slots(&self) -> usize {
+        self.replicas * self.max_batch
+    }
+}
+
+/// Disaggregated prefill/decode layout: which group prefills, how fast it
+/// prefills, and what the KV-cache handoff costs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisaggSpec {
+    /// Index (into [`ClusterSpec::groups`]) of the dedicated prefill pool.
+    /// Every other group serves decode.
+    pub prefill_group: usize,
+    /// Prefill cost per prompt token on a prefill replica (prefill is
+    /// compute-bound and parallel over the prompt, so this is typically
+    /// far below the decode per-token latency).
+    pub prefill_per_token: SimDuration,
+    /// KV-cache transfer delay between prefill completion and the request
+    /// joining a decode batch.
+    pub transfer_delay: SimDuration,
+}
+
+impl DisaggSpec {
+    /// A layout with `prefill_group` as the prefill pool and defaults
+    /// matched to the built-in Llama-2-7B curve: 1 ms/prompt-token prefill
+    /// (≈ l(1) × 0.05) and a 25 ms KV-cache handoff.
+    pub fn with_defaults(prefill_group: usize) -> Self {
+        DisaggSpec {
+            prefill_group,
+            prefill_per_token: SimDuration::from_secs_f64(1.0e-3),
+            transfer_delay: SimDuration::from_millis(25),
+        }
+    }
+}
+
+/// Error validating a [`ClusterSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterSpecError {
+    /// The spec lists no groups.
+    NoGroups,
+    /// A group has zero replicas or zero batch capacity.
+    EmptyGroup(usize),
+    /// `DisaggSpec::prefill_group` is out of range.
+    BadPrefillGroup(usize),
+    /// Disaggregation leaves no decode group.
+    NoDecodeGroups,
+}
+
+impl std::fmt::Display for ClusterSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterSpecError::NoGroups => write!(f, "cluster spec has no replica groups"),
+            ClusterSpecError::EmptyGroup(g) => {
+                write!(f, "group {g} has zero replicas or zero batch capacity")
+            }
+            ClusterSpecError::BadPrefillGroup(g) => {
+                write!(f, "prefill group index {g} is out of range")
+            }
+            ClusterSpecError::NoDecodeGroups => {
+                write!(f, "disaggregation leaves no decode-serving group")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterSpecError {}
+
+/// A full serving-cluster description: replica groups + routing policy +
+/// optional disaggregated prefill/decode layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// The replica groups.
+    pub groups: Vec<ReplicaGroup>,
+    /// How requests are routed across replicas.
+    pub routing: RoutingPolicy,
+    /// Disaggregated layout; `None` means every group serves the full
+    /// prefill+decode path (aggregated serving).
+    pub disagg: Option<DisaggSpec>,
+}
+
+impl ClusterSpec {
+    /// A spec over `groups` with routing `routing` and no disaggregation.
+    pub fn new(groups: Vec<ReplicaGroup>, routing: RoutingPolicy) -> Self {
+        ClusterSpec {
+            groups,
+            routing,
+            disagg: None,
+        }
+    }
+
+    /// A single homogeneous group — the shape the paper evaluates, as a
+    /// cluster spec.
+    pub fn homogeneous(replicas: usize, max_batch: usize, latency: LatencyProfile) -> Self {
+        ClusterSpec::new(
+            vec![ReplicaGroup::new("pool", replicas, max_batch, latency)],
+            RoutingPolicy::LeastLoaded,
+        )
+    }
+
+    /// A disaggregated layout derived from a homogeneous decode pool: one
+    /// dedicated prefill replica (group 0) plus `decode_replicas` decode
+    /// replicas (group 1) with default prefill/transfer costs.
+    pub fn disaggregated(
+        decode_replicas: usize,
+        max_batch: usize,
+        latency: LatencyProfile,
+    ) -> Self {
+        ClusterSpec {
+            groups: vec![
+                ReplicaGroup::new("prefill", 1, 1, latency.clone()),
+                ReplicaGroup::new("decode", decode_replicas, max_batch, latency),
+            ],
+            routing: RoutingPolicy::LeastLoaded,
+            disagg: Some(DisaggSpec::with_defaults(0)),
+        }
+    }
+
+    /// Sets the routing policy (builder style).
+    pub fn with_routing(mut self, routing: RoutingPolicy) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    /// Returns a [`ClusterSpecError`] describing the first violated
+    /// invariant: at least one group, every group non-empty, the prefill
+    /// group (if any) in range and not the only group.
+    pub fn validate(&self) -> Result<(), ClusterSpecError> {
+        if self.groups.is_empty() {
+            return Err(ClusterSpecError::NoGroups);
+        }
+        for (g, group) in self.groups.iter().enumerate() {
+            if group.replicas == 0 || group.max_batch == 0 {
+                return Err(ClusterSpecError::EmptyGroup(g));
+            }
+        }
+        if let Some(d) = &self.disagg {
+            if d.prefill_group >= self.groups.len() {
+                return Err(ClusterSpecError::BadPrefillGroup(d.prefill_group));
+            }
+            if self.groups.len() < 2 {
+                return Err(ClusterSpecError::NoDecodeGroups);
+            }
+        }
+        Ok(())
+    }
+
+    /// Indices of the groups that serve decode traffic: every group, minus
+    /// the prefill pool when disaggregated.
+    pub fn serving_groups(&self) -> Vec<usize> {
+        let prefill = self.disagg.as_ref().map(|d| d.prefill_group);
+        (0..self.groups.len())
+            .filter(|g| Some(*g) != prefill)
+            .collect()
+    }
+
+    /// Flattens the serving groups into per-replica entries
+    /// `(group index, group ref)`, in group order then replica order —
+    /// the executor table a backend serves from.
+    pub fn serving_replicas(&self) -> Vec<(usize, &ReplicaGroup)> {
+        self.serving_groups()
+            .into_iter()
+            .flat_map(|g| std::iter::repeat((g, &self.groups[g])).take(self.groups[g].replicas))
+            .collect()
+    }
+
+    /// Total batch slots across the serving (decode) replicas.
+    pub fn serving_slots(&self) -> usize {
+        self.serving_groups()
+            .iter()
+            .map(|&g| self.groups[g].slots())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> LatencyProfile {
+        LatencyProfile::default()
+    }
+
+    #[test]
+    fn homogeneous_spec_is_valid_and_flat() {
+        let s = ClusterSpec::homogeneous(3, 4, lat());
+        s.validate().unwrap();
+        assert_eq!(s.serving_groups(), vec![0]);
+        assert_eq!(s.serving_replicas().len(), 3);
+        assert_eq!(s.serving_slots(), 12);
+        assert!(s.disagg.is_none());
+    }
+
+    #[test]
+    fn disaggregated_spec_excludes_prefill_from_serving() {
+        let s = ClusterSpec::disaggregated(2, 8, lat());
+        s.validate().unwrap();
+        assert_eq!(s.serving_groups(), vec![1]);
+        let reps = s.serving_replicas();
+        assert_eq!(reps.len(), 2);
+        assert!(reps.iter().all(|&(g, _)| g == 1));
+        assert_eq!(s.serving_slots(), 16);
+    }
+
+    #[test]
+    fn heterogeneous_groups_flatten_in_order() {
+        let s = ClusterSpec::new(
+            vec![
+                ReplicaGroup::new("fast", 1, 8, lat()),
+                ReplicaGroup::new("slow", 2, 4, lat()),
+            ],
+            RoutingPolicy::JoinShortestQueue,
+        );
+        s.validate().unwrap();
+        let reps = s.serving_replicas();
+        assert_eq!(
+            reps.iter().map(|&(g, _)| g).collect::<Vec<_>>(),
+            vec![0, 1, 1]
+        );
+        assert_eq!(s.serving_slots(), 16);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert_eq!(
+            ClusterSpec::new(vec![], RoutingPolicy::LeastLoaded)
+                .validate()
+                .unwrap_err(),
+            ClusterSpecError::NoGroups
+        );
+        assert_eq!(
+            ClusterSpec::new(
+                vec![ReplicaGroup::new("empty", 0, 4, lat())],
+                RoutingPolicy::LeastLoaded
+            )
+            .validate()
+            .unwrap_err(),
+            ClusterSpecError::EmptyGroup(0)
+        );
+        let mut s = ClusterSpec::homogeneous(2, 4, lat());
+        s.disagg = Some(DisaggSpec::with_defaults(5));
+        assert_eq!(
+            s.validate().unwrap_err(),
+            ClusterSpecError::BadPrefillGroup(5)
+        );
+        let mut s = ClusterSpec::homogeneous(2, 4, lat());
+        s.disagg = Some(DisaggSpec::with_defaults(0));
+        assert_eq!(s.validate().unwrap_err(), ClusterSpecError::NoDecodeGroups);
+    }
+}

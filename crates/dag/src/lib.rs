@@ -67,5 +67,5 @@ pub mod prelude {
         TemplateStageKind,
     };
     pub use crate::time::{SimDuration, SimTime};
-    pub use crate::work::{ExecutorClass, TaskWork};
+    pub use crate::work::{ExecutorClass, LlmWork, TaskWork};
 }

@@ -37,12 +37,61 @@ pub enum TaskWork {
     },
 }
 
+/// The token counts of one LLM task, as handed to executor backends.
+///
+/// Aggregated backends fold prefill into decode-equivalent tokens via
+/// [`LlmWork::folded_tokens`]; disaggregated backends price the raw
+/// `prompt_tokens` on a dedicated prefill pool instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlmWork {
+    /// Prompt length in tokens (prefill work).
+    pub prompt_tokens: u64,
+    /// Tokens the model will generate (decode work).
+    pub output_tokens: u64,
+}
+
+impl LlmWork {
+    /// The unclamped prefill-surcharge fold (the single home of the
+    /// `PREFILL_TOKEN_EQUIV` formula).
+    fn fold(&self) -> u64 {
+        let prefill = (self.prompt_tokens as f64 * PREFILL_TOKEN_EQUIV).ceil() as u64;
+        prefill + self.output_tokens
+    }
+
+    /// Total batch-1 decode-equivalent tokens: `output_tokens` plus the
+    /// prefill surcharge (`PREFILL_TOKEN_EQUIV` decode tokens per prompt
+    /// token), clamped to at least 1 so every task makes progress.
+    pub fn folded_tokens(&self) -> u64 {
+        self.fold().max(1)
+    }
+
+    /// Decode tokens alone, clamped to at least 1 — what a disaggregated
+    /// decode replica actually generates.
+    pub fn decode_tokens(&self) -> u64 {
+        self.output_tokens.max(1)
+    }
+}
+
 impl TaskWork {
     /// The executor class this work must run on.
     pub fn class(&self) -> ExecutorClass {
         match self {
             TaskWork::Regular { .. } => ExecutorClass::Regular,
             TaskWork::Llm { .. } => ExecutorClass::Llm,
+        }
+    }
+
+    /// The token breakdown of an LLM task, or `None` for a regular task.
+    pub fn llm_work(&self) -> Option<LlmWork> {
+        match *self {
+            TaskWork::Llm {
+                prompt_tokens,
+                output_tokens,
+            } => Some(LlmWork {
+                prompt_tokens: prompt_tokens as u64,
+                output_tokens: output_tokens as u64,
+            }),
+            TaskWork::Regular { .. } => None,
         }
     }
 
@@ -53,16 +102,7 @@ impl TaskWork {
     /// (`PREFILL_TOKEN_EQUIV` decode tokens per prompt token), matching how
     /// the analytic and token-level engines charge prompt processing.
     pub fn llm_token_cost(&self) -> Option<u64> {
-        match *self {
-            TaskWork::Llm {
-                prompt_tokens,
-                output_tokens,
-            } => {
-                let prefill = (prompt_tokens as f64 * PREFILL_TOKEN_EQUIV).ceil() as u64;
-                Some(prefill + output_tokens as u64)
-            }
-            TaskWork::Regular { .. } => None,
-        }
+        self.llm_work().map(|w| w.fold())
     }
 
     /// The task's duration when run alone: regular tasks take their fixed

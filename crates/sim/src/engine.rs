@@ -3,7 +3,7 @@
 //!
 //! LLM serving itself lives behind the [`ExecutorBackend`] trait in
 //! [`crate::exec`]; the engine owns exactly one backend — chosen by
-//! [`ClusterConfig::mode`] — and is otherwise fidelity-agnostic. Two
+//! [`ClusterConfig::mode`] — and is otherwise fidelity-agnostic. Four
 //! backends ship today (see [`EngineMode`]):
 //!
 //! * [`EngineMode::Analytic`] — the paper's *simulator*
@@ -11,6 +11,11 @@
 //!   only at batch-membership changes.
 //! * [`EngineMode::TokenLevel`] — the paper's *testbed* stand-in
 //!   ([`crate::exec::TokenExec`]): per-iteration continuous batching.
+//! * [`EngineMode::Cluster`] — heterogeneous multi-group cluster with
+//!   routed placement ([`crate::exec::ClusterExec`]), topology from
+//!   [`ClusterConfig::spec`].
+//! * [`EngineMode::Disagg`] — disaggregated prefill/decode serving
+//!   ([`crate::exec::DisaggExec`]).
 //!
 //! The engine owns the hidden [`JobSpec`]s and implements the reveal
 //! protocol; schedulers only observe the filtered
@@ -19,11 +24,12 @@
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 
+use llmsched_cluster::ClusterSpec;
 use llmsched_dag::ids::JobId;
 use llmsched_dag::job::{JobSpec, StageKind};
 use llmsched_dag::template::TemplateSet;
 use llmsched_dag::time::SimTime;
-use llmsched_dag::work::{ExecutorClass, TaskWork};
+use llmsched_dag::work::{ExecutorClass, LlmWork, TaskWork};
 
 pub use crate::exec::pool::EngineMode;
 
@@ -40,16 +46,24 @@ pub struct ClusterConfig {
     /// Number of regular executors (each runs one regular task at a time).
     pub regular_executors: usize,
     /// Number of LLM executors (each batches up to `max_batch` LLM tasks).
+    /// Cluster modes with an explicit [`ClusterConfig::spec`] ignore this.
     pub llm_executors: usize,
-    /// Maximum batch size per LLM executor.
+    /// Maximum batch size per LLM executor. Cluster modes with an explicit
+    /// [`ClusterConfig::spec`] ignore this.
     pub max_batch: usize,
-    /// Decode-latency curve shared by all LLM executors.
+    /// Reference decode-latency curve: homogeneous backends decode with
+    /// it; cluster backends carry per-group curves and use this only for
+    /// batch-1 duration normalization (Eq. 2 evidence).
     pub latency: LatencyProfile,
     /// Execution fidelity (selects the [`ExecutorBackend`]).
     pub mode: EngineMode,
     /// Token-level mode only: tokens decoded per iteration event (1 =
     /// faithful per-token stepping; larger values trade fidelity for speed).
     pub iteration_chunk: u64,
+    /// Serving-cluster topology for [`EngineMode::Cluster`] /
+    /// [`EngineMode::Disagg`]: replica groups, routing policy, optional
+    /// disaggregation. `None` derives a spec from the scalar fields above.
+    pub spec: Option<ClusterSpec>,
 }
 
 impl Default for ClusterConfig {
@@ -61,6 +75,7 @@ impl Default for ClusterConfig {
             latency: LatencyProfile::default(),
             mode: EngineMode::Analytic,
             iteration_chunk: 1,
+            spec: None,
         }
     }
 }
@@ -89,6 +104,9 @@ struct Engine<'a> {
     now: SimTime,
     regular_busy: usize,
     llm: Box<dyn ExecutorBackend>,
+    /// Cached [`ExecutorBackend::descriptor`] (e.g. `"cluster/jsq"`),
+    /// lent to scheduler contexts and moved into the result.
+    backend_desc: String,
     outcomes: Vec<JobOutcome>,
     events: u64,
     sched_calls: u64,
@@ -119,8 +137,9 @@ pub fn simulate(
         cfg.regular_executors > 0,
         "need at least one regular executor"
     );
+    let llm = pool::build_backend(cfg);
     assert!(
-        cfg.llm_executors > 0 && cfg.max_batch > 0,
+        llm.n_execs() > 0 && pool::total_slots(&*llm) > 0,
         "need LLM capacity"
     );
     for j in &jobs {
@@ -132,6 +151,7 @@ pub fn simulate(
         );
     }
 
+    let backend_desc = llm.descriptor();
     let mut engine = Engine {
         cfg,
         templates,
@@ -141,7 +161,8 @@ pub fn simulate(
         queue: EventQueue::new(),
         now: SimTime::ZERO,
         regular_busy: 0,
-        llm: pool::build_backend(cfg),
+        llm,
+        backend_desc,
         outcomes: Vec::new(),
         events: 0,
         sched_calls: 0,
@@ -178,10 +199,10 @@ impl Engine<'_> {
             .max()
             .unwrap_or(SimTime::ZERO);
         let horizon = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
-        let slots = (self.cfg.llm_executors * self.cfg.max_batch) as f64;
+        let slots = pool::total_slots(&*self.llm) as f64;
         SimResult {
             scheduler: scheduler.name().to_string(),
-            backend: self.llm.name(),
+            backend: std::mem::take(&mut self.backend_desc),
             jobs: std::mem::take(&mut self.outcomes),
             makespan,
             sched_calls: self.sched_calls,
@@ -190,8 +211,7 @@ impl Engine<'_> {
                 regular_busy_frac: self.reg_busy_integral
                     / (self.cfg.regular_executors as f64 * horizon),
                 llm_slot_frac: self.llm_slot_integral / (slots * horizon),
-                llm_active_frac: self.llm_active_integral
-                    / (self.cfg.llm_executors as f64 * horizon),
+                llm_active_frac: self.llm_active_integral / (self.llm.n_execs() as f64 * horizon),
             },
             events: self.events,
             incomplete: self.jobs.iter().filter(|j| !j.is_complete()).count(),
@@ -210,8 +230,7 @@ impl Engine<'_> {
     }
 
     fn has_free_capacity(&self) -> bool {
-        self.regular_busy < self.cfg.regular_executors
-            || pool::least_loaded(&*self.llm, self.cfg.max_batch).is_some()
+        self.regular_busy < self.cfg.regular_executors || pool::has_free_slot(&*self.llm)
     }
 
     /// Applies one event; returns whether it changed state (stale events
@@ -381,8 +400,8 @@ impl Engine<'_> {
             let ctx = SchedContext {
                 now: self.now,
                 jobs: self.active.iter().map(|&i| &self.jobs[i]).collect(),
-                llm_executors: pool::views(&*self.llm, self.cfg.max_batch),
-                backend: self.llm.name(),
+                llm_executors: pool::views(&*self.llm),
+                backend: &self.backend_desc,
                 regular_total: self.cfg.regular_executors,
                 regular_busy: self.regular_busy,
                 templates: self.templates,
@@ -427,14 +446,27 @@ impl Engine<'_> {
                 self.start_regular(j, tr);
             }
         }
-        // LLM tasks go to the least-loaded executor (paper's load balancer).
+        // LLM tasks are routed by the backend: the default is the paper's
+        // least-loaded rule, cluster backends consult their Router policy.
         for tr in &pref.llm {
-            let Some(e) = pool::least_loaded(&*self.llm, self.cfg.max_batch) else {
+            if !pool::has_free_slot(&*self.llm) {
+                break;
+            }
+            let Some(j) = self.validate(tr, ExecutorClass::Llm) else {
+                continue;
+            };
+            let work = self.jobs[j].spec.stage(tr.stage).tasks[tr.task as usize]
+                .llm_work()
+                .expect("validated as llm");
+            let task = LlmTaskRef {
+                job: j,
+                stage: tr.stage.0,
+                task: tr.task,
+            };
+            let Some(e) = self.llm.place(task, work) else {
                 break;
             };
-            if let Some(j) = self.validate(tr, ExecutorClass::Llm) {
-                self.start_llm(j, tr, e);
-            }
+            self.start_llm(j, tr, e, work);
         }
     }
 
@@ -461,9 +493,7 @@ impl Engine<'_> {
         );
     }
 
-    fn start_llm(&mut self, j: usize, tr: &TaskRef, e: usize) {
-        let work = self.jobs[j].spec.stage(tr.stage).tasks[tr.task as usize];
-        let tokens = work.llm_token_cost().expect("validated as llm").max(1);
+    fn start_llm(&mut self, j: usize, tr: &TaskRef, e: usize, work: LlmWork) {
         {
             let st = &mut self.jobs[j].stages[tr.stage.index()];
             st.started_at.get_or_insert(self.now);
@@ -477,7 +507,7 @@ impl Engine<'_> {
                 stage: tr.stage.0,
                 task: tr.task,
             },
-            tokens,
+            work,
             &mut exec_ctx!(self),
         );
     }
@@ -634,6 +664,34 @@ mod tests {
         assert_eq!(res.incomplete, 0);
         assert_eq!(res.backend, "token-level");
         assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cluster_and_disagg_modes_run_end_to_end() {
+        let (set, spec) = templates_and_job(0.0);
+        // Homogeneous cluster mode is the analytic model behind routed
+        // placement: identical hand-computed JCT.
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            mode: EngineMode::Cluster,
+            ..Default::default()
+        };
+        let res = simulate(&cfg, &set, vec![spec.clone()], &mut Greedy);
+        assert_eq!(res.incomplete, 0);
+        assert_eq!(res.backend, "cluster/least-loaded");
+        assert!((res.jobs[0].jct().as_secs_f64() - 3.0).abs() < 1e-6);
+
+        // Disagg adds the KV transfer delay (default 25 ms; the job has
+        // no prompt tokens, so no prefill time).
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            mode: EngineMode::Disagg,
+            ..Default::default()
+        };
+        let res = simulate(&cfg, &set, vec![spec], &mut Greedy);
+        assert_eq!(res.incomplete, 0);
+        assert_eq!(res.backend, "disagg/least-loaded");
+        assert!((res.jobs[0].jct().as_secs_f64() - 3.025).abs() < 1e-6);
     }
 
     #[test]

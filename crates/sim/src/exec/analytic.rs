@@ -9,6 +9,7 @@
 //! per-iteration events — which is what makes this fidelity fast.
 
 use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::LlmWork;
 
 use super::{ExecCtx, ExecutorBackend, LlmTaskRef, StepOutcome};
 use crate::latency::LatencyProfile;
@@ -62,13 +63,15 @@ impl Unit {
 #[derive(Debug)]
 pub struct AnalyticExec {
     units: Vec<Unit>,
+    max_batch: usize,
 }
 
 impl AnalyticExec {
-    /// A pool of `n_execs` idle executors.
-    pub fn new(n_execs: usize) -> Self {
+    /// A pool of `n_execs` idle executors batching up to `max_batch`.
+    pub fn new(n_execs: usize, max_batch: usize) -> Self {
         AnalyticExec {
             units: (0..n_execs).map(|_| Unit::default()).collect(),
+            max_batch,
         }
     }
 }
@@ -86,12 +89,16 @@ impl ExecutorBackend for AnalyticExec {
         self.units[exec].running.len()
     }
 
-    fn admit(&mut self, exec: usize, task: LlmTaskRef, tokens: u64, cx: &mut ExecCtx<'_>) {
+    fn capacity(&self, _exec: usize) -> usize {
+        self.max_batch
+    }
+
+    fn admit(&mut self, exec: usize, task: LlmTaskRef, work: LlmWork, cx: &mut ExecCtx<'_>) {
         let unit = &mut self.units[exec];
         unit.settle(cx.now, cx.latency);
         unit.running.push(Running {
             task,
-            remaining_tokens: tokens.max(1) as f64,
+            remaining_tokens: work.folded_tokens() as f64,
         });
         unit.retime(cx);
     }
@@ -129,12 +136,19 @@ mod tests {
         }
     }
 
+    fn w(tokens: u64) -> LlmWork {
+        LlmWork {
+            prompt_tokens: 0,
+            output_tokens: tokens,
+        }
+    }
+
     #[test]
     fn admit_posts_one_finish_event_per_running_task() {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
-        let mut be = AnalyticExec::new(1);
+        let mut be = AnalyticExec::new(1, 8);
 
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
@@ -142,7 +156,7 @@ mod tests {
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 100, &mut cx);
+        be.admit(0, t(0), w(100), &mut cx);
         assert_eq!(be.occupancy(0), 1);
         assert_eq!(queue.len(), 1, "one finish event for the lone task");
 
@@ -152,7 +166,7 @@ mod tests {
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(1), 100, &mut cx);
+        be.admit(0, t(1), w(100), &mut cx);
         assert_eq!(be.occupancy(0), 2);
         // Both tasks were re-timed: two new events on top of the stale one.
         assert_eq!(queue.len(), 3);
@@ -163,7 +177,7 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
-        let mut be = AnalyticExec::new(2);
+        let mut be = AnalyticExec::new(2, 8);
 
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
@@ -171,8 +185,8 @@ mod tests {
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 100, &mut cx);
-        be.admit(0, t(1), 200, &mut cx);
+        be.admit(0, t(0), w(100), &mut cx);
+        be.admit(0, t(1), w(200), &mut cx);
         be.drain(0, t(0), &mut cx);
         assert_eq!(be.occupancy(0), 1);
         assert_eq!(be.occupancy(1), 0, "other executors untouched");
@@ -186,7 +200,7 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(1)];
-        let mut be = AnalyticExec::new(1);
+        let mut be = AnalyticExec::new(1, 8);
 
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
@@ -194,7 +208,7 @@ mod tests {
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 100, &mut cx);
+        be.admit(0, t(0), w(100), &mut cx);
         let mut cx = ExecCtx {
             now: SimTime::from_secs_f64(0.5),
             latency: &latency,
@@ -234,7 +248,7 @@ mod tests {
         .unwrap();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
-        let mut be = AnalyticExec::new(1);
+        let mut be = AnalyticExec::new(1, 8);
 
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
@@ -242,14 +256,14 @@ mod tests {
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 100, &mut cx);
+        be.admit(0, t(0), w(100), &mut cx);
         let mut cx = ExecCtx {
             now: SimTime::from_secs_f64(0.5),
             latency: &latency,
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(1), 100, &mut cx);
+        be.admit(0, t(1), w(100), &mut cx);
         let epoch_a = jobs[0].stages[0].tasks[0].epoch;
         let mut finish_a = None;
         while let Some((time, ev)) = queue.pop() {
@@ -271,17 +285,18 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
-        let mut be = AnalyticExec::new(2);
+        let mut be = AnalyticExec::new(2, 8);
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(1, t(0), 10, &mut cx);
-        let views = pool::views(&be, 8);
+        be.admit(1, t(0), w(10), &mut cx);
+        let views = pool::views(&be);
         assert_eq!(views.len(), 2);
         assert_eq!((views[0].batch_len, views[1].batch_len), (0, 1));
-        assert_eq!(pool::least_loaded(&be, 8), Some(0));
+        assert_eq!((views[0].max_batch, views[1].max_batch), (8, 8));
+        assert_eq!(be.place(t(1), w(10)), Some(0));
     }
 }

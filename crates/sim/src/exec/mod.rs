@@ -8,9 +8,10 @@
 //! traits:
 //!
 //! * [`ExecutorBackend`] — what the engine needs from a pool of LLM
-//!   executors: **admit** a task into a batch, advance a backend timer
-//!   (**step**), remove a finished task (**drain**), and expose an
-//!   **occupancy view** per executor.
+//!   executors: **place** a task on an executor (routing), **admit** it
+//!   into a batch, advance a backend timer (**step**), remove a finished
+//!   task (**drain**), and expose an **occupancy/capacity view** per
+//!   executor.
 //! * [`analytic::AnalyticExec`] — the paper's *simulator*: rate-rescaling
 //!   batching that settles decode progress on every membership change and
 //!   re-posts finish events at the new batch rate.
@@ -18,27 +19,48 @@
 //!   per-iteration continuous batching (requests join at iteration
 //!   boundaries, every iteration costs `l(batch)` and emits `chunk`
 //!   tokens per request).
+//! * [`cluster::ClusterExec`] — a heterogeneous multi-group cluster:
+//!   replicas carry per-group latency curves and batch capacities
+//!   (from a [`ClusterSpec`](llmsched_cluster::ClusterSpec)), and
+//!   placement is delegated to a pluggable
+//!   [`Router`](llmsched_cluster::Router) policy instead of the paper's
+//!   fixed least-loaded rule.
+//! * [`disagg::DisaggExec`] — disaggregated prefill/decode serving: a
+//!   request first occupies a dedicated prefill replica for
+//!   `prompt_tokens × prefill_per_token`, pays a KV-cache
+//!   `transfer_delay`, and only then joins a decode batch on the replica
+//!   the router chose at admission. Decode proceeds analytically
+//!   (rate-rescaling), so the backend is event-sparse: one
+//!   [`Event::LlmStep`] per admitted task (the prefill→decode handoff)
+//!   plus re-timed [`Event::TaskFinish`]s.
 //! * [`pool`] — backend-agnostic pool machinery: the
-//!   [`EngineMode`](pool::EngineMode) → backend factory and the paper's
-//!   least-loaded placement over any backend's occupancy view.
+//!   [`EngineMode`](pool::EngineMode) → backend factory and the
+//!   occupancy-view helpers the engine shares across backends.
 //!
 //! Backends interact with the engine through [`ExecCtx`]: they may read
-//! the clock and latency curve, and post [`Event`]s — either a
-//! [`Event::TaskFinish`] for a task whose completion time is now known
-//! (analytic re-timing) or a [`Event::LlmStep`] wake-up for their own
-//! iteration loop (token-level). The engine remains the only place that
-//! mutates job/stage/task state; the reveal protocol of §IV-A never
-//! leaks into backends.
+//! the clock and the reference latency curve, and post [`Event`]s —
+//! either a [`Event::TaskFinish`] for a task whose completion time is now
+//! known (analytic re-timing) or a [`Event::LlmStep`] wake-up for their
+//! own deferred work (the token-level backend's iteration loop, the
+//! disaggregated backend's prefill→decode handoffs). The engine remains
+//! the only place that mutates job/stage/task state; the reveal protocol
+//! of §IV-A never leaks into backends.
 
 pub mod analytic;
+mod batching;
+pub mod cluster;
+pub mod disagg;
 pub mod pool;
 pub mod token_level;
 
 pub use analytic::AnalyticExec;
+pub use cluster::ClusterExec;
+pub use disagg::DisaggExec;
 pub use pool::{build_backend, EngineMode};
 pub use token_level::TokenExec;
 
 use llmsched_dag::time::SimTime;
+use llmsched_dag::work::LlmWork;
 
 use crate::event::{Event, EventQueue};
 use crate::latency::LatencyProfile;
@@ -64,7 +86,10 @@ pub struct LlmTaskRef {
 pub struct ExecCtx<'a> {
     /// Current simulation time.
     pub now: SimTime,
-    /// Decode-latency curve shared by all LLM executors.
+    /// The reference decode-latency curve ([`ClusterConfig::latency`]
+    /// (crate::engine::ClusterConfig::latency)). Homogeneous backends decode
+    /// with it; cluster backends carry per-group curves and use this only
+    /// as the normalization reference.
     pub latency: &'a LatencyProfile,
     /// The engine's event queue (backends post wake-ups and finishes).
     pub queue: &'a mut EventQueue,
@@ -122,13 +147,18 @@ impl StepOutcome {
 /// [`pool::EngineMode`] via [`pool::build_backend`]) and talks to it only
 /// through this trait:
 ///
+/// * [`place`](ExecutorBackend::place) when the dispatcher routes a
+///   ready LLM task (the default is the paper's least-loaded rule;
+///   cluster backends delegate to their
+///   [`Router`](llmsched_cluster::Router)),
 /// * [`admit`](ExecutorBackend::admit) when the dispatcher places a task
-///   on an executor,
+///   on the chosen executor,
 /// * [`step`](ExecutorBackend::step) when a [`Event::LlmStep`] the
 ///   backend posted comes due,
 /// * [`drain`](ExecutorBackend::drain) when a task's completion is
 ///   processed (the batch slot must be released synchronously),
-/// * [`occupancy`](ExecutorBackend::occupancy) whenever placement,
+/// * [`occupancy`](ExecutorBackend::occupancy) /
+///   [`capacity`](ExecutorBackend::capacity) whenever placement,
 ///   utilization accounting or the scheduler-visible
 ///   [`LlmExecutorView`](crate::state::LlmExecutorView)s need batch
 ///   sizes.
@@ -138,7 +168,8 @@ impl StepOutcome {
 /// Implementations must keep, for every executor index `e`:
 ///
 /// 1. `occupancy(e)` equals admitted − drained tasks for `e` (admission
-///    is synchronous, whatever internal join staging is used);
+///    is synchronous, whatever internal join staging — or prefill
+///    transit — is used);
 /// 2. a task admitted exactly once is eventually reported finished
 ///    exactly once — via a posted [`Event::TaskFinish`] or a
 ///    [`StepOutcome::finished`] entry — provided posted events keep
@@ -146,23 +177,45 @@ impl StepOutcome {
 /// 3. `drain` of a task already removed by
 ///    [`step`](ExecutorBackend::step) is a no-op (the engine always
 ///    drains on completion, including completions the backend itself
-///    reported).
+///    reported);
+/// 4. `place` only returns executors with `occupancy(e) < capacity(e)`.
 pub trait ExecutorBackend: std::fmt::Debug {
-    /// Short backend name, used in results and reports (e.g.
-    /// `"analytic"`).
+    /// Short backend family name (e.g. `"analytic"`, `"cluster"`).
     fn name(&self) -> &'static str;
 
-    /// Number of LLM executors in the pool.
+    /// Full self-description for results and reports; backends with a
+    /// configurable routing policy append it (e.g. `"cluster/jsq"`).
+    fn descriptor(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Number of LLM executors in the pool (for disaggregated backends:
+    /// the decode replicas — prefill replicas are internal).
     fn n_execs(&self) -> usize;
 
     /// Number of tasks currently holding a batch slot on executor
-    /// `exec` (running or staged to join at the next boundary).
+    /// `exec` (running, staged to join at the next boundary, or in
+    /// prefill transit toward it).
     fn occupancy(&self, exec: usize) -> usize;
 
-    /// Admits `task` (with `tokens` left to decode) into executor
-    /// `exec`'s batch. Called by the dispatcher after capacity and
-    /// readiness checks; `tokens` is at least 1.
-    fn admit(&mut self, exec: usize, task: LlmTaskRef, tokens: u64, cx: &mut ExecCtx<'_>);
+    /// Maximum batch slots on executor `exec`.
+    fn capacity(&self, exec: usize) -> usize;
+
+    /// Routes `task` to an executor with a free slot, or `None` when the
+    /// pool is full. The default is the paper's least-loaded placement
+    /// (fewest occupied slots, ties by index); cluster backends override
+    /// it with their configured [`Router`](llmsched_cluster::Router).
+    fn place(&mut self, task: LlmTaskRef, work: LlmWork) -> Option<usize> {
+        let _ = (task, work);
+        (0..self.n_execs())
+            .filter(|&e| self.occupancy(e) < self.capacity(e))
+            .min_by_key(|&e| self.occupancy(e))
+    }
+
+    /// Admits `task` (with token counts `work`) into executor `exec`'s
+    /// batch. Called by the dispatcher after readiness checks, with `exec`
+    /// the executor [`place`](ExecutorBackend::place) chose.
+    fn admit(&mut self, exec: usize, task: LlmTaskRef, work: LlmWork, cx: &mut ExecCtx<'_>);
 
     /// Handles a [`Event::LlmStep`] wake-up this backend posted earlier.
     /// Returns the tasks that finished and whether anything observable

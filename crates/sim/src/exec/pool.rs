@@ -1,8 +1,9 @@
-//! Backend-agnostic pool machinery: fidelity selection and the placement
-//! / occupancy-view helpers the engine uses over any
-//! [`ExecutorBackend`].
+//! Backend-agnostic pool machinery: fidelity selection and the
+//! occupancy-view helpers the engine uses over any [`ExecutorBackend`].
 
-use super::{AnalyticExec, ExecutorBackend, TokenExec};
+use llmsched_cluster::ClusterSpec;
+
+use super::{AnalyticExec, ClusterExec, DisaggExec, ExecutorBackend, TokenExec};
 use crate::engine::ClusterConfig;
 use crate::state::LlmExecutorView;
 
@@ -14,33 +15,63 @@ pub enum EngineMode {
     Analytic,
     /// Per-iteration continuous batching (the paper's testbed stand-in).
     TokenLevel,
+    /// Heterogeneous multi-group cluster with routed placement
+    /// ([`ClusterExec`]); uses [`ClusterConfig::spec`], or a homogeneous
+    /// spec derived from the scalar fields when none is given.
+    Cluster,
+    /// Disaggregated prefill/decode serving ([`DisaggExec`]); uses
+    /// [`ClusterConfig::spec`], or a derived layout with one dedicated
+    /// prefill replica when none is given.
+    Disagg,
 }
 
 /// Builds the executor backend a cluster configuration asks for. The only
 /// place the workspace dispatches on [`EngineMode`]; everything downstream
 /// of here is trait-object code.
+///
+/// # Panics
+/// Panics if [`ClusterConfig::spec`] is present but invalid, or lacks a
+/// disaggregation layout in [`EngineMode::Disagg`].
 pub fn build_backend(cfg: &ClusterConfig) -> Box<dyn ExecutorBackend> {
     match cfg.mode {
-        EngineMode::Analytic => Box::new(AnalyticExec::new(cfg.llm_executors)),
-        EngineMode::TokenLevel => Box::new(TokenExec::new(cfg.llm_executors, cfg.iteration_chunk)),
+        EngineMode::Analytic => Box::new(AnalyticExec::new(cfg.llm_executors, cfg.max_batch)),
+        EngineMode::TokenLevel => Box::new(TokenExec::new(
+            cfg.llm_executors,
+            cfg.max_batch,
+            cfg.iteration_chunk,
+        )),
+        EngineMode::Cluster => {
+            let spec = cfg.spec.clone().unwrap_or_else(|| {
+                ClusterSpec::homogeneous(cfg.llm_executors, cfg.max_batch, cfg.latency.clone())
+            });
+            Box::new(ClusterExec::new(&spec))
+        }
+        EngineMode::Disagg => {
+            let spec = cfg.spec.clone().unwrap_or_else(|| {
+                ClusterSpec::disaggregated(cfg.llm_executors, cfg.max_batch, cfg.latency.clone())
+            });
+            Box::new(DisaggExec::new(&spec))
+        }
     }
 }
 
-/// The paper's load balancing: the executor with the fewest occupied batch
-/// slots that still has a free one (ties broken by index).
-pub fn least_loaded(backend: &dyn ExecutorBackend, max_batch: usize) -> Option<usize> {
-    (0..backend.n_execs())
-        .filter(|&e| backend.occupancy(e) < max_batch)
-        .min_by_key(|&e| backend.occupancy(e))
+/// True if any executor can admit one more task.
+pub fn has_free_slot(backend: &dyn ExecutorBackend) -> bool {
+    (0..backend.n_execs()).any(|e| backend.occupancy(e) < backend.capacity(e))
+}
+
+/// Total batch slots across the pool.
+pub fn total_slots(backend: &dyn ExecutorBackend) -> usize {
+    (0..backend.n_execs()).map(|e| backend.capacity(e)).sum()
 }
 
 /// Scheduler-visible occupancy snapshot of every executor.
-pub fn views(backend: &dyn ExecutorBackend, max_batch: usize) -> Vec<LlmExecutorView> {
+pub fn views(backend: &dyn ExecutorBackend) -> Vec<LlmExecutorView> {
     (0..backend.n_execs())
         .map(|e| LlmExecutorView {
             index: e,
             batch_len: backend.occupancy(e),
-            max_batch,
+            max_batch: backend.capacity(e),
         })
         .collect()
 }
@@ -62,6 +93,7 @@ pub fn slot_stats(backend: &dyn ExecutorBackend) -> (usize, usize) {
 mod tests {
     use super::*;
     use crate::latency::LatencyProfile;
+    use llmsched_cluster::{ReplicaGroup, RoutingPolicy};
 
     fn cfg(mode: EngineMode) -> ClusterConfig {
         ClusterConfig {
@@ -71,6 +103,7 @@ mod tests {
             latency: LatencyProfile::default(),
             mode,
             iteration_chunk: 2,
+            spec: None,
         }
     }
 
@@ -78,10 +111,45 @@ mod tests {
     fn factory_builds_the_requested_backend() {
         let a = build_backend(&cfg(EngineMode::Analytic));
         assert_eq!(a.name(), "analytic");
+        assert_eq!(a.descriptor(), "analytic");
         assert_eq!(a.n_execs(), 3);
         let t = build_backend(&cfg(EngineMode::TokenLevel));
         assert_eq!(t.name(), "token-level");
         assert_eq!(t.n_execs(), 3);
+    }
+
+    #[test]
+    fn cluster_modes_derive_specs_from_scalar_fields() {
+        let c = build_backend(&cfg(EngineMode::Cluster));
+        assert_eq!(c.name(), "cluster");
+        assert_eq!(c.descriptor(), "cluster/least-loaded");
+        assert_eq!(c.n_execs(), 3);
+        assert_eq!(total_slots(&*c), 12);
+
+        let d = build_backend(&cfg(EngineMode::Disagg));
+        assert_eq!(d.name(), "disagg");
+        // Decode replicas mirror llm_executors; prefill is internal.
+        assert_eq!(d.n_execs(), 3);
+        assert_eq!(total_slots(&*d), 12);
+    }
+
+    #[test]
+    fn explicit_spec_overrides_scalar_fields() {
+        let spec = ClusterSpec::new(
+            vec![
+                ReplicaGroup::new("fast", 1, 8, LatencyProfile::default()),
+                ReplicaGroup::new("slow", 2, 2, LatencyProfile::default()),
+            ],
+            RoutingPolicy::JoinShortestQueue,
+        );
+        let c = build_backend(&ClusterConfig {
+            spec: Some(spec),
+            ..cfg(EngineMode::Cluster)
+        });
+        assert_eq!(c.n_execs(), 3);
+        assert_eq!(c.descriptor(), "cluster/jsq");
+        assert_eq!((c.capacity(0), c.capacity(1)), (8, 2));
+        assert_eq!(total_slots(&*c), 12);
     }
 
     #[test]
@@ -90,9 +158,23 @@ mod tests {
             llm_executors: 0,
             ..cfg(EngineMode::Analytic)
         };
-        let be = build_backend(&cfg);
-        assert_eq!(least_loaded(&*be, 8), None);
-        assert!(views(&*be, 8).is_empty());
+        let mut be = build_backend(&cfg);
+        assert!(!has_free_slot(&*be));
+        assert_eq!(
+            be.place(
+                super::super::LlmTaskRef {
+                    job: 0,
+                    stage: 0,
+                    task: 0
+                },
+                llmsched_dag::work::LlmWork {
+                    prompt_tokens: 0,
+                    output_tokens: 1
+                }
+            ),
+            None
+        );
+        assert!(views(&*be).is_empty());
         assert_eq!(slot_stats(&*be), (0, 0));
     }
 }

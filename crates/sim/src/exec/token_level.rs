@@ -10,6 +10,8 @@
 //! posts for itself, versioned by a per-executor epoch so a batch that
 //! drains and restarts invalidates leftover wake-ups.
 
+use llmsched_dag::work::LlmWork;
+
 use super::{ExecCtx, ExecutorBackend, LlmTaskRef, StepOutcome};
 
 /// One task waiting on decode iterations.
@@ -42,15 +44,18 @@ impl Unit {
 #[derive(Debug)]
 pub struct TokenExec {
     units: Vec<Unit>,
+    max_batch: usize,
     chunk: u64,
 }
 
 impl TokenExec {
-    /// A pool of `n_execs` idle executors decoding `chunk` tokens per
-    /// iteration event (`chunk` is clamped to at least 1).
-    pub fn new(n_execs: usize, chunk: u64) -> Self {
+    /// A pool of `n_execs` idle executors batching up to `max_batch` and
+    /// decoding `chunk` tokens per iteration event (`chunk` is clamped to
+    /// at least 1).
+    pub fn new(n_execs: usize, max_batch: usize, chunk: u64) -> Self {
         TokenExec {
             units: (0..n_execs).map(|_| Unit::default()).collect(),
+            max_batch,
             chunk: chunk.max(1),
         }
     }
@@ -88,11 +93,15 @@ impl ExecutorBackend for TokenExec {
         self.units[exec].occupancy()
     }
 
-    fn admit(&mut self, exec: usize, task: LlmTaskRef, tokens: u64, cx: &mut ExecCtx<'_>) {
+    fn capacity(&self, _exec: usize) -> usize {
+        self.max_batch
+    }
+
+    fn admit(&mut self, exec: usize, task: LlmTaskRef, work: LlmWork, cx: &mut ExecCtx<'_>) {
         let unit = &mut self.units[exec];
         unit.joining.push(Pending {
             task,
-            remaining_tokens: tokens.max(1),
+            remaining_tokens: work.folded_tokens(),
         });
         if !unit.iterating {
             // Idle executor: the joiners form a fresh batch immediately.
@@ -146,7 +155,6 @@ impl ExecutorBackend for TokenExec {
 
 #[cfg(test)]
 mod tests {
-    use super::super::pool;
     use super::*;
     use crate::event::{Event, EventQueue};
     use crate::latency::LatencyProfile;
@@ -164,6 +172,13 @@ mod tests {
         }
     }
 
+    fn w(tokens: u64) -> LlmWork {
+        LlmWork {
+            prompt_tokens: 0,
+            output_tokens: tokens,
+        }
+    }
+
     /// Pops the single pending LlmStep event.
     fn pop_step(queue: &mut EventQueue) -> (SimTime, usize, u64) {
         let (time, ev) = queue.pop().expect("a step event is pending");
@@ -178,14 +193,14 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
-        let mut be = TokenExec::new(1, 1);
+        let mut be = TokenExec::new(1, 8, 1);
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 3, &mut cx);
+        be.admit(0, t(0), w(3), &mut cx);
         assert_eq!(be.occupancy(0), 1);
         let (time, exec, _) = pop_step(&mut queue);
         assert_eq!(exec, 0);
@@ -200,15 +215,15 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
-        let mut be = TokenExec::new(1, 1);
+        let mut be = TokenExec::new(1, 8, 1);
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 2, &mut cx);
-        be.admit(0, t(1), 2, &mut cx);
+        be.admit(0, t(0), w(2), &mut cx);
+        be.admit(0, t(1), w(2), &mut cx);
         // Occupancy counts the joiner immediately (slot accounting)...
         assert_eq!(be.occupancy(0), 2);
         // ...but only one wake-up is in flight: the joiner did not restart
@@ -221,14 +236,14 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
-        let mut be = TokenExec::new(1, 1);
+        let mut be = TokenExec::new(1, 8, 1);
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 1, &mut cx);
+        be.admit(0, t(0), w(1), &mut cx);
         let (_, _, epoch) = pop_step(cx.queue);
         let out = be.step(0, epoch + 1, &mut cx);
         assert!(!out.effective);
@@ -245,15 +260,15 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(3)];
-        let mut be = TokenExec::new(1, 1);
+        let mut be = TokenExec::new(1, 8, 1);
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 1, &mut cx); // finishes after one iteration
-        be.admit(0, t(1), 5, &mut cx); // joins at the boundary
+        be.admit(0, t(0), w(1), &mut cx); // finishes after one iteration
+        be.admit(0, t(1), w(5), &mut cx); // joins at the boundary
         let (time, _, epoch) = pop_step(&mut queue);
         let mut cx = ExecCtx {
             now: time,
@@ -284,14 +299,14 @@ mod tests {
         for (chunk, expected_steps) in [(1u64, 8usize), (4, 2), (16, 1)] {
             let mut queue = EventQueue::new();
             let mut jobs = [crate::state::test_support::job_with_llm_tasks(1)];
-            let mut be = TokenExec::new(1, chunk);
+            let mut be = TokenExec::new(1, 8, chunk);
             let mut cx = ExecCtx {
                 now: SimTime::ZERO,
                 latency: &latency,
                 queue: &mut queue,
                 jobs: &mut jobs,
             };
-            be.admit(0, t(0), 8, &mut cx);
+            be.admit(0, t(0), w(8), &mut cx);
             let mut steps = 0;
             while !queue.is_empty() {
                 let (time, _, epoch) = pop_step(&mut queue);
@@ -314,18 +329,18 @@ mod tests {
         let latency = flat_latency();
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
-        let mut be = TokenExec::new(2, 1);
+        let mut be = TokenExec::new(2, 2, 1);
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
             queue: &mut queue,
             jobs: &mut jobs,
         };
-        be.admit(0, t(0), 5, &mut cx);
-        assert_eq!(pool::least_loaded(&be, 2), Some(1));
-        be.admit(1, t(1), 5, &mut cx);
-        be.admit(0, t(2), 5, &mut cx);
-        be.admit(1, t(3), 5, &mut cx);
-        assert_eq!(pool::least_loaded(&be, 2), None, "both executors full");
+        be.admit(0, t(0), w(5), &mut cx);
+        assert_eq!(be.place(t(1), w(5)), Some(1));
+        be.admit(1, t(1), w(5), &mut cx);
+        be.admit(0, t(2), w(5), &mut cx);
+        be.admit(1, t(3), w(5), &mut cx);
+        assert_eq!(be.place(t(4), w(5)), None, "both executors full");
     }
 }

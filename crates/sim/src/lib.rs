@@ -12,13 +12,18 @@
 //! durations, executor occupancy).
 //!
 //! LLM serving is pluggable: the engine drives an
-//! [`exec::ExecutorBackend`] trait object, and two backends ship (selected
-//! by [`engine::EngineMode`]): the analytic rate-rescaling backend
-//! [`exec::AnalyticExec`] — the paper's *simulator* — and the token-level
-//! continuous-batching backend [`exec::TokenExec`] standing in for the
-//! paper's GPU *testbed*. New serving models (paged/chunked batching,
-//! multi-replica sharding) plug in behind the same trait without touching
-//! the event loop.
+//! [`exec::ExecutorBackend`] trait object, and four backends ship
+//! (selected by [`engine::EngineMode`]): the analytic rate-rescaling
+//! backend [`exec::AnalyticExec`] — the paper's *simulator* — the
+//! token-level continuous-batching backend [`exec::TokenExec`] standing
+//! in for the paper's GPU *testbed*, the heterogeneous routed
+//! multi-replica backend [`exec::ClusterExec`], and the disaggregated
+//! prefill/decode backend [`exec::DisaggExec`]. Cluster topologies
+//! (replica groups, routing policies, disaggregation layouts) are
+//! described by `llmsched-cluster`'s
+//! [`ClusterSpec`](llmsched_cluster::ClusterSpec), threaded through
+//! [`engine::ClusterConfig::spec`]. New serving models plug in behind the
+//! same trait without touching the event loop.
 //!
 //! ## Example: simulate one job under a trivial FCFS-ish policy
 //!
@@ -68,17 +73,26 @@
 pub mod engine;
 pub mod event;
 pub mod exec;
-pub mod latency;
 pub mod metrics;
 pub mod scheduler;
 pub mod state;
 
+// The latency model moved to the cluster crate (specs carry per-group
+// curves); re-exported here so `llmsched_sim::latency::…` paths keep
+// working.
+pub use llmsched_cluster::latency;
+
 /// Convenient glob-import of the simulator's public surface.
 pub mod prelude {
     pub use crate::engine::{simulate, ClusterConfig, EngineMode};
-    pub use crate::exec::{AnalyticExec, ExecutorBackend, LlmTaskRef, StepOutcome, TokenExec};
+    pub use crate::exec::{
+        AnalyticExec, ClusterExec, DisaggExec, ExecutorBackend, LlmTaskRef, StepOutcome, TokenExec,
+    };
     pub use crate::latency::{LatencyProfile, LatencyProfileError};
-    pub use crate::metrics::{JobOutcome, SimResult, Utilization};
+    pub use crate::metrics::{JctPercentiles, JobOutcome, SimResult, Utilization};
     pub use crate::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
     pub use crate::state::{Existence, JobRt, LlmExecutorView, StageView};
+    pub use llmsched_cluster::{
+        ClusterSpec, DisaggSpec, ReplicaGroup, ReplicaView, RouteRequest, Router, RoutingPolicy,
+    };
 }

@@ -1,5 +1,6 @@
-//! Simulation outcome metrics: per-job completion times, average JCT,
-//! utilization integrals, and scheduler overhead (Table I).
+//! Simulation outcome metrics: per-job completion times, average and
+//! percentile JCT, SLO attainment, utilization integrals, and scheduler
+//! overhead (Table I).
 
 use llmsched_dag::ids::{AppId, JobId};
 use llmsched_dag::time::{SimDuration, SimTime};
@@ -35,14 +36,27 @@ pub struct Utilization {
     pub llm_active_frac: f64,
 }
 
+/// Tail-latency summary of a run's job completion times, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JctPercentiles {
+    /// Median JCT.
+    pub p50: f64,
+    /// 95th-percentile JCT.
+    pub p95: f64,
+    /// 99th-percentile JCT.
+    pub p99: f64,
+}
+
 /// Full result of one simulation run.
 #[derive(Debug, Clone)]
 pub struct SimResult {
     /// Scheduling policy name.
     pub scheduler: String,
-    /// Executor backend the run used (e.g. `"analytic"`,
-    /// `"token-level"`) — keeps cross-fidelity comparisons honest.
-    pub backend: &'static str,
+    /// Executor backend descriptor the run used (e.g. `"analytic"`,
+    /// `"token-level"`, `"cluster/jsq"`) — keeps cross-fidelity and
+    /// cross-routing comparisons honest. A `String` so dynamically
+    /// configured cluster backends can self-describe.
+    pub backend: String,
     /// Per-job outcomes, in completion order.
     pub jobs: Vec<JobOutcome>,
     /// Time of the last completion.
@@ -69,6 +83,19 @@ impl SimResult {
         self.jobs.iter().map(|j| j.jct().as_secs_f64()).sum::<f64>() / self.jobs.len() as f64
     }
 
+    /// JCTs in seconds, ascending.
+    fn sorted_jcts(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.jobs.iter().map(|j| j.jct().as_secs_f64()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
+        v
+    }
+
+    /// Nearest-rank quantile of an ascending non-empty sample.
+    fn quantile(sorted: &[f64], p: f64) -> f64 {
+        let idx = ((p * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        sorted[idx]
+    }
+
     /// The `p`-quantile of JCT in seconds (`p` in [0, 1], nearest-rank).
     ///
     /// # Panics
@@ -78,10 +105,33 @@ impl SimResult {
         if self.jobs.is_empty() {
             return 0.0;
         }
-        let mut v: Vec<f64> = self.jobs.iter().map(|j| j.jct().as_secs_f64()).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("JCTs are finite"));
-        let idx = ((p * (v.len() - 1) as f64).round() as usize).min(v.len() - 1);
-        v[idx]
+        Self::quantile(&self.sorted_jcts(), p)
+    }
+
+    /// The p50/p95/p99 JCT summary — the serving-world tail metrics a
+    /// mean hides. Sorts the sample once for all three ranks.
+    pub fn jct_percentiles(&self) -> JctPercentiles {
+        if self.jobs.is_empty() {
+            return JctPercentiles::default();
+        }
+        let sorted = self.sorted_jcts();
+        JctPercentiles {
+            p50: Self::quantile(&sorted, 0.50),
+            p95: Self::quantile(&sorted, 0.95),
+            p99: Self::quantile(&sorted, 0.99),
+        }
+    }
+
+    /// Fraction of jobs meeting a JCT deadline of `deadline`. Jobs that
+    /// never completed count as misses, so a starving scheduler cannot
+    /// report perfect attainment; a run with no jobs at all reports 1.0.
+    pub fn slo_attainment(&self, deadline: SimDuration) -> f64 {
+        let total = self.jobs.len() + self.incomplete;
+        if total == 0 {
+            return 1.0;
+        }
+        let met = self.jobs.iter().filter(|j| j.jct() <= deadline).count();
+        met as f64 / total as f64
     }
 
     /// Average wall-clock scheduling overhead per invocation, in
@@ -125,7 +175,7 @@ mod tests {
     fn result(jobs: Vec<JobOutcome>) -> SimResult {
         SimResult {
             scheduler: "test".into(),
-            backend: "analytic",
+            backend: "analytic".into(),
             jobs,
             makespan: SimTime::from_secs_f64(10.0),
             sched_calls: 4,
@@ -162,6 +212,31 @@ mod tests {
         assert!((r.jct_quantile_secs(0.0) - 1.0).abs() < 1e-9);
         assert!((r.jct_quantile_secs(0.5) - 3.0).abs() < 1e-9);
         assert!((r.jct_quantile_secs(1.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_summarize_the_tail() {
+        let r = result((0..100).map(|i| outcome(i, 0.0, (i + 1) as f64)).collect());
+        let p = r.jct_percentiles();
+        assert!(
+            (p.p50 - 51.0).abs() < 1e-9,
+            "nearest-rank median, got {}",
+            p.p50
+        );
+        assert!((p.p95 - 95.0).abs() < 1.0 + 1e-9);
+        assert!((p.p99 - 99.0).abs() < 1.0 + 1e-9);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+    }
+
+    #[test]
+    fn slo_attainment_counts_incomplete_jobs_as_misses() {
+        let mut r = result(vec![outcome(0, 0.0, 2.0), outcome(1, 0.0, 9.0)]);
+        let slo = SimDuration::from_secs(5);
+        assert!((r.slo_attainment(slo) - 0.5).abs() < 1e-9);
+        r.incomplete = 2;
+        assert!((r.slo_attainment(slo) - 0.25).abs() < 1e-9);
+        let empty = result(vec![]);
+        assert_eq!(empty.slo_attainment(slo), 1.0);
     }
 
     #[test]

@@ -111,10 +111,11 @@ pub struct SchedContext<'a> {
     /// LLM executor occupancy, as reported by the active
     /// [`ExecutorBackend`](crate::exec::ExecutorBackend).
     pub llm_executors: Vec<LlmExecutorView>,
-    /// Name of the active executor backend (e.g. `"analytic"`,
-    /// `"token-level"`): lets fidelity-aware policies and the Eq. 2
-    /// calibration know which serving model produced the occupancy view.
-    pub backend: &'static str,
+    /// Descriptor of the active executor backend (e.g. `"analytic"`,
+    /// `"cluster/jsq"`): lets fidelity-aware policies and the Eq. 2
+    /// calibration know which serving model — and routing policy —
+    /// produced the occupancy view.
+    pub backend: &'a str,
     /// Total number of regular executors.
     pub regular_total: usize,
     /// Currently busy regular executors.

@@ -1,0 +1,313 @@
+//! Job arrival processes beyond the paper's homogeneous Poisson stream.
+//!
+//! Production LLM traffic is neither stationary nor memoryless: request
+//! rates burst (viral prompts, batch pipelines kicking in) and swing with
+//! the day/night cycle. [`ArrivalProcess`] captures three stylized
+//! processes behind one sampling interface:
+//!
+//! * [`ArrivalProcess::Poisson`] — the paper's baseline: i.i.d.
+//!   exponential inter-arrivals at rate λ.
+//! * [`ArrivalProcess::Mmpp`] — a two-state Markov-modulated Poisson
+//!   process: the stream alternates between a *calm* and a *bursty*
+//!   Poisson regime, with exponentially distributed dwell times in each.
+//!   Inter-arrival times are over-dispersed (CV² > 1), the classic
+//!   signature of bursty serving traffic.
+//! * [`ArrivalProcess::Diurnal`] — an inhomogeneous Poisson process with
+//!   a sinusoidal rate `λ(t) = λ̄ (1 + a·sin(2πt/period))`, sampled by
+//!   Lewis–Shedler thinning: a day/night load swing compressed to
+//!   simulation scale.
+//!
+//! All processes are fully determined by the caller's RNG, so fixed seeds
+//! give reproducible traces across policies and backends.
+
+use llmsched_dag::time::SimTime;
+use rand::Rng;
+
+use crate::randx::exponential;
+
+/// A job arrival process (see the module docs for the catalogue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals at `lambda` jobs/s.
+    Poisson {
+        /// Arrival rate (jobs per second).
+        lambda: f64,
+    },
+    /// Two-state Markov-modulated Poisson process. The stream starts in
+    /// the calm state.
+    Mmpp {
+        /// Arrival rate in the calm state (jobs per second).
+        lambda_calm: f64,
+        /// Arrival rate in the bursty state (jobs per second).
+        lambda_burst: f64,
+        /// Mean dwell time in the calm state (seconds).
+        dwell_calm: f64,
+        /// Mean dwell time in the bursty state (seconds).
+        dwell_burst: f64,
+    },
+    /// Inhomogeneous Poisson arrivals with sinusoidal rate
+    /// `λ(t) = mean_lambda · (1 + amplitude · sin(2πt/period))`.
+    Diurnal {
+        /// Time-averaged arrival rate (jobs per second).
+        mean_lambda: f64,
+        /// Relative swing around the mean, in `[0, 1)`.
+        amplitude: f64,
+        /// Cycle length in seconds.
+        period: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A bursty MMPP calibrated around mean rate `lambda`: calm at
+    /// `0.5 λ`, bursts at `3 λ`, with dwell times (mean 100 s calm, 25 s
+    /// bursty) chosen so the long-run average rate is exactly `λ`.
+    pub fn bursty(lambda: f64) -> Self {
+        ArrivalProcess::Mmpp {
+            lambda_calm: 0.5 * lambda,
+            lambda_burst: 3.0 * lambda,
+            dwell_calm: 100.0,
+            dwell_burst: 25.0,
+        }
+    }
+
+    /// A diurnal process averaging `lambda` with an 80% swing over a
+    /// 10-minute "day" (long enough for several cycles in a 300-job run).
+    pub fn diurnal(lambda: f64) -> Self {
+        ArrivalProcess::Diurnal {
+            mean_lambda: lambda,
+            amplitude: 0.8,
+            period: 600.0,
+        }
+    }
+
+    /// Short display name: `"poisson"`, `"mmpp"` or `"diurnal"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Mmpp { .. } => "mmpp",
+            ArrivalProcess::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// The long-run average arrival rate in jobs/s.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { lambda } => lambda,
+            ArrivalProcess::Mmpp {
+                lambda_calm,
+                lambda_burst,
+                dwell_calm,
+                dwell_burst,
+            } => {
+                // Time-weighted by stationary state occupancy.
+                (lambda_calm * dwell_calm + lambda_burst * dwell_burst) / (dwell_calm + dwell_burst)
+            }
+            ArrivalProcess::Diurnal { mean_lambda, .. } => mean_lambda,
+        }
+    }
+
+    /// Draws `n` increasing arrival times.
+    ///
+    /// # Panics
+    /// Panics if any rate is non-positive, a dwell time is non-positive,
+    /// or a diurnal amplitude is outside `[0, 1)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<SimTime> {
+        match *self {
+            ArrivalProcess::Poisson { lambda } => {
+                let mut t = 0.0;
+                (0..n)
+                    .map(|_| {
+                        t += exponential(rng, lambda);
+                        SimTime::from_secs_f64(t)
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Mmpp {
+                lambda_calm,
+                lambda_burst,
+                dwell_calm,
+                dwell_burst,
+            } => {
+                assert!(
+                    dwell_calm > 0.0 && dwell_burst > 0.0,
+                    "dwell times must be positive"
+                );
+                let rates = [lambda_calm, lambda_burst];
+                let dwells = [dwell_calm, dwell_burst];
+                let mut state = 0usize;
+                let mut t = 0.0;
+                let mut switch_at = exponential(rng, 1.0 / dwells[state]);
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    let dt = exponential(rng, rates[state]);
+                    if t + dt >= switch_at {
+                        // The Poisson clock is memoryless: on a regime
+                        // switch, discard the candidate and redraw in the
+                        // new state from the switch instant.
+                        t = switch_at;
+                        state = 1 - state;
+                        switch_at = t + exponential(rng, 1.0 / dwells[state]);
+                    } else {
+                        t += dt;
+                        out.push(SimTime::from_secs_f64(t));
+                    }
+                }
+                out
+            }
+            ArrivalProcess::Diurnal {
+                mean_lambda,
+                amplitude,
+                period,
+            } => {
+                assert!(
+                    (0.0..1.0).contains(&amplitude),
+                    "amplitude must be in [0, 1)"
+                );
+                assert!(period > 0.0, "period must be positive");
+                // Lewis–Shedler thinning against the peak rate.
+                let lambda_max = mean_lambda * (1.0 + amplitude);
+                let rate_at = |t: f64| {
+                    mean_lambda * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin())
+                };
+                let mut t = 0.0;
+                let mut out = Vec::with_capacity(n);
+                while out.len() < n {
+                    t += exponential(rng, lambda_max);
+                    let u: f64 = rng.gen();
+                    if u * lambda_max < rate_at(t) {
+                        out.push(SimTime::from_secs_f64(t));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Squared coefficient of variation of inter-arrival times.
+    fn interarrival_cv2(at: &[SimTime]) -> f64 {
+        let gaps: Vec<f64> = at.windows(2).map(|w| (w[1] - w[0]).as_secs_f64()).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        var / (mean * mean)
+    }
+
+    #[test]
+    fn all_processes_produce_sorted_positive_times() {
+        for p in [
+            ArrivalProcess::Poisson { lambda: 0.9 },
+            ArrivalProcess::bursty(0.9),
+            ArrivalProcess::diurnal(0.9),
+        ] {
+            let at = p.sample(&mut rng(11), 500);
+            assert_eq!(at.len(), 500, "{}", p.name());
+            assert!(at[0] > SimTime::ZERO);
+            assert!(at.windows(2).all(|w| w[0] <= w[1]), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        for p in [ArrivalProcess::bursty(0.9), ArrivalProcess::diurnal(0.9)] {
+            let a = p.sample(&mut rng(42), 200);
+            let b = p.sample(&mut rng(42), 200);
+            assert_eq!(a, b, "{}", p.name());
+            let c = p.sample(&mut rng(43), 200);
+            assert_ne!(a, c, "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn mmpp_hits_its_stationary_mean_rate() {
+        let p = ArrivalProcess::bursty(0.9);
+        assert!(
+            (p.mean_rate() - 0.9).abs() < 1e-9,
+            "calibrated construction"
+        );
+        let n = 60_000;
+        let at = p.sample(&mut rng(7), n);
+        let rate = n as f64 / at.last().unwrap().as_secs_f64();
+        assert!(
+            (rate - 0.9).abs() < 0.05,
+            "empirical rate ~0.9, got {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn mmpp_is_overdispersed_poisson_is_not() {
+        // Poisson inter-arrivals have CV² = 1; a 2-state MMPP mixing a
+        // 0.45/s and a 2.7/s regime is markedly burstier.
+        let pois = ArrivalProcess::Poisson { lambda: 0.9 }.sample(&mut rng(5), 40_000);
+        let mmpp = ArrivalProcess::bursty(0.9).sample(&mut rng(5), 40_000);
+        let cv2_pois = interarrival_cv2(&pois);
+        let cv2_mmpp = interarrival_cv2(&mmpp);
+        assert!(
+            (cv2_pois - 1.0).abs() < 0.1,
+            "Poisson CV² ≈ 1, got {cv2_pois:.3}"
+        );
+        assert!(
+            cv2_mmpp > 1.5,
+            "MMPP should be over-dispersed, got CV² = {cv2_mmpp:.3}"
+        );
+    }
+
+    #[test]
+    fn diurnal_mean_rate_and_phase_are_right() {
+        let p = ArrivalProcess::diurnal(0.9);
+        let n = 50_000;
+        let at = p.sample(&mut rng(13), n);
+        let horizon = at.last().unwrap().as_secs_f64();
+        let rate = n as f64 / horizon;
+        assert!(
+            (rate - 0.9).abs() < 0.05,
+            "empirical mean rate ~0.9, got {rate:.3}"
+        );
+        // Count arrivals in rising-half vs falling-half phase windows:
+        // sin > 0 in the first half-period, < 0 in the second.
+        let (mut peak, mut trough) = (0usize, 0usize);
+        for t in &at {
+            let phase = (t.as_secs_f64() % 600.0) / 600.0;
+            if phase < 0.5 {
+                peak += 1;
+            } else {
+                trough += 1;
+            }
+        }
+        let ratio = peak as f64 / trough as f64;
+        // With amplitude 0.8 the expected ratio is (1+2·0.8/π)/(1−2·0.8/π) ≈ 3.1.
+        assert!(
+            ratio > 2.0,
+            "peak half-cycle should dominate, peak/trough = {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn poisson_variant_matches_legacy_generator() {
+        // The enum's Poisson arm must replay the exact stream
+        // `poisson_arrivals` produced, so existing seeds stay valid.
+        let a = ArrivalProcess::Poisson { lambda: 0.9 }.sample(&mut rng(123), 300);
+        let b = crate::mix::poisson_arrivals(&mut rng(123), 300, 0.9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude")]
+    fn diurnal_rejects_full_amplitude() {
+        ArrivalProcess::Diurnal {
+            mean_lambda: 1.0,
+            amplitude: 1.0,
+            period: 60.0,
+        }
+        .sample(&mut rng(1), 10);
+    }
+}

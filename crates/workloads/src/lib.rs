@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod arrivals;
 pub mod mix;
 pub mod randx;
 
@@ -45,8 +46,10 @@ pub mod prelude {
     pub use crate::apps::{
         all_templates, AppCategory, AppGenerator, AppKind, NOMINAL_PER_TOKEN_SECS,
     };
+    pub use crate::arrivals::ArrivalProcess;
     pub use crate::mix::{
-        generate_workload, poisson_arrivals, training_jobs, Workload, WorkloadKind,
+        generate_workload, generate_workload_with, poisson_arrivals, training_jobs, Workload,
+        WorkloadKind,
     };
 }
 

@@ -1,6 +1,7 @@
-//! The four workload mixes of §V (*Workload generation*) and Poisson job
-//! arrivals, plus per-mix cluster configurations tuned for a moderate
-//! (~85%) cluster load at the paper's default λ = 0.9.
+//! The four workload mixes of §V (*Workload generation*) and job
+//! arrivals (Poisson by default; see [`ArrivalProcess`] for the bursty
+//! and diurnal variants), plus per-mix cluster configurations tuned for a
+//! moderate (~85%) cluster load at the paper's default λ = 0.9.
 
 use llmsched_dag::ids::JobId;
 use llmsched_dag::job::JobSpec;
@@ -11,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::apps::AppKind;
+use crate::arrivals::ArrivalProcess;
 use crate::randx::exponential;
 
 /// The four evaluated workload types.
@@ -104,12 +106,25 @@ pub fn poisson_arrivals(rng: &mut StdRng, n: usize, lambda: f64) -> Vec<SimTime>
 /// Generates a workload of `n_jobs` jobs of mix `kind` arriving as a
 /// Poisson process with rate `lambda`, fully determined by `seed`.
 pub fn generate_workload(kind: WorkloadKind, n_jobs: usize, lambda: f64, seed: u64) -> Workload {
+    generate_workload_with(kind, n_jobs, &ArrivalProcess::Poisson { lambda }, seed)
+}
+
+/// Generates a workload of `n_jobs` jobs of mix `kind` with arrival times
+/// drawn from `arrivals`, fully determined by `seed`. With
+/// [`ArrivalProcess::Poisson`] this is exactly [`generate_workload`]
+/// (identical job sequence per seed).
+pub fn generate_workload_with(
+    kind: WorkloadKind,
+    n_jobs: usize,
+    arrivals: &ArrivalProcess,
+    seed: u64,
+) -> Workload {
     let mut rng = StdRng::seed_from_u64(seed);
     let apps = kind.apps();
     let generators: Vec<_> = apps.iter().map(|k| k.generator()).collect();
     let templates: TemplateSet = generators.iter().map(|g| g.template().clone()).collect();
-    let arrivals = poisson_arrivals(&mut rng, n_jobs, lambda);
-    let jobs = arrivals
+    let at = arrivals.sample(&mut rng, n_jobs);
+    let jobs = at
         .into_iter()
         .enumerate()
         .map(|(i, at)| {
@@ -185,6 +200,33 @@ mod tests {
             assert_eq!(x.len(), y.len());
         }
         assert!(a.jobs.windows(2).all(|w| w[0].arrival() <= w[1].arrival()));
+    }
+
+    #[test]
+    fn poisson_variant_reproduces_legacy_workloads() {
+        let a = generate_workload(WorkloadKind::ChainLike, 40, 0.9, 77);
+        let b = generate_workload_with(
+            WorkloadKind::ChainLike,
+            40,
+            &ArrivalProcess::Poisson { lambda: 0.9 },
+            77,
+        );
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.arrival(), y.arrival());
+            assert_eq!(x.app(), y.app());
+        }
+    }
+
+    #[test]
+    fn bursty_and_diurnal_workloads_generate_cleanly() {
+        for p in [ArrivalProcess::bursty(0.9), ArrivalProcess::diurnal(0.9)] {
+            let w = generate_workload_with(WorkloadKind::Mixed, 60, &p, 3);
+            assert_eq!(w.jobs.len(), 60);
+            assert!(w.jobs.windows(2).all(|j| j[0].arrival() <= j[1].arrival()));
+            for j in &w.jobs {
+                assert!(w.templates.get(j.app()).is_some());
+            }
+        }
     }
 
     #[test]

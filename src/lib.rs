@@ -15,6 +15,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`dag`] | the LLM DAG model (templates, jobs, reveal protocol) |
+//! | [`cluster`] | serving-cluster model: replica groups, latency curves, routing policies |
 //! | [`sim`] | discrete-event cluster simulator with batching LLM executors |
 //! | [`bayes`] | discrete Bayesian networks + information theory |
 //! | [`workloads`] | the six compound-application generators & mixes |
@@ -44,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use llmsched_bayes as bayes;
+pub use llmsched_cluster as cluster;
 pub use llmsched_core as core;
 pub use llmsched_dag as dag;
 pub use llmsched_schedulers as schedulers;

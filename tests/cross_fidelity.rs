@@ -1,8 +1,8 @@
 //! Cross-fidelity properties of the executor-backend layer: on the same
-//! fixed-seed workload, the analytic and token-level backends must agree
-//! on everything *structural* — which jobs complete and the order in
-//! which each job's hidden stages are revealed — even though their
-//! timing models differ.
+//! fixed-seed workload, the analytic, token-level, cluster and
+//! disaggregated backends must agree on everything *structural* — which
+//! jobs complete and the order in which each job's hidden stages are
+//! revealed — even though their timing models differ.
 //!
 //! Reveal order is observed the only way a policy could observe it: a
 //! recording wrapper around FCFS diffs each job's visible stage set at
@@ -65,62 +65,112 @@ fn run_recorded(
     (r, sched.seen)
 }
 
-/// Both backends complete the same job set with identical per-job reveal
-/// order, across every workload mix, on fixed seeds.
+/// All four backends — including the cluster and disaggregated
+/// prefill/decode serving models — complete the same job set with
+/// identical per-job reveal order, across every workload mix, on fixed
+/// seeds.
 #[test]
 fn backends_agree_on_completion_set_and_reveal_order() {
+    let modes = [
+        (EngineMode::Analytic, "analytic"),
+        (EngineMode::TokenLevel, "token-level"),
+        (EngineMode::Cluster, "cluster/least-loaded"),
+        (EngineMode::Disagg, "disagg/least-loaded"),
+    ];
     for kind in WorkloadKind::ALL {
         for seed in [7u64, 42, 1234] {
             let (ra, reveals_a) = run_recorded(kind, EngineMode::Analytic, 18, seed);
-            let (rt, reveals_t) = run_recorded(kind, EngineMode::TokenLevel, 18, seed);
-
             assert_eq!(ra.backend, "analytic");
-            assert_eq!(rt.backend, "token-level");
-            assert_eq!(
-                ra.incomplete,
-                0,
-                "{} seed {seed}: analytic stranded jobs",
-                kind.name()
-            );
-            assert_eq!(
-                rt.incomplete,
-                0,
-                "{} seed {seed}: token stranded jobs",
-                kind.name()
-            );
-
-            // Same completed job set.
             let mut ids_a: Vec<u64> = ra.jobs.iter().map(|j| j.id.0).collect();
-            let mut ids_t: Vec<u64> = rt.jobs.iter().map(|j| j.id.0).collect();
             ids_a.sort_unstable();
-            ids_t.sort_unstable();
-            assert_eq!(
-                ids_a,
-                ids_t,
-                "{} seed {seed}: completed job sets differ",
-                kind.name()
-            );
 
-            // Identical reveal order for every job observed by both.
-            assert_eq!(
-                reveals_a.len(),
-                reveals_t.len(),
-                "{} seed {seed}: observed job sets differ",
-                kind.name()
-            );
-            for (id, seq_a) in &reveals_a {
-                let seq_t = reveals_t.get(id).unwrap_or_else(|| {
-                    panic!("{} seed {seed}: job {id} unseen on token", kind.name())
-                });
+            for (mode, backend_name) in &modes[1..] {
+                let (rt, reveals_t) = run_recorded(kind, *mode, 18, seed);
+                assert_eq!(&rt.backend, backend_name);
                 assert_eq!(
-                    seq_a,
-                    seq_t,
-                    "{} seed {seed}: reveal order diverged for job {id}",
+                    ra.incomplete,
+                    0,
+                    "{} seed {seed}: analytic stranded jobs",
                     kind.name()
                 );
+                assert_eq!(
+                    rt.incomplete,
+                    0,
+                    "{} seed {seed}: {backend_name} stranded jobs",
+                    kind.name()
+                );
+
+                // Same completed job set.
+                let mut ids_t: Vec<u64> = rt.jobs.iter().map(|j| j.id.0).collect();
+                ids_t.sort_unstable();
+                assert_eq!(
+                    ids_a,
+                    ids_t,
+                    "{} seed {seed}: completed job sets differ on {backend_name}",
+                    kind.name()
+                );
+
+                // Identical reveal order for every job observed by both.
+                assert_eq!(
+                    reveals_a.len(),
+                    reveals_t.len(),
+                    "{} seed {seed}: observed job sets differ on {backend_name}",
+                    kind.name()
+                );
+                for (id, seq_a) in &reveals_a {
+                    let seq_t = reveals_t.get(id).unwrap_or_else(|| {
+                        panic!(
+                            "{} seed {seed}: job {id} unseen on {backend_name}",
+                            kind.name()
+                        )
+                    });
+                    assert_eq!(
+                        seq_a,
+                        seq_t,
+                        "{} seed {seed}: reveal order diverged for job {id} on {backend_name}",
+                        kind.name()
+                    );
+                }
             }
         }
     }
+}
+
+/// The cluster backend with a homogeneous derived spec and least-loaded
+/// routing is the analytic model under a different placement code path:
+/// per-job completion times must agree to the microsecond.
+#[test]
+fn homogeneous_cluster_backend_matches_analytic_timing() {
+    let (ra, _) = run_recorded(WorkloadKind::Predefined, EngineMode::Analytic, 18, 21);
+    let (rc, _) = run_recorded(WorkloadKind::Predefined, EngineMode::Cluster, 18, 21);
+    let by_id = |r: &SimResult| -> HashMap<u64, SimTime> {
+        r.jobs.iter().map(|j| (j.id.0, j.completion)).collect()
+    };
+    let (ca, cc) = (by_id(&ra), by_id(&rc));
+    assert_eq!(ca.len(), cc.len());
+    for (id, at) in &ca {
+        assert_eq!(
+            at, &cc[id],
+            "job {id}: homogeneous cluster completion diverged from analytic"
+        );
+    }
+}
+
+/// Disaggregation changes timing boundedly: prefill queueing and KV
+/// transfer add latency, decode-only batches remove the prefill
+/// surcharge. The average JCT must stay within a plausibility band of
+/// the aggregated analytic model, not collapse or explode.
+#[test]
+fn disagg_timing_stays_within_plausibility_band() {
+    let (ra, _) = run_recorded(WorkloadKind::Mixed, EngineMode::Analytic, 18, 99);
+    let (rd, _) = run_recorded(WorkloadKind::Mixed, EngineMode::Disagg, 18, 99);
+    let ratio = rd.avg_jct_secs() / ra.avg_jct_secs();
+    assert!(
+        (0.5..2.5).contains(&ratio),
+        "disagg JCT ratio {ratio:.3} outside plausibility band ({:.1}s vs {:.1}s)",
+        rd.avg_jct_secs(),
+        ra.avg_jct_secs()
+    );
 }
 
 /// Timing may differ between fidelities, but only boundedly: token-level
