@@ -136,7 +136,7 @@ fn main() {
                         spec: Some(p.spec.clone()),
                         ..ClusterConfig::default()
                     };
-                    simulate(&cfg, &w.templates, w.jobs, &mut Fcfs)
+                    simulate(&cfg, &w.templates, w.jobs, &mut Fcfs::new())
                 })
             })
             .collect();

@@ -1,0 +1,257 @@
+//! **Scale throughput** — the repo's performance trajectory: how many jobs
+//! per wall-clock second the simulator + scheduler pipeline sustains as the
+//! workload grows to production-ish sizes, and what the delta-driven
+//! incremental scheduling core buys over the rebuild-per-call reference
+//! path (bit-identical schedules, very different overhead).
+//!
+//! Sweeps 10k/50k/100k-job Mixed workloads under LLMSched across the
+//! analytic, cluster and disaggregated backends (incremental path), plus
+//! rebuild-path reference runs on the analytic backend at 10k/50k for the
+//! speedup ratio. Writes `BENCH_scale.json` at the repo root.
+//!
+//! Usage:
+//!   cargo run --release -p llmsched-bench --bin scale_throughput
+//!     [--quick]            # one small sweep (CI)
+//!     [--floor <jobs/s>]   # exit non-zero if any incremental run
+//!                          # simulates fewer jobs/sec than this
+//!     [--out <path>]       # default BENCH_scale.json
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use llmsched_bench::{ExperimentConfig, Policy, TrainedArtifacts};
+use llmsched_sim::engine::{ClusterConfig, EngineMode};
+use llmsched_workloads::prelude::WorkloadKind;
+
+/// Cluster scale factor. The Mixed default cluster is tuned for the
+/// paper's 300-job runs at λ = 0.9 jobs/s, which by Little's law keeps
+/// only ~15 jobs in flight — far too few to stress a scheduler. The
+/// scale sweep multiplies executors and raises the arrival rate,
+/// pushing the steady-state active set into the hundreds: the regime
+/// where per-invocation scheduler cost actually shows. The cluster is
+/// scaled *more* than the arrival rate so the queue stays stable — in
+/// an overloaded system the active set grows with the job count and
+/// every run (most of all the rebuild reference) turns quadratic.
+const CLUSTER_SCALE: usize = 48;
+
+/// Arrival rate: high enough for hundreds of jobs in flight, safely
+/// below the scaled service capacity.
+const LAMBDA: f64 = 24.0;
+
+struct Run {
+    jobs: usize,
+    backend: String,
+    path: &'static str,
+    wall_secs: f64,
+    jobs_per_sec: f64,
+    events: u64,
+    sched_calls: u64,
+    sched_mean_ms: f64,
+    sched_p50_ms: f64,
+    sched_p99_ms: f64,
+    avg_jct_secs: f64,
+}
+
+fn scaled_cluster(mode: EngineMode) -> ClusterConfig {
+    let base = WorkloadKind::Mixed.default_cluster();
+    // The derived disagg layout pins a single prefill replica — a
+    // bottleneck that overloads at this arrival rate. Scale the prefill
+    // pool with the cluster.
+    let spec = (mode == EngineMode::Disagg).then(|| {
+        let mut s = llmsched_sim::prelude::ClusterSpec::disaggregated(
+            base.llm_executors * CLUSTER_SCALE,
+            base.max_batch,
+            base.latency.clone(),
+        );
+        s.groups[0].replicas = CLUSTER_SCALE;
+        s
+    });
+    ClusterConfig {
+        regular_executors: base.regular_executors * CLUSTER_SCALE,
+        llm_executors: base.llm_executors * CLUSTER_SCALE,
+        mode,
+        spec,
+        ..base
+    }
+}
+
+fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, rebuild: bool) -> Run {
+    let exp = ExperimentConfig {
+        n_jobs,
+        mode,
+        lambda: LAMBDA,
+        cluster: Some(scaled_cluster(mode)),
+        rebuild,
+        ..ExperimentConfig::paper_default(WorkloadKind::Mixed, 42)
+    };
+    let start = Instant::now();
+    let r = llmsched_bench::run_policy(art, Policy::LlmSched, &exp);
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(r.incomplete, 0, "scale run stranded jobs");
+    let p = r.sched_overhead_percentiles();
+    Run {
+        jobs: n_jobs,
+        backend: r.backend.clone(),
+        path: if rebuild { "rebuild" } else { "incremental" },
+        wall_secs: wall,
+        jobs_per_sec: n_jobs as f64 / wall,
+        events: r.events,
+        sched_calls: r.sched_calls,
+        sched_mean_ms: r.sched_overhead_ms(),
+        sched_p50_ms: p.p50_ms,
+        sched_p99_ms: p.p99_ms,
+        avg_jct_secs: r.avg_jct_secs(),
+    }
+}
+
+fn to_json(runs: &[Run], quick: bool, speedups: &[(usize, f64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"scale_throughput\",");
+    let _ = writeln!(s, "  \"policy\": \"LLMSched\",");
+    let _ = writeln!(s, "  \"workload\": \"Mixed\",");
+    let _ = writeln!(s, "  \"cluster_scale\": {CLUSTER_SCALE},");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"jobs\": {}, \"backend\": \"{}\", \"path\": \"{}\", \
+             \"wall_secs\": {:.3}, \"jobs_per_sec\": {:.1}, \"events\": {}, \
+             \"sched_calls\": {}, \"sched_mean_ms\": {:.4}, \
+             \"sched_p50_ms\": {:.4}, \"sched_p99_ms\": {:.4}, \
+             \"avg_jct_secs\": {:.3}}}",
+            r.jobs,
+            r.backend,
+            r.path,
+            r.wall_secs,
+            r.jobs_per_sec,
+            r.events,
+            r.sched_calls,
+            r.sched_mean_ms,
+            r.sched_p50_ms,
+            r.sched_p99_ms,
+            r.avg_jct_secs,
+        );
+        s.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"speedup_incremental_vs_rebuild\": {");
+    for (i, (jobs, x)) in speedups.iter().enumerate() {
+        let _ = write!(s, "{}\"{jobs}\": {x:.2}", if i > 0 { ", " } else { "" });
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let floor: Option<f64> = flag("--floor").map(|v| v.parse().expect("--floor takes a number"));
+    let out = flag("--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    // Tuning escape hatch: one incremental sweep at a custom job count.
+    let jobs_override: Option<usize> =
+        flag("--jobs").map(|v| v.parse().expect("--jobs takes a count"));
+
+    let art = TrainedArtifacts::train(if quick { 100 } else { 200 }, 1);
+    let override_sweep = [jobs_override.unwrap_or(0)];
+    let sweep: &[usize] = match jobs_override {
+        Some(_) => &override_sweep,
+        None if quick => &[2_000],
+        None => &[10_000, 50_000, 100_000],
+    };
+    let backends: &[EngineMode] = if quick {
+        &[EngineMode::Analytic]
+    } else {
+        &[
+            EngineMode::Analytic,
+            EngineMode::Cluster,
+            EngineMode::Disagg,
+        ]
+    };
+    // Rebuild reference runs (analytic): the 50k entry is the acceptance
+    // ratio; 100k rebuild is omitted — it's the quadratic blow-up the
+    // incremental core exists to avoid.
+    let rebuild_sweep: &[usize] = match jobs_override {
+        Some(_) => &[],
+        None if quick => &[2_000],
+        None => &[10_000, 50_000],
+    };
+
+    println!(
+        "{:>8} {:>22} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "jobs", "backend", "path", "wall s", "jobs/s", "mean ms", "p50 ms", "p99 ms"
+    );
+    let mut runs: Vec<Run> = Vec::new();
+    for &n in sweep {
+        for &mode in backends {
+            let r = run_one(&art, n, mode, false);
+            println!(
+                "{:>8} {:>22} {:>12} {:>10.2} {:>10.1} {:>10.4} {:>10.4} {:>10.4}",
+                r.jobs,
+                r.backend,
+                r.path,
+                r.wall_secs,
+                r.jobs_per_sec,
+                r.sched_mean_ms,
+                r.sched_p50_ms,
+                r.sched_p99_ms
+            );
+            runs.push(r);
+        }
+    }
+    for &n in rebuild_sweep {
+        let r = run_one(&art, n, EngineMode::Analytic, true);
+        println!(
+            "{:>8} {:>22} {:>12} {:>10.2} {:>10.1} {:>10.4} {:>10.4} {:>10.4}",
+            r.jobs,
+            r.backend,
+            r.path,
+            r.wall_secs,
+            r.jobs_per_sec,
+            r.sched_mean_ms,
+            r.sched_p50_ms,
+            r.sched_p99_ms
+        );
+        runs.push(r);
+    }
+
+    let speedups: Vec<(usize, f64)> = rebuild_sweep
+        .iter()
+        .map(|&n| {
+            let inc = runs
+                .iter()
+                .find(|r| r.jobs == n && r.path == "incremental" && r.backend == "analytic")
+                .expect("incremental analytic run");
+            let reb = runs
+                .iter()
+                .find(|r| r.jobs == n && r.path == "rebuild")
+                .expect("rebuild run");
+            (n, inc.jobs_per_sec / reb.jobs_per_sec)
+        })
+        .collect();
+    for (n, x) in &speedups {
+        println!("speedup @ {n} jobs (incremental vs rebuild): {x:.2}x");
+    }
+
+    std::fs::write(&out, to_json(&runs, quick, &speedups)).expect("write BENCH_scale.json");
+    println!("wrote {out}");
+
+    if let Some(floor) = floor {
+        let worst = runs
+            .iter()
+            .filter(|r| r.path == "incremental")
+            .map(|r| r.jobs_per_sec)
+            .fold(f64::INFINITY, f64::min);
+        if worst < floor {
+            eprintln!("FAIL: {worst:.1} simulated jobs/sec is below the floor of {floor:.1}");
+            std::process::exit(1);
+        }
+        println!("floor check passed: {worst:.1} >= {floor:.1} jobs/sec");
+    }
+}

@@ -161,6 +161,7 @@ mod tests {
             makespan: SimTime::from_secs_f64(4.0),
             sched_calls: 1,
             sched_wall: std::time::Duration::ZERO,
+            sched_wall_samples: vec![std::time::Duration::ZERO],
             utilization: Utilization::default(),
             events: 1,
             incomplete: 0,

@@ -89,31 +89,54 @@ impl TrainedArtifacts {
         }
     }
 
-    /// Builds a policy instance. `llmsched_cfg` customizes the LLMSched
-    /// variants (ε, r, MI estimator); pass `None` for defaults.
+    /// Builds a policy instance on the default (incremental) path.
+    /// `llmsched_cfg` customizes the LLMSched variants (ε, r, MI
+    /// estimator); pass `None` for defaults.
     pub fn build(
         &self,
         policy: Policy,
         llmsched_cfg: Option<LlmSchedConfig>,
     ) -> Box<dyn Scheduler> {
-        let base = llmsched_cfg.unwrap_or_default();
-        match policy {
-            Policy::Fcfs => Box::new(Fcfs),
-            Policy::Fair => Box::new(Fair),
-            Policy::Sjf => Box::new(Sjf::new(self.priors.clone())),
-            Policy::Srtf => Box::new(Srtf::new(self.priors.clone())),
-            Policy::Argus => Box::new(Argus),
-            Policy::Decima => Box::new(DecimaLike::new(self.priors.clone())),
-            Policy::Carbyne => Box::new(CarbyneLike::new(self.priors.clone())),
-            Policy::LlmSched => Box::new(LlmSched::new(self.profiler.clone(), base)),
-            Policy::LlmSchedNoBn => Box::new(LlmSched::new(
+        self.build_mode(policy, llmsched_cfg, false)
+    }
+
+    /// Builds a policy instance, optionally on the rebuild-per-call
+    /// reference path (`rebuild = true`) — used by equivalence tests and
+    /// the `scale_throughput` comparison bench.
+    pub fn build_mode(
+        &self,
+        policy: Policy,
+        llmsched_cfg: Option<LlmSchedConfig>,
+        rebuild: bool,
+    ) -> Box<dyn Scheduler> {
+        let base = LlmSchedConfig {
+            incremental: !rebuild,
+            ..llmsched_cfg.unwrap_or_default()
+        };
+        match (policy, rebuild) {
+            (Policy::Fcfs, false) => Box::new(Fcfs::new()),
+            (Policy::Fcfs, true) => Box::new(Fcfs::rebuild()),
+            (Policy::Fair, false) => Box::new(Fair::new()),
+            (Policy::Fair, true) => Box::new(Fair::rebuild()),
+            (Policy::Sjf, false) => Box::new(Sjf::new(self.priors.clone())),
+            (Policy::Sjf, true) => Box::new(Sjf::rebuild(self.priors.clone())),
+            (Policy::Srtf, false) => Box::new(Srtf::new(self.priors.clone())),
+            (Policy::Srtf, true) => Box::new(Srtf::rebuild(self.priors.clone())),
+            (Policy::Argus, false) => Box::new(Argus::new()),
+            (Policy::Argus, true) => Box::new(Argus::rebuild()),
+            (Policy::Decima, false) => Box::new(DecimaLike::new(self.priors.clone())),
+            (Policy::Decima, true) => Box::new(DecimaLike::rebuild(self.priors.clone())),
+            (Policy::Carbyne, false) => Box::new(CarbyneLike::new(self.priors.clone())),
+            (Policy::Carbyne, true) => Box::new(CarbyneLike::rebuild(self.priors.clone())),
+            (Policy::LlmSched, _) => Box::new(LlmSched::new(self.profiler.clone(), base)),
+            (Policy::LlmSchedNoBn, _) => Box::new(LlmSched::new(
                 self.profiler.clone(),
                 LlmSchedConfig {
                     use_bn: false,
                     ..base
                 },
             )),
-            Policy::LlmSchedNoUncertainty => Box::new(LlmSched::new(
+            (Policy::LlmSchedNoUncertainty, _) => Box::new(LlmSched::new(
                 self.profiler.clone(),
                 LlmSchedConfig {
                     use_uncertainty: false,

@@ -29,6 +29,10 @@ pub struct ExperimentConfig {
     pub llmsched: Option<LlmSchedConfig>,
     /// Cluster override; `None` uses the mix's tuned default.
     pub cluster: Option<ClusterConfig>,
+    /// Run policies on the rebuild-per-call reference path instead of the
+    /// incremental default (schedules are bit-identical; only the
+    /// scheduler overhead differs).
+    pub rebuild: bool,
 }
 
 impl ExperimentConfig {
@@ -43,6 +47,7 @@ impl ExperimentConfig {
             mode: EngineMode::Analytic,
             llmsched: None,
             cluster: None,
+            rebuild: false,
         }
     }
 
@@ -67,7 +72,7 @@ impl ExperimentConfig {
 /// Runs one policy on one workload instance.
 pub fn run_policy(art: &TrainedArtifacts, policy: Policy, exp: &ExperimentConfig) -> SimResult {
     let w = generate_workload_with(exp.kind, exp.n_jobs, &exp.arrival_process(), exp.seed);
-    let mut sched = art.build(policy, exp.llmsched.clone());
+    let mut sched = art.build_mode(policy, exp.llmsched.clone(), exp.rebuild);
     simulate(&exp.cluster(), &w.templates, w.jobs, &mut sched)
 }
 

@@ -1,0 +1,301 @@
+//! Persistent per-job scheduling beliefs: the incremental replacement for
+//! recomputing Bayesian evidence, posterior work estimates, and Eq. 6
+//! uncertainty reductions from scratch at every decision point.
+//!
+//! A [`JobBelief`] is everything LLMSched knows about one active job under
+//! its current evidence: the completed-stage fingerprint (`mask`), the
+//! extracted [`Evidence`], the posterior [`WorkEstimate`], and the
+//! memoized per-stage Eq. 6 reductions. Beliefs change **only when the
+//! job's evidence changes**, and evidence can only change when a stage of
+//! that job completes — so the [`BeliefStore`] listens to the engine's
+//! [`SchedDelta`] stream, marks jobs dirty on
+//! [`SchedDelta::StageCompleted`], and recomputes a belief iff the dirty
+//! job's evidence mask actually moved. Completed jobs are evicted
+//! deterministically on [`SchedDelta::JobCompleted`] (replacing the old
+//! size-triggered `prune_cache` heuristic).
+//!
+//! The per-invocation cost drops from O(jobs · (stage scan + posterior
+//! clone)) to O(changed jobs · posterior), while producing bit-identical
+//! values to the rebuild path: the same estimator functions run on the
+//! same inputs, just not redundantly.
+
+use std::collections::{HashMap, HashSet};
+
+use llmsched_bayes::network::Evidence;
+use llmsched_dag::ids::{AppId, JobId, StageId};
+use llmsched_sim::scheduler::{SchedContext, SchedDelta};
+use llmsched_sim::state::JobRt;
+
+use crate::estimator::{StageBand, WorkEstimate};
+use crate::profiler::Profiler;
+use crate::uncertainty::{uncertainty_reduction, MiEstimator};
+
+/// Cap on memoized posterior-band entries; reaching it clears the memo
+/// (values are recomputed identically, so this only bounds memory).
+const BANDS_MEMO_CAP: usize = 1 << 16;
+
+/// Memo key: one application's evidence state, as sorted (stage, bin)
+/// pairs.
+type BandsKey = (AppId, Vec<(usize, usize)>);
+
+/// Everything LLMSched believes about one active job under its current
+/// evidence.
+#[derive(Debug, Clone, Default)]
+pub struct JobBelief {
+    /// Completed-template-stage fingerprint
+    /// ([`AppProfile::evidence_mask`](crate::profiler::AppProfile::evidence_mask)):
+    /// the belief is valid while the job's mask equals this.
+    pub mask: u64,
+    /// Completed-stage duration bins the posterior conditions on.
+    pub evidence: Evidence,
+    /// Posterior remaining-work estimate (batch-1 seconds; apply the Eq. 2
+    /// calibration when comparing against wall-clock time).
+    pub work: WorkEstimate,
+    /// Memoized Eq. 6 scores per stage, cleared whenever the evidence
+    /// changes.
+    reductions: HashMap<u32, f64>,
+}
+
+/// Delta-maintained [`JobBelief`] records for every active job.
+#[derive(Debug, Clone, Default)]
+pub struct BeliefStore {
+    beliefs: HashMap<JobId, JobBelief>,
+    dirty: HashSet<JobId>,
+    /// Posterior bands shared across jobs: the BN inference behind a work
+    /// estimate depends only on (application, evidence), so every job of
+    /// an app under the same evidence reuses one computation — at scale,
+    /// thousands of fresh arrivals share the single no-evidence entry.
+    bands: HashMap<BandsKey, Vec<StageBand>>,
+}
+
+impl BeliefStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of held beliefs.
+    pub fn len(&self) -> usize {
+        self.beliefs.len()
+    }
+
+    /// True if no beliefs are held.
+    pub fn is_empty(&self) -> bool {
+        self.beliefs.is_empty()
+    }
+
+    /// Drops everything (scheduler reset).
+    pub fn clear(&mut self) {
+        self.beliefs.clear();
+        self.dirty.clear();
+        self.bands.clear();
+    }
+
+    /// Routes one delta: arrivals and stage completions mark the job's
+    /// belief stale; job completion evicts it.
+    pub fn on_delta(&mut self, d: &SchedDelta) {
+        match d {
+            SchedDelta::JobArrived { job, .. } | SchedDelta::StageCompleted { job, .. } => {
+                self.dirty.insert(*job);
+            }
+            SchedDelta::JobCompleted { job } => {
+                self.beliefs.remove(job);
+                self.dirty.remove(job);
+            }
+            _ => {}
+        }
+    }
+
+    /// Brings the store in sync with `ctx` and returns the ids whose
+    /// [`JobBelief::work`] actually changed (callers reposition those in
+    /// their ordered indices).
+    ///
+    /// Dirty jobs re-derive their evidence mask — an O(template stages)
+    /// scan — and only a *moved* mask triggers the BN posterior. The
+    /// count-mismatch safety net rebuilds every belief when the context
+    /// was produced outside the engine's delta stream.
+    pub fn refresh(
+        &mut self,
+        profiler: &Profiler,
+        ctx: &SchedContext<'_>,
+        use_bn: bool,
+        tail_mass: f64,
+    ) -> Vec<JobId> {
+        let mut changed = Vec::new();
+        for id in std::mem::take(&mut self.dirty) {
+            match ctx.job(id) {
+                Some(job) => {
+                    if self.update(profiler, job, use_bn, tail_mass) {
+                        changed.push(id);
+                    }
+                }
+                None => {
+                    self.beliefs.remove(&id);
+                }
+            }
+        }
+        if self.beliefs.len() != ctx.jobs.len() {
+            self.beliefs.clear();
+            changed.clear();
+            for job in &ctx.jobs {
+                self.update(profiler, job, use_bn, tail_mass);
+                changed.push(job.id());
+            }
+        }
+        changed
+    }
+
+    /// Recomputes one job's belief if its evidence mask moved; returns
+    /// whether anything changed.
+    fn update(&mut self, profiler: &Profiler, job: &JobRt, use_bn: bool, tail_mass: f64) -> bool {
+        let Some(profile) = profiler.profile(job.app()) else {
+            // Untrained application: a permanent zero-work belief.
+            let fresh = !self.beliefs.contains_key(&job.id());
+            if fresh {
+                self.beliefs.insert(job.id(), JobBelief::default());
+            }
+            return fresh;
+        };
+        let mask = profile.evidence_mask(job);
+        if let Some(b) = self.beliefs.get(&job.id()) {
+            if b.mask == mask {
+                return false;
+            }
+        }
+        let evidence = profile.evidence_of(job);
+        if self.bands.len() >= BANDS_MEMO_CAP {
+            self.bands.clear();
+        }
+        let key = (
+            job.app(),
+            evidence.iter().map(|(&s, &b)| (s, b)).collect::<Vec<_>>(),
+        );
+        let bands = self.bands.entry(key).or_insert_with(|| {
+            crate::estimator::stage_bands(profile, &evidence, use_bn, tail_mass)
+        });
+        let work = crate::estimator::remaining_work_from_bands(profile, job, bands);
+        self.beliefs.insert(
+            job.id(),
+            JobBelief {
+                mask,
+                evidence,
+                work,
+                reductions: HashMap::new(),
+            },
+        );
+        true
+    }
+
+    /// The belief of `job`, if held (refresh first).
+    pub fn get(&self, job: JobId) -> Option<&JobBelief> {
+        self.beliefs.get(&job)
+    }
+
+    /// The remaining-work estimate of `job` (zero if unknown).
+    pub fn work(&self, job: JobId) -> WorkEstimate {
+        self.beliefs.get(&job).map(|b| b.work).unwrap_or_default()
+    }
+
+    /// Eq. 6 uncertainty-reduction score for a ready stage, memoized in
+    /// the job's belief. One profile lookup per call — this is where the
+    /// old path's double `profiler.profile()` per score went.
+    pub fn reduction(
+        &mut self,
+        profiler: &Profiler,
+        mi: MiEstimator,
+        job: &JobRt,
+        stage: StageId,
+    ) -> f64 {
+        let Some(profile) = profiler.profile(job.app()) else {
+            return 0.0;
+        };
+        if stage.index() >= profile.n_stages() {
+            return 0.0; // generated stages carry no BN variable of their own
+        }
+        match self.beliefs.get_mut(&job.id()) {
+            Some(b) => {
+                if let Some(&r) = b.reductions.get(&stage.0) {
+                    return r;
+                }
+                let r = uncertainty_reduction(profile, job, stage, &b.evidence, mi);
+                b.reductions.insert(stage.0, r);
+                r
+            }
+            // No belief (context outside the delta stream and not yet
+            // refreshed): compute against fresh evidence, uncached.
+            None => uncertainty_reduction(profile, job, stage, &profile.evidence_of(job), mi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::ProfilerConfig;
+    use llmsched_dag::time::SimTime;
+    use llmsched_sim::state::LlmExecutorView;
+    use llmsched_workloads::prelude::*;
+
+    fn ctx_of<'a>(
+        jobs: &'a [JobRt],
+        templates: &'a llmsched_dag::template::TemplateSet,
+        latency: &'a llmsched_sim::latency::LatencyProfile,
+        deltas: &'a [SchedDelta],
+    ) -> SchedContext<'a> {
+        SchedContext {
+            now: SimTime::ZERO,
+            jobs: jobs.iter().collect(),
+            deltas,
+            llm_executors: vec![LlmExecutorView {
+                index: 0,
+                batch_len: 0,
+                max_batch: 8,
+            }],
+            backend: "analytic",
+            regular_total: 2,
+            regular_busy: 0,
+            templates,
+            latency,
+        }
+    }
+
+    #[test]
+    fn refresh_fills_missing_beliefs_and_reports_all_changed() {
+        let templates = all_templates();
+        let corpus = training_jobs(&AppKind::ALL, 40, 9);
+        let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+        let w = generate_workload(WorkloadKind::Mixed, 5, 0.9, 4);
+        let jobs: Vec<JobRt> = w.jobs.into_iter().map(JobRt::new).collect();
+        let latency = llmsched_sim::latency::LatencyProfile::default();
+        let ctx = ctx_of(&jobs, &w.templates, &latency, &[]);
+
+        let mut store = BeliefStore::new();
+        let changed = store.refresh(&profiler, &ctx, true, 0.35);
+        assert_eq!(changed.len(), 5, "safety net computes every belief");
+        assert_eq!(store.len(), 5);
+
+        // A second refresh with no deltas changes nothing.
+        let changed = store.refresh(&profiler, &ctx, true, 0.35);
+        assert!(changed.is_empty(), "clean store must not recompute");
+
+        // Dirty without an actual evidence change: still nothing.
+        store.on_delta(&SchedDelta::StageCompleted {
+            job: jobs[0].id(),
+            stage: StageId(0),
+        });
+        let changed = store.refresh(&profiler, &ctx, true, 0.35);
+        assert!(
+            changed.is_empty(),
+            "unchanged evidence mask must not invalidate the belief"
+        );
+    }
+
+    #[test]
+    fn job_completion_evicts_deterministically() {
+        let mut store = BeliefStore::new();
+        store.beliefs.insert(JobId(7), JobBelief::default());
+        store.on_delta(&SchedDelta::JobCompleted { job: JobId(7) });
+        assert!(store.is_empty());
+        assert_eq!(store.work(JobId(7)), WorkEstimate::default());
+    }
+}

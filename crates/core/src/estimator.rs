@@ -67,6 +67,96 @@ pub fn batching_calibration(ctx: &SchedContext<'_>) -> f64 {
     ctx.latency.calibration_ratio(1, bt)
 }
 
+/// Posterior duration band of one template stage under one evidence
+/// state: the trimmed support interval and the expected duration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageBand {
+    /// Posterior mean duration (seconds).
+    pub mean: f64,
+    /// Lower quantile bound.
+    pub lo: f64,
+    /// Upper quantile bound.
+    pub hi: f64,
+}
+
+/// Per-stage posterior bands given `evidence` — the *job-independent*
+/// part of the remaining-work estimate. Pure in its arguments: every job
+/// of the same application under the same evidence shares this result,
+/// which is what lets [`BeliefStore`](crate::belief::BeliefStore) memoize
+/// the BN inference across jobs.
+///
+/// Stages present in `evidence` are completed (their bin is observed) and
+/// contribute nothing to *remaining* work: their slot holds a default
+/// band that [`remaining_work_from_bands`] never reads, as long as the
+/// evidence was extracted from the job being estimated
+/// ([`AppProfile::evidence_of`]).
+pub fn stage_bands(
+    profile: &AppProfile,
+    evidence: &Evidence,
+    use_bn: bool,
+    tail_mass: f64,
+) -> Vec<StageBand> {
+    let empty = Evidence::new();
+    let cond: &Evidence = if use_bn { evidence } else { &empty };
+    (0..profile.n_stages())
+        .map(|s| {
+            if evidence.contains_key(&s) {
+                return StageBand::default();
+            }
+            let disc = &profile.discretizers()[s];
+            // With the BN: condition on evidence. Without it (w/o-BN
+            // ablation): `cond` is empty, so the marginal is the training
+            // prior and the mean falls back to the historical average.
+            let p = profile.net().posterior_marginal(s, cond);
+            let (lo, hi) = disc.quantile_interval(&p, tail_mass);
+            let mean = if use_bn {
+                disc.expectation(&p)
+            } else {
+                profile.static_mean(StageId(s as u32))
+            };
+            StageBand { mean, lo, hi }
+        })
+        .collect()
+}
+
+/// Folds precomputed [`stage_bands`] into one job's remaining-work
+/// estimate: skips completed stages and credits observable progress
+/// inside expanded-but-unfinished placeholders (the job-specific part).
+pub fn remaining_work_from_bands(
+    profile: &AppProfile,
+    job: &JobRt,
+    bands: &[StageBand],
+) -> WorkEstimate {
+    let mut est = WorkEstimate::default();
+    for (s, band) in bands.iter().enumerate().take(profile.n_stages()) {
+        let sid = StageId(s as u32);
+        if job.completed_nominal_secs(sid).is_some() {
+            continue; // stage done: contributes nothing to *remaining* work
+        }
+        let StageBand {
+            mut mean,
+            mut lo,
+            mut hi,
+        } = *band;
+        if is_placeholder(job, sid) {
+            let done = completed_children_work(job, sid);
+            mean = (mean - done).max(0.0);
+            lo = (lo - done).max(0.0);
+            hi = (hi - done).max(0.0);
+        }
+        if profile.is_llm_stage(sid) {
+            est.llm_secs += mean;
+            est.lo.0 += lo;
+            est.hi.0 += hi;
+        } else {
+            est.regular_secs += mean;
+            est.lo.1 += lo;
+            est.hi.1 += hi;
+        }
+    }
+    est
+}
+
 /// Posterior remaining-work estimate for one job.
 ///
 /// * With `use_bn = true` the posterior conditions on `evidence` (completed
@@ -86,6 +176,11 @@ pub fn remaining_work_with(
     use_bn: bool,
     tail_mass: f64,
 ) -> WorkEstimate {
+    // Inline original (not via `stage_bands`, which skips evidence-keyed
+    // stages): this entry point accepts arbitrary evidence that need not
+    // match the job's completed set — and it is the rebuild reference
+    // path, whose cost profile must stay untouched. The per-stage
+    // arithmetic is identical to `stage_bands` + `remaining_work_from_bands`.
     let mut est = WorkEstimate::default();
     let empty = Evidence::new();
     let cond: &Evidence = if use_bn { evidence } else { &empty };
@@ -95,9 +190,6 @@ pub fn remaining_work_with(
             continue; // stage done: contributes nothing to *remaining* work
         }
         let disc = &profile.discretizers()[s];
-        // With the BN: condition on evidence. Without it (w/o-BN ablation):
-        // `cond` is empty, so the marginal is the training prior and the
-        // mean falls back to the historical average.
         let p = profile.net().posterior_marginal(s, cond);
         let (mut lo, mut hi) = disc.quantile_interval(&p, tail_mass);
         let mut mean = if use_bn {
@@ -105,8 +197,6 @@ pub fn remaining_work_with(
         } else {
             profile.static_mean(sid)
         };
-        // Credit observable progress inside an expanded-but-unfinished
-        // placeholder.
         if is_placeholder(job, sid) {
             let done = completed_children_work(job, sid);
             mean = (mean - done).max(0.0);

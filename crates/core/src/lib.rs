@@ -10,6 +10,9 @@
 //!   Eq. 2 batching-aware calibration;
 //! * [`uncertainty`] — the entropy-based uncertainty-reduction
 //!   quantification of Eqs. 3–6;
+//! * [`belief`] — persistent per-job beliefs (evidence mask, posterior
+//!   work estimate, memoized Eq. 6 scores) driving the delta-driven
+//!   incremental scheduling core;
 //! * [`scheduler`] — Algorithm 1: ε-greedy combination of
 //!   Most-Uncertainty-Reduction-First (within non-overlapping job sets,
 //!   with task sampling) and Shortest-Remaining-Time-First.
@@ -42,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod belief;
 pub mod estimator;
 pub mod profiler;
 pub mod scheduler;
@@ -49,6 +53,7 @@ pub mod uncertainty;
 
 /// Convenient glob-import of the LLMSched surface.
 pub mod prelude {
+    pub use crate::belief::{BeliefStore, JobBelief};
     pub use crate::estimator::{
         batching_calibration, remaining_work, remaining_work_with, WorkEstimate, INTERVAL_TAIL_MASS,
     };

@@ -9,6 +9,20 @@
 //! lists at each step, and explored stages contribute only a sampled
 //! fraction `r` of their tasks (line 15).
 //!
+//! Two execution paths produce bit-identical schedules:
+//!
+//! * **incremental** (default) — persistent per-job
+//!   [`JobBelief`](crate::belief::JobBelief)s (see [`crate::belief`])
+//!   plus two delta-maintained ordered indices: the
+//!   SRTF exploitation order and the interval index behind the
+//!   non-overlapping grouping. Only jobs whose evidence changed are
+//!   re-estimated and repositioned; a full re-key happens only when the
+//!   Eq. 2 calibration factor itself moves (rare at saturation, where the
+//!   average busy batch pins to the max batch size).
+//! * **rebuild** (`incremental = false`) — the original
+//!   recompute-everything-per-call reference that equivalence tests and
+//!   `scale_throughput` compare against.
+//!
 //! The ablation variants of §V-C are configuration flags:
 //! `use_bn = false` → *LLMSched w/o BN* (static historical means);
 //! `use_uncertainty = false` → *LLMSched w/o uncertainty* (pure SRTF on
@@ -18,11 +32,14 @@ use std::collections::HashMap;
 
 use llmsched_bayes::network::Evidence;
 use llmsched_dag::ids::{JobId, StageId};
-use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler};
+use llmsched_dag::time::SimTime;
+use llmsched_sim::incr::{FiniteF64, OrderedJobs};
+use llmsched_sim::scheduler::{Preference, SchedContext, SchedDelta, Scheduler};
 use llmsched_sim::state::JobRt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::belief::BeliefStore;
 use crate::estimator::WorkEstimate;
 use crate::profiler::Profiler;
 use crate::uncertainty::{uncertainty_reduction, MiEstimator};
@@ -48,6 +65,10 @@ pub struct LlmSchedConfig {
     pub interval_tail_mass: f64,
     /// Seed for the ε-greedy draws (runs are deterministic).
     pub seed: u64,
+    /// Drive the delta-driven incremental core (default). `false` selects
+    /// the rebuild-per-call reference path; both produce bit-identical
+    /// schedules.
+    pub incremental: bool,
 }
 
 impl Default for LlmSchedConfig {
@@ -60,11 +81,13 @@ impl Default for LlmSchedConfig {
             use_uncertainty: true,
             interval_tail_mass: crate::estimator::INTERVAL_TAIL_MASS,
             seed: 0xC0FFEE,
+            incremental: true,
         }
     }
 }
 
-/// Cached per-(job, evidence) analysis.
+/// Cached per-(job, evidence) analysis (rebuild path only; the incremental
+/// path holds [`JobBelief`]s instead).
 #[derive(Debug, Clone)]
 struct JobAnalysis {
     work: WorkEstimate,
@@ -79,8 +102,90 @@ pub struct LlmSched {
     profiler: Profiler,
     cfg: LlmSchedConfig,
     rng: StdRng,
+    /// Rebuild-path cache keyed by (job, evidence mask).
     cache: HashMap<(JobId, u64), JobAnalysis>,
+    /// Incremental path: persistent per-job beliefs…
+    beliefs: BeliefStore,
+    /// …the SRTF exploitation order, keyed by (calibrated estimate,
+    /// arrival)…
+    exploit: OrderedJobs<(FiniteF64, SimTime)>,
+    /// …and the interval index behind the non-overlapping grouping
+    /// (ordered by calibrated lower bound; upper bounds ride alongside).
+    intervals: OrderedJobs<FiniteF64>,
+    interval_hi: HashMap<JobId, f64>,
+    /// The Eq. 2 calibration the persistent keys were computed under; a
+    /// moved calibration re-keys everything.
+    last_calib: Option<f64>,
+    /// Per-job ready-work profiles and their running totals — the exact
+    /// lengths of the lazy St/Su sources and the per-class task
+    /// availability, maintained by deltas so the merge's RNG stream never
+    /// needs a full job scan.
+    ready_counts: HashMap<JobId, ReadyProfile>,
+    ready_dirty: std::collections::HashSet<JobId>,
+    total_ready: ReadyProfile,
     name: String,
+}
+
+/// Ready-work profile of one job (or the whole active set): how many
+/// stages are schedulable and how many unstarted tasks they hold per
+/// executor class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct ReadyProfile {
+    stages: usize,
+    reg_tasks: usize,
+    llm_tasks: usize,
+}
+
+impl ReadyProfile {
+    fn of(job: &JobRt) -> ReadyProfile {
+        let mut p = ReadyProfile::default();
+        for s in job.ready_stage_ids() {
+            let view = job.stage_view(s).expect("ready stage is visible");
+            p.stages += 1;
+            let unstarted = view.tasks_unstarted().unwrap_or(0);
+            match view.kind {
+                llmsched_dag::job::StageKind::Regular => p.reg_tasks += unstarted,
+                llmsched_dag::job::StageKind::Llm => p.llm_tasks += unstarted,
+                llmsched_dag::job::StageKind::DynamicPlaceholder => {}
+            }
+        }
+        p
+    }
+
+    fn add(&mut self, o: ReadyProfile) {
+        self.stages += o.stages;
+        self.reg_tasks += o.reg_tasks;
+        self.llm_tasks += o.llm_tasks;
+    }
+
+    fn sub(&mut self, o: ReadyProfile) {
+        self.stages -= o.stages;
+        self.reg_tasks -= o.reg_tasks;
+        self.llm_tasks -= o.llm_tasks;
+    }
+}
+
+/// One scored exploration candidate in the lazy Su heap: max-heap order is
+/// highest Eq. 6 score first, ties broken by smallest (job id, stage id) —
+/// exactly the rebuild path's `sort_scored` order.
+#[derive(Debug, PartialEq, Eq)]
+struct SuEntry {
+    score: FiniteF64,
+    tie: std::cmp::Reverse<(JobId, StageId)>,
+    job_idx: usize,
+    stage: StageId,
+}
+
+impl Ord for SuEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.score, self.tie).cmp(&(other.score, other.tie))
+    }
+}
+
+impl PartialOrd for SuEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
 }
 
 impl LlmSched {
@@ -99,6 +204,14 @@ impl LlmSched {
             cfg,
             rng: StdRng::seed_from_u64(seed),
             cache: HashMap::new(),
+            beliefs: BeliefStore::new(),
+            exploit: OrderedJobs::new(),
+            intervals: OrderedJobs::new(),
+            interval_hi: HashMap::new(),
+            last_calib: None,
+            ready_counts: HashMap::new(),
+            ready_dirty: std::collections::HashSet::new(),
+            total_ready: ReadyProfile::default(),
             name,
         }
     }
@@ -107,6 +220,15 @@ impl LlmSched {
     pub fn config(&self) -> &LlmSchedConfig {
         &self.cfg
     }
+
+    /// The persistent belief store (incremental path).
+    pub fn beliefs(&self) -> &BeliefStore {
+        &self.beliefs
+    }
+
+    // ------------------------------------------------------------------
+    // Rebuild path (reference implementation)
+    // ------------------------------------------------------------------
 
     /// Fetches (or computes) the cached analysis for a job.
     fn analysis(&mut self, job: &JobRt) -> JobAnalysis {
@@ -162,52 +284,17 @@ impl LlmSched {
         r
     }
 
-    /// Drops cache entries of jobs no longer active.
+    /// Drops cache entries of jobs no longer active (rebuild path's
+    /// size-triggered heuristic; the incremental path evicts exactly on
+    /// `JobCompleted` instead).
     fn prune_cache(&mut self, ctx: &SchedContext<'_>) {
         if self.cache.len() > 4 * ctx.jobs.len() + 64 {
             let alive: std::collections::HashSet<JobId> = ctx.jobs.iter().map(|j| j.id()).collect();
             self.cache.retain(|(id, _), _| alive.contains(id));
         }
     }
-}
 
-/// One schedulable stage reference with its owning job's index in `jobs`.
-#[derive(Debug, Clone, Copy)]
-struct StageRef {
-    job_idx: usize,
-    stage: StageId,
-}
-
-/// Groups jobs into non-overlapping sets by their duration-support
-/// intervals (Algorithm 1, line 5). Input: `(job index, lo, hi)`.
-/// Returns groups ordered by lower bound; within a group the original
-/// entries are kept in input order.
-fn non_overlapping_groups(mut intervals: Vec<(usize, f64, f64)>) -> Vec<Vec<usize>> {
-    intervals.sort_by(|a, b| {
-        a.1.partial_cmp(&b.1)
-            .expect("finite bounds")
-            .then_with(|| a.0.cmp(&b.0))
-    });
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    let mut cur_hi = f64::NEG_INFINITY;
-    for (idx, lo, hi) in intervals {
-        if groups.is_empty() || lo > cur_hi {
-            groups.push(vec![idx]);
-            cur_hi = hi;
-        } else {
-            groups.last_mut().expect("non-empty").push(idx);
-            cur_hi = cur_hi.max(hi);
-        }
-    }
-    groups
-}
-
-impl Scheduler for LlmSched {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+    fn schedule_rebuild(&mut self, ctx: &SchedContext<'_>) -> Preference {
         self.prune_cache(ctx);
         // Eq. 2 calibration: predicted durations at the backend-reported
         // average busy batch size vs the batch-1 profiling baseline.
@@ -265,28 +352,324 @@ impl Scheduler for LlmSched {
                         ));
                     }
                 }
-                scored.sort_by(|a, b| {
-                    b.0.partial_cmp(&a.0)
-                        .expect("finite reductions")
-                        .then_with(|| {
-                            (ctx.jobs[a.1.job_idx].id(), a.1.stage)
-                                .cmp(&(ctx.jobs[b.1.job_idx].id(), b.1.stage))
-                        })
-                });
+                sort_scored(&mut scored, ctx);
                 su.extend(scored.into_iter().map(|(_, s)| s));
             }
         }
 
-        // --- ε-greedy merge (lines 11-22). ---
-        //
-        // Implemented as a *biased merge* of the two priority queues: each
-        // draw takes the head of Su with probability ε (attaching only a
-        // sampled fraction r of its tasks) and the head of St otherwise —
-        // the list not drawn keeps its head. (A literal pop-both reading of
-        // Algorithm 1 would demote the best SRTF stage to the tail on every
-        // exploration draw, which measurably hurts every workload; see
-        // DESIGN.md §3 for this documented deviation.) Stages already
-        // emitted via one list are skipped in the other.
+        self.epsilon_merge(ctx, &st, &su)
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental path
+    // ------------------------------------------------------------------
+
+    /// (Re)derives one job's persistent sort keys from its belief.
+    fn index_job(&mut self, job: &JobRt, calib: f64) {
+        let w = self.beliefs.work(job.id());
+        self.exploit
+            .upsert(job.id(), (FiniteF64(w.expected(calib)), job.arrival()));
+        if self.cfg.use_uncertainty {
+            let (lo, hi) = w.interval(calib);
+            self.intervals.upsert(job.id(), FiniteF64(lo));
+            self.interval_hi.insert(job.id(), hi);
+        }
+    }
+
+    /// Brings beliefs, ready-stage counts and both ordered indices in sync
+    /// with the context.
+    fn sync(&mut self, ctx: &SchedContext<'_>) {
+        let calib = crate::estimator::batching_calibration(ctx);
+        let changed = self.beliefs.refresh(
+            &self.profiler,
+            ctx,
+            self.cfg.use_bn,
+            self.cfg.interval_tail_mass,
+        );
+        if self.last_calib == Some(calib) {
+            // Calibration stable: reposition only the jobs whose belief
+            // moved (arrivals included — their upsert is the insert).
+            for id in changed {
+                if let Some(job) = ctx.job(id) {
+                    self.index_job(job, calib);
+                }
+            }
+        }
+        if self.last_calib != Some(calib) || self.exploit.len() != ctx.jobs.len() {
+            // Calibration moved (every persistent key is stale), or the
+            // context bypassed the delta stream: rebuild the indices.
+            self.exploit.clear();
+            self.intervals.clear();
+            self.interval_hi.clear();
+            for i in 0..ctx.jobs.len() {
+                self.index_job(ctx.jobs[i], calib);
+            }
+            self.last_calib = Some(calib);
+        }
+        // Ready-work profiles: the exact lengths of the lazy St/Su sources
+        // and the per-class availability behind the emission budgets.
+        for id in std::mem::take(&mut self.ready_dirty) {
+            let old = self.ready_counts.get(&id).copied().unwrap_or_default();
+            let new = match ctx.job(id) {
+                Some(job) => {
+                    let p = ReadyProfile::of(job);
+                    self.ready_counts.insert(id, p);
+                    p
+                }
+                None => {
+                    self.ready_counts.remove(&id);
+                    ReadyProfile::default()
+                }
+            };
+            self.total_ready.sub(old);
+            self.total_ready.add(new);
+        }
+        if self.ready_counts.len() != ctx.jobs.len() {
+            self.ready_counts.clear();
+            self.total_ready = ReadyProfile::default();
+            for job in &ctx.jobs {
+                let p = ReadyProfile::of(job);
+                self.ready_counts.insert(job.id(), p);
+                self.total_ready.add(p);
+            }
+        }
+    }
+
+    /// The delta-driven fast path: Algorithm 1 over *lazy* sources.
+    ///
+    /// Key observation: once both preference lists cover the free capacity
+    /// (`regular_free` / `llm_free_slots`), no further entry can start —
+    /// so only the consumed prefixes of St and Su need real identities.
+    /// The rest of the merge must still *run* (the ε-draw RNG stream
+    /// length depends on both list lengths), but it only needs counts,
+    /// which the delta-maintained `total_ready` provides without touching
+    /// any job. St materializes per-job on demand in the persistent SRTF
+    /// order; Su materializes per *group* on demand (groups scanned off
+    /// the persistent interval index) into a max-heap, so the
+    /// most-uncertainty-reduction-first order costs O(pops · log g)
+    /// instead of a full per-invocation sort. Everything emitted is
+    /// bit-identical to the rebuild path's schedule; the equivalence suite
+    /// pins it.
+    fn schedule_incremental(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        self.sync(ctx);
+        // A class is *closed* once its list covers what could possibly
+        // start: the free capacity, or everything available when the
+        // class has fewer unstarted tasks than capacity.
+        let rb = ctx.regular_free().min(self.total_ready.reg_tasks);
+        let lb = ctx.llm_free_slots().min(self.total_ready.llm_tasks);
+        let st_len = self.total_ready.stages;
+        let su_len = if self.cfg.use_uncertainty {
+            self.total_ready.stages
+        } else {
+            0
+        };
+
+        // Split field borrows: the lazy sources iterate the persistent
+        // indices directly (no per-invocation id snapshots) while scoring
+        // updates belief memos and the merge draws from the RNG.
+        let LlmSched {
+            ref exploit,
+            ref intervals,
+            ref interval_hi,
+            ref ready_counts,
+            ref mut beliefs,
+            ref profiler,
+            ref cfg,
+            ref mut rng,
+            ..
+        } = *self;
+
+        let mut p = Preference::new();
+        // Stage -> number of task refs emitted for it during the merge
+        // (the tail subtracts these as duplicates).
+        let mut emitted: HashMap<(usize, StageId), usize> = HashMap::new();
+        // Lazy St state: materialized prefix + cursor into the SRTF order.
+        let mut st_mat: Vec<StageRef> = Vec::new();
+        let mut st_src = exploit.entries().map(|(_, id)| id);
+        // Lazy Su state: cursor into the interval order + current group's
+        // scored heap.
+        let mut iv_src = intervals.entries().map(|(k, id)| (k.0, id)).peekable();
+        let mut heap: std::collections::BinaryHeap<SuEntry> = std::collections::BinaryHeap::new();
+
+        let (mut st_i, mut su_i) = (0usize, 0usize);
+        // Set once both budgets are covered: emission (and materialization)
+        // stops; only the counters and RNG draws continue.
+        let mut satiated = false;
+        while st_i < st_len || su_i < su_len {
+            let explore = su_i < su_len && (st_i >= st_len || rng.gen::<f64>() <= cfg.epsilon);
+            if satiated {
+                // Fast drain: emission is over, but the ε-draw stream must
+                // advance exactly as the unbounded path's would — one draw
+                // per step while both lists remain unexhausted.
+                if explore {
+                    su_i += 1;
+                } else {
+                    st_i += 1;
+                }
+                while st_i < st_len || su_i < su_len {
+                    let e = su_i < su_len && (st_i >= st_len || rng.gen::<f64>() <= cfg.epsilon);
+                    if e {
+                        su_i += 1;
+                    } else {
+                        st_i += 1;
+                    }
+                }
+                continue;
+            }
+            let (sref, sample) = if explore {
+                su_i += 1;
+                while heap.is_empty() && iv_src.peek().is_some() {
+                    // Materialize the next non-overlapping group: scan the
+                    // interval order, merging while lower bounds stay
+                    // within the group's running upper bound (exactly
+                    // `non_overlapping_groups`).
+                    let mut cur_hi = f64::NEG_INFINITY;
+                    let mut first = true;
+                    while let Some(&(lo, id)) = iv_src.peek() {
+                        if !first && lo > cur_hi {
+                            break;
+                        }
+                        first = false;
+                        cur_hi = cur_hi.max(interval_hi[&id]);
+                        iv_src.next();
+                        // Jobs with no ready stages contribute nothing:
+                        // skip them without touching the job state.
+                        if ready_counts.get(&id).map_or(0, |p| p.stages) == 0 {
+                            continue;
+                        }
+                        let Some(idx) = ctx.job_index(id) else {
+                            continue;
+                        };
+                        for s in ctx.jobs[idx].ready_stage_ids() {
+                            let r = beliefs.reduction(profiler, cfg.mi, ctx.jobs[idx], s);
+                            heap.push(SuEntry {
+                                score: FiniteF64(r),
+                                tie: std::cmp::Reverse((ctx.jobs[idx].id(), s)),
+                                job_idx: idx,
+                                stage: s,
+                            });
+                        }
+                    }
+                }
+                (
+                    heap.pop().map(|e| StageRef {
+                        job_idx: e.job_idx,
+                        stage: e.stage,
+                    }),
+                    true,
+                )
+            } else {
+                st_i += 1;
+                while st_mat.len() < st_i {
+                    let Some(id) = st_src.next() else { break };
+                    if ready_counts.get(&id).map_or(0, |p| p.stages) == 0 {
+                        continue;
+                    }
+                    if let Some(i) = ctx.job_index(id) {
+                        for s in ctx.jobs[i].ready_stage_ids() {
+                            st_mat.push(StageRef {
+                                job_idx: i,
+                                stage: s,
+                            });
+                        }
+                    }
+                }
+                (st_mat.get(st_i - 1).copied(), false)
+            };
+            let Some(s) = sref else {
+                debug_assert!(false, "ready-stage count out of sync with the lazy sources");
+                continue;
+            };
+            let key = (s.job_idx, s.stage);
+            if emitted.contains_key(&key) {
+                continue;
+            }
+            // During the merge every pushed entry is fresh and startable,
+            // so raw list lengths are the startable-entry counts.
+            let (closed_reg, closed_llm) = (p.regular.len() >= rb, p.llm.len() >= lb);
+            if closed_reg && closed_llm {
+                satiated = true;
+                continue;
+            }
+            // Class-aware skip: entries for a closed class can never
+            // start, whatever their position.
+            let kind = ctx.jobs[s.job_idx].stage_view(s.stage).map(|v| v.kind);
+            let skip = match kind {
+                Some(llmsched_dag::job::StageKind::Regular) => closed_reg,
+                Some(llmsched_dag::job::StageKind::Llm) => closed_llm,
+                _ => true,
+            };
+            if skip {
+                emitted.insert(key, 0);
+                continue;
+            }
+            let before = p.len();
+            if sample {
+                p.push_stage_sample(ctx.jobs[s.job_idx], s.stage, cfg.sampling_ratio);
+            } else {
+                p.push_stage_tasks(ctx.jobs[s.job_idx], s.stage);
+            }
+            emitted.insert(key, p.len() - before);
+        }
+
+        // Line 21 tail: attach the unsampled remainders in SRTF order. If
+        // the budgets were covered during the merge nothing here could
+        // start; otherwise St is fully materialized and the tail tracks
+        // *fresh* entries (duplicates are skipped by the dispatcher
+        // without consuming capacity).
+        if !satiated {
+            let (mut fresh_reg, mut fresh_llm) = (p.regular.len(), p.llm.len());
+            for s in &st_mat {
+                if fresh_reg >= rb && fresh_llm >= lb {
+                    break;
+                }
+                let kind = ctx.jobs[s.job_idx].stage_view(s.stage).map(|v| v.kind);
+                let skip = match kind {
+                    Some(llmsched_dag::job::StageKind::Regular) => fresh_reg >= rb,
+                    Some(llmsched_dag::job::StageKind::Llm) => fresh_llm >= lb,
+                    _ => true,
+                };
+                if skip {
+                    continue;
+                }
+                // A merge-emitted stage re-pushes `prior` duplicate refs
+                // (the sampled prefix, or everything for exploited
+                // stages); only the surplus counts toward capacity.
+                let prior = emitted.get(&(s.job_idx, s.stage)).copied().unwrap_or(0);
+                let (r0, l0) = (p.regular.len(), p.llm.len());
+                p.push_stage_tasks(ctx.jobs[s.job_idx], s.stage);
+                let (dr, dl) = (p.regular.len() - r0, p.llm.len() - l0);
+                if dr > 0 {
+                    fresh_reg += dr.saturating_sub(prior);
+                } else {
+                    fresh_llm += dl.saturating_sub(prior);
+                }
+            }
+        }
+        p
+    }
+
+    // ------------------------------------------------------------------
+    // Shared tail: the ε-greedy merge (lines 11-22)
+    // ------------------------------------------------------------------
+
+    /// Implemented as a *biased merge* of the two priority queues: each
+    /// draw takes the head of Su with probability ε (attaching only a
+    /// sampled fraction r of its tasks) and the head of St otherwise —
+    /// the list not drawn keeps its head. (A literal pop-both reading of
+    /// Algorithm 1 would demote the best SRTF stage to the tail on every
+    /// exploration draw, which measurably hurts every workload; see
+    /// DESIGN.md §3 for this documented deviation.) Stages already
+    /// emitted via one list are skipped in the other.
+    ///
+    /// This is the rebuild path's merge; the incremental path runs the
+    /// same algorithm over *lazy* sources in `schedule_incremental`.
+    fn epsilon_merge(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        st: &[StageRef],
+        su: &[StageRef],
+    ) -> Preference {
         let mut p = Preference::new();
         let mut emitted: std::collections::HashSet<(usize, StageId)> =
             std::collections::HashSet::new();
@@ -314,10 +697,111 @@ impl Scheduler for LlmSched {
         // Line 21: attach all remaining tasks (the unsampled remainders of
         // explored stages) at the end, in SRTF order. Duplicate references
         // are skipped by the dispatcher.
-        for s in &st {
+        for s in st {
             p.push_stage_tasks(ctx.jobs[s.job_idx], s.stage);
         }
         p
+    }
+}
+
+/// One schedulable stage reference with its owning job's index in `jobs`.
+#[derive(Debug, Clone, Copy)]
+struct StageRef {
+    job_idx: usize,
+    stage: StageId,
+}
+
+/// Most-uncertainty-reduction-first ordering within one group (ties by
+/// (job id, stage id) so runs are deterministic).
+fn sort_scored(scored: &mut [(f64, StageRef)], ctx: &SchedContext<'_>) {
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("finite reductions")
+            .then_with(|| {
+                (ctx.jobs[a.1.job_idx].id(), a.1.stage)
+                    .cmp(&(ctx.jobs[b.1.job_idx].id(), b.1.stage))
+            })
+    });
+}
+
+/// Groups jobs into non-overlapping sets by their duration-support
+/// intervals (Algorithm 1, line 5). Input: `(job index, lo, hi)`.
+/// Returns groups ordered by lower bound; within a group the original
+/// entries are kept in input order.
+fn non_overlapping_groups(mut intervals: Vec<(usize, f64, f64)>) -> Vec<Vec<usize>> {
+    intervals.sort_by(|a, b| {
+        a.1.partial_cmp(&b.1)
+            .expect("finite bounds")
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cur_hi = f64::NEG_INFINITY;
+    for (idx, lo, hi) in intervals {
+        if groups.is_empty() || lo > cur_hi {
+            groups.push(vec![idx]);
+            cur_hi = hi;
+        } else {
+            groups.last_mut().expect("non-empty").push(idx);
+            cur_hi = cur_hi.max(hi);
+        }
+    }
+    groups
+}
+
+impl Scheduler for LlmSched {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_delta(&mut self, d: &SchedDelta) {
+        if !self.cfg.incremental {
+            return;
+        }
+        self.beliefs.on_delta(d);
+        match d {
+            SchedDelta::JobCompleted { job } => {
+                self.exploit.remove(*job);
+                self.intervals.remove(*job);
+                self.interval_hi.remove(job);
+                if let Some(c) = self.ready_counts.remove(job) {
+                    self.total_ready.sub(c);
+                }
+                self.ready_dirty.remove(job);
+            }
+            // Every event that can change a job's ready-stage set: arrival,
+            // stage completion (done flags / predecessor counts), reveals
+            // (visibility), and task dispatch (stage exhaustion). Task
+            // *finishes* keep running+done constant and never change
+            // membership.
+            SchedDelta::JobArrived { job, .. }
+            | SchedDelta::StageCompleted { job, .. }
+            | SchedDelta::StageRevealed { job, .. }
+            | SchedDelta::TasksDispatched { job, .. } => {
+                self.ready_dirty.insert(*job);
+            }
+            SchedDelta::TasksFinished { .. } => {}
+        }
+    }
+
+    fn reset(&mut self) {
+        self.cache.clear();
+        self.beliefs.clear();
+        self.exploit.clear();
+        self.intervals.clear();
+        self.interval_hi.clear();
+        self.last_calib = None;
+        self.ready_counts.clear();
+        self.ready_dirty.clear();
+        self.total_ready = ReadyProfile::default();
+        self.rng = StdRng::seed_from_u64(self.cfg.seed);
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if self.cfg.incremental {
+            self.schedule_incremental(ctx)
+        } else {
+            self.schedule_rebuild(ctx)
+        }
     }
 }
 
@@ -365,6 +849,32 @@ mod tests {
     }
 
     #[test]
+    fn incremental_is_bit_identical_to_rebuild() {
+        let run = |incremental: bool, kind: WorkloadKind| {
+            let profiler = trained_profiler(&AppKind::ALL);
+            let cfg = LlmSchedConfig {
+                incremental,
+                ..LlmSchedConfig::default()
+            };
+            let mut sched = LlmSched::new(profiler, cfg);
+            let w = generate_workload(kind, 25, 0.9, 61);
+            simulate(&kind.default_cluster(), &w.templates, w.jobs, &mut sched)
+        };
+        for kind in [WorkloadKind::Mixed, WorkloadKind::Planning] {
+            let inc = run(true, kind);
+            let reb = run(false, kind);
+            assert_eq!(inc.events, reb.events, "{}: events", kind.name());
+            assert_eq!(inc.makespan, reb.makespan, "{}: makespan", kind.name());
+            let key = |r: &llmsched_sim::metrics::SimResult| {
+                let mut v: Vec<_> = r.jobs.iter().map(|j| (j.id, j.completion)).collect();
+                v.sort();
+                v
+            };
+            assert_eq!(key(&inc), key(&reb), "{}: completions", kind.name());
+        }
+    }
+
+    #[test]
     fn ablation_variants_complete_and_are_named() {
         let w = generate_workload(WorkloadKind::Planning, 20, 0.9, 23);
         let cluster = WorkloadKind::Planning.default_cluster();
@@ -401,6 +911,23 @@ mod tests {
         };
         let a = run();
         let b = run();
+        assert_eq!(a.avg_jct_secs(), b.avg_jct_secs());
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn scheduler_instance_is_reusable_across_runs() {
+        // The engine resets persistent state at simulation start, so one
+        // instance must reproduce a fresh instance's schedule.
+        let profiler = trained_profiler(&[AppKind::CodeGeneration, AppKind::WebSearch]);
+        let mut sched = LlmSched::new(profiler, LlmSchedConfig::default());
+        let cfg = WorkloadKind::ChainLike.default_cluster();
+        let run = |s: &mut LlmSched| {
+            let w = generate_workload(WorkloadKind::ChainLike, 20, 0.9, 41);
+            simulate(&cfg, &w.templates, w.jobs, s)
+        };
+        let a = run(&mut sched);
+        let b = run(&mut sched);
         assert_eq!(a.avg_jct_secs(), b.avg_jct_secs());
         assert_eq!(a.events, b.events);
     }

@@ -7,15 +7,43 @@
 //! application-level scheduling, which LLMSched beats by re-estimating
 //! durations per job (§V-A).
 
-use llmsched_dag::ids::StageId;
-use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler};
+use std::collections::HashMap;
+
+use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::time::SimTime;
+use llmsched_sim::incr::DeltaIndex;
+use llmsched_sim::scheduler::{Preference, SchedContext, SchedDelta, Scheduler};
 use llmsched_sim::state::JobRt;
 
-use crate::util::visible_heights;
+use crate::util::{visible_heights, Budget};
 
 /// The Argus-like stage-rank scheduler.
+///
+/// Incremental by default: jobs live in a persistent arrival-ordered
+/// index, and each job's critical-path heights are cached and invalidated
+/// only by that job's [`SchedDelta::StageRevealed`] deltas — heights are a
+/// pure function of the visible DAG, which only reveals can change.
 #[derive(Debug, Default)]
-pub struct Argus;
+pub struct Argus {
+    rebuild: bool,
+    index: DeltaIndex<SimTime>,
+    heights: HashMap<JobId, HashMap<StageId, usize>>,
+}
+
+impl Argus {
+    /// The incremental Argus scheduler (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The reference rebuild-per-call variant.
+    pub fn rebuild() -> Self {
+        Argus {
+            rebuild: true,
+            ..Self::default()
+        }
+    }
+}
 
 /// Rank of one candidate stage (higher = served first).
 ///
@@ -47,28 +75,87 @@ impl Scheduler for Argus {
         "Argus"
     }
 
-    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        // Collect every ready stage with its rank.
-        let mut candidates: Vec<(Rank, &JobRt, StageId)> = Vec::new();
-        for job in &ctx.jobs {
-            let heights = visible_heights(job);
-            for s in job.ready_stage_ids() {
-                candidates.push((rank(job, s, &heights), job, s));
-            }
+    fn on_delta(&mut self, d: &SchedDelta) {
+        if self.rebuild {
+            return;
         }
-        // Jobs are served in arrival order (Argus is job-duration-blind);
-        // the topology rank orders stages *within* a job. Comparing ranks
-        // across jobs would strictly prioritize the deepest application —
-        // longest-app-first, which no fair reading of Argus intends.
-        candidates.sort_by(|a, b| {
-            (a.1.arrival(), a.1.id())
-                .cmp(&(b.1.arrival(), b.1.id()))
-                .then_with(|| b.0.cmp(&a.0))
-                .then_with(|| a.2.cmp(&b.2))
-        });
+        self.index.on_delta(d, |_| false);
+        match d {
+            // Visibility changed: the cached heights are stale.
+            SchedDelta::StageRevealed { job, .. } => {
+                self.heights.remove(job);
+            }
+            SchedDelta::JobCompleted { job } => {
+                self.heights.remove(job);
+            }
+            _ => {}
+        }
+    }
+
+    fn reset(&mut self) {
+        self.index.clear();
+        self.heights.clear();
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if self.rebuild {
+            // Collect every ready stage with its rank.
+            let mut candidates: Vec<(Rank, &JobRt, StageId)> = Vec::new();
+            for job in &ctx.jobs {
+                let heights = visible_heights(job);
+                for s in job.ready_stage_ids() {
+                    candidates.push((rank(job, s, &heights), job, s));
+                }
+            }
+            // Jobs are served in arrival order (Argus is job-duration-blind);
+            // the topology rank orders stages *within* a job. Comparing ranks
+            // across jobs would strictly prioritize the deepest application —
+            // longest-app-first, which no fair reading of Argus intends.
+            candidates.sort_by(|a, b| {
+                (a.1.arrival(), a.1.id())
+                    .cmp(&(b.1.arrival(), b.1.id()))
+                    .then_with(|| b.0.cmp(&a.0))
+                    .then_with(|| a.2.cmp(&b.2))
+            });
+            let mut p = Preference::new();
+            for (_, job, s) in candidates {
+                p.push_stage_tasks(job, s);
+            }
+            return p;
+        }
+
+        // Incremental path: the (arrival, id) job order is the index order,
+        // and the full-key sort above groups candidates by job first — so
+        // ranking stages *within* each job in index order reproduces the
+        // rebuild schedule exactly. If the index had to rebuild (context
+        // outside the delta stream), the heights cache missed the same
+        // reveals: drop it too.
+        if self.index.refresh(ctx, |j| j.arrival()) {
+            self.heights.clear();
+        }
+        let budget = Budget::of(ctx);
         let mut p = Preference::new();
-        for (_, job, s) in candidates {
-            p.push_stage_tasks(job, s);
+        for id in self.index.jobs().ids() {
+            if budget.met(&p) {
+                break;
+            }
+            let Some(job) = ctx.job(id) else { continue };
+            let ready = job.ready_stage_ids();
+            if ready.is_empty() {
+                continue;
+            }
+            let heights = self
+                .heights
+                .entry(id)
+                .or_insert_with(|| visible_heights(job));
+            let mut ranked: Vec<(Rank, StageId)> = ready
+                .into_iter()
+                .map(|s| (rank(job, s, heights), s))
+                .collect();
+            ranked.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            for (_, s) in ranked {
+                budget.push_stage(&mut p, job, s);
+            }
         }
         p
     }
@@ -77,13 +164,18 @@ impl Scheduler for Argus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::run_two_class_workload;
+    use crate::testkit::{assert_same_schedule, run_two_class_workload};
 
     #[test]
     fn completes_the_fixture() {
-        let r = run_two_class_workload(&mut Argus);
+        let r = run_two_class_workload(&mut Argus::new());
         assert_eq!(r.incomplete, 0);
         assert_eq!(r.scheduler, "Argus");
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        assert_same_schedule(&mut Argus::new(), &mut Argus::rebuild());
     }
 
     #[test]

@@ -18,21 +18,100 @@
 //! `DESIGN.md` §6.
 
 use llmsched_dag::ids::StageId;
-use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
+use llmsched_dag::time::SimTime;
+use llmsched_sim::incr::{DeltaIndex, EstimateCache};
+use llmsched_sim::scheduler::{Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
 use llmsched_sim::state::JobRt;
 
-use crate::util::{visible_heights, AppPriors, ReadyTasks};
+use crate::util::{visible_heights, AppPriors, Budget, ReadyTasks};
 
 /// The Carbyne-like altruistic scheduler.
+///
+/// Incremental by default: the fair-phase (running tasks, arrival) order
+/// is a persistent [`DeltaIndex`] repositioned on task dispatch/finish
+/// deltas, and the leftover-phase remaining-work estimates come from a
+/// delta-refreshed [`EstimateCache`].
 #[derive(Debug)]
 pub struct CarbyneLike {
     priors: AppPriors,
+    rebuild: bool,
+    index: DeltaIndex<(usize, SimTime)>,
+    estimates: EstimateCache,
 }
 
 impl CarbyneLike {
-    /// Builds the policy with historical priors.
+    /// Builds the incremental policy with historical priors.
     pub fn new(priors: AppPriors) -> Self {
-        CarbyneLike { priors }
+        CarbyneLike {
+            priors,
+            rebuild: false,
+            index: DeltaIndex::new(),
+            estimates: EstimateCache::new(),
+        }
+    }
+
+    /// The reference rebuild-per-call variant.
+    pub fn rebuild(priors: AppPriors) -> Self {
+        CarbyneLike {
+            rebuild: true,
+            ..Self::new(priors)
+        }
+    }
+
+    /// Phase 1 on one job: pushes the critical (max-height) ready stage's
+    /// tasks and returns the donated leftovers, if any. With a budget,
+    /// pushes are class-aware (dispatch-invariant truncation).
+    fn fair_phase<'a>(
+        p: &mut Preference,
+        job: &'a JobRt,
+        budget: Option<Budget>,
+    ) -> Option<(&'a JobRt, ReadyTasks)> {
+        let heights = visible_heights(job);
+        let mut ready = job.ready_stage_ids();
+        if ready.is_empty() {
+            return None;
+        }
+        // Critical stage = max height (ties: lowest id).
+        ready.sort_by_key(|s| (std::cmp::Reverse(heights.get(s).copied().unwrap_or(0)), *s));
+        let critical = ready[0];
+        match budget {
+            Some(b) => b.push_stage(p, job, critical),
+            None => {
+                for t in job.unstarted_tasks(critical) {
+                    push_ref(p, job, critical, t);
+                }
+            }
+        }
+        // Everything else is donated to the leftover pool.
+        let rest: Vec<(StageId, u32)> = ready[1..]
+            .iter()
+            .flat_map(|&s| job.unstarted_tasks(s).into_iter().map(move |t| (s, t)))
+            .collect();
+        (!rest.is_empty()).then_some((job, rest))
+    }
+
+    /// Phase 2: redistributes leftovers, shortest-remaining job first.
+    fn leftover_phase(
+        p: &mut Preference,
+        mut leftovers: Vec<(f64, &JobRt, ReadyTasks)>,
+        budget: Option<Budget>,
+    ) {
+        leftovers.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("estimates are finite")
+                .then_with(|| (a.1.arrival(), a.1.id()).cmp(&(b.1.arrival(), b.1.id())))
+        });
+        for (_, job, tasks) in leftovers {
+            if budget.is_some_and(|b| b.met(p)) {
+                break;
+            }
+            for (s, t) in tasks {
+                match budget {
+                    Some(b) => b.push_task(p, job, s, t),
+                    None => push_ref(p, job, s, t),
+                }
+            }
+        }
     }
 }
 
@@ -57,47 +136,58 @@ impl Scheduler for CarbyneLike {
         "Carbyne"
     }
 
+    fn on_delta(&mut self, d: &SchedDelta) {
+        if self.rebuild {
+            return;
+        }
+        self.index.on_delta(d, |d| {
+            matches!(
+                d,
+                SchedDelta::TasksDispatched { .. } | SchedDelta::TasksFinished { .. }
+            )
+        });
+        self.estimates.on_delta(d);
+    }
+
+    fn reset(&mut self) {
+        self.index.clear();
+        self.estimates.clear();
+    }
+
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         let mut p = Preference::new();
 
         // Phase 1: fair share of critical work. For each job (least served
         // first) offer the ready stage with the greatest height — the one
         // whose delay would stretch the job's critical path.
-        let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
-        jobs.sort_by_key(|j| (j.running_tasks(), j.arrival(), j.id()));
-        let mut leftovers: Vec<(f64, &JobRt, ReadyTasks)> = Vec::new();
-        for job in jobs {
-            let heights = visible_heights(job);
-            let mut ready = job.ready_stage_ids();
-            if ready.is_empty() {
-                continue;
+        if self.rebuild {
+            let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
+            jobs.sort_by_key(|j| (j.running_tasks(), j.arrival(), j.id()));
+            let mut leftovers: Vec<(f64, &JobRt, ReadyTasks)> = Vec::new();
+            for job in jobs {
+                if let Some((job, rest)) = Self::fair_phase(&mut p, job, None) {
+                    leftovers.push((self.priors.remaining_estimate(job), job, rest));
+                }
             }
-            // Critical stage = max height (ties: lowest id).
-            ready.sort_by_key(|s| (std::cmp::Reverse(heights.get(s).copied().unwrap_or(0)), *s));
-            let critical = ready[0];
-            for t in job.unstarted_tasks(critical) {
-                push_ref(&mut p, job, critical, t);
+            Self::leftover_phase(&mut p, leftovers, None);
+        } else {
+            self.index
+                .refresh(ctx, |j| (j.running_tasks(), j.arrival()));
+            let priors = &self.priors;
+            self.estimates
+                .refresh(ctx, |j| priors.remaining_estimate(j));
+            let budget = Budget::of(ctx);
+            let mut leftovers: Vec<(f64, &JobRt, ReadyTasks)> = Vec::new();
+            for id in self.index.jobs().ids() {
+                if budget.met(&p) {
+                    break;
+                }
+                let Some(job) = ctx.job(id) else { continue };
+                if let Some((job, rest)) = Self::fair_phase(&mut p, job, Some(budget)) {
+                    leftovers.push((self.estimates.get(id), job, rest));
+                }
             }
-            // Everything else is donated to the leftover pool.
-            let rest: Vec<(StageId, u32)> = ready[1..]
-                .iter()
-                .flat_map(|&s| job.unstarted_tasks(s).into_iter().map(move |t| (s, t)))
-                .collect();
-            if !rest.is_empty() {
-                leftovers.push((self.priors.remaining_estimate(job), job, rest));
-            }
-        }
-
-        // Phase 2: redistribute leftovers, shortest-remaining job first.
-        leftovers.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("estimates are finite")
-                .then_with(|| (a.1.arrival(), a.1.id()).cmp(&(b.1.arrival(), b.1.id())))
-        });
-        for (_, job, tasks) in leftovers {
-            for (s, t) in tasks {
-                push_ref(&mut p, job, s, t);
-            }
+            Self::leftover_phase(&mut p, leftovers, Some(budget));
         }
         p
     }
@@ -106,7 +196,7 @@ impl Scheduler for CarbyneLike {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::{run_two_class_workload, two_class_training};
+    use crate::testkit::{assert_same_schedule, run_two_class_workload, two_class_training};
     use llmsched_dag::time::SimDuration;
 
     #[test]
@@ -115,5 +205,14 @@ mod tests {
         let r = run_two_class_workload(&mut CarbyneLike::new(priors));
         assert_eq!(r.incomplete, 0);
         assert_eq!(r.scheduler, "Carbyne");
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        let priors = AppPriors::from_training(&two_class_training(), SimDuration::from_millis(20));
+        assert_same_schedule(
+            &mut CarbyneLike::new(priors.clone()),
+            &mut CarbyneLike::rebuild(priors),
+        );
     }
 }

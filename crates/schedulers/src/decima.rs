@@ -12,38 +12,58 @@
 //!
 //! This substitution is documented in `DESIGN.md` §6.
 
-use llmsched_sim::scheduler::{Preference, SchedContext, Scheduler};
+use llmsched_sim::incr::EstimateCache;
+use llmsched_sim::scheduler::{Preference, SchedContext, SchedDelta, Scheduler};
 
 use crate::util::AppPriors;
 
 /// The Decima-like single-stage dispatcher.
+///
+/// Incremental by default: remaining-work estimates live in a persistent
+/// [`EstimateCache`] recomputed only for jobs whose stages completed. The
+/// selection itself stays the original tolerance-based fold over the
+/// context's job list — its ε-comparisons are order-dependent, so any
+/// reordering (e.g. an exact-min heap) would change tie outcomes and break
+/// schedule bit-identity with the rebuild reference.
 #[derive(Debug)]
 pub struct DecimaLike {
     priors: AppPriors,
+    rebuild: bool,
+    estimates: EstimateCache,
 }
 
 impl DecimaLike {
-    /// Builds the policy with historical priors (Decima trains on the same
-    /// four workload types; the priors are its learned duration knowledge).
+    /// Builds the incremental policy with historical priors (Decima trains
+    /// on the same four workload types; the priors are its learned duration
+    /// knowledge).
     pub fn new(priors: AppPriors) -> Self {
-        DecimaLike { priors }
-    }
-}
-
-impl Scheduler for DecimaLike {
-    fn name(&self) -> &str {
-        "Decima"
+        DecimaLike {
+            priors,
+            rebuild: false,
+            estimates: EstimateCache::new(),
+        }
     }
 
-    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        // Pick the single most attractive (job, stage): shortest remaining
-        // work first, then the job's earliest ready stage.
-        let mut best: Option<(f64, &&llmsched_sim::state::JobRt)> = None;
-        for job in &ctx.jobs {
+    /// The reference rebuild-per-call variant.
+    pub fn rebuild(priors: AppPriors) -> Self {
+        DecimaLike {
+            rebuild: true,
+            ..Self::new(priors)
+        }
+    }
+
+    /// The tolerance-based shortest-remaining-work fold (shared by both
+    /// paths; `rem_of` supplies either fresh or cached estimates).
+    fn pick<'a>(
+        ctx: &'a SchedContext<'_>,
+        mut rem_of: impl FnMut(&llmsched_sim::state::JobRt) -> f64,
+    ) -> Option<&'a llmsched_sim::state::JobRt> {
+        let mut best: Option<(f64, &llmsched_sim::state::JobRt)> = None;
+        for &job in &ctx.jobs {
             if job.ready_stage_ids().is_empty() {
                 continue;
             }
-            let rem = self.priors.remaining_estimate(job);
+            let rem = rem_of(job);
             let better = match best {
                 None => true,
                 Some((b, bj)) => {
@@ -56,8 +76,37 @@ impl Scheduler for DecimaLike {
                 best = Some((rem, job));
             }
         }
+        best.map(|(_, j)| j)
+    }
+}
+
+impl Scheduler for DecimaLike {
+    fn name(&self) -> &str {
+        "Decima"
+    }
+
+    fn on_delta(&mut self, d: &SchedDelta) {
+        if !self.rebuild {
+            self.estimates.on_delta(d);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.estimates.clear();
+    }
+
+    fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        let best = if self.rebuild {
+            Self::pick(ctx, |j| self.priors.remaining_estimate(j))
+        } else {
+            let priors = &self.priors;
+            self.estimates
+                .refresh(ctx, |j| priors.remaining_estimate(j));
+            let estimates = &self.estimates;
+            Self::pick(ctx, |j| estimates.get(j.id()))
+        };
         let mut p = Preference::new();
-        if let Some((_, job)) = best {
+        if let Some(job) = best {
             if let Some(&stage) = job.ready_stage_ids().first() {
                 p.push_stage_tasks(job, stage);
             }
@@ -69,14 +118,15 @@ impl Scheduler for DecimaLike {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testkit::{run_two_class_workload, two_class_training};
+    use crate::testkit::{assert_same_schedule, run_two_class_workload, two_class_training};
     use llmsched_dag::time::SimDuration;
 
+    fn priors() -> AppPriors {
+        AppPriors::from_training(&two_class_training(), SimDuration::from_millis(20))
+    }
+
     fn decima() -> DecimaLike {
-        DecimaLike::new(AppPriors::from_training(
-            &two_class_training(),
-            SimDuration::from_millis(20),
-        ))
+        DecimaLike::new(priors())
     }
 
     #[test]
@@ -84,6 +134,11 @@ mod tests {
         let r = run_two_class_workload(&mut decima());
         assert_eq!(r.incomplete, 0);
         assert_eq!(r.scheduler, "Decima");
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        assert_same_schedule(&mut decima(), &mut DecimaLike::rebuild(priors()));
     }
 
     #[test]
@@ -108,6 +163,13 @@ mod tests {
                     self.1 = true;
                 }
                 p
+            }
+            // Wrappers must keep the inner policy on the delta stream.
+            fn on_delta(&mut self, d: &SchedDelta) {
+                self.0.on_delta(d);
+            }
+            fn reset(&mut self) {
+                self.0.reset();
             }
         }
         let mut probe = Probe(decima(), false);

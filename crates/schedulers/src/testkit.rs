@@ -89,6 +89,24 @@ pub fn run_two_class_workload(sched: &mut dyn Scheduler) -> SimResult {
     simulate(&cfg, &templates, jobs, sched)
 }
 
+/// Runs two schedulers on the two-class fixture and asserts they produced
+/// the *bit-identical* schedule: same event count, same per-job completion
+/// times, same makespan. Used to pin incremental policy paths to their
+/// rebuild-per-call references.
+pub fn assert_same_schedule(a: &mut dyn Scheduler, b: &mut dyn Scheduler) {
+    let ra = run_two_class_workload(a);
+    let rb = run_two_class_workload(b);
+    assert_eq!(ra.events, rb.events, "{}: event counts diverged", a.name());
+    assert_eq!(ra.makespan, rb.makespan, "{}: makespans diverged", a.name());
+    assert_eq!(ra.incomplete, rb.incomplete);
+    let key = |r: &SimResult| {
+        let mut v: Vec<_> = r.jobs.iter().map(|j| (j.id, j.completion)).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(key(&ra), key(&rb), "{}: completions diverged", a.name());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

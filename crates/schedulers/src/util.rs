@@ -9,13 +9,91 @@
 use std::collections::HashMap;
 
 use llmsched_dag::ids::{AppId, StageId};
-use llmsched_dag::job::JobSpec;
+use llmsched_dag::job::{JobSpec, StageKind};
 use llmsched_dag::time::SimDuration;
+use llmsched_sim::scheduler::{Preference, SchedContext, TaskRef};
 use llmsched_sim::state::JobRt;
 
 /// A job's schedulable tasks as `(stage, task index)` pairs — the queue
 /// shape the round-robin baselines carry per job.
 pub(crate) type ReadyTasks = Vec<(StageId, u32)>;
+
+/// Free-capacity budgets for *dispatch-invariant bounded emission*.
+///
+/// The engine starts at most `regular_free()` regular tasks and
+/// `llm_free_slots()` LLM tasks from the front of each preference list,
+/// and every entry an incremental policy emits is startable at dispatch
+/// time — so once a class's list covers its budget, further entries for
+/// that class can never start and may be skipped without changing the
+/// schedule. The equivalence tests pin this against the unbounded rebuild
+/// paths.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Budget {
+    reg: usize,
+    llm: usize,
+}
+
+impl Budget {
+    /// The current invocation's free capacity.
+    pub fn of(ctx: &SchedContext<'_>) -> Budget {
+        Budget {
+            reg: ctx.regular_free(),
+            llm: ctx.llm_free_slots(),
+        }
+    }
+
+    /// True once both lists cover their budgets — emission may stop.
+    pub fn met(&self, p: &Preference) -> bool {
+        p.regular.len() >= self.reg && p.llm.len() >= self.llm
+    }
+
+    /// True if the class-appropriate list still has room for `stage`'s
+    /// tasks.
+    fn wants(&self, p: &Preference, kind: StageKind) -> bool {
+        match kind {
+            StageKind::Regular => p.regular.len() < self.reg,
+            StageKind::Llm => p.llm.len() < self.llm,
+            StageKind::DynamicPlaceholder => false,
+        }
+    }
+
+    /// Pushes all unstarted tasks of `stage` unless its class budget is
+    /// already covered.
+    pub fn push_stage(&self, p: &mut Preference, job: &JobRt, stage: StageId) {
+        let Some(view) = job.stage_view(stage) else {
+            return;
+        };
+        if self.wants(p, view.kind) {
+            p.push_stage_tasks(job, stage);
+        }
+    }
+
+    /// Pushes every ready stage of `job`, class-budget-aware.
+    pub fn push_all_ready(&self, p: &mut Preference, job: &JobRt) {
+        for s in job.ready_stage_ids() {
+            self.push_stage(p, job, s);
+        }
+    }
+
+    /// Pushes one task reference if its class budget still has room.
+    pub fn push_task(&self, p: &mut Preference, job: &JobRt, stage: StageId, task: u32) {
+        let Some(view) = job.stage_view(stage) else {
+            return;
+        };
+        if self.wants(p, view.kind) {
+            let r = TaskRef {
+                job: job.id(),
+                stage,
+                task,
+            };
+            match view.kind {
+                StageKind::Llm => p.llm.push(r),
+                StageKind::Regular => p.regular.push(r),
+                StageKind::DynamicPlaceholder => {}
+            }
+        }
+    }
+}
 
 /// Historical per-application statistics (static prior knowledge).
 #[derive(Debug, Clone, Default)]

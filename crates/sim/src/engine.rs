@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 use std::collections::HashMap;
 
 use llmsched_cluster::ClusterSpec;
-use llmsched_dag::ids::JobId;
+use llmsched_dag::ids::{JobId, StageId};
 use llmsched_dag::job::{JobSpec, StageKind};
 use llmsched_dag::template::TemplateSet;
 use llmsched_dag::time::SimTime;
@@ -37,7 +37,7 @@ use crate::event::{Event, EventQueue};
 use crate::exec::{pool, ExecCtx, ExecutorBackend, LlmTaskRef};
 use crate::latency::LatencyProfile;
 use crate::metrics::{JobOutcome, SimResult, Utilization};
-use crate::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
+use crate::scheduler::{Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
 use crate::state::{JobRt, TaskState, Visibility};
 
 /// Cluster resources and engine options.
@@ -99,6 +99,10 @@ struct Engine<'a> {
     templates: &'a TemplateSet,
     jobs: Vec<JobRt>,
     id_to_idx: HashMap<JobId, usize>,
+    /// The persistent sorted job index: dense indices of active jobs,
+    /// ascending (and dense indices ascend with `JobId`, see `simulate`).
+    /// `SchedContext::jobs` is a per-invocation reference projection of
+    /// this set; membership changes incrementally at arrivals/completions.
     active: BTreeSet<usize>,
     queue: EventQueue,
     now: SimTime,
@@ -107,10 +111,14 @@ struct Engine<'a> {
     /// Cached [`ExecutorBackend::descriptor`] (e.g. `"cluster/jsq"`),
     /// lent to scheduler contexts and moved into the result.
     backend_desc: String,
+    /// Deltas accumulated since the last scheduler invocation, delivered
+    /// (and cleared) at the next one.
+    deltas: Vec<SchedDelta>,
     outcomes: Vec<JobOutcome>,
     events: u64,
     sched_calls: u64,
     sched_wall: std::time::Duration,
+    sched_samples: Vec<std::time::Duration>,
     // Utilization integrals (executor-seconds / slot-seconds).
     last_integral_at: SimTime,
     reg_busy_integral: f64,
@@ -125,8 +133,9 @@ struct Engine<'a> {
 /// aggregate [`SimResult`].
 ///
 /// # Panics
-/// Panics if a job references a template missing from `templates`, or if
-/// the config has zero executors of a class some task requires.
+/// Panics if a job references a template missing from `templates`, if the
+/// config has zero executors of a class some task requires, or if `jobs`
+/// is not strictly ascending by [`JobId`].
 pub fn simulate(
     cfg: &ClusterConfig,
     templates: &TemplateSet,
@@ -150,6 +159,13 @@ pub fn simulate(
             j.app()
         );
     }
+    // `SchedContext::jobs` is documented ascending by `JobId` and its
+    // binary-search lookups depend on it; a hard assert (O(n), once per
+    // run) beats silently mis-resolving jobs in release builds.
+    assert!(
+        jobs.windows(2).all(|w| w[0].id() < w[1].id()),
+        "jobs must be submitted in strictly ascending JobId order"
+    );
 
     let backend_desc = llm.descriptor();
     let mut engine = Engine {
@@ -163,10 +179,12 @@ pub fn simulate(
         regular_busy: 0,
         llm,
         backend_desc,
+        deltas: Vec::new(),
         outcomes: Vec::new(),
         events: 0,
         sched_calls: 0,
         sched_wall: std::time::Duration::ZERO,
+        sched_samples: Vec::new(),
         last_integral_at: SimTime::ZERO,
         reg_busy_integral: 0.0,
         llm_slot_integral: 0.0,
@@ -177,6 +195,7 @@ pub fn simulate(
 
 impl Engine<'_> {
     fn run(&mut self, scheduler: &mut dyn Scheduler) -> SimResult {
+        scheduler.reset();
         for (i, j) in self.jobs.iter().enumerate() {
             self.queue.push(j.spec.arrival(), Event::Arrival { job: i });
         }
@@ -207,6 +226,7 @@ impl Engine<'_> {
             makespan,
             sched_calls: self.sched_calls,
             sched_wall: self.sched_wall,
+            sched_wall_samples: std::mem::take(&mut self.sched_samples),
             utilization: Utilization {
                 regular_busy_frac: self.reg_busy_integral
                     / (self.cfg.regular_executors as f64 * horizon),
@@ -233,6 +253,30 @@ impl Engine<'_> {
         self.regular_busy < self.cfg.regular_executors || pool::has_free_slot(&*self.llm)
     }
 
+    /// Appends one delta to the pending batch, coalescing consecutive
+    /// same-stage task-count deltas.
+    fn emit(&mut self, delta: SchedDelta) {
+        match (self.deltas.last_mut(), &delta) {
+            (
+                Some(SchedDelta::TasksDispatched { job, stage, count }),
+                SchedDelta::TasksDispatched {
+                    job: j,
+                    stage: s,
+                    count: c,
+                },
+            )
+            | (
+                Some(SchedDelta::TasksFinished { job, stage, count }),
+                SchedDelta::TasksFinished {
+                    job: j,
+                    stage: s,
+                    count: c,
+                },
+            ) if job == j && stage == s => *count += c,
+            _ => self.deltas.push(delta),
+        }
+    }
+
     /// Applies one event; returns whether it changed state (stale events
     /// return `false` so they do not trigger a scheduler invocation).
     fn apply(&mut self, ev: Event) -> bool {
@@ -241,6 +285,10 @@ impl Engine<'_> {
             Event::Arrival { job } => {
                 self.jobs[job].arrived = true;
                 self.active.insert(job);
+                self.emit(SchedDelta::JobArrived {
+                    job: self.jobs[job].id(),
+                    arrival: self.jobs[job].arrival(),
+                });
                 // A pathological template could start with an auto-completing
                 // placeholder; run the fixpoint for safety.
                 let roots: Vec<u32> = (0..self.jobs[job].spec.len() as u32).collect();
@@ -310,7 +358,13 @@ impl Engine<'_> {
         st.tasks[task as usize].state = TaskState::Done;
         st.tasks_running -= 1;
         st.tasks_done += 1;
-        if st.tasks_done == st.tasks.len() {
+        let stage_done = st.tasks_done == st.tasks.len();
+        self.emit(SchedDelta::TasksFinished {
+            job: self.jobs[job].id(),
+            stage: StageId(stage),
+            count: 1,
+        });
+        if stage_done {
             self.complete_stage(job, stage);
         }
         self.finalize_completions();
@@ -327,6 +381,10 @@ impl Engine<'_> {
             st.done_at = Some(self.now);
             jr.stages_remaining -= 1;
         }
+        self.emit(SchedDelta::StageCompleted {
+            job: self.jobs[job].id(),
+            stage: StageId(stage),
+        });
         // Dependents see one fewer pending predecessor.
         let succs: Vec<u32> = self.jobs[job]
             .spec
@@ -342,13 +400,23 @@ impl Engine<'_> {
         let revealed = self.jobs[job].reveals[stage as usize].clone();
         for r in revealed {
             let executed = self.jobs[job].spec.stage(r).executed;
-            let st = &mut self.jobs[job].stages[r.index()];
-            match st.vis {
+            match self.jobs[job].stages[r.index()].vis {
                 Visibility::Hidden | Visibility::Undetermined => {
+                    let id = self.jobs[job].id();
                     if executed {
-                        st.vis = Visibility::Known;
+                        self.jobs[job].stages[r.index()].vis = Visibility::Known;
+                        self.emit(SchedDelta::StageRevealed {
+                            job: id,
+                            stage: r,
+                            executes: true,
+                        });
                     } else {
-                        st.vis = Visibility::Void;
+                        self.jobs[job].stages[r.index()].vis = Visibility::Void;
+                        self.emit(SchedDelta::StageRevealed {
+                            job: id,
+                            stage: r,
+                            executes: false,
+                        });
                         self.complete_stage(job, r.0);
                     }
                 }
@@ -386,6 +454,9 @@ impl Engine<'_> {
         for j in newly {
             self.jobs[j].completed_at = Some(self.now);
             self.active.remove(&j);
+            self.emit(SchedDelta::JobCompleted {
+                job: self.jobs[j].id(),
+            });
             self.outcomes.push(JobOutcome {
                 id: self.jobs[j].id(),
                 app: self.jobs[j].app(),
@@ -396,10 +467,11 @@ impl Engine<'_> {
     }
 
     fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler) {
-        let pref = {
+        let (pref, elapsed) = {
             let ctx = SchedContext {
                 now: self.now,
                 jobs: self.active.iter().map(|&i| &self.jobs[i]).collect(),
+                deltas: &self.deltas,
                 llm_executors: pool::views(&*self.llm),
                 backend: &self.backend_desc,
                 regular_total: self.cfg.regular_executors,
@@ -407,12 +479,22 @@ impl Engine<'_> {
                 templates: self.templates,
                 latency: &self.cfg.latency,
             };
+            // The overhead window covers delta delivery + the decision —
+            // incremental policies do their bookkeeping in the hooks —
+            // but not the engine's own context projection above.
             let start = std::time::Instant::now();
+            for d in ctx.deltas {
+                scheduler.on_delta(d);
+            }
             let pref = scheduler.schedule(&ctx);
-            self.sched_wall += start.elapsed();
-            self.sched_calls += 1;
-            pref
+            (pref, start.elapsed())
         };
+        self.sched_wall += elapsed;
+        self.sched_samples.push(elapsed);
+        self.sched_calls += 1;
+        // The batch is delivered exactly once; dispatch deltas below open
+        // the next batch.
+        self.deltas.clear();
         self.dispatch(&pref);
     }
 
@@ -481,14 +563,20 @@ impl Engine<'_> {
         st.tasks_running += 1;
         let t = &mut st.tasks[tr.task as usize];
         t.state = TaskState::Running { exec: None };
+        let epoch = t.epoch;
         self.regular_busy += 1;
+        self.emit(SchedDelta::TasksDispatched {
+            job: tr.job,
+            stage: tr.stage,
+            count: 1,
+        });
         self.queue.push(
             self.now + duration,
             Event::TaskFinish {
                 job: j,
                 stage: tr.stage.0,
                 task: tr.task,
-                epoch: t.epoch,
+                epoch,
             },
         );
     }
@@ -500,6 +588,11 @@ impl Engine<'_> {
             st.tasks_running += 1;
             st.tasks[tr.task as usize].state = TaskState::Running { exec: Some(e) };
         }
+        self.emit(SchedDelta::TasksDispatched {
+            job: tr.job,
+            stage: tr.stage,
+            count: 1,
+        });
         self.llm.admit(
             e,
             LlmTaskRef {
@@ -865,6 +958,87 @@ mod tests {
         assert_eq!(res.incomplete, 0);
         // 1s plan + max(1, 3)s parallel tools = 4s.
         assert!((res.jobs[0].jct().as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_stream_reports_lifecycle_in_causal_order() {
+        use crate::scheduler::SchedDelta;
+
+        /// Greedy dispatch + a transcript of every delivered delta batch.
+        struct Recording {
+            inner: Greedy,
+            batches: Vec<Vec<SchedDelta>>,
+            pending: Vec<SchedDelta>,
+            resets: usize,
+        }
+        impl Scheduler for Recording {
+            fn name(&self) -> &str {
+                "recording"
+            }
+            fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+                // The hook-delivered batch and the context batch agree.
+                assert_eq!(self.pending.as_slice(), ctx.deltas);
+                self.batches.push(std::mem::take(&mut self.pending));
+                self.inner.schedule(ctx)
+            }
+            fn on_delta(&mut self, d: &SchedDelta) {
+                self.pending.push(*d);
+            }
+            fn reset(&mut self) {
+                self.resets += 1;
+                self.pending.clear();
+                self.batches.clear();
+            }
+        }
+
+        let (set, spec) = templates_and_job(0.0);
+        let cfg = ClusterConfig {
+            latency: flat_latency(),
+            ..Default::default()
+        };
+        let mut rec = Recording {
+            inner: Greedy,
+            batches: Vec::new(),
+            pending: Vec::new(),
+            resets: 0,
+        };
+        let res = simulate(&cfg, &set, vec![spec], &mut rec);
+        assert_eq!(res.incomplete, 0);
+        assert_eq!(rec.resets, 1, "engine resets the scheduler once at start");
+        assert_eq!(res.sched_calls as usize, rec.batches.len());
+        assert_eq!(
+            res.sched_wall_samples.len(),
+            rec.batches.len(),
+            "one overhead sample per invocation"
+        );
+
+        let flat: Vec<SchedDelta> = rec.batches.concat();
+        // Arrival first, then for the pipeline job: dispatch of the LLM
+        // stage, its finish + stage completion. The regular stage's
+        // dispatch delta — and the final TasksFinished / StageCompleted /
+        // JobCompleted — land in a batch after the last invocation and are
+        // never delivered: the sim ends without another decision point.
+        let expect = [
+            SchedDelta::JobArrived {
+                job: JobId(0),
+                arrival: SimTime::ZERO,
+            },
+            SchedDelta::TasksDispatched {
+                job: JobId(0),
+                stage: StageId(0),
+                count: 1,
+            },
+            SchedDelta::TasksFinished {
+                job: JobId(0),
+                stage: StageId(0),
+                count: 1,
+            },
+            SchedDelta::StageCompleted {
+                job: JobId(0),
+                stage: StageId(0),
+            },
+        ];
+        assert_eq!(flat, expect, "causal order of the delta stream");
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //! what a real serving frontend could (revealed structure, completed-stage
 //! durations, executor occupancy).
 //!
+//! The engine↔scheduler seam is **delta-driven**: the engine keeps a
+//! persistent sorted job index and streams
+//! [`SchedDelta`](scheduler::SchedDelta)s (arrivals, stage completions,
+//! reveals, job completions, task dispatch/finish counts) through
+//! [`Scheduler::on_delta`](scheduler::Scheduler::on_delta) before each
+//! decision point, so policies maintain persistent state instead of
+//! rebuilding their view per event. The [`incr`] module provides the
+//! standard toolkit (ordered job indices, estimate caches with
+//! delta-driven dirtiness); `DESIGN.md` §7 specifies the contract.
+//!
 //! LLM serving is pluggable: the engine drives an
 //! [`exec::ExecutorBackend`] trait object, and four backends ship
 //! (selected by [`engine::EngineMode`]): the analytic rate-rescaling
@@ -73,6 +83,7 @@
 pub mod engine;
 pub mod event;
 pub mod exec;
+pub mod incr;
 pub mod metrics;
 pub mod scheduler;
 pub mod state;
@@ -88,9 +99,12 @@ pub mod prelude {
     pub use crate::exec::{
         AnalyticExec, ClusterExec, DisaggExec, ExecutorBackend, LlmTaskRef, StepOutcome, TokenExec,
     };
+    pub use crate::incr::{DeltaIndex, EstimateCache, FiniteF64, OrderedJobs};
     pub use crate::latency::{LatencyProfile, LatencyProfileError};
-    pub use crate::metrics::{JctPercentiles, JobOutcome, SimResult, Utilization};
-    pub use crate::scheduler::{Preference, SchedContext, Scheduler, TaskRef};
+    pub use crate::metrics::{
+        JctPercentiles, JobOutcome, SchedOverheadPercentiles, SimResult, Utilization,
+    };
+    pub use crate::scheduler::{Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
     pub use crate::state::{Existence, JobRt, LlmExecutorView, StageView};
     pub use llmsched_cluster::{
         ClusterSpec, DisaggSpec, ReplicaGroup, ReplicaView, RouteRequest, Router, RoutingPolicy,

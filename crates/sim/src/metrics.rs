@@ -36,6 +36,18 @@ pub struct Utilization {
     pub llm_active_frac: f64,
 }
 
+/// Tail summary of per-invocation scheduler overhead, in milliseconds —
+/// the mean (`sched_overhead_ms`) hides invocation-time spikes (cache
+/// rebuilds, BN inference on evidence changes) that a production
+/// scheduler's p99 budget would catch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchedOverheadPercentiles {
+    /// Median per-invocation overhead.
+    pub p50_ms: f64,
+    /// 99th-percentile per-invocation overhead.
+    pub p99_ms: f64,
+}
+
 /// Tail-latency summary of a run's job completion times, in seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JctPercentiles {
@@ -63,8 +75,16 @@ pub struct SimResult {
     pub makespan: SimTime,
     /// Number of scheduler invocations.
     pub sched_calls: u64,
-    /// Total wall-clock time spent inside `Scheduler::schedule`.
+    /// Total wall-clock time spent inside the scheduler (delta delivery +
+    /// `Scheduler::schedule`).
     pub sched_wall: std::time::Duration,
+    /// Per-invocation wall-clock samples (one per scheduler invocation, in
+    /// call order) — the raw data behind
+    /// [`SimResult::sched_overhead_percentiles`]. ~16 bytes per
+    /// invocation (a 100k-job sweep holds ~1M samples ≈ 15 MB); callers
+    /// retaining many results may compute the percentiles once and
+    /// `clear()` this.
+    pub sched_wall_samples: Vec<std::time::Duration>,
     /// Executor utilization.
     pub utilization: Utilization,
     /// Number of simulation events processed.
@@ -143,6 +163,24 @@ impl SimResult {
         self.sched_wall.as_secs_f64() * 1e3 / self.sched_calls as f64
     }
 
+    /// The p50/p99 per-invocation scheduler overhead, in milliseconds
+    /// (nearest-rank over [`SimResult::sched_wall_samples`]).
+    pub fn sched_overhead_percentiles(&self) -> SchedOverheadPercentiles {
+        if self.sched_wall_samples.is_empty() {
+            return SchedOverheadPercentiles::default();
+        }
+        let mut ms: Vec<f64> = self
+            .sched_wall_samples
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        SchedOverheadPercentiles {
+            p50_ms: Self::quantile(&ms, 0.50),
+            p99_ms: Self::quantile(&ms, 0.99),
+        }
+    }
+
     /// Average JCT restricted to jobs of one application.
     pub fn avg_jct_secs_for(&self, app: AppId) -> Option<f64> {
         let v: Vec<f64> = self
@@ -180,6 +218,9 @@ mod tests {
             makespan: SimTime::from_secs_f64(10.0),
             sched_calls: 4,
             sched_wall: std::time::Duration::from_millis(2),
+            sched_wall_samples: (1..=4)
+                .map(|i| std::time::Duration::from_micros(250 * i))
+                .collect(),
             utilization: Utilization::default(),
             events: 0,
             incomplete: 0,
@@ -243,6 +284,20 @@ mod tests {
     fn overhead_per_call() {
         let r = result(vec![]);
         assert!((r.sched_overhead_ms() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_percentiles_are_nearest_rank_over_samples() {
+        // Samples 0.25/0.50/0.75/1.00 ms: nearest-rank p50 is index
+        // round(0.5 * 3) = 2 -> 0.75 ms; p99 is the last sample.
+        let r = result(vec![]);
+        let p = r.sched_overhead_percentiles();
+        assert!((p.p50_ms - 0.75).abs() < 1e-9, "p50 {}", p.p50_ms);
+        assert!((p.p99_ms - 1.0).abs() < 1e-9, "p99 {}", p.p99_ms);
+
+        let mut empty = result(vec![]);
+        empty.sched_wall_samples.clear();
+        assert_eq!(empty.sched_overhead_percentiles(), Default::default());
     }
 
     #[test]

@@ -9,6 +9,94 @@ use llmsched_dag::time::SimTime;
 use crate::latency::LatencyProfile;
 use crate::state::{JobRt, LlmExecutorView};
 
+/// One incremental state change, emitted by the engine between scheduler
+/// invocations.
+///
+/// Deltas are the contract that lets policies keep *persistent* state
+/// (sorted job indices, cached estimates, Bayesian beliefs) instead of
+/// rebuilding their view of the cluster from scratch at every decision
+/// point. The engine accumulates deltas while it applies events and
+/// delivers the whole batch — in emission order — through
+/// [`Scheduler::on_delta`] immediately before the next
+/// [`Scheduler::schedule`] call; the same batch is visible as
+/// [`SchedContext::deltas`]. See `DESIGN.md` §7 for the full ordering and
+/// coalescing guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedDelta {
+    /// A job arrived and is now schedulable.
+    JobArrived {
+        /// The job.
+        job: JobId,
+        /// Its arrival time.
+        arrival: SimTime,
+    },
+    /// A stage completed (executed to completion, voided, or a placeholder
+    /// auto-completing). Completed-stage durations — the Bayesian evidence —
+    /// can only change under one of these deltas.
+    StageCompleted {
+        /// The job.
+        job: JobId,
+        /// The completed stage.
+        stage: StageId,
+    },
+    /// A stage's existence was revealed (hidden generated stage became
+    /// known, or an undetermined padded stage resolved). Visibility — and
+    /// therefore any cached topology feature — can only change under one
+    /// of these deltas.
+    StageRevealed {
+        /// The job.
+        job: JobId,
+        /// The revealed stage.
+        stage: StageId,
+        /// True if the stage will execute; false if it voided.
+        executes: bool,
+    },
+    /// A job finished all stages and left the active set. Per-job scheduler
+    /// state may be evicted deterministically on this delta; no further
+    /// deltas for the job will follow.
+    JobCompleted {
+        /// The job.
+        job: JobId,
+    },
+    /// The engine started `count` tasks of one stage from the previous
+    /// invocation's preference lists. Consecutive same-stage dispatches are
+    /// coalesced.
+    TasksDispatched {
+        /// The job.
+        job: JobId,
+        /// The stage whose tasks started.
+        stage: StageId,
+        /// Number of tasks started.
+        count: u32,
+    },
+    /// `count` running tasks of one stage finished (the stage itself may
+    /// still be incomplete). Together with [`SchedDelta::TasksDispatched`]
+    /// this keeps per-job running-task counts reconstructible without
+    /// scanning. Consecutive same-stage finishes are coalesced.
+    TasksFinished {
+        /// The job.
+        job: JobId,
+        /// The stage whose tasks finished.
+        stage: StageId,
+        /// Number of tasks finished.
+        count: u32,
+    },
+}
+
+impl SchedDelta {
+    /// The job this delta concerns.
+    pub fn job(&self) -> JobId {
+        match *self {
+            SchedDelta::JobArrived { job, .. }
+            | SchedDelta::StageCompleted { job, .. }
+            | SchedDelta::StageRevealed { job, .. }
+            | SchedDelta::JobCompleted { job }
+            | SchedDelta::TasksDispatched { job, .. }
+            | SchedDelta::TasksFinished { job, .. } => job,
+        }
+    }
+}
+
 /// Reference to one schedulable task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TaskRef {
@@ -101,13 +189,20 @@ impl Preference {
 
 /// Everything a scheduler may consult at a decision point.
 ///
-/// Lifetimes borrow from the engine; the context is rebuilt per invocation.
+/// Lifetimes borrow from the engine. The `jobs` slice is projected from the
+/// engine's persistent sorted job index (an ordered set of active jobs, kept
+/// incrementally across events); only the reference vector is collected per
+/// invocation — policies that maintain their own state via
+/// [`SchedContext::deltas`] / [`Scheduler::on_delta`] need not rescan it.
 #[derive(Debug)]
 pub struct SchedContext<'a> {
     /// Current simulation time.
     pub now: SimTime,
     /// Active (arrived, incomplete) jobs, ascending by `JobId`.
     pub jobs: Vec<&'a JobRt>,
+    /// State changes since the previous scheduler invocation, in emission
+    /// order (the same batch delivered through [`Scheduler::on_delta`]).
+    pub deltas: &'a [SchedDelta],
     /// LLM executor occupancy, as reported by the active
     /// [`ExecutorBackend`](crate::exec::ExecutorBackend).
     pub llm_executors: Vec<LlmExecutorView>,
@@ -144,9 +239,16 @@ impl SchedContext<'_> {
         crate::state::average_busy_batch(&self.llm_executors)
     }
 
-    /// Looks up an active job by id.
+    /// Looks up an active job by id. `jobs` is ascending by `JobId`, so
+    /// this is a binary search.
     pub fn job(&self, id: JobId) -> Option<&JobRt> {
-        self.jobs.iter().find(|j| j.id() == id).copied()
+        self.job_index(id).map(|i| self.jobs[i])
+    }
+
+    /// The position of an active job within [`SchedContext::jobs`], found
+    /// by binary search over the ascending `JobId` order.
+    pub fn job_index(&self, id: JobId) -> Option<usize> {
+        self.jobs.binary_search_by(|j| j.id().cmp(&id)).ok()
     }
 }
 
@@ -163,6 +265,22 @@ pub trait Scheduler {
 
     /// Produces scheduling preferences for the current cluster state.
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference;
+
+    /// Observes one state change. The engine delivers the pending delta
+    /// batch in emission order immediately before each [`Scheduler::schedule`]
+    /// call; stateless policies may ignore it (the default is a no-op).
+    ///
+    /// Wrapper schedulers (recorders, probes) MUST forward this hook to
+    /// their inner policy, or the inner policy's persistent state goes
+    /// silently stale.
+    fn on_delta(&mut self, delta: &SchedDelta) {
+        let _ = delta;
+    }
+
+    /// Clears all persistent state. Called by the engine once at the start
+    /// of every simulation, so a scheduler instance can be reused across
+    /// runs. The default is a no-op.
+    fn reset(&mut self) {}
 }
 
 /// Blanket impl so `Box<dyn Scheduler>` is itself a scheduler — lets the
@@ -174,6 +292,14 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         (**self).schedule(ctx)
+    }
+
+    fn on_delta(&mut self, delta: &SchedDelta) {
+        (**self).on_delta(delta)
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
     }
 }
 
@@ -235,6 +361,52 @@ mod tests {
         let mut p = Preference::new();
         p.push_stage_sample(&job, StageId(0), 5.0);
         assert_eq!(p.regular.len(), 10); // clamped to all
+    }
+
+    #[test]
+    fn job_lookup_binary_searches_the_ascending_list() {
+        let mut b = TemplateBuilder::new(AppId(0), "wide");
+        let s = b.regular("wide");
+        b.typical_tasks(s, 1);
+        let t = b.build().unwrap();
+        let jobs: Vec<crate::state::JobRt> = [2u64, 5, 9]
+            .iter()
+            .map(|&id| {
+                let spec = JobSpec::new(
+                    JobId(id),
+                    &t,
+                    SimTime::ZERO,
+                    vec![StageSpec::executing(
+                        "wide",
+                        StageKind::Regular,
+                        vec![TaskWork::Regular {
+                            duration: SimDuration::from_secs(1),
+                        }],
+                    )],
+                    vec![],
+                )
+                .unwrap();
+                crate::state::JobRt::new(spec)
+            })
+            .collect();
+        let latency = crate::latency::LatencyProfile::default();
+        let templates: TemplateSet = std::iter::empty().collect();
+        let ctx = SchedContext {
+            now: SimTime::ZERO,
+            jobs: jobs.iter().collect(),
+            deltas: &[],
+            llm_executors: vec![],
+            backend: "analytic",
+            regular_total: 1,
+            regular_busy: 0,
+            templates: &templates,
+            latency: &latency,
+        };
+        assert_eq!(ctx.job(JobId(5)).map(|j| j.id()), Some(JobId(5)));
+        assert_eq!(ctx.job_index(JobId(9)), Some(2));
+        assert_eq!(ctx.job_index(JobId(2)), Some(0));
+        assert!(ctx.job(JobId(4)).is_none());
+        assert!(ctx.job(JobId(100)).is_none());
     }
 
     #[test]

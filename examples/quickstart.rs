@@ -43,7 +43,7 @@ fn main() {
     let mut results = Vec::new();
 
     let w = make_workload();
-    let mut fcfs = Fcfs;
+    let mut fcfs = Fcfs::new();
     results.push(simulate(&cluster, &w.templates, w.jobs, &mut fcfs));
 
     let w = make_workload();

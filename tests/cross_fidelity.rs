@@ -47,6 +47,15 @@ impl<S: Scheduler> Scheduler for RevealRecorder<S> {
         }
         self.inner.schedule(ctx)
     }
+
+    // Wrappers must keep the inner policy on the delta stream.
+    fn on_delta(&mut self, d: &SchedDelta) {
+        self.inner.on_delta(d);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
 }
 
 /// Runs `kind` under FCFS on one backend, returning the result and the
@@ -60,7 +69,7 @@ fn run_recorded(
     let w = generate_workload(kind, n_jobs, 0.9, seed);
     let mut cfg = kind.default_cluster();
     cfg.mode = mode;
-    let mut sched = RevealRecorder::new(Fcfs);
+    let mut sched = RevealRecorder::new(Fcfs::new());
     let r = simulate(&cfg, &w.templates, w.jobs, &mut sched);
     (r, sched.seen)
 }

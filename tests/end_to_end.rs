@@ -21,11 +21,11 @@ fn every_policy_completes_every_mix() {
     let (_, profiler, priors) = artifacts();
     for kind in WorkloadKind::ALL {
         let mut policies: Vec<Box<dyn Scheduler>> = vec![
-            Box::new(Fcfs),
-            Box::new(Fair),
+            Box::new(Fcfs::new()),
+            Box::new(Fair::new()),
             Box::new(Sjf::new(priors.clone())),
             Box::new(Srtf::new(priors.clone())),
-            Box::new(Argus),
+            Box::new(Argus::new()),
             Box::new(DecimaLike::new(priors.clone())),
             Box::new(CarbyneLike::new(priors.clone())),
             Box::new(LlmSched::new(profiler.clone(), LlmSchedConfig::default())),
@@ -101,9 +101,9 @@ fn llmsched_beats_job_agnostic_baselines_on_mixed() {
     // beats arrival-order and fairness policies on the mixed workload.
     let (_, profiler, _) = artifacts();
     let n = 80;
-    let mut fcfs = Fcfs;
+    let mut fcfs = Fcfs::new();
     let fcfs_jct = run(WorkloadKind::Mixed, &mut fcfs, n, 5).avg_jct_secs();
-    let mut fair = Fair;
+    let mut fair = Fair::new();
     let fair_jct = run(WorkloadKind::Mixed, &mut fair, n, 5).avg_jct_secs();
     let mut ours = LlmSched::new(profiler, LlmSchedConfig::default());
     let ours_jct = run(WorkloadKind::Mixed, &mut ours, n, 5).avg_jct_secs();

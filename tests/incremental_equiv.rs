@@ -1,0 +1,189 @@
+//! Incremental ≡ rebuild equivalence: the delta-driven scheduling core
+//! must produce **bit-identical** schedules to the rebuild-per-call
+//! reference path — same engine event count, same completion set with the
+//! same completion times, same average JCT — for LLMSched and every
+//! baseline, on every workload mix, on all four executor backends.
+//!
+//! This is the invariant that makes the incremental refactor safe: the
+//! persistent indices and beliefs are an *optimization*, never a policy
+//! change.
+
+use std::sync::OnceLock;
+
+use llmsched::prelude::*;
+
+fn artifacts() -> &'static (Profiler, AppPriors) {
+    static ART: OnceLock<(Profiler, AppPriors)> = OnceLock::new();
+    ART.get_or_init(|| {
+        let templates = all_templates();
+        let corpus = training_jobs(&AppKind::ALL, 60, 1);
+        let cfg = ProfilerConfig::default();
+        let profiler = Profiler::train(&templates, &corpus, &cfg);
+        let priors = AppPriors::from_training(&corpus, cfg.per_token_b1);
+        (profiler, priors)
+    })
+}
+
+const POLICIES: [&str; 8] = [
+    "FCFS", "SJF", "Fair", "Argus", "Decima", "Carbyne", "SRTF", "LLMSched",
+];
+
+fn build(policy: &str, rebuild: bool) -> Box<dyn Scheduler> {
+    let (profiler, priors) = artifacts();
+    let llmsched = |use_bn: bool, use_uncertainty: bool| {
+        Box::new(LlmSched::new(
+            profiler.clone(),
+            LlmSchedConfig {
+                use_bn,
+                use_uncertainty,
+                incremental: !rebuild,
+                ..LlmSchedConfig::default()
+            },
+        ))
+    };
+    match (policy, rebuild) {
+        ("FCFS", false) => Box::new(Fcfs::new()),
+        ("FCFS", true) => Box::new(Fcfs::rebuild()),
+        ("SJF", false) => Box::new(Sjf::new(priors.clone())),
+        ("SJF", true) => Box::new(Sjf::rebuild(priors.clone())),
+        ("Fair", false) => Box::new(Fair::new()),
+        ("Fair", true) => Box::new(Fair::rebuild()),
+        ("Argus", false) => Box::new(Argus::new()),
+        ("Argus", true) => Box::new(Argus::rebuild()),
+        ("Decima", false) => Box::new(DecimaLike::new(priors.clone())),
+        ("Decima", true) => Box::new(DecimaLike::rebuild(priors.clone())),
+        ("Carbyne", false) => Box::new(CarbyneLike::new(priors.clone())),
+        ("Carbyne", true) => Box::new(CarbyneLike::rebuild(priors.clone())),
+        ("SRTF", false) => Box::new(Srtf::new(priors.clone())),
+        ("SRTF", true) => Box::new(Srtf::rebuild(priors.clone())),
+        ("LLMSched", _) => llmsched(true, true),
+        ("LLMSched w/o BN", _) => llmsched(false, true),
+        ("LLMSched w/o uncertainty", _) => llmsched(true, false),
+        _ => unreachable!("unknown policy {policy}"),
+    }
+}
+
+fn run(kind: WorkloadKind, mode: EngineMode, policy: &str, rebuild: bool, seed: u64) -> SimResult {
+    let w = generate_workload(kind, 10, 0.9, seed);
+    let mut cfg = kind.default_cluster();
+    cfg.mode = mode;
+    let mut sched = build(policy, rebuild);
+    simulate(&cfg, &w.templates, w.jobs, &mut sched)
+}
+
+fn assert_equiv(inc: &SimResult, reb: &SimResult, label: &str) {
+    assert_eq!(inc.events, reb.events, "{label}: engine event counts");
+    assert_eq!(inc.makespan, reb.makespan, "{label}: makespans");
+    assert_eq!(inc.incomplete, reb.incomplete, "{label}: stranded jobs");
+    let completions = |r: &SimResult| {
+        let mut v: Vec<_> = r.jobs.iter().map(|j| (j.id, j.completion)).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        completions(inc),
+        completions(reb),
+        "{label}: completion sets"
+    );
+    // Identical outcomes imply an identical mean, but assert the metric
+    // the paper reports explicitly (exact equality: same f64 inputs).
+    assert_eq!(inc.avg_jct_secs(), reb.avg_jct_secs(), "{label}: avg JCT");
+}
+
+/// The full matrix: every policy × every workload mix × all four executor
+/// backends, one fixed seed.
+#[test]
+fn every_policy_every_mix_every_backend() {
+    let modes = [
+        EngineMode::Analytic,
+        EngineMode::TokenLevel,
+        EngineMode::Cluster,
+        EngineMode::Disagg,
+    ];
+    for kind in WorkloadKind::ALL {
+        for mode in modes {
+            for policy in POLICIES {
+                let inc = run(kind, mode, policy, false, 11);
+                let reb = run(kind, mode, policy, true, 11);
+                let label = format!("{policy} / {} / {:?}", kind.name(), mode);
+                assert_equiv(&inc, &reb, &label);
+            }
+        }
+    }
+}
+
+/// The incremental path must also observe hidden structure in the same
+/// order: a recording wrapper diffs each job's visible stage set per
+/// invocation and the per-job reveal sequences must match the rebuild
+/// path's exactly.
+#[test]
+fn reveal_orders_are_identical() {
+    use std::collections::HashMap;
+
+    struct RevealRecorder {
+        inner: Box<dyn Scheduler>,
+        seen: HashMap<JobId, Vec<StageId>>,
+    }
+    impl Scheduler for RevealRecorder {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+            for job in &ctx.jobs {
+                let rec = self.seen.entry(job.id()).or_default();
+                for s in job.visible_stage_ids() {
+                    if !rec.contains(&s) {
+                        rec.push(s);
+                    }
+                }
+            }
+            self.inner.schedule(ctx)
+        }
+        fn on_delta(&mut self, d: &SchedDelta) {
+            self.inner.on_delta(d);
+        }
+        fn reset(&mut self) {
+            self.inner.reset();
+        }
+    }
+
+    for kind in [WorkloadKind::Planning, WorkloadKind::ChainLike] {
+        let run = |rebuild: bool| {
+            let w = generate_workload(kind, 12, 0.9, 29);
+            let mut rec = RevealRecorder {
+                inner: build("LLMSched", rebuild),
+                seen: HashMap::new(),
+            };
+            let r = simulate(&kind.default_cluster(), &w.templates, w.jobs, &mut rec);
+            (r, rec.seen)
+        };
+        let (ri, seen_i) = run(false);
+        let (rr, seen_r) = run(true);
+        assert_equiv(&ri, &rr, &format!("LLMSched reveals / {}", kind.name()));
+        assert_eq!(seen_i, seen_r, "{}: reveal orders diverged", kind.name());
+    }
+}
+
+/// Extra analytic-backend seed sweep, including the LLMSched ablation
+/// variants (the exploration machinery exercises the interval index and
+/// memoized reductions hardest).
+#[test]
+fn analytic_seed_sweep_with_ablations() {
+    let policies = [
+        "LLMSched",
+        "LLMSched w/o BN",
+        "LLMSched w/o uncertainty",
+        "SRTF",
+        "Carbyne",
+    ];
+    for kind in WorkloadKind::ALL {
+        for seed in [7u64, 42, 1234] {
+            for policy in policies {
+                let inc = run(kind, EngineMode::Analytic, policy, false, seed);
+                let reb = run(kind, EngineMode::Analytic, policy, true, seed);
+                let label = format!("{policy} / {} / seed {seed}", kind.name());
+                assert_equiv(&inc, &reb, &label);
+            }
+        }
+    }
+}

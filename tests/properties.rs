@@ -35,7 +35,12 @@ fn simulator_conservation() {
                 )
             })
             .collect();
-        let r = simulate(&kind.default_cluster(), &w.templates, w.jobs, &mut Fcfs);
+        let r = simulate(
+            &kind.default_cluster(),
+            &w.templates,
+            w.jobs,
+            &mut Fcfs::new(),
+        );
         assert_eq!(r.incomplete, 0, "case {case}: stranded jobs");
         assert_eq!(r.jobs.len(), n_jobs, "case {case}: wrong completion count");
         for o in &r.jobs {
@@ -66,10 +71,10 @@ fn engines_complete_identically() {
         let (kind, n_jobs, seed) = small_workload(&mut rng);
         let mut cfg = kind.default_cluster();
         let w = generate_workload(kind, n_jobs, 0.9, seed);
-        let a = simulate(&cfg, &w.templates, w.jobs, &mut Fcfs);
+        let a = simulate(&cfg, &w.templates, w.jobs, &mut Fcfs::new());
         cfg.mode = EngineMode::TokenLevel;
         let w = generate_workload(kind, n_jobs, 0.9, seed);
-        let t = simulate(&cfg, &w.templates, w.jobs, &mut Fcfs);
+        let t = simulate(&cfg, &w.templates, w.jobs, &mut Fcfs::new());
         assert_eq!(
             a.jobs.len(),
             t.jobs.len(),
@@ -132,6 +137,7 @@ fn llmsched_preferences_are_valid() {
         let ctx = SchedContext {
             now: SimTime::ZERO,
             jobs: jobs.iter().collect(),
+            deltas: &[],
             llm_executors: vec![LlmExecutorView {
                 index: 0,
                 batch_len: 0,
