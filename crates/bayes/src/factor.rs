@@ -63,6 +63,12 @@ impl Factor {
         &self.values
     }
 
+    /// Mutable raw values — for the online learner's in-place CPT column
+    /// renormalization (crate-internal; the table shape never changes).
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
     /// Number of table entries.
     pub fn len(&self) -> usize {
         self.values.len()

@@ -10,6 +10,9 @@
 //!   BIC hill-climbing and Chow-Liu);
 //! * [`network`] — CPT fitting with Laplace smoothing, exact
 //!   variable-elimination inference, ancestral sampling;
+//! * [`online`] — streaming parameter learning: per-family
+//!   sufficient-statistic counters, O(1) CPT updates per observation, and
+//!   the drift trigger that schedules structure re-learns;
 //! * [`factor`] — the underlying discrete-factor algebra;
 //! * [`info`] — Shannon entropy (Eq. 3), binary entropy (Eq. 4 terms) and
 //!   mutual information (Eq. 5);
@@ -54,6 +57,7 @@ pub mod discretize;
 pub mod factor;
 pub mod info;
 pub mod network;
+pub mod online;
 pub mod stats;
 pub mod structure;
 
@@ -64,6 +68,7 @@ pub mod prelude {
     pub use crate::factor::{eliminate_to_joint, Factor};
     pub use crate::info::{binary_entropy, entropy, mutual_information};
     pub use crate::network::{BayesNet, BayesNetError, Evidence};
+    pub use crate::online::{OnlineNet, OnlineNetConfig, SuffStats};
     pub use crate::stats::{mean, pearson, pearson_matrix, range, std_dev, variance, Histogram};
     pub use crate::structure::{empirical_mi, family_bic, learn_chow_liu, learn_order_hill_climb};
 }

@@ -77,56 +77,15 @@ impl BayesNet {
         }
 
         let mut cpts = Vec::with_capacity(n);
-        for v in 0..n {
-            // Scope = sorted(parents ∪ {v}).
-            let mut scope: Vec<usize> = parents[v].clone();
-            scope.push(v);
-            scope.sort_unstable();
-            scope.dedup();
-            let scard: Vec<usize> = scope.iter().map(|&s| card[s]).collect();
-            let size: usize = scard.iter().product();
-
+        for (v, ps) in parents.iter().enumerate() {
+            let fam = FamilyLayout::new(v, ps, &card);
             // Count joint occurrences over the scope.
-            let mut counts = vec![0.0f64; size];
-            let strides = strides_of(&scard);
+            let mut counts = vec![0.0f64; fam.size()];
             for row in data.rows() {
-                let mut idx = 0;
-                for (k, &s) in scope.iter().enumerate() {
-                    idx += row[s] * strides[k];
-                }
-                counts[idx] += 1.0;
+                counts[fam.index_of(row)] += 1.0;
             }
-
-            // Normalize per parent assignment: P(v | parents).
-            let vpos = scope.iter().position(|&s| s == v).expect("v in scope");
-            let vcard = card[v];
-            let mut values = vec![0.0f64; size];
-            // Iterate over parent assignments by fixing all non-v positions.
-            let outer: usize = size / vcard;
-            let mut assign = vec![0usize; scope.len()];
-            for o in 0..outer {
-                // Decode `o` over the scope minus v (same order).
-                let mut rem = o;
-                for k in (0..scope.len()).rev() {
-                    if k == vpos {
-                        continue;
-                    }
-                    assign[k] = rem % scard[k];
-                    rem /= scard[k];
-                }
-                let mut total = 0.0;
-                for val in 0..vcard {
-                    assign[vpos] = val;
-                    let idx: usize = assign.iter().zip(&strides).map(|(&a, &s)| a * s).sum();
-                    total += counts[idx];
-                }
-                for val in 0..vcard {
-                    assign[vpos] = val;
-                    let idx: usize = assign.iter().zip(&strides).map(|(&a, &s)| a * s).sum();
-                    values[idx] = (counts[idx] + alpha) / (total + alpha * vcard as f64);
-                }
-            }
-            cpts.push(Factor::new(scope, scard, values));
+            let values = fam.normalize(&counts, alpha);
+            cpts.push(Factor::new(fam.scope, fam.scard, values));
         }
         Ok(BayesNet {
             card,
@@ -257,24 +216,150 @@ impl BayesNet {
         out
     }
 
+    /// log₂-likelihood of one complete observation row under the network.
+    ///
+    /// # Panics
+    /// Panics if the row arity differs from the network's.
+    pub fn row_log2_likelihood(&self, row: &[usize]) -> f64 {
+        assert_eq!(row.len(), self.n_vars(), "row arity mismatch");
+        let mut total = 0.0;
+        for v in 0..self.n_vars() {
+            let mut f = self.cpts[v].clone();
+            for &p in &self.parents[v] {
+                f = f.reduce(p, row[p]);
+            }
+            total += f.values()[row[v]].max(1e-300).log2();
+        }
+        total
+    }
+
     /// Average log₂-likelihood per row of `data` under the network
-    /// (diagnostic for structure-learning tests).
+    /// (diagnostic for structure-learning tests and the online drift
+    /// trigger's baseline).
     ///
     /// # Panics
     /// Panics if the data arity differs from the network's.
     pub fn mean_log2_likelihood(&self, data: &DiscreteData) -> f64 {
         assert_eq!(data.n_vars(), self.n_vars(), "data arity mismatch");
-        let mut total = 0.0;
-        for row in data.rows() {
-            for v in 0..self.n_vars() {
-                let mut f = self.cpts[v].clone();
-                for &p in &self.parents[v] {
-                    f = f.reduce(p, row[p]);
+        let total: f64 = data
+            .rows()
+            .iter()
+            .map(|row| self.row_log2_likelihood(row))
+            .sum();
+        total / data.n_rows().max(1) as f64
+    }
+
+    /// Mutable access to variable `v`'s CPT — for the online learner's
+    /// in-place column updates (crate-internal).
+    pub(crate) fn cpt_mut(&mut self, v: usize) -> &mut Factor {
+        &mut self.cpts[v]
+    }
+
+    /// Variable `v`'s CPT (crate-internal; the online learner reads table
+    /// entries directly through the shared family layout).
+    pub(crate) fn cpt(&self, v: usize) -> &Factor {
+        &self.cpts[v]
+    }
+}
+
+/// The table layout of one CPT family: `scope = sorted(parents ∪ {v})`,
+/// row-major with the last scope variable fastest — shared by
+/// [`BayesNet::fit`] and the online sufficient-statistic counters so batch
+/// and streaming parameter learning agree bit-for-bit.
+#[derive(Debug, Clone)]
+pub(crate) struct FamilyLayout {
+    /// Sorted, de-duplicated scope.
+    pub(crate) scope: Vec<usize>,
+    /// Cardinalities aligned with `scope`.
+    pub(crate) scard: Vec<usize>,
+    /// Strides aligned with `scope` (last variable stride 1).
+    strides: Vec<usize>,
+    /// Position of `var` within `scope`.
+    vpos: usize,
+}
+
+impl FamilyLayout {
+    pub(crate) fn new(var: usize, parents: &[usize], card: &[usize]) -> Self {
+        let mut scope: Vec<usize> = parents.to_vec();
+        scope.push(var);
+        scope.sort_unstable();
+        scope.dedup();
+        let scard: Vec<usize> = scope.iter().map(|&s| card[s]).collect();
+        let strides = strides_of(&scard);
+        let vpos = scope.iter().position(|&s| s == var).expect("var in scope");
+        FamilyLayout {
+            scope,
+            scard,
+            strides,
+            vpos,
+        }
+    }
+
+    /// Number of count/value table entries.
+    pub(crate) fn size(&self) -> usize {
+        self.scard.iter().product()
+    }
+
+    /// Flat table index of one full observation row.
+    pub(crate) fn index_of(&self, row: &[usize]) -> usize {
+        self.scope
+            .iter()
+            .zip(&self.strides)
+            .map(|(&s, &st)| row[s] * st)
+            .sum()
+    }
+
+    /// Flat index of the first entry (child value 0) of the column `row`
+    /// falls into, plus the child's stride — the column is
+    /// `base + val * stride` for `val in 0..vcard`.
+    pub(crate) fn column_of(&self, row: &[usize]) -> (usize, usize) {
+        let base: usize = self
+            .scope
+            .iter()
+            .zip(&self.strides)
+            .enumerate()
+            .map(|(k, (&s, &st))| if k == self.vpos { 0 } else { row[s] * st })
+            .sum();
+        (base, self.strides[self.vpos])
+    }
+
+    /// Cardinality of the child variable.
+    pub(crate) fn vcard(&self) -> usize {
+        self.scard[self.vpos]
+    }
+
+    /// Normalizes a count table into CPT values `P(v | parents)` with
+    /// Laplace smoothing `alpha`, per parent assignment.
+    pub(crate) fn normalize(&self, counts: &[f64], alpha: f64) -> Vec<f64> {
+        let size = self.size();
+        assert_eq!(counts.len(), size, "count table size mismatch");
+        let vcard = self.vcard();
+        let mut values = vec![0.0f64; size];
+        let outer = size / vcard;
+        let mut assign = vec![0usize; self.scope.len()];
+        for o in 0..outer {
+            // Decode `o` over the scope minus v (same order).
+            let mut rem = o;
+            for k in (0..self.scope.len()).rev() {
+                if k == self.vpos {
+                    continue;
                 }
-                total += f.values()[row[v]].max(1e-300).log2();
+                assign[k] = rem % self.scard[k];
+                rem /= self.scard[k];
+            }
+            let mut total = 0.0;
+            for val in 0..vcard {
+                assign[self.vpos] = val;
+                let idx: usize = assign.iter().zip(&self.strides).map(|(&a, &s)| a * s).sum();
+                total += counts[idx];
+            }
+            for val in 0..vcard {
+                assign[self.vpos] = val;
+                let idx: usize = assign.iter().zip(&self.strides).map(|(&a, &s)| a * s).sum();
+                values[idx] = (counts[idx] + alpha) / (total + alpha * vcard as f64);
             }
         }
-        total / data.n_rows().max(1) as f64
+        values
     }
 }
 

@@ -1,0 +1,503 @@
+//! Streaming Bayesian parameter learning: per-family sufficient-statistic
+//! counters with O(1)-per-observation CPT updates, plus a cheap
+//! log-likelihood drift trigger that recommends structure re-learning only
+//! when the data has actually moved.
+//!
+//! Batch fitting ([`BayesNet::fit`]) counts joint family occurrences over
+//! a full dataset and normalizes once. [`SuffStats`] keeps exactly those
+//! count tables alive between observations, so absorbing one new row is
+//! one counter increment plus one column renormalization per family —
+//! no retraining pass over historical data. Both paths share the
+//! family-table layout, so a network streamed one row at a time is
+//! **bit-identical** to one fitted on the same rows in batch (pinned by
+//! tests).
+//!
+//! [`OnlineNet`] packages the counters with a live [`BayesNet`], a bounded
+//! row window for structure re-learning, and a BIC-flavored drift
+//! detector: it tracks an EWMA of per-row log₂-likelihood against the
+//! baseline recorded at the last (re)fit. A sustained drop means the
+//! current structure+parameters explain incoming data measurably worse —
+//! the "BIC delta" of keeping the stale model — and only then is the
+//! expensive hill-climb re-learn recommended.
+
+use std::collections::VecDeque;
+
+use crate::dataset::DiscreteData;
+use crate::network::{BayesNet, BayesNetError, FamilyLayout};
+use crate::structure::learn_order_hill_climb;
+
+/// Per-family sufficient statistics for a fixed structure: the same count
+/// tables [`BayesNet::fit`] builds, kept alive for streaming updates.
+#[derive(Debug, Clone)]
+pub struct SuffStats {
+    card: Vec<usize>,
+    parents: Vec<Vec<usize>>,
+    layouts: Vec<FamilyLayout>,
+    counts: Vec<Vec<f64>>,
+    n_obs: u64,
+}
+
+impl SuffStats {
+    /// Empty counters for the given structure.
+    ///
+    /// # Errors
+    /// Returns [`BayesNetError`] if the parent structure is malformed
+    /// (validated by fitting a zero-count network).
+    pub fn new(card: Vec<usize>, parents: Vec<Vec<usize>>) -> Result<Self, BayesNetError> {
+        // Validate structure via a zero-row batch fit (cheap, reuses the
+        // canonical checks).
+        let empty = DiscreteData::new(Vec::new(), card.clone())
+            .map_err(|_| BayesNetError::ArityMismatch)?;
+        BayesNet::fit(&empty, parents.clone(), 1.0)?;
+        let layouts: Vec<FamilyLayout> = (0..card.len())
+            .map(|v| FamilyLayout::new(v, &parents[v], &card))
+            .collect();
+        let counts = layouts.iter().map(|l| vec![0.0f64; l.size()]).collect();
+        Ok(SuffStats {
+            card,
+            parents,
+            layouts,
+            counts,
+            n_obs: 0,
+        })
+    }
+
+    /// Counters pre-filled from a dataset (the batch starting point).
+    ///
+    /// # Errors
+    /// Returns [`BayesNetError`] if the structure is malformed.
+    ///
+    /// # Panics
+    /// Panics if a data row's arity differs from `card`'s.
+    pub fn from_data(data: &DiscreteData, parents: Vec<Vec<usize>>) -> Result<Self, BayesNetError> {
+        let mut s = SuffStats::new(data.cardinalities().to_vec(), parents)?;
+        for row in data.rows() {
+            s.observe(row);
+        }
+        Ok(s)
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.card.len()
+    }
+
+    /// Observations absorbed so far.
+    pub fn n_obs(&self) -> u64 {
+        self.n_obs
+    }
+
+    /// The structure the counters are conditioned on.
+    pub fn parents(&self) -> &[Vec<usize>] {
+        &self.parents
+    }
+
+    /// Absorbs one complete observation row: one counter increment per
+    /// family.
+    ///
+    /// # Panics
+    /// Panics if the row arity or a value is out of range.
+    pub fn observe(&mut self, row: &[usize]) {
+        assert_eq!(row.len(), self.n_vars(), "row arity mismatch");
+        for (v, &x) in row.iter().enumerate() {
+            assert!(x < self.card[v], "value out of range for variable {v}");
+        }
+        for (layout, counts) in self.layouts.iter().zip(&mut self.counts) {
+            counts[layout.index_of(row)] += 1.0;
+        }
+        self.n_obs += 1;
+    }
+
+    /// Fits a network from the current counters — bit-identical to
+    /// [`BayesNet::fit`] on the same rows (shared layout + normalization).
+    pub fn fit(&self, alpha: f64) -> BayesNet {
+        let empty = DiscreteData::new(Vec::new(), self.card.clone()).expect("validated card");
+        let mut net =
+            BayesNet::fit(&empty, self.parents.clone(), alpha).expect("validated structure");
+        for (v, layout) in self.layouts.iter().enumerate() {
+            let values = layout.normalize(&self.counts[v], alpha);
+            net.cpt_mut(v).values_mut().copy_from_slice(&values);
+        }
+        net
+    }
+
+    /// log₂-likelihood of one complete row under `net`, read off the CPT
+    /// tables through the shared family layout — no factor clones or
+    /// reductions, unlike the general-purpose
+    /// [`BayesNet::row_log2_likelihood`]. This is the streaming hot path
+    /// (every absorbed observation is scored for the drift signal).
+    ///
+    /// # Panics
+    /// Panics if `net` was fitted under a different structure or arity.
+    pub fn row_log2_likelihood(&self, net: &BayesNet, row: &[usize]) -> f64 {
+        assert_eq!(net.n_vars(), self.n_vars(), "network arity mismatch");
+        assert_eq!(net.parents(), self.parents.as_slice(), "structure mismatch");
+        self.layouts
+            .iter()
+            .enumerate()
+            .map(|(v, layout)| net.cpt(v).values()[layout.index_of(row)].max(1e-300).log2())
+            .sum()
+    }
+
+    /// Renormalizes, in `net`, exactly the CPT columns `row` touched —
+    /// the O(1)-per-family half of a streaming update. Call after
+    /// [`SuffStats::observe`] on the same row.
+    ///
+    /// # Panics
+    /// Panics if `net` was fitted under a different structure or arity.
+    pub fn update_columns(&self, net: &mut BayesNet, row: &[usize], alpha: f64) {
+        assert_eq!(net.n_vars(), self.n_vars(), "network arity mismatch");
+        assert_eq!(net.parents(), self.parents.as_slice(), "structure mismatch");
+        for (v, layout) in self.layouts.iter().enumerate() {
+            let (base, stride) = layout.column_of(row);
+            let vcard = layout.vcard();
+            let counts = &self.counts[v];
+            let mut total = 0.0;
+            for val in 0..vcard {
+                total += counts[base + val * stride];
+            }
+            let values = net.cpt_mut(v).values_mut();
+            for val in 0..vcard {
+                let idx = base + val * stride;
+                values[idx] = (counts[idx] + alpha) / (total + alpha * vcard as f64);
+            }
+        }
+    }
+}
+
+/// Configuration for [`OnlineNet`].
+#[derive(Debug, Clone)]
+pub struct OnlineNetConfig {
+    /// Laplace smoothing for CPTs.
+    pub alpha: f64,
+    /// Maximum parents per node for structure re-learning.
+    pub max_parents: usize,
+    /// Rows retained for structure re-learning (the adaptation window:
+    /// re-learns forget data older than this).
+    pub window_cap: usize,
+    /// EWMA smoothing factor for the per-row log-likelihood drift signal.
+    pub ewma_alpha: f64,
+    /// Re-learn is recommended when the EWMA log₂-likelihood drops this
+    /// many bits below the baseline recorded at the last (re)fit.
+    pub drift_threshold_bits: f64,
+    /// Minimum observations between re-learn recommendations (also the
+    /// EWMA warm-up length).
+    pub min_obs_between_relearns: usize,
+}
+
+impl Default for OnlineNetConfig {
+    fn default() -> Self {
+        OnlineNetConfig {
+            alpha: 1.0,
+            max_parents: 2,
+            window_cap: 2048,
+            ewma_alpha: 0.08,
+            drift_threshold_bits: 1.0,
+            min_obs_between_relearns: 24,
+        }
+    }
+}
+
+/// A Bayesian network learned and maintained online: live CPTs backed by
+/// [`SuffStats`], a bounded observation window, and the drift trigger
+/// that schedules structure re-learning.
+#[derive(Debug, Clone)]
+pub struct OnlineNet {
+    cfg: OnlineNetConfig,
+    order: Vec<usize>,
+    stats: SuffStats,
+    net: BayesNet,
+    window: VecDeque<Vec<usize>>,
+    /// Mean per-row log₂-likelihood at the last (re)fit.
+    baseline_ll: f64,
+    ewma_ll: Option<f64>,
+    obs_since_relearn: usize,
+}
+
+impl OnlineNet {
+    /// A cold-start network: no data, no edges, uniform Laplace-prior
+    /// CPTs. `order` is the variable order structure re-learns respect
+    /// (the application DAG's stage topological order).
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..card.len()` or a
+    /// cardinality is zero.
+    pub fn cold(card: Vec<usize>, order: Vec<usize>, cfg: OnlineNetConfig) -> Self {
+        let n = card.len();
+        // Under the uniform prior every row scores exactly −Σ log₂|Xᵥ|;
+        // that is the drift baseline (0.0 would read as permanent drift,
+        // since row likelihoods are always negative).
+        let baseline_ll: f64 = card.iter().map(|&c| -(c as f64).log2()).sum();
+        let stats = SuffStats::new(card, vec![Vec::new(); n]).expect("empty structure is valid");
+        let net = stats.fit(cfg.alpha);
+        OnlineNet {
+            cfg,
+            order,
+            stats,
+            net,
+            window: VecDeque::new(),
+            baseline_ll,
+            ewma_ll: None,
+            obs_since_relearn: 0,
+        }
+    }
+
+    /// A network bootstrapped from an initial dataset: structure learned
+    /// by order-constrained BIC hill-climbing, counters and window seeded
+    /// with the data (most recent `window_cap` rows retained).
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..data.n_vars()`.
+    pub fn from_data(data: &DiscreteData, order: Vec<usize>, cfg: OnlineNetConfig) -> Self {
+        let parents = learn_order_hill_climb(data, &order, cfg.max_parents);
+        let stats = SuffStats::from_data(data, parents).expect("learned structure is valid");
+        let net = stats.fit(cfg.alpha);
+        let skip = data.n_rows().saturating_sub(cfg.window_cap);
+        let window: VecDeque<Vec<usize>> = data.rows().iter().skip(skip).cloned().collect();
+        let baseline_ll = net.mean_log2_likelihood(data);
+        OnlineNet {
+            cfg,
+            order,
+            stats,
+            net,
+            window,
+            baseline_ll,
+            ewma_ll: None,
+            obs_since_relearn: 0,
+        }
+    }
+
+    /// The live network.
+    pub fn net(&self) -> &BayesNet {
+        &self.net
+    }
+
+    /// Observations absorbed (including any bootstrap data).
+    pub fn n_obs(&self) -> u64 {
+        self.stats.n_obs()
+    }
+
+    /// Rows currently retained for re-learning.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Current drift signal: baseline minus EWMA log₂-likelihood, in bits
+    /// (positive = incoming data fits worse than at the last refit).
+    pub fn drift_bits(&self) -> f64 {
+        self.ewma_ll.map_or(0.0, |e| self.baseline_ll - e)
+    }
+
+    /// Absorbs one observation: O(1) counter + CPT-column update per
+    /// family. Returns `true` when the drift trigger recommends a
+    /// structure re-learn ([`OnlineNet::relearn`]).
+    ///
+    /// # Panics
+    /// Panics if the row arity or a value is out of range.
+    pub fn observe(&mut self, row: &[usize]) -> bool {
+        // Score the row under the *current* model first: the drift signal
+        // is a true out-of-sample likelihood.
+        let ll = self.stats.row_log2_likelihood(&self.net, row);
+        self.ewma_ll = Some(match self.ewma_ll {
+            None => ll,
+            Some(e) => e + self.cfg.ewma_alpha * (ll - e),
+        });
+        self.stats.observe(row);
+        self.stats
+            .update_columns(&mut self.net, row, self.cfg.alpha);
+        if self.window.len() >= self.cfg.window_cap {
+            self.window.pop_front();
+        }
+        self.window.push_back(row.to_vec());
+        self.obs_since_relearn += 1;
+        self.obs_since_relearn >= self.cfg.min_obs_between_relearns
+            && self.drift_bits() > self.cfg.drift_threshold_bits
+    }
+
+    /// Re-learns the structure from the retained window (order-constrained
+    /// BIC hill-climb), refits counters and CPTs from the window only —
+    /// data older than the window is forgotten, which is what lets the
+    /// model track a drifted distribution. Resets the drift baseline.
+    /// Returns `true` if the parent sets actually changed.
+    pub fn relearn(&mut self) -> bool {
+        let rows: Vec<Vec<usize>> = self.window.iter().cloned().collect();
+        let data = DiscreteData::new(rows, self.stats.card.clone()).expect("window rows in range");
+        let parents = learn_order_hill_climb(&data, &self.order, self.cfg.max_parents);
+        let changed = parents != self.stats.parents;
+        self.stats = SuffStats::from_data(&data, parents).expect("learned structure is valid");
+        self.net = self.stats.fit(self.cfg.alpha);
+        self.baseline_ll = self.net.mean_log2_likelihood(&data);
+        self.ewma_ll = None;
+        self.obs_since_relearn = 0;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn coupled_rows(n: usize, seed: u64, flip: f64) -> Vec<Vec<usize>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.gen_range(0..3usize);
+                let b = if rng.gen_bool(flip) {
+                    rng.gen_range(0..3)
+                } else {
+                    a
+                };
+                vec![a, b]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_fit_matches_batch_fit_exactly() {
+        let rows = coupled_rows(300, 1, 0.2);
+        let card = vec![3, 3];
+        let data = DiscreteData::new(rows.clone(), card.clone()).unwrap();
+        let parents = vec![vec![], vec![0]];
+        let batch = BayesNet::fit(&data, parents.clone(), 1.0).unwrap();
+
+        let mut stats = SuffStats::new(card, parents).unwrap();
+        let mut streamed = stats.fit(1.0);
+        for row in &rows {
+            stats.observe(row);
+            stats.update_columns(&mut streamed, row, 1.0);
+        }
+        for v in 0..2 {
+            assert_eq!(
+                batch.posterior_marginal(v, &Default::default()),
+                streamed.posterior_marginal(v, &Default::default()),
+                "marginal {v} diverged"
+            );
+        }
+        // Full-table equality via the refit path too.
+        let refit = stats.fit(1.0);
+        for v in 0..2 {
+            assert_eq!(
+                refit.posterior_marginal(v, &Default::default()),
+                batch.posterior_marginal(v, &Default::default())
+            );
+        }
+    }
+
+    #[test]
+    fn layout_likelihood_matches_general_path() {
+        let rows = coupled_rows(200, 9, 0.15);
+        let data = DiscreteData::new(rows.clone(), vec![3, 3]).unwrap();
+        let parents = vec![vec![], vec![0]];
+        let net = BayesNet::fit(&data, parents.clone(), 1.0).unwrap();
+        let stats = SuffStats::from_data(&data, parents).unwrap();
+        for row in rows.iter().take(40) {
+            assert_eq!(
+                stats.row_log2_likelihood(&net, row),
+                net.row_log2_likelihood(row),
+                "fast-path likelihood diverged on {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_net_is_uniform_laplace_prior() {
+        let net = OnlineNet::cold(vec![4, 2], vec![0, 1], OnlineNetConfig::default());
+        let p = net.net().posterior_marginal(0, &Default::default());
+        for &pi in &p {
+            assert!((pi - 0.25).abs() < 1e-12, "uniform prior, got {p:?}");
+        }
+        assert_eq!(net.n_obs(), 0);
+    }
+
+    #[test]
+    fn cold_net_converges_to_data() {
+        let mut net = OnlineNet::cold(vec![3, 3], vec![0, 1], OnlineNetConfig::default());
+        for row in coupled_rows(400, 2, 0.1) {
+            assert!(
+                !net.observe(&row),
+                "stationary data on a cold net must not read as drift \
+                 ({} bits)",
+                net.drift_bits()
+            );
+        }
+        // Parameters adapt even without edges: the marginal of variable 0
+        // approaches the empirical distribution (uniform over 3 values).
+        let p = net.net().posterior_marginal(0, &Default::default());
+        for &pi in &p {
+            assert!((pi - 1.0 / 3.0).abs() < 0.08, "marginal converged: {p:?}");
+        }
+        // A relearn on the window recovers the 0 -> 1 coupling.
+        net.relearn();
+        assert_eq!(net.net().parents()[1], vec![0]);
+    }
+
+    #[test]
+    fn drift_trigger_fires_only_when_data_moves() {
+        let pre = coupled_rows(400, 3, 0.1);
+        let data = DiscreteData::new(pre, vec![3, 3]).unwrap();
+        let mut net = OnlineNet::from_data(&data, vec![0, 1], OnlineNetConfig::default());
+
+        // Stationary continuation: no recommendation.
+        let mut fired = false;
+        for row in coupled_rows(200, 4, 0.1) {
+            fired |= net.observe(&row);
+        }
+        assert!(!fired, "stationary data must not trigger a re-learn");
+
+        // Shifted regime: variable 1 decouples and concentrates on value 2.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut recommended = false;
+        for _ in 0..400 {
+            let a = rng.gen_range(0..3usize);
+            if net.observe(&[a, 2]) {
+                recommended = true;
+                break;
+            }
+        }
+        assert!(
+            recommended,
+            "drifted data must trigger within 400 rows (drift {} bits)",
+            net.drift_bits()
+        );
+        assert!(net.drift_bits() > 1.0);
+        net.relearn();
+        assert_eq!(net.drift_bits(), 0.0, "relearn resets the baseline");
+    }
+
+    #[test]
+    fn relearn_window_forgets_old_regime() {
+        let cfg = OnlineNetConfig {
+            window_cap: 64,
+            ..OnlineNetConfig::default()
+        };
+        let pre = DiscreteData::new(coupled_rows(100, 6, 0.05), vec![3, 3]).unwrap();
+        let mut net = OnlineNet::from_data(&pre, vec![0, 1], cfg);
+        assert_eq!(net.window_len(), 64);
+        // New regime: b independent, always 0.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let a = rng.gen_range(0..3usize);
+            net.observe(&[a, 0]);
+        }
+        net.relearn();
+        // The window now holds only new-regime rows: P(b=0) ≈ 1.
+        let p = net.net().posterior_marginal(1, &Default::default());
+        assert!(
+            p[0] > 0.9,
+            "post-relearn marginal tracks the new regime: {p:?}"
+        );
+    }
+
+    #[test]
+    fn suffstats_rejects_bad_rows() {
+        let mut s = SuffStats::new(vec![2, 2], vec![vec![], vec![0]]).unwrap();
+        s.observe(&[1, 0]);
+        assert_eq!(s.n_obs(), 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.observe(&[2, 0]);
+        }));
+        assert!(r.is_err(), "out-of-range value must panic");
+    }
+}

@@ -166,6 +166,97 @@ fn quantile_intervals_nested() {
     }
 }
 
+/// Posterior marginals sum to 1 under *arbitrary evidence masks*: any
+/// subset of variables observed at any values, on randomly learned
+/// structures — the profiler-facing sanity property (a job's evidence is
+/// exactly such a mask over completed stages).
+#[test]
+fn posterior_marginals_normalize_under_arbitrary_evidence_masks() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_vars = rng.gen_range(3..6usize);
+        let card: Vec<usize> = (0..n_vars).map(|_| rng.gen_range(2..5usize)).collect();
+        let n_rows = rng.gen_range(20..60usize);
+        let rows: Vec<Vec<usize>> = (0..n_rows)
+            .map(|_| card.iter().map(|&c| rng.gen_range(0..c)).collect())
+            .collect();
+        let data = DiscreteData::new(rows, card.clone()).expect("valid rows");
+        let order: Vec<usize> = (0..n_vars).collect();
+        let parents = learn_order_hill_climb(&data, &order, 2);
+        let net = BayesNet::fit(&data, parents, 1.0).expect("valid structure");
+        // A handful of random masks per case.
+        for _ in 0..6 {
+            let mut ev = Evidence::new();
+            for (v, &c) in card.iter().enumerate() {
+                if rng.gen_bool(0.5) {
+                    ev.insert(v, rng.gen_range(0..c));
+                }
+            }
+            for var in 0..n_vars {
+                let p = net.posterior_marginal(var, &ev);
+                let sum: f64 = p.iter().sum();
+                assert!(
+                    (sum - 1.0).abs() < 1e-9,
+                    "seed {seed}: mask {ev:?}, var {var}: posterior sums to {sum}"
+                );
+                assert!(
+                    p.iter().all(|&x| (-1e-12..=1.0 + 1e-9).contains(&x)),
+                    "seed {seed}: mask {ev:?}, var {var}: invalid mass {p:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Streaming parameter learning equals batch fitting: a network updated
+/// one observation at a time through [`SuffStats`] column updates matches
+/// `BayesNet::fit` on the same rows, CPT for CPT, under random data and
+/// random learned structures.
+#[test]
+fn streaming_updates_match_batch_fit() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_vars = rng.gen_range(2..5usize);
+        let card: Vec<usize> = (0..n_vars).map(|_| rng.gen_range(2..4usize)).collect();
+        let n_rows = rng.gen_range(10..50usize);
+        let rows: Vec<Vec<usize>> = (0..n_rows)
+            .map(|_| card.iter().map(|&c| rng.gen_range(0..c)).collect())
+            .collect();
+        let data = DiscreteData::new(rows.clone(), card.clone()).expect("valid rows");
+        let order: Vec<usize> = (0..n_vars).collect();
+        let parents = learn_order_hill_climb(&data, &order, 2);
+        let alpha = rng.gen_range(0.1..2.0);
+        let batch = BayesNet::fit(&data, parents.clone(), alpha).expect("valid structure");
+
+        let mut stats = SuffStats::new(card.clone(), parents).expect("valid structure");
+        let mut streamed = stats.fit(alpha);
+        for row in &rows {
+            stats.observe(row);
+            stats.update_columns(&mut streamed, row, alpha);
+        }
+        // Compare every posterior marginal under empty evidence and one
+        // random mask (exercises every CPT through elimination).
+        let mut ev = Evidence::new();
+        for (v, &c) in card.iter().enumerate() {
+            if rng.gen_bool(0.4) {
+                ev.insert(v, rng.gen_range(0..c));
+            }
+        }
+        for mask in [Evidence::new(), ev] {
+            for var in 0..n_vars {
+                let pb = batch.posterior_marginal(var, &mask);
+                let ps = streamed.posterior_marginal(var, &mask);
+                for (x, y) in pb.iter().zip(&ps) {
+                    assert!(
+                        (x - y).abs() < 1e-12,
+                        "seed {seed}: var {var} mask {mask:?}: batch {x} vs streamed {y}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// BN posteriors are normalized for every evidence assignment, and
 /// conditioning on a variable's own value yields a point mass.
 #[test]

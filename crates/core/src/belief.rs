@@ -6,13 +6,18 @@
 //! its current evidence: the completed-stage fingerprint (`mask`), the
 //! extracted [`Evidence`], the posterior [`WorkEstimate`], and the
 //! memoized per-stage Eq. 6 reductions. Beliefs change **only when the
-//! job's evidence changes**, and evidence can only change when a stage of
-//! that job completes — so the [`BeliefStore`] listens to the engine's
-//! [`SchedDelta`] stream, marks jobs dirty on
-//! [`SchedDelta::StageCompleted`], and recomputes a belief iff the dirty
-//! job's evidence mask actually moved. Completed jobs are evicted
-//! deterministically on [`SchedDelta::JobCompleted`] (replacing the old
-//! size-triggered `prune_cache` heuristic).
+//! job's evidence changes or its app's profile snapshot moves**. Evidence
+//! can only change when a stage of that job completes — so the
+//! [`BeliefStore`] listens to the engine's [`SchedDelta`] stream, marks
+//! jobs dirty on [`SchedDelta::StageCompleted`], and recomputes a belief
+//! iff the dirty job's evidence mask actually moved. Profile snapshots
+//! can only move when the [`ProfileStore`] publishes — the caller routes
+//! the store's bumped-app list through
+//! [`BeliefStore::mark_app_dirty`], which invalidates exactly the
+//! affected application's jobs (and its shared posterior bands) and
+//! nothing else. Completed jobs are evicted deterministically on
+//! [`SchedDelta::JobCompleted`] (replacing the old size-triggered
+//! `prune_cache` heuristic).
 //!
 //! The per-invocation cost drops from O(jobs · (stage scan + posterior
 //! clone)) to O(changed jobs · posterior), while producing bit-identical
@@ -27,21 +32,31 @@ use llmsched_sim::scheduler::{SchedContext, SchedDelta};
 use llmsched_sim::state::JobRt;
 
 use crate::estimator::{StageBand, WorkEstimate};
-use crate::profiler::Profiler;
+use crate::store::ProfileStore;
 use crate::uncertainty::{uncertainty_reduction, MiEstimator};
 
-/// Cap on memoized posterior-band entries; reaching it clears the memo
-/// (values are recomputed identically, so this only bounds memory).
+/// Cap on memoized posterior-band entries per app; reaching it clears
+/// that app's memo (values are recomputed identically, so this only
+/// bounds memory).
 const BANDS_MEMO_CAP: usize = 1 << 16;
 
-/// Memo key: one application's evidence state, as sorted (stage, bin)
-/// pairs.
-type BandsKey = (AppId, Vec<(usize, usize)>);
+/// One application's posterior-band memo, valid for exactly one profile
+/// snapshot version.
+#[derive(Debug, Clone, Default)]
+struct AppBands {
+    version: u64,
+    by_evidence: HashMap<Vec<(usize, usize)>, Vec<StageBand>>,
+}
 
 /// Everything LLMSched believes about one active job under its current
 /// evidence.
 #[derive(Debug, Clone, Default)]
 pub struct JobBelief {
+    /// The job's application (bookkeeping for per-app invalidation).
+    pub app: AppId,
+    /// The profile snapshot version the belief was computed under: the
+    /// belief is valid while the app's published version equals this.
+    pub version: u64,
     /// Completed-template-stage fingerprint
     /// ([`AppProfile::evidence_mask`](crate::profiler::AppProfile::evidence_mask)):
     /// the belief is valid while the job's mask equals this.
@@ -61,11 +76,16 @@ pub struct JobBelief {
 pub struct BeliefStore {
     beliefs: HashMap<JobId, JobBelief>,
     dirty: HashSet<JobId>,
+    /// Active jobs per application — the inverse index behind
+    /// [`BeliefStore::mark_app_dirty`].
+    by_app: HashMap<AppId, HashSet<JobId>>,
     /// Posterior bands shared across jobs: the BN inference behind a work
-    /// estimate depends only on (application, evidence), so every job of
-    /// an app under the same evidence reuses one computation — at scale,
-    /// thousands of fresh arrivals share the single no-evidence entry.
-    bands: HashMap<BandsKey, Vec<StageBand>>,
+    /// estimate depends only on (application, snapshot version, evidence),
+    /// so every job of an app under the same evidence reuses one
+    /// computation — at scale, thousands of fresh arrivals share the
+    /// single no-evidence entry. A snapshot bump drops exactly that app's
+    /// entries.
+    bands: HashMap<AppId, AppBands>,
 }
 
 impl BeliefStore {
@@ -88,21 +108,38 @@ impl BeliefStore {
     pub fn clear(&mut self) {
         self.beliefs.clear();
         self.dirty.clear();
+        self.by_app.clear();
         self.bands.clear();
     }
 
     /// Routes one delta: arrivals and stage completions mark the job's
-    /// belief stale; job completion evicts it.
+    /// belief stale; job completion evicts it. Observation deltas are
+    /// ignored — profile movement reaches beliefs only through
+    /// [`BeliefStore::mark_app_dirty`], after the store has actually
+    /// published.
     pub fn on_delta(&mut self, d: &SchedDelta) {
         match d {
             SchedDelta::JobArrived { job, .. } | SchedDelta::StageCompleted { job, .. } => {
                 self.dirty.insert(*job);
             }
             SchedDelta::JobCompleted { job } => {
-                self.beliefs.remove(job);
+                if let Some(b) = self.beliefs.remove(job) {
+                    if let Some(set) = self.by_app.get_mut(&b.app) {
+                        set.remove(job);
+                    }
+                }
                 self.dirty.remove(job);
             }
             _ => {}
+        }
+    }
+
+    /// Marks every active job of `app` stale — called with the
+    /// [`ProfileStore`]'s bumped-app list after a snapshot publish, so a
+    /// version bump invalidates exactly the affected app's posteriors.
+    pub fn mark_app_dirty(&mut self, app: AppId) {
+        if let Some(jobs) = self.by_app.get(&app) {
+            self.dirty.extend(jobs.iter().copied());
         }
     }
 
@@ -111,12 +148,12 @@ impl BeliefStore {
     /// their ordered indices).
     ///
     /// Dirty jobs re-derive their evidence mask — an O(template stages)
-    /// scan — and only a *moved* mask triggers the BN posterior. The
-    /// count-mismatch safety net rebuilds every belief when the context
-    /// was produced outside the engine's delta stream.
+    /// scan — and only a *moved* mask (or snapshot version) triggers the
+    /// BN posterior. The count-mismatch safety net rebuilds every belief
+    /// when the context was produced outside the engine's delta stream.
     pub fn refresh(
         &mut self,
-        profiler: &Profiler,
+        store: &ProfileStore,
         ctx: &SchedContext<'_>,
         use_bn: bool,
         tail_mass: f64,
@@ -125,64 +162,88 @@ impl BeliefStore {
         for id in std::mem::take(&mut self.dirty) {
             match ctx.job(id) {
                 Some(job) => {
-                    if self.update(profiler, job, use_bn, tail_mass) {
+                    if self.update(store, job, use_bn, tail_mass) {
                         changed.push(id);
                     }
                 }
                 None => {
-                    self.beliefs.remove(&id);
+                    self.evict(id);
                 }
             }
         }
         if self.beliefs.len() != ctx.jobs.len() {
             self.beliefs.clear();
+            self.by_app.clear();
             changed.clear();
             for job in &ctx.jobs {
-                self.update(profiler, job, use_bn, tail_mass);
+                self.update(store, job, use_bn, tail_mass);
                 changed.push(job.id());
             }
         }
         changed
     }
 
-    /// Recomputes one job's belief if its evidence mask moved; returns
-    /// whether anything changed.
-    fn update(&mut self, profiler: &Profiler, job: &JobRt, use_bn: bool, tail_mass: f64) -> bool {
-        let Some(profile) = profiler.profile(job.app()) else {
-            // Untrained application: a permanent zero-work belief.
-            let fresh = !self.beliefs.contains_key(&job.id());
-            if fresh {
-                self.beliefs.insert(job.id(), JobBelief::default());
+    fn evict(&mut self, id: JobId) {
+        if let Some(b) = self.beliefs.remove(&id) {
+            if let Some(set) = self.by_app.get_mut(&b.app) {
+                set.remove(&id);
             }
-            return fresh;
+        }
+    }
+
+    /// Recomputes one job's belief if its evidence mask or profile
+    /// version moved; returns whether anything changed.
+    fn update(&mut self, store: &ProfileStore, job: &JobRt, use_bn: bool, tail_mass: f64) -> bool {
+        let version = store.version(job.app()).0;
+        let Some(profile) = store.profile(job.app()) else {
+            // Unprofiled application: a zero-work belief, version-stamped
+            // so a later cold-start bootstrap (version bump) re-estimates.
+            let stale = self
+                .beliefs
+                .get(&job.id())
+                .map_or(true, |b| b.version != version);
+            if stale {
+                self.beliefs.insert(
+                    job.id(),
+                    JobBelief {
+                        app: job.app(),
+                        version,
+                        ..JobBelief::default()
+                    },
+                );
+                self.by_app.entry(job.app()).or_default().insert(job.id());
+            }
+            return stale;
         };
         let mask = profile.evidence_mask(job);
         if let Some(b) = self.beliefs.get(&job.id()) {
-            if b.mask == mask {
+            if b.mask == mask && b.version == version {
                 return false;
             }
         }
         let evidence = profile.evidence_of(job);
-        if self.bands.len() >= BANDS_MEMO_CAP {
-            self.bands.clear();
+        let app_bands = self.bands.entry(job.app()).or_default();
+        if app_bands.version != version || app_bands.by_evidence.len() >= BANDS_MEMO_CAP {
+            app_bands.version = version;
+            app_bands.by_evidence.clear();
         }
-        let key = (
-            job.app(),
-            evidence.iter().map(|(&s, &b)| (s, b)).collect::<Vec<_>>(),
-        );
-        let bands = self.bands.entry(key).or_insert_with(|| {
+        let key: Vec<(usize, usize)> = evidence.iter().map(|(&s, &b)| (s, b)).collect();
+        let bands = app_bands.by_evidence.entry(key).or_insert_with(|| {
             crate::estimator::stage_bands(profile, &evidence, use_bn, tail_mass)
         });
         let work = crate::estimator::remaining_work_from_bands(profile, job, bands);
         self.beliefs.insert(
             job.id(),
             JobBelief {
+                app: job.app(),
+                version,
                 mask,
                 evidence,
                 work,
                 reductions: HashMap::new(),
             },
         );
+        self.by_app.entry(job.app()).or_default().insert(job.id());
         true
     }
 
@@ -201,12 +262,12 @@ impl BeliefStore {
     /// old path's double `profiler.profile()` per score went.
     pub fn reduction(
         &mut self,
-        profiler: &Profiler,
+        store: &ProfileStore,
         mi: MiEstimator,
         job: &JobRt,
         stage: StageId,
     ) -> f64 {
-        let Some(profile) = profiler.profile(job.app()) else {
+        let Some(profile) = store.profile(job.app()) else {
             return 0.0;
         };
         if stage.index() >= profile.n_stages() {
@@ -231,7 +292,8 @@ impl BeliefStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::profiler::ProfilerConfig;
+    use crate::profiler::{Profiler, ProfilerConfig};
+    use crate::store::{ProfileStoreConfig, ProfileUpdate};
     use llmsched_dag::time::SimTime;
     use llmsched_sim::state::LlmExecutorView;
     use llmsched_workloads::prelude::*;
@@ -259,31 +321,36 @@ mod tests {
         }
     }
 
+    fn frozen_store(kinds: &[AppKind]) -> ProfileStore {
+        let templates = all_templates();
+        let corpus = training_jobs(kinds, 40, 9);
+        let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+        ProfileStore::frozen(&profiler)
+    }
+
     #[test]
     fn refresh_fills_missing_beliefs_and_reports_all_changed() {
-        let templates = all_templates();
-        let corpus = training_jobs(&AppKind::ALL, 40, 9);
-        let profiler = Profiler::train(&templates, &corpus, &ProfilerConfig::default());
+        let store = frozen_store(&AppKind::ALL);
         let w = generate_workload(WorkloadKind::Mixed, 5, 0.9, 4);
         let jobs: Vec<JobRt> = w.jobs.into_iter().map(JobRt::new).collect();
         let latency = llmsched_sim::latency::LatencyProfile::default();
         let ctx = ctx_of(&jobs, &w.templates, &latency, &[]);
 
-        let mut store = BeliefStore::new();
-        let changed = store.refresh(&profiler, &ctx, true, 0.35);
+        let mut beliefs = BeliefStore::new();
+        let changed = beliefs.refresh(&store, &ctx, true, 0.35);
         assert_eq!(changed.len(), 5, "safety net computes every belief");
-        assert_eq!(store.len(), 5);
+        assert_eq!(beliefs.len(), 5);
 
         // A second refresh with no deltas changes nothing.
-        let changed = store.refresh(&profiler, &ctx, true, 0.35);
+        let changed = beliefs.refresh(&store, &ctx, true, 0.35);
         assert!(changed.is_empty(), "clean store must not recompute");
 
         // Dirty without an actual evidence change: still nothing.
-        store.on_delta(&SchedDelta::StageCompleted {
+        beliefs.on_delta(&SchedDelta::StageCompleted {
             job: jobs[0].id(),
             stage: StageId(0),
         });
-        let changed = store.refresh(&profiler, &ctx, true, 0.35);
+        let changed = beliefs.refresh(&store, &ctx, true, 0.35);
         assert!(
             changed.is_empty(),
             "unchanged evidence mask must not invalidate the belief"
@@ -297,5 +364,49 @@ mod tests {
         store.on_delta(&SchedDelta::JobCompleted { job: JobId(7) });
         assert!(store.is_empty());
         assert_eq!(store.work(JobId(7)), WorkEstimate::default());
+    }
+
+    #[test]
+    fn snapshot_bump_invalidates_exactly_the_affected_app() {
+        let templates = all_templates();
+        let corpus = training_jobs(&AppKind::ALL, 40, 9);
+        let cfg = ProfileStoreConfig {
+            update: ProfileUpdate::PerCompletion,
+            ..ProfileStoreConfig::default()
+        };
+        let mut store = ProfileStore::train(&templates, &corpus, cfg);
+        let w = generate_workload(WorkloadKind::Mixed, 8, 0.9, 4);
+        let jobs: Vec<JobRt> = w.jobs.into_iter().map(JobRt::new).collect();
+        let latency = llmsched_sim::latency::LatencyProfile::default();
+        let ctx = ctx_of(&jobs, &w.templates, &latency, &[]);
+
+        let mut beliefs = BeliefStore::new();
+        beliefs.refresh(&store, &ctx, true, 0.35);
+        assert!(beliefs.refresh(&store, &ctx, true, 0.35).is_empty());
+
+        // Publish a new snapshot for exactly one app.
+        let app = jobs[0].app();
+        let kind = AppKind::from_app_id(app).unwrap();
+        let extra = training_jobs(&[kind], 1, 77);
+        assert!(store.observe_job_spec(w.templates.expect(app), &extra[0]));
+        beliefs.mark_app_dirty(app);
+
+        let changed = beliefs.refresh(&store, &ctx, true, 0.35);
+        let expected: Vec<JobId> = jobs
+            .iter()
+            .filter(|j| j.app() == app)
+            .map(|j| j.id())
+            .collect();
+        let mut changed = changed;
+        changed.sort();
+        assert_eq!(
+            changed, expected,
+            "only the bumped app's jobs are re-estimated"
+        );
+        // Their beliefs now carry the new version.
+        let v = store.version(app).0;
+        for id in &changed {
+            assert_eq!(beliefs.get(*id).unwrap().version, v);
+        }
     }
 }

@@ -6,6 +6,10 @@
 //! * [`profiler`] — the Bayesian-network-based profiler (§IV-B): per-app
 //!   BNs over discretized stage durations, dynamic-placeholder structure
 //!   statistics, evidence extraction from running jobs;
+//! * [`store`] — the observation-driven [`store::ProfileStore`]: versioned
+//!   immutable profile snapshots, streaming updates from the engine's
+//!   `StageObserved` deltas, cold-start bootstrapping, drift-triggered
+//!   re-learning (frozen mode reproduces the classic profiler exactly);
 //! * [`estimator`] — BN-posterior remaining-duration estimates with the
 //!   Eq. 2 batching-aware calibration;
 //! * [`uncertainty`] — the entropy-based uncertainty-reduction
@@ -49,17 +53,22 @@ pub mod belief;
 pub mod estimator;
 pub mod profiler;
 pub mod scheduler;
+pub mod store;
 pub mod uncertainty;
 
 /// Convenient glob-import of the LLMSched surface.
 pub mod prelude {
     pub use crate::belief::{BeliefStore, JobBelief};
     pub use crate::estimator::{
-        batching_calibration, remaining_work, remaining_work_with, WorkEstimate, INTERVAL_TAIL_MASS,
+        batching_calibration, remaining_work, remaining_work_with, StageBand, WorkEstimate,
+        INTERVAL_TAIL_MASS,
     };
     pub use crate::profiler::{
         AppProfile, DynamicStats, Profiler, ProfilerConfig, StructureLearner,
     };
     pub use crate::scheduler::{LlmSched, LlmSchedConfig};
+    pub use crate::store::{
+        ProfileSnapshot, ProfileStore, ProfileStoreConfig, ProfileUpdate, ProfileVersion,
+    };
     pub use crate::uncertainty::{uncertainty_reduction, MiEstimator};
 }

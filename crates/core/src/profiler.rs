@@ -114,6 +114,31 @@ pub struct AppProfile {
 }
 
 impl AppProfile {
+    /// Assembles a profile from already-learned parts — the constructor
+    /// the online [`ProfileStore`](crate::store::ProfileStore) publishes
+    /// snapshots through. Crate-internal: external profiles come from
+    /// [`Profiler::train`] or the store.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        app: AppId,
+        discretizers: Vec<Discretizer>,
+        net: BayesNet,
+        static_means: Vec<f64>,
+        is_llm: Vec<bool>,
+        dynamic: HashMap<StageId, DynamicStats>,
+        dynamic_preceding: HashMap<StageId, StageId>,
+    ) -> Self {
+        AppProfile {
+            app,
+            discretizers,
+            net,
+            static_means,
+            is_llm,
+            dynamic,
+            dynamic_preceding,
+        }
+    }
+
     /// The application this profile describes.
     pub fn app(&self) -> AppId {
         self.app
@@ -224,6 +249,13 @@ impl Profiler {
         self.profiles.get(&app)
     }
 
+    /// Iterates over all trained `(app, profile)` pairs (arbitrary
+    /// order) — how a [`ProfileStore`](crate::store::ProfileStore) seeds
+    /// its version-1 snapshots.
+    pub fn iter(&self) -> impl Iterator<Item = (AppId, &AppProfile)> {
+        self.profiles.iter().map(|(&a, p)| (a, p))
+    }
+
     /// Number of trained applications.
     pub fn len(&self) -> usize {
         self.profiles.len()
@@ -232,6 +264,62 @@ impl Profiler {
     /// True if no applications were trained.
     pub fn is_empty(&self) -> bool {
         self.profiles.is_empty()
+    }
+}
+
+/// Running dynamic-placeholder structure counters: the sufficient
+/// statistics behind [`DynamicStats`], shared by batch training (counting
+/// a corpus) and the online store (incrementing per observation delta).
+#[derive(Debug, Clone)]
+pub(crate) struct DynCounts {
+    /// Per-candidate inclusion counts.
+    pub(crate) cand: Vec<u64>,
+    /// Inner-edge counts keyed by candidate pair.
+    pub(crate) edges: HashMap<(usize, usize), u64>,
+}
+
+impl DynCounts {
+    pub(crate) fn new(n_candidates: usize) -> Self {
+        DynCounts {
+            cand: vec![0; n_candidates],
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Counts one training job's realized structure under placeholder `d`.
+    pub(crate) fn observe_job(&mut self, job: &JobSpec, d: StageId) {
+        let mut cand_of_stage: HashMap<u32, usize> = HashMap::new();
+        for &g in &job.children_of_dynamic(d) {
+            if let Some(c) = job.stage(g).candidate {
+                if c < self.cand.len() {
+                    self.cand[c] += 1;
+                    cand_of_stage.insert(g.0, c);
+                }
+            }
+        }
+        for &(u, v) in job.generated_edges() {
+            if let (Some(&cu), Some(&cv)) = (cand_of_stage.get(&u.0), cand_of_stage.get(&v.0)) {
+                *self.edges.entry((cu, cv)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Normalizes the counters into frequencies over `n_jobs` observed
+    /// jobs.
+    pub(crate) fn stats(&self, n_jobs: usize) -> DynamicStats {
+        DynamicStats {
+            candidate_freq: self
+                .cand
+                .iter()
+                .map(|&c| c as f64 / n_jobs as f64)
+                .collect(),
+            edge_freq: self
+                .edges
+                .iter()
+                .map(|(&k, &c)| (k, c as f64 / n_jobs as f64))
+                .collect(),
+            n_samples: n_jobs,
+        }
     }
 }
 
@@ -280,42 +368,11 @@ fn train_one(
         else {
             unreachable!("dynamic_stages() only returns dynamic stages");
         };
-        let mut cand_count = vec![0usize; candidates.len()];
-        let mut edge_count: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut counts = DynCounts::new(candidates.len());
         for j in jobs {
-            let children = j.children_of_dynamic(d);
-            // Candidate inclusion.
-            let mut cand_of_stage: HashMap<u32, usize> = HashMap::new();
-            for &g in &children {
-                if let Some(c) = j.stage(g).candidate {
-                    if c < cand_count.len() {
-                        cand_count[c] += 1;
-                        cand_of_stage.insert(g.0, c);
-                    }
-                }
-            }
-            // Inner edges (between generated stages of this placeholder).
-            for &(u, v) in j.generated_edges() {
-                if let (Some(&cu), Some(&cv)) = (cand_of_stage.get(&u.0), cand_of_stage.get(&v.0)) {
-                    *edge_count.entry((cu, cv)).or_insert(0) += 1;
-                }
-            }
+            counts.observe_job(j, d);
         }
-        let n_jobs = jobs.len().max(1);
-        dynamic.insert(
-            d,
-            DynamicStats {
-                candidate_freq: cand_count
-                    .into_iter()
-                    .map(|c| c as f64 / n_jobs as f64)
-                    .collect(),
-                edge_freq: edge_count
-                    .into_iter()
-                    .map(|(k, c)| (k, c as f64 / n_jobs as f64))
-                    .collect(),
-                n_samples: n_jobs,
-            },
-        );
+        dynamic.insert(d, counts.stats(jobs.len().max(1)));
         dynamic_preceding.insert(d, *preceding_llm);
     }
 

@@ -42,6 +42,7 @@ use rand::{Rng, SeedableRng};
 use crate::belief::BeliefStore;
 use crate::estimator::WorkEstimate;
 use crate::profiler::Profiler;
+use crate::store::{ProfileStore, ProfileStoreConfig, ProfileUpdate};
 use crate::uncertainty::{uncertainty_reduction, MiEstimator};
 
 /// LLMSched configuration (defaults follow the paper's sensitivity
@@ -69,6 +70,13 @@ pub struct LlmSchedConfig {
     /// the rebuild-per-call reference path; both produce bit-identical
     /// schedules.
     pub incremental: bool,
+    /// Online-profiling cadence for the scheduler's [`ProfileStore`]:
+    /// how often completed-stage observations are folded into new profile
+    /// snapshots. The default, [`ProfileUpdate::Frozen`], reproduces the
+    /// classic train-once profiler bit-for-bit. (Only consulted by
+    /// [`LlmSched::new`]; [`LlmSched::with_store`] keeps the store's own
+    /// configuration.)
+    pub profile_update: ProfileUpdate,
 }
 
 impl Default for LlmSchedConfig {
@@ -82,6 +90,7 @@ impl Default for LlmSchedConfig {
             interval_tail_mass: crate::estimator::INTERVAL_TAIL_MASS,
             seed: 0xC0FFEE,
             incremental: true,
+            profile_update: ProfileUpdate::Frozen,
         }
     }
 }
@@ -99,11 +108,11 @@ struct JobAnalysis {
 /// The LLMSched scheduler.
 #[derive(Debug)]
 pub struct LlmSched {
-    profiler: Profiler,
+    store: ProfileStore,
     cfg: LlmSchedConfig,
     rng: StdRng,
-    /// Rebuild-path cache keyed by (job, evidence mask).
-    cache: HashMap<(JobId, u64), JobAnalysis>,
+    /// Rebuild-path cache keyed by (job, profile version, evidence mask).
+    cache: HashMap<(JobId, u64, u64), JobAnalysis>,
     /// Incremental path: persistent per-job beliefs…
     beliefs: BeliefStore,
     /// …the SRTF exploitation order, keyed by (calibrated estimate,
@@ -189,8 +198,27 @@ impl PartialOrd for SuEntry {
 }
 
 impl LlmSched {
-    /// Builds LLMSched from a trained profiler.
+    /// Builds LLMSched from a trained profiler, wrapped in a
+    /// [`ProfileStore`] at the [`LlmSchedConfig::profile_update`] cadence
+    /// (the default, frozen, is bit-identical to the classic profiler).
     pub fn new(profiler: Profiler, cfg: LlmSchedConfig) -> Self {
+        let store = ProfileStore::from_profiler(
+            &profiler,
+            ProfileStoreConfig {
+                update: cfg.profile_update,
+                ..ProfileStoreConfig::default()
+            },
+        );
+        LlmSched::with_store(store, cfg)
+    }
+
+    /// Builds LLMSched on an explicit [`ProfileStore`] — the online
+    /// profiling path (e.g. [`ProfileStore::train`] seeds windows and
+    /// sufficient statistics from a retained corpus, or
+    /// [`ProfileStore::empty`] cold-starts every app). The store's own
+    /// update cadence applies; [`LlmSchedConfig::profile_update`] is
+    /// ignored.
+    pub fn with_store(store: ProfileStore, cfg: LlmSchedConfig) -> Self {
         let name = match (cfg.use_bn, cfg.use_uncertainty) {
             (true, true) => "LLMSched",
             (false, true) => "LLMSched w/o BN",
@@ -200,7 +228,7 @@ impl LlmSched {
         .to_string();
         let seed = cfg.seed;
         LlmSched {
-            profiler,
+            store,
             cfg,
             rng: StdRng::seed_from_u64(seed),
             cache: HashMap::new(),
@@ -226,13 +254,22 @@ impl LlmSched {
         &self.beliefs
     }
 
+    /// The profile store the scheduler consults (and, under a non-frozen
+    /// cadence, feeds with completed-stage observations).
+    pub fn profile_store(&self) -> &ProfileStore {
+        &self.store
+    }
+
     // ------------------------------------------------------------------
     // Rebuild path (reference implementation)
     // ------------------------------------------------------------------
 
-    /// Fetches (or computes) the cached analysis for a job.
+    /// Fetches (or computes) the cached analysis for a job. Cache keys
+    /// carry the app's profile version, so a snapshot bump naturally
+    /// misses and re-derives against the new profile.
     fn analysis(&mut self, job: &JobRt) -> JobAnalysis {
-        let Some(profile) = self.profiler.profile(job.app()) else {
+        let version = self.store.version(job.app()).0;
+        let Some(profile) = self.store.profile(job.app()) else {
             return JobAnalysis {
                 work: WorkEstimate::default(),
                 evidence: Evidence::new(),
@@ -240,7 +277,7 @@ impl LlmSched {
             };
         };
         let mask = profile.evidence_mask(job);
-        if let Some(a) = self.cache.get(&(job.id(), mask)) {
+        if let Some(a) = self.cache.get(&(job.id(), version, mask)) {
             return a.clone();
         }
         let evidence = profile.evidence_of(job);
@@ -256,27 +293,28 @@ impl LlmSched {
             evidence,
             reduction: HashMap::new(),
         };
-        self.cache.insert((job.id(), mask), a.clone());
+        self.cache.insert((job.id(), version, mask), a.clone());
         a
     }
 
     /// Eq. 6 score for a ready stage, memoized per evidence state.
     fn reduction_of(&mut self, job: &JobRt, stage: StageId) -> f64 {
-        let (n_stages, mask) = match self.profiler.profile(job.app()) {
+        let version = self.store.version(job.app()).0;
+        let (n_stages, mask) = match self.store.profile(job.app()) {
             Some(profile) => (profile.n_stages(), profile.evidence_mask(job)),
             None => return 0.0,
         };
         if stage.index() >= n_stages {
             return 0.0; // generated stages carry no BN variable of their own
         }
-        let key = (job.id(), mask);
+        let key = (job.id(), version, mask);
         if let Some(a) = self.cache.get(&key) {
             if let Some(&r) = a.reduction.get(&stage.0) {
                 return r;
             }
         }
         let a = self.analysis(job);
-        let profile = self.profiler.profile(job.app()).expect("checked above");
+        let profile = self.store.profile(job.app()).expect("checked above");
         let r = uncertainty_reduction(profile, job, stage, &a.evidence, self.cfg.mi);
         if let Some(cached) = self.cache.get_mut(&key) {
             cached.reduction.insert(stage.0, r);
@@ -289,12 +327,24 @@ impl LlmSched {
     /// `JobCompleted` instead).
     fn prune_cache(&mut self, ctx: &SchedContext<'_>) {
         if self.cache.len() > 4 * ctx.jobs.len() + 64 {
-            let alive: std::collections::HashSet<JobId> = ctx.jobs.iter().map(|j| j.id()).collect();
-            self.cache.retain(|(id, _), _| alive.contains(id));
+            // Keep only alive jobs' entries at their app's *current*
+            // profile version: under per-completion publishing, stale
+            // versions of long-lived jobs would otherwise accumulate for
+            // as long as the job runs.
+            let alive: HashMap<JobId, u64> = ctx
+                .jobs
+                .iter()
+                .map(|j| (j.id(), self.store.version(j.app()).0))
+                .collect();
+            self.cache
+                .retain(|(id, ver, _), _| alive.get(id) == Some(ver));
         }
     }
 
     fn schedule_rebuild(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        // Fold pending observations into new snapshots first; version-keyed
+        // cache entries of bumped apps simply stop being hit.
+        let _ = self.store.absorb(ctx.templates);
         self.prune_cache(ctx);
         // Eq. 2 calibration: predicted durations at the backend-reported
         // average busy batch size vs the batch-1 profiling baseline.
@@ -376,12 +426,17 @@ impl LlmSched {
         }
     }
 
-    /// Brings beliefs, ready-stage counts and both ordered indices in sync
-    /// with the context.
+    /// Brings the profile store, beliefs, ready-stage counts and both
+    /// ordered indices in sync with the context.
     fn sync(&mut self, ctx: &SchedContext<'_>) {
+        // Publish any pending observation rows first: bumped apps
+        // invalidate exactly their jobs' beliefs (and shared bands).
+        for app in self.store.absorb(ctx.templates) {
+            self.beliefs.mark_app_dirty(app);
+        }
         let calib = crate::estimator::batching_calibration(ctx);
         let changed = self.beliefs.refresh(
-            &self.profiler,
+            &self.store,
             ctx,
             self.cfg.use_bn,
             self.cfg.interval_tail_mass,
@@ -473,7 +528,7 @@ impl LlmSched {
             ref interval_hi,
             ref ready_counts,
             ref mut beliefs,
-            ref profiler,
+            ref store,
             ref cfg,
             ref mut rng,
             ..
@@ -541,7 +596,7 @@ impl LlmSched {
                             continue;
                         };
                         for s in ctx.jobs[idx].ready_stage_ids() {
-                            let r = beliefs.reduction(profiler, cfg.mi, ctx.jobs[idx], s);
+                            let r = beliefs.reduction(store, cfg.mi, ctx.jobs[idx], s);
                             heap.push(SuEntry {
                                 score: FiniteF64(r),
                                 tie: std::cmp::Reverse((ctx.jobs[idx].id(), s)),
@@ -754,6 +809,10 @@ impl Scheduler for LlmSched {
     }
 
     fn on_delta(&mut self, d: &SchedDelta) {
+        // Observation routing feeds the profile store on *both* execution
+        // paths (the store is shared state, not incremental bookkeeping);
+        // frozen stores discard the deltas internally.
+        self.store.on_delta(d);
         if !self.cfg.incremental {
             return;
         }
@@ -779,11 +838,17 @@ impl Scheduler for LlmSched {
             | SchedDelta::TasksDispatched { job, .. } => {
                 self.ready_dirty.insert(*job);
             }
-            SchedDelta::TasksFinished { .. } => {}
+            // Pure observations: consumed by the store above, no
+            // ready-set or belief change until a snapshot publishes.
+            SchedDelta::TasksFinished { .. }
+            | SchedDelta::StageObserved { .. }
+            | SchedDelta::DynCandidateObserved { .. }
+            | SchedDelta::DynEdgeObserved { .. } => {}
         }
     }
 
     fn reset(&mut self) {
+        self.store.reset();
         self.cache.clear();
         self.beliefs.clear();
         self.exploit.clear();

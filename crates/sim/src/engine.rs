@@ -385,6 +385,7 @@ impl Engine<'_> {
             job: self.jobs[job].id(),
             stage: StageId(stage),
         });
+        self.emit_observations(job, stage);
         // Dependents see one fewer pending predecessor.
         let succs: Vec<u32> = self.jobs[job]
             .spec
@@ -427,6 +428,62 @@ impl Engine<'_> {
         for s in succs {
             self.try_auto_complete(job, s);
         }
+    }
+
+    /// Emits the profiler-grade observations of a just-completed stage:
+    /// the template stage's realized batch-1 duration, preceded (for
+    /// dynamic placeholders) by the structural outcome — one
+    /// [`SchedDelta::DynCandidateObserved`] per generated stage and one
+    /// [`SchedDelta::DynEdgeObserved`] per inner edge between them.
+    /// Generated stages carry no BN variable and emit nothing of their
+    /// own; their work aggregates into the placeholder's observation.
+    fn emit_observations(&mut self, job: usize, stage: u32) {
+        let jr = &self.jobs[job];
+        let sid = StageId(stage);
+        if sid.index() >= jr.spec.template_len() {
+            return;
+        }
+        let id = jr.id();
+        let app = jr.app();
+        if jr.spec.stage(sid).kind == StageKind::DynamicPlaceholder {
+            // Structural outcome: candidate inclusion + inner edges, in
+            // candidate terms (mirrors the profiler's training statistics).
+            let children = jr.spec.children_of_dynamic(sid);
+            let mut cand_of_stage: HashMap<u32, u32> = HashMap::new();
+            let mut deltas: Vec<SchedDelta> = Vec::new();
+            for &g in &children {
+                if let Some(c) = jr.spec.stage(g).candidate {
+                    cand_of_stage.insert(g.0, c as u32);
+                    deltas.push(SchedDelta::DynCandidateObserved {
+                        job: id,
+                        placeholder: sid,
+                        candidate: c as u32,
+                    });
+                }
+            }
+            for &(u, v) in jr.spec.generated_edges() {
+                if let (Some(&cu), Some(&cv)) = (cand_of_stage.get(&u.0), cand_of_stage.get(&v.0)) {
+                    deltas.push(SchedDelta::DynEdgeObserved {
+                        job: id,
+                        placeholder: sid,
+                        from: cu,
+                        to: cv,
+                    });
+                }
+            }
+            for d in deltas {
+                self.emit(d);
+            }
+        }
+        let nominal = self.jobs[job]
+            .completed_nominal_secs(sid)
+            .expect("stage just completed");
+        self.emit(SchedDelta::StageObserved {
+            job: id,
+            app,
+            stage: sid,
+            nominal: llmsched_dag::time::SimDuration::from_secs_f64(nominal),
+        });
     }
 
     /// Completes placeholder stages whose predecessors are all done.
@@ -1014,10 +1071,11 @@ mod tests {
 
         let flat: Vec<SchedDelta> = rec.batches.concat();
         // Arrival first, then for the pipeline job: dispatch of the LLM
-        // stage, its finish + stage completion. The regular stage's
-        // dispatch delta — and the final TasksFinished / StageCompleted /
-        // JobCompleted — land in a batch after the last invocation and are
-        // never delivered: the sim ends without another decision point.
+        // stage, its finish + stage completion + duration observation. The
+        // regular stage's dispatch delta — and the final TasksFinished /
+        // StageCompleted / StageObserved / JobCompleted — land in a batch
+        // after the last invocation and are never delivered: the sim ends
+        // without another decision point.
         let expect = [
             SchedDelta::JobArrived {
                 job: JobId(0),
@@ -1036,6 +1094,13 @@ mod tests {
             SchedDelta::StageCompleted {
                 job: JobId(0),
                 stage: StageId(0),
+            },
+            // 100 tokens at the 10 ms/token flat curve: 1 s batch-1 truth.
+            SchedDelta::StageObserved {
+                job: JobId(0),
+                app: AppId(0),
+                stage: StageId(0),
+                nominal: SimDuration::from_secs(1),
             },
         ];
         assert_eq!(flat, expect, "causal order of the delta stream");

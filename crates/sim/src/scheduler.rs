@@ -2,9 +2,9 @@
 //! itself) implements, and the context the engine hands it at each decision
 //! point.
 
-use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::ids::{AppId, JobId, StageId};
 use llmsched_dag::template::TemplateSet;
-use llmsched_dag::time::SimTime;
+use llmsched_dag::time::{SimDuration, SimTime};
 
 use crate::latency::LatencyProfile;
 use crate::state::{JobRt, LlmExecutorView};
@@ -81,6 +81,48 @@ pub enum SchedDelta {
         /// Number of tasks finished.
         count: u32,
     },
+    /// A *template* stage's true batch-1 duration became observable (the
+    /// stage completed): the profiler-grade observation feeding online
+    /// profile updates. Voided stages observe zero; dynamic placeholders
+    /// aggregate their generated stages' realized work. Emitted
+    /// immediately after the stage's [`SchedDelta::StageCompleted`];
+    /// generated stages (which carry no BN variable) emit none.
+    StageObserved {
+        /// The job.
+        job: JobId,
+        /// The job's application (so observation consumers need no
+        /// job-to-app side table).
+        app: AppId,
+        /// The completed template stage.
+        stage: StageId,
+        /// Batch-1-normalized realized duration.
+        nominal: SimDuration,
+    },
+    /// A dynamic placeholder's structural outcome, one delta per generated
+    /// stage: candidate `candidate` was instantiated in this job. Emitted
+    /// at placeholder completion, before the placeholder's own
+    /// [`SchedDelta::StageObserved`].
+    DynCandidateObserved {
+        /// The job.
+        job: JobId,
+        /// The placeholder (template stage id).
+        placeholder: StageId,
+        /// Index into the placeholder's candidate set.
+        candidate: u32,
+    },
+    /// A dynamic placeholder's structural outcome, one delta per inner
+    /// edge between generated stages, mapped to candidate indices (the
+    /// Eq. 4 edge-frequency observation).
+    DynEdgeObserved {
+        /// The job.
+        job: JobId,
+        /// The placeholder (template stage id).
+        placeholder: StageId,
+        /// Candidate index of the edge's source stage.
+        from: u32,
+        /// Candidate index of the edge's target stage.
+        to: u32,
+    },
 }
 
 impl SchedDelta {
@@ -92,8 +134,23 @@ impl SchedDelta {
             | SchedDelta::StageRevealed { job, .. }
             | SchedDelta::JobCompleted { job }
             | SchedDelta::TasksDispatched { job, .. }
-            | SchedDelta::TasksFinished { job, .. } => job,
+            | SchedDelta::TasksFinished { job, .. }
+            | SchedDelta::StageObserved { job, .. }
+            | SchedDelta::DynCandidateObserved { job, .. }
+            | SchedDelta::DynEdgeObserved { job, .. } => job,
         }
+    }
+
+    /// True for the observation deltas feeding online profile updates
+    /// ([`SchedDelta::StageObserved`] and the dynamic-structure pair) —
+    /// pure information, never a scheduling-state change.
+    pub fn is_observation(&self) -> bool {
+        matches!(
+            self,
+            SchedDelta::StageObserved { .. }
+                | SchedDelta::DynCandidateObserved { .. }
+                | SchedDelta::DynEdgeObserved { .. }
+        )
     }
 }
 

@@ -166,7 +166,7 @@ pub fn chain_length(job: &JobSpec) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llmsched_bayes::stats::pearson;
+    use crate::apps::testutil;
     use rand::SeedableRng;
 
     #[test]
@@ -231,23 +231,17 @@ mod tests {
     #[test]
     fn successive_code_gens_are_strongly_correlated() {
         let g = CodeGeneration::new();
-        let mut rng = StdRng::seed_from_u64(22);
         let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
         // Condition on jobs that ran at least two iterations so both stages
         // are non-zero (the paper's heatmap treats unexecuted stages as 0,
         // which only strengthens the correlation).
-        let mut cg1 = Vec::new();
-        let mut cg2 = Vec::new();
-        for i in 0..2000 {
-            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
-            if j.stage(StageId(4)).executed {
+        let (c, kept) = testutil::job_feature_correlation(&g, 2000, 22, |j| {
+            j.stage(StageId(4)).executed.then(|| {
                 let d = j.template_stage_durations_secs(per_token);
-                cg1.push(d[1]);
-                cg2.push(d[4]);
-            }
-        }
-        assert!(cg1.len() > 100, "need enough multi-iteration jobs");
-        let c = pearson(&cg1, &cg2);
+                (d[1], d[4])
+            })
+        });
+        assert!(kept > 100, "need enough multi-iteration jobs");
         assert!(
             c > 0.8,
             "corr(code gen 1, code gen 2) should be ~0.9 (Fig. 5b), got {c}"

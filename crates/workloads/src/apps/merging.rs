@@ -134,7 +134,7 @@ impl AppGenerator for DocumentMerging {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llmsched_bayes::stats::pearson;
+    use crate::apps::testutil;
     use rand::SeedableRng;
 
     #[test]
@@ -168,17 +168,9 @@ mod tests {
     #[test]
     fn summaries_correlate_with_merge() {
         let g = DocumentMerging::new();
-        let mut rng = StdRng::seed_from_u64(11);
-        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
-        let mut sum0 = Vec::new();
-        let mut merge = Vec::new();
-        for i in 0..300 {
-            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
-            let d = j.template_stage_durations_secs(per_token);
-            sum0.push(d[0]);
-            merge.push(d[N_DOCS]);
-        }
-        let c = pearson(&sum0, &merge);
+        use llmsched_dag::ids::StageId;
+        let c =
+            testutil::stage_duration_correlation(&g, 300, 11, StageId(0), StageId(N_DOCS as u32));
         assert!(
             c > 0.4,
             "summarize/merge durations should correlate, got {c}"

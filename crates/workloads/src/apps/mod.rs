@@ -142,6 +142,55 @@ pub(crate) fn tokens_for_secs(secs: f64) -> u32 {
     (secs / NOMINAL_PER_TOKEN_SECS).round().max(1.0) as u32
 }
 
+/// Shared helpers for the per-app generator test suites — one home for
+/// the seeded generate-then-correlate loop that was previously
+/// copy-pasted into each app module's Fig. 5 correlation tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use llmsched_dag::ids::StageId;
+    use llmsched_dag::time::SimDuration;
+    use rand::SeedableRng;
+
+    /// Generates `n` seeded jobs of `generator`, extracts one `(x, y)`
+    /// feature pair per job (jobs where `extract` returns `None` are
+    /// skipped) and returns `(pearson(x, y), kept_pairs)`.
+    pub(crate) fn job_feature_correlation(
+        generator: &dyn AppGenerator,
+        n: u64,
+        seed: u64,
+        mut extract: impl FnMut(&JobSpec) -> Option<(f64, f64)>,
+    ) -> (f64, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        for i in 0..n {
+            let j = generator.generate(JobId(i), SimTime::ZERO, &mut rng);
+            if let Some((x, y)) = extract(&j) {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+        (llmsched_bayes::stats::pearson(&xs, &ys), xs.len())
+    }
+
+    /// Pearson correlation between two *template-stage* durations over
+    /// `n` seeded jobs (the Fig. 5 heatmap cells).
+    pub(crate) fn stage_duration_correlation(
+        generator: &dyn AppGenerator,
+        n: u64,
+        seed: u64,
+        a: StageId,
+        b: StageId,
+    ) -> f64 {
+        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
+        job_feature_correlation(generator, n, seed, |j| {
+            let d = j.template_stage_durations_secs(per_token);
+            Some((d[a.index()], d[b.index()]))
+        })
+        .0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -161,7 +161,7 @@ pub mod stages {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use llmsched_bayes::stats::pearson;
+    use crate::apps::testutil;
     use rand::SeedableRng;
 
     fn nominal(job: &JobSpec) -> f64 {
@@ -211,20 +211,8 @@ mod tests {
     #[test]
     fn stage_durations_are_correlated_like_fig5a() {
         let g = SequenceSorting::new();
-        let mut rng = StdRng::seed_from_u64(2);
-        let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
-        let mut split = Vec::new();
-        let mut sort_a = Vec::new();
-        let mut refine = Vec::new();
-        for i in 0..400 {
-            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
-            let d = j.template_stage_durations_secs(per_token);
-            split.push(d[stages::SPLIT.index()]);
-            sort_a.push(d[stages::SORT_A.index()]);
-            refine.push(d[stages::REFINE.index()]);
-        }
-        let c03 = pearson(&split, &sort_a);
-        let c09 = pearson(&split, &refine);
+        let c03 = testutil::stage_duration_correlation(&g, 400, 2, stages::SPLIT, stages::SORT_A);
+        let c09 = testutil::stage_duration_correlation(&g, 400, 2, stages::SPLIT, stages::REFINE);
         assert!(
             c03 > 0.5,
             "corr(split, sort A) should be strong (paper ~0.7), got {c03}"

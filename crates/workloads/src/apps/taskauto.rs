@@ -200,19 +200,14 @@ mod tests {
     #[test]
     fn plan_duration_correlates_with_plan_size() {
         let g = TaskAutomation::new();
-        let mut rng = StdRng::seed_from_u64(42);
         let per_token = SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS);
-        let mut plan_d = Vec::new();
-        let mut sizes = Vec::new();
-        for i in 0..1000 {
-            let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
-            plan_d.push(
+        let (c, _) = crate::apps::testutil::job_feature_correlation(&g, 1000, 42, |j| {
+            Some((
                 j.stage_nominal_duration(StageId(0), per_token)
                     .as_secs_f64(),
-            );
-            sizes.push(j.children_of_dynamic(StageId(1)).len() as f64);
-        }
-        let c = llmsched_bayes::stats::pearson(&plan_d, &sizes);
+                j.children_of_dynamic(StageId(1)).len() as f64,
+            ))
+        });
         assert!(c > 0.6, "plan duration should track plan size, got {c}");
     }
 

@@ -40,6 +40,7 @@ pub mod apps;
 pub mod arrivals;
 pub mod mix;
 pub mod randx;
+pub mod scenarios;
 
 /// Convenient glob-import of the workload surface.
 pub mod prelude {
@@ -50,6 +51,9 @@ pub mod prelude {
     pub use crate::mix::{
         generate_workload, generate_workload_with, poisson_arrivals, training_jobs, Workload,
         WorkloadKind,
+    };
+    pub use crate::scenarios::{
+        cold_start_training_kinds, generate_drift_workload, scale_job_spec, DriftSpec,
     };
 }
 

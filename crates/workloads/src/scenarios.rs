@@ -1,0 +1,233 @@
+//! Non-stationary workload scenarios: mid-run distribution drift and
+//! cold-start applications.
+//!
+//! The paper trains its profiler once on a historical corpus and freezes
+//! it; a production system faces traffic whose behavior *moves*. Two
+//! canonical stressors for the online profiling path:
+//!
+//! * **Drift** — at a seeded point in time, some applications' duration
+//!   distributions shift (a model swap, a data-regime change, a slow
+//!   downstream tool). Jobs arriving after [`DriftSpec::at`] have their
+//!   hidden work content scaled by [`DriftSpec::factor`]; a frozen profile
+//!   keeps predicting the old regime, an online store re-learns.
+//! * **Cold start** — a brand-new application arrives with zero training
+//!   history. [`cold_start_training_kinds`] carves the holdout apps out of
+//!   the training corpus so the store must bootstrap their profiles from
+//!   a Laplace prior and converge online.
+//!
+//! Drift scales only the *selected* apps. Uniform scaling of every app is
+//! nearly invisible to SRTF-style policies (relative order is scale
+//! invariant); differential drift is what flips cross-app ordering and
+//! separates adaptive from frozen profiling.
+
+use llmsched_dag::job::{JobSpec, StageSpec};
+use llmsched_dag::template::Template;
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_dag::work::TaskWork;
+
+use crate::apps::AppKind;
+use crate::mix::{generate_workload, Workload, WorkloadKind};
+
+/// A mid-run duration-distribution shift.
+#[derive(Debug, Clone)]
+pub struct DriftSpec {
+    /// Jobs arriving at or after this instant are drifted.
+    pub at: SimTime,
+    /// Work multiplier for drifted jobs (regular durations and LLM output
+    /// tokens scale by this; must be positive).
+    pub factor: f64,
+    /// The applications that drift. Empty = every app in the mix (note
+    /// the scale-invariance caveat in the module docs).
+    pub apps: Vec<AppKind>,
+}
+
+impl DriftSpec {
+    /// Drift of `factor` at `at_secs` seconds, applied to `apps`.
+    pub fn new(at_secs: f64, factor: f64, apps: Vec<AppKind>) -> Self {
+        assert!(factor > 0.0, "drift factor must be positive");
+        DriftSpec {
+            at: SimTime::from_secs_f64(at_secs),
+            factor,
+            apps,
+        }
+    }
+
+    /// True if `kind` participates in the drift.
+    pub fn applies_to(&self, kind: AppKind) -> bool {
+        self.apps.is_empty() || self.apps.contains(&kind)
+    }
+}
+
+/// Scales one task's hidden work content.
+fn scale_task(t: TaskWork, factor: f64) -> TaskWork {
+    match t {
+        TaskWork::Regular { duration } => TaskWork::Regular {
+            duration: SimDuration::from_secs_f64(duration.as_secs_f64() * factor),
+        },
+        TaskWork::Llm {
+            prompt_tokens,
+            output_tokens,
+        } => TaskWork::Llm {
+            prompt_tokens,
+            output_tokens: ((output_tokens as f64 * factor).round() as u32).max(1),
+        },
+    }
+}
+
+/// Rebuilds a job spec with every task's work scaled by `factor`
+/// (structure, reveal protocol and arrival time untouched). Regular task
+/// durations scale exactly; LLM output tokens scale with rounding
+/// (minimum 1 token).
+///
+/// # Panics
+/// Panics if `factor` is not positive or the spec does not belong to
+/// `template`.
+pub fn scale_job_spec(template: &Template, spec: &JobSpec, factor: f64) -> JobSpec {
+    assert!(factor > 0.0, "scale factor must be positive");
+    let stages: Vec<StageSpec> = spec
+        .stages()
+        .iter()
+        .map(|s| StageSpec {
+            name: s.name.clone(),
+            kind: s.kind,
+            executed: s.executed,
+            tasks: s.tasks.iter().map(|&t| scale_task(t, factor)).collect(),
+            revealed_by: s.revealed_by,
+            parent_dynamic: s.parent_dynamic,
+            candidate: s.candidate,
+        })
+        .collect();
+    JobSpec::new(
+        spec.id(),
+        template,
+        spec.arrival(),
+        stages,
+        spec.generated_edges().to_vec(),
+    )
+    .expect("scaling preserves spec validity")
+}
+
+/// Generates a workload of `kind` whose selected apps drift at
+/// [`DriftSpec::at`]: identical to [`generate_workload`] with the same
+/// seed (same arrivals, same apps, same latent draws), except that jobs
+/// arriving in the drifted regime carry scaled work.
+pub fn generate_drift_workload(
+    kind: WorkloadKind,
+    n_jobs: usize,
+    lambda: f64,
+    seed: u64,
+    drift: &DriftSpec,
+) -> Workload {
+    let mut w = generate_workload(kind, n_jobs, lambda, seed);
+    w.jobs = w
+        .jobs
+        .into_iter()
+        .map(|j| {
+            let drifted = j.arrival() >= drift.at
+                && AppKind::from_app_id(j.app()).is_some_and(|k| drift.applies_to(k));
+            if drifted {
+                let t = w.templates.expect(j.app());
+                scale_job_spec(t, &j, drift.factor)
+            } else {
+                j
+            }
+        })
+        .collect();
+    w
+}
+
+/// The training-corpus app list for a cold-start scenario: the mix's
+/// apps minus the holdout set (which must bootstrap online from zero
+/// history).
+pub fn cold_start_training_kinds(kind: WorkloadKind, holdout: &[AppKind]) -> Vec<AppKind> {
+    kind.apps()
+        .into_iter()
+        .filter(|a| !holdout.contains(a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::NOMINAL_PER_TOKEN_SECS;
+
+    fn per_token() -> SimDuration {
+        SimDuration::from_secs_f64(NOMINAL_PER_TOKEN_SECS)
+    }
+
+    #[test]
+    fn drift_scales_only_post_drift_jobs_of_selected_apps() {
+        let drift = DriftSpec::new(20.0, 3.0, vec![AppKind::CodeGeneration]);
+        let base = generate_workload(WorkloadKind::ChainLike, 60, 0.9, 5);
+        let w = generate_drift_workload(WorkloadKind::ChainLike, 60, 0.9, 5, &drift);
+        assert_eq!(base.jobs.len(), w.jobs.len());
+        let mut scaled = 0;
+        for (b, d) in base.jobs.iter().zip(&w.jobs) {
+            assert_eq!(b.id(), d.id());
+            assert_eq!(b.arrival(), d.arrival());
+            assert_eq!(b.app(), d.app());
+            let bd = b.total_nominal_duration(per_token()).as_secs_f64();
+            let dd = d.total_nominal_duration(per_token()).as_secs_f64();
+            let in_regime = d.arrival() >= drift.at
+                && AppKind::from_app_id(d.app()) == Some(AppKind::CodeGeneration);
+            if in_regime {
+                scaled += 1;
+                // Slightly below 3x: prompt tokens (prefill surcharge)
+                // intentionally do not drift, only generated work does.
+                let ratio = dd / bd;
+                assert!(
+                    (2.5..=3.001).contains(&ratio),
+                    "drifted job {} should be ~3x: {bd} -> {dd}",
+                    d.id()
+                );
+            } else {
+                assert_eq!(bd, dd, "undrifted job {} must be untouched", d.id());
+            }
+        }
+        assert!(scaled > 5, "the regime should contain drifted jobs");
+    }
+
+    #[test]
+    fn drift_workload_is_deterministic() {
+        let drift = DriftSpec::new(10.0, 2.0, vec![]);
+        let a = generate_drift_workload(WorkloadKind::Planning, 30, 0.9, 7, &drift);
+        let b = generate_drift_workload(WorkloadKind::Planning, 30, 0.9, 7, &drift);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(
+                x.total_nominal_duration(per_token()),
+                y.total_nominal_duration(per_token())
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_specs_keep_structure() {
+        let drift = DriftSpec::new(0.0, 2.5, vec![]);
+        let w = generate_drift_workload(WorkloadKind::Planning, 20, 0.9, 3, &drift);
+        let base = generate_workload(WorkloadKind::Planning, 20, 0.9, 3);
+        for (b, d) in base.jobs.iter().zip(&w.jobs) {
+            assert_eq!(b.len(), d.len(), "stage counts preserved");
+            assert_eq!(b.generated_edges(), d.generated_edges());
+            for s in 0..b.len() as u32 {
+                let sid = llmsched_dag::ids::StageId(s);
+                assert_eq!(b.stage(sid).executed, d.stage(sid).executed);
+                assert_eq!(b.stage(sid).tasks.len(), d.stage(sid).tasks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cold_start_kinds_exclude_holdout() {
+        let kinds = cold_start_training_kinds(WorkloadKind::Mixed, &[AppKind::CodeGeneration]);
+        assert_eq!(kinds.len(), 5);
+        assert!(!kinds.contains(&AppKind::CodeGeneration));
+        let all = cold_start_training_kinds(WorkloadKind::ChainLike, &[]);
+        assert_eq!(all, WorkloadKind::ChainLike.apps());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = DriftSpec::new(1.0, 0.0, vec![]);
+    }
+}

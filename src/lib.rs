@@ -18,9 +18,9 @@
 //! | [`cluster`] | serving-cluster model: replica groups, latency curves, routing policies |
 //! | [`sim`] | discrete-event cluster simulator with batching LLM executors |
 //! | [`bayes`] | discrete Bayesian networks + information theory |
-//! | [`workloads`] | the six compound-application generators & mixes |
+//! | [`workloads`] | the six compound-application generators, mixes, and non-stationary scenarios (drift, cold start) |
 //! | [`schedulers`] | baselines: FCFS, Fair, SJF, SRTF, Argus, Decima-like, Carbyne-like |
-//! | [`core`] | LLMSched itself: profiler, estimator, Eq. 3–6, Algorithm 1 |
+//! | [`core`] | LLMSched itself: profiler, versioned online [`ProfileStore`], estimator, Eq. 3–6, Algorithm 1 |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +51,18 @@ pub use llmsched_dag as dag;
 pub use llmsched_schedulers as schedulers;
 pub use llmsched_sim as sim;
 pub use llmsched_workloads as workloads;
+
+// The profiling/belief surface, re-exported at the crate root so examples
+// and downstream users need no per-crate imports: the batch profiler, the
+// versioned online profile store, and the delta-driven belief state.
+pub use llmsched_core::belief::{BeliefStore, JobBelief};
+pub use llmsched_core::profiler::{
+    AppProfile, DynamicStats, Profiler, ProfilerConfig, StructureLearner,
+};
+pub use llmsched_core::scheduler::{LlmSched, LlmSchedConfig};
+pub use llmsched_core::store::{
+    ProfileSnapshot, ProfileStore, ProfileStoreConfig, ProfileUpdate, ProfileVersion,
+};
 
 /// One import for the whole public API.
 pub mod prelude {

@@ -164,6 +164,130 @@ fn reveal_orders_are_identical() {
     }
 }
 
+/// Frozen-mode pin: with `ProfileUpdate::Frozen` (the default), the
+/// versioned ProfileStore must be **bit-identical to the pre-store
+/// frozen profiler** — same engine event counts and the exact f64 bit
+/// pattern of the average JCT, recorded from the tree before the
+/// online-profiling refactor landed. Every policy × backend is already
+/// swept above; this locks the flagship policy's absolute behavior so a
+/// store regression cannot hide behind a both-paths-drifted equivalence.
+#[test]
+fn frozen_profile_update_is_bit_identical_to_pre_store_schedules() {
+    // (mix, mode, avg_jct f64 bits, engine events) captured at the
+    // pre-refactor commit with the training setup of `artifacts()`.
+    let golden = [
+        (
+            WorkloadKind::Mixed,
+            EngineMode::Analytic,
+            0x4035d5b500276d2bu64,
+            476u64,
+        ),
+        (
+            WorkloadKind::Mixed,
+            EngineMode::Cluster,
+            0x4035d5b500276d2b,
+            476,
+        ),
+        (
+            WorkloadKind::Predefined,
+            EngineMode::Analytic,
+            0x40402f78eacd68d4,
+            651,
+        ),
+        (
+            WorkloadKind::Predefined,
+            EngineMode::Cluster,
+            0x40402f78eacd68d4,
+            651,
+        ),
+        (
+            WorkloadKind::ChainLike,
+            EngineMode::Analytic,
+            0x402321c952c4c8f2,
+            116,
+        ),
+        (
+            WorkloadKind::ChainLike,
+            EngineMode::Cluster,
+            0x402321c952c4c8f2,
+            116,
+        ),
+        (
+            WorkloadKind::Planning,
+            EngineMode::Analytic,
+            0x401f56f39085f4a2,
+            138,
+        ),
+        (
+            WorkloadKind::Planning,
+            EngineMode::Cluster,
+            0x401f56f39085f4a2,
+            138,
+        ),
+    ];
+    let (profiler, _) = artifacts();
+    for (kind, mode, bits, events) in golden {
+        for explicit_frozen in [false, true] {
+            let w = generate_workload(kind, 10, 0.9, 11);
+            let mut cfg = kind.default_cluster();
+            cfg.mode = mode;
+            let scfg = LlmSchedConfig {
+                profile_update: if explicit_frozen {
+                    ProfileUpdate::Frozen
+                } else {
+                    LlmSchedConfig::default().profile_update
+                },
+                ..LlmSchedConfig::default()
+            };
+            let mut sched = LlmSched::new(profiler.clone(), scfg);
+            let r = simulate(&cfg, &w.templates, w.jobs, &mut sched);
+            let label = format!("{} / {:?} (explicit={explicit_frozen})", kind.name(), mode);
+            assert_eq!(r.events, events, "{label}: engine events moved");
+            assert_eq!(
+                r.avg_jct_secs().to_bits(),
+                bits,
+                "{label}: avg JCT bits moved ({} vs golden {})",
+                r.avg_jct_secs(),
+                f64::from_bits(bits)
+            );
+        }
+    }
+}
+
+/// The equivalence invariant must also hold with **online profiling
+/// active**: both execution paths absorb the same observation stream at
+/// the same decision points, so per-completion snapshot publishing keeps
+/// the incremental and rebuild schedules bit-identical.
+#[test]
+fn online_profile_updates_preserve_incremental_equivalence() {
+    let templates = all_templates();
+    let corpus = training_jobs(&AppKind::ALL, 60, 1);
+    let run = |kind: WorkloadKind, incremental: bool| {
+        let store = ProfileStore::train(
+            &templates,
+            &corpus,
+            ProfileStoreConfig {
+                update: ProfileUpdate::PerCompletion,
+                ..ProfileStoreConfig::default()
+            },
+        );
+        let mut sched = LlmSched::with_store(
+            store,
+            LlmSchedConfig {
+                incremental,
+                ..LlmSchedConfig::default()
+            },
+        );
+        let w = generate_workload(kind, 12, 0.9, 23);
+        simulate(&kind.default_cluster(), &w.templates, w.jobs, &mut sched)
+    };
+    for kind in WorkloadKind::ALL {
+        let inc = run(kind, true);
+        let reb = run(kind, false);
+        assert_equiv(&inc, &reb, &format!("LLMSched online / {}", kind.name()));
+    }
+}
+
 /// Extra analytic-backend seed sweep, including the LLMSched ablation
 /// variants (the exploration machinery exercises the interval index and
 /// memoized reductions hardest).
