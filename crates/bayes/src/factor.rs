@@ -146,26 +146,33 @@ impl Factor {
         let lstr = self.strides();
         let rstr = other.strides();
 
+        // Per-union-variable strides into each operand (0 when absent), so
+        // the enumeration below can walk both tables with an odometer
+        // increment instead of a div/mod decode per entry. The (li, ri)
+        // pair visited for every flat index is exactly the decoded
+        // assignment's, so the output table is bit-identical.
+        let lstr_u: Vec<usize> = (0..vars.len())
+            .map(|k| lpos[k].map_or(0, |p| lstr[p]))
+            .collect();
+        let rstr_u: Vec<usize> = (0..vars.len())
+            .map(|k| rpos[k].map_or(0, |p| rstr[p]))
+            .collect();
         let mut values = vec![0.0; size];
         let mut assign = vec![0usize; vars.len()];
-        for (flat, value) in values.iter_mut().enumerate() {
-            // Decode `flat` into the union assignment (last var fastest).
-            let mut rem = flat;
-            for k in (0..vars.len()).rev() {
-                assign[k] = rem % card[k];
-                rem /= card[k];
-            }
-            let mut li = 0;
-            let mut ri = 0;
-            for k in 0..vars.len() {
-                if let Some(p) = lpos[k] {
-                    li += assign[k] * lstr[p];
-                }
-                if let Some(p) = rpos[k] {
-                    ri += assign[k] * rstr[p];
-                }
-            }
+        let (mut li, mut ri) = (0usize, 0usize);
+        for value in values.iter_mut() {
             *value = self.values[li] * other.values[ri];
+            for k in (0..vars.len()).rev() {
+                assign[k] += 1;
+                li += lstr_u[k];
+                ri += rstr_u[k];
+                if assign[k] < card[k] {
+                    break;
+                }
+                assign[k] = 0;
+                li -= lstr_u[k] * card[k];
+                ri -= rstr_u[k] * card[k];
+            }
         }
         Factor { vars, card, values }
     }
@@ -186,28 +193,32 @@ impl Factor {
         let vcard = card.remove(p);
         let size: usize = card.iter().product();
         let strides = self.strides();
+        // Source strides of the remaining variables, aligned with the
+        // output scope; the output is enumerated with an odometer walk
+        // (same `base` per entry as the decoded form — bit-identical, and
+        // the inner summation order over `var` is unchanged).
+        let rem_strides: Vec<usize> = (0..self.vars.len())
+            .filter(|&k| k != p)
+            .map(|k| strides[k])
+            .collect();
         let mut values = vec![0.0; size];
         let mut assign = vec![0usize; vars.len()];
-        for (flat, value) in values.iter_mut().enumerate() {
-            let mut rem = flat;
-            for k in (0..vars.len()).rev() {
-                assign[k] = rem % card[k];
-                rem /= card[k];
-            }
-            let mut base = 0;
-            let mut ai = 0;
-            for (k, &stride) in strides.iter().enumerate() {
-                if k == p {
-                    continue;
-                }
-                base += assign[ai] * stride;
-                ai += 1;
-            }
+        let mut base = 0usize;
+        for value in values.iter_mut() {
             let mut sum = 0.0;
             for v in 0..vcard {
                 sum += self.values[base + v * strides[p]];
             }
             *value = sum;
+            for k in (0..vars.len()).rev() {
+                assign[k] += 1;
+                base += rem_strides[k];
+                if assign[k] < card[k] {
+                    break;
+                }
+                assign[k] = 0;
+                base -= rem_strides[k] * card[k];
+            }
         }
         Factor { vars, card, values }
     }
@@ -229,24 +240,25 @@ impl Factor {
         card.remove(p);
         let size: usize = card.iter().product();
         let strides = self.strides();
+        // Odometer walk over the remaining variables (see `sum_out`).
+        let rem_strides: Vec<usize> = (0..self.vars.len())
+            .filter(|&k| k != p)
+            .map(|k| strides[k])
+            .collect();
         let mut values = vec![0.0; size];
         let mut assign = vec![0usize; vars.len()];
-        for (flat, out) in values.iter_mut().enumerate() {
-            let mut rem = flat;
-            for k in (0..vars.len()).rev() {
-                assign[k] = rem % card[k];
-                rem /= card[k];
-            }
-            let mut idx = value * strides[p];
-            let mut ai = 0;
-            for (k, &stride) in strides.iter().enumerate() {
-                if k == p {
-                    continue;
-                }
-                idx += assign[ai] * stride;
-                ai += 1;
-            }
+        let mut idx = value * strides[p];
+        for out in values.iter_mut() {
             *out = self.values[idx];
+            for k in (0..vars.len()).rev() {
+                assign[k] += 1;
+                idx += rem_strides[k];
+                if assign[k] < card[k] {
+                    break;
+                }
+                assign[k] = 0;
+                idx -= rem_strides[k] * card[k];
+            }
         }
         Factor { vars, card, values }
     }
@@ -300,7 +312,12 @@ impl Factor {
 /// # Panics
 /// Panics if a target variable does not appear in any factor.
 pub fn eliminate_to_joint(factors: &[Factor], targets: &[usize]) -> Factor {
-    let mut pool: Vec<Factor> = factors.to_vec();
+    // Input factors are only ever *read* (products take references), so
+    // the working pool borrows them and owns nothing but the intermediate
+    // elimination results — the old `to_vec()` clone of every input table
+    // was pure allocator churn on the scheduler's posterior hot path.
+    let mut pool: Vec<std::borrow::Cow<'_, Factor>> =
+        factors.iter().map(std::borrow::Cow::Borrowed).collect();
     let mut all_vars: Vec<usize> = Vec::new();
     for f in &pool {
         for &v in f.vars() {
@@ -320,16 +337,23 @@ pub fn eliminate_to_joint(factors: &[Factor], targets: &[usize]) -> Factor {
         if targets.contains(&v) {
             continue;
         }
-        // Multiply all factors mentioning v, sum v out, put the result back.
-        let (with, without): (Vec<Factor>, Vec<Factor>) =
-            pool.into_iter().partition(|f| f.vars().contains(&v));
-        let mut merged = Factor::unit();
-        for f in &with {
-            merged = merged.product(f);
+        // Multiply all factors mentioning v, sum v out, put the result
+        // back (in the exact pool order the cloning version used).
+        let mut merged: Option<Factor> = None;
+        let mut kept = Vec::with_capacity(pool.len());
+        for f in pool {
+            if f.vars().contains(&v) {
+                merged = Some(match merged {
+                    None => Factor::unit().product(&f),
+                    Some(m) => m.product(&f),
+                });
+            } else {
+                kept.push(f);
+            }
         }
-        pool = without;
-        if !with.is_empty() {
-            pool.push(merged.sum_out(v));
+        pool = kept;
+        if let Some(m) = merged {
+            pool.push(std::borrow::Cow::Owned(m.sum_out(v)));
         }
     }
     let mut joint = Factor::unit();

@@ -150,7 +150,15 @@ impl BayesNet {
     }
 
     /// All CPTs reduced by `evidence` (dropping observed variables).
-    fn reduced_cpts(&self, evidence: &Evidence) -> Vec<Factor> {
+    ///
+    /// Public so posterior consumers that query many marginals/joints
+    /// under *one* evidence state (the scheduler's per-evidence caches)
+    /// can build this factor pool once and reuse it via
+    /// [`BayesNet::posterior_joint_with`] /
+    /// [`BayesNet::posterior_marginal_with`] — the single-query entry
+    /// points delegate to the same code, so cached and uncached paths
+    /// produce bit-identical values.
+    pub fn reduced_cpts(&self, evidence: &Evidence) -> Vec<Factor> {
         self.cpts
             .iter()
             .map(|cpt| {
@@ -170,11 +178,23 @@ impl BayesNet {
     /// # Panics
     /// Panics if a target is observed in `evidence` or out of range.
     pub fn posterior_joint(&self, targets: &[usize], evidence: &Evidence) -> Factor {
+        self.posterior_joint_with(&self.reduced_cpts(evidence), targets, evidence)
+    }
+
+    /// [`BayesNet::posterior_joint`] over a prebuilt
+    /// [`BayesNet::reduced_cpts`] pool — `reduced` must have been built
+    /// from the same `evidence`.
+    pub fn posterior_joint_with(
+        &self,
+        reduced: &[Factor],
+        targets: &[usize],
+        evidence: &Evidence,
+    ) -> Factor {
         for t in targets {
             assert!(*t < self.n_vars(), "target {t} out of range");
             assert!(!evidence.contains_key(t), "target {t} is already observed");
         }
-        eliminate_to_joint(&self.reduced_cpts(evidence), targets)
+        eliminate_to_joint(reduced, targets)
     }
 
     /// Posterior marginal `P(var | evidence)` as a probability vector.
@@ -182,12 +202,26 @@ impl BayesNet {
     /// If `var` is itself observed, returns a point mass on the observed
     /// value (convenient for "remaining duration" scans over all stages).
     pub fn posterior_marginal(&self, var: usize, evidence: &Evidence) -> Vec<f64> {
+        if evidence.contains_key(&var) {
+            return self.posterior_marginal_with(&[], var, evidence);
+        }
+        self.posterior_marginal_with(&self.reduced_cpts(evidence), var, evidence)
+    }
+
+    /// [`BayesNet::posterior_marginal`] over a prebuilt
+    /// [`BayesNet::reduced_cpts`] pool (ignored for observed variables).
+    pub fn posterior_marginal_with(
+        &self,
+        reduced: &[Factor],
+        var: usize,
+        evidence: &Evidence,
+    ) -> Vec<f64> {
         if let Some(&val) = evidence.get(&var) {
             let mut p = vec![0.0; self.card[var]];
             p[val] = 1.0;
             return p;
         }
-        let f = self.posterior_joint(&[var], evidence);
+        let f = self.posterior_joint_with(reduced, &[var], evidence);
         f.values().to_vec()
     }
 

@@ -31,7 +31,9 @@ use llmsched_dag::ids::{AppId, JobId, StageId};
 use llmsched_sim::scheduler::{SchedContext, SchedDelta};
 use llmsched_sim::state::JobRt;
 
-use crate::estimator::{StageBand, WorkEstimate};
+use std::sync::Arc;
+
+use crate::estimator::{EvidencePosteriors, WorkEstimate};
 use crate::store::ProfileStore;
 use crate::uncertainty::{uncertainty_reduction, MiEstimator};
 
@@ -45,7 +47,7 @@ const BANDS_MEMO_CAP: usize = 1 << 16;
 #[derive(Debug, Clone, Default)]
 struct AppBands {
     version: u64,
-    by_evidence: HashMap<Vec<(usize, usize)>, Vec<StageBand>>,
+    by_evidence: HashMap<Vec<(usize, usize)>, Arc<EvidencePosteriors>>,
 }
 
 /// Everything LLMSched believes about one active job under its current
@@ -69,6 +71,10 @@ pub struct JobBelief {
     /// Memoized Eq. 6 scores per stage, cleared whenever the evidence
     /// changes.
     reductions: HashMap<u32, f64>,
+    /// The shared per-evidence posterior state this belief was derived
+    /// from (bands + reduced-CPT pool + marginals) — Eq. 6 scoring reuses
+    /// it instead of re-running the inference.
+    shared: Option<Arc<EvidencePosteriors>>,
 }
 
 /// Delta-maintained [`JobBelief`] records for every active job.
@@ -228,10 +234,13 @@ impl BeliefStore {
             app_bands.by_evidence.clear();
         }
         let key: Vec<(usize, usize)> = evidence.iter().map(|(&s, &b)| (s, b)).collect();
-        let bands = app_bands.by_evidence.entry(key).or_insert_with(|| {
-            crate::estimator::stage_bands(profile, &evidence, use_bn, tail_mass)
+        let entry = app_bands.by_evidence.entry(key).or_insert_with(|| {
+            Arc::new(EvidencePosteriors::build(
+                profile, &evidence, use_bn, tail_mass,
+            ))
         });
-        let work = crate::estimator::remaining_work_from_bands(profile, job, bands);
+        let shared = Arc::clone(entry);
+        let work = crate::estimator::remaining_work_from_bands(profile, job, &shared.bands);
         self.beliefs.insert(
             job.id(),
             JobBelief {
@@ -241,6 +250,7 @@ impl BeliefStore {
                 evidence,
                 work,
                 reductions: HashMap::new(),
+                shared: Some(shared),
             },
         );
         self.by_app.entry(job.app()).or_default().insert(job.id());
@@ -278,7 +288,36 @@ impl BeliefStore {
                 if let Some(&r) = b.reductions.get(&stage.0) {
                     return r;
                 }
-                let r = uncertainty_reduction(profile, job, stage, &b.evidence, mi);
+                let r = match &b.shared {
+                    // Cached path: the MI term is shared across jobs under
+                    // this evidence; only the dynamic-expansion bonus is
+                    // job-specific. Composition and guards mirror
+                    // `uncertainty_reduction` exactly.
+                    Some(ep) if ep.has_bn_cache() => {
+                        if b.evidence.contains_key(&stage.index()) {
+                            0.0
+                        } else {
+                            let memoized = ep.mi_memo(stage.0);
+                            let part = match memoized {
+                                Some(m) => m,
+                                None => {
+                                    let m = crate::uncertainty::mi_part_cached(
+                                        profile,
+                                        job,
+                                        stage,
+                                        &b.evidence,
+                                        ep,
+                                        mi,
+                                    );
+                                    ep.mi_memo_insert(stage.0, m);
+                                    m
+                                }
+                            };
+                            crate::uncertainty::add_dynamic_bonus(profile, job, stage, part)
+                        }
+                    }
+                    _ => uncertainty_reduction(profile, job, stage, &b.evidence, mi),
+                };
                 b.reductions.insert(stage.0, r);
                 r
             }
@@ -306,9 +345,9 @@ mod tests {
     ) -> SchedContext<'a> {
         SchedContext {
             now: SimTime::ZERO,
-            jobs: jobs.iter().collect(),
+            jobs: llmsched_sim::scheduler::ActiveJobs::dense(jobs),
             deltas,
-            llm_executors: vec![LlmExecutorView {
+            llm_executors: &[LlmExecutorView {
                 index: 0,
                 batch_len: 0,
                 max_batch: 8,

@@ -119,6 +119,105 @@ pub fn stage_bands(
         .collect()
 }
 
+/// Reusable posterior state of one `(application, evidence)` pair: the
+/// per-stage [`StageBand`]s plus — under the BN — the reduced-CPT factor
+/// pool and every stage's posterior marginal.
+///
+/// Built once per evidence state and shared across jobs by the
+/// [`BeliefStore`](crate::belief::BeliefStore): Eq. 6 scoring re-queries
+/// the same marginals `stage_bands` already computed and re-reduces the
+/// same CPTs for every joint, so caching both here removes the dominant
+/// per-evidence inference cost. All cached values are produced by the
+/// exact computations the uncached entry points run
+/// ([`BayesNet::posterior_marginal_with`](llmsched_bayes::network::BayesNet::posterior_marginal_with)
+/// delegation), so cached and uncached paths are bit-identical.
+#[derive(Debug)]
+pub struct EvidencePosteriors {
+    /// Per-stage posterior bands (what [`stage_bands`] returns).
+    pub bands: Vec<StageBand>,
+    /// BN-path cache; `None` for the w/o-BN ablation (whose bands come
+    /// from the evidence-free prior and whose cost profile is untouched).
+    pub(crate) cache: Option<PosteriorCache>,
+    /// Shared memo of Eq. 6 MI terms per stage: the term is a pure
+    /// function of `(application, evidence)` (see
+    /// [`crate::uncertainty`]), so every job under this evidence reuses
+    /// one computation. A `Mutex` (never contended — scheduling is
+    /// single-threaded; it only keeps the type `Sync` for multi-threaded
+    /// bench harnesses) guards the lazy fills.
+    pub(crate) mi: std::sync::Mutex<std::collections::HashMap<u32, f64>>,
+}
+
+/// The shareable inference state behind one evidence map.
+#[derive(Debug)]
+pub(crate) struct PosteriorCache {
+    /// [`BayesNet::reduced_cpts`](llmsched_bayes::network::BayesNet::reduced_cpts)
+    /// under this evidence.
+    pub(crate) pool: Vec<llmsched_bayes::factor::Factor>,
+    /// Posterior marginal of every template stage under this evidence.
+    pub(crate) marginals: Vec<Vec<f64>>,
+}
+
+impl EvidencePosteriors {
+    /// True when the BN cache (pool + marginals) is present.
+    pub(crate) fn has_bn_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Reads the shared MI memo for `stage`.
+    pub(crate) fn mi_memo(&self, stage: u32) -> Option<f64> {
+        self.mi
+            .lock()
+            .expect("mi memo poisoned")
+            .get(&stage)
+            .copied()
+    }
+
+    /// Fills the shared MI memo for `stage`.
+    pub(crate) fn mi_memo_insert(&self, stage: u32, value: f64) {
+        self.mi
+            .lock()
+            .expect("mi memo poisoned")
+            .insert(stage, value);
+    }
+
+    /// Builds the posterior state for one evidence map.
+    pub fn build(profile: &AppProfile, evidence: &Evidence, use_bn: bool, tail_mass: f64) -> Self {
+        if !use_bn {
+            return EvidencePosteriors {
+                bands: stage_bands(profile, evidence, false, tail_mass),
+                cache: None,
+                mi: std::sync::Mutex::new(std::collections::HashMap::new()),
+            };
+        }
+        let net = profile.net();
+        let pool = net.reduced_cpts(evidence);
+        let n = profile.n_stages();
+        let marginals: Vec<Vec<f64>> = (0..n)
+            .map(|s| net.posterior_marginal_with(&pool, s, evidence))
+            .collect();
+        let bands = (0..n)
+            .map(|s| {
+                if evidence.contains_key(&s) {
+                    return StageBand::default();
+                }
+                let disc = &profile.discretizers()[s];
+                let p = &marginals[s];
+                let (lo, hi) = disc.quantile_interval(p, tail_mass);
+                StageBand {
+                    mean: disc.expectation(p),
+                    lo,
+                    hi,
+                }
+            })
+            .collect();
+        EvidencePosteriors {
+            bands,
+            cache: Some(PosteriorCache { pool, marginals }),
+            mi: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+}
+
 /// Folds precomputed [`stage_bands`] into one job's remaining-work
 /// estimate: skips completed stages and credits observable progress
 /// inside expanded-but-unfinished placeholders (the job-specific part).
@@ -234,8 +333,8 @@ fn is_placeholder(job: &JobRt, stage: StageId) -> bool {
 
 fn completed_children_work(job: &JobRt, placeholder: StageId) -> f64 {
     job.visible_stage_ids()
-        .into_iter()
-        .filter_map(|g| job.stage_view(g))
+        .iter()
+        .filter_map(|&g| job.stage_view(g))
         .filter(|v| v.parent_dynamic == Some(placeholder))
         .filter_map(|v| v.completed_nominal_secs)
         .sum()

@@ -289,7 +289,7 @@ impl DynCounts {
     /// Counts one training job's realized structure under placeholder `d`.
     pub(crate) fn observe_job(&mut self, job: &JobSpec, d: StageId) {
         let mut cand_of_stage: HashMap<u32, usize> = HashMap::new();
-        for &g in &job.children_of_dynamic(d) {
+        for &g in job.children_of_dynamic(d) {
             if let Some(c) = job.stage(g).candidate {
                 if c < self.cand.len() {
                     self.cand[c] += 1;

@@ -132,6 +132,12 @@ pub struct LlmSched {
     ready_counts: HashMap<JobId, ReadyProfile>,
     ready_dirty: std::collections::HashSet<JobId>,
     total_ready: ReadyProfile,
+    /// Reused per-invocation merge scratch (cleared at the top of every
+    /// incremental schedule; persisting the capacity keeps the merge
+    /// allocation-free at steady state).
+    merge_emitted: HashMap<(usize, StageId), usize>,
+    st_mat_buf: Vec<StageRef>,
+    su_heap_buf: std::collections::BinaryHeap<SuEntry>,
     name: String,
 }
 
@@ -148,7 +154,7 @@ struct ReadyProfile {
 impl ReadyProfile {
     fn of(job: &JobRt) -> ReadyProfile {
         let mut p = ReadyProfile::default();
-        for s in job.ready_stage_ids() {
+        for &s in job.ready_stage_ids() {
             let view = job.stage_view(s).expect("ready stage is visible");
             p.stages += 1;
             let unstarted = view.tasks_unstarted().unwrap_or(0);
@@ -240,6 +246,9 @@ impl LlmSched {
             ready_counts: HashMap::new(),
             ready_dirty: std::collections::HashSet::new(),
             total_ready: ReadyProfile::default(),
+            merge_emitted: HashMap::new(),
+            st_mat_buf: Vec::new(),
+            su_heap_buf: std::collections::BinaryHeap::new(),
             name,
         }
     }
@@ -367,7 +376,7 @@ impl LlmSched {
         });
         let mut st: Vec<StageRef> = Vec::new();
         for &(_, i) in &job_order {
-            for s in ctx.jobs[i].ready_stage_ids() {
+            for &s in ctx.jobs[i].ready_stage_ids() {
                 st.push(StageRef {
                     job_idx: i,
                     stage: s,
@@ -391,8 +400,8 @@ impl LlmSched {
             for group in non_overlapping_groups(intervals) {
                 let mut scored: Vec<(f64, StageRef)> = Vec::new();
                 for i in group {
-                    for s in ctx.jobs[i].ready_stage_ids() {
-                        let r = self.reduction_of(ctx.jobs[i], s);
+                    for &s in ctx.jobs[i].ready_stage_ids() {
+                        let r = self.reduction_of(&ctx.jobs[i], s);
                         scored.push((
                             r,
                             StageRef {
@@ -457,7 +466,7 @@ impl LlmSched {
             self.intervals.clear();
             self.interval_hi.clear();
             for i in 0..ctx.jobs.len() {
-                self.index_job(ctx.jobs[i], calib);
+                self.index_job(&ctx.jobs[i], calib);
             }
             self.last_calib = Some(calib);
         }
@@ -531,20 +540,26 @@ impl LlmSched {
             ref store,
             ref cfg,
             ref mut rng,
+            ref mut merge_emitted,
+            ref mut st_mat_buf,
+            ref mut su_heap_buf,
             ..
         } = *self;
 
         let mut p = Preference::new();
         // Stage -> number of task refs emitted for it during the merge
         // (the tail subtracts these as duplicates).
-        let mut emitted: HashMap<(usize, StageId), usize> = HashMap::new();
+        let emitted = merge_emitted;
+        emitted.clear();
         // Lazy St state: materialized prefix + cursor into the SRTF order.
-        let mut st_mat: Vec<StageRef> = Vec::new();
+        let st_mat = st_mat_buf;
+        st_mat.clear();
         let mut st_src = exploit.entries().map(|(_, id)| id);
         // Lazy Su state: cursor into the interval order + current group's
         // scored heap.
         let mut iv_src = intervals.entries().map(|(k, id)| (k.0, id)).peekable();
-        let mut heap: std::collections::BinaryHeap<SuEntry> = std::collections::BinaryHeap::new();
+        let heap = su_heap_buf;
+        heap.clear();
 
         let (mut st_i, mut su_i) = (0usize, 0usize);
         // Set once both budgets are covered: emission (and materialization)
@@ -595,8 +610,8 @@ impl LlmSched {
                         let Some(idx) = ctx.job_index(id) else {
                             continue;
                         };
-                        for s in ctx.jobs[idx].ready_stage_ids() {
-                            let r = beliefs.reduction(store, cfg.mi, ctx.jobs[idx], s);
+                        for &s in ctx.jobs[idx].ready_stage_ids() {
+                            let r = beliefs.reduction(store, cfg.mi, &ctx.jobs[idx], s);
                             heap.push(SuEntry {
                                 score: FiniteF64(r),
                                 tie: std::cmp::Reverse((ctx.jobs[idx].id(), s)),
@@ -621,7 +636,7 @@ impl LlmSched {
                         continue;
                     }
                     if let Some(i) = ctx.job_index(id) {
-                        for s in ctx.jobs[i].ready_stage_ids() {
+                        for &s in ctx.jobs[i].ready_stage_ids() {
                             st_mat.push(StageRef {
                                 job_idx: i,
                                 stage: s,
@@ -648,7 +663,7 @@ impl LlmSched {
             }
             // Class-aware skip: entries for a closed class can never
             // start, whatever their position.
-            let kind = ctx.jobs[s.job_idx].stage_view(s.stage).map(|v| v.kind);
+            let kind = ctx.jobs[s.job_idx].visible_kind(s.stage);
             let skip = match kind {
                 Some(llmsched_dag::job::StageKind::Regular) => closed_reg,
                 Some(llmsched_dag::job::StageKind::Llm) => closed_llm,
@@ -660,9 +675,9 @@ impl LlmSched {
             }
             let before = p.len();
             if sample {
-                p.push_stage_sample(ctx.jobs[s.job_idx], s.stage, cfg.sampling_ratio);
+                p.push_stage_sample(&ctx.jobs[s.job_idx], s.stage, cfg.sampling_ratio);
             } else {
-                p.push_stage_tasks(ctx.jobs[s.job_idx], s.stage);
+                p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
             }
             emitted.insert(key, p.len() - before);
         }
@@ -674,11 +689,11 @@ impl LlmSched {
         // without consuming capacity).
         if !satiated {
             let (mut fresh_reg, mut fresh_llm) = (p.regular.len(), p.llm.len());
-            for s in &st_mat {
+            for s in st_mat.iter() {
                 if fresh_reg >= rb && fresh_llm >= lb {
                     break;
                 }
-                let kind = ctx.jobs[s.job_idx].stage_view(s.stage).map(|v| v.kind);
+                let kind = ctx.jobs[s.job_idx].visible_kind(s.stage);
                 let skip = match kind {
                     Some(llmsched_dag::job::StageKind::Regular) => fresh_reg >= rb,
                     Some(llmsched_dag::job::StageKind::Llm) => fresh_llm >= lb,
@@ -692,7 +707,7 @@ impl LlmSched {
                 // stages); only the surplus counts toward capacity.
                 let prior = emitted.get(&(s.job_idx, s.stage)).copied().unwrap_or(0);
                 let (r0, l0) = (p.regular.len(), p.llm.len());
-                p.push_stage_tasks(ctx.jobs[s.job_idx], s.stage);
+                p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
                 let (dr, dl) = (p.regular.len() - r0, p.llm.len() - l0);
                 if dr > 0 {
                     fresh_reg += dr.saturating_sub(prior);
@@ -738,14 +753,14 @@ impl LlmSched {
                 if emitted.insert((s.job_idx, s.stage)) {
                     // Explore: sample a fraction r of the uncertain stage's
                     // tasks (line 15); the rest re-attach at the tail below.
-                    p.push_stage_sample(ctx.jobs[s.job_idx], s.stage, self.cfg.sampling_ratio);
+                    p.push_stage_sample(&ctx.jobs[s.job_idx], s.stage, self.cfg.sampling_ratio);
                 }
             } else {
                 let s = st[st_i];
                 st_i += 1;
                 if emitted.insert((s.job_idx, s.stage)) {
                     // Exploit: all tasks of the SRTF-preferred stage.
-                    p.push_stage_tasks(ctx.jobs[s.job_idx], s.stage);
+                    p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
                 }
             }
         }
@@ -753,7 +768,7 @@ impl LlmSched {
         // explored stages) at the end, in SRTF order. Duplicate references
         // are skipped by the dispatcher.
         for s in st {
-            p.push_stage_tasks(ctx.jobs[s.job_idx], s.stage);
+            p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
         }
         p
     }

@@ -17,6 +17,8 @@
 //! cap (keeping the widest-range correlated stages), or a pairwise-sum
 //! approximation — the two are compared by an ablation bench.
 
+use std::borrow::Cow;
+
 use llmsched_bayes::info::mutual_information;
 use llmsched_bayes::network::Evidence;
 use llmsched_dag::ids::StageId;
@@ -55,8 +57,81 @@ pub fn uncertainty_reduction(
     evidence: &Evidence,
     estimator: MiEstimator,
 ) -> f64 {
+    reduction_impl(
+        profile,
+        job,
+        stage,
+        estimator,
+        |y| Cow::Owned(profile.net().posterior_marginal(y, evidence)),
+        |t| profile.net().posterior_joint(t, evidence),
+        |x| evidence.contains_key(&x),
+    )
+}
+
+/// The Eq. 6 composition shared by the entry points: the
+/// evidence-determined mutual-information term followed by the
+/// job-specific dynamic-expansion bonus, accumulated in the original
+/// order.
+fn reduction_impl<'a>(
+    profile: &AppProfile,
+    job: &JobRt,
+    stage: StageId,
+    estimator: MiEstimator,
+    marginal: impl Fn(usize) -> Cow<'a, [f64]>,
+    joint: impl Fn(&[usize]) -> llmsched_bayes::factor::Factor,
+    observed: impl Fn(usize) -> bool,
+) -> f64 {
     let x = stage.index();
-    if x >= profile.n_stages() || evidence.contains_key(&x) {
+    if x >= profile.n_stages() || observed(x) {
+        return 0.0;
+    }
+    let mi = mi_part_impl(profile, job, stage, estimator, marginal, joint, observed);
+    add_dynamic_bonus(profile, job, stage, mi)
+}
+
+/// Cached-pool variant of the MI term (see [`reduction_impl`]); `ep`
+/// must carry a BN cache built from `evidence`.
+///
+/// # Panics
+/// Panics if `ep` has no BN cache (the caller routes the w/o-BN ablation
+/// through the uncached path).
+pub(crate) fn mi_part_cached(
+    profile: &AppProfile,
+    job: &JobRt,
+    stage: StageId,
+    evidence: &Evidence,
+    ep: &crate::estimator::EvidencePosteriors,
+    estimator: MiEstimator,
+) -> f64 {
+    let cache = ep.cache.as_ref().expect("BN cache present");
+    mi_part_impl(
+        profile,
+        job,
+        stage,
+        estimator,
+        |y| Cow::Borrowed(cache.marginals[y].as_slice()),
+        |t| profile.net().posterior_joint_with(&cache.pool, t, evidence),
+        |x| evidence.contains_key(&x),
+    )
+}
+
+/// The evidence-determined part of Eq. 6: `I(Y…; X | E) × Σ Range(Y)`.
+///
+/// A pure function of `(application, evidence)` for any job whose
+/// completed-stage set matches the evidence keys (the belief-store
+/// invariant): `correlated_unfinished` filters by exactly that set. This
+/// is what lets the per-evidence cache share the MI term across jobs.
+fn mi_part_impl<'a>(
+    profile: &AppProfile,
+    job: &JobRt,
+    stage: StageId,
+    estimator: MiEstimator,
+    marginal: impl Fn(usize) -> Cow<'a, [f64]>,
+    joint: impl Fn(&[usize]) -> llmsched_bayes::factor::Factor,
+    observed: impl Fn(usize) -> bool,
+) -> f64 {
+    let x = stage.index();
+    if x >= profile.n_stages() || observed(x) {
         return 0.0;
     }
 
@@ -65,7 +140,7 @@ pub fn uncertainty_reduction(
         .correlated_unfinished(job, stage)
         .into_iter()
         .map(|y| {
-            let p = profile.net().posterior_marginal(y.index(), evidence);
+            let p = marginal(y.index());
             let (lo, hi) = profile.discretizers()[y.index()].support_interval(&p);
             (y.index(), hi - lo)
         })
@@ -88,7 +163,7 @@ pub fn uncertainty_reduction(
                 targets.push(x);
                 targets.sort_unstable();
                 targets.dedup();
-                let joint = profile.net().posterior_joint(&targets, evidence);
+                let joint = joint(&targets);
                 let ys: Vec<usize> = targets.iter().copied().filter(|&t| t != x).collect();
                 mutual_information(&joint, x, &ys)
             }
@@ -97,16 +172,29 @@ pub fn uncertainty_reduction(
                 .map(|&(y, _)| {
                     let mut t = vec![x, y];
                     t.sort_unstable();
-                    let joint = profile.net().posterior_joint(&t, evidence);
+                    let joint = joint(&t);
                     mutual_information(&joint, x, &[y])
                 })
                 .sum(),
         };
         reduction += mi * range_sum;
     }
+    reduction
+}
 
-    // Dynamic-stage bonus: completing the preceding LLM stage resolves the
-    // placeholder's structure entirely (§IV-C).
+/// Adds the job-specific dynamic-expansion bonus of Eq. 6 onto `start`,
+/// preserving the original accumulation order: completing the preceding
+/// LLM stage resolves the placeholder's structure entirely (§IV-C).
+pub(crate) fn add_dynamic_bonus(
+    profile: &AppProfile,
+    job: &JobRt,
+    stage: StageId,
+    start: f64,
+) -> f64 {
+    let mut reduction = start;
+    if stage.index() >= profile.n_stages() {
+        return reduction;
+    }
     for (placeholder, preceding) in profile.dynamic_placeholders() {
         if preceding != stage {
             continue;
@@ -118,8 +206,8 @@ pub fn uncertainty_reduction(
         }
         let expanded = job
             .visible_stage_ids()
-            .into_iter()
-            .filter_map(|g| job.stage_view(g))
+            .iter()
+            .filter_map(|&g| job.stage_view(g))
             .any(|v| v.parent_dynamic == Some(placeholder));
         if expanded {
             continue;

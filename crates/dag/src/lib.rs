@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod csr;
 pub mod graph;
 pub mod ids;
 pub mod job;
@@ -59,6 +60,7 @@ pub mod work;
 
 /// Convenient glob-import of the common model types.
 pub mod prelude {
+    pub use crate::csr::{Csr, CsrDag};
     pub use crate::graph::Dag;
     pub use crate::ids::{AppId, JobId, StageId, TaskId};
     pub use crate::job::{JobSpec, JobSpecError, StageKind, StageSpec};

@@ -65,7 +65,7 @@ fn rank(job: &JobRt, stage: StageId, heights: &std::collections::HashMap<StageId
     let max_h = heights.values().copied().max().unwrap_or(0).max(1);
     Rank {
         depth_per_mille: (h * 1000 / max_h) as u32,
-        children: job.visible_succs(stage).len(),
+        children: job.visible_succs(stage).count(),
         tasks: view.n_tasks.unwrap_or(0),
     }
 }
@@ -103,7 +103,7 @@ impl Scheduler for Argus {
             let mut candidates: Vec<(Rank, &JobRt, StageId)> = Vec::new();
             for job in &ctx.jobs {
                 let heights = visible_heights(job);
-                for s in job.ready_stage_ids() {
+                for &s in job.ready_stage_ids() {
                     candidates.push((rank(job, s, &heights), job, s));
                 }
             }
@@ -148,10 +148,8 @@ impl Scheduler for Argus {
                 .heights
                 .entry(id)
                 .or_insert_with(|| visible_heights(job));
-            let mut ranked: Vec<(Rank, StageId)> = ready
-                .into_iter()
-                .map(|s| (rank(job, s, heights), s))
-                .collect();
+            let mut ranked: Vec<(Rank, StageId)> =
+                ready.iter().map(|&s| (rank(job, s, heights), s)).collect();
             ranked.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
             for (_, s) in ranked {
                 budget.push_stage(&mut p, job, s);

@@ -21,7 +21,7 @@ use crate::util::{AppPriors, Budget, ReadyTasks};
 
 /// Pushes every ready task of `job` in ascending stage order.
 fn push_all_ready(p: &mut Preference, job: &JobRt) {
-    for s in job.ready_stage_ids() {
+    for &s in job.ready_stage_ids() {
         p.push_stage_tasks(job, s);
     }
 }
@@ -68,7 +68,7 @@ impl Scheduler for Fcfs {
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         let mut p = Preference::new();
         if self.rebuild {
-            let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
+            let mut jobs: Vec<&JobRt> = ctx.jobs.iter().collect();
             jobs.sort_by_key(|j| (j.arrival(), j.id()));
             for job in jobs {
                 push_all_ready(&mut p, job);
@@ -155,8 +155,8 @@ impl Fair {
 
     fn ready_queue(job: &JobRt) -> ReadyTasks {
         job.ready_stage_ids()
-            .into_iter()
-            .flat_map(|s| job.unstarted_tasks(s).into_iter().map(move |t| (s, t)))
+            .iter()
+            .flat_map(|&s| job.unstarted_tasks(s).map(move |t| (s, t)))
             .collect()
     }
 }
@@ -188,7 +188,7 @@ impl Scheduler for Fair {
             let mut queues: Vec<(usize, &JobRt, ReadyTasks)> = ctx
                 .jobs
                 .iter()
-                .map(|j| (j.running_tasks(), *j, Self::ready_queue(j)))
+                .map(|j| (j.running_tasks(), j, Self::ready_queue(j)))
                 .collect();
             queues.sort_by_key(|(running, j, _)| (*running, j.arrival(), j.id()));
             let flat: Vec<(&JobRt, ReadyTasks)> =
@@ -260,7 +260,7 @@ impl Scheduler for Sjf {
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         let mut p = Preference::new();
         if self.rebuild {
-            let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
+            let mut jobs: Vec<&JobRt> = ctx.jobs.iter().collect();
             jobs.sort_by(|a, b| {
                 self.priors
                     .job_mean(a.app())
@@ -339,7 +339,7 @@ impl Scheduler for Srtf {
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         let mut p = Preference::new();
         if self.rebuild {
-            let mut jobs: Vec<(f64, &&JobRt)> = ctx
+            let mut jobs: Vec<(f64, &JobRt)> = ctx
                 .jobs
                 .iter()
                 .map(|j| (self.priors.remaining_estimate(j), j))

@@ -67,7 +67,7 @@ impl CarbyneLike {
         budget: Option<Budget>,
     ) -> Option<(&'a JobRt, ReadyTasks)> {
         let heights = visible_heights(job);
-        let mut ready = job.ready_stage_ids();
+        let mut ready = job.ready_stage_ids().to_vec();
         if ready.is_empty() {
             return None;
         }
@@ -85,7 +85,7 @@ impl CarbyneLike {
         // Everything else is donated to the leftover pool.
         let rest: Vec<(StageId, u32)> = ready[1..]
             .iter()
-            .flat_map(|&s| job.unstarted_tasks(s).into_iter().map(move |t| (s, t)))
+            .flat_map(|&s| job.unstarted_tasks(s).map(move |t| (s, t)))
             .collect();
         (!rest.is_empty()).then_some((job, rest))
     }
@@ -161,7 +161,7 @@ impl Scheduler for CarbyneLike {
         // first) offer the ready stage with the greatest height — the one
         // whose delay would stretch the job's critical path.
         if self.rebuild {
-            let mut jobs: Vec<&&JobRt> = ctx.jobs.iter().collect();
+            let mut jobs: Vec<&JobRt> = ctx.jobs.iter().collect();
             jobs.sort_by_key(|j| (j.running_tasks(), j.arrival(), j.id()));
             let mut leftovers: Vec<(f64, &JobRt, ReadyTasks)> = Vec::new();
             for job in jobs {

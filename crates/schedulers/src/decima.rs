@@ -59,7 +59,7 @@ impl DecimaLike {
         mut rem_of: impl FnMut(&llmsched_sim::state::JobRt) -> f64,
     ) -> Option<&'a llmsched_sim::state::JobRt> {
         let mut best: Option<(f64, &llmsched_sim::state::JobRt)> = None;
-        for &job in &ctx.jobs {
+        for job in &ctx.jobs {
             if job.ready_stage_ids().is_empty() {
                 continue;
             }

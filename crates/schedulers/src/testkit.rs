@@ -120,7 +120,7 @@ mod tests {
         fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
             let mut p = Preference::new();
             for job in &ctx.jobs {
-                for s in job.ready_stage_ids() {
+                for &s in job.ready_stage_ids() {
                     p.push_stage_tasks(job, s);
                 }
             }

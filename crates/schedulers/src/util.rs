@@ -70,7 +70,7 @@ impl Budget {
 
     /// Pushes every ready stage of `job`, class-budget-aware.
     pub fn push_all_ready(&self, p: &mut Preference, job: &JobRt) {
-        for s in job.ready_stage_ids() {
+        for &s in job.ready_stage_ids() {
             self.push_stage(p, job, s);
         }
     }
@@ -165,7 +165,7 @@ impl AppPriors {
             let mut remaining = self.stage_mean(app, sid);
             if view.kind == llmsched_dag::job::StageKind::DynamicPlaceholder {
                 // Subtract completed generated work under this placeholder.
-                for g in job.visible_stage_ids() {
+                for &g in job.visible_stage_ids() {
                     if let Some(gv) = job.stage_view(g) {
                         if gv.parent_dynamic == Some(sid) {
                             if let Some(done) = gv.completed_nominal_secs {
@@ -192,7 +192,6 @@ pub fn visible_heights(job: &JobRt) -> HashMap<StageId, usize> {
     for &s in ids.iter().rev() {
         let h = job
             .visible_succs(s)
-            .into_iter()
             .filter_map(|t| height.get(&t).map(|&ht| ht + 1))
             .max()
             .unwrap_or(0);

@@ -20,12 +20,18 @@
 //! The engine owns the hidden [`JobSpec`]s and implements the reveal
 //! protocol; schedulers only observe the filtered
 //! [`SchedContext`](crate::scheduler::SchedContext).
-
-use std::collections::BTreeSet;
-use std::collections::HashMap;
+//!
+//! # Hot-path layout
+//!
+//! The job table is a dense slab ascending by [`JobId`], so id lookup is
+//! a binary search (no side `HashMap`); the active set is one sorted
+//! index vector lent to scheduler contexts as a zero-allocation
+//! projection; stage/task state is struct-of-arrays inside [`JobRt`];
+//! and the completion cascades walk the spec's CSR arenas by index — the
+//! per-event `Vec` clones of the old layout are gone. See `DESIGN.md` §9.
 
 use llmsched_cluster::ClusterSpec;
-use llmsched_dag::ids::{JobId, StageId};
+use llmsched_dag::ids::StageId;
 use llmsched_dag::job::{JobSpec, StageKind};
 use llmsched_dag::template::TemplateSet;
 use llmsched_dag::time::SimTime;
@@ -37,8 +43,8 @@ use crate::event::{Event, EventQueue};
 use crate::exec::{pool, ExecCtx, ExecutorBackend, LlmTaskRef};
 use crate::latency::LatencyProfile;
 use crate::metrics::{JobOutcome, SimResult, Utilization};
-use crate::scheduler::{Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
-use crate::state::{JobRt, TaskState, Visibility};
+use crate::scheduler::{ActiveJobs, Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
+use crate::state::{JobRt, LlmExecutorView, TaskState, Visibility};
 
 /// Cluster resources and engine options.
 #[derive(Debug, Clone)]
@@ -97,13 +103,14 @@ macro_rules! exec_ctx {
 struct Engine<'a> {
     cfg: &'a ClusterConfig,
     templates: &'a TemplateSet,
+    /// Dense job slab, ascending by `JobId` (asserted in `simulate`); id
+    /// lookup is a binary search over this order.
     jobs: Vec<JobRt>,
-    id_to_idx: HashMap<JobId, usize>,
     /// The persistent sorted job index: dense indices of active jobs,
-    /// ascending (and dense indices ascend with `JobId`, see `simulate`).
-    /// `SchedContext::jobs` is a per-invocation reference projection of
-    /// this set; membership changes incrementally at arrivals/completions.
-    active: BTreeSet<usize>,
+    /// ascending (and dense indices ascend with `JobId`). Lent to
+    /// scheduler contexts as a borrowed projection; membership changes
+    /// incrementally at arrivals/completions.
+    active: Vec<u32>,
     queue: EventQueue,
     now: SimTime,
     regular_busy: usize,
@@ -111,6 +118,8 @@ struct Engine<'a> {
     /// Cached [`ExecutorBackend::descriptor`] (e.g. `"cluster/jsq"`),
     /// lent to scheduler contexts and moved into the result.
     backend_desc: String,
+    /// Reused occupancy-view buffer, refreshed per scheduler invocation.
+    llm_views: Vec<LlmExecutorView>,
     /// Deltas accumulated since the last scheduler invocation, delivered
     /// (and cleared) at the next one.
     deltas: Vec<SchedDelta>,
@@ -159,26 +168,27 @@ pub fn simulate(
             j.app()
         );
     }
-    // `SchedContext::jobs` is documented ascending by `JobId` and its
-    // binary-search lookups depend on it; a hard assert (O(n), once per
-    // run) beats silently mis-resolving jobs in release builds.
+    // The slab is documented ascending by `JobId` and every id lookup
+    // binary-searches it; a hard assert (O(n), once per run) beats
+    // silently mis-resolving jobs in release builds.
     assert!(
         jobs.windows(2).all(|w| w[0].id() < w[1].id()),
         "jobs must be submitted in strictly ascending JobId order"
     );
 
     let backend_desc = llm.descriptor();
+    let queue = EventQueue::with_capacity(jobs.len() + 64);
     let mut engine = Engine {
         cfg,
         templates,
-        id_to_idx: jobs.iter().enumerate().map(|(i, j)| (j.id(), i)).collect(),
         jobs: jobs.into_iter().map(JobRt::new).collect(),
-        active: BTreeSet::new(),
-        queue: EventQueue::new(),
+        active: Vec::new(),
+        queue,
         now: SimTime::ZERO,
         regular_busy: 0,
         llm,
         backend_desc,
+        llm_views: Vec::new(),
         deltas: Vec::new(),
         outcomes: Vec::new(),
         events: 0,
@@ -253,6 +263,27 @@ impl Engine<'_> {
         self.regular_busy < self.cfg.regular_executors || pool::has_free_slot(&*self.llm)
     }
 
+    /// Inserts a dense index into the sorted active vector. Arrivals come
+    /// (almost) in index order, so the append fast path dominates.
+    fn activate(&mut self, j: usize) {
+        let j = j as u32;
+        match self.active.last() {
+            Some(&last) if last < j => self.active.push(j),
+            None => self.active.push(j),
+            _ => {
+                if let Err(pos) = self.active.binary_search(&j) {
+                    self.active.insert(pos, j);
+                }
+            }
+        }
+    }
+
+    fn deactivate(&mut self, j: usize) {
+        if let Ok(pos) = self.active.binary_search(&(j as u32)) {
+            self.active.remove(pos);
+        }
+    }
+
     /// Appends one delta to the pending batch, coalescing consecutive
     /// same-stage task-count deltas.
     fn emit(&mut self, delta: SchedDelta) {
@@ -284,18 +315,17 @@ impl Engine<'_> {
         match ev {
             Event::Arrival { job } => {
                 self.jobs[job].arrived = true;
-                self.active.insert(job);
+                self.activate(job);
                 self.emit(SchedDelta::JobArrived {
                     job: self.jobs[job].id(),
                     arrival: self.jobs[job].arrival(),
                 });
                 // A pathological template could start with an auto-completing
                 // placeholder; run the fixpoint for safety.
-                let roots: Vec<u32> = (0..self.jobs[job].spec.len() as u32).collect();
-                for s in roots {
+                for s in 0..self.jobs[job].spec.len() as u32 {
                     self.try_auto_complete(job, s);
                 }
-                self.finalize_completions();
+                self.finalize_completion(job);
                 true
             }
             Event::TaskFinish {
@@ -304,8 +334,9 @@ impl Engine<'_> {
                 task,
                 epoch,
             } => {
-                let t = &self.jobs[job].stages[stage as usize].tasks[task as usize];
-                let valid = t.epoch == epoch && matches!(t.state, TaskState::Running { .. });
+                let jr = &self.jobs[job];
+                let valid = jr.task_epoch_of(stage, task) == epoch
+                    && matches!(jr.task_state_of(stage, task), TaskState::Running { .. });
                 if !valid {
                     return false;
                 }
@@ -324,41 +355,28 @@ impl Engine<'_> {
 
     /// Completes one task and any stage / job completions that follow.
     fn finish_task(&mut self, job: usize, stage: u32, task: u32) {
-        let spec_work = self.jobs[job]
-            .spec
-            .stage(llmsched_dag::ids::StageId(stage))
-            .tasks[task as usize];
-        let exec = {
-            let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
-            let TaskState::Running { exec } = t.state else {
-                unreachable!("validated by caller")
-            };
-            exec
+        let spec_work = self.jobs[job].spec.task_work(StageId(stage), task);
+        let TaskState::Running { exec } = self.jobs[job].task_state_of(stage, task) else {
+            unreachable!("validated by caller")
         };
-        match spec_work {
+        let nominal = match spec_work {
             TaskWork::Regular { duration } => {
                 debug_assert!(self.regular_busy > 0);
                 self.regular_busy -= 1;
-                let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
-                t.nominal_secs = duration.as_secs_f64();
+                duration.as_secs_f64()
             }
             TaskWork::Llm { .. } => {
                 let tokens = spec_work.llm_token_cost().expect("llm task").max(1);
                 let nominal = self.cfg.latency.per_token_b1().as_secs_f64() * tokens as f64;
-                let e = exec.expect("llm task runs on an executor");
+                let e = exec.expect("llm task runs on an executor") as usize;
                 // Release the batch slot; the backend re-times survivors
                 // (analytic) or no-ops (token-level removes inside step).
                 self.llm
                     .drain(e, LlmTaskRef { job, stage, task }, &mut exec_ctx!(self));
-                let t = &mut self.jobs[job].stages[stage as usize].tasks[task as usize];
-                t.nominal_secs = nominal;
+                nominal
             }
-        }
-        let st = &mut self.jobs[job].stages[stage as usize];
-        st.tasks[task as usize].state = TaskState::Done;
-        st.tasks_running -= 1;
-        st.tasks_done += 1;
-        let stage_done = st.tasks_done == st.tasks.len();
+        };
+        let stage_done = self.jobs[job].record_task_done(stage, task, nominal);
         self.emit(SchedDelta::TasksFinished {
             job: self.jobs[job].id(),
             stage: StageId(stage),
@@ -367,52 +385,42 @@ impl Engine<'_> {
         if stage_done {
             self.complete_stage(job, stage);
         }
-        self.finalize_completions();
+        self.finalize_completion(job);
     }
 
     /// Marks `stage` complete, propagates dependency counts, processes
-    /// reveals (void cascades) and placeholder auto-completion.
+    /// reveals (void cascades) and placeholder auto-completion. Walks the
+    /// spec's CSR successor/reveal rows by index — re-borrowing per
+    /// element instead of cloning the rows.
     fn complete_stage(&mut self, job: usize, stage: u32) {
-        {
-            let jr = &mut self.jobs[job];
-            let st = &mut jr.stages[stage as usize];
-            debug_assert!(!st.done, "stage completed twice");
-            st.done = true;
-            st.done_at = Some(self.now);
-            jr.stages_remaining -= 1;
-        }
+        self.jobs[job].mark_stage_done(stage, self.now);
         self.emit(SchedDelta::StageCompleted {
             job: self.jobs[job].id(),
             stage: StageId(stage),
         });
         self.emit_observations(job, stage);
         // Dependents see one fewer pending predecessor.
-        let succs: Vec<u32> = self.jobs[job]
-            .spec
-            .dag()
-            .successors(stage as usize)
-            .iter()
-            .map(|&s| s as u32)
-            .collect();
-        for s in &succs {
-            self.jobs[job].stages[*s as usize].preds_remaining -= 1;
+        let n_succ = self.jobs[job].spec.dag().out_degree(stage as usize);
+        for k in 0..n_succ {
+            let s = self.jobs[job].spec.dag().successors(stage as usize)[k];
+            self.jobs[job].dec_preds(s);
         }
         // Reveal protocol: stages whose existence hinged on this one.
-        let revealed = self.jobs[job].reveals[stage as usize].clone();
-        for r in revealed {
-            let executed = self.jobs[job].spec.stage(r).executed;
-            match self.jobs[job].stages[r.index()].vis {
+        let n_rev = self.jobs[job].spec.revealed_by(StageId(stage)).len();
+        for k in 0..n_rev {
+            let r = self.jobs[job].spec.revealed_by(StageId(stage))[k];
+            match self.jobs[job].vis_of(r.0) {
                 Visibility::Hidden | Visibility::Undetermined => {
                     let id = self.jobs[job].id();
-                    if executed {
-                        self.jobs[job].stages[r.index()].vis = Visibility::Known;
+                    if self.jobs[job].spec.stage(r).executed {
+                        self.jobs[job].set_visibility(r.0, Visibility::Known);
                         self.emit(SchedDelta::StageRevealed {
                             job: id,
                             stage: r,
                             executes: true,
                         });
                     } else {
-                        self.jobs[job].stages[r.index()].vis = Visibility::Void;
+                        self.jobs[job].set_visibility(r.0, Visibility::Void);
                         self.emit(SchedDelta::StageRevealed {
                             job: id,
                             stage: r,
@@ -425,7 +433,8 @@ impl Engine<'_> {
             }
         }
         // Placeholders (zero-task stages) downstream may now auto-complete.
-        for s in succs {
+        for k in 0..n_succ {
+            let s = self.jobs[job].spec.dag().successors(stage as usize)[k];
             self.try_auto_complete(job, s);
         }
     }
@@ -437,42 +446,51 @@ impl Engine<'_> {
     /// [`SchedDelta::DynEdgeObserved`] per inner edge between them.
     /// Generated stages carry no BN variable and emit nothing of their
     /// own; their work aggregates into the placeholder's observation.
+    /// Candidate indices come straight off the stage specs (the CSR
+    /// children arena makes the old side-table rebuild unnecessary).
     fn emit_observations(&mut self, job: usize, stage: u32) {
-        let jr = &self.jobs[job];
         let sid = StageId(stage);
-        if sid.index() >= jr.spec.template_len() {
+        if sid.index() >= self.jobs[job].spec.template_len() {
             return;
         }
-        let id = jr.id();
-        let app = jr.app();
-        if jr.spec.stage(sid).kind == StageKind::DynamicPlaceholder {
+        let id = self.jobs[job].id();
+        let app = self.jobs[job].app();
+        if self.jobs[job].spec.stage(sid).kind == StageKind::DynamicPlaceholder {
             // Structural outcome: candidate inclusion + inner edges, in
             // candidate terms (mirrors the profiler's training statistics).
-            let children = jr.spec.children_of_dynamic(sid);
-            let mut cand_of_stage: HashMap<u32, u32> = HashMap::new();
-            let mut deltas: Vec<SchedDelta> = Vec::new();
-            for &g in &children {
-                if let Some(c) = jr.spec.stage(g).candidate {
-                    cand_of_stage.insert(g.0, c as u32);
-                    deltas.push(SchedDelta::DynCandidateObserved {
+            let n_children = self.jobs[job].spec.children_of_dynamic(sid).len();
+            for k in 0..n_children {
+                let g = self.jobs[job].spec.children_of_dynamic(sid)[k];
+                let cand = self.jobs[job].spec.stage(g).candidate;
+                if let Some(c) = cand {
+                    self.emit(SchedDelta::DynCandidateObserved {
                         job: id,
                         placeholder: sid,
                         candidate: c as u32,
                     });
                 }
             }
-            for &(u, v) in jr.spec.generated_edges() {
-                if let (Some(&cu), Some(&cv)) = (cand_of_stage.get(&u.0), cand_of_stage.get(&v.0)) {
-                    deltas.push(SchedDelta::DynEdgeObserved {
-                        job: id,
-                        placeholder: sid,
-                        from: cu,
-                        to: cv,
-                    });
+            let n_edges = self.jobs[job].spec.generated_edges().len();
+            for k in 0..n_edges {
+                let (u, v) = self.jobs[job].spec.generated_edges()[k];
+                let (pu, cu) = {
+                    let s = self.jobs[job].spec.stage(u);
+                    (s.parent_dynamic, s.candidate)
+                };
+                let (pv, cv) = {
+                    let s = self.jobs[job].spec.stage(v);
+                    (s.parent_dynamic, s.candidate)
+                };
+                if pu == Some(sid) && pv == Some(sid) {
+                    if let (Some(cu), Some(cv)) = (cu, cv) {
+                        self.emit(SchedDelta::DynEdgeObserved {
+                            job: id,
+                            placeholder: sid,
+                            from: cu as u32,
+                            to: cv as u32,
+                        });
+                    }
                 }
-            }
-            for d in deltas {
-                self.emit(d);
             }
         }
         let nominal = self.jobs[job]
@@ -489,47 +507,44 @@ impl Engine<'_> {
     /// Completes placeholder stages whose predecessors are all done.
     fn try_auto_complete(&mut self, job: usize, stage: u32) {
         let jr = &self.jobs[job];
-        let sid = llmsched_dag::ids::StageId(stage);
-        let st = &jr.stages[stage as usize];
-        if !st.done
-            && st.vis == Visibility::Known
-            && st.preds_remaining == 0
-            && jr.spec.stage(sid).kind == StageKind::DynamicPlaceholder
+        if !jr.is_done(stage)
+            && jr.vis_of(stage) == Visibility::Known
+            && jr.preds_remaining_of(stage) == 0
+            && jr.spec.stage(StageId(stage)).kind == StageKind::DynamicPlaceholder
         {
             self.complete_stage(job, stage);
         }
     }
 
-    /// Records completions of any jobs that just finished all stages.
-    fn finalize_completions(&mut self) {
-        let newly: Vec<usize> = self
-            .active
-            .iter()
-            .copied()
-            .filter(|&j| self.jobs[j].stages_remaining == 0 && self.jobs[j].completed_at.is_none())
-            .collect();
-        for j in newly {
-            self.jobs[j].completed_at = Some(self.now);
-            self.active.remove(&j);
-            self.emit(SchedDelta::JobCompleted {
-                job: self.jobs[j].id(),
-            });
-            self.outcomes.push(JobOutcome {
-                id: self.jobs[j].id(),
-                app: self.jobs[j].app(),
-                arrival: self.jobs[j].arrival(),
-                completion: self.now,
-            });
+    /// Records `job`'s completion if it just finished all stages. Every
+    /// state change is scoped to one job, so completion checks are O(1)
+    /// per event instead of the old full active-set scan.
+    fn finalize_completion(&mut self, job: usize) {
+        let jr = &mut self.jobs[job];
+        if jr.stages_remaining != 0 || jr.completed_at.is_some() || !jr.arrived {
+            return;
         }
+        jr.completed_at = Some(self.now);
+        self.deactivate(job);
+        self.emit(SchedDelta::JobCompleted {
+            job: self.jobs[job].id(),
+        });
+        self.outcomes.push(JobOutcome {
+            id: self.jobs[job].id(),
+            app: self.jobs[job].app(),
+            arrival: self.jobs[job].arrival(),
+            completion: self.now,
+        });
     }
 
     fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler) {
+        pool::views_into(&*self.llm, &mut self.llm_views);
         let (pref, elapsed) = {
             let ctx = SchedContext {
                 now: self.now,
-                jobs: self.active.iter().map(|&i| &self.jobs[i]).collect(),
+                jobs: ActiveJobs::projected(&self.jobs, &self.active),
                 deltas: &self.deltas,
-                llm_executors: pool::views(&*self.llm),
+                llm_executors: &self.llm_views,
                 backend: &self.backend_desc,
                 regular_total: self.cfg.regular_executors,
                 regular_busy: self.regular_busy,
@@ -556,23 +571,24 @@ impl Engine<'_> {
     }
 
     /// Looks up a task reference, returning the dense job index if the task
-    /// is startable on the given executor class.
+    /// is startable on the given executor class. Id resolution is a binary
+    /// search over the ascending slab; activity is two O(1) flag reads.
     fn validate(&self, tr: &TaskRef, class: ExecutorClass) -> Option<usize> {
-        let &j = self.id_to_idx.get(&tr.job)?;
-        if !self.active.contains(&j) {
-            return None;
-        }
+        let j = self.jobs.binary_search_by(|jr| jr.id().cmp(&tr.job)).ok()?;
         let jr = &self.jobs[j];
-        if tr.stage.index() >= jr.stages.len() || !jr.stage_ready(tr.stage) {
+        if !jr.arrived || jr.is_complete() {
             return None;
         }
-        let spec = jr.spec.stage(tr.stage);
-        if spec.kind.class() != Some(class) {
+        if tr.stage.index() >= jr.spec.len() || !jr.stage_ready(tr.stage) {
             return None;
         }
-        let st = &jr.stages[tr.stage.index()];
-        let task = st.tasks.get(tr.task as usize)?;
-        (task.state == TaskState::NotStarted).then_some(j)
+        if jr.spec.stage(tr.stage).kind.class() != Some(class) {
+            return None;
+        }
+        if tr.task as usize >= jr.n_stage_tasks(tr.stage.0) {
+            return None;
+        }
+        (jr.task_state_of(tr.stage.0, tr.task) == TaskState::NotStarted).then_some(j)
     }
 
     fn dispatch(&mut self, pref: &Preference) {
@@ -594,7 +610,9 @@ impl Engine<'_> {
             let Some(j) = self.validate(tr, ExecutorClass::Llm) else {
                 continue;
             };
-            let work = self.jobs[j].spec.stage(tr.stage).tasks[tr.task as usize]
+            let work = self.jobs[j]
+                .spec
+                .task_work(tr.stage, tr.task)
                 .llm_work()
                 .expect("validated as llm");
             let task = LlmTaskRef {
@@ -610,17 +628,10 @@ impl Engine<'_> {
     }
 
     fn start_regular(&mut self, j: usize, tr: &TaskRef) {
-        let TaskWork::Regular { duration } =
-            self.jobs[j].spec.stage(tr.stage).tasks[tr.task as usize]
-        else {
+        let TaskWork::Regular { duration } = self.jobs[j].spec.task_work(tr.stage, tr.task) else {
             unreachable!("validated as regular");
         };
-        let st = &mut self.jobs[j].stages[tr.stage.index()];
-        st.started_at.get_or_insert(self.now);
-        st.tasks_running += 1;
-        let t = &mut st.tasks[tr.task as usize];
-        t.state = TaskState::Running { exec: None };
-        let epoch = t.epoch;
+        let epoch = self.jobs[j].start_task(tr.stage.0, tr.task, None, self.now);
         self.regular_busy += 1;
         self.emit(SchedDelta::TasksDispatched {
             job: tr.job,
@@ -639,12 +650,7 @@ impl Engine<'_> {
     }
 
     fn start_llm(&mut self, j: usize, tr: &TaskRef, e: usize, work: LlmWork) {
-        {
-            let st = &mut self.jobs[j].stages[tr.stage.index()];
-            st.started_at.get_or_insert(self.now);
-            st.tasks_running += 1;
-            st.tasks[tr.task as usize].state = TaskState::Running { exec: Some(e) };
-        }
+        self.jobs[j].start_task(tr.stage.0, tr.task, Some(e as u32), self.now);
         self.emit(SchedDelta::TasksDispatched {
             job: tr.job,
             stage: tr.stage,
@@ -681,7 +687,7 @@ mod tests {
         fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
             let mut p = Preference::new();
             for job in &ctx.jobs {
-                for s in job.ready_stage_ids() {
+                for &s in job.ready_stage_ids() {
                     p.push_stage_tasks(job, s);
                 }
             }

@@ -226,7 +226,7 @@ mod tests {
             },
             &mut cx,
         );
-        let current_epoch = jobs[0].stages[0].tasks[0].epoch;
+        let current_epoch = jobs[0].task_epoch_of(0, 0);
         let mut valid = 0;
         while let Some((_, ev)) = queue.pop() {
             if let Event::TaskFinish { epoch, .. } = ev {
@@ -264,7 +264,7 @@ mod tests {
             jobs: &mut jobs,
         };
         be.admit(0, t(1), w(100), &mut cx);
-        let epoch_a = jobs[0].stages[0].tasks[0].epoch;
+        let epoch_a = jobs[0].task_epoch_of(0, 0);
         let mut finish_a = None;
         while let Some((time, ev)) = queue.pop() {
             if let Event::TaskFinish { task: 0, epoch, .. } = ev {

@@ -276,7 +276,7 @@ mod tests {
                     be.step(exec, epoch, &mut cx);
                 }
                 Event::TaskFinish { task, epoch, .. } => {
-                    if jobs[0].stages[0].tasks[task as usize].epoch == epoch {
+                    if jobs[0].task_epoch_of(0, task) == epoch {
                         finishes.push((task, time.as_secs_f64()));
                         let mut cx = ExecCtx {
                             now: time,

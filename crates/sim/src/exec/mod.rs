@@ -101,15 +101,14 @@ impl ExecCtx<'_> {
     /// Schedules `task` to finish at `at`, invalidating any finish event
     /// posted for it earlier (per-task epochs make stale events no-ops).
     pub fn post_finish(&mut self, task: LlmTaskRef, at: SimTime) {
-        let rt = &mut self.jobs[task.job].stages[task.stage as usize].tasks[task.task as usize];
-        rt.epoch += 1;
+        let epoch = self.jobs[task.job].bump_task_epoch(task.stage, task.task);
         self.queue.push(
             at,
             Event::TaskFinish {
                 job: task.job,
                 stage: task.stage,
                 task: task.task,
-                epoch: rt.epoch,
+                epoch,
             },
         );
     }

@@ -67,13 +67,20 @@ pub fn total_slots(backend: &dyn ExecutorBackend) -> usize {
 
 /// Scheduler-visible occupancy snapshot of every executor.
 pub fn views(backend: &dyn ExecutorBackend) -> Vec<LlmExecutorView> {
-    (0..backend.n_execs())
-        .map(|e| LlmExecutorView {
-            index: e,
-            batch_len: backend.occupancy(e),
-            max_batch: backend.capacity(e),
-        })
-        .collect()
+    let mut out = Vec::new();
+    views_into(backend, &mut out);
+    out
+}
+
+/// Refreshes a reused occupancy-view buffer in place — the engine calls
+/// this once per scheduler invocation instead of collecting a fresh `Vec`.
+pub fn views_into(backend: &dyn ExecutorBackend, out: &mut Vec<LlmExecutorView>) {
+    out.clear();
+    out.extend((0..backend.n_execs()).map(|e| LlmExecutorView {
+        index: e,
+        batch_len: backend.occupancy(e),
+        max_batch: backend.capacity(e),
+    }));
 }
 
 /// `(occupied slots, non-idle executors)` across the pool — the inputs to

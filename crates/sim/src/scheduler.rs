@@ -165,6 +165,122 @@ pub struct TaskRef {
     pub task: u32,
 }
 
+/// The engine's active-job projection: a borrowed view over the dense job
+/// table filtered to active (arrived, incomplete) jobs, ascending by
+/// [`JobId`].
+///
+/// This replaces the old per-invocation `Vec<&JobRt>` collect — the view
+/// is two borrowed slices, so building a [`SchedContext`] allocates
+/// nothing. Index and iteration semantics are unchanged: `jobs[i]` is the
+/// i-th active job, iteration ascends by `JobId`.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveJobs<'a> {
+    all: &'a [JobRt],
+    /// `None` means every entry of `all` is active (hand-built test
+    /// contexts); otherwise the sorted dense indices of active jobs.
+    active: Option<&'a [u32]>,
+}
+
+impl<'a> ActiveJobs<'a> {
+    /// A view in which every job of `all` is active — the constructor for
+    /// hand-built contexts (tests, probes). `all` must ascend by `JobId`.
+    pub fn dense(all: &'a [JobRt]) -> Self {
+        ActiveJobs { all, active: None }
+    }
+
+    /// The engine's projection: `active` holds sorted dense indices into
+    /// `all`.
+    pub fn projected(all: &'a [JobRt], active: &'a [u32]) -> Self {
+        ActiveJobs {
+            all,
+            active: Some(active),
+        }
+    }
+
+    /// Number of active jobs.
+    pub fn len(&self) -> usize {
+        match self.active {
+            Some(a) => a.len(),
+            None => self.all.len(),
+        }
+    }
+
+    /// True if no jobs are active.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The i-th active job (ascending by `JobId`).
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn get(&self, i: usize) -> &'a JobRt {
+        match self.active {
+            Some(a) => &self.all[a[i] as usize],
+            None => &self.all[i],
+        }
+    }
+
+    /// Iterates the active jobs in ascending `JobId` order.
+    pub fn iter(&self) -> ActiveJobsIter<'a> {
+        ActiveJobsIter { jobs: *self, i: 0 }
+    }
+
+    /// Binary-searches the active set for `id`, returning its position.
+    pub fn position_of(&self, id: JobId) -> Option<usize> {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match self.get(mid).id().cmp(&id) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Some(mid),
+            }
+        }
+        None
+    }
+}
+
+impl std::ops::Index<usize> for ActiveJobs<'_> {
+    type Output = JobRt;
+    fn index(&self, i: usize) -> &JobRt {
+        self.get(i)
+    }
+}
+
+impl<'a> IntoIterator for &ActiveJobs<'a> {
+    type Item = &'a JobRt;
+    type IntoIter = ActiveJobsIter<'a>;
+    fn into_iter(self) -> ActiveJobsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over [`ActiveJobs`].
+#[derive(Debug, Clone)]
+pub struct ActiveJobsIter<'a> {
+    jobs: ActiveJobs<'a>,
+    i: usize,
+}
+
+impl<'a> Iterator for ActiveJobsIter<'a> {
+    type Item = &'a JobRt;
+    fn next(&mut self) -> Option<&'a JobRt> {
+        (self.i < self.jobs.len()).then(|| {
+            let j = self.jobs.get(self.i);
+            self.i += 1;
+            j
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.jobs.len() - self.i;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ActiveJobsIter<'_> {}
+
 /// Ordered scheduling preferences: the engine starts tasks from the front of
 /// each list as capacity allows (Algorithm 1 returns exactly these two
 /// lists, `T_r` and `T_l`).
@@ -186,13 +302,10 @@ impl Preference {
     /// list by the stage's kind. Convenience shared by every scheduler.
     pub fn push_stage_tasks(&mut self, job: &JobRt, stage: StageId) {
         use llmsched_dag::job::StageKind;
-        let Some(view) = job.stage_view(stage) else {
-            return;
-        };
-        let list = match view.kind {
-            StageKind::Regular => &mut self.regular,
-            StageKind::Llm => &mut self.llm,
-            StageKind::DynamicPlaceholder => return,
+        let list = match job.visible_kind(stage) {
+            Some(StageKind::Regular) => &mut self.regular,
+            Some(StageKind::Llm) => &mut self.llm,
+            Some(StageKind::DynamicPlaceholder) | None => return,
         };
         for task in job.unstarted_tasks(stage) {
             list.push(TaskRef {
@@ -208,23 +321,18 @@ impl Preference {
     /// [0, 1]; at least one task is sampled from a non-empty stage.
     pub fn push_stage_sample(&mut self, job: &JobRt, stage: StageId, fraction: f64) {
         use llmsched_dag::job::StageKind;
-        let Some(view) = job.stage_view(stage) else {
-            return;
+        let list = match job.visible_kind(stage) {
+            Some(StageKind::Regular) => &mut self.regular,
+            Some(StageKind::Llm) => &mut self.llm,
+            Some(StageKind::DynamicPlaceholder) | None => return,
         };
-        let list = match view.kind {
-            StageKind::Regular => &mut self.regular,
-            StageKind::Llm => &mut self.llm,
-            StageKind::DynamicPlaceholder => return,
-        };
-        let tasks = job.unstarted_tasks(stage);
-        if tasks.is_empty() {
+        let n = job.unstarted_count(stage);
+        if n == 0 {
             return;
         }
         let f = fraction.clamp(0.0, 1.0);
-        let k = ((tasks.len() as f64 * f).ceil() as usize)
-            .max(1)
-            .min(tasks.len());
-        for &task in &tasks[..k] {
+        let k = ((n as f64 * f).ceil() as usize).max(1).min(n);
+        for task in job.unstarted_tasks(stage).take(k) {
             list.push(TaskRef {
                 job: job.id(),
                 stage,
@@ -246,23 +354,24 @@ impl Preference {
 
 /// Everything a scheduler may consult at a decision point.
 ///
-/// Lifetimes borrow from the engine. The `jobs` slice is projected from the
-/// engine's persistent sorted job index (an ordered set of active jobs, kept
-/// incrementally across events); only the reference vector is collected per
-/// invocation — policies that maintain their own state via
+/// Lifetimes borrow from the engine. The `jobs` view is a borrow of the
+/// engine's persistent sorted job index (an ordered set of active jobs,
+/// kept incrementally across events) — constructing a context allocates
+/// nothing; policies that maintain their own state via
 /// [`SchedContext::deltas`] / [`Scheduler::on_delta`] need not rescan it.
 #[derive(Debug)]
 pub struct SchedContext<'a> {
     /// Current simulation time.
     pub now: SimTime,
     /// Active (arrived, incomplete) jobs, ascending by `JobId`.
-    pub jobs: Vec<&'a JobRt>,
+    pub jobs: ActiveJobs<'a>,
     /// State changes since the previous scheduler invocation, in emission
     /// order (the same batch delivered through [`Scheduler::on_delta`]).
     pub deltas: &'a [SchedDelta],
     /// LLM executor occupancy, as reported by the active
-    /// [`ExecutorBackend`](crate::exec::ExecutorBackend).
-    pub llm_executors: Vec<LlmExecutorView>,
+    /// [`ExecutorBackend`](crate::exec::ExecutorBackend) (the engine
+    /// refreshes one reused buffer per invocation).
+    pub llm_executors: &'a [LlmExecutorView],
     /// Descriptor of the active executor backend (e.g. `"analytic"`,
     /// `"cluster/jsq"`): lets fidelity-aware policies and the Eq. 2
     /// calibration know which serving model — and routing policy —
@@ -293,19 +402,19 @@ impl SchedContext<'_> {
     /// Average batch size over busy LLM executors (1 if all idle) — the
     /// `b_t` plugged into Eq. (2) when predicting run-time durations.
     pub fn average_busy_batch(&self) -> f64 {
-        crate::state::average_busy_batch(&self.llm_executors)
+        crate::state::average_busy_batch(self.llm_executors)
     }
 
     /// Looks up an active job by id. `jobs` is ascending by `JobId`, so
     /// this is a binary search.
     pub fn job(&self, id: JobId) -> Option<&JobRt> {
-        self.job_index(id).map(|i| self.jobs[i])
+        self.job_index(id).map(|i| self.jobs.get(i))
     }
 
     /// The position of an active job within [`SchedContext::jobs`], found
     /// by binary search over the ascending `JobId` order.
     pub fn job_index(&self, id: JobId) -> Option<usize> {
-        self.jobs.binary_search_by(|j| j.id().cmp(&id)).ok()
+        self.jobs.position_of(id)
     }
 }
 
@@ -450,9 +559,9 @@ mod tests {
         let templates: TemplateSet = std::iter::empty().collect();
         let ctx = SchedContext {
             now: SimTime::ZERO,
-            jobs: jobs.iter().collect(),
+            jobs: ActiveJobs::dense(&jobs),
             deltas: &[],
-            llm_executors: vec![],
+            llm_executors: &[],
             backend: "analytic",
             regular_total: 1,
             regular_busy: 0,

@@ -6,6 +6,18 @@
 //! information the paper's reveal protocol allows: template structure,
 //! revealed existence, task counts of known stages, task progress, and
 //! batch-1-normalized durations of *completed* stages.
+//!
+//! # Memory layout
+//!
+//! Runtime state is struct-of-arrays over the job's stage and task spaces:
+//! one dense array per field, with tasks addressed through the spec's flat
+//! task arena ([`JobSpec::task_range`]). The visible and ready stage sets
+//! are maintained *incrementally* at the state transitions that can change
+//! them, so [`JobRt::visible_stage_ids`] / [`JobRt::ready_stage_ids`]
+//! return borrowed slices and [`JobRt::unstarted_tasks`] /
+//! [`JobRt::visible_preds`] / [`JobRt::visible_succs`] return lazy
+//! iterators — the per-event allocation churn of the old per-stage
+//! `Vec<TaskRt>` layout is gone. See `DESIGN.md` §9.
 
 use llmsched_dag::ids::{AppId, JobId, StageId};
 use llmsched_dag::job::{JobSpec, StageKind};
@@ -40,58 +52,53 @@ pub(crate) enum TaskState {
     NotStarted,
     /// Running; for LLM tasks, `exec` is the executor index.
     Running {
-        exec: Option<usize>,
+        exec: Option<u32>,
     },
     Done,
 }
 
-/// Runtime record of one task.
-#[derive(Debug, Clone)]
-pub(crate) struct TaskRt {
-    pub state: TaskState,
-    /// Re-timing epoch; finish events from older epochs are stale.
-    pub epoch: u32,
-    /// Batch-1-equivalent duration in seconds, set at completion. For
-    /// regular tasks this equals the actual duration; for LLM tasks it is
-    /// `total_tokens × l(1)` — what the task *would* have taken alone.
-    pub nominal_secs: f64,
-}
-
-impl TaskRt {
-    fn new() -> Self {
-        TaskRt {
-            state: TaskState::NotStarted,
-            epoch: 0,
-            nominal_secs: 0.0,
-        }
-    }
-}
-
-/// Runtime record of one stage.
-#[derive(Debug, Clone)]
-pub(crate) struct StageRt {
-    pub vis: Visibility,
-    pub done: bool,
-    pub done_at: Option<SimTime>,
-    pub started_at: Option<SimTime>,
-    pub tasks: Vec<TaskRt>,
-    pub tasks_done: usize,
-    pub tasks_running: usize,
-    /// Number of predecessor stages (over the *full* hidden DAG) not yet
-    /// complete.
-    pub preds_remaining: usize,
-}
-
-/// Runtime record of one job: hidden spec + visible progress.
+/// Runtime record of one job: hidden spec + visible progress, stored as
+/// struct-of-arrays over the stage/task spaces.
 #[derive(Debug)]
 pub struct JobRt {
     pub(crate) spec: JobSpec,
-    pub(crate) stages: Vec<StageRt>,
-    /// Stages revealed by each stage's completion (index = revealer).
-    pub(crate) reveals: Vec<Vec<StageId>>,
+    // ---- per-stage arrays ----
+    vis: Vec<Visibility>,
+    done: Vec<bool>,
+    done_at: Vec<Option<SimTime>>,
+    started_at: Vec<Option<SimTime>>,
+    tasks_done: Vec<u32>,
+    tasks_running: Vec<u32>,
+    /// Predecessors (over the *full* hidden DAG) not yet complete.
+    preds_remaining: Vec<u32>,
+    // ---- per-task arrays, indexed by the spec's flat task arena ----
+    task_state: Vec<TaskState>,
+    /// Re-timing epoch; finish events from older epochs are stale.
+    task_epoch: Vec<u32>,
+    /// Batch-1-equivalent duration in seconds, set at completion. For
+    /// regular tasks this equals the actual duration; for LLM tasks it is
+    /// `total_tokens × l(1)` — what the task *would* have taken alone.
+    task_nominal: Vec<f64>,
+    // ---- incrementally maintained index sets (ascending) ----
+    visible: Vec<StageId>,
+    ready: Vec<StageId>,
     pub(crate) arrived: bool,
     pub(crate) completed_at: Option<SimTime>,
     pub(crate) stages_remaining: usize,
+}
+
+/// Inserts into an ascending id vector (no-op if present).
+fn insert_sorted(set: &mut Vec<StageId>, s: StageId) {
+    if let Err(pos) = set.binary_search(&s) {
+        set.insert(pos, s);
+    }
+}
+
+/// Removes from an ascending id vector (no-op if absent).
+fn remove_sorted(set: &mut Vec<StageId>, s: StageId) {
+    if let Ok(pos) = set.binary_search(&s) {
+        set.remove(pos);
+    }
 }
 
 impl JobRt {
@@ -103,41 +110,174 @@ impl JobRt {
     /// simulation.
     pub fn new(spec: JobSpec) -> Self {
         let n = spec.len();
-        let mut reveals: Vec<Vec<StageId>> = vec![Vec::new(); n];
-        for (i, s) in spec.stages().iter().enumerate() {
-            if let Some(r) = s.revealed_by {
-                reveals[r.index()].push(StageId(i as u32));
-            }
-        }
-        let stages = (0..n)
+        let vis: Vec<Visibility> = (0..n)
             .map(|i| {
-                let sspec = &spec.stages()[i];
-                let vis = if spec.is_generated(StageId(i as u32)) {
+                let sid = StageId(i as u32);
+                if spec.is_generated(sid) {
                     Visibility::Hidden
-                } else if sspec.revealed_by.is_some() {
+                } else if spec.stage(sid).revealed_by.is_some() {
                     Visibility::Undetermined
                 } else {
                     Visibility::Known
-                };
-                StageRt {
-                    vis,
-                    done: false,
-                    done_at: None,
-                    started_at: None,
-                    tasks: sspec.tasks.iter().map(|_| TaskRt::new()).collect(),
-                    tasks_done: 0,
-                    tasks_running: 0,
-                    preds_remaining: spec.dag().predecessors(i).len(),
                 }
             })
             .collect();
-        JobRt {
-            spec,
-            stages,
-            reveals,
+        let preds_remaining: Vec<u32> = (0..n)
+            .map(|i| spec.dag().predecessors(i).len() as u32)
+            .collect();
+        let n_tasks = spec.total_tasks();
+        let mut rt = JobRt {
+            vis,
+            done: vec![false; n],
+            done_at: vec![None; n],
+            started_at: vec![None; n],
+            tasks_done: vec![0; n],
+            tasks_running: vec![0; n],
+            preds_remaining,
+            task_state: vec![TaskState::NotStarted; n_tasks],
+            task_epoch: vec![0; n_tasks],
+            task_nominal: vec![0.0; n_tasks],
+            visible: Vec::new(),
+            ready: Vec::new(),
             arrived: false,
             completed_at: None,
             stages_remaining: n,
+            spec,
+        };
+        rt.visible = (0..n as u32)
+            .map(StageId)
+            .filter(|&s| rt.vis[s.index()] != Visibility::Hidden)
+            .collect();
+        rt.ready = (0..n as u32)
+            .map(StageId)
+            .filter(|&s| rt.in_ready_set(s.0))
+            .collect();
+        rt
+    }
+
+    /// The ready-set membership predicate: schedulable *and* still holding
+    /// unstarted tasks.
+    fn in_ready_set(&self, stage: u32) -> bool {
+        let sid = StageId(stage);
+        self.stage_ready(sid) && {
+            let i = stage as usize;
+            (self.tasks_done[i] + self.tasks_running[i]) < self.n_stage_tasks(stage) as u32
+        }
+    }
+
+    /// Re-evaluates one stage's ready-set membership after a transition.
+    fn refresh_ready(&mut self, stage: u32) {
+        let sid = StageId(stage);
+        if self.in_ready_set(stage) {
+            insert_sorted(&mut self.ready, sid);
+        } else {
+            remove_sorted(&mut self.ready, sid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Engine-side mutation API (keeps the index sets consistent).
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn tix(&self, stage: u32, task: u32) -> usize {
+        self.spec.task_range(StageId(stage)).start + task as usize
+    }
+
+    pub(crate) fn n_stage_tasks(&self, stage: u32) -> usize {
+        self.spec.task_range(StageId(stage)).len()
+    }
+
+    pub(crate) fn vis_of(&self, stage: u32) -> Visibility {
+        self.vis[stage as usize]
+    }
+
+    pub(crate) fn is_done(&self, stage: u32) -> bool {
+        self.done[stage as usize]
+    }
+
+    pub(crate) fn preds_remaining_of(&self, stage: u32) -> u32 {
+        self.preds_remaining[stage as usize]
+    }
+
+    pub(crate) fn task_state_of(&self, stage: u32, task: u32) -> TaskState {
+        self.task_state[self.tix(stage, task)]
+    }
+
+    pub(crate) fn task_epoch_of(&self, stage: u32, task: u32) -> u32 {
+        self.task_epoch[self.tix(stage, task)]
+    }
+
+    /// Invalidates the task's posted finish events; returns the new epoch.
+    pub(crate) fn bump_task_epoch(&mut self, stage: u32, task: u32) -> u32 {
+        let ix = self.tix(stage, task);
+        self.task_epoch[ix] += 1;
+        self.task_epoch[ix]
+    }
+
+    /// Transitions a task to running; returns its current epoch.
+    pub(crate) fn start_task(
+        &mut self,
+        stage: u32,
+        task: u32,
+        exec: Option<u32>,
+        now: SimTime,
+    ) -> u32 {
+        let ix = self.tix(stage, task);
+        debug_assert_eq!(self.task_state[ix], TaskState::NotStarted);
+        self.task_state[ix] = TaskState::Running { exec };
+        self.started_at[stage as usize].get_or_insert(now);
+        self.tasks_running[stage as usize] += 1;
+        // Starting a task can only *exhaust* the stage's unstarted set.
+        if self.tasks_done[stage as usize] + self.tasks_running[stage as usize]
+            >= self.n_stage_tasks(stage) as u32
+        {
+            remove_sorted(&mut self.ready, StageId(stage));
+        }
+        self.task_epoch[ix]
+    }
+
+    /// Records a task completion (state + counters + nominal duration);
+    /// returns true when this was the stage's last task. Ready membership
+    /// is untouched: `done + running` is invariant under a finish.
+    pub(crate) fn record_task_done(&mut self, stage: u32, task: u32, nominal: f64) -> bool {
+        let ix = self.tix(stage, task);
+        debug_assert!(matches!(self.task_state[ix], TaskState::Running { .. }));
+        self.task_state[ix] = TaskState::Done;
+        self.task_nominal[ix] = nominal;
+        self.tasks_running[stage as usize] -= 1;
+        self.tasks_done[stage as usize] += 1;
+        self.tasks_done[stage as usize] as usize == self.n_stage_tasks(stage)
+    }
+
+    /// Marks a stage complete.
+    pub(crate) fn mark_stage_done(&mut self, stage: u32, now: SimTime) {
+        debug_assert!(!self.done[stage as usize], "stage completed twice");
+        self.done[stage as usize] = true;
+        self.done_at[stage as usize] = Some(now);
+        self.stages_remaining -= 1;
+        remove_sorted(&mut self.ready, StageId(stage));
+    }
+
+    /// One predecessor of `stage` completed.
+    pub(crate) fn dec_preds(&mut self, stage: u32) {
+        self.preds_remaining[stage as usize] -= 1;
+        if self.preds_remaining[stage as usize] == 0 {
+            self.refresh_ready(stage);
+        }
+    }
+
+    /// Reveals a stage's existence (`Known` or `Void`), maintaining the
+    /// visible and ready sets.
+    pub(crate) fn set_visibility(&mut self, stage: u32, vis: Visibility) {
+        debug_assert!(matches!(vis, Visibility::Known | Visibility::Void));
+        let was_hidden = self.vis[stage as usize] == Visibility::Hidden;
+        self.vis[stage as usize] = vis;
+        if was_hidden {
+            insert_sorted(&mut self.visible, StageId(stage));
+        }
+        if vis == Visibility::Known {
+            self.refresh_ready(stage);
         }
     }
 
@@ -176,42 +316,46 @@ impl JobRt {
     }
 
     /// Ids of all currently *visible* stages (template stages plus revealed
-    /// generated stages), ascending.
-    pub fn visible_stage_ids(&self) -> Vec<StageId> {
-        self.stages
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.vis != Visibility::Hidden)
-            .map(|(i, _)| StageId(i as u32))
-            .collect()
+    /// generated stages), ascending. Borrow of the incrementally
+    /// maintained set — no allocation.
+    pub fn visible_stage_ids(&self) -> &[StageId] {
+        &self.visible
     }
 
     /// True if `stage` is currently visible.
     pub fn is_visible(&self, stage: StageId) -> bool {
-        self.stages
+        self.vis
             .get(stage.index())
-            .map(|s| s.vis != Visibility::Hidden)
+            .map(|&v| v != Visibility::Hidden)
             .unwrap_or(false)
+    }
+
+    /// The kind of a visible stage (`None` for hidden / out-of-range
+    /// stages) — the allocation-free fast path for policies that only
+    /// need class routing, not a full [`StageView`].
+    pub fn visible_kind(&self, stage: StageId) -> Option<StageKind> {
+        (self.is_visible(stage)).then(|| self.spec.stage(stage).kind)
     }
 
     /// A filtered snapshot of one stage.
     ///
     /// Returns `None` for hidden (not yet revealed) or out-of-range stages.
     pub fn stage_view(&self, stage: StageId) -> Option<StageView<'_>> {
-        let rt = self.stages.get(stage.index())?;
-        if rt.vis == Visibility::Hidden {
+        let i = stage.index();
+        let vis = *self.vis.get(i)?;
+        if vis == Visibility::Hidden {
             return None;
         }
         let sspec = self.spec.stage(stage);
-        let existence = match rt.vis {
+        let existence = match vis {
             Visibility::Known => Existence::Known,
             Visibility::Undetermined => Existence::Undetermined,
             Visibility::Void => Existence::Void,
             Visibility::Hidden => unreachable!("filtered above"),
         };
-        let completed_nominal_secs = if rt.done && rt.vis == Visibility::Known {
-            Some(rt.tasks.iter().map(|t| t.nominal_secs).sum())
-        } else if rt.vis == Visibility::Void {
+        let completed_nominal_secs = if self.done[i] && vis == Visibility::Known {
+            Some(self.task_nominal[self.spec.task_range(stage)].iter().sum())
+        } else if vis == Visibility::Void {
             Some(0.0)
         } else {
             None
@@ -222,12 +366,12 @@ impl JobRt {
             kind: sspec.kind,
             existence,
             // Task count is only public knowledge once execution is certain.
-            n_tasks: (rt.vis == Visibility::Known).then_some(rt.tasks.len()),
-            tasks_done: rt.tasks_done,
-            tasks_running: rt.tasks_running,
-            done: rt.done,
-            done_at: rt.done_at,
-            started_at: rt.started_at,
+            n_tasks: (vis == Visibility::Known).then(|| self.n_stage_tasks(stage.0)),
+            tasks_done: self.tasks_done[i] as usize,
+            tasks_running: self.tasks_running[i] as usize,
+            done: self.done[i],
+            done_at: self.done_at[i],
+            started_at: self.started_at[i],
             ready: self.stage_ready(stage),
             completed_nominal_secs,
             parent_dynamic: sspec.parent_dynamic,
@@ -239,82 +383,82 @@ impl JobRt {
     /// True if `stage` can run tasks now: revealed as executing, all
     /// predecessors complete, and not itself complete.
     pub fn stage_ready(&self, stage: StageId) -> bool {
-        let rt = &self.stages[stage.index()];
-        rt.vis == Visibility::Known
-            && !rt.done
-            && rt.preds_remaining == 0
+        let i = stage.index();
+        self.vis[i] == Visibility::Known
+            && !self.done[i]
+            && self.preds_remaining[i] == 0
             && self.spec.stage(stage).kind != StageKind::DynamicPlaceholder
     }
 
     /// Ids of stages that are ready and still have unstarted tasks,
-    /// ascending.
-    pub fn ready_stage_ids(&self) -> Vec<StageId> {
-        (0..self.stages.len() as u32)
-            .map(StageId)
-            .filter(|&s| {
-                self.stage_ready(s) && {
-                    let rt = &self.stages[s.index()];
-                    rt.tasks_done + rt.tasks_running < rt.tasks.len()
-                }
-            })
-            .collect()
+    /// ascending. Borrow of the incrementally maintained set — no
+    /// allocation.
+    pub fn ready_stage_ids(&self) -> &[StageId] {
+        &self.ready
     }
 
-    /// Indices of unstarted tasks of a ready stage (empty if not ready).
-    pub fn unstarted_tasks(&self, stage: StageId) -> Vec<u32> {
-        if !self.stage_ready(stage) {
-            return Vec::new();
-        }
-        self.stages[stage.index()]
-            .tasks
+    /// Indices of unstarted tasks of a ready stage (empty if not ready),
+    /// ascending. Lazy iterator over the flat task arena.
+    pub fn unstarted_tasks(&self, stage: StageId) -> impl Iterator<Item = u32> + '_ {
+        let range = if self.stage_ready(stage) {
+            self.spec.task_range(stage)
+        } else {
+            0..0
+        };
+        self.task_state[range]
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.state == TaskState::NotStarted)
-            .map(|(i, _)| i as u32)
-            .collect()
+            .filter_map(|(i, &s)| (s == TaskState::NotStarted).then_some(i as u32))
+    }
+
+    /// Number of unstarted tasks of a ready stage (0 if not ready).
+    pub fn unstarted_count(&self, stage: StageId) -> usize {
+        if !self.stage_ready(stage) {
+            return 0;
+        }
+        let i = stage.index();
+        self.n_stage_tasks(stage.0) - (self.tasks_done[i] + self.tasks_running[i]) as usize
     }
 
     /// Visible predecessor stages of `stage` (hidden generated stages are
     /// omitted, exactly as a real scheduler would see the DAG).
-    pub fn visible_preds(&self, stage: StageId) -> Vec<StageId> {
+    pub fn visible_preds(&self, stage: StageId) -> impl Iterator<Item = StageId> + '_ {
         self.spec
             .dag()
             .predecessors(stage.index())
             .iter()
-            .map(|&p| StageId(p as u32))
+            .map(|&p| StageId(p))
             .filter(|&p| self.is_visible(p))
-            .collect()
     }
 
     /// Visible successor stages of `stage`.
-    pub fn visible_succs(&self, stage: StageId) -> Vec<StageId> {
+    pub fn visible_succs(&self, stage: StageId) -> impl Iterator<Item = StageId> + '_ {
         self.spec
             .dag()
             .successors(stage.index())
             .iter()
-            .map(|&s| StageId(s as u32))
+            .map(|&s| StageId(s))
             .filter(|&s| self.is_visible(s))
-            .collect()
     }
 
     /// Batch-1-normalized duration (seconds) of a *completed* stage: the
     /// evidence variable the Bayesian profiler conditions on. Dynamic
     /// placeholders aggregate their generated stages' durations.
     pub fn completed_nominal_secs(&self, stage: StageId) -> Option<f64> {
-        let rt = self.stages.get(stage.index())?;
-        if !rt.done {
+        let i = stage.index();
+        if i >= self.done.len() || !self.done[i] {
             return None;
         }
-        match rt.vis {
+        match self.vis[i] {
             Visibility::Void => Some(0.0),
             Visibility::Known if self.spec.stage(stage).kind == StageKind::DynamicPlaceholder => {
                 let mut sum = 0.0;
-                for c in self.spec.children_of_dynamic(stage) {
+                for &c in self.spec.children_of_dynamic(stage) {
                     sum += self.completed_nominal_secs(c)?;
                 }
                 Some(sum)
             }
-            Visibility::Known => Some(rt.tasks.iter().map(|t| t.nominal_secs).sum()),
+            Visibility::Known => Some(self.task_nominal[self.spec.task_range(stage)].iter().sum()),
             _ => None,
         }
     }
@@ -322,18 +466,18 @@ impl JobRt {
     /// Total work (batch-1 seconds) completed so far across the whole job —
     /// an observable progress measure.
     pub fn completed_work_secs(&self) -> f64 {
-        self.stages
+        self.task_state
             .iter()
-            .flat_map(|s| s.tasks.iter())
-            .filter(|t| t.state == TaskState::Done)
-            .map(|t| t.nominal_secs)
+            .zip(&self.task_nominal)
+            .filter(|(&s, _)| s == TaskState::Done)
+            .map(|(_, &d)| d)
             .sum()
     }
 
     /// Number of tasks currently running across the job (the Fair
     /// scheduler's notion of a job's current service share).
     pub fn running_tasks(&self) -> usize {
-        self.stages.iter().map(|s| s.tasks_running).sum()
+        self.tasks_running.iter().map(|&r| r as usize).sum()
     }
 }
 
@@ -400,13 +544,19 @@ impl LlmExecutorView {
 
 /// Helper alias: average current batch size over non-empty LLM executors,
 /// used by Eq. (2) calibration when predicting runtime durations. Returns 1
-/// if all executors are idle.
+/// if all executors are idle. Single allocation-free pass.
 pub fn average_busy_batch(execs: &[LlmExecutorView]) -> f64 {
-    let busy: Vec<_> = execs.iter().filter(|e| e.batch_len > 0).collect();
-    if busy.is_empty() {
+    let (mut sum, mut busy) = (0usize, 0usize);
+    for e in execs {
+        if e.batch_len > 0 {
+            sum += e.batch_len;
+            busy += 1;
+        }
+    }
+    if busy == 0 {
         1.0
     } else {
-        busy.iter().map(|e| e.batch_len as f64).sum::<f64>() / busy.len() as f64
+        sum as f64 / busy as f64
     }
 }
 
@@ -507,8 +657,48 @@ mod tests {
         assert!(j.stage_ready(StageId(0)));
         assert!(!j.stage_ready(StageId(1)));
         assert_eq!(j.ready_stage_ids(), vec![StageId(0)]);
-        assert_eq!(j.unstarted_tasks(StageId(0)), vec![0]);
-        assert!(j.unstarted_tasks(StageId(1)).is_empty());
+        assert_eq!(j.unstarted_tasks(StageId(0)).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(j.unstarted_tasks(StageId(1)).count(), 0);
+        assert_eq!(j.unstarted_count(StageId(0)), 1);
+        assert_eq!(j.unstarted_count(StageId(1)), 0);
+    }
+
+    #[test]
+    fn dispatch_and_finish_maintain_ready_set() {
+        let mut j = toy_job();
+        let epoch = j.start_task(0, 0, Some(0), SimTime::ZERO);
+        assert_eq!(epoch, 0);
+        // Last unstarted task started: stage leaves the ready set.
+        assert!(j.ready_stage_ids().is_empty());
+        assert!(j.stage_ready(StageId(0)), "still schedulable per se");
+        let stage_done = j.record_task_done(0, 0, 0.1);
+        assert!(stage_done);
+        j.mark_stage_done(0, SimTime::ZERO);
+        j.dec_preds(1);
+        // Downstream stage becomes ready once its predecessor completes.
+        assert_eq!(j.ready_stage_ids(), vec![StageId(1)]);
+        assert_eq!(
+            j.stage_view(StageId(0)).unwrap().completed_nominal_secs,
+            Some(0.1)
+        );
+    }
+
+    #[test]
+    fn reveal_updates_visible_set() {
+        let mut j = toy_job();
+        assert!(j.is_visible(StageId(2)));
+        j.set_visibility(2, Visibility::Void);
+        assert_eq!(j.stage_view(StageId(2)).unwrap().existence, Existence::Void);
+        assert_eq!(
+            j.stage_view(StageId(2)).unwrap().completed_nominal_secs,
+            Some(0.0),
+            "void stages always view as zero-duration"
+        );
+        assert_eq!(
+            j.completed_nominal_secs(StageId(2)),
+            None,
+            "…but observe nothing until actually completed"
+        );
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Model test for the indexed event core: seeded random push/pop
+//! interleavings — with heavy timestamp ties — must pop in exactly the
+//! order of a `BinaryHeap` reference model keyed `(time, seq)`, which is
+//! the structure the arena-backed 4-ary heap replaced.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use llmsched_dag::time::SimTime;
+use llmsched_sim::event::{Event, EventQueue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The pre-refactor reference: a binary heap of `(time, seq, event)`
+/// ordered by `(time, seq)` with a monotone push counter.
+#[derive(Default)]
+struct RefQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Event>,
+    seq: u64,
+}
+
+impl RefQueue {
+    fn push(&mut self, time: SimTime, event: Event) {
+        self.events.push(event);
+        self.heap
+            .push(Reverse((time, self.seq, self.events.len() - 1)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap
+            .pop()
+            .map(|Reverse((t, _, i))| (t, self.events[i]))
+    }
+}
+
+fn random_event(rng: &mut StdRng) -> Event {
+    match rng.gen_range(0..3u32) {
+        0 => Event::Arrival {
+            job: rng.gen_range(0..50usize),
+        },
+        1 => Event::TaskFinish {
+            job: rng.gen_range(0..50usize),
+            stage: rng.gen_range(0..8u32),
+            task: rng.gen_range(0..4u32),
+            epoch: rng.gen_range(0..3u32),
+        },
+        _ => Event::LlmStep {
+            exec: rng.gen_range(0..8usize),
+            epoch: rng.gen_range(0..5u64),
+        },
+    }
+}
+
+#[test]
+fn pops_match_binary_heap_reference_under_ties() {
+    for case in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(0xE0E0 + case);
+        let mut q = EventQueue::with_capacity(8);
+        let mut r = RefQueue::default();
+        let ops = rng.gen_range(1..400usize);
+        // A tiny timestamp universe forces constant ties: ordering then
+        // hinges entirely on the sequence counter.
+        let horizon = rng.gen_range(1..6u64);
+        for _ in 0..ops {
+            if rng.gen_bool(0.6) || q.is_empty() {
+                let t = SimTime(rng.gen_range(0..horizon));
+                let ev = random_event(&mut rng);
+                q.push(t, ev);
+                r.push(t, ev);
+            } else {
+                assert_eq!(q.pop(), r.pop(), "case {case}: interleaved pop diverged");
+            }
+            assert_eq!(q.len(), r.heap.len());
+            assert_eq!(q.peek_time(), r.heap.peek().map(|Reverse((t, _, _))| *t));
+        }
+        // Drain: every remaining event pops in reference order.
+        while let Some(got) = q.pop() {
+            assert_eq!(Some(got), r.pop(), "case {case}: drain diverged");
+        }
+        assert!(r.pop().is_none());
+    }
+}
+
+#[test]
+fn all_ties_pop_in_push_order() {
+    let mut q = EventQueue::new();
+    for job in 0..1000usize {
+        q.push(SimTime(7), Event::Arrival { job });
+    }
+    for expect in 0..1000usize {
+        let (t, ev) = q.pop().expect("queued");
+        assert_eq!(t, SimTime(7));
+        assert_eq!(ev, Event::Arrival { job: expect });
+    }
+}

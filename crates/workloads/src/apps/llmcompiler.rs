@@ -162,7 +162,7 @@ mod tests {
             assert!((2..=6).contains(&children.len()));
             for c in children {
                 // Low task parallelism: one task per generated stage.
-                assert_eq!(j.stage(c).tasks.len(), 1);
+                assert_eq!(j.stage(*c).tasks.len(), 1);
                 // High stage parallelism: every call hangs off the plan.
                 let preds = j.dag().predecessors(c.index());
                 assert_eq!(preds, vec![0]);

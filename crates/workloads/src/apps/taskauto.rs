@@ -219,8 +219,8 @@ mod tests {
             let j = g.generate(JobId(i), SimTime::ZERO, &mut rng);
             let mut cands: Vec<usize> = j
                 .children_of_dynamic(StageId(1))
-                .into_iter()
-                .map(|s| j.stage(s).candidate.expect("generated"))
+                .iter()
+                .map(|&s| j.stage(s).candidate.expect("generated"))
                 .collect();
             cands.sort_unstable();
             let before = cands.len();

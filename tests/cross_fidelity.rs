@@ -39,7 +39,7 @@ impl<S: Scheduler> Scheduler for RevealRecorder<S> {
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
         for job in &ctx.jobs {
             let rec = self.seen.entry(job.id()).or_default();
-            for s in job.visible_stage_ids() {
+            for &s in job.visible_stage_ids() {
                 if !rec.contains(&s) {
                     rec.push(s);
                 }
