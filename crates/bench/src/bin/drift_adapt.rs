@@ -248,9 +248,15 @@ fn main() {
     );
     let (mut frozen_sum, mut online_sum) = (0.0, 0.0);
     let mut drift_rows = String::new();
-    for &seed in seeds {
-        for online in [false, true] {
-            let r = run_one(drift_workload(n_drift, seed), &corpus, online, drifted_app);
+    let drift_points: Vec<(u64, bool)> = seeds
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let drift_results = llmsched_bench::sweep::map(&drift_points, |&(seed, online)| {
+        run_one(drift_workload(n_drift, seed), &corpus, online, drifted_app)
+    });
+    for (&(seed, online), r) in drift_points.iter().zip(&drift_results) {
+        {
             let mode = if online { "online" } else { "frozen" };
             println!(
                 "{:>6} {:>10} {:>14.2} {:>14} {:>26}",
@@ -302,10 +308,16 @@ fn main() {
     let mut cold_first = 0.0;
     let mut cold_last = 0.0;
     let mut cold_rows = String::new();
-    for &seed in seeds {
-        for online in [false, true] {
-            let w = generate_workload(WorkloadKind::Mixed, n_cold, 0.9, seed);
-            let r = run_one(w, &cold_corpus, online, drifted_app);
+    let cold_points: Vec<(u64, bool)> = seeds
+        .iter()
+        .flat_map(|&s| [(s, false), (s, true)])
+        .collect();
+    let cold_results = llmsched_bench::sweep::map(&cold_points, |&(seed, online)| {
+        let w = generate_workload(WorkloadKind::Mixed, n_cold, 0.9, seed);
+        run_one(w, &cold_corpus, online, drifted_app)
+    });
+    for (&(seed, online), r) in cold_points.iter().zip(&cold_results) {
+        {
             let mode = if online { "online" } else { "frozen" };
             println!(
                 "{:>6} {:>10} {:>14.2} {:>14} {:>26}",

@@ -35,9 +35,14 @@ fn main() {
             n_jobs,
             ..ExperimentConfig::paper_default(kind, 42)
         };
-        let full = run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs();
-        let no_bn = run_policy(&art, Policy::LlmSchedNoBn, &exp).avg_jct_secs();
-        let no_unc = run_policy(&art, Policy::LlmSchedNoUncertainty, &exp).avg_jct_secs();
+        let variants = [
+            Policy::LlmSched,
+            Policy::LlmSchedNoBn,
+            Policy::LlmSchedNoUncertainty,
+        ];
+        let jcts =
+            llmsched_bench::sweep::map(&variants, |&p| run_policy(&art, p, &exp).avg_jct_secs());
+        let (full, no_bn, no_unc) = (jcts[0], jcts[1], jcts[2]);
         println!(
             "  {:<11} full {:>7.1}s | w/o BN {:>7.1}s ({:+.0}%) | w/o uncertainty {:>7.1}s ({:+.0}%)",
             kind.name(),

@@ -123,27 +123,16 @@ fn main() {
         slo.as_secs_f64()
     );
 
-    // One thread per sweep point; results joined in sweep order.
-    let results: Vec<SimResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = points
-            .iter()
-            .map(|p| {
-                scope.spawn(move || {
-                    let w = generate_workload_with(WorkloadKind::Mixed, n_jobs, &p.arrivals, seed);
-                    let cfg = ClusterConfig {
-                        regular_executors: 4,
-                        mode: p.mode,
-                        spec: Some(p.spec.clone()),
-                        ..ClusterConfig::default()
-                    };
-                    simulate(&cfg, &w.templates, w.jobs, &mut Fcfs::new())
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep point panicked"))
-            .collect()
+    // Bounded worker pool; results come back in sweep order.
+    let results: Vec<SimResult> = llmsched_bench::sweep::map(&points, |p| {
+        let w = generate_workload_with(WorkloadKind::Mixed, n_jobs, &p.arrivals, seed);
+        let cfg = ClusterConfig {
+            regular_executors: 4,
+            mode: p.mode,
+            spec: Some(p.spec.clone()),
+            ..ClusterConfig::default()
+        };
+        simulate(&cfg, &w.templates, w.jobs, &mut Fcfs::new())
     });
 
     let mut header = vec!["shape", "routing", "arrivals", "backend"];

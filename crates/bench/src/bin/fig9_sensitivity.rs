@@ -35,8 +35,7 @@ fn main() {
     //     has the most to reveal; the Mixed curve is flatter). -----------
     println!("Fig. 9a — exploration probability ε (Planning, normalized):");
     let eps_values = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
-    let mut jcts = Vec::new();
-    for &eps in &eps_values {
+    let jcts = llmsched_bench::sweep::map(&eps_values, |&eps| {
         let exp = ExperimentConfig {
             llmsched: Some(LlmSchedConfig {
                 epsilon: eps,
@@ -44,8 +43,8 @@ fn main() {
             }),
             ..base(WorkloadKind::Planning, 42)
         };
-        jcts.push(run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs());
-    }
+        run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs()
+    });
     let best = jcts.iter().copied().fold(f64::INFINITY, f64::min);
     let mut t = Table::new(vec!["epsilon", "avg_jct_s", "norm_jct"]);
     for (&eps, &j) in eps_values.iter().zip(&jcts) {
@@ -61,8 +60,7 @@ fn main() {
     // --- (b) sampling ratio r sweep -----------------------------------
     println!("\nFig. 9b — task sampling ratio r (Mixed, normalized):");
     let r_values = [0.1, 0.2, 0.4, 0.6, 0.8, 1.0];
-    let mut jcts = Vec::new();
-    for &r in &r_values {
+    let jcts = llmsched_bench::sweep::map(&r_values, |&r| {
         let exp = ExperimentConfig {
             llmsched: Some(LlmSchedConfig {
                 sampling_ratio: r,
@@ -70,8 +68,8 @@ fn main() {
             }),
             ..base(WorkloadKind::Mixed, 42)
         };
-        jcts.push(run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs());
-    }
+        run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs()
+    });
     let best = jcts.iter().copied().fold(f64::INFINITY, f64::min);
     let mut t = Table::new(vec!["sampling_ratio", "avg_jct_s", "norm_jct"]);
     for (&r, &j) in r_values.iter().zip(&jcts) {
@@ -87,21 +85,19 @@ fn main() {
     // --- (c) arrival rate λ per workload, normalized to λ = 0.9 --------
     println!("\nFig. 9c — arrival rate λ (normalized to 0.9 per workload):");
     let mut t = Table::new(vec!["workload", "lambda", "avg_jct_s", "norm_jct"]);
+    let lambdas = [0.6, 0.9, 1.2];
     for kind in WorkloadKind::ALL {
-        let ref_jct = {
-            let exp = ExperimentConfig {
-                lambda: 0.9,
-                ..base(kind, 42)
-            };
-            run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs()
-        };
-        print!("  {:<11}", kind.name());
-        for lambda in [0.6, 0.9, 1.2] {
+        let js = llmsched_bench::sweep::map(&lambdas, |&lambda| {
             let exp = ExperimentConfig {
                 lambda,
                 ..base(kind, 42)
             };
-            let j = run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs();
+            run_policy(&art, Policy::LlmSched, &exp).avg_jct_secs()
+        });
+        // Normalize to the λ = 0.9 run (index 1).
+        let ref_jct = js[1];
+        print!("  {:<11}", kind.name());
+        for (&lambda, &j) in lambdas.iter().zip(&js) {
             print!("  λ={lambda}: {:>6.2}", j / ref_jct);
             t.row(vec![
                 kind.name().to_string(),

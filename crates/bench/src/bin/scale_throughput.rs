@@ -7,13 +7,20 @@
 //! Sweeps 10k/50k/100k-job Mixed workloads under LLMSched across the
 //! analytic, cluster and disaggregated backends (incremental path), plus
 //! rebuild-path reference runs on the analytic backend at 10k/50k for the
-//! speedup ratio. Writes `BENCH_scale.json` at the repo root.
+//! speedup ratio and partitioned-engine runs (`path: "parallel"`, 4
+//! partitions) on every backend for the parallel-vs-sequential ratio.
+//! Writes `BENCH_scale.json` at the repo root, including the host's
+//! `hw_threads` — partitioned speedup is meaningless without it (a
+//! 1-hardware-thread container time-slices the shard workers, so the
+//! parallel rows measure barrier overhead, not speedup).
 //!
 //! Usage:
 //!   cargo run --release -p llmsched-bench --bin scale_throughput
 //!     [--quick]            # one small sweep (CI)
 //!     [--floor <jobs/s>]   # exit non-zero if any incremental run
 //!                          # simulates fewer jobs/sec than this
+//!     [--check]            # exit non-zero if disagg throughput decays
+//!                          # from 10k to 50k jobs (scaling regression)
 //!     [--out <path>]       # default BENCH_scale.json
 
 use std::fmt::Write as _;
@@ -21,6 +28,7 @@ use std::time::Instant;
 
 use llmsched_bench::{ExperimentConfig, Policy, TrainedArtifacts};
 use llmsched_sim::engine::{ClusterConfig, EngineMode};
+use llmsched_sim::par::Parallelism;
 use llmsched_workloads::prelude::WorkloadKind;
 
 /// Cluster scale factor. The Mixed default cluster is tuned for the
@@ -38,10 +46,36 @@ const CLUSTER_SCALE: usize = 48;
 /// below the scaled service capacity.
 const LAMBDA: f64 = 24.0;
 
+/// Shard count of the `path: "parallel"` rows (matches the partitioned
+/// engine's reference configuration; clamped to the executor count).
+const PARALLEL_PARTS: usize = 4;
+
+/// How one sweep point exercises the engine + scheduler pipeline.
+#[derive(Clone, Copy, PartialEq)]
+enum Path {
+    /// Delta-driven scheduling, sequential engine (the default).
+    Incremental,
+    /// Rebuild-per-call scheduling reference (quadratic blow-up).
+    Rebuild,
+    /// Delta-driven scheduling on the partitioned engine.
+    Parallel,
+}
+
+impl Path {
+    fn name(self) -> &'static str {
+        match self {
+            Path::Incremental => "incremental",
+            Path::Rebuild => "rebuild",
+            Path::Parallel => "parallel",
+        }
+    }
+}
+
 struct Run {
     jobs: usize,
     backend: String,
     path: &'static str,
+    partitions: usize,
     wall_secs: f64,
     jobs_per_sec: f64,
     events: u64,
@@ -75,24 +109,32 @@ fn scaled_cluster(mode: EngineMode) -> ClusterConfig {
     }
 }
 
-fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, rebuild: bool) -> Run {
+fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, path: Path) -> Run {
+    let mut cluster = scaled_cluster(mode);
+    if path == Path::Parallel {
+        cluster.parallelism = Parallelism::Partitioned(PARALLEL_PARTS);
+    }
     let exp = ExperimentConfig {
         n_jobs,
         mode,
         lambda: LAMBDA,
-        cluster: Some(scaled_cluster(mode)),
-        rebuild,
+        cluster: Some(cluster),
+        rebuild: path == Path::Rebuild,
         ..ExperimentConfig::paper_default(WorkloadKind::Mixed, 42)
     };
     let start = Instant::now();
     let r = llmsched_bench::run_policy(art, Policy::LlmSched, &exp);
     let wall = start.elapsed().as_secs_f64();
     assert_eq!(r.incomplete, 0, "scale run stranded jobs");
+    if path == Path::Parallel {
+        assert!(r.par.is_some(), "parallel rows must run partitioned");
+    }
     let p = r.sched_overhead_percentiles();
     Run {
         jobs: n_jobs,
         backend: r.backend.clone(),
-        path: if rebuild { "rebuild" } else { "incremental" },
+        path: path.name(),
+        partitions: r.par.as_ref().map_or(0, |s| s.partitions),
         wall_secs: wall,
         jobs_per_sec: n_jobs as f64 / wall,
         events: r.events,
@@ -104,19 +146,27 @@ fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, rebuild: boo
     }
 }
 
-fn to_json(runs: &[Run], quick: bool, speedups: &[(usize, f64)]) -> String {
+fn to_json(
+    runs: &[Run],
+    quick: bool,
+    speedups: &[(usize, f64)],
+    par_speedups: &[(usize, f64)],
+) -> String {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"scale_throughput\",");
     let _ = writeln!(s, "  \"policy\": \"LLMSched\",");
     let _ = writeln!(s, "  \"workload\": \"Mixed\",");
     let _ = writeln!(s, "  \"cluster_scale\": {CLUSTER_SCALE},");
+    let _ = writeln!(s, "  \"hw_threads\": {hw},");
     let _ = writeln!(s, "  \"quick\": {quick},");
     s.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         let _ = write!(
             s,
             "    {{\"jobs\": {}, \"backend\": \"{}\", \"path\": \"{}\", \
+             \"partitions\": {}, \
              \"wall_secs\": {:.3}, \"jobs_per_sec\": {:.1}, \"events\": {}, \
              \"sched_calls\": {}, \"sched_mean_ms\": {:.4}, \
              \"sched_p50_ms\": {:.4}, \"sched_p99_ms\": {:.4}, \
@@ -124,6 +174,7 @@ fn to_json(runs: &[Run], quick: bool, speedups: &[(usize, f64)]) -> String {
             r.jobs,
             r.backend,
             r.path,
+            r.partitions,
             r.wall_secs,
             r.jobs_per_sec,
             r.events,
@@ -140,6 +191,11 @@ fn to_json(runs: &[Run], quick: bool, speedups: &[(usize, f64)]) -> String {
     for (i, (jobs, x)) in speedups.iter().enumerate() {
         let _ = write!(s, "{}\"{jobs}\": {x:.2}", if i > 0 { ", " } else { "" });
     }
+    s.push_str("},\n");
+    s.push_str("  \"speedup_parallel_vs_sequential\": {");
+    for (i, (jobs, x)) in par_speedups.iter().enumerate() {
+        let _ = write!(s, "{}\"{jobs}\": {x:.2}", if i > 0 { ", " } else { "" });
+    }
     s.push_str("}\n}\n");
     s
 }
@@ -153,6 +209,7 @@ fn main() {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let floor: Option<f64> = flag("--floor").map(|v| v.parse().expect("--floor takes a number"));
+    let check = args.iter().any(|a| a == "--check");
     let out = flag("--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
     // Tuning escape hatch: one incremental sweep at a custom job count.
     let jobs_override: Option<usize> =
@@ -187,26 +244,7 @@ fn main() {
         "{:>8} {:>22} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "jobs", "backend", "path", "wall s", "jobs/s", "mean ms", "p50 ms", "p99 ms"
     );
-    let mut runs: Vec<Run> = Vec::new();
-    for &n in sweep {
-        for &mode in backends {
-            let r = run_one(&art, n, mode, false);
-            println!(
-                "{:>8} {:>22} {:>12} {:>10.2} {:>10.1} {:>10.4} {:>10.4} {:>10.4}",
-                r.jobs,
-                r.backend,
-                r.path,
-                r.wall_secs,
-                r.jobs_per_sec,
-                r.sched_mean_ms,
-                r.sched_p50_ms,
-                r.sched_p99_ms
-            );
-            runs.push(r);
-        }
-    }
-    for &n in rebuild_sweep {
-        let r = run_one(&art, n, EngineMode::Analytic, true);
+    fn record(runs: &mut Vec<Run>, r: Run) {
         println!(
             "{:>8} {:>22} {:>12} {:>10.2} {:>10.1} {:>10.4} {:>10.4} {:>10.4}",
             r.jobs,
@@ -219,6 +257,19 @@ fn main() {
             r.sched_p99_ms
         );
         runs.push(r);
+    }
+    let mut runs: Vec<Run> = Vec::new();
+    for &n in sweep {
+        for &mode in backends {
+            record(&mut runs, run_one(&art, n, mode, Path::Incremental));
+            record(&mut runs, run_one(&art, n, mode, Path::Parallel));
+        }
+    }
+    for &n in rebuild_sweep {
+        record(
+            &mut runs,
+            run_one(&art, n, EngineMode::Analytic, Path::Rebuild),
+        );
     }
 
     let speedups: Vec<(usize, f64)> = rebuild_sweep
@@ -239,7 +290,27 @@ fn main() {
         println!("speedup @ {n} jobs (incremental vs rebuild): {x:.2}x");
     }
 
-    std::fs::write(&out, to_json(&runs, quick, &speedups)).expect("write BENCH_scale.json");
+    // Parallel vs sequential on the analytic backend (honest only
+    // together with hw_threads: with one hardware thread the partitioned
+    // engine pays the merge barrier without any concurrency to win).
+    let par_speedups: Vec<(usize, f64)> = sweep
+        .iter()
+        .filter_map(|&n| {
+            let seq = runs
+                .iter()
+                .find(|r| r.jobs == n && r.path == "incremental" && r.backend == "analytic")?;
+            let par = runs.iter().find(|r| {
+                r.jobs == n && r.path == "parallel" && r.backend.starts_with("analytic")
+            })?;
+            Some((n, par.jobs_per_sec / seq.jobs_per_sec))
+        })
+        .collect();
+    for (n, x) in &par_speedups {
+        println!("speedup @ {n} jobs (parallel x{PARALLEL_PARTS} vs sequential): {x:.2}x");
+    }
+
+    std::fs::write(&out, to_json(&runs, quick, &speedups, &par_speedups))
+        .expect("write BENCH_scale.json");
     println!("wrote {out}");
 
     if let Some(floor) = floor {
@@ -253,5 +324,48 @@ fn main() {
             std::process::exit(1);
         }
         println!("floor check passed: {worst:.1} >= {floor:.1} jobs/sec");
+    }
+
+    if check {
+        // Scaling regression gate: disagg throughput used to *decay* with
+        // job count (a per-placement router-view allocation — 5,061
+        // jobs/s at 10k fell to 3,978 at 50k before the reused scratch
+        // buffer landed). Throughput at 50k must stay within 15% of the
+        // 10k figure; noise runs well under that, the regressed backend
+        // sat at −21%. A quick/override sweep doesn't produce the two
+        // disagg rows the gate needs, so run them on demand — the gate
+        // works in CI without paying for the full sweep.
+        let tput = |runs: &[Run], jobs: usize| {
+            runs.iter()
+                .find(|r| {
+                    r.jobs == jobs && r.path == "incremental" && r.backend.starts_with("disagg")
+                })
+                .map(|r| r.jobs_per_sec)
+        };
+        for jobs in [10_000, 50_000] {
+            if tput(&runs, jobs).is_none() {
+                record(
+                    &mut runs,
+                    run_one(&art, jobs, EngineMode::Disagg, Path::Incremental),
+                );
+            }
+        }
+        let (small, large) = (
+            tput(&runs, 10_000).expect("disagg 10k run"),
+            tput(&runs, 50_000).expect("disagg 50k run"),
+        );
+        let ratio = large / small;
+        if ratio < 0.85 {
+            eprintln!(
+                "FAIL: disagg throughput decays with scale: {small:.1} jobs/s at 10k \
+                 -> {large:.1} at 50k ({:.0}%)",
+                (ratio - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "scaling check passed: disagg {small:.1} jobs/s at 10k -> {large:.1} at 50k \
+             ({ratio:.2}x)"
+        );
     }
 }

@@ -11,6 +11,7 @@
 pub mod report;
 pub mod roster;
 pub mod runner;
+pub mod sweep;
 
 pub use report::{jct_summary_cells, write_csv, Table, JCT_SUMMARY_HEADER};
 pub use roster::{Policy, TrainedArtifacts};

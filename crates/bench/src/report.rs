@@ -165,6 +165,7 @@ mod tests {
             utilization: Utilization::default(),
             events: 1,
             incomplete: 0,
+            par: None,
         };
         let cells = jct_summary_cells(&r, SimDuration::from_secs(5));
         assert_eq!(cells.len(), JCT_SUMMARY_HEADER.len());

@@ -76,26 +76,14 @@ pub fn run_policy(art: &TrainedArtifacts, policy: Policy, exp: &ExperimentConfig
     simulate(&exp.cluster(), &w.templates, w.jobs, &mut sched)
 }
 
-/// Runs several policies on the same workload in parallel (one thread per
-/// policy) and returns results in roster order.
+/// Runs several policies on the same workload in parallel (bounded by
+/// the hardware thread count) and returns results in roster order.
 pub fn run_policies_parallel(
     art: &TrainedArtifacts,
     policies: &[Policy],
     exp: &ExperimentConfig,
 ) -> Vec<SimResult> {
-    let mut out: Vec<Option<SimResult>> = (0..policies.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &p in policies {
-            let art = &*art;
-            let exp = &*exp;
-            handles.push(scope.spawn(move || run_policy(art, p, exp)));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("policy run panicked"));
-        }
-    });
-    out.into_iter().map(|r| r.expect("filled")).collect()
+    crate::sweep::map(policies, |&p| run_policy(art, p, exp))
 }
 
 #[cfg(test)]

@@ -1,0 +1,152 @@
+//! Deterministic bounded thread-pool sweeps.
+//!
+//! Every figure bin used to hand-roll its own `std::thread::scope` block
+//! (one unbounded thread per sweep point — fig11 spawned 36 at once).
+//! This module centralizes the pattern with three properties the ad-hoc
+//! copies didn't all share:
+//!
+//! * **bounded workers** — at most `workers` OS threads regardless of
+//!   sweep size (default: the hardware thread count), pulling indices
+//!   from a shared atomic counter;
+//! * **deterministic ordering** — results come back in *item order*, no
+//!   matter which worker finished first;
+//! * **panic propagation** — a panicking sweep point resurfaces in the
+//!   caller with its original payload instead of being swallowed by a
+//!   worker thread.
+//!
+//! Sweep points must be independent: `f` sees `&T` and shared captures
+//! only, so two points cannot race on mutable state by construction.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The default worker bound: one per hardware thread.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on at most [`default_workers`] threads; results
+/// in item order. See [`map_bounded`].
+pub fn map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_bounded(default_workers(), items, f)
+}
+
+/// Maps `f` over `items` on at most `workers` threads (clamped to
+/// `[1, items.len()]`), returning results in item order.
+///
+/// # Panics
+/// Re-raises the first worker panic (by join order) with its original
+/// payload.
+pub fn map_bounded<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        // Each worker drains the shared index counter into a local
+        // `(index, result)` list; the join loop scatters them back into
+        // item order, so completion order never leaks into the output.
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        out[i] = Some(r);
+                    }
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        // Invert completion order: early items sleep longest.
+        let items: Vec<u64> = (0..16).collect();
+        let out = map_bounded(4, &items, |&i| {
+            std::thread::sleep(std::time::Duration::from_millis(16 - i));
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_bound_is_respected() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..32).collect();
+        map_bounded(3, &items, |_| {
+            let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+            PEAK.fetch_max(live, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            LIVE.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 3,
+            "peak concurrency {} exceeded the bound",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn empty_and_oversized_bounds_are_fine() {
+        let none: Vec<u32> = map_bounded(8, &[], |x: &u32| *x);
+        assert!(none.is_empty());
+        assert_eq!(map_bounded(999, &[7u32], |x| x + 1), vec![8]);
+        assert_eq!(map_bounded(0, &[1u32, 2], |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn panics_propagate_with_their_payload() {
+        let caught = std::panic::catch_unwind(|| {
+            map_bounded(2, &[1u32, 2, 3], |&x| {
+                if x == 2 {
+                    panic!("point {x} exploded");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("point 2 exploded"), "payload lost: {msg:?}");
+    }
+}

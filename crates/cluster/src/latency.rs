@@ -118,6 +118,18 @@ impl LatencyProfile {
         self.per_token(1)
     }
 
+    /// The curve's global per-token lower bound — the latency at the
+    /// smallest measured batch (validation guarantees the curve is
+    /// non-decreasing in batch size, so no batch decodes faster).
+    ///
+    /// This is the conservative-lookahead primitive of the partitioned
+    /// engine: a task re-timed with `r` remaining tokens cannot finish
+    /// sooner than `r × min_per_token()` later, so events a shard posts
+    /// while handling a hook at time `t` land at or after `t`.
+    pub fn min_per_token(&self) -> SimDuration {
+        self.points[0].1
+    }
+
     /// The paper's Eq. (2) calibration factor `l(b_t) / l(b_r)`: multiply a
     /// duration observed (or estimated) at batch `from` to predict it at
     /// batch `to`.

@@ -40,9 +40,11 @@ use llmsched_dag::work::{ExecutorClass, LlmWork, TaskWork};
 pub use crate::exec::pool::EngineMode;
 
 use crate::event::{Event, EventQueue};
-use crate::exec::{pool, ExecCtx, ExecutorBackend, LlmTaskRef};
+use crate::exec::sharded::{run_shard, HookFx, ShardedBackend};
+use crate::exec::{pool, ExecCtx, ExecutorBackend, LlmTaskRef, Post};
 use crate::latency::LatencyProfile;
 use crate::metrics::{JobOutcome, SimResult, Utilization};
+use crate::par::{EventQueues, ParStats, Parallelism, ShardedQueue};
 use crate::scheduler::{ActiveJobs, Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
 use crate::state::{JobRt, LlmExecutorView, TaskState, Visibility};
 
@@ -70,6 +72,12 @@ pub struct ClusterConfig {
     /// [`EngineMode::Disagg`]: replica groups, routing policy, optional
     /// disaggregation. `None` derives a spec from the scalar fields above.
     pub spec: Option<ClusterSpec>,
+    /// Intra-simulation parallelism: [`Parallelism::Off`] runs the
+    /// sequential reference loop; partitioned settings shard the LLM
+    /// executor pool and the event core, stepping shards on scoped
+    /// worker threads between scheduler barriers. Every setting produces
+    /// bit-identical results (see `DESIGN.md` §10).
+    pub parallelism: Parallelism,
 }
 
 impl Default for ClusterConfig {
@@ -82,22 +90,48 @@ impl Default for ClusterConfig {
             mode: EngineMode::Analytic,
             iteration_chunk: 1,
             spec: None,
+            parallelism: Parallelism::Off,
         }
     }
 }
 
 /// Borrows the engine fields an [`ExecutorBackend`] hook may touch.
 /// A macro (not a method) so the disjoint field borrows stay visible to
-/// the borrow checker at each call site.
+/// the borrow checker at each call site. Hooks buffer their events into
+/// `posts`; the engine flushes them via `flush_own_posts` immediately
+/// after the hook returns, so the sequential event order is unchanged
+/// from the pre-buffering engine.
 macro_rules! exec_ctx {
     ($self:ident) => {
         ExecCtx {
             now: $self.now,
             latency: &$self.cfg.latency,
-            queue: &mut $self.queue,
-            jobs: &mut $self.jobs,
+            posts: &mut $self.posts,
         }
     };
+}
+
+/// The engine's backend holder: one monolithic trait object on the
+/// sequential path, the partitioned wrapper otherwise.
+enum Backend {
+    Mono(Box<dyn ExecutorBackend>),
+    Sharded(ShardedBackend),
+}
+
+impl Backend {
+    fn get(&self) -> &dyn ExecutorBackend {
+        match self {
+            Backend::Mono(b) => &**b,
+            Backend::Sharded(s) => s,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut dyn ExecutorBackend {
+        match self {
+            Backend::Mono(b) => &mut **b,
+            Backend::Sharded(s) => s,
+        }
+    }
 }
 
 struct Engine<'a> {
@@ -111,10 +145,19 @@ struct Engine<'a> {
     /// scheduler contexts as a borrowed projection; membership changes
     /// incrementally at arrivals/completions.
     active: Vec<u32>,
-    queue: EventQueue,
+    queue: EventQueues,
     now: SimTime,
     regular_busy: usize,
-    llm: Box<dyn ExecutorBackend>,
+    llm: Backend,
+    /// Hook post buffer: backends emit into it via [`ExecCtx`], the
+    /// engine drains it right after each hook (capacity is reused).
+    posts: Vec<Post>,
+    /// Effective shard count (1 = the sequential reference path).
+    parts: usize,
+    /// Same-timestamp rounds processed on the partitioned path.
+    rounds: u64,
+    /// Rounds whose hook work actually ran on ≥ 2 worker threads.
+    par_rounds: u64,
     /// Cached [`ExecutorBackend::descriptor`] (e.g. `"cluster/jsq"`),
     /// lent to scheduler contexts and moved into the result.
     backend_desc: String,
@@ -176,8 +219,28 @@ pub fn simulate(
         "jobs must be submitted in strictly ascending JobId order"
     );
 
-    let backend_desc = llm.descriptor();
-    let queue = EventQueue::with_capacity(jobs.len() + 64);
+    // Partitioned path: replace the monolithic backend with disjoint
+    // shards and the single heap with per-shard heaps merged on the
+    // global `(time, seq)` key. One shard (or one executor, or a
+    // single-core host under `Auto`) degrades to the sequential loop.
+    let parts = cfg.parallelism.resolve(llm.n_execs());
+    let (llm, queue) = if parts > 1 {
+        let sharded = ShardedBackend::build(cfg, parts);
+        debug_assert_eq!(sharded.n_execs(), llm.n_execs());
+        let exec_shard = (0..sharded.n_execs())
+            .map(|e| sharded.shard_of(e))
+            .collect();
+        (
+            Backend::Sharded(sharded),
+            EventQueues::Sharded(ShardedQueue::new(parts, exec_shard, jobs.len() + 64)),
+        )
+    } else {
+        (
+            Backend::Mono(llm),
+            EventQueues::Single(EventQueue::with_capacity(jobs.len() + 64)),
+        )
+    };
+    let backend_desc = llm.get().descriptor();
     let mut engine = Engine {
         cfg,
         templates,
@@ -187,6 +250,10 @@ pub fn simulate(
         now: SimTime::ZERO,
         regular_busy: 0,
         llm,
+        posts: Vec::new(),
+        parts,
+        rounds: 0,
+        par_rounds: 0,
         backend_desc,
         llm_views: Vec::new(),
         deltas: Vec::new(),
@@ -209,17 +276,10 @@ impl Engine<'_> {
         for (i, j) in self.jobs.iter().enumerate() {
             self.queue.push(j.spec.arrival(), Event::Arrival { job: i });
         }
-        while let Some((t, ev)) = self.queue.pop() {
-            self.advance_integrals(t);
-            self.now = t;
-            let mut effective = self.apply(ev);
-            while self.queue.peek_time() == Some(t) {
-                let (_, ev) = self.queue.pop().expect("peeked");
-                effective |= self.apply(ev);
-            }
-            if effective && self.has_free_capacity() && !self.active.is_empty() {
-                self.invoke_scheduler(scheduler);
-            }
+        if self.parts > 1 {
+            self.run_partitioned(scheduler);
+        } else {
+            self.run_sequential(scheduler);
         }
         let makespan = self
             .outcomes
@@ -228,7 +288,7 @@ impl Engine<'_> {
             .max()
             .unwrap_or(SimTime::ZERO);
         let horizon = makespan.as_secs_f64().max(f64::MIN_POSITIVE);
-        let slots = pool::total_slots(&*self.llm) as f64;
+        let slots = pool::total_slots(self.llm.get()) as f64;
         SimResult {
             scheduler: scheduler.name().to_string(),
             backend: std::mem::take(&mut self.backend_desc),
@@ -241,10 +301,227 @@ impl Engine<'_> {
                 regular_busy_frac: self.reg_busy_integral
                     / (self.cfg.regular_executors as f64 * horizon),
                 llm_slot_frac: self.llm_slot_integral / (slots * horizon),
-                llm_active_frac: self.llm_active_integral / (self.llm.n_execs() as f64 * horizon),
+                llm_active_frac: self.llm_active_integral
+                    / (self.llm.get().n_execs() as f64 * horizon),
             },
             events: self.events,
             incomplete: self.jobs.iter().filter(|j| !j.is_complete()).count(),
+            par: (self.parts > 1).then_some(ParStats {
+                partitions: self.parts,
+                rounds: self.rounds,
+                parallel_rounds: self.par_rounds,
+            }),
+        }
+    }
+
+    /// The single-threaded reference loop — the oracle every partitioned
+    /// run is equivalence-tested against.
+    fn run_sequential(&mut self, scheduler: &mut dyn Scheduler) {
+        while let Some((t, ev)) = self.queue.pop() {
+            self.advance_integrals(t);
+            self.now = t;
+            let mut effective = self.apply(ev);
+            while self.queue.peek_time() == Some(t) {
+                let (_, ev) = self.queue.pop().expect("peeked");
+                effective |= self.apply(ev);
+            }
+            if effective && self.has_free_capacity() && !self.active.is_empty() {
+                self.invoke_scheduler(scheduler);
+            }
+        }
+    }
+
+    /// The partitioned loop: drain one timestamp as one or more event
+    /// *rounds*, fanning each round's backend-hook work out to shard
+    /// worker threads and replaying the effects in exact `(time, seq)`
+    /// order, then hit the scheduler barrier. Same-timestamp events a
+    /// round posts get strictly larger sequence numbers than everything
+    /// already queued, so the round decomposition reproduces the
+    /// sequential inner drain order exactly.
+    fn run_partitioned(&mut self, scheduler: &mut dyn Scheduler) {
+        let mut batch: Vec<(SimTime, Event)> = Vec::new();
+        let mut items: Vec<Vec<(u32, SimTime, Event)>> = vec![Vec::new(); self.parts];
+        let mut fx: Vec<Option<HookFx>> = Vec::new();
+        while let Some(t) = self.queue.peek_time() {
+            self.advance_integrals(t);
+            self.now = t;
+            let mut effective = false;
+            loop {
+                batch.clear();
+                while self.queue.peek_time() == Some(t) {
+                    batch.push(self.queue.pop().expect("peeked"));
+                }
+                self.rounds += 1;
+                effective |= self.process_round(&batch, &mut items, &mut fx);
+                if self.queue.peek_time() != Some(t) {
+                    break;
+                }
+            }
+            if effective && self.has_free_capacity() && !self.active.is_empty() {
+                self.invoke_scheduler(scheduler);
+            }
+        }
+    }
+
+    /// Processes one same-timestamp event round. Hook-bearing events
+    /// (`LlmStep`s and `TaskFinish`es whose task currently runs on an
+    /// LLM executor) are assigned to the shard owning that executor;
+    /// when ≥ 2 shards have work, the shards run concurrently under
+    /// [`std::thread::scope`] with read-only access to the job table,
+    /// and their recorded [`HookFx`] effects are replayed here in batch
+    /// order. Rounds with ≤ 1 busy shard take the inline sequential
+    /// path — identical semantics, no thread launch.
+    fn process_round(
+        &mut self,
+        batch: &[(SimTime, Event)],
+        items: &mut [Vec<(u32, SimTime, Event)>],
+        fx: &mut Vec<Option<HookFx>>,
+    ) -> bool {
+        for v in items.iter_mut() {
+            v.clear();
+        }
+        {
+            let Backend::Sharded(sharded) = &self.llm else {
+                unreachable!("partitioned loop runs on the sharded backend")
+            };
+            for (i, &(time, ev)) in batch.iter().enumerate() {
+                let shard = match ev {
+                    Event::LlmStep { exec, .. } => Some(sharded.shard_of(exec)),
+                    Event::TaskFinish {
+                        job, stage, task, ..
+                    } => match self.jobs[job].task_state_of(stage, task) {
+                        TaskState::Running { exec: Some(e) } => Some(sharded.shard_of(e as usize)),
+                        // Regular tasks and already-stale events stay on
+                        // the main thread (`apply` handles them).
+                        _ => None,
+                    },
+                    Event::Arrival { .. } => None,
+                };
+                if let Some(s) = shard {
+                    items[s].push((i as u32, time, ev));
+                }
+            }
+        }
+        if items.iter().filter(|v| !v.is_empty()).count() < 2 {
+            // At most one shard has hook work: threading buys nothing.
+            let mut effective = false;
+            for &(_, ev) in batch {
+                effective |= self.apply(ev);
+            }
+            return effective;
+        }
+        self.par_rounds += 1;
+        fx.clear();
+        fx.resize_with(batch.len(), || None);
+        {
+            let Backend::Sharded(sharded) = &mut self.llm else {
+                unreachable!("partitioned loop runs on the sharded backend")
+            };
+            let bases: Vec<usize> = sharded.bases().to_vec();
+            let shards = sharded.shards_dyn_mut();
+            let jobs: &[JobRt] = &self.jobs;
+            let latency = &self.cfg.latency;
+            let items: &[Vec<(u32, SimTime, Event)>] = items;
+            let results: Vec<Vec<(u32, HookFx)>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for ((shard, base), slice) in
+                    shards.into_iter().zip(bases.iter().copied()).zip(items)
+                {
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || run_shard(shard, base, jobs, latency, slice)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for shard_fx in results {
+                for (idx, f) in shard_fx {
+                    fx[idx as usize] = Some(f);
+                }
+            }
+        }
+        // Replay: exact batch (= sequential pop) order. Events without
+        // recorded effects run the normal sequential apply; recorded
+        // effects are flushed at the point the live hook would have run.
+        let mut effective = false;
+        for (i, &(_, ev)) in batch.iter().enumerate() {
+            match fx[i].take() {
+                None => effective |= self.apply(ev),
+                Some(HookFx::Finish { valid, posts }) => {
+                    self.events += 1;
+                    if valid {
+                        let Event::TaskFinish {
+                            job, stage, task, ..
+                        } = ev
+                        else {
+                            unreachable!("finish effects come from finish events")
+                        };
+                        self.finish_task_with(job, stage, task, Some(posts));
+                        effective = true;
+                    }
+                }
+                Some(HookFx::Step {
+                    finished,
+                    effective: step_effective,
+                    posts,
+                }) => {
+                    self.events += 1;
+                    self.flush_recorded(posts);
+                    for f in &finished {
+                        self.finish_task(f.job, f.stage, f.task);
+                    }
+                    effective |= step_effective;
+                }
+            }
+        }
+        effective
+    }
+
+    /// Drains the hook post buffer into the event queue, stamping finish
+    /// epochs — the engine-side twin of [`crate::exec::flush_posts`]
+    /// (which serves backend unit tests), operating on the holder enums.
+    fn flush_own_posts(&mut self) {
+        if self.posts.is_empty() {
+            return;
+        }
+        let mut posts = std::mem::take(&mut self.posts);
+        self.flush_slice(&mut posts);
+        self.posts = posts; // return the (drained) buffer, keep capacity
+    }
+
+    /// Flushes effects a shard worker recorded during phase A: same as a
+    /// live hook's flush, just deferred to the replay point.
+    fn flush_recorded(&mut self, mut posts: Vec<Post>) {
+        self.flush_slice(&mut posts);
+    }
+
+    fn flush_slice(&mut self, posts: &mut Vec<Post>) {
+        for p in posts.drain(..) {
+            match p {
+                Post::Finish { task, at } => {
+                    debug_assert!(
+                        at >= self.now,
+                        "backends never post into the past (decode time is \
+                         bounded below by min_per_token × remaining tokens)"
+                    );
+                    let epoch = self.jobs[task.job].bump_task_epoch(task.stage, task.task);
+                    self.queue.push(
+                        at,
+                        Event::TaskFinish {
+                            job: task.job,
+                            stage: task.stage,
+                            task: task.task,
+                            epoch,
+                        },
+                    );
+                }
+                Post::Step { exec, epoch, at } => {
+                    self.queue.push(at, Event::LlmStep { exec, epoch })
+                }
+            }
         }
     }
 
@@ -252,7 +529,7 @@ impl Engine<'_> {
         let dt = (t - self.last_integral_at).as_secs_f64();
         if dt > 0.0 {
             self.reg_busy_integral += self.regular_busy as f64 * dt;
-            let (slots, busy) = pool::slot_stats(&*self.llm);
+            let (slots, busy) = pool::slot_stats(self.llm.get());
             self.llm_slot_integral += slots as f64 * dt;
             self.llm_active_integral += busy as f64 * dt;
         }
@@ -260,7 +537,7 @@ impl Engine<'_> {
     }
 
     fn has_free_capacity(&self) -> bool {
-        self.regular_busy < self.cfg.regular_executors || pool::has_free_slot(&*self.llm)
+        self.regular_busy < self.cfg.regular_executors || pool::has_free_slot(self.llm.get())
     }
 
     /// Inserts a dense index into the sorted active vector. Arrivals come
@@ -344,7 +621,8 @@ impl Engine<'_> {
                 true
             }
             Event::LlmStep { exec, epoch } => {
-                let out = self.llm.step(exec, epoch, &mut exec_ctx!(self));
+                let out = self.llm.get_mut().step(exec, epoch, &mut exec_ctx!(self));
+                self.flush_own_posts();
                 for f in &out.finished {
                     self.finish_task(f.job, f.stage, f.task);
                 }
@@ -355,6 +633,14 @@ impl Engine<'_> {
 
     /// Completes one task and any stage / job completions that follow.
     fn finish_task(&mut self, job: usize, stage: u32, task: u32) {
+        self.finish_task_with(job, stage, task, None);
+    }
+
+    /// [`Engine::finish_task`] with an optional pre-recorded drain: on
+    /// the partitioned path a shard worker already released the batch
+    /// slot and recorded the resulting re-timings, so the live drain is
+    /// skipped and the record is flushed at the same point instead.
+    fn finish_task_with(&mut self, job: usize, stage: u32, task: u32, recorded: Option<Vec<Post>>) {
         let spec_work = self.jobs[job].spec.task_work(StageId(stage), task);
         let TaskState::Running { exec } = self.jobs[job].task_state_of(stage, task) else {
             unreachable!("validated by caller")
@@ -371,8 +657,17 @@ impl Engine<'_> {
                 let e = exec.expect("llm task runs on an executor") as usize;
                 // Release the batch slot; the backend re-times survivors
                 // (analytic) or no-ops (token-level removes inside step).
-                self.llm
-                    .drain(e, LlmTaskRef { job, stage, task }, &mut exec_ctx!(self));
+                match recorded {
+                    Some(posts) => self.flush_recorded(posts),
+                    None => {
+                        self.llm.get_mut().drain(
+                            e,
+                            LlmTaskRef { job, stage, task },
+                            &mut exec_ctx!(self),
+                        );
+                        self.flush_own_posts();
+                    }
+                }
                 nominal
             }
         };
@@ -538,7 +833,7 @@ impl Engine<'_> {
     }
 
     fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler) {
-        pool::views_into(&*self.llm, &mut self.llm_views);
+        pool::views_into(self.llm.get(), &mut self.llm_views);
         let (pref, elapsed) = {
             let ctx = SchedContext {
                 now: self.now,
@@ -604,7 +899,7 @@ impl Engine<'_> {
         // LLM tasks are routed by the backend: the default is the paper's
         // least-loaded rule, cluster backends consult their Router policy.
         for tr in &pref.llm {
-            if !pool::has_free_slot(&*self.llm) {
+            if !pool::has_free_slot(self.llm.get()) {
                 break;
             }
             let Some(j) = self.validate(tr, ExecutorClass::Llm) else {
@@ -620,7 +915,7 @@ impl Engine<'_> {
                 stage: tr.stage.0,
                 task: tr.task,
             };
-            let Some(e) = self.llm.place(task, work) else {
+            let Some(e) = self.llm.get_mut().place(task, work) else {
                 break;
             };
             self.start_llm(j, tr, e, work);
@@ -656,7 +951,7 @@ impl Engine<'_> {
             stage: tr.stage,
             count: 1,
         });
-        self.llm.admit(
+        self.llm.get_mut().admit(
             e,
             LlmTaskRef {
                 job: j,
@@ -666,6 +961,7 @@ impl Engine<'_> {
             work,
             &mut exec_ctx!(self),
         );
+        self.flush_own_posts();
     }
 }
 
@@ -805,6 +1101,72 @@ mod tests {
                 "expected ~2s co-batched, got {}",
                 j.jct()
             );
+        }
+    }
+
+    #[test]
+    fn partitioned_round_runs_on_worker_threads() {
+        // Two identical LLM-only jobs on two executors under
+        // Partitioned(2): least-loaded placement separates them, both
+        // finish events land at t = 1 s on *different* shards, so the
+        // round must take the scoped-thread path — and still match the
+        // sequential run exactly.
+        let mut b = TemplateBuilder::new(AppId(0), "llm_only");
+        b.llm("gen");
+        let t = b.build().unwrap();
+        let set: TemplateSet = [t.clone()].into_iter().collect();
+        let mk = |id: u64| {
+            JobSpec::new(
+                JobId(id),
+                &t,
+                SimTime::ZERO,
+                vec![StageSpec::executing(
+                    "gen",
+                    StageKind::Llm,
+                    vec![TaskWork::Llm {
+                        prompt_tokens: 0,
+                        output_tokens: 100,
+                    }],
+                )],
+                vec![],
+            )
+            .unwrap()
+        };
+        let cfg = |par: Parallelism| ClusterConfig {
+            latency: flat_latency(),
+            llm_executors: 2,
+            parallelism: par,
+            ..Default::default()
+        };
+        let seq = simulate(
+            &cfg(Parallelism::Off),
+            &set,
+            vec![mk(0), mk(1)],
+            &mut Greedy,
+        );
+        let par = simulate(
+            &cfg(Parallelism::Partitioned(2)),
+            &set,
+            vec![mk(0), mk(1)],
+            &mut Greedy,
+        );
+        assert!(seq.par.is_none());
+        let stats = par.par.expect("partitioned run reports ParStats");
+        assert_eq!(stats.partitions, 2);
+        assert!(
+            stats.parallel_rounds > 0,
+            "co-timed finishes on both shards must thread: {stats:?}"
+        );
+        assert_eq!(par.events, seq.events);
+        assert_eq!(par.makespan, seq.makespan);
+        assert_eq!(
+            par.avg_jct_secs().to_bits(),
+            seq.avg_jct_secs().to_bits(),
+            "partitioned avg JCT bits"
+        );
+        // Both jobs finish together at 100 tokens × 10 ms = 1 s.
+        for j in &par.jobs {
+            assert!((j.jct().as_secs_f64() - 1.0).abs() < 1e-9);
         }
     }
 

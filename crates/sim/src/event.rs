@@ -100,8 +100,17 @@ impl EventQueue {
 
     /// Schedules `event` at `time`.
     pub fn push(&mut self, time: SimTime, event: Event) {
-        let key = key_of(time, self.seq);
+        let seq = self.seq;
         self.seq += 1;
+        self.push_with_seq(time, seq, event);
+    }
+
+    /// Schedules `event` at `time` under an externally assigned sequence
+    /// number. The partitioned engine routes events to per-shard queues
+    /// but keeps ONE global monotone counter, so the merged pop order is
+    /// bit-identical to a single queue's `(time, seq)` order.
+    pub(crate) fn push_with_seq(&mut self, time: SimTime, seq: u64, event: Event) {
+        let key = key_of(time, seq);
         let slot = match self.free.pop() {
             Some(s) => {
                 self.arena[s as usize] = event;
@@ -132,6 +141,12 @@ impl EventQueue {
     /// The timestamp of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.first().map(|e| SimTime((e.key >> 64) as u64))
+    }
+
+    /// The packed `(time, seq)` key of the earliest event — the
+    /// partitioned engine's shard merge compares heads by this key.
+    pub(crate) fn peek_key(&self) -> Option<u128> {
+        self.heap.first().map(|e| e.key)
     }
 
     /// Number of pending events (including stale ones awaiting lazy

@@ -150,23 +150,25 @@ mod tests {
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
         let mut be = AnalyticExec::new(1, 8);
 
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(100), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.occupancy(0), 1);
         assert_eq!(queue.len(), 1, "one finish event for the lone task");
 
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(1), w(100), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.occupancy(0), 2);
         // Both tasks were re-timed: two new events on top of the stale one.
         assert_eq!(queue.len(), 3);
@@ -179,11 +181,11 @@ mod tests {
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
         let mut be = AnalyticExec::new(2, 8);
 
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(100), &mut cx);
         be.admit(0, t(1), w(200), &mut cx);
@@ -192,6 +194,7 @@ mod tests {
         assert_eq!(be.occupancy(1), 0, "other executors untouched");
         // Draining an already-absent task is a no-op on occupancy.
         be.drain(0, t(0), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.occupancy(0), 1);
     }
 
@@ -202,18 +205,19 @@ mod tests {
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(1)];
         let mut be = AnalyticExec::new(1, 8);
 
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(100), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::from_secs_f64(0.5),
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         // A no-op membership change (drain of an absent task) still
         // re-times: the old event goes stale.
@@ -226,6 +230,7 @@ mod tests {
             },
             &mut cx,
         );
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let current_epoch = jobs[0].task_epoch_of(0, 0);
         let mut valid = 0;
         while let Some((_, ev)) = queue.pop() {
@@ -250,20 +255,22 @@ mod tests {
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
         let mut be = AnalyticExec::new(1, 8);
 
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(100), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::from_secs_f64(0.5),
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(1), w(100), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let epoch_a = jobs[0].task_epoch_of(0, 0);
         let mut finish_a = None;
         while let Some((time, ev)) = queue.pop() {
@@ -286,13 +293,14 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
         let mut be = AnalyticExec::new(2, 8);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(1, t(0), w(10), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let views = pool::views(&be);
         assert_eq!(views.len(), 2);
         assert_eq!((views[0].batch_len, views[1].batch_len), (0, 1));

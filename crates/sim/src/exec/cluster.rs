@@ -27,6 +27,9 @@ use super::{ExecCtx, ExecutorBackend, LlmTaskRef, StepOutcome};
 pub struct ClusterExec {
     units: Vec<ReplicaBatch>,
     router: Box<dyn Router>,
+    /// Reused router-view buffer: refilled per `place` call instead of
+    /// collecting a fresh `Vec` (placement is per-dispatched-task hot).
+    view_scratch: Vec<ReplicaView>,
 }
 
 impl ClusterExec {
@@ -38,18 +41,25 @@ impl ClusterExec {
     /// Panics if the spec fails [`ClusterSpec::validate`].
     pub fn new(spec: &ClusterSpec) -> Self {
         spec.validate().expect("invalid cluster spec");
+        Self::from_units(ReplicaBatch::table(spec), spec.routing.build())
+    }
+
+    /// A backend over an explicit replica-batch table — the partitioned
+    /// engine builds one per shard from a contiguous chunk of the full
+    /// table. The shard-local `router` is only consulted if `place` is
+    /// called on the shard directly; the sharded wrapper routes globally.
+    pub(super) fn from_units(units: Vec<ReplicaBatch>, router: Box<dyn Router>) -> Self {
         ClusterExec {
-            units: ReplicaBatch::table(spec),
-            router: spec.routing.build(),
+            units,
+            router,
+            view_scratch: Vec::new(),
         }
     }
 
-    fn views(&self) -> Vec<ReplicaView> {
-        self.units
-            .iter()
-            .enumerate()
-            .map(|(i, u)| u.view(i, 0, 0))
-            .collect()
+    /// The router view of local replica `local`, labelled with its global
+    /// executor index (the sharded wrapper composes global view tables).
+    pub(crate) fn unit_view(&self, local: usize, global: usize) -> ReplicaView {
+        self.units[local].view(global, 0, 0)
     }
 }
 
@@ -75,14 +85,18 @@ impl ExecutorBackend for ClusterExec {
     }
 
     fn place(&mut self, task: LlmTaskRef, work: LlmWork) -> Option<usize> {
-        let views = self.views();
-        self.router.route(
+        let mut views = std::mem::take(&mut self.view_scratch);
+        views.clear();
+        views.extend(self.units.iter().enumerate().map(|(i, u)| u.view(i, 0, 0)));
+        let chosen = self.router.route(
             &views,
             RouteRequest {
                 job: task.job as u64,
                 tokens: work.folded_tokens(),
             },
-        )
+        );
+        self.view_scratch = views;
+        chosen
     }
 
     fn admit(&mut self, exec: usize, task: LlmTaskRef, work: LlmWork, cx: &mut ExecCtx<'_>) {
@@ -159,14 +173,15 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
         let mut be = ClusterExec::new(&hetero_spec(RoutingPolicy::LeastLoaded));
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0, 0), w(100), &mut cx);
         be.admit(1, t(0, 1), w(100), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let mut finishes = Vec::new();
         while let Some((time, ev)) = queue.pop() {
             if let Event::TaskFinish { task, .. } = ev {
@@ -184,17 +199,18 @@ mod tests {
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
         let mut be = ClusterExec::new(&hetero_spec(RoutingPolicy::JoinShortestQueue));
         let reference = profile(10);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         // Load the fast replica with one huge request; JSQ then prefers
         // the token-empty slow replicas even though occupancies tie after
         // the first admit.
         let first = be.place(t(0, 0), w(5000)).unwrap();
         be.admit(first, t(0, 0), w(5000), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let second = be.place(t(0, 1), w(10)).unwrap();
         assert_ne!(second, first, "JSQ avoids the replica holding 5k tokens");
     }
@@ -205,11 +221,11 @@ mod tests {
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
         let mut be = ClusterExec::new(&hetero_spec(RoutingPolicy::LeastLoaded));
         let reference = profile(10);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0, 0), w(100), &mut cx);
         assert_eq!(be.occupancy(0), 1);
@@ -219,6 +235,7 @@ mod tests {
         assert_eq!(be.units[0].pending_tokens, 0);
         // Draining an absent task is a no-op.
         be.drain(0, t(0, 0), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.units[0].pending_tokens, 0);
     }
 
@@ -232,13 +249,14 @@ mod tests {
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
         let mut be = ClusterExec::new(&spec);
         let reference = profile(10);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0, 0), w(10), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.place(t(0, 1), w(10)), None);
     }
 }

@@ -53,10 +53,62 @@ struct DecodeUnit {
     next_epoch: u64,
 }
 
-impl DecodeUnit {
-    fn view(&self, index: usize) -> ReplicaView {
-        let staged_tokens = self.transit.iter().map(|t| t.decode_tokens).sum();
-        self.batch.view(index, self.transit.len(), staged_tokens)
+/// The shared FIFO prefill pool: earliest-free replica serves next.
+///
+/// Extracted from [`DisaggExec`] so the partitioned engine can keep ONE
+/// global pool (prefill ordering is a cross-shard resource) while decode
+/// replicas are sharded.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefillPool {
+    /// Earliest availability of each prefill replica (FIFO service).
+    free_at: Vec<SimTime>,
+    per_token: SimDuration,
+    transfer: SimDuration,
+}
+
+impl PrefillPool {
+    pub(crate) fn new(replicas: usize, per_token: SimDuration, transfer: SimDuration) -> Self {
+        PrefillPool {
+            free_at: vec![SimTime::ZERO; replicas],
+            per_token,
+            transfer,
+        }
+    }
+
+    /// Builds the pool a disaggregated [`ClusterSpec`] describes.
+    ///
+    /// # Panics
+    /// Panics if the spec carries no [`DisaggSpec`].
+    pub(crate) fn from_spec(spec: &ClusterSpec) -> Self {
+        let DisaggSpec {
+            prefill_group,
+            prefill_per_token,
+            transfer_delay,
+        } = *spec
+            .disagg
+            .as_ref()
+            .expect("EngineMode::Disagg requires ClusterSpec::disagg");
+        PrefillPool::new(
+            spec.groups[prefill_group].replicas,
+            prefill_per_token,
+            transfer_delay,
+        )
+    }
+
+    /// Serves `prompt_tokens` on the earliest-free prefill replica (FIFO)
+    /// and returns when its KV cache reaches a decode replica.
+    pub(crate) fn arrival(&mut self, now: SimTime, prompt_tokens: u64) -> SimTime {
+        let p = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &t)| (t, i))
+            .map(|(i, _)| i)
+            .expect("validated: at least one prefill replica");
+        let start = self.free_at[p].max(now);
+        let done = start + self.per_token * prompt_tokens;
+        self.free_at[p] = done;
+        done + self.transfer
     }
 }
 
@@ -64,11 +116,10 @@ impl DecodeUnit {
 #[derive(Debug)]
 pub struct DisaggExec {
     units: Vec<DecodeUnit>,
-    /// Earliest availability of each prefill replica (FIFO service).
-    prefill_free_at: Vec<SimTime>,
-    prefill_per_token: SimDuration,
-    transfer_delay: SimDuration,
+    prefill: PrefillPool,
     router: Box<dyn Router>,
+    /// Reused router-view buffer (see [`ClusterExec`](super::ClusterExec)).
+    view_scratch: Vec<ReplicaView>,
 }
 
 impl DisaggExec {
@@ -79,53 +130,59 @@ impl DisaggExec {
     /// [`DisaggSpec`].
     pub fn new(spec: &ClusterSpec) -> Self {
         spec.validate().expect("invalid cluster spec");
-        let DisaggSpec {
-            prefill_group,
-            prefill_per_token,
-            transfer_delay,
-        } = *spec
-            .disagg
-            .as_ref()
-            .expect("EngineMode::Disagg requires ClusterSpec::disagg");
-        let units = ReplicaBatch::table(spec)
-            .into_iter()
-            .map(|batch| DecodeUnit {
-                batch,
-                transit: Vec::new(),
-                next_epoch: 0,
-            })
-            .collect();
+        let prefill = PrefillPool::from_spec(spec);
+        let mut exec = Self::from_units(ReplicaBatch::table(spec), spec.routing.build());
+        exec.prefill = prefill;
+        exec
+    }
+
+    /// A decode-only pool over an explicit replica-batch table — the
+    /// partitioned engine builds one per shard. The embedded prefill pool
+    /// is empty and never consulted: the sharded wrapper owns the global
+    /// pool and admits through [`DisaggExec::admit_with_ready_at`].
+    pub(super) fn from_units(batches: Vec<ReplicaBatch>, router: Box<dyn Router>) -> Self {
         DisaggExec {
-            units,
-            prefill_free_at: vec![SimTime::ZERO; spec.groups[prefill_group].replicas],
-            prefill_per_token,
-            transfer_delay,
-            router: spec.routing.build(),
+            units: batches
+                .into_iter()
+                .map(|batch| DecodeUnit {
+                    batch,
+                    transit: Vec::new(),
+                    next_epoch: 0,
+                })
+                .collect(),
+            prefill: PrefillPool::new(1, SimDuration::ZERO, SimDuration::ZERO),
+            router,
+            view_scratch: Vec::new(),
         }
     }
 
-    fn views(&self) -> Vec<ReplicaView> {
-        self.units
-            .iter()
-            .enumerate()
-            .map(|(i, u)| u.view(i))
-            .collect()
+    /// The router view of local decode replica `local`, labelled with its
+    /// global executor index.
+    pub(crate) fn unit_view(&self, local: usize, global: usize) -> ReplicaView {
+        let unit = &self.units[local];
+        let staged_tokens = unit.transit.iter().map(|t| t.decode_tokens).sum();
+        unit.batch.view(global, unit.transit.len(), staged_tokens)
     }
 
-    /// Serves `prompt_tokens` on the earliest-free prefill replica (FIFO)
-    /// and returns when its KV cache reaches a decode replica.
-    fn prefill_arrival(&mut self, now: SimTime, prompt_tokens: u64) -> SimTime {
-        let p = self
-            .prefill_free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &t)| (t, i))
-            .map(|(i, _)| i)
-            .expect("validated: at least one prefill replica");
-        let start = self.prefill_free_at[p].max(now);
-        let done = start + self.prefill_per_token * prompt_tokens;
-        self.prefill_free_at[p] = done;
-        done + self.transfer_delay
+    /// Admission with the prefill→transfer arrival time already resolved
+    /// (the sharded wrapper computes it against the global prefill pool).
+    pub(crate) fn admit_with_ready_at(
+        &mut self,
+        exec: usize,
+        task: LlmTaskRef,
+        decode_tokens: u64,
+        ready_at: SimTime,
+        cx: &mut ExecCtx<'_>,
+    ) {
+        let unit = &mut self.units[exec];
+        unit.transit.push(Transit {
+            task,
+            decode_tokens,
+            ready_at,
+        });
+        unit.next_epoch += 1;
+        let epoch = unit.next_epoch;
+        cx.post_step(exec, epoch, ready_at);
     }
 }
 
@@ -151,27 +208,23 @@ impl ExecutorBackend for DisaggExec {
     }
 
     fn place(&mut self, task: LlmTaskRef, work: LlmWork) -> Option<usize> {
-        let views = self.views();
-        self.router.route(
+        let mut views = std::mem::take(&mut self.view_scratch);
+        views.clear();
+        views.extend((0..self.units.len()).map(|i| self.unit_view(i, i)));
+        let chosen = self.router.route(
             &views,
             RouteRequest {
                 job: task.job as u64,
                 tokens: work.decode_tokens(),
             },
-        )
+        );
+        self.view_scratch = views;
+        chosen
     }
 
     fn admit(&mut self, exec: usize, task: LlmTaskRef, work: LlmWork, cx: &mut ExecCtx<'_>) {
-        let ready_at = self.prefill_arrival(cx.now, work.prompt_tokens);
-        let unit = &mut self.units[exec];
-        unit.transit.push(Transit {
-            task,
-            decode_tokens: work.decode_tokens(),
-            ready_at,
-        });
-        unit.next_epoch += 1;
-        let epoch = unit.next_epoch;
-        cx.post_step(exec, epoch, ready_at);
+        let ready_at = self.prefill.arrival(cx.now, work.prompt_tokens);
+        self.admit_with_ready_at(exec, task, work.decode_tokens(), ready_at, cx);
     }
 
     fn step(&mut self, exec: usize, epoch: u64, cx: &mut ExecCtx<'_>) -> StepOutcome {
@@ -264,16 +317,17 @@ mod tests {
         reference: &LatencyProfile,
     ) -> Vec<(u32, f64)> {
         let mut finishes = Vec::new();
+        let mut posts = Vec::new();
         while let Some((time, ev)) = queue.pop() {
             match ev {
                 Event::LlmStep { exec, epoch } => {
                     let mut cx = ExecCtx {
                         now: time,
                         latency: reference,
-                        queue: &mut *queue,
-                        jobs: &mut *jobs,
+                        posts: &mut posts,
                     };
                     be.step(exec, epoch, &mut cx);
+                    crate::exec::flush_posts(&mut posts, &mut *jobs, &mut *queue);
                 }
                 Event::TaskFinish { task, epoch, .. } => {
                     if jobs[0].task_epoch_of(0, task) == epoch {
@@ -281,11 +335,11 @@ mod tests {
                         let mut cx = ExecCtx {
                             now: time,
                             latency: reference,
-                            queue: &mut *queue,
-                            jobs: &mut *jobs,
+                            posts: &mut posts,
                         };
                         be.drain(0, t(task), &mut cx);
                         be.drain(1, t(task), &mut cx);
+                        crate::exec::flush_posts(&mut posts, &mut *jobs, &mut *queue);
                     }
                 }
                 Event::Arrival { .. } => unreachable!(),
@@ -302,14 +356,15 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(1)];
         let mut be = DisaggExec::new(&spec());
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         let e = be.place(t(0), w(100, 50)).unwrap();
         be.admit(e, t(0), w(100, 50), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.occupancy(e), 1, "transit counts toward occupancy");
         let finishes = run_events(&mut be, &mut queue, &mut jobs, &reference);
         assert_eq!(finishes.len(), 1);
@@ -330,11 +385,11 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
         let mut be = DisaggExec::new(&spec());
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         // Route both to distinct decode replicas (least-loaded does).
         let e0 = be.place(t(0), w(100, 50)).unwrap();
@@ -342,6 +397,7 @@ mod tests {
         let e1 = be.place(t(1), w(100, 50)).unwrap();
         assert_ne!(e0, e1);
         be.admit(e1, t(1), w(100, 50), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let finishes = run_events(&mut be, &mut queue, &mut jobs, &reference);
         assert_eq!(finishes.len(), 2);
         let by_task: std::collections::HashMap<u32, f64> = finishes.into_iter().collect();
@@ -357,13 +413,14 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(1)];
         let mut be = DisaggExec::new(&spec());
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(0, 10), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let finishes = run_events(&mut be, &mut queue, &mut jobs, &reference);
         assert!((finishes[0].1 - 0.11).abs() < 1e-9);
     }
@@ -374,13 +431,19 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(1)];
         let mut be = DisaggExec::new(&spec());
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(10, 10), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
+        let mut cx = ExecCtx {
+            now: SimTime::ZERO,
+            latency: &reference,
+            posts: &mut posts,
+        };
         // Before the handoff is due, nothing moves.
         let out = be.step(0, 1, &mut cx);
         assert!(!out.effective && out.finished.is_empty());
@@ -397,17 +460,18 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(16)];
         let mut be = DisaggExec::new(&spec());
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &reference,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         // 2 decode replicas × batch 4 = 8 slots.
         for i in 0..8 {
             let e = be.place(t(i), w(10, 10)).expect("slot free");
             be.admit(e, t(i), w(10, 10), &mut cx);
         }
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.place(t(8), w(10, 10)), None, "pool fully reserved");
     }
 }

@@ -51,6 +51,7 @@ mod batching;
 pub mod cluster;
 pub mod disagg;
 pub mod pool;
+pub(crate) mod sharded;
 pub mod token_level;
 
 pub use analytic::AnalyticExec;
@@ -77,11 +78,42 @@ pub struct LlmTaskRef {
     pub task: u32,
 }
 
+/// One event a backend asked the engine to schedule.
+///
+/// Backends never touch the event queue or the job table directly: hooks
+/// buffer their requests here and the *caller* materializes them — the
+/// sequential engine immediately after the hook returns (stamping finish
+/// epochs via [`flush_posts`]), the partitioned engine's shard workers
+/// into an epoch-shadow first and the merge barrier afterwards. Keeping
+/// epoch assignment out of the backend is what lets shard workers run
+/// hooks with only *shared* access to the job table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Post {
+    /// `task` finishes at `at` (superseding any earlier finish event for
+    /// it; the flusher bumps the task's epoch to invalidate those).
+    Finish {
+        /// The finishing task.
+        task: LlmTaskRef,
+        /// Absolute finish time.
+        at: SimTime,
+    },
+    /// A backend wake-up ([`Event::LlmStep`]) for executor `exec` at `at`;
+    /// `epoch` must match the backend's step epoch when the event fires.
+    Step {
+        /// LLM executor index (backend-local; sharded wrappers remap it
+        /// to the global index before the flush).
+        exec: usize,
+        /// Backend step epoch.
+        epoch: u64,
+        /// Wake-up time.
+        at: SimTime,
+    },
+}
+
 /// The slice of engine state a backend may touch while handling a hook.
 ///
 /// Rebuilt per call; borrows the engine's clock, the shared decode-latency
-/// curve, the event queue and the job table (the latter only for epoch
-/// bumping via [`ExecCtx::post_finish`]).
+/// curve and a buffer of [`Post`]s the caller flushes after the hook.
 #[derive(Debug)]
 pub struct ExecCtx<'a> {
     /// Current simulation time.
@@ -91,33 +123,47 @@ pub struct ExecCtx<'a> {
     /// with it; cluster backends carry per-group curves and use this only
     /// as the normalization reference.
     pub latency: &'a LatencyProfile,
-    /// The engine's event queue (backends post wake-ups and finishes).
-    pub queue: &'a mut EventQueue,
-    /// The engine's job table, used to version finish events per task.
-    pub jobs: &'a mut [JobRt],
+    /// Events the backend wants scheduled, in emission order. The caller
+    /// drains this after the hook returns (see [`flush_posts`]).
+    pub posts: &'a mut Vec<Post>,
 }
 
 impl ExecCtx<'_> {
     /// Schedules `task` to finish at `at`, invalidating any finish event
     /// posted for it earlier (per-task epochs make stale events no-ops).
     pub fn post_finish(&mut self, task: LlmTaskRef, at: SimTime) {
-        let epoch = self.jobs[task.job].bump_task_epoch(task.stage, task.task);
-        self.queue.push(
-            at,
-            Event::TaskFinish {
-                job: task.job,
-                stage: task.stage,
-                task: task.task,
-                epoch,
-            },
-        );
+        self.posts.push(Post::Finish { task, at });
     }
 
     /// Schedules a backend wake-up ([`Event::LlmStep`]) for executor
     /// `exec` at `at`; `epoch` must match the backend's current step epoch
     /// when the event fires, or the step is discarded as stale.
     pub fn post_step(&mut self, exec: usize, epoch: u64, at: SimTime) {
-        self.queue.push(at, Event::LlmStep { exec, epoch });
+        self.posts.push(Post::Step { exec, epoch, at });
+    }
+}
+
+/// Drains buffered [`Post`]s into the event queue, stamping each finish
+/// with a freshly bumped per-task epoch. Push order equals emission order,
+/// so event sequence numbers are exactly what the pre-buffering engine
+/// assigned inline.
+pub fn flush_posts(posts: &mut Vec<Post>, jobs: &mut [JobRt], queue: &mut EventQueue) {
+    for p in posts.drain(..) {
+        match p {
+            Post::Finish { task, at } => {
+                let epoch = jobs[task.job].bump_task_epoch(task.stage, task.task);
+                queue.push(
+                    at,
+                    Event::TaskFinish {
+                        job: task.job,
+                        stage: task.stage,
+                        task: task.task,
+                        epoch,
+                    },
+                );
+            }
+            Post::Step { exec, epoch, at } => queue.push(at, Event::LlmStep { exec, epoch }),
+        }
     }
 }
 
@@ -178,7 +224,10 @@ impl StepOutcome {
 ///    drains on completion, including completions the backend itself
 ///    reported);
 /// 4. `place` only returns executors with `occupancy(e) < capacity(e)`.
-pub trait ExecutorBackend: std::fmt::Debug {
+///
+/// Backends must be [`Send`]: the partitioned engine steps disjoint
+/// backend shards on scoped worker threads between scheduler barriers.
+pub trait ExecutorBackend: std::fmt::Debug + Send {
     /// Short backend family name (e.g. `"analytic"`, `"cluster"`).
     fn name(&self) -> &'static str;
 

@@ -111,6 +111,7 @@ mod tests {
             mode,
             iteration_chunk: 2,
             spec: None,
+            parallelism: crate::par::Parallelism::Off,
         }
     }
 

@@ -1,0 +1,736 @@
+//! The partitioned executor backend: disjoint shards of a monolithic
+//! pool, stepped concurrently between scheduler barriers.
+//!
+//! [`ShardedBackend`] wraps `p` independent backend shards, each owning
+//! a contiguous slice of the global executor index space. Called through
+//! the ordinary [`ExecutorBackend`] trait it behaves *bit-identically*
+//! to the monolithic backend it partitions:
+//!
+//! * per-executor hooks (`admit`/`step`/`drain`/`occupancy`/`capacity`)
+//!   delegate to the owning shard with the local index `e - base[s]`,
+//!   remapping any `Post::Step` the shard emits back to global indices;
+//! * `place` is *global*: homogeneous pools re-run the paper's
+//!   least-loaded rule over all executors, routed pools compose the
+//!   global [`ReplicaView`] table from per-shard views and consult ONE
+//!   global router (so stateful policies like session affinity see the
+//!   same call sequence as the monolithic backend);
+//! * disaggregated pools keep ONE global [`PrefillPool`] — prefill FIFO
+//!   order is a cross-shard resource — and admit into shards with the
+//!   arrival time pre-resolved.
+//!
+//! What the partitioning buys is [`run_shard`]: the engine hands each
+//! shard its slice of a same-timestamp event batch and the shards run
+//! their hook work on scoped worker threads, sharing the job table
+//! read-only. Validity of a `TaskFinish` against a *moving* epoch is
+//! decided with a per-shard epoch shadow (all epoch bumps for a task
+//! come from its own executor's shard, so the shadow is exact), and all
+//! effects are returned as [`HookFx`] records the engine replays on the
+//! main thread in exact `(time, seq)` batch order.
+
+use std::collections::{HashMap, HashSet};
+
+use llmsched_cluster::{ClusterSpec, ReplicaView, RouteRequest, Router};
+use llmsched_dag::time::SimTime;
+use llmsched_dag::work::LlmWork;
+
+use super::batching::ReplicaBatch;
+use super::disagg::PrefillPool;
+use super::pool::EngineMode;
+use super::{
+    AnalyticExec, ClusterExec, DisaggExec, ExecCtx, ExecutorBackend, LlmTaskRef, Post, StepOutcome,
+    TokenExec,
+};
+use crate::engine::ClusterConfig;
+use crate::event::Event;
+use crate::latency::LatencyProfile;
+use crate::state::{JobRt, TaskState};
+
+/// The per-mode shard storage.
+#[derive(Debug)]
+enum ShardKind {
+    Analytic(Vec<AnalyticExec>),
+    Token(Vec<TokenExec>),
+    Cluster(Vec<ClusterExec>),
+    Disagg {
+        shards: Vec<DisaggExec>,
+        /// The global FIFO prefill pool (admission order is cross-shard).
+        prefill: PrefillPool,
+    },
+}
+
+/// A monolithic-equivalent backend partitioned into disjoint shards.
+#[derive(Debug)]
+pub(crate) struct ShardedBackend {
+    kind: ShardKind,
+    /// Global router for routed pools (`None` for homogeneous pools,
+    /// which use the paper's least-loaded rule globally).
+    router: Option<Box<dyn Router>>,
+    /// First global executor index of each shard (contiguous layout).
+    base: Vec<usize>,
+    /// Global executor index → owning shard.
+    shard_of: Vec<usize>,
+    name: &'static str,
+    desc: String,
+    /// Reused global router-view buffer.
+    view_scratch: Vec<ReplicaView>,
+}
+
+/// `n` executors split into `p` contiguous chunks, sizes differing by at
+/// most one (shard `i` gets `n/p + (i < n%p)`).
+fn chunk_sizes(n: usize, p: usize) -> Vec<usize> {
+    (0..p).map(|i| n / p + usize::from(i < n % p)).collect()
+}
+
+/// Splits a flat replica-batch table into contiguous per-shard chunks.
+fn chunk_units(mut units: Vec<ReplicaBatch>, sizes: &[usize]) -> Vec<Vec<ReplicaBatch>> {
+    let mut out = Vec::with_capacity(sizes.len());
+    for &s in sizes {
+        let rest = units.split_off(s);
+        out.push(units);
+        units = rest;
+    }
+    debug_assert!(units.is_empty());
+    out
+}
+
+impl ShardedBackend {
+    /// Partitions the backend `cfg` describes into `parts` shards. The
+    /// spec-derivation rules mirror [`super::pool::build_backend`]
+    /// exactly, so the partitioned pool models the same cluster.
+    pub(crate) fn build(cfg: &ClusterConfig, parts: usize) -> Self {
+        debug_assert!(parts >= 2, "one shard is the sequential path");
+        match cfg.mode {
+            EngineMode::Analytic => {
+                let sizes = chunk_sizes(cfg.llm_executors, parts);
+                let shards = sizes
+                    .iter()
+                    .map(|&n| AnalyticExec::new(n, cfg.max_batch))
+                    .collect();
+                Self::assemble(
+                    ShardKind::Analytic(shards),
+                    None,
+                    &sizes,
+                    "analytic",
+                    format!("analytic+p{parts}"),
+                )
+            }
+            EngineMode::TokenLevel => {
+                let sizes = chunk_sizes(cfg.llm_executors, parts);
+                let shards = sizes
+                    .iter()
+                    .map(|&n| TokenExec::new(n, cfg.max_batch, cfg.iteration_chunk))
+                    .collect();
+                Self::assemble(
+                    ShardKind::Token(shards),
+                    None,
+                    &sizes,
+                    "token-level",
+                    format!("token-level+p{parts}"),
+                )
+            }
+            EngineMode::Cluster => {
+                let spec = cfg.spec.clone().unwrap_or_else(|| {
+                    ClusterSpec::homogeneous(cfg.llm_executors, cfg.max_batch, cfg.latency.clone())
+                });
+                spec.validate().expect("invalid cluster spec");
+                let units = ReplicaBatch::table(&spec);
+                let sizes = chunk_sizes(units.len(), parts);
+                let shards = chunk_units(units, &sizes)
+                    .into_iter()
+                    .map(|chunk| ClusterExec::from_units(chunk, spec.routing.build()))
+                    .collect();
+                let router = spec.routing.build();
+                let desc = format!("cluster/{}+p{parts}", router.name());
+                Self::assemble(
+                    ShardKind::Cluster(shards),
+                    Some(router),
+                    &sizes,
+                    "cluster",
+                    desc,
+                )
+            }
+            EngineMode::Disagg => {
+                let spec = cfg.spec.clone().unwrap_or_else(|| {
+                    ClusterSpec::disaggregated(
+                        cfg.llm_executors,
+                        cfg.max_batch,
+                        cfg.latency.clone(),
+                    )
+                });
+                spec.validate().expect("invalid cluster spec");
+                let prefill = PrefillPool::from_spec(&spec);
+                let units = ReplicaBatch::table(&spec);
+                let sizes = chunk_sizes(units.len(), parts);
+                let shards = chunk_units(units, &sizes)
+                    .into_iter()
+                    .map(|chunk| DisaggExec::from_units(chunk, spec.routing.build()))
+                    .collect();
+                let router = spec.routing.build();
+                let desc = format!("disagg/{}+p{parts}", router.name());
+                Self::assemble(
+                    ShardKind::Disagg { shards, prefill },
+                    Some(router),
+                    &sizes,
+                    "disagg",
+                    desc,
+                )
+            }
+        }
+    }
+
+    fn assemble(
+        kind: ShardKind,
+        router: Option<Box<dyn Router>>,
+        sizes: &[usize],
+        name: &'static str,
+        desc: String,
+    ) -> Self {
+        let mut base = Vec::with_capacity(sizes.len());
+        let mut shard_of = Vec::new();
+        let mut next = 0usize;
+        for (s, &n) in sizes.iter().enumerate() {
+            base.push(next);
+            shard_of.extend(std::iter::repeat(s).take(n));
+            next += n;
+        }
+        ShardedBackend {
+            kind,
+            router,
+            base,
+            shard_of,
+            name,
+            desc,
+            view_scratch: Vec::new(),
+        }
+    }
+
+    /// Number of shards.
+    #[cfg(test)]
+    pub(crate) fn partitions(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Owning shard of global executor `exec`.
+    pub(crate) fn shard_of(&self, exec: usize) -> usize {
+        self.shard_of[exec]
+    }
+
+    /// First global executor index of each shard.
+    pub(crate) fn bases(&self) -> &[usize] {
+        &self.base
+    }
+
+    /// The shards as trait objects, for scoped worker threads.
+    pub(crate) fn shards_dyn_mut(&mut self) -> Vec<&mut dyn ExecutorBackend> {
+        match &mut self.kind {
+            ShardKind::Analytic(v) => v
+                .iter_mut()
+                .map(|s| s as &mut dyn ExecutorBackend)
+                .collect(),
+            ShardKind::Token(v) => v
+                .iter_mut()
+                .map(|s| s as &mut dyn ExecutorBackend)
+                .collect(),
+            ShardKind::Cluster(v) => v
+                .iter_mut()
+                .map(|s| s as &mut dyn ExecutorBackend)
+                .collect(),
+            ShardKind::Disagg { shards, .. } => shards
+                .iter_mut()
+                .map(|s| s as &mut dyn ExecutorBackend)
+                .collect(),
+        }
+    }
+
+    fn shard_ref(&self, s: usize) -> &dyn ExecutorBackend {
+        match &self.kind {
+            ShardKind::Analytic(v) => &v[s],
+            ShardKind::Token(v) => &v[s],
+            ShardKind::Cluster(v) => &v[s],
+            ShardKind::Disagg { shards, .. } => &shards[s],
+        }
+    }
+}
+
+/// Remaps shard-local `Post::Step` executor indices to global ones.
+/// Must run on every post slice a shard hook produced before the posts
+/// reach the event queue.
+fn remap_steps(posts: &mut [Post], base: usize) {
+    for p in posts {
+        if let Post::Step { exec, .. } = p {
+            *exec += base;
+        }
+    }
+}
+
+impl ExecutorBackend for ShardedBackend {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn descriptor(&self) -> String {
+        self.desc.clone()
+    }
+
+    fn n_execs(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    fn occupancy(&self, exec: usize) -> usize {
+        let s = self.shard_of[exec];
+        self.shard_ref(s).occupancy(exec - self.base[s])
+    }
+
+    fn capacity(&self, exec: usize) -> usize {
+        let s = self.shard_of[exec];
+        self.shard_ref(s).capacity(exec - self.base[s])
+    }
+
+    fn place(&mut self, task: LlmTaskRef, work: LlmWork) -> Option<usize> {
+        match &self.kind {
+            // Homogeneous pools: the paper's least-loaded rule over the
+            // global index space (identical to the trait default the
+            // monolithic backends use).
+            ShardKind::Analytic(_) | ShardKind::Token(_) => (0..self.shard_of.len())
+                .filter(|&e| self.occupancy(e) < self.capacity(e))
+                .min_by_key(|&e| self.occupancy(e)),
+            // Routed pools: compose the global view table and ask the
+            // single global router, exactly like the monolithic backend.
+            _ => {
+                let ShardedBackend {
+                    kind,
+                    router,
+                    base,
+                    view_scratch,
+                    ..
+                } = self;
+                let mut views = std::mem::take(view_scratch);
+                views.clear();
+                let tokens = match kind {
+                    ShardKind::Cluster(shards) => {
+                        for (s, shard) in shards.iter().enumerate() {
+                            for l in 0..shard.n_execs() {
+                                views.push(shard.unit_view(l, base[s] + l));
+                            }
+                        }
+                        work.folded_tokens()
+                    }
+                    ShardKind::Disagg { shards, .. } => {
+                        for (s, shard) in shards.iter().enumerate() {
+                            for l in 0..shard.n_execs() {
+                                views.push(shard.unit_view(l, base[s] + l));
+                            }
+                        }
+                        work.decode_tokens()
+                    }
+                    _ => unreachable!("homogeneous pools handled above"),
+                };
+                let chosen = router.as_mut().expect("routed pools carry a router").route(
+                    &views,
+                    RouteRequest {
+                        job: task.job as u64,
+                        tokens,
+                    },
+                );
+                *view_scratch = views;
+                chosen
+            }
+        }
+    }
+
+    fn admit(&mut self, exec: usize, task: LlmTaskRef, work: LlmWork, cx: &mut ExecCtx<'_>) {
+        let s = self.shard_of[exec];
+        let local = exec - self.base[s];
+        let before = cx.posts.len();
+        match &mut self.kind {
+            ShardKind::Analytic(v) => v[s].admit(local, task, work, cx),
+            ShardKind::Token(v) => v[s].admit(local, task, work, cx),
+            ShardKind::Cluster(v) => v[s].admit(local, task, work, cx),
+            ShardKind::Disagg { shards, prefill } => {
+                let ready_at = prefill.arrival(cx.now, work.prompt_tokens);
+                shards[s].admit_with_ready_at(local, task, work.decode_tokens(), ready_at, cx);
+            }
+        }
+        remap_steps(&mut cx.posts[before..], self.base[s]);
+    }
+
+    fn step(&mut self, exec: usize, epoch: u64, cx: &mut ExecCtx<'_>) -> StepOutcome {
+        let s = self.shard_of[exec];
+        let local = exec - self.base[s];
+        let before = cx.posts.len();
+        let out = match &mut self.kind {
+            ShardKind::Analytic(v) => v[s].step(local, epoch, cx),
+            ShardKind::Token(v) => v[s].step(local, epoch, cx),
+            ShardKind::Cluster(v) => v[s].step(local, epoch, cx),
+            ShardKind::Disagg { shards, .. } => shards[s].step(local, epoch, cx),
+        };
+        remap_steps(&mut cx.posts[before..], self.base[s]);
+        out
+    }
+
+    fn drain(&mut self, exec: usize, task: LlmTaskRef, cx: &mut ExecCtx<'_>) {
+        let s = self.shard_of[exec];
+        let local = exec - self.base[s];
+        let before = cx.posts.len();
+        match &mut self.kind {
+            ShardKind::Analytic(v) => v[s].drain(local, task, cx),
+            ShardKind::Token(v) => v[s].drain(local, task, cx),
+            ShardKind::Cluster(v) => v[s].drain(local, task, cx),
+            ShardKind::Disagg { shards, .. } => shards[s].drain(local, task, cx),
+        }
+        remap_steps(&mut cx.posts[before..], self.base[s]);
+    }
+}
+
+/// The effects of one shard-handled event, replayed by the engine on the
+/// main thread in exact batch order.
+#[derive(Debug)]
+pub(crate) enum HookFx {
+    /// A `TaskFinish` the shard examined. When `valid`, the shard already
+    /// drained the executor and `posts` holds the resulting re-timings
+    /// (global indices, epoch bumps still pending); the engine runs the
+    /// completion cascade with the live drain skipped. When stale,
+    /// nothing happened and nothing will.
+    Finish {
+        /// Whether the event's epoch/state check passed at its replay point.
+        valid: bool,
+        /// Recorded hook posts (empty when stale).
+        posts: Vec<Post>,
+    },
+    /// An `LlmStep` the shard ran.
+    Step {
+        /// Tasks the step completed, in completion order.
+        finished: Vec<LlmTaskRef>,
+        /// The step's scheduler-visibility flag.
+        effective: bool,
+        /// Recorded hook posts.
+        posts: Vec<Post>,
+    },
+}
+
+/// Drains the worker-local post buffer into a recorded effect list:
+/// `Step` posts are remapped to global executor indices, and each
+/// `Finish` post advances the worker's epoch shadow (the real bump
+/// happens when the engine flushes the record at replay).
+fn take_posts(
+    posts: &mut Vec<Post>,
+    base: usize,
+    bumps: &mut HashMap<(usize, u32, u32), u32>,
+) -> Vec<Post> {
+    let mut recorded = Vec::with_capacity(posts.len());
+    for p in posts.drain(..) {
+        match p {
+            Post::Finish { task, at } => {
+                *bumps.entry((task.job, task.stage, task.task)).or_insert(0) += 1;
+                recorded.push(Post::Finish { task, at });
+            }
+            Post::Step { exec, epoch, at } => recorded.push(Post::Step {
+                exec: exec + base,
+                epoch,
+                at,
+            }),
+        }
+    }
+    recorded
+}
+
+/// Runs one shard's slice of a same-timestamp event batch on a worker
+/// thread. `jobs` is shared read-only; epoch movement within the batch is
+/// tracked in a local shadow, which is exact because every epoch bump for
+/// a task placed on this shard originates from this shard's own hooks
+/// (admissions only happen at dispatch, outside batch processing).
+///
+/// `items` are `(batch index, time, event)` in batch order; the returned
+/// effects carry the batch index so the engine can replay them in the
+/// exact order the sequential engine would have processed.
+pub(crate) fn run_shard(
+    shard: &mut dyn ExecutorBackend,
+    base: usize,
+    jobs: &[JobRt],
+    latency: &LatencyProfile,
+    items: &[(u32, SimTime, Event)],
+) -> Vec<(u32, HookFx)> {
+    let mut bumps: HashMap<(usize, u32, u32), u32> = HashMap::new();
+    let mut done: HashSet<(usize, u32, u32)> = HashSet::new();
+    let mut posts: Vec<Post> = Vec::new();
+    let mut out = Vec::with_capacity(items.len());
+    for &(idx, now, ev) in items {
+        match ev {
+            Event::TaskFinish {
+                job,
+                stage,
+                task,
+                epoch,
+            } => {
+                let key = (job, stage, task);
+                let shadow_epoch =
+                    jobs[job].task_epoch_of(stage, task) + bumps.get(&key).copied().unwrap_or(0);
+                let exec = match jobs[job].task_state_of(stage, task) {
+                    TaskState::Running { exec: Some(e) } => Some(e as usize),
+                    _ => None,
+                };
+                match exec {
+                    Some(e) if shadow_epoch == epoch && !done.contains(&key) => {
+                        let mut cx = ExecCtx {
+                            now,
+                            latency,
+                            posts: &mut posts,
+                        };
+                        shard.drain(e - base, LlmTaskRef { job, stage, task }, &mut cx);
+                        done.insert(key);
+                        let recorded = take_posts(&mut posts, base, &mut bumps);
+                        out.push((
+                            idx,
+                            HookFx::Finish {
+                                valid: true,
+                                posts: recorded,
+                            },
+                        ));
+                    }
+                    _ => out.push((
+                        idx,
+                        HookFx::Finish {
+                            valid: false,
+                            posts: Vec::new(),
+                        },
+                    )),
+                }
+            }
+            Event::LlmStep { exec, epoch } => {
+                let mut cx = ExecCtx {
+                    now,
+                    latency,
+                    posts: &mut posts,
+                };
+                let o = shard.step(exec - base, epoch, &mut cx);
+                let recorded = take_posts(&mut posts, base, &mut bumps);
+                for f in &o.finished {
+                    done.insert((f.job, f.stage, f.task));
+                }
+                out.push((
+                    idx,
+                    HookFx::Step {
+                        finished: o.finished,
+                        effective: o.effective,
+                        posts: recorded,
+                    },
+                ));
+            }
+            Event::Arrival { .. } => unreachable!("arrivals are engine-owned, never sharded"),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::pool;
+    use super::*;
+    use crate::event::EventQueue;
+    use llmsched_cluster::{DisaggSpec, LatencyProfile as Profile, ReplicaGroup, RoutingPolicy};
+    use llmsched_dag::time::SimDuration;
+
+    fn cfg(mode: EngineMode) -> ClusterConfig {
+        ClusterConfig {
+            llm_executors: 5,
+            max_batch: 4,
+            mode,
+            ..Default::default()
+        }
+    }
+
+    fn t(job: usize, task: u32) -> LlmTaskRef {
+        LlmTaskRef {
+            job,
+            stage: 0,
+            task,
+        }
+    }
+
+    fn w(tokens: u64) -> LlmWork {
+        LlmWork {
+            prompt_tokens: 0,
+            output_tokens: tokens,
+        }
+    }
+
+    #[test]
+    fn partition_layout_is_contiguous_and_balanced() {
+        let sb = ShardedBackend::build(&cfg(EngineMode::Analytic), 2);
+        assert_eq!(sb.partitions(), 2);
+        assert_eq!(sb.n_execs(), 5);
+        assert_eq!(sb.bases(), &[0, 3]);
+        assert_eq!(
+            (0..5).map(|e| sb.shard_of(e)).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1, 1]
+        );
+        assert_eq!(sb.descriptor(), "analytic+p2");
+        assert_eq!(chunk_sizes(4, 4), vec![1, 1, 1, 1]);
+        assert_eq!(chunk_sizes(7, 3), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn sharded_admit_and_views_match_the_monolith() {
+        let config = cfg(EngineMode::Analytic);
+        let mut mono = pool::build_backend(&config);
+        let mut sharded = ShardedBackend::build(&config, 2);
+        let latency = config.latency.clone();
+        let mut posts = Vec::new();
+        // Drive six identical placements through both pools; placement
+        // and occupancy must stay in lockstep.
+        for i in 0..6 {
+            let task = t(0, i);
+            let pm = mono.place(task, w(10)).unwrap();
+            let ps = sharded.place(task, w(10)).unwrap();
+            assert_eq!(pm, ps, "placement diverged at task {i}");
+            let mut cx = ExecCtx {
+                now: SimTime::ZERO,
+                latency: &latency,
+                posts: &mut posts,
+            };
+            mono.admit(pm, task, w(10), &mut cx);
+            posts.clear();
+            let mut cx = ExecCtx {
+                now: SimTime::ZERO,
+                latency: &latency,
+                posts: &mut posts,
+            };
+            sharded.admit(ps, task, w(10), &mut cx);
+            posts.clear();
+        }
+        for e in 0..5 {
+            assert_eq!(mono.occupancy(e), sharded.occupancy(e), "exec {e}");
+            assert_eq!(mono.capacity(e), sharded.capacity(e));
+        }
+    }
+
+    #[test]
+    fn disagg_shards_share_the_global_prefill_fifo() {
+        // 1 prefill replica, 4 decode replicas split 2+2. Two admissions
+        // to decode replicas on DIFFERENT shards must still serialize
+        // through the one prefill replica.
+        let profile = Profile::new(vec![(1, SimDuration::from_millis(10))]).unwrap();
+        let spec = ClusterSpec {
+            groups: vec![
+                ReplicaGroup::new("prefill", 1, 1, profile.clone()),
+                ReplicaGroup::new("decode", 4, 4, profile.clone()),
+            ],
+            routing: RoutingPolicy::LeastLoaded,
+            disagg: Some(DisaggSpec {
+                prefill_group: 0,
+                prefill_per_token: SimDuration::from_millis(1),
+                transfer_delay: SimDuration::ZERO,
+            }),
+        };
+        let config = ClusterConfig {
+            mode: EngineMode::Disagg,
+            spec: Some(spec),
+            ..Default::default()
+        };
+        let mut sb = ShardedBackend::build(&config, 2);
+        assert_eq!(sb.n_execs(), 4);
+        let mut posts = Vec::new();
+        let mut cx = ExecCtx {
+            now: SimTime::ZERO,
+            latency: &profile,
+            posts: &mut posts,
+        };
+        // 100-token prompts: first arrival at 0.1 s, second (queued
+        // behind it) at 0.2 s — even though exec 0 and exec 2 live on
+        // different shards.
+        sb.admit(
+            0,
+            t(0, 0),
+            LlmWork {
+                prompt_tokens: 100,
+                output_tokens: 1,
+            },
+            &mut cx,
+        );
+        sb.admit(
+            2,
+            t(0, 1),
+            LlmWork {
+                prompt_tokens: 100,
+                output_tokens: 1,
+            },
+            &mut cx,
+        );
+        let times: Vec<f64> = posts
+            .iter()
+            .map(|p| match p {
+                Post::Step { exec, at, .. } => {
+                    assert!([0usize, 2].contains(exec), "global indices in posts");
+                    at.as_secs_f64()
+                }
+                other => panic!("unexpected post {other:?}"),
+            })
+            .collect();
+        assert!((times[0] - 0.1).abs() < 1e-9);
+        assert!((times[1] - 0.2).abs() < 1e-9, "FIFO across shards");
+    }
+
+    #[test]
+    fn run_shard_shadows_epochs_within_a_batch() {
+        // One executor, two co-batched tasks. The first finish re-times
+        // the survivor (epoch bump in the shadow); a stale finish for the
+        // survivor later in the same batch must be judged invalid.
+        let latency = Profile::new(vec![(1, SimDuration::from_millis(10))]).unwrap();
+        let jobs = vec![crate::state::test_support::job_with_llm_tasks(2)];
+        let mut shard = AnalyticExec::new(1, 8);
+        let mut posts = Vec::new();
+        let mut queue = EventQueue::new();
+        let mut jobs_mut = jobs;
+        jobs_mut[0].start_task(0, 0, Some(0), SimTime::ZERO);
+        jobs_mut[0].start_task(0, 1, Some(0), SimTime::ZERO);
+        {
+            let mut cx = ExecCtx {
+                now: SimTime::ZERO,
+                latency: &latency,
+                posts: &mut posts,
+            };
+            shard.admit(0, t(0, 0), w(100), &mut cx);
+            shard.admit(0, t(0, 1), w(100), &mut cx);
+        }
+        super::super::flush_posts(&mut posts, &mut jobs_mut, &mut queue);
+        let e0 = jobs_mut[0].task_epoch_of(0, 0);
+        let e1 = jobs_mut[0].task_epoch_of(0, 1);
+        let now = SimTime::from_secs_f64(2.0);
+        let items = vec![
+            (
+                0u32,
+                now,
+                Event::TaskFinish {
+                    job: 0,
+                    stage: 0,
+                    task: 0,
+                    epoch: e0,
+                },
+            ),
+            // Pre-drain epoch for task 1: the drain of task 0 re-times
+            // task 1, so this event is stale *within the batch*.
+            (
+                1u32,
+                now,
+                Event::TaskFinish {
+                    job: 0,
+                    stage: 0,
+                    task: 1,
+                    epoch: e1,
+                },
+            ),
+        ];
+        let fx = run_shard(&mut shard, 0, &jobs_mut, &latency, &items);
+        assert_eq!(fx.len(), 2);
+        match &fx[0].1 {
+            HookFx::Finish { valid: true, posts } => {
+                assert_eq!(posts.len(), 1, "survivor re-timed");
+            }
+            other => panic!("expected valid finish, got {other:?}"),
+        }
+        match &fx[1].1 {
+            HookFx::Finish { valid: false, .. } => {}
+            other => panic!("expected shadow-stale finish, got {other:?}"),
+        }
+    }
+}

@@ -194,13 +194,14 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
         let mut be = TokenExec::new(1, 8, 1);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(3), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(be.occupancy(0), 1);
         let (time, exec, _) = pop_step(&mut queue);
         assert_eq!(exec, 0);
@@ -216,14 +217,15 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
         let mut be = TokenExec::new(1, 8, 1);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(2), &mut cx);
         be.admit(0, t(1), w(2), &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         // Occupancy counts the joiner immediately (slot accounting)...
         assert_eq!(be.occupancy(0), 2);
         // ...but only one wake-up is in flight: the joiner did not restart
@@ -237,14 +239,20 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(2)];
         let mut be = TokenExec::new(1, 8, 1);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(1), &mut cx);
-        let (_, _, epoch) = pop_step(cx.queue);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
+        let (_, _, epoch) = pop_step(&mut queue);
+        let mut cx = ExecCtx {
+            now: SimTime::ZERO,
+            latency: &latency,
+            posts: &mut posts,
+        };
         let out = be.step(0, epoch + 1, &mut cx);
         assert!(!out.effective);
         assert!(out.finished.is_empty());
@@ -261,33 +269,34 @@ mod tests {
         let mut queue = EventQueue::new();
         let mut jobs = [crate::state::test_support::job_with_llm_tasks(3)];
         let mut be = TokenExec::new(1, 8, 1);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(1), &mut cx); // finishes after one iteration
         be.admit(0, t(1), w(5), &mut cx); // joins at the boundary
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let (time, _, epoch) = pop_step(&mut queue);
         let mut cx = ExecCtx {
             now: time,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         let out = be.step(0, epoch, &mut cx);
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         assert_eq!(out.finished, vec![t(0)]);
         assert!(out.effective);
         // The joiner is now running and a new iteration is in flight.
         assert_eq!(be.occupancy(0), 1);
         assert_eq!(queue.len(), 1);
         // Drain of the finished task is a no-op (already removed by step).
+        crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
         let mut cx = ExecCtx {
             now: time,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.drain(0, t(0), &mut cx);
         assert_eq!(be.occupancy(0), 1);
@@ -300,23 +309,24 @@ mod tests {
             let mut queue = EventQueue::new();
             let mut jobs = [crate::state::test_support::job_with_llm_tasks(1)];
             let mut be = TokenExec::new(1, 8, chunk);
+            let mut posts = Vec::new();
             let mut cx = ExecCtx {
                 now: SimTime::ZERO,
                 latency: &latency,
-                queue: &mut queue,
-                jobs: &mut jobs,
+                posts: &mut posts,
             };
             be.admit(0, t(0), w(8), &mut cx);
+            crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
             let mut steps = 0;
             while !queue.is_empty() {
                 let (time, _, epoch) = pop_step(&mut queue);
                 let mut cx = ExecCtx {
                     now: time,
                     latency: &latency,
-                    queue: &mut queue,
-                    jobs: &mut jobs,
+                    posts: &mut posts,
                 };
                 be.step(0, epoch, &mut cx);
+                crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
                 steps += 1;
             }
             assert_eq!(steps, expected_steps, "chunk {chunk}");
@@ -327,14 +337,12 @@ mod tests {
     #[test]
     fn least_loaded_balances_across_executors() {
         let latency = flat_latency();
-        let mut queue = EventQueue::new();
-        let mut jobs = [crate::state::test_support::job_with_llm_tasks(4)];
         let mut be = TokenExec::new(2, 2, 1);
+        let mut posts = Vec::new();
         let mut cx = ExecCtx {
             now: SimTime::ZERO,
             latency: &latency,
-            queue: &mut queue,
-            jobs: &mut jobs,
+            posts: &mut posts,
         };
         be.admit(0, t(0), w(5), &mut cx);
         assert_eq!(be.place(t(1), w(5)), Some(1));

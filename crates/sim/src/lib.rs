@@ -85,6 +85,7 @@ pub mod event;
 pub mod exec;
 pub mod incr;
 pub mod metrics;
+pub mod par;
 pub mod scheduler;
 pub mod state;
 
@@ -104,6 +105,7 @@ pub mod prelude {
     pub use crate::metrics::{
         JctPercentiles, JobOutcome, SchedOverheadPercentiles, SimResult, Utilization,
     };
+    pub use crate::par::{ParStats, Parallelism};
     pub use crate::scheduler::{Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
     pub use crate::state::{Existence, JobRt, LlmExecutorView, StageView};
     pub use llmsched_cluster::{

@@ -5,6 +5,8 @@
 use llmsched_dag::ids::{AppId, JobId};
 use llmsched_dag::time::{SimDuration, SimTime};
 
+use crate::par::ParStats;
+
 /// Outcome of one job.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobOutcome {
@@ -92,6 +94,8 @@ pub struct SimResult {
     /// Jobs that never completed (a scheduler that stops scheduling can
     /// starve jobs; healthy runs have 0).
     pub incomplete: usize,
+    /// Partitioned-engine statistics (`None` on the sequential path).
+    pub par: Option<ParStats>,
 }
 
 impl SimResult {
@@ -224,6 +228,7 @@ mod tests {
             utilization: Utilization::default(),
             events: 0,
             incomplete: 0,
+            par: None,
         }
     }
 

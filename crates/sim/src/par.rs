@@ -1,0 +1,224 @@
+//! Intra-simulation parallelism: configuration, run statistics, and the
+//! partitioned event core.
+//!
+//! The partitioned engine (see `DESIGN.md` §10) splits the executor pool
+//! into disjoint shards and steps their hook work on scoped worker
+//! threads between scheduler invocations. Determinism rests on two
+//! pieces that live here:
+//!
+//! - [`ShardedQueue`] — one indexed event heap per shard fed from a
+//!   single global sequence counter, merged head-to-head by the exact
+//!   `(time, seq)` key the sequential [`EventQueue`] orders by. Popping
+//!   the merged queue therefore reproduces the sequential pop order
+//!   bit for bit.
+//! - [`Parallelism`] — the knob selecting the sequential reference path
+//!   ([`Parallelism::Off`], the oracle) or the partitioned path.
+//!
+//! The scheduler barrier itself (collect a same-timestamp batch, fan
+//! hook work out per shard, replay effects in batch order, then invoke
+//! the scheduler) lives in the engine; this module only guarantees that
+//! what the engine pops is the sequential order.
+
+use crate::event::{Event, EventQueue};
+use llmsched_dag::time::SimTime;
+
+/// Intra-simulation parallelism policy for one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded reference path — the correctness oracle every
+    /// partitioned run is tested against.
+    #[default]
+    Off,
+    /// Partition the LLM executor pool (and the event core) into `n`
+    /// shards stepped concurrently between scheduler barriers. Clamped
+    /// to the executor count; `0` and `1` degrade to [`Parallelism::Off`].
+    Partitioned(usize),
+    /// Partitioned with the shard count taken from
+    /// [`std::thread::available_parallelism`] (degrades to the
+    /// sequential path on single-core hosts).
+    Auto,
+}
+
+impl Parallelism {
+    /// The effective shard count for a pool of `n_execs` executors.
+    /// A result of `1` means the sequential reference path.
+    pub fn resolve(self, n_execs: usize) -> usize {
+        let raw = match self {
+            Parallelism::Off => 1,
+            Parallelism::Partitioned(n) => n,
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        raw.clamp(1, n_execs.max(1))
+    }
+}
+
+/// Statistics a partitioned run reports alongside its [`SimResult`]
+/// (`None` on the sequential path).
+///
+/// [`SimResult`]: crate::metrics::SimResult
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParStats {
+    /// Shard count the run used.
+    pub partitions: usize,
+    /// Same-timestamp event rounds processed.
+    pub rounds: u64,
+    /// Rounds whose hook work spanned ≥ 2 shards and therefore ran on
+    /// scoped worker threads.
+    pub parallel_rounds: u64,
+}
+
+/// The engine's event core: one heap on the sequential path, a
+/// deterministic multi-heap merge on the partitioned path.
+#[derive(Debug)]
+pub(crate) enum EventQueues {
+    /// The sequential engine's single indexed heap.
+    Single(EventQueue),
+    /// Per-shard heaps with a global sequence counter.
+    Sharded(ShardedQueue),
+}
+
+impl EventQueues {
+    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
+        match self {
+            EventQueues::Single(q) => q.push(time, event),
+            EventQueues::Sharded(q) => q.push(time, event),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
+        match self {
+            EventQueues::Single(q) => q.pop(),
+            EventQueues::Sharded(q) => q.pop(),
+        }
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            EventQueues::Single(q) => q.peek_time(),
+            EventQueues::Sharded(q) => q.peek_time(),
+        }
+    }
+}
+
+/// Per-shard event heaps sharing one global `(time, seq)` key space.
+///
+/// Every push stamps the next global sequence number, so each event's
+/// ordering key is identical to what the single-queue engine would have
+/// assigned; events are merely *stored* on the heap of the shard that
+/// will handle them. `pop`/`peek_time` take the minimum over shard
+/// heads, which reproduces the single-heap order exactly.
+#[derive(Debug)]
+pub(crate) struct ShardedQueue {
+    shards: Vec<EventQueue>,
+    /// Next global sequence number (ties in `time` break by push order).
+    seq: u64,
+    /// Executor index → owning shard, from the backend's partition map.
+    exec_shard: Vec<usize>,
+}
+
+impl ShardedQueue {
+    pub(crate) fn new(parts: usize, exec_shard: Vec<usize>, capacity: usize) -> Self {
+        assert!(parts >= 1, "sharded queue needs at least one shard");
+        ShardedQueue {
+            shards: (0..parts)
+                .map(|_| EventQueue::with_capacity(capacity / parts + 1))
+                .collect(),
+            seq: 0,
+            exec_shard,
+        }
+    }
+
+    /// The shard whose heap stores `event`. `LlmStep` follows the
+    /// executor partition (its hook runs on that shard); job-keyed
+    /// events spread round-robin — their storage shard is irrelevant to
+    /// correctness because the engine re-routes hook work by the task's
+    /// *current* executor at batch time.
+    fn route(&self, event: &Event) -> usize {
+        match event {
+            Event::LlmStep { exec, .. } => self.exec_shard[*exec],
+            Event::Arrival { job } | Event::TaskFinish { job, .. } => job % self.shards.len(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, time: SimTime, event: Event) {
+        let shard = self.route(&event);
+        let seq = self.seq;
+        self.seq += 1;
+        self.shards[shard].push_with_seq(time, seq, event);
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
+        let mut best: Option<(u128, usize)> = None;
+        for (i, q) in self.shards.iter().enumerate() {
+            if let Some(key) = q.peek_key() {
+                if best.map_or(true, |(bk, _)| key < bk) {
+                    best = Some((key, i));
+                }
+            }
+        }
+        best.and_then(|(_, i)| self.shards[i].pop())
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.shards
+            .iter()
+            .filter_map(|q| q.peek_key())
+            .min()
+            .map(|key| SimTime((key >> 64) as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(exec: usize) -> Event {
+        Event::LlmStep { exec, epoch: 0 }
+    }
+
+    #[test]
+    fn resolve_clamps_to_pool_and_degrades_to_sequential() {
+        assert_eq!(Parallelism::Off.resolve(8), 1);
+        assert_eq!(Parallelism::Partitioned(0).resolve(8), 1);
+        assert_eq!(Parallelism::Partitioned(1).resolve(8), 1);
+        assert_eq!(Parallelism::Partitioned(3).resolve(8), 3);
+        assert_eq!(Parallelism::Partitioned(64).resolve(8), 8);
+        let auto = Parallelism::Auto.resolve(4);
+        assert!((1..=4).contains(&auto));
+    }
+
+    #[test]
+    fn sharded_queue_merges_in_single_queue_order() {
+        // Interleave pushes across shards with time ties; the merged pop
+        // order must equal a reference single queue fed identically.
+        let times = [5u64, 1, 5, 3, 1, 5, 3, 1];
+        let mut single = EventQueue::new();
+        let mut sharded = ShardedQueue::new(2, vec![0, 0, 1, 1], 8);
+        for (i, &t) in times.iter().enumerate() {
+            single.push(SimTime(t), step(i % 4));
+            sharded.push(SimTime(t), step(i % 4));
+        }
+        assert_eq!(sharded.peek_time(), single.peek_time());
+        loop {
+            let (a, b) = (single.pop(), sharded.pop());
+            assert_eq!(a, b, "merged order diverged from the single heap");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn job_keyed_events_spread_across_shards() {
+        let mut q = ShardedQueue::new(2, vec![0, 1], 4);
+        q.push(SimTime(1), Event::Arrival { job: 0 });
+        q.push(SimTime(1), Event::Arrival { job: 1 });
+        assert_eq!(q.route(&Event::Arrival { job: 2 }), 0);
+        assert_eq!(q.route(&Event::Arrival { job: 3 }), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Event::Arrival { job: 0 }));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Event::Arrival { job: 1 }));
+        assert_eq!(q.pop(), None);
+    }
+}
