@@ -27,6 +27,11 @@
 //!     [--check]        # exit non-zero unless online beats frozen on the
 //!                      # drift mix and cold-start calibration error falls
 //!     [--out <path>]   # default results/drift_adapt.json
+//!     [--trace <prefix>]  # export a probed online drift run as
+//!                         # <prefix>.jsonl + <prefix>.trace.json (with
+//!                         # decision provenance: evidence masks, profile
+//!                         # versions, posterior work estimates)
+//!     [--timeseries]      # print that run's windowed time-series
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -34,8 +39,10 @@ use std::fmt::Write as _;
 use llmsched_bayes::network::Evidence;
 use llmsched_core::prelude::*;
 use llmsched_dag::ids::{AppId, JobId};
-use llmsched_sim::engine::simulate;
+use llmsched_dag::time::SimDuration;
+use llmsched_sim::engine::{simulate, simulate_probed};
 use llmsched_sim::scheduler::{Preference, SchedContext, SchedDelta, Scheduler};
+use llmsched_sim::telemetry::{TraceConfig, TraceRecorder, WindowConfig};
 use llmsched_workloads::prelude::*;
 
 /// One completed job's calibration sample, in completion order.
@@ -122,6 +129,16 @@ impl Scheduler for CalibProbe {
         self.samples.clear();
         self.apps.clear();
         self.inner.reset();
+    }
+
+    // Wrappers must forward the telemetry hooks (DESIGN.md §11): without
+    // these the probed `--trace` run would lose LLMSched's provenance.
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.inner.set_telemetry(enabled);
+    }
+
+    fn drain_provenance(&mut self, out: &mut Vec<llmsched_sim::telemetry::DecisionRecord>) {
+        self.inner.drain_provenance(out);
     }
 }
 
@@ -227,6 +244,13 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "results/drift_adapt.json".to_string());
+    let trace: Option<String> = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "results/drift_trace".to_string())
+    });
+    let timeseries = args.iter().any(|a| a == "--timeseries");
 
     let seeds: &[u64] = if quick { &[11] } else { &[11, 29, 47] };
     let n_drift = if quick { 160 } else { 400 };
@@ -367,6 +391,39 @@ fn main() {
     }
     std::fs::write(&out, &json).expect("write drift_adapt.json");
     println!("wrote {out}");
+
+    // Probed online drift run: the trace where decision provenance earns
+    // its keep — evidence masks and profile versions advance mid-run as
+    // the online store re-learns the drifted app.
+    if trace.is_some() || timeseries {
+        let w = drift_workload(n_drift, seeds[0]);
+        let store = store_for(&w.templates, &corpus, true);
+        let sched = LlmSched::with_store(store, LlmSchedConfig::default());
+        let mut probe = CalibProbe::new(sched);
+        let mut rec = TraceRecorder::new(TraceConfig {
+            window: Some(WindowConfig::new(
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(60),
+            )),
+        });
+        let cfg = w.kind.default_cluster();
+        let r = simulate_probed(&cfg, &w.templates, w.jobs, &mut probe, &mut rec);
+        assert_eq!(r.incomplete, 0, "probed run stranded jobs");
+        println!(
+            "probed online drift run: {} probe events",
+            rec.events().len()
+        );
+        if timeseries {
+            let ts = r
+                .timeseries
+                .as_ref()
+                .expect("probed run aggregates windows");
+            llmsched_bench::print_timeseries(ts);
+        }
+        if let Some(prefix) = &trace {
+            llmsched_bench::export_trace_or_die(prefix, &rec, &r, true);
+        }
+    }
 
     if check {
         let mut ok = true;

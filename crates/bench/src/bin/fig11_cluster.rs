@@ -12,7 +12,13 @@
 //! Writes `results/fig11_cluster.csv`.
 //!
 //! Usage: `cargo run --release -p llmsched-bench --bin fig11_cluster
-//!         [--quick] [--jobs N] [--slo SECS]`
+//!         [--quick] [--jobs N] [--slo SECS] [--trace <prefix>]
+//!         [--timeseries]`
+//!
+//! `--trace` re-runs the first sweep point with a recording probe and
+//! exports `<prefix>.jsonl` + `<prefix>.trace.json` (Perfetto-loadable,
+//! with routing/batch-occupancy tracks); `--timeseries` prints its
+//! windowed tail-latency/SLO trajectory.
 
 use llmsched_bench::{jct_summary_cells, write_csv, Table, JCT_SUMMARY_HEADER};
 use llmsched_dag::time::SimDuration;
@@ -79,6 +85,13 @@ fn main() {
         .map(|v| v as usize)
         .unwrap_or(if quick { 40 } else { 150 });
     let slo = SimDuration::from_secs_f64(flag("--slo").unwrap_or(60.0));
+    let trace: Option<String> = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "results/fig11_trace".to_string())
+    });
+    let timeseries = args.iter().any(|a| a == "--timeseries");
     let seed = 42u64;
 
     let arrival_processes = [ArrivalProcess::bursty(0.9), ArrivalProcess::diurnal(0.9)];
@@ -177,4 +190,40 @@ fn main() {
 
     let path = write_csv(&table, "fig11_cluster");
     println!("wrote {}", path.display());
+
+    // Probed re-run of the first sweep point (routing + batch-occupancy
+    // tracks are the cluster-specific payoff; FCFS keeps no posterior
+    // state, so no provenance records are expected).
+    if trace.is_some() || timeseries {
+        let p = &points[0];
+        let mut rec = TraceRecorder::new(TraceConfig {
+            window: Some(WindowConfig::new(SimDuration::from_secs(30), slo)),
+        });
+        let w = generate_workload_with(WorkloadKind::Mixed, n_jobs, &p.arrivals, seed);
+        let cfg = ClusterConfig {
+            regular_executors: 4,
+            mode: p.mode,
+            spec: Some(p.spec.clone()),
+            ..ClusterConfig::default()
+        };
+        let r = simulate_probed(&cfg, &w.templates, w.jobs, &mut Fcfs::new(), &mut rec);
+        assert_eq!(r.incomplete, 0, "probed run stranded jobs");
+        println!(
+            "probed run ({}/{}/{}): {} probe events",
+            p.shape,
+            p.routing.name(),
+            p.arrivals.name(),
+            rec.events().len()
+        );
+        if timeseries {
+            let ts = r
+                .timeseries
+                .as_ref()
+                .expect("probed run aggregates windows");
+            llmsched_bench::print_timeseries(ts);
+        }
+        if let Some(prefix) = &trace {
+            llmsched_bench::export_trace_or_die(prefix, &rec, &r, false);
+        }
+    }
 }

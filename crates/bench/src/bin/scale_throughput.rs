@@ -22,13 +22,20 @@
 //!     [--check]            # exit non-zero if disagg throughput decays
 //!                          # from 10k to 50k jobs (scaling regression)
 //!     [--out <path>]       # default BENCH_scale.json
+//!     [--trace <prefix>]   # also run one probed sweep point and export
+//!                          # <prefix>.jsonl + <prefix>.trace.json
+//!                          # (Perfetto-loadable); exit non-zero if the
+//!                          # exports fail validation
+//!     [--timeseries]       # print the probed run's windowed time-series
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use llmsched_bench::{ExperimentConfig, Policy, TrainedArtifacts};
+use llmsched_dag::time::SimDuration;
 use llmsched_sim::engine::{ClusterConfig, EngineMode};
-use llmsched_sim::par::Parallelism;
+use llmsched_sim::par::{Parallelism, ShardStats};
+use llmsched_sim::telemetry::{TraceConfig, TraceRecorder, WindowConfig};
 use llmsched_workloads::prelude::WorkloadKind;
 
 /// Cluster scale factor. The Mixed default cluster is tuned for the
@@ -84,6 +91,8 @@ struct Run {
     sched_p50_ms: f64,
     sched_p99_ms: f64,
     avg_jct_secs: f64,
+    /// Per-shard work breakdown (parallel rows only; empty otherwise).
+    shards: Vec<ShardStats>,
 }
 
 fn scaled_cluster(mode: EngineMode) -> ClusterConfig {
@@ -109,19 +118,23 @@ fn scaled_cluster(mode: EngineMode) -> ClusterConfig {
     }
 }
 
-fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, path: Path) -> Run {
+fn exp_for(n_jobs: usize, mode: EngineMode, path: Path) -> ExperimentConfig {
     let mut cluster = scaled_cluster(mode);
     if path == Path::Parallel {
         cluster.parallelism = Parallelism::Partitioned(PARALLEL_PARTS);
     }
-    let exp = ExperimentConfig {
+    ExperimentConfig {
         n_jobs,
         mode,
         lambda: LAMBDA,
         cluster: Some(cluster),
         rebuild: path == Path::Rebuild,
         ..ExperimentConfig::paper_default(WorkloadKind::Mixed, 42)
-    };
+    }
+}
+
+fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, path: Path) -> Run {
+    let exp = exp_for(n_jobs, mode, path);
     let start = Instant::now();
     let r = llmsched_bench::run_policy(art, Policy::LlmSched, &exp);
     let wall = start.elapsed().as_secs_f64();
@@ -143,6 +156,7 @@ fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, path: Path) 
         sched_p50_ms: p.p50_ms,
         sched_p99_ms: p.p99_ms,
         avg_jct_secs: r.avg_jct_secs(),
+        shards: r.par.map_or_else(Vec::new, |s| s.per_shard),
     }
 }
 
@@ -184,6 +198,23 @@ fn to_json(
             r.sched_p99_ms,
             r.avg_jct_secs,
         );
+        if !r.shards.is_empty() {
+            s.truncate(s.len() - 1); // reopen the row object
+            s.push_str(", \"per_shard\": [");
+            for (j, sh) in r.shards.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    "{}{{\"batches\": {}, \"threaded_batches\": {}, \"events\": {}, \
+                     \"busy_ms\": {:.3}}}",
+                    if j > 0 { ", " } else { "" },
+                    sh.batches,
+                    sh.threaded_batches,
+                    sh.events,
+                    sh.busy.as_secs_f64() * 1e3,
+                );
+            }
+            s.push_str("]}");
+        }
         s.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
@@ -211,6 +242,13 @@ fn main() {
     let floor: Option<f64> = flag("--floor").map(|v| v.parse().expect("--floor takes a number"));
     let check = args.iter().any(|a| a == "--check");
     let out = flag("--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let trace: Option<String> = args.iter().position(|a| a == "--trace").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "results/scale_trace".to_string())
+    });
+    let timeseries = args.iter().any(|a| a == "--timeseries");
     // Tuning escape hatch: one incremental sweep at a custom job count.
     let jobs_override: Option<usize> =
         flag("--jobs").map(|v| v.parse().expect("--jobs takes a count"));
@@ -256,6 +294,22 @@ fn main() {
             r.sched_p50_ms,
             r.sched_p99_ms
         );
+        if !r.shards.is_empty() {
+            let cells: Vec<String> = r
+                .shards
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{} batches ({} threaded, {} ev, {:.1}ms busy)",
+                        s.batches,
+                        s.threaded_batches,
+                        s.events,
+                        s.busy.as_secs_f64() * 1e3
+                    )
+                })
+                .collect();
+            println!("{:>8} shards: {}", "", cells.join(" | "));
+        }
         runs.push(r);
     }
     let mut runs: Vec<Run> = Vec::new();
@@ -312,6 +366,38 @@ fn main() {
     std::fs::write(&out, to_json(&runs, quick, &speedups, &par_speedups))
         .expect("write BENCH_scale.json");
     println!("wrote {out}");
+
+    // Probed run (observation-only; the schedule is bit-identical to the
+    // unprobed sweep rows — DESIGN.md §11). One incremental analytic point
+    // at the sweep's smallest size keeps the full event buffer affordable.
+    if trace.is_some() || timeseries {
+        let n = sweep[0];
+        let mut rec = TraceRecorder::new(TraceConfig {
+            window: Some(WindowConfig::new(
+                SimDuration::from_secs(10),
+                SimDuration::from_secs(60),
+            )),
+        });
+        let exp = exp_for(n, EngineMode::Analytic, Path::Incremental);
+        let r = llmsched_bench::run_policy_probed(&art, Policy::LlmSched, &exp, &mut rec);
+        assert_eq!(r.incomplete, 0, "probed run stranded jobs");
+        println!(
+            "probed run: {} jobs, {} probe events, avg JCT {:.3}s",
+            n,
+            rec.events().len(),
+            r.avg_jct_secs()
+        );
+        if timeseries {
+            let ts = r
+                .timeseries
+                .as_ref()
+                .expect("probed run aggregates windows");
+            llmsched_bench::print_timeseries(ts);
+        }
+        if let Some(prefix) = &trace {
+            llmsched_bench::export_trace_or_die(prefix, &rec, &r, true);
+        }
+    }
 
     if let Some(floor) = floor {
         let worst = runs

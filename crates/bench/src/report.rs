@@ -161,11 +161,12 @@ mod tests {
             makespan: SimTime::from_secs_f64(4.0),
             sched_calls: 1,
             sched_wall: std::time::Duration::ZERO,
-            sched_wall_samples: vec![std::time::Duration::ZERO],
+            sched_wall_samples: [std::time::Duration::ZERO].into_iter().collect(),
             utilization: Utilization::default(),
             events: 1,
             incomplete: 0,
             par: None,
+            timeseries: None,
         };
         let cells = jct_summary_cells(&r, SimDuration::from_secs(5));
         assert_eq!(cells.len(), JCT_SUMMARY_HEADER.len());

@@ -1,0 +1,157 @@
+//! Shared trace-export plumbing for the bench bins' `--trace` /
+//! `--timeseries` flags: write a probed run's JSONL + Chrome `trace_event`
+//! files, self-validate them (the repo has no serde; the validator is the
+//! same recursive-descent checker CI's smoke test uses), and render the
+//! windowed time-series as a console table.
+
+use llmsched_sim::metrics::SimResult;
+use llmsched_sim::telemetry::json::validate;
+use llmsched_sim::telemetry::{TimeSeries, TraceRecorder};
+
+/// Writes `{prefix}.jsonl` and `{prefix}.trace.json` from a finished
+/// recorder, then validates both outputs: every JSONL line and the Chrome
+/// document must parse, and the required observability fields (windowed
+/// p99/SLO/goodput rows, decision provenance) must be present. Returns a
+/// human-readable error on any failure so callers can exit non-zero.
+///
+/// `series` is the run's windowed time-series (from
+/// [`SimResult::timeseries`]); pass `None` for recorders without a window
+/// config — the field checks then skip the window rows. Set
+/// `require_provenance` when the probed scheduler collects
+/// [`DecisionRecord`](llmsched_sim::telemetry::DecisionRecord)s (LLMSched);
+/// baselines like FCFS have no posterior state to explain and emit none.
+pub fn export_trace(
+    prefix: &str,
+    rec: &TraceRecorder,
+    series: Option<&TimeSeries>,
+    require_provenance: bool,
+) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(prefix).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+    }
+    let jsonl = rec.jsonl(series);
+    let chrome = rec.chrome_trace(series);
+
+    for (i, line) in jsonl.lines().enumerate() {
+        validate(line).map_err(|e| format!("JSONL line {} invalid: {e}: {line}", i + 1))?;
+        if !line.starts_with("{\"type\":\"") {
+            return Err(format!("JSONL line {} missing type tag: {line}", i + 1));
+        }
+    }
+    validate(&chrome).map_err(|e| format!("Chrome trace invalid: {e}"))?;
+
+    // Required observability surface (ISSUE 7 acceptance): lifecycle
+    // events, per-dispatch provenance, and — when windowed — the
+    // p99/SLO/goodput trajectory rows.
+    let mut required = vec![
+        ("\"type\":\"job_arrived\"", &jsonl),
+        ("\"type\":\"job_completed\"", &jsonl),
+        ("\"type\":\"sched_invoked\"", &jsonl),
+        ("\"traceEvents\"", &chrome),
+        ("\"ph\":\"M\"", &chrome),
+        ("\"ph\":\"X\"", &chrome),
+    ];
+    if require_provenance {
+        required.extend([
+            ("\"type\":\"decision\"", &jsonl),
+            ("\"evidence_mask\":", &jsonl),
+            ("\"profile_version\":", &jsonl),
+            ("\"expected_work\":", &jsonl),
+        ]);
+    }
+    if series.is_some() {
+        required.extend([
+            ("\"type\":\"window\"", &jsonl),
+            ("\"jct_p99\":", &jsonl),
+            ("\"slo_attainment\":", &jsonl),
+            ("\"goodput\":", &jsonl),
+            ("\"name\":\"window\"", &chrome),
+        ]);
+    }
+    for (needle, hay) in required {
+        if !hay.contains(needle) {
+            return Err(format!("trace output missing required field {needle}"));
+        }
+    }
+
+    let jsonl_path = format!("{prefix}.jsonl");
+    let chrome_path = format!("{prefix}.trace.json");
+    std::fs::write(&jsonl_path, &jsonl).map_err(|e| format!("write {jsonl_path}: {e}"))?;
+    std::fs::write(&chrome_path, &chrome).map_err(|e| format!("write {chrome_path}: {e}"))?;
+    println!(
+        "wrote {jsonl_path} ({} events) and {chrome_path} (load at https://ui.perfetto.dev)",
+        rec.events().len()
+    );
+    Ok(())
+}
+
+/// Runs [`export_trace`] and exits the process non-zero on failure —
+/// the shape every bin's `--trace` flag wants.
+pub fn export_trace_or_die(prefix: &str, rec: &TraceRecorder, r: &SimResult, provenance: bool) {
+    if let Err(e) = export_trace(prefix, rec, r.timeseries.as_ref(), provenance) {
+        eprintln!("FAIL: trace export: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Prints the windowed time-series as a console table (the `--timeseries`
+/// flag): one row per window with the arrival/completion counts, JCT tail,
+/// SLO attainment, goodput, and utilization trajectories.
+pub fn print_timeseries(ts: &TimeSeries) {
+    println!(
+        "windowed time-series (width {}s, SLO {}s):",
+        ts.width.as_secs_f64(),
+        ts.slo.as_secs_f64()
+    );
+    println!(
+        "{:>10} {:>8} {:>8} {:>9} {:>9} {:>7} {:>9} {:>7} {:>8} {:>8}",
+        "window",
+        "arrive",
+        "done",
+        "p50 s",
+        "p99 s",
+        "slo",
+        "goodput",
+        "depth",
+        "reg util",
+        "llm util"
+    );
+    let fmt_q = |q: Option<f64>| q.map_or_else(|| "-".to_string(), |v| format!("{v:.2}"));
+    for r in &ts.rows {
+        println!(
+            "{:>10} {:>8} {:>8} {:>9} {:>9} {:>7.3} {:>9.3} {:>7.1} {:>8.3} {:>8.3}",
+            format!("[{:.0},{:.0})", r.start.as_secs_f64(), r.end.as_secs_f64()),
+            r.arrivals,
+            r.completions,
+            fmt_q(r.jct_p50),
+            fmt_q(r.jct_p99),
+            r.slo_attainment,
+            r.goodput,
+            r.mean_queue_depth,
+            r.regular_util,
+            r.llm_util,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_dag::ids::{AppId, JobId};
+    use llmsched_dag::time::SimTime;
+    use llmsched_sim::telemetry::{Probe, ProbeEvent, TraceConfig};
+
+    #[test]
+    fn export_rejects_a_stream_without_provenance() {
+        let mut rec = TraceRecorder::new(TraceConfig::default());
+        rec.record(&ProbeEvent::JobArrived {
+            at: SimTime::ZERO,
+            job: JobId(0),
+            app: AppId(0),
+        });
+        let err = export_trace("/tmp/llmsched_trace_test_reject", &rec, None, true).unwrap_err();
+        assert!(err.contains("missing required field"), "{err}");
+    }
+}

@@ -28,6 +28,7 @@
 //! `use_uncertainty = false` → *LLMSched w/o uncertainty* (pure SRTF on
 //! BN estimates).
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 use llmsched_bayes::network::Evidence;
@@ -36,6 +37,7 @@ use llmsched_dag::time::SimTime;
 use llmsched_sim::incr::{FiniteF64, OrderedJobs};
 use llmsched_sim::scheduler::{Preference, SchedContext, SchedDelta, Scheduler};
 use llmsched_sim::state::JobRt;
+use llmsched_telemetry::{DecisionList, DecisionRecord};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -138,6 +140,13 @@ pub struct LlmSched {
     merge_emitted: HashMap<(usize, StageId), usize>,
     st_mat_buf: Vec<StageRef>,
     su_heap_buf: std::collections::BinaryHeap<SuEntry>,
+    /// Decision-provenance collection, flipped by the engine via
+    /// [`Scheduler::set_telemetry`]. Observation-only: records are built
+    /// from values both paths already computed, so the ε-greedy RNG
+    /// stream — and therefore the schedule — is identical either way.
+    telemetry: bool,
+    /// Records accumulated since the last [`Scheduler::drain_provenance`].
+    decisions: Vec<DecisionRecord>,
     name: String,
 }
 
@@ -249,6 +258,8 @@ impl LlmSched {
             merge_emitted: HashMap::new(),
             st_mat_buf: Vec::new(),
             su_heap_buf: std::collections::BinaryHeap::new(),
+            telemetry: false,
+            decisions: Vec::new(),
             name,
         }
     }
@@ -516,6 +527,9 @@ impl LlmSched {
     /// pins it.
     fn schedule_incremental(&mut self, ctx: &SchedContext<'_>) -> Preference {
         self.sync(ctx);
+        let telemetry = self.telemetry;
+        let calib = self.last_calib.unwrap_or(1.0);
+        let mut rank: u32 = 0;
         // A class is *closed* once its list covers what could possibly
         // start: the free capacity, or everything available when the
         // class has fewer unstarted tasks than capacity.
@@ -543,6 +557,7 @@ impl LlmSched {
             ref mut merge_emitted,
             ref mut st_mat_buf,
             ref mut su_heap_buf,
+            ref mut decisions,
             ..
         } = *self;
 
@@ -586,7 +601,7 @@ impl LlmSched {
                 }
                 continue;
             }
-            let (sref, sample) = if explore {
+            let (sref, sample, score) = if explore {
                 su_i += 1;
                 while heap.is_empty() && iv_src.peek().is_some() {
                     // Materialize the next non-overlapping group: scan the
@@ -621,12 +636,15 @@ impl LlmSched {
                         }
                     }
                 }
+                let popped = heap.pop();
+                let score = popped.as_ref().map(|e| e.score.0);
                 (
-                    heap.pop().map(|e| StageRef {
+                    popped.map(|e| StageRef {
                         job_idx: e.job_idx,
                         stage: e.stage,
                     }),
                     true,
+                    score,
                 )
             } else {
                 st_i += 1;
@@ -644,7 +662,7 @@ impl LlmSched {
                         }
                     }
                 }
-                (st_mat.get(st_i - 1).copied(), false)
+                (st_mat.get(st_i - 1).copied(), false, None)
             };
             let Some(s) = sref else {
                 debug_assert!(false, "ready-stage count out of sync with the lazy sources");
@@ -680,6 +698,24 @@ impl LlmSched {
                 p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
             }
             emitted.insert(key, p.len() - before);
+            if telemetry {
+                let list = if sample {
+                    DecisionList::Explore
+                } else {
+                    DecisionList::Exploit
+                };
+                decisions.push(provenance_record(
+                    beliefs,
+                    calib,
+                    &ctx.jobs[s.job_idx],
+                    s.stage,
+                    list,
+                    rank,
+                    (p.len() - before) as u32,
+                    score,
+                ));
+                rank += 1;
+            }
         }
 
         // Line 21 tail: attach the unsampled remainders in SRTF order. If
@@ -709,10 +745,28 @@ impl LlmSched {
                 let (r0, l0) = (p.regular.len(), p.llm.len());
                 p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
                 let (dr, dl) = (p.regular.len() - r0, p.llm.len() - l0);
-                if dr > 0 {
-                    fresh_reg += dr.saturating_sub(prior);
+                let fresh = if dr > 0 {
+                    dr.saturating_sub(prior)
                 } else {
-                    fresh_llm += dl.saturating_sub(prior);
+                    dl.saturating_sub(prior)
+                };
+                if dr > 0 {
+                    fresh_reg += fresh;
+                } else {
+                    fresh_llm += fresh;
+                }
+                if telemetry && fresh > 0 {
+                    decisions.push(provenance_record(
+                        beliefs,
+                        calib,
+                        &ctx.jobs[s.job_idx],
+                        s.stage,
+                        DecisionList::Tail,
+                        rank,
+                        fresh as u32,
+                        None,
+                    ));
+                    rank += 1;
                 }
             }
         }
@@ -740,9 +794,19 @@ impl LlmSched {
         st: &[StageRef],
         su: &[StageRef],
     ) -> Preference {
+        // Provenance is built from the memoized analyses the list
+        // construction above already populated, so collection touches no
+        // new state (and the calibration recompute is a pure fold).
+        let calib = if self.telemetry {
+            crate::estimator::batching_calibration(ctx)
+        } else {
+            1.0
+        };
+        let mut rank: u32 = 0;
         let mut p = Preference::new();
-        let mut emitted: std::collections::HashSet<(usize, StageId)> =
-            std::collections::HashSet::new();
+        // Stage -> task refs pushed during the merge (0 marks "seen"; the
+        // tail subtracts the counts to find fresh remainders).
+        let mut emitted: HashMap<(usize, StageId), usize> = HashMap::new();
         let (mut st_i, mut su_i) = (0usize, 0usize);
         while st_i < st.len() || su_i < su.len() {
             let explore =
@@ -750,17 +814,48 @@ impl LlmSched {
             if explore {
                 let s = su[su_i];
                 su_i += 1;
-                if emitted.insert((s.job_idx, s.stage)) {
+                if let Entry::Vacant(e) = emitted.entry((s.job_idx, s.stage)) {
                     // Explore: sample a fraction r of the uncertain stage's
                     // tasks (line 15); the rest re-attach at the tail below.
+                    let before = p.len();
                     p.push_stage_sample(&ctx.jobs[s.job_idx], s.stage, self.cfg.sampling_ratio);
+                    e.insert(p.len() - before);
+                    if self.telemetry {
+                        let score = self.reduction_of(&ctx.jobs[s.job_idx], s.stage);
+                        let r = self.record_rebuild(
+                            ctx,
+                            s,
+                            DecisionList::Explore,
+                            rank,
+                            (p.len() - before) as u32,
+                            Some(score),
+                            calib,
+                        );
+                        self.decisions.push(r);
+                        rank += 1;
+                    }
                 }
             } else {
                 let s = st[st_i];
                 st_i += 1;
-                if emitted.insert((s.job_idx, s.stage)) {
+                if let Entry::Vacant(e) = emitted.entry((s.job_idx, s.stage)) {
                     // Exploit: all tasks of the SRTF-preferred stage.
+                    let before = p.len();
                     p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
+                    e.insert(p.len() - before);
+                    if self.telemetry {
+                        let r = self.record_rebuild(
+                            ctx,
+                            s,
+                            DecisionList::Exploit,
+                            rank,
+                            (p.len() - before) as u32,
+                            None,
+                            calib,
+                        );
+                        self.decisions.push(r);
+                        rank += 1;
+                    }
                 }
             }
         }
@@ -768,9 +863,63 @@ impl LlmSched {
         // explored stages) at the end, in SRTF order. Duplicate references
         // are skipped by the dispatcher.
         for s in st {
+            let prior = emitted.get(&(s.job_idx, s.stage)).copied().unwrap_or(0);
+            let before = p.len();
             p.push_stage_tasks(&ctx.jobs[s.job_idx], s.stage);
+            let fresh = (p.len() - before).saturating_sub(prior);
+            if self.telemetry && fresh > 0 {
+                let r = self.record_rebuild(
+                    ctx,
+                    *s,
+                    DecisionList::Tail,
+                    rank,
+                    fresh as u32,
+                    None,
+                    calib,
+                );
+                self.decisions.push(r);
+                rank += 1;
+            }
         }
         p
+    }
+
+    /// Builds one rebuild-path provenance record from the memoized
+    /// per-(job, evidence) analysis cache. `at`/`seq` are stamped by the
+    /// engine at drain time.
+    #[allow(clippy::too_many_arguments)]
+    fn record_rebuild(
+        &mut self,
+        ctx: &SchedContext<'_>,
+        s: StageRef,
+        list: DecisionList,
+        rank: u32,
+        tasks: u32,
+        reduction: Option<f64>,
+        calib: f64,
+    ) -> DecisionRecord {
+        let job = &ctx.jobs[s.job_idx];
+        let a = self.analysis(job);
+        let version = self.store.version(job.app()).0;
+        let mask = self
+            .store
+            .profile(job.app())
+            .map(|pr| pr.evidence_mask(job))
+            .unwrap_or(0);
+        DecisionRecord {
+            at: SimTime::ZERO,
+            seq: 0,
+            job: job.id(),
+            stage: s.stage,
+            list,
+            rank,
+            tasks,
+            evidence_mask: mask,
+            profile_version: version,
+            expected_work: a.work.expected(calib),
+            interval: a.work.interval(calib),
+            reduction,
+        }
     }
 }
 
@@ -779,6 +928,40 @@ impl LlmSched {
 struct StageRef {
     job_idx: usize,
     stage: StageId,
+}
+
+/// Builds one incremental-path provenance record from the job's persistent
+/// belief — pure reads of state `sync` already materialized. `at`/`seq`
+/// are stamped by the engine at drain time.
+#[allow(clippy::too_many_arguments)]
+fn provenance_record(
+    beliefs: &BeliefStore,
+    calib: f64,
+    job: &JobRt,
+    stage: StageId,
+    list: DecisionList,
+    rank: u32,
+    tasks: u32,
+    reduction: Option<f64>,
+) -> DecisionRecord {
+    let (version, mask, work) = match beliefs.get(job.id()) {
+        Some(b) => (b.version, b.mask, b.work),
+        None => (0, 0, WorkEstimate::default()),
+    };
+    DecisionRecord {
+        at: SimTime::ZERO,
+        seq: 0,
+        job: job.id(),
+        stage,
+        list,
+        rank,
+        tasks,
+        evidence_mask: mask,
+        profile_version: version,
+        expected_work: work.expected(calib),
+        interval: work.interval(calib),
+        reduction,
+    }
 }
 
 /// Most-uncertainty-reduction-first ordering within one group (ties by
@@ -874,6 +1057,7 @@ impl Scheduler for LlmSched {
         self.ready_dirty.clear();
         self.total_ready = ReadyProfile::default();
         self.rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.decisions.clear();
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
@@ -882,6 +1066,15 @@ impl Scheduler for LlmSched {
         } else {
             self.schedule_rebuild(ctx)
         }
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        self.telemetry = enabled;
+        self.decisions.clear();
+    }
+
+    fn drain_provenance(&mut self, out: &mut Vec<DecisionRecord>) {
+        out.append(&mut self.decisions);
     }
 }
 

@@ -36,6 +36,7 @@ use llmsched_dag::job::{JobSpec, StageKind};
 use llmsched_dag::template::TemplateSet;
 use llmsched_dag::time::SimTime;
 use llmsched_dag::work::{ExecutorClass, LlmWork, TaskWork};
+use llmsched_telemetry::{DecisionRecord, NoopProbe, Probe, ProbeEvent, WallReservoir};
 
 pub use crate::exec::pool::EngineMode;
 
@@ -44,7 +45,7 @@ use crate::exec::sharded::{run_shard, HookFx, ShardedBackend};
 use crate::exec::{pool, ExecCtx, ExecutorBackend, LlmTaskRef, Post};
 use crate::latency::LatencyProfile;
 use crate::metrics::{JobOutcome, SimResult, Utilization};
-use crate::par::{EventQueues, ParStats, Parallelism, ShardedQueue};
+use crate::par::{EventQueues, ParStats, Parallelism, ShardStats, ShardedQueue};
 use crate::scheduler::{ActiveJobs, Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
 use crate::state::{JobRt, LlmExecutorView, TaskState, Visibility};
 
@@ -107,6 +108,11 @@ macro_rules! exec_ctx {
             now: $self.now,
             latency: &$self.cfg.latency,
             posts: &mut $self.posts,
+            probe: if $self.probe_on {
+                Some(&mut *$self.probe)
+            } else {
+                None
+            },
         }
     };
 }
@@ -170,12 +176,22 @@ struct Engine<'a> {
     events: u64,
     sched_calls: u64,
     sched_wall: std::time::Duration,
-    sched_samples: Vec<std::time::Duration>,
+    sched_samples: WallReservoir,
     // Utilization integrals (executor-seconds / slot-seconds).
     last_integral_at: SimTime,
     reg_busy_integral: f64,
     llm_slot_integral: f64,
     llm_active_integral: f64,
+    /// The run's telemetry sink ([`NoopProbe`] unless the caller came in
+    /// through [`simulate_probed`]).
+    probe: &'a mut dyn Probe,
+    /// [`Probe::enabled`], cached once per run: every emission site is
+    /// `if self.probe_on { … }`, so a disabled probe costs one branch.
+    probe_on: bool,
+    /// Reused buffer for [`Scheduler::drain_provenance`] records.
+    prov_buf: Vec<DecisionRecord>,
+    /// Per-shard work breakdown on the partitioned path (empty otherwise).
+    shard_stats: Vec<ShardStats>,
 }
 
 /// Runs one simulation to completion.
@@ -193,6 +209,29 @@ pub fn simulate(
     templates: &TemplateSet,
     jobs: Vec<JobSpec>,
     scheduler: &mut dyn Scheduler,
+) -> SimResult {
+    simulate_probed(cfg, templates, jobs, scheduler, &mut NoopProbe)
+}
+
+/// [`simulate`] with a telemetry [`Probe`] attached.
+///
+/// The probe is observation-only: engine state flows *into* it and never
+/// back, so a run with any probe produces the bit-identical schedule,
+/// event count, and metrics of the same run under [`NoopProbe`] (pinned
+/// by the `telemetry_equiv` suite). `Probe::enabled` is cached once at
+/// entry; when it returns `false` the run is indistinguishable from
+/// [`simulate`]. When enabled, the engine also flips the scheduler's
+/// provenance collection on ([`Scheduler::set_telemetry`]) and drains
+/// [`DecisionRecord`]s after every invocation.
+///
+/// # Panics
+/// As [`simulate`].
+pub fn simulate_probed(
+    cfg: &ClusterConfig,
+    templates: &TemplateSet,
+    jobs: Vec<JobSpec>,
+    scheduler: &mut dyn Scheduler,
+    probe: &mut dyn Probe,
 ) -> SimResult {
     assert!(
         cfg.regular_executors > 0,
@@ -241,6 +280,7 @@ pub fn simulate(
         )
     };
     let backend_desc = llm.get().descriptor();
+    let probe_on = probe.enabled();
     let mut engine = Engine {
         cfg,
         templates,
@@ -261,11 +301,19 @@ pub fn simulate(
         events: 0,
         sched_calls: 0,
         sched_wall: std::time::Duration::ZERO,
-        sched_samples: Vec::new(),
+        sched_samples: WallReservoir::default(),
         last_integral_at: SimTime::ZERO,
         reg_busy_integral: 0.0,
         llm_slot_integral: 0.0,
         llm_active_integral: 0.0,
+        probe,
+        probe_on,
+        prov_buf: Vec::new(),
+        shard_stats: if parts > 1 {
+            vec![ShardStats::default(); parts]
+        } else {
+            Vec::new()
+        },
     };
     engine.run(scheduler)
 }
@@ -273,6 +321,7 @@ pub fn simulate(
 impl Engine<'_> {
     fn run(&mut self, scheduler: &mut dyn Scheduler) -> SimResult {
         scheduler.reset();
+        scheduler.set_telemetry(self.probe_on);
         for (i, j) in self.jobs.iter().enumerate() {
             self.queue.push(j.spec.arrival(), Event::Arrival { job: i });
         }
@@ -306,11 +355,13 @@ impl Engine<'_> {
             },
             events: self.events,
             incomplete: self.jobs.iter().filter(|j| !j.is_complete()).count(),
-            par: (self.parts > 1).then_some(ParStats {
+            par: (self.parts > 1).then(|| ParStats {
                 partitions: self.parts,
                 rounds: self.rounds,
                 parallel_rounds: self.par_rounds,
+                per_shard: std::mem::take(&mut self.shard_stats),
             }),
+            timeseries: self.probe.take_timeseries(makespan),
         }
     }
 
@@ -402,6 +453,12 @@ impl Engine<'_> {
                 }
             }
         }
+        for (s, v) in items.iter().enumerate() {
+            if !v.is_empty() {
+                self.shard_stats[s].batches += 1;
+                self.shard_stats[s].events += v.len() as u64;
+            }
+        }
         if items.iter().filter(|v| !v.is_empty()).count() < 2 {
             // At most one shard has hook work: threading buys nothing.
             let mut effective = false;
@@ -413,7 +470,7 @@ impl Engine<'_> {
         self.par_rounds += 1;
         fx.clear();
         fx.resize_with(batch.len(), || None);
-        {
+        let results = {
             let Backend::Sharded(sharded) = &mut self.llm else {
                 unreachable!("partitioned loop runs on the sharded backend")
             };
@@ -422,25 +479,46 @@ impl Engine<'_> {
             let jobs: &[JobRt] = &self.jobs;
             let latency = &self.cfg.latency;
             let items: &[Vec<(u32, SimTime, Event)>] = items;
-            let results: Vec<Vec<(u32, HookFx)>> = std::thread::scope(|scope| {
+            // (shard index, wall-clock busy time, per-event hook effects).
+            type ShardRound = (usize, std::time::Duration, Vec<(u32, HookFx)>);
+            let results: Vec<ShardRound> = std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for ((shard, base), slice) in
-                    shards.into_iter().zip(bases.iter().copied()).zip(items)
+                for (s, ((shard, base), slice)) in shards
+                    .into_iter()
+                    .zip(bases.iter().copied())
+                    .zip(items)
+                    .enumerate()
                 {
                     if slice.is_empty() {
                         continue;
                     }
-                    handles.push(scope.spawn(move || run_shard(shard, base, jobs, latency, slice)));
+                    handles.push(scope.spawn(move || {
+                        let start = std::time::Instant::now();
+                        let fx = run_shard(shard, base, jobs, latency, slice);
+                        (s, start.elapsed(), fx)
+                    }));
                 }
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("shard worker panicked"))
                     .collect()
             });
-            for shard_fx in results {
-                for (idx, f) in shard_fx {
-                    fx[idx as usize] = Some(f);
-                }
+            results
+        };
+        for (s, busy, shard_fx) in results {
+            self.shard_stats[s].threaded_batches += 1;
+            self.shard_stats[s].busy += busy;
+            if self.probe_on {
+                self.probe.record(&ProbeEvent::ShardRound {
+                    at: self.now,
+                    round: self.rounds,
+                    shard: s as u32,
+                    events: items[s].len() as u32,
+                    busy,
+                });
+            }
+            for (idx, f) in shard_fx {
+                fx[idx as usize] = Some(f);
             }
         }
         // Replay: exact batch (= sequential pop) order. Events without
@@ -532,6 +610,20 @@ impl Engine<'_> {
             let (slots, busy) = pool::slot_stats(self.llm.get());
             self.llm_slot_integral += slots as f64 * dt;
             self.llm_active_integral += busy as f64 * dt;
+            // The piecewise-constant span just closed; windowed series
+            // integrate it. Emitted before any same-time discrete event
+            // (the aggregator's low-water-mark contract).
+            if self.probe_on {
+                self.probe.record(&ProbeEvent::UtilSample {
+                    from: self.last_integral_at,
+                    to: t,
+                    active: self.active.len() as u32,
+                    regular_busy: self.regular_busy as u32,
+                    regular_total: self.cfg.regular_executors as u32,
+                    llm_busy_slots: busy as u32,
+                    llm_slots: slots as u32,
+                });
+            }
         }
         self.last_integral_at = t;
     }
@@ -597,6 +689,13 @@ impl Engine<'_> {
                     job: self.jobs[job].id(),
                     arrival: self.jobs[job].arrival(),
                 });
+                if self.probe_on {
+                    self.probe.record(&ProbeEvent::JobArrived {
+                        at: self.now,
+                        job: self.jobs[job].id(),
+                        app: self.jobs[job].app(),
+                    });
+                }
                 // A pathological template could start with an auto-completing
                 // placeholder; run the fixpoint for safety.
                 for s in 0..self.jobs[job].spec.len() as u32 {
@@ -658,7 +757,19 @@ impl Engine<'_> {
                 // Release the batch slot; the backend re-times survivors
                 // (analytic) or no-ops (token-level removes inside step).
                 match recorded {
-                    Some(posts) => self.flush_recorded(posts),
+                    Some(posts) => {
+                        // The shard worker drained the slot with its probe
+                        // detached (workers run concurrently); re-emit the
+                        // drain here, where the live hook would have.
+                        self.flush_recorded(posts);
+                        if self.probe_on {
+                            self.probe.record(&ProbeEvent::BatchDrain {
+                                at: self.now,
+                                exec: e as u32,
+                                occupancy: self.llm.get().occupancy(e) as u32,
+                            });
+                        }
+                    }
                     None => {
                         self.llm.get_mut().drain(
                             e,
@@ -677,6 +788,14 @@ impl Engine<'_> {
             stage: StageId(stage),
             count: 1,
         });
+        if self.probe_on {
+            self.probe.record(&ProbeEvent::TaskFinished {
+                at: self.now,
+                job: self.jobs[job].id(),
+                stage: StageId(stage),
+                task,
+            });
+        }
         if stage_done {
             self.complete_stage(job, stage);
         }
@@ -693,6 +812,13 @@ impl Engine<'_> {
             job: self.jobs[job].id(),
             stage: StageId(stage),
         });
+        if self.probe_on {
+            self.probe.record(&ProbeEvent::StageCompleted {
+                at: self.now,
+                job: self.jobs[job].id(),
+                stage: StageId(stage),
+            });
+        }
         self.emit_observations(job, stage);
         // Dependents see one fewer pending predecessor.
         let n_succ = self.jobs[job].spec.dag().out_degree(stage as usize);
@@ -714,6 +840,14 @@ impl Engine<'_> {
                             stage: r,
                             executes: true,
                         });
+                        if self.probe_on {
+                            self.probe.record(&ProbeEvent::StageRevealed {
+                                at: self.now,
+                                job: id,
+                                stage: r,
+                                executes: true,
+                            });
+                        }
                     } else {
                         self.jobs[job].set_visibility(r.0, Visibility::Void);
                         self.emit(SchedDelta::StageRevealed {
@@ -721,6 +855,14 @@ impl Engine<'_> {
                             stage: r,
                             executes: false,
                         });
+                        if self.probe_on {
+                            self.probe.record(&ProbeEvent::StageRevealed {
+                                at: self.now,
+                                job: id,
+                                stage: r,
+                                executes: false,
+                            });
+                        }
                         self.complete_stage(job, r.0);
                     }
                 }
@@ -824,6 +966,13 @@ impl Engine<'_> {
         self.emit(SchedDelta::JobCompleted {
             job: self.jobs[job].id(),
         });
+        if self.probe_on {
+            self.probe.record(&ProbeEvent::JobCompleted {
+                at: self.now,
+                job: self.jobs[job].id(),
+                arrival: self.jobs[job].arrival(),
+            });
+        }
         self.outcomes.push(JobOutcome {
             id: self.jobs[job].id(),
             app: self.jobs[job].app(),
@@ -834,6 +983,7 @@ impl Engine<'_> {
 
     fn invoke_scheduler(&mut self, scheduler: &mut dyn Scheduler) {
         pool::views_into(self.llm.get(), &mut self.llm_views);
+        let n_deltas = self.deltas.len();
         let (pref, elapsed) = {
             let ctx = SchedContext {
                 now: self.now,
@@ -858,10 +1008,29 @@ impl Engine<'_> {
         };
         self.sched_wall += elapsed;
         self.sched_samples.push(elapsed);
+        let seq = self.sched_calls;
         self.sched_calls += 1;
         // The batch is delivered exactly once; dispatch deltas below open
         // the next batch.
         self.deltas.clear();
+        if self.probe_on {
+            self.probe.record(&ProbeEvent::SchedInvoked {
+                at: self.now,
+                seq,
+                wall: elapsed,
+                deltas: n_deltas as u32,
+                regular: pref.regular.len() as u32,
+                llm: pref.llm.len() as u32,
+            });
+            // Provenance drains *before* dispatch so every Decision
+            // precedes the TaskDispatched events it explains.
+            scheduler.drain_provenance(&mut self.prov_buf);
+            for mut r in self.prov_buf.drain(..) {
+                r.at = self.now;
+                r.seq = seq;
+                self.probe.record(&ProbeEvent::Decision(r));
+            }
+        }
         self.dispatch(&pref);
     }
 
@@ -933,6 +1102,16 @@ impl Engine<'_> {
             stage: tr.stage,
             count: 1,
         });
+        if self.probe_on {
+            self.probe.record(&ProbeEvent::TaskDispatched {
+                at: self.now,
+                job: tr.job,
+                stage: tr.stage,
+                task: tr.task,
+                class: ExecutorClass::Regular,
+                exec: None,
+            });
+        }
         self.queue.push(
             self.now + duration,
             Event::TaskFinish {
@@ -951,6 +1130,16 @@ impl Engine<'_> {
             stage: tr.stage,
             count: 1,
         });
+        if self.probe_on {
+            self.probe.record(&ProbeEvent::TaskDispatched {
+                at: self.now,
+                job: tr.job,
+                stage: tr.stage,
+                task: tr.task,
+                class: ExecutorClass::Llm,
+                exec: Some(e as u32),
+            });
+        }
         self.llm.get_mut().admit(
             e,
             LlmTaskRef {
@@ -1151,7 +1340,7 @@ mod tests {
             &mut Greedy,
         );
         assert!(seq.par.is_none());
-        let stats = par.par.expect("partitioned run reports ParStats");
+        let stats = par.par.as_ref().expect("partitioned run reports ParStats");
         assert_eq!(stats.partitions, 2);
         assert!(
             stats.parallel_rounds > 0,

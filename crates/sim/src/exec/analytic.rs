@@ -101,6 +101,13 @@ impl ExecutorBackend for AnalyticExec {
             remaining_tokens: work.folded_tokens() as f64,
         });
         unit.retime(cx);
+        let occupancy = self.units[exec].running.len() as u32;
+        cx.emit(llmsched_telemetry::ProbeEvent::BatchAdmit {
+            at: cx.now,
+            exec: exec as u32,
+            occupancy,
+            capacity: self.max_batch as u32,
+        });
     }
 
     fn step(&mut self, _exec: usize, _epoch: u64, _cx: &mut ExecCtx<'_>) -> StepOutcome {
@@ -115,6 +122,12 @@ impl ExecutorBackend for AnalyticExec {
         unit.settle(cx.now, cx.latency);
         unit.running.retain(|r| r.task != task);
         unit.retime(cx);
+        let occupancy = self.units[exec].running.len() as u32;
+        cx.emit(llmsched_telemetry::ProbeEvent::BatchDrain {
+            at: cx.now,
+            exec: exec as u32,
+            occupancy,
+        });
     }
 }
 
@@ -155,6 +168,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(100), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -166,6 +180,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(1), w(100), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -186,6 +201,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(100), &mut cx);
         be.admit(0, t(1), w(200), &mut cx);
@@ -210,6 +226,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(100), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -218,6 +235,7 @@ mod tests {
             now: SimTime::from_secs_f64(0.5),
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         // A no-op membership change (drain of an absent task) still
         // re-times: the old event goes stale.
@@ -260,6 +278,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(100), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -268,6 +287,7 @@ mod tests {
             now: SimTime::from_secs_f64(0.5),
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(1), w(100), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -298,6 +318,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(1, t(0), w(10), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);

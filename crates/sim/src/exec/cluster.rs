@@ -104,6 +104,22 @@ impl ExecutorBackend for ClusterExec {
         unit.settle(cx.now);
         unit.join(task, work.folded_tokens());
         unit.retime(cx);
+        if cx.probe.is_some() {
+            let view = self.unit_view(exec, exec);
+            cx.emit(llmsched_telemetry::ProbeEvent::Routed {
+                at: cx.now,
+                job_index: task.job as u32,
+                exec: exec as u32,
+                group: view.group as u32,
+                policy: self.router.name(),
+            });
+            cx.emit(llmsched_telemetry::ProbeEvent::BatchAdmit {
+                at: cx.now,
+                exec: exec as u32,
+                occupancy: view.occupancy as u32,
+                capacity: view.capacity as u32,
+            });
+        }
     }
 
     fn step(&mut self, _exec: usize, _epoch: u64, _cx: &mut ExecCtx<'_>) -> StepOutcome {
@@ -117,6 +133,12 @@ impl ExecutorBackend for ClusterExec {
         unit.settle(cx.now);
         unit.drain(task);
         unit.retime(cx);
+        let occupancy = self.units[exec].len() as u32;
+        cx.emit(llmsched_telemetry::ProbeEvent::BatchDrain {
+            at: cx.now,
+            exec: exec as u32,
+            occupancy,
+        });
     }
 }
 
@@ -178,6 +200,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0, 0), w(100), &mut cx);
         be.admit(1, t(0, 1), w(100), &mut cx);
@@ -204,6 +227,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         // Load the fast replica with one huge request; JSQ then prefers
         // the token-empty slow replicas even though occupancies tie after
@@ -226,6 +250,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0, 0), w(100), &mut cx);
         assert_eq!(be.occupancy(0), 1);
@@ -254,6 +279,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0, 0), w(10), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);

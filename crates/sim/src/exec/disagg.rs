@@ -225,6 +225,22 @@ impl ExecutorBackend for DisaggExec {
     fn admit(&mut self, exec: usize, task: LlmTaskRef, work: LlmWork, cx: &mut ExecCtx<'_>) {
         let ready_at = self.prefill.arrival(cx.now, work.prompt_tokens);
         self.admit_with_ready_at(exec, task, work.decode_tokens(), ready_at, cx);
+        if cx.probe.is_some() {
+            let view = self.unit_view(exec, exec);
+            cx.emit(llmsched_telemetry::ProbeEvent::Routed {
+                at: cx.now,
+                job_index: task.job as u32,
+                exec: exec as u32,
+                group: view.group as u32,
+                policy: self.router.name(),
+            });
+            cx.emit(llmsched_telemetry::ProbeEvent::BatchAdmit {
+                at: cx.now,
+                exec: exec as u32,
+                occupancy: view.occupancy as u32,
+                capacity: view.capacity as u32,
+            });
+        }
     }
 
     fn step(&mut self, exec: usize, epoch: u64, cx: &mut ExecCtx<'_>) -> StepOutcome {
@@ -263,6 +279,12 @@ impl ExecutorBackend for DisaggExec {
             // Defensive: a task killed before its KV cache arrived.
             unit.transit.remove(i);
         }
+        let occupancy = self.occupancy(exec) as u32;
+        cx.emit(llmsched_telemetry::ProbeEvent::BatchDrain {
+            at: cx.now,
+            exec: exec as u32,
+            occupancy,
+        });
     }
 }
 
@@ -325,6 +347,7 @@ mod tests {
                         now: time,
                         latency: reference,
                         posts: &mut posts,
+                        probe: None,
                     };
                     be.step(exec, epoch, &mut cx);
                     crate::exec::flush_posts(&mut posts, &mut *jobs, &mut *queue);
@@ -336,6 +359,7 @@ mod tests {
                             now: time,
                             latency: reference,
                             posts: &mut posts,
+                            probe: None,
                         };
                         be.drain(0, t(task), &mut cx);
                         be.drain(1, t(task), &mut cx);
@@ -361,6 +385,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         let e = be.place(t(0), w(100, 50)).unwrap();
         be.admit(e, t(0), w(100, 50), &mut cx);
@@ -390,6 +415,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         // Route both to distinct decode replicas (least-loaded does).
         let e0 = be.place(t(0), w(100, 50)).unwrap();
@@ -418,6 +444,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(0, 10), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -436,6 +463,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(10, 10), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -443,6 +471,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         // Before the handoff is due, nothing moves.
         let out = be.step(0, 1, &mut cx);
@@ -465,6 +494,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &reference,
             posts: &mut posts,
+            probe: None,
         };
         // 2 decode replicas × batch 4 = 8 slots.
         for i in 0..8 {

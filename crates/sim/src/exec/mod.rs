@@ -62,6 +62,7 @@ pub use token_level::TokenExec;
 
 use llmsched_dag::time::SimTime;
 use llmsched_dag::work::LlmWork;
+use llmsched_telemetry::{Probe, ProbeEvent};
 
 use crate::event::{Event, EventQueue};
 use crate::latency::LatencyProfile;
@@ -126,9 +127,23 @@ pub struct ExecCtx<'a> {
     /// Events the backend wants scheduled, in emission order. The caller
     /// drains this after the hook returns (see [`flush_posts`]).
     pub posts: &'a mut Vec<Post>,
+    /// The run's telemetry probe, present only while one is enabled —
+    /// `None` costs backends a single branch per emission (see
+    /// [`ExecCtx::emit`]). Shard workers also get `None`: their hooks run
+    /// concurrently, so the sharded wrapper re-emits occupancy events
+    /// with global executor indices at the merge barrier instead.
+    pub probe: Option<&'a mut dyn Probe>,
 }
 
 impl ExecCtx<'_> {
+    /// Delivers `ev` to the probe if one is enabled. Call sites build the
+    /// event inline, so a disabled probe pays only the `None` check.
+    pub fn emit(&mut self, ev: ProbeEvent) {
+        if let Some(p) = self.probe.as_mut() {
+            p.record(&ev);
+        }
+    }
+
     /// Schedules `task` to finish at `at`, invalidating any finish event
     /// posted for it earlier (per-task epochs make stale events no-ops).
     pub fn post_finish(&mut self, task: LlmTaskRef, at: SimTime) {

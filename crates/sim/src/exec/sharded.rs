@@ -342,6 +342,10 @@ impl ExecutorBackend for ShardedBackend {
         let s = self.shard_of[exec];
         let local = exec - self.base[s];
         let before = cx.posts.len();
+        // Shards only know local indices, so their own occupancy events
+        // would mislabel executors: withhold the probe while delegating
+        // and re-emit below with global indices.
+        let probe = cx.probe.take();
         match &mut self.kind {
             ShardKind::Analytic(v) => v[s].admit(local, task, work, cx),
             ShardKind::Token(v) => v[s].admit(local, task, work, cx),
@@ -352,6 +356,31 @@ impl ExecutorBackend for ShardedBackend {
             }
         }
         remap_steps(&mut cx.posts[before..], self.base[s]);
+        cx.probe = probe;
+        if cx.probe.is_some() {
+            let group = match &self.kind {
+                ShardKind::Cluster(v) => Some(v[s].unit_view(local, exec).group),
+                ShardKind::Disagg { shards, .. } => Some(shards[s].unit_view(local, exec).group),
+                _ => None,
+            };
+            if let (Some(group), Some(router)) = (group, self.router.as_ref()) {
+                cx.emit(llmsched_telemetry::ProbeEvent::Routed {
+                    at: cx.now,
+                    job_index: task.job as u32,
+                    exec: exec as u32,
+                    group: group as u32,
+                    policy: router.name(),
+                });
+            }
+            let occupancy = self.occupancy(exec) as u32;
+            let capacity = self.capacity(exec) as u32;
+            cx.emit(llmsched_telemetry::ProbeEvent::BatchAdmit {
+                at: cx.now,
+                exec: exec as u32,
+                occupancy,
+                capacity,
+            });
+        }
     }
 
     fn step(&mut self, exec: usize, epoch: u64, cx: &mut ExecCtx<'_>) -> StepOutcome {
@@ -372,6 +401,8 @@ impl ExecutorBackend for ShardedBackend {
         let s = self.shard_of[exec];
         let local = exec - self.base[s];
         let before = cx.posts.len();
+        // Withhold the probe from the shard (local indices — see admit).
+        let probe = cx.probe.take();
         match &mut self.kind {
             ShardKind::Analytic(v) => v[s].drain(local, task, cx),
             ShardKind::Token(v) => v[s].drain(local, task, cx),
@@ -379,6 +410,13 @@ impl ExecutorBackend for ShardedBackend {
             ShardKind::Disagg { shards, .. } => shards[s].drain(local, task, cx),
         }
         remap_steps(&mut cx.posts[before..], self.base[s]);
+        cx.probe = probe;
+        let occupancy = self.occupancy(exec) as u32;
+        cx.emit(llmsched_telemetry::ProbeEvent::BatchDrain {
+            at: cx.now,
+            exec: exec as u32,
+            occupancy,
+        });
     }
 }
 
@@ -475,6 +513,7 @@ pub(crate) fn run_shard(
                             now,
                             latency,
                             posts: &mut posts,
+                            probe: None,
                         };
                         shard.drain(e - base, LlmTaskRef { job, stage, task }, &mut cx);
                         done.insert(key);
@@ -501,6 +540,7 @@ pub(crate) fn run_shard(
                     now,
                     latency,
                     posts: &mut posts,
+                    probe: None,
                 };
                 let o = shard.step(exec - base, epoch, &mut cx);
                 let recorded = take_posts(&mut posts, base, &mut bumps);
@@ -587,6 +627,7 @@ mod tests {
                 now: SimTime::ZERO,
                 latency: &latency,
                 posts: &mut posts,
+                probe: None,
             };
             mono.admit(pm, task, w(10), &mut cx);
             posts.clear();
@@ -594,6 +635,7 @@ mod tests {
                 now: SimTime::ZERO,
                 latency: &latency,
                 posts: &mut posts,
+                probe: None,
             };
             sharded.admit(ps, task, w(10), &mut cx);
             posts.clear();
@@ -634,6 +676,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &profile,
             posts: &mut posts,
+            probe: None,
         };
         // 100-token prompts: first arrival at 0.1 s, second (queued
         // behind it) at 0.2 s — even though exec 0 and exec 2 live on
@@ -688,6 +731,7 @@ mod tests {
                 now: SimTime::ZERO,
                 latency: &latency,
                 posts: &mut posts,
+                probe: None,
             };
             shard.admit(0, t(0, 0), w(100), &mut cx);
             shard.admit(0, t(0, 1), w(100), &mut cx);

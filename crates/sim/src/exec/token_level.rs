@@ -109,6 +109,13 @@ impl ExecutorBackend for TokenExec {
             unit.running.append(&mut joining);
             self.start_iteration(exec, cx);
         }
+        let occupancy = self.units[exec].occupancy() as u32;
+        cx.emit(llmsched_telemetry::ProbeEvent::BatchAdmit {
+            at: cx.now,
+            exec: exec as u32,
+            occupancy,
+            capacity: self.max_batch as u32,
+        });
     }
 
     fn step(&mut self, exec: usize, epoch: u64, cx: &mut ExecCtx<'_>) -> StepOutcome {
@@ -143,13 +150,19 @@ impl ExecutorBackend for TokenExec {
         }
     }
 
-    fn drain(&mut self, exec: usize, task: LlmTaskRef, _cx: &mut ExecCtx<'_>) {
+    fn drain(&mut self, exec: usize, task: LlmTaskRef, cx: &mut ExecCtx<'_>) {
         // Finished tasks were already removed by the step that completed
         // them; this only covers defensive removal of a task the engine
         // finishes through some other path.
         let unit = &mut self.units[exec];
         unit.running.retain(|r| r.task != task);
         unit.joining.retain(|r| r.task != task);
+        let occupancy = self.units[exec].occupancy() as u32;
+        cx.emit(llmsched_telemetry::ProbeEvent::BatchDrain {
+            at: cx.now,
+            exec: exec as u32,
+            occupancy,
+        });
     }
 }
 
@@ -199,6 +212,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(3), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -222,6 +236,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(2), &mut cx);
         be.admit(0, t(1), w(2), &mut cx);
@@ -244,6 +259,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(1), &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -252,6 +268,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         let out = be.step(0, epoch + 1, &mut cx);
         assert!(!out.effective);
@@ -274,6 +291,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(1), &mut cx); // finishes after one iteration
         be.admit(0, t(1), w(5), &mut cx); // joins at the boundary
@@ -283,6 +301,7 @@ mod tests {
             now: time,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         let out = be.step(0, epoch, &mut cx);
         crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -297,6 +316,7 @@ mod tests {
             now: time,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.drain(0, t(0), &mut cx);
         assert_eq!(be.occupancy(0), 1);
@@ -314,6 +334,7 @@ mod tests {
                 now: SimTime::ZERO,
                 latency: &latency,
                 posts: &mut posts,
+                probe: None,
             };
             be.admit(0, t(0), w(8), &mut cx);
             crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -324,6 +345,7 @@ mod tests {
                     now: time,
                     latency: &latency,
                     posts: &mut posts,
+                    probe: None,
                 };
                 be.step(0, epoch, &mut cx);
                 crate::exec::flush_posts(&mut posts, &mut jobs, &mut queue);
@@ -343,6 +365,7 @@ mod tests {
             now: SimTime::ZERO,
             latency: &latency,
             posts: &mut posts,
+            probe: None,
         };
         be.admit(0, t(0), w(5), &mut cx);
         assert_eq!(be.place(t(1), w(5)), Some(1));

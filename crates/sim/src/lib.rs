@@ -94,9 +94,14 @@ pub mod state;
 // working.
 pub use llmsched_cluster::latency;
 
+// The observability layer (probes, trace export, windowed time-series)
+// lives in its own dependency-light crate; re-exported so simulator users
+// reach it as `llmsched_sim::telemetry::…`.
+pub use llmsched_telemetry as telemetry;
+
 /// Convenient glob-import of the simulator's public surface.
 pub mod prelude {
-    pub use crate::engine::{simulate, ClusterConfig, EngineMode};
+    pub use crate::engine::{simulate, simulate_probed, ClusterConfig, EngineMode};
     pub use crate::exec::{
         AnalyticExec, ClusterExec, DisaggExec, ExecutorBackend, LlmTaskRef, StepOutcome, TokenExec,
     };
@@ -105,9 +110,12 @@ pub mod prelude {
     pub use crate::metrics::{
         JctPercentiles, JobOutcome, SchedOverheadPercentiles, SimResult, Utilization,
     };
-    pub use crate::par::{ParStats, Parallelism};
+    pub use crate::par::{ParStats, Parallelism, ShardStats};
     pub use crate::scheduler::{Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
     pub use crate::state::{Existence, JobRt, LlmExecutorView, StageView};
+    pub use crate::telemetry::{
+        NoopProbe, Probe, ProbeEvent, TimeSeries, TraceConfig, TraceRecorder, WindowConfig,
+    };
     pub use llmsched_cluster::{
         ClusterSpec, DisaggSpec, ReplicaGroup, ReplicaView, RouteRequest, Router, RoutingPolicy,
     };

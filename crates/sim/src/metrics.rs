@@ -4,6 +4,7 @@
 
 use llmsched_dag::ids::{AppId, JobId};
 use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_telemetry::{TimeSeries, WallReservoir};
 
 use crate::par::ParStats;
 
@@ -80,13 +81,14 @@ pub struct SimResult {
     /// Total wall-clock time spent inside the scheduler (delta delivery +
     /// `Scheduler::schedule`).
     pub sched_wall: std::time::Duration,
-    /// Per-invocation wall-clock samples (one per scheduler invocation, in
-    /// call order) — the raw data behind
-    /// [`SimResult::sched_overhead_percentiles`]. ~16 bytes per
-    /// invocation (a 100k-job sweep holds ~1M samples ≈ 15 MB); callers
-    /// retaining many results may compute the percentiles once and
-    /// `clear()` this.
-    pub sched_wall_samples: Vec<std::time::Duration>,
+    /// Per-invocation wall-clock samples in call order — the raw data
+    /// behind [`SimResult::sched_overhead_percentiles`]. Bounded by a
+    /// deterministic stride-decimation reservoir (64 Ki-sample cap ≈
+    /// 1 MiB): runs under the cap keep every sample and the percentiles
+    /// are exact ([`WallReservoir::is_exact`]); longer runs keep an
+    /// evenly spaced subsample and the percentiles are
+    /// documented-approximate.
+    pub sched_wall_samples: WallReservoir,
     /// Executor utilization.
     pub utilization: Utilization,
     /// Number of simulation events processed.
@@ -96,6 +98,10 @@ pub struct SimResult {
     pub incomplete: usize,
     /// Partitioned-engine statistics (`None` on the sequential path).
     pub par: Option<ParStats>,
+    /// Windowed time-series over the run (`None` unless the run's
+    /// [`Probe`](llmsched_telemetry::Probe) aggregated one — see
+    /// [`llmsched_telemetry::TraceConfig::window`]).
+    pub timeseries: Option<TimeSeries>,
 }
 
 impl SimResult {
@@ -175,6 +181,7 @@ impl SimResult {
         }
         let mut ms: Vec<f64> = self
             .sched_wall_samples
+            .as_slice()
             .iter()
             .map(|d| d.as_secs_f64() * 1e3)
             .collect();
@@ -229,6 +236,7 @@ mod tests {
             events: 0,
             incomplete: 0,
             par: None,
+            timeseries: None,
         }
     }
 

@@ -58,7 +58,7 @@ impl Parallelism {
 /// (`None` on the sequential path).
 ///
 /// [`SimResult`]: crate::metrics::SimResult
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ParStats {
     /// Shard count the run used.
     pub partitions: usize,
@@ -67,6 +67,24 @@ pub struct ParStats {
     /// Rounds whose hook work spanned ≥ 2 shards and therefore ran on
     /// scoped worker threads.
     pub parallel_rounds: u64,
+    /// Per-shard work breakdown, indexed by shard. Batch counts cover
+    /// every round the shard had events in; busy time accrues only on
+    /// threaded rounds (inlined rounds run on the main thread, where
+    /// per-shard timing would just re-measure the event loop).
+    pub per_shard: Vec<ShardStats>,
+}
+
+/// One shard's share of a partitioned run (see [`ParStats::per_shard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Rounds in which this shard had at least one event to handle.
+    pub batches: u64,
+    /// Of those, rounds dispatched to a scoped worker thread.
+    pub threaded_batches: u64,
+    /// Hook events this shard handled across all rounds.
+    pub events: u64,
+    /// Wall-clock time spent inside `run_shard` on worker threads.
+    pub busy: std::time::Duration,
 }
 
 /// The engine's event core: one heap on the sequential path, a

@@ -447,6 +447,28 @@ pub trait Scheduler {
     /// of every simulation, so a scheduler instance can be reused across
     /// runs. The default is a no-op.
     fn reset(&mut self) {}
+
+    /// Toggles decision-provenance collection. The engine calls this once
+    /// per run, after [`Scheduler::reset`], with `true` iff a telemetry
+    /// probe is enabled; policies that can explain their choices (e.g.
+    /// LLMSched's posterior state) start recording
+    /// [`DecisionRecord`](llmsched_telemetry::DecisionRecord)s. The
+    /// default ignores it. Wrapper schedulers MUST forward this hook.
+    ///
+    /// Recording must be observation-only: it must not touch any RNG or
+    /// other schedule-relevant state (the probe-on/probe-off equivalence
+    /// suite enforces bit-identical schedules).
+    fn set_telemetry(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Moves the provenance records accumulated since the last drain into
+    /// `out` (appending; emission order). The engine drains after every
+    /// invocation and stamps each record's `at`/`seq`. The default leaves
+    /// `out` untouched. Wrapper schedulers MUST forward this hook.
+    fn drain_provenance(&mut self, out: &mut Vec<llmsched_telemetry::DecisionRecord>) {
+        let _ = out;
+    }
 }
 
 /// Blanket impl so `Box<dyn Scheduler>` is itself a scheduler — lets the
@@ -466,6 +488,14 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn set_telemetry(&mut self, enabled: bool) {
+        (**self).set_telemetry(enabled)
+    }
+
+    fn drain_provenance(&mut self, out: &mut Vec<llmsched_telemetry::DecisionRecord>) {
+        (**self).drain_provenance(out)
     }
 }
 

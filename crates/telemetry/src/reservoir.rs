@@ -1,0 +1,230 @@
+//! Bounded, deterministic retention of scheduler wall-clock samples.
+//!
+//! `SimResult::sched_wall_samples` used to be a raw `Vec<Duration>` — one
+//! entry per scheduler invocation, i.e. unbounded growth on long runs
+//! (~15 MB at one million invocations). [`WallReservoir`] caps the memory
+//! at `cap` samples with **stride decimation**: while fewer than `cap`
+//! samples have been seen, every sample is kept and percentiles are
+//! exact; past the cap, every other retained sample is dropped and the
+//! keep-stride doubles, so the structure always holds an evenly spaced
+//! systematic subsample of the stream (indices `0, s, 2s, …`).
+//!
+//! Unlike a randomized reservoir, decimation is fully deterministic — the
+//! retained set depends only on the sample sequence, never on an RNG —
+//! which keeps `SimResult` bit-reproducible and diffable across runs.
+//! Above the cap, percentiles computed from the retained set are
+//! documented-approximate: a systematic subsample of a wall-clock series
+//! whose error is small unless scheduler latency correlates with the
+//! decimation stride.
+
+use std::time::Duration;
+
+/// Default retention cap: 64 Ki samples ≈ 1 MiB, exact percentiles for
+/// any run with up to 65 536 scheduler invocations.
+pub const DEFAULT_CAP: usize = 65_536;
+
+/// A bounded, deterministic summary of a `Duration` sample stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallReservoir {
+    samples: Vec<Duration>,
+    /// Keep every `stride`-th offered sample (by arrival index).
+    stride: u64,
+    /// Total samples offered, retained or not.
+    seen: u64,
+    cap: usize,
+}
+
+impl Default for WallReservoir {
+    fn default() -> Self {
+        WallReservoir::new(DEFAULT_CAP)
+    }
+}
+
+impl WallReservoir {
+    /// Creates an empty reservoir retaining at most `cap` samples.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero or odd (halving on overflow requires an
+    /// even cap).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2 && cap % 2 == 0, "cap must be even and >= 2");
+        WallReservoir {
+            samples: Vec::new(),
+            stride: 1,
+            seen: 0,
+            cap,
+        }
+    }
+
+    /// Offers one sample. Retained iff its arrival index is a multiple of
+    /// the current stride; at capacity the retained set is thinned to
+    /// every other sample and the stride doubles first.
+    pub fn push(&mut self, d: Duration) {
+        if self.seen % self.stride == 0 {
+            if self.samples.len() == self.cap {
+                let mut i = 0u64;
+                self.samples.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+                // The thinned set holds indices 0, 2s, 4s, …; the sample
+                // that overflowed sits at index cap·s, a multiple of the
+                // doubled stride exactly because `cap` is even.
+                debug_assert_eq!(self.seen % self.stride, 0);
+            }
+            self.samples.push(d);
+        }
+        self.seen += 1;
+    }
+
+    /// Retained samples, in arrival order.
+    pub fn as_slice(&self) -> &[Duration] {
+        &self.samples
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples are retained.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total samples offered over the stream's lifetime.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// True while every offered sample is retained — i.e. statistics over
+    /// [`WallReservoir::as_slice`] are exact, not subsampled.
+    pub fn is_exact(&self) -> bool {
+        self.stride == 1
+    }
+
+    /// Iterates over the retained samples in arrival order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Duration> {
+        self.samples.iter()
+    }
+
+    /// Drops all samples and resets the stride, keeping the cap.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.stride = 1;
+        self.seen = 0;
+    }
+}
+
+impl<'a> IntoIterator for &'a WallReservoir {
+    type Item = &'a Duration;
+    type IntoIter = std::slice::Iter<'a, Duration>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+impl Extend<Duration> for WallReservoir {
+    fn extend<T: IntoIterator<Item = Duration>>(&mut self, iter: T) {
+        for d in iter {
+            self.push(d);
+        }
+    }
+}
+
+impl FromIterator<Duration> for WallReservoir {
+    fn from_iter<T: IntoIterator<Item = Duration>>(iter: T) -> Self {
+        let mut r = WallReservoir::default();
+        r.extend(iter);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn exact_below_cap() {
+        let mut r = WallReservoir::new(8);
+        for i in 0..8 {
+            r.push(us(i));
+        }
+        assert!(r.is_exact());
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.seen(), 8);
+        assert_eq!(r.as_slice(), (0..8).map(us).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn decimates_at_cap_keeping_even_spacing() {
+        let mut r = WallReservoir::new(4);
+        for i in 0..9 {
+            r.push(us(i));
+        }
+        // Overflow at i=4: retained {0,1,2,3} thins to {0,2}, stride=2,
+        // 4 and 6 refill to cap; overflow again at i=8: {0,2,4,6} thins
+        // to {0,4}, stride=4, then 8 is kept.
+        assert!(!r.is_exact());
+        assert_eq!(r.seen(), 9);
+        assert_eq!(r.as_slice(), [us(0), us(4), us(8)]);
+    }
+
+    #[test]
+    fn double_decimation() {
+        let mut r = WallReservoir::new(4);
+        for i in 0..17 {
+            r.push(us(i));
+        }
+        // stride 1 → 2 at i=4, → 4 at i=8, → 8 at i=16; after three
+        // decimations only indices 0, 8, 16 survive.
+        assert_eq!(r.as_slice(), [us(0), us(8), us(16)]);
+        assert_eq!(r.seen(), 17);
+    }
+
+    #[test]
+    fn deterministic_across_replays() {
+        let build = || {
+            let mut r = WallReservoir::new(16);
+            for i in 0..1000u64 {
+                r.push(us(i * 7 % 131));
+            }
+            r
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn bounded_memory() {
+        let mut r = WallReservoir::new(16);
+        for i in 0..100_000u64 {
+            r.push(us(i));
+        }
+        assert!(r.len() <= 16);
+        assert_eq!(r.seen(), 100_000);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r: WallReservoir = (0..100u64).map(us).collect();
+        r.clear();
+        assert!(r.is_empty() && r.is_exact());
+        assert_eq!(r.seen(), 0);
+    }
+
+    #[test]
+    fn from_iter_matches_pushes() {
+        let a: WallReservoir = (0..10u64).map(us).collect();
+        let mut b = WallReservoir::default();
+        for i in 0..10 {
+            b.push(us(i));
+        }
+        assert_eq!(a, b);
+    }
+}

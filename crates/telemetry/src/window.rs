@@ -1,0 +1,402 @@
+//! Streaming sim-time windowed aggregation.
+//!
+//! [`WindowAggregator`] consumes the probe event stream and folds it into
+//! fixed-width windows over simulation time, producing per-window queue
+//! depth, executor utilization, windowed p50/p95/p99 JCT, SLO attainment,
+//! and goodput — the trajectories SLO-aware serving work evaluates
+//! against, and the signals ROADMAP's autoscaling/saturation items need.
+//!
+//! Windows are half-open: window `w` covers `[w·width, (w+1)·width)`.
+//! The aggregator is **streaming**: it relies on the engine's emission
+//! discipline — discrete events arrive with non-decreasing `at`, and
+//! utilization spans are contiguous (`from` equals the previous span's
+//! `to`) and precede the discrete events at their `to` — to finalize each
+//! window as soon as the stream has moved past it, so live memory is the
+//! open-window frontier, not the run length.
+//!
+//! Determinism: all time-weighted statistics accumulate in integer
+//! microsecond ticks (`u128` products of span length × level) and convert
+//! to `f64` once at window close. Integer accumulation is
+//! order-independent, so a streaming fold and a naive full-rescan
+//! reference produce bit-identical rows — which the property tests pin.
+
+use crate::ProbeEvent;
+use llmsched_dag::time::{SimDuration, SimTime};
+
+/// Windowing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Window width on the simulation clock.
+    pub width: SimDuration,
+    /// JCT deadline used for SLO attainment and goodput.
+    pub slo: SimDuration,
+}
+
+impl WindowConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    /// Panics if `width` is zero.
+    pub fn new(width: SimDuration, slo: SimDuration) -> Self {
+        assert!(!width.is_zero(), "window width must be positive");
+        WindowConfig { width, slo }
+    }
+}
+
+/// One finalized window of the time-series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRow {
+    /// Window index (0-based).
+    pub index: u64,
+    /// Inclusive window start.
+    pub start: SimTime,
+    /// Exclusive nominal window end (`start + width`, even if the run
+    /// ended inside the window — coverage-weighted means account for it).
+    pub end: SimTime,
+    /// Jobs that arrived inside the window.
+    pub arrivals: u64,
+    /// Jobs that completed inside the window.
+    pub completions: u64,
+    /// Median JCT of the window's completions, seconds.
+    pub jct_p50: Option<f64>,
+    /// p95 JCT of the window's completions, seconds (nearest-rank).
+    pub jct_p95: Option<f64>,
+    /// p99 JCT of the window's completions, seconds (nearest-rank).
+    pub jct_p99: Option<f64>,
+    /// Fraction of the window's completions with JCT ≤ SLO deadline
+    /// (1.0 for windows with no completions, matching
+    /// `SimResult::slo_attainment`'s vacuous-truth convention).
+    pub slo_attainment: f64,
+    /// SLO-met completions per second of window width.
+    pub goodput: f64,
+    /// Time-weighted mean of active (arrived, incomplete) jobs.
+    pub mean_queue_depth: f64,
+    /// Time-weighted regular-executor utilization in `[0, 1]`.
+    pub regular_util: f64,
+    /// Time-weighted LLM batch-slot utilization in `[0, 1]`.
+    pub llm_util: f64,
+}
+
+/// A finished windowed time-series, surfaced on `SimResult::timeseries`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Window width the rows were aggregated under.
+    pub width: SimDuration,
+    /// SLO deadline the attainment/goodput columns used.
+    pub slo: SimDuration,
+    /// The windows, contiguous from simulation start.
+    pub rows: Vec<WindowRow>,
+}
+
+/// Per-window accumulator (integer ticks until close; see module docs).
+#[derive(Debug, Clone, Default)]
+struct Acc {
+    arrivals: u64,
+    completions: u64,
+    met: u64,
+    jct: Vec<SimDuration>,
+    /// Σ active-jobs · dt, in job-microseconds.
+    depth_ticks: u128,
+    /// Σ busy-regular · dt / Σ total-regular · dt, executor-microseconds.
+    reg_busy_ticks: u128,
+    reg_total_ticks: u128,
+    /// Σ busy-LLM-slots · dt / Σ total-LLM-slots · dt.
+    llm_busy_ticks: u128,
+    llm_slot_ticks: u128,
+    /// Σ dt actually covered by utilization spans, microseconds.
+    covered_ticks: u128,
+}
+
+/// Streaming window fold over the probe event stream.
+#[derive(Debug, Clone)]
+pub struct WindowAggregator {
+    cfg: WindowConfig,
+    /// Closed rows, contiguous from window 0.
+    rows: Vec<WindowRow>,
+    /// Open accumulators for windows `base .. base + open.len()`.
+    open: std::collections::VecDeque<Acc>,
+    /// Window index of `open.front()`.
+    base: u64,
+}
+
+impl WindowAggregator {
+    /// Creates an empty aggregator.
+    pub fn new(cfg: WindowConfig) -> Self {
+        WindowAggregator {
+            cfg,
+            rows: Vec::new(),
+            open: std::collections::VecDeque::new(),
+            base: 0,
+        }
+    }
+
+    /// The aggregator's configuration.
+    pub fn config(&self) -> WindowConfig {
+        self.cfg
+    }
+
+    /// Folds one probe event in. Events other than arrivals, completions,
+    /// and utilization spans do not affect the series and are ignored.
+    pub fn observe(&mut self, ev: &ProbeEvent) {
+        match *ev {
+            ProbeEvent::JobArrived { at, .. } => {
+                self.acc(at).arrivals += 1;
+                self.close_until(at);
+            }
+            ProbeEvent::JobCompleted { at, arrival, .. } => {
+                let jct = at.since(arrival);
+                let met = jct <= self.cfg.slo;
+                let acc = self.acc(at);
+                acc.completions += 1;
+                acc.jct.push(jct);
+                if met {
+                    acc.met += 1;
+                }
+                self.close_until(at);
+            }
+            ProbeEvent::UtilSample {
+                from,
+                to,
+                active,
+                regular_busy,
+                regular_total,
+                llm_busy_slots,
+                llm_slots,
+            } => {
+                let width = self.cfg.width.0;
+                let mut cursor = from.0;
+                while cursor < to.0 {
+                    let w = cursor / width;
+                    let w_end = (w + 1) * width;
+                    let dt = (to.0.min(w_end) - cursor) as u128;
+                    let acc = self.acc_index(w);
+                    acc.depth_ticks += dt * active as u128;
+                    acc.reg_busy_ticks += dt * regular_busy as u128;
+                    acc.reg_total_ticks += dt * regular_total as u128;
+                    acc.llm_busy_ticks += dt * llm_busy_slots as u128;
+                    acc.llm_slot_ticks += dt * llm_slots as u128;
+                    acc.covered_ticks += dt;
+                    cursor = to.0.min(w_end);
+                }
+                self.close_until(to);
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes any still-open windows and returns the finished series.
+    /// `end` is the run's makespan; the final window may be partially
+    /// covered (its means weight only the covered span).
+    pub fn finish(mut self, end: SimTime) -> TimeSeries {
+        self.close_until(end);
+        while let Some(acc) = self.open.pop_front() {
+            let row = finalize(self.base, &self.cfg, acc);
+            self.rows.push(row);
+            self.base += 1;
+        }
+        TimeSeries {
+            width: self.cfg.width,
+            slo: self.cfg.slo,
+            rows: self.rows,
+        }
+    }
+
+    /// Accumulator for the window containing instant `t`.
+    fn acc(&mut self, t: SimTime) -> &mut Acc {
+        self.acc_index(t.0 / self.cfg.width.0)
+    }
+
+    /// Accumulator for window index `w`, growing the open frontier (and
+    /// materialising any skipped gap windows) as needed.
+    fn acc_index(&mut self, w: u64) -> &mut Acc {
+        debug_assert!(w >= self.base, "event for already-closed window {w}");
+        while self.base + (self.open.len() as u64) <= w {
+            self.open.push_back(Acc::default());
+        }
+        &mut self.open[(w - self.base) as usize]
+    }
+
+    /// Finalizes every window whose end is at or before the stream's
+    /// low-water mark `t` — no future event can touch it.
+    fn close_until(&mut self, t: SimTime) {
+        let width = self.cfg.width.0;
+        while (self.base + 1) * width <= t.0 {
+            let acc = self.open.pop_front().unwrap_or_default();
+            let row = finalize(self.base, &self.cfg, acc);
+            self.rows.push(row);
+            self.base += 1;
+        }
+    }
+}
+
+/// Converts a closed accumulator into its row.
+fn finalize(index: u64, cfg: &WindowConfig, mut acc: Acc) -> WindowRow {
+    acc.jct.sort_unstable();
+    let q = |p: f64| -> Option<f64> {
+        if acc.jct.is_empty() {
+            return None;
+        }
+        // Same nearest-rank rule as `SimResult::sched_overhead_percentiles`.
+        let idx = ((p * (acc.jct.len() - 1) as f64).round() as usize).min(acc.jct.len() - 1);
+        Some(acc.jct[idx].as_secs_f64())
+    };
+    let mean = |num: u128| -> f64 {
+        if acc.covered_ticks == 0 {
+            0.0
+        } else {
+            num as f64 / acc.covered_ticks as f64
+        }
+    };
+    let util = |busy: u128, total: u128| -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            busy as f64 / total as f64
+        }
+    };
+    let start = SimTime(index * cfg.width.0);
+    WindowRow {
+        index,
+        start,
+        end: start + cfg.width,
+        arrivals: acc.arrivals,
+        completions: acc.completions,
+        jct_p50: q(0.50),
+        jct_p95: q(0.95),
+        jct_p99: q(0.99),
+        slo_attainment: if acc.completions == 0 {
+            1.0
+        } else {
+            acc.met as f64 / acc.completions as f64
+        },
+        goodput: acc.met as f64 / cfg.width.as_secs_f64(),
+        mean_queue_depth: mean(acc.depth_ticks),
+        regular_util: util(acc.reg_busy_ticks, acc.reg_total_ticks),
+        llm_util: util(acc.llm_busy_ticks, acc.llm_slot_ticks),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsched_dag::ids::{AppId, JobId};
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    fn cfg(width_s: f64, slo_s: f64) -> WindowConfig {
+        WindowConfig::new(
+            SimDuration::from_secs_f64(width_s),
+            SimDuration::from_secs_f64(slo_s),
+        )
+    }
+
+    fn arrive(at: SimTime, job: u64) -> ProbeEvent {
+        ProbeEvent::JobArrived {
+            at,
+            job: JobId(job),
+            app: AppId(0),
+        }
+    }
+
+    fn complete(at: SimTime, job: u64, arrival: SimTime) -> ProbeEvent {
+        ProbeEvent::JobCompleted {
+            at,
+            job: JobId(job),
+            arrival,
+        }
+    }
+
+    fn util(from: SimTime, to: SimTime, active: u32, busy: u32, total: u32) -> ProbeEvent {
+        ProbeEvent::UtilSample {
+            from,
+            to,
+            active,
+            regular_busy: busy,
+            regular_total: total,
+            llm_busy_slots: 0,
+            llm_slots: 0,
+        }
+    }
+
+    #[test]
+    fn empty_run_yields_no_rows() {
+        let agg = WindowAggregator::new(cfg(1.0, 1.0));
+        let ts = agg.finish(SimTime::ZERO);
+        assert!(ts.rows.is_empty());
+    }
+
+    #[test]
+    fn single_window_by_hand() {
+        let mut agg = WindowAggregator::new(cfg(10.0, 2.0));
+        agg.observe(&arrive(secs(1.0), 0));
+        agg.observe(&arrive(secs(2.0), 1));
+        agg.observe(&util(secs(0.0), secs(4.0), 2, 1, 2));
+        agg.observe(&complete(secs(4.0), 0, secs(1.0))); // jct 3.0 > slo
+        agg.observe(&util(secs(4.0), secs(5.0), 1, 2, 2));
+        agg.observe(&complete(secs(5.0), 1, secs(2.0))); // jct 3.0 > slo
+        let ts = agg.finish(secs(5.0));
+        assert_eq!(ts.rows.len(), 1);
+        let r = &ts.rows[0];
+        assert_eq!((r.index, r.arrivals, r.completions), (0, 2, 2));
+        assert_eq!(r.start, SimTime::ZERO);
+        assert_eq!(r.end, secs(10.0));
+        assert_eq!(r.jct_p50, Some(3.0));
+        assert_eq!(r.slo_attainment, 0.0);
+        assert_eq!(r.goodput, 0.0);
+        // Covered 5s: depth (2·4 + 1·1)/5 = 1.8, util (1·4 + 2·1)/(2·5).
+        assert!((r.mean_queue_depth - 1.8).abs() < 1e-12);
+        assert!((r.regular_util - 0.6).abs() < 1e-12);
+        assert_eq!(r.llm_util, 0.0);
+    }
+
+    #[test]
+    fn spans_split_across_window_boundaries() {
+        let mut agg = WindowAggregator::new(cfg(1.0, 1.0));
+        // One span covering three windows at depth 3.
+        agg.observe(&util(secs(0.5), secs(2.5), 3, 0, 1));
+        let ts = agg.finish(secs(2.5));
+        assert_eq!(ts.rows.len(), 3);
+        for r in &ts.rows {
+            assert_eq!(r.mean_queue_depth, 3.0);
+        }
+    }
+
+    #[test]
+    fn gap_windows_are_emitted_as_zero_rows() {
+        let mut agg = WindowAggregator::new(cfg(1.0, 1.0));
+        agg.observe(&arrive(secs(0.5), 0));
+        agg.observe(&arrive(secs(3.5), 1));
+        let ts = agg.finish(secs(3.5));
+        assert_eq!(ts.rows.len(), 4);
+        assert_eq!(ts.rows[1].arrivals, 0);
+        assert_eq!(ts.rows[2].arrivals, 0);
+        assert_eq!(ts.rows[1].slo_attainment, 1.0);
+        assert_eq!(ts.rows[3].arrivals, 1);
+    }
+
+    #[test]
+    fn boundary_events_land_in_the_later_window() {
+        let mut agg = WindowAggregator::new(cfg(1.0, 10.0));
+        agg.observe(&arrive(secs(1.0), 0)); // exactly on the 0/1 boundary
+        let ts = agg.finish(secs(1.5));
+        assert_eq!(ts.rows.len(), 2);
+        assert_eq!(ts.rows[0].arrivals, 0);
+        assert_eq!(ts.rows[1].arrivals, 1);
+    }
+
+    #[test]
+    fn windows_close_eagerly_as_the_stream_advances() {
+        let mut agg = WindowAggregator::new(cfg(1.0, 1.0));
+        for i in 0..100u64 {
+            let t = secs(i as f64);
+            agg.observe(&arrive(t, i));
+            agg.observe(&util(t, secs(i as f64 + 1.0), 1, 1, 1));
+        }
+        // 100 spans ending at t=100 ⇒ the first 100 windows are closed;
+        // nothing is open.
+        assert_eq!(agg.rows.len(), 100);
+        assert!(agg.open.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Property test: the streaming [`WindowAggregator`] must produce rows
+//! bit-identical to a naive full-rescan reference that re-reads the whole
+//! event stream once per window.
+//!
+//! The aggregator accumulates time-weighted statistics in integer ticks
+//! and converts to `f64` only at window close, so "bit-identical" is the
+//! honest bar, not an epsilon comparison.
+
+use llmsched_dag::ids::{AppId, JobId};
+use llmsched_dag::time::{SimDuration, SimTime};
+use llmsched_telemetry::window::{WindowAggregator, WindowConfig, WindowRow};
+use llmsched_telemetry::ProbeEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a synthetic monotone probe stream mimicking the engine's
+/// emission discipline: contiguous utilization spans from t = 0, with
+/// arrivals/completions at span boundaries.
+fn synth_stream(seed: u64, n_events: usize) -> (Vec<ProbeEvent>, SimTime) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut evs = Vec::new();
+    let mut now = SimTime::ZERO;
+    let mut next_job = 0u64;
+    let mut inflight: Vec<(JobId, SimTime)> = Vec::new();
+    for _ in 0..n_events {
+        // Advance time by 0..3s in whole-µs ticks (sometimes zero: several
+        // events at one instant, as in the engine's same-time drains).
+        let dt = SimDuration(rng.gen_range(0..3_000_000u64));
+        if !dt.is_zero() {
+            let to = now + dt;
+            evs.push(ProbeEvent::UtilSample {
+                from: now,
+                to,
+                active: inflight.len() as u32,
+                regular_busy: rng.gen_range(0..4u32),
+                regular_total: 4,
+                llm_busy_slots: rng.gen_range(0..16u32),
+                llm_slots: 16,
+            });
+            now = to;
+        }
+        if inflight.is_empty() || rng.gen_bool(0.55) {
+            let job = JobId(next_job);
+            next_job += 1;
+            inflight.push((job, now));
+            evs.push(ProbeEvent::JobArrived {
+                at: now,
+                job,
+                app: AppId(0),
+            });
+        } else {
+            let idx = rng.gen_range(0..inflight.len());
+            let (job, arrival) = inflight.swap_remove(idx);
+            evs.push(ProbeEvent::JobCompleted {
+                at: now,
+                job,
+                arrival,
+            });
+        }
+    }
+    (evs, now)
+}
+
+/// The reference: for every window, rescan the full stream from scratch.
+fn naive_rows(cfg: WindowConfig, evs: &[ProbeEvent], end: SimTime) -> Vec<WindowRow> {
+    let width = cfg.width.0;
+    let n_windows = if end.0 == 0 {
+        0
+    } else {
+        end.0 / width + u64::from(end.0 % width != 0)
+    };
+    let mut rows = Vec::new();
+    for w in 0..n_windows {
+        // Rebuild a single-purpose aggregator per window by feeding it the
+        // whole stream and keeping only row `w`: this exercises identical
+        // per-window arithmetic while the scan itself is O(stream) per
+        // window — the quadratic behaviour the streaming fold avoids.
+        let w_start = w * width;
+        let w_end = w_start + width;
+        let mut arrivals = 0u64;
+        let mut completions = 0u64;
+        let mut met = 0u64;
+        let mut jct: Vec<SimDuration> = Vec::new();
+        let (mut depth, mut rb, mut rt, mut lb, mut lt, mut cov) =
+            (0u128, 0u128, 0u128, 0u128, 0u128, 0u128);
+        for ev in evs {
+            match *ev {
+                ProbeEvent::JobArrived { at, .. } if at.0 >= w_start && at.0 < w_end => {
+                    arrivals += 1;
+                }
+                ProbeEvent::JobCompleted { at, arrival, .. } if at.0 >= w_start && at.0 < w_end => {
+                    completions += 1;
+                    let j = at.since(arrival);
+                    jct.push(j);
+                    if j <= cfg.slo {
+                        met += 1;
+                    }
+                }
+                ProbeEvent::UtilSample {
+                    from,
+                    to,
+                    active,
+                    regular_busy,
+                    regular_total,
+                    llm_busy_slots,
+                    llm_slots,
+                } => {
+                    let lo = from.0.max(w_start);
+                    let hi = to.0.min(w_end);
+                    if lo < hi {
+                        let dt = (hi - lo) as u128;
+                        depth += dt * active as u128;
+                        rb += dt * regular_busy as u128;
+                        rt += dt * regular_total as u128;
+                        lb += dt * llm_busy_slots as u128;
+                        lt += dt * llm_slots as u128;
+                        cov += dt;
+                    }
+                }
+                _ => {}
+            }
+        }
+        jct.sort_unstable();
+        let q = |p: f64| -> Option<f64> {
+            if jct.is_empty() {
+                return None;
+            }
+            let idx = ((p * (jct.len() - 1) as f64).round() as usize).min(jct.len() - 1);
+            Some(jct[idx].as_secs_f64())
+        };
+        rows.push(WindowRow {
+            index: w,
+            start: SimTime(w_start),
+            end: SimTime(w_end),
+            arrivals,
+            completions,
+            jct_p50: q(0.50),
+            jct_p95: q(0.95),
+            jct_p99: q(0.99),
+            slo_attainment: if completions == 0 {
+                1.0
+            } else {
+                met as f64 / completions as f64
+            },
+            goodput: met as f64 / cfg.width.as_secs_f64(),
+            mean_queue_depth: if cov == 0 {
+                0.0
+            } else {
+                depth as f64 / cov as f64
+            },
+            regular_util: if rt == 0 { 0.0 } else { rb as f64 / rt as f64 },
+            llm_util: if lt == 0 { 0.0 } else { lb as f64 / lt as f64 },
+        });
+    }
+    rows
+}
+
+fn assert_rows_bit_identical(a: &[WindowRow], b: &[WindowRow]) {
+    assert_eq!(a.len(), b.len(), "row count");
+    let bits = |v: f64| v.to_bits();
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.index, y.index);
+        assert_eq!((x.start, x.end), (y.start, y.end), "bounds w{}", x.index);
+        assert_eq!(x.arrivals, y.arrivals, "arrivals w{}", x.index);
+        assert_eq!(x.completions, y.completions, "completions w{}", x.index);
+        assert_eq!(x.jct_p50.map(bits), y.jct_p50.map(bits), "p50 w{}", x.index);
+        assert_eq!(x.jct_p95.map(bits), y.jct_p95.map(bits), "p95 w{}", x.index);
+        assert_eq!(x.jct_p99.map(bits), y.jct_p99.map(bits), "p99 w{}", x.index);
+        assert_eq!(
+            bits(x.slo_attainment),
+            bits(y.slo_attainment),
+            "slo w{}",
+            x.index
+        );
+        assert_eq!(bits(x.goodput), bits(y.goodput), "goodput w{}", x.index);
+        assert_eq!(
+            bits(x.mean_queue_depth),
+            bits(y.mean_queue_depth),
+            "depth w{}",
+            x.index
+        );
+        assert_eq!(
+            bits(x.regular_util),
+            bits(y.regular_util),
+            "reg util w{}",
+            x.index
+        );
+        assert_eq!(bits(x.llm_util), bits(y.llm_util), "llm util w{}", x.index);
+    }
+}
+
+#[test]
+fn streaming_matches_naive_rescan_across_seeds_and_widths() {
+    for seed in 0..20u64 {
+        for (width_s, slo_s) in [(1.0, 2.0), (5.0, 1.5), (0.25, 0.5), (60.0, 10.0)] {
+            let cfg = WindowConfig::new(
+                SimDuration::from_secs_f64(width_s),
+                SimDuration::from_secs_f64(slo_s),
+            );
+            let (evs, end) = synth_stream(seed, 400);
+            let mut agg = WindowAggregator::new(cfg);
+            for ev in &evs {
+                agg.observe(ev);
+            }
+            let streamed = agg.finish(end).rows;
+            let reference = naive_rows(cfg, &evs, end);
+            assert_rows_bit_identical(&streamed, &reference);
+        }
+    }
+}
+
+#[test]
+fn streaming_ignores_event_kinds_outside_the_series() {
+    // Interleaving non-series events must not change any row.
+    let cfg = WindowConfig::new(SimDuration::from_secs(1), SimDuration::from_secs(2));
+    let (evs, end) = synth_stream(99, 300);
+    let mut plain = WindowAggregator::new(cfg);
+    let mut noisy = WindowAggregator::new(cfg);
+    for ev in &evs {
+        plain.observe(ev);
+        noisy.observe(ev);
+        if let ProbeEvent::JobArrived { at, job, .. } = *ev {
+            noisy.observe(&ProbeEvent::StageCompleted {
+                at,
+                job,
+                stage: llmsched_dag::ids::StageId(0),
+            });
+        }
+    }
+    assert_rows_bit_identical(&plain.finish(end).rows, &noisy.finish(end).rows);
+}

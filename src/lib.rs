@@ -21,6 +21,7 @@
 //! | [`workloads`] | the six compound-application generators, mixes, and non-stationary scenarios (drift, cold start) |
 //! | [`schedulers`] | baselines: FCFS, Fair, SJF, SRTF, Argus, Decima-like, Carbyne-like |
 //! | [`core`] | LLMSched itself: profiler, versioned online [`ProfileStore`], estimator, Eq. 3–6, Algorithm 1 |
+//! | [`telemetry`] | observability: zero-cost-when-off probes, trace export, windowed time-series, decision provenance |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use llmsched_core as core;
 pub use llmsched_dag as dag;
 pub use llmsched_schedulers as schedulers;
 pub use llmsched_sim as sim;
+pub use llmsched_telemetry as telemetry;
 pub use llmsched_workloads as workloads;
 
 // The profiling/belief surface, re-exported at the crate root so examples
