@@ -27,6 +27,8 @@
 //!                          # (Perfetto-loadable); exit non-zero if the
 //!                          # exports fail validation
 //!     [--timeseries]       # print the probed run's windowed time-series
+//!     [--no-coalescing]    # A/B switch: disable scheduler invocation
+//!                          # coalescing (schedules stay bit-identical)
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -87,6 +89,15 @@ struct Run {
     jobs_per_sec: f64,
     events: u64,
     sched_calls: u64,
+    /// Decision points skipped by scheduler invocation coalescing
+    /// (`sched_calls + coalesced_sched_calls` is the total).
+    coalesced_sched_calls: u64,
+    /// Scheduler barriers the partitioned engine took (0 on sequential
+    /// rows). The conservative-window path's whole job is keeping this
+    /// far below the event count.
+    barriers: u64,
+    /// Conservative lookahead windows taken (0 on sequential rows).
+    windows: u64,
     sched_mean_ms: f64,
     sched_p50_ms: f64,
     sched_p99_ms: f64,
@@ -123,6 +134,9 @@ fn exp_for(n_jobs: usize, mode: EngineMode, path: Path) -> ExperimentConfig {
     if path == Path::Parallel {
         cluster.parallelism = Parallelism::Partitioned(PARALLEL_PARTS);
     }
+    if std::env::args().any(|a| a == "--no-coalescing") {
+        cluster.coalescing = false;
+    }
     ExperimentConfig {
         n_jobs,
         mode,
@@ -152,6 +166,9 @@ fn run_one(art: &TrainedArtifacts, n_jobs: usize, mode: EngineMode, path: Path) 
         jobs_per_sec: n_jobs as f64 / wall,
         events: r.events,
         sched_calls: r.sched_calls,
+        coalesced_sched_calls: r.sched_skipped,
+        barriers: r.par.as_ref().map_or(0, |s| s.barriers),
+        windows: r.par.as_ref().map_or(0, |s| s.windows),
         sched_mean_ms: r.sched_overhead_ms(),
         sched_p50_ms: p.p50_ms,
         sched_p99_ms: p.p99_ms,
@@ -182,7 +199,8 @@ fn to_json(
             "    {{\"jobs\": {}, \"backend\": \"{}\", \"path\": \"{}\", \
              \"partitions\": {}, \
              \"wall_secs\": {:.3}, \"jobs_per_sec\": {:.1}, \"events\": {}, \
-             \"sched_calls\": {}, \"sched_mean_ms\": {:.4}, \
+             \"sched_calls\": {}, \"coalesced_sched_calls\": {}, \
+             \"barriers\": {}, \"windows\": {}, \"sched_mean_ms\": {:.4}, \
              \"sched_p50_ms\": {:.4}, \"sched_p99_ms\": {:.4}, \
              \"avg_jct_secs\": {:.3}}}",
             r.jobs,
@@ -193,6 +211,9 @@ fn to_json(
             r.jobs_per_sec,
             r.events,
             r.sched_calls,
+            r.coalesced_sched_calls,
+            r.barriers,
+            r.windows,
             r.sched_mean_ms,
             r.sched_p50_ms,
             r.sched_p99_ms,
@@ -260,15 +281,14 @@ fn main() {
         None if quick => &[2_000],
         None => &[10_000, 50_000, 100_000],
     };
-    let backends: &[EngineMode] = if quick {
-        &[EngineMode::Analytic]
-    } else {
-        &[
-            EngineMode::Analytic,
-            EngineMode::Cluster,
-            EngineMode::Disagg,
-        ]
-    };
+    // Every backend even in quick mode: the parallel-vs-sequential gate
+    // (`--check`) must cover the cluster and disagg lookahead paths in CI,
+    // not just the analytic one.
+    let backends: &[EngineMode] = &[
+        EngineMode::Analytic,
+        EngineMode::Cluster,
+        EngineMode::Disagg,
+    ];
     // Rebuild reference runs (analytic): the 50k entry is the acceptance
     // ratio; 100k rebuild is omitted — it's the quadratic blow-up the
     // incremental core exists to avoid.
@@ -452,6 +472,56 @@ fn main() {
         println!(
             "scaling check passed: disagg {small:.1} jobs/s at 10k -> {large:.1} at 50k \
              ({ratio:.2}x)"
+        );
+
+        // Parallel regression gate: conservative-window stepping +
+        // invocation coalescing must keep the partitioned engine within
+        // 10% of the sequential path on every backend and sweep size —
+        // including single-hardware-thread hosts, where there is no
+        // concurrency to win and the ratio measures pure barrier/window
+        // overhead. Before the window path landed, 1-thread ratios sat
+        // as low as 0.75x. Quick-tier rows run in ~0.5 s, where scheduler
+        // noise alone swings ±10%, so a pair that misses the bar gets one
+        // fresh re-measure of both rows (best-of-two) before failing.
+        let mut gated = 0usize;
+        let pairs: Vec<(usize, EngineMode, f64)> = runs
+            .iter()
+            .filter(|r| r.path == "incremental")
+            .filter_map(|seq| {
+                let par = runs.iter().find(|r| {
+                    r.jobs == seq.jobs
+                        && r.path == "parallel"
+                        && r.backend.starts_with(&seq.backend)
+                })?;
+                let mode = if seq.backend.starts_with("analytic") {
+                    EngineMode::Analytic
+                } else if seq.backend.starts_with("disagg") {
+                    EngineMode::Disagg
+                } else {
+                    EngineMode::Cluster
+                };
+                Some((seq.jobs, mode, par.jobs_per_sec / seq.jobs_per_sec))
+            })
+            .collect();
+        for (jobs, mode, mut ratio) in pairs {
+            gated += 1;
+            if ratio < 0.9 {
+                let seq = run_one(&art, jobs, mode, Path::Incremental);
+                let par = run_one(&art, jobs, mode, Path::Parallel);
+                ratio = ratio.max(par.jobs_per_sec / seq.jobs_per_sec);
+            }
+            if ratio < 0.9 {
+                eprintln!(
+                    "FAIL: parallel x{PARALLEL_PARTS} at {jobs} jobs ({mode:?}) runs at \
+                     {ratio:.2}x of sequential (best of two)"
+                );
+                std::process::exit(1);
+            }
+            println!("parallel check passed: {jobs} jobs ({mode:?}): {ratio:.2}x of sequential");
+        }
+        assert!(
+            gated > 0,
+            "parallel gate matched no (sequential, parallel) row pairs"
         );
     }
 }

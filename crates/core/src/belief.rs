@@ -355,6 +355,7 @@ mod tests {
             backend: "analytic",
             regular_total: 2,
             regular_busy: 0,
+            dispatchable: jobs.iter().map(|j| j.ready_unstarted_tasks()).sum(),
             templates,
             latency,
         }

@@ -98,6 +98,11 @@ impl Scheduler for Argus {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if ctx.dispatchable == 0 {
+            // Nothing could start: decide nothing, touch no state, so a
+            // coalescing engine (which skips this call) stays bit-identical.
+            return Preference::new();
+        }
         if self.rebuild {
             // Collect every ready stage with its rank.
             let mut candidates: Vec<(Rank, &JobRt, StageId)> = Vec::new();

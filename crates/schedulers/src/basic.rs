@@ -66,6 +66,11 @@ impl Scheduler for Fcfs {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if ctx.dispatchable == 0 {
+            // Nothing could start: decide nothing, touch no state, so a
+            // coalescing engine (which skips this call) stays bit-identical.
+            return Preference::new();
+        }
         let mut p = Preference::new();
         if self.rebuild {
             let mut jobs: Vec<&JobRt> = ctx.jobs.iter().collect();
@@ -183,6 +188,11 @@ impl Scheduler for Fair {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if ctx.dispatchable == 0 {
+            // Nothing could start: decide nothing, touch no state, so a
+            // coalescing engine (which skips this call) stays bit-identical.
+            return Preference::new();
+        }
         let mut p = Preference::new();
         if self.rebuild {
             let mut queues: Vec<(usize, &JobRt, ReadyTasks)> = ctx
@@ -258,6 +268,11 @@ impl Scheduler for Sjf {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if ctx.dispatchable == 0 {
+            // Nothing could start: decide nothing, touch no state, so a
+            // coalescing engine (which skips this call) stays bit-identical.
+            return Preference::new();
+        }
         let mut p = Preference::new();
         if self.rebuild {
             let mut jobs: Vec<&JobRt> = ctx.jobs.iter().collect();
@@ -337,6 +352,11 @@ impl Scheduler for Srtf {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if ctx.dispatchable == 0 {
+            // Nothing could start: decide nothing, touch no state, so a
+            // coalescing engine (which skips this call) stays bit-identical.
+            return Preference::new();
+        }
         let mut p = Preference::new();
         if self.rebuild {
             let mut jobs: Vec<(f64, &JobRt)> = ctx

@@ -155,6 +155,11 @@ impl Scheduler for CarbyneLike {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if ctx.dispatchable == 0 {
+            // Nothing could start: decide nothing, touch no state, so a
+            // coalescing engine (which skips this call) stays bit-identical.
+            return Preference::new();
+        }
         let mut p = Preference::new();
 
         // Phase 1: fair share of critical work. For each job (least served

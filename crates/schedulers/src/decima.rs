@@ -96,6 +96,11 @@ impl Scheduler for DecimaLike {
     }
 
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
+        if ctx.dispatchable == 0 {
+            // Nothing could start: decide nothing, touch no state, so a
+            // coalescing engine (which skips this call) stays bit-identical.
+            return Preference::new();
+        }
         let best = if self.rebuild {
             Self::pick(ctx, |j| self.priors.remaining_estimate(j))
         } else {

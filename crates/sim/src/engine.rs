@@ -79,6 +79,15 @@ pub struct ClusterConfig {
     /// worker threads between scheduler barriers. Every setting produces
     /// bit-identical results (see `DESIGN.md` §10).
     pub parallelism: Parallelism,
+    /// Scheduler invocation coalescing: skip decision points at which no
+    /// job has a ready, unstarted task (nothing could dispatch), carrying
+    /// the accumulated deltas to the next real invocation. Policies see
+    /// the identical delta stream in the identical order and every
+    /// opportunity keeps its sequence number, so decisions — and thus the
+    /// whole simulation — are bit-identical with the flag off (see
+    /// `DESIGN.md` §12). On by default; the A/B equivalence suite runs
+    /// both settings.
+    pub coalescing: bool,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +101,7 @@ impl Default for ClusterConfig {
             iteration_chunk: 1,
             spec: None,
             parallelism: Parallelism::Off,
+            coalescing: true,
         }
     }
 }
@@ -164,6 +174,31 @@ struct Engine<'a> {
     rounds: u64,
     /// Rounds whose hook work actually ran on ≥ 2 worker threads.
     par_rounds: u64,
+    /// Scheduler barriers: iterations of the partitioned outer loop (each
+    /// evaluates at most one scheduler opportunity).
+    barriers: u64,
+    /// Conservative-window rounds that batched ≥ 1 event past a barrier.
+    windows: u64,
+    /// `Parallelism::Auto` demotion latch: set when a long prefix of
+    /// rounds never threaded; all later rounds run inline.
+    demoted: bool,
+    /// [`std::thread::available_parallelism`], cached once per run —
+    /// window threading is skipped outright on single-thread hosts.
+    hw_threads: usize,
+    /// Ready, unstarted tasks across active jobs — the dispatchable-work
+    /// count behind scheduler-invocation coalescing. Maintained
+    /// incrementally at arrivals, dispatches and completion cascades.
+    ready_unstarted: usize,
+    /// Scheduler opportunities skipped because nothing was dispatchable.
+    sched_skipped: u64,
+    /// All job arrival times, sorted ascending, with an advancing cursor —
+    /// the window bound's "next arrival" input.
+    arrivals: Vec<SimTime>,
+    arrival_ptr: usize,
+    /// Outstanding regular-task finish times (min-heap). Regular finishes
+    /// are never re-timed, so entries ≤ `now` have fired and are lazily
+    /// popped; the head is the window bound's regular-work input.
+    regular_finishes: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
     /// Cached [`ExecutorBackend::descriptor`] (e.g. `"cluster/jsq"`),
     /// lent to scheduler contexts and moved into the result.
     backend_desc: String,
@@ -294,6 +329,17 @@ pub fn simulate_probed(
         parts,
         rounds: 0,
         par_rounds: 0,
+        barriers: 0,
+        windows: 0,
+        demoted: false,
+        hw_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        ready_unstarted: 0,
+        sched_skipped: 0,
+        arrivals: Vec::new(),
+        arrival_ptr: 0,
+        regular_finishes: std::collections::BinaryHeap::new(),
         backend_desc,
         llm_views: Vec::new(),
         deltas: Vec::new(),
@@ -325,6 +371,8 @@ impl Engine<'_> {
         for (i, j) in self.jobs.iter().enumerate() {
             self.queue.push(j.spec.arrival(), Event::Arrival { job: i });
         }
+        self.arrivals = self.jobs.iter().map(|j| j.spec.arrival()).collect();
+        self.arrivals.sort_unstable();
         if self.parts > 1 {
             self.run_partitioned(scheduler);
         } else {
@@ -344,6 +392,7 @@ impl Engine<'_> {
             jobs: std::mem::take(&mut self.outcomes),
             makespan,
             sched_calls: self.sched_calls,
+            sched_skipped: self.sched_skipped,
             sched_wall: self.sched_wall,
             sched_wall_samples: std::mem::take(&mut self.sched_samples),
             utilization: Utilization {
@@ -359,6 +408,9 @@ impl Engine<'_> {
                 partitions: self.parts,
                 rounds: self.rounds,
                 parallel_rounds: self.par_rounds,
+                barriers: self.barriers,
+                windows: self.windows,
+                demoted: self.demoted,
                 per_shard: std::mem::take(&mut self.shard_stats),
             }),
             timeseries: self.probe.take_timeseries(makespan),
@@ -377,8 +429,30 @@ impl Engine<'_> {
                 effective |= self.apply(ev);
             }
             if effective && self.has_free_capacity() && !self.active.is_empty() {
-                self.invoke_scheduler(scheduler);
+                self.scheduler_opportunity(scheduler);
             }
+        }
+    }
+
+    /// One scheduler decision point. With coalescing on and nothing
+    /// dispatchable the invocation is skipped outright — the pending
+    /// deltas stay queued for the next real invocation, and the
+    /// opportunity still consumes a sequence number so provenance streams
+    /// align bit-for-bit with an uncoalesced run (whose policies
+    /// short-circuit on `dispatchable == 0` and decide nothing).
+    fn scheduler_opportunity(&mut self, scheduler: &mut dyn Scheduler) {
+        debug_assert_eq!(
+            self.ready_unstarted,
+            self.active
+                .iter()
+                .map(|&j| self.jobs[j as usize].ready_unstarted_tasks())
+                .sum::<usize>(),
+            "dispatchable-work counter drifted from ground truth"
+        );
+        if self.cfg.coalescing && self.ready_unstarted == 0 {
+            self.sched_skipped += 1;
+        } else {
+            self.invoke_scheduler(scheduler);
         }
     }
 
@@ -389,11 +463,26 @@ impl Engine<'_> {
     /// round posts get strictly larger sequence numbers than everything
     /// already queued, so the round decomposition reproduces the
     /// sequential inner drain order exactly.
+    ///
+    /// After each barrier a conservative lookahead window is negotiated
+    /// ([`Engine::window_bound`]): every queued event strictly before the
+    /// bound is provably unable to change dispatchable state, so the
+    /// whole span is drained as one batched round with no barriers in
+    /// between — this is what turns ~1 event per barrier into hundreds.
     fn run_partitioned(&mut self, scheduler: &mut dyn Scheduler) {
         let mut batch: Vec<(SimTime, Event)> = Vec::new();
+        let mut wbatch: Vec<(u128, SimTime, Event)> = Vec::new();
         let mut items: Vec<Vec<(u32, SimTime, Event)>> = vec![Vec::new(); self.parts];
         let mut fx: Vec<Option<HookFx>> = Vec::new();
+        let auto = self.cfg.parallelism == Parallelism::Auto;
         while let Some(t) = self.queue.peek_time() {
+            self.barriers += 1;
+            if auto && !self.demoted && crate::par::should_demote(self.rounds, self.par_rounds) {
+                // A long all-inline prefix: the workload never yields
+                // co-timed cross-shard work, so stop paying the routing
+                // overhead and run the rest of the simulation inline.
+                self.demoted = true;
+            }
             self.advance_integrals(t);
             self.now = t;
             let mut effective = false;
@@ -409,8 +498,310 @@ impl Engine<'_> {
                 }
             }
             if effective && self.has_free_capacity() && !self.active.is_empty() {
-                self.invoke_scheduler(scheduler);
+                self.scheduler_opportunity(scheduler);
             }
+            // The scheduler (or its skip) ran at `t`; dispatches above are
+            // reflected in the backend, so the bound is computed on the
+            // post-decision state.
+            if let Some(head) = self.queue.peek_time() {
+                if let Some(w) = self.window_bound(head) {
+                    self.run_window(w, &mut wbatch, &mut items, &mut fx);
+                }
+            }
+        }
+    }
+
+    /// The conservative lookahead bound: the earliest future time at which
+    /// anything *scheduler-relevant* can happen. Strictly before the
+    /// returned time there is provably no job arrival, no regular-task
+    /// finish, and — per [`ExecutorBackend::lookahead`] — no valid LLM
+    /// task finish and no effective step. Every queued event in the open
+    /// interval `(now, bound)` is therefore stale or ineffective: it
+    /// changes no engine state, so the sequential oracle would evaluate
+    /// zero scheduler opportunities across the span.
+    ///
+    /// Returns `Some(bound)` only when the queue head at `head` lies
+    /// strictly inside the window. The three terms are checked cheapest
+    /// first — the backend lookahead (a scan over every batching unit)
+    /// is skipped entirely whenever the O(1) arrival or regular-finish
+    /// term already caps the window at or before `head`, which is the
+    /// common case at every real dispatch point.
+    fn window_bound(&mut self, head: SimTime) -> Option<SimTime> {
+        while self
+            .arrivals
+            .get(self.arrival_ptr)
+            .is_some_and(|&a| a <= self.now)
+        {
+            self.arrival_ptr += 1;
+        }
+        let arrival = self
+            .arrivals
+            .get(self.arrival_ptr)
+            .copied()
+            .unwrap_or(SimTime(u64::MAX));
+        if head >= arrival {
+            return None;
+        }
+        while self
+            .regular_finishes
+            .peek()
+            .is_some_and(|r| r.0 <= self.now)
+        {
+            self.regular_finishes.pop();
+        }
+        let regular = self
+            .regular_finishes
+            .peek()
+            .map(|r| r.0)
+            .unwrap_or(SimTime(u64::MAX));
+        if head >= regular {
+            return None;
+        }
+        let llm = self.llm.get().lookahead(self.now, &self.cfg.latency);
+        let w = arrival.min(regular).min(llm);
+        (head < w).then_some(w)
+    }
+
+    /// Drains every queued event strictly before `w` as one batched round
+    /// with no scheduler barriers. Small windows (up to
+    /// [`par::WINDOW_THREAD_MIN_EVENTS`] events, the common case) drain
+    /// inline: live pops already come out in exact `(time, seq)` order,
+    /// so they pay no buffering at all — and when threading is
+    /// impossible (one hardware thread, or `Auto` demoted) the whole
+    /// window drains that way. Anything past that budget is
+    /// collected into a batch whose shard-routable events run phase A on
+    /// worker threads (when the batch clears
+    /// [`par::should_thread_window`] and `Auto` has not demoted), then
+    /// replays in exact global `(time, seq)` order, live-interleaving
+    /// any in-window events the replay itself posts (token-iteration
+    /// boundaries). `now` and the utilization integrals advance per
+    /// timestamp either way, so `UtilSample` spans — and with them the
+    /// windowed time-series — are bit-identical to the sequential run.
+    /// Debug builds assert that no window event changes state
+    /// ("lookahead bound violated").
+    fn run_window(
+        &mut self,
+        w: SimTime,
+        batch: &mut Vec<(u128, SimTime, Event)>,
+        items: &mut [Vec<(u32, SimTime, Event)>],
+        fx: &mut Vec<Option<HookFx>>,
+    ) {
+        self.windows += 1;
+        self.rounds += 1;
+        // Phase 1: drain the window head inline. Live pops already come
+        // out in exact `(time, seq)` order — including any events the
+        // replay posts back into the window — so small windows (the
+        // common case) pay no buffering, no effect table, and no
+        // interleave bookkeeping; this is literally the sequential loop
+        // restricted to `t < w`, minus the scheduler stops the bound
+        // proves pointless.
+        let w_key = (w.0 as u128) << 64;
+        // When threading is off the table (single hardware thread, or
+        // `Auto` demoted), the budget is unlimited: the whole window
+        // drains inline and phase 2 never runs.
+        let mut inline_budget = if self.hw_threads >= 2 && !self.demoted {
+            crate::par::WINDOW_THREAD_MIN_EVENTS
+        } else {
+            usize::MAX
+        };
+        while inline_budget > 0 && self.queue.peek_key().is_some_and(|k| k < w_key) {
+            let (_, t, ev) = self.queue.pop_keyed().expect("peeked");
+            if t > self.now {
+                self.advance_integrals(t);
+                self.now = t;
+            }
+            let changed = self.apply(ev);
+            debug_assert!(
+                !changed,
+                "lookahead bound violated: event {ev:?} at {t:?} changed state inside \
+                 the window ending at {w:?}"
+            );
+            inline_budget -= 1;
+        }
+        if !self.queue.peek_key().is_some_and(|k| k < w_key) {
+            return;
+        }
+        // Phase 2: the window outlived the inline budget — buffer the
+        // remainder so its hook work can fan out across shard threads.
+        batch.clear();
+        while self.queue.peek_time().is_some_and(|t| t < w) {
+            batch.push(self.queue.pop_keyed().expect("peeked"));
+        }
+        fx.clear();
+        fx.resize_with(batch.len(), || None);
+        if !self.demoted && batch.len() >= crate::par::WINDOW_THREAD_MIN_EVENTS {
+            self.classify_and_thread_window(batch, items, fx);
+        }
+        // Replay in exact global key order. Before each batch item, drain
+        // any events the replay has posted back *into* the window whose
+        // keys sort earlier — they run live through `apply`, exactly
+        // where the sequential loop would have popped them.
+        for i in 0..batch.len() {
+            let (key, t, ev) = batch[i];
+            self.drain_window_live(key, w);
+            if t > self.now {
+                self.advance_integrals(t);
+                self.now = t;
+            }
+            let changed = match fx[i].take() {
+                None => self.apply(ev),
+                Some(HookFx::Finish { valid, posts }) => {
+                    self.events += 1;
+                    if valid {
+                        let Event::TaskFinish {
+                            job, stage, task, ..
+                        } = ev
+                        else {
+                            unreachable!("finish effects come from finish events")
+                        };
+                        self.finish_task_with(job, stage, task, Some(posts));
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Some(HookFx::Step {
+                    finished,
+                    effective,
+                    posts,
+                }) => {
+                    self.events += 1;
+                    let any = !finished.is_empty() || effective;
+                    self.flush_recorded(posts);
+                    for f in &finished {
+                        self.finish_task(f.job, f.stage, f.task);
+                    }
+                    any
+                }
+            };
+            debug_assert!(
+                !changed,
+                "lookahead bound violated: event {ev:?} at {t:?} changed state inside \
+                 the window ending at {w:?}"
+            );
+        }
+        self.drain_window_live(u128::MAX, w);
+    }
+
+    /// The expensive half of [`Engine::run_window`], entered only for
+    /// windows at or above [`par::WINDOW_THREAD_MIN_EVENTS`]: assigns
+    /// each hook-bearing event to the shard owning its executor, and —
+    /// when ≥ 2 shards have work — runs the shard hooks concurrently
+    /// under [`std::thread::scope`], recording their [`HookFx`] effects
+    /// into `fx` for the in-order replay.
+    fn classify_and_thread_window(
+        &mut self,
+        batch: &[(u128, SimTime, Event)],
+        items: &mut [Vec<(u32, SimTime, Event)>],
+        fx: &mut [Option<HookFx>],
+    ) {
+        for v in items.iter_mut() {
+            v.clear();
+        }
+        {
+            let Backend::Sharded(sharded) = &self.llm else {
+                unreachable!("partitioned loop runs on the sharded backend")
+            };
+            for (i, &(_, time, ev)) in batch.iter().enumerate() {
+                let shard = match ev {
+                    Event::LlmStep { exec, .. } => Some(sharded.shard_of(exec)),
+                    Event::TaskFinish {
+                        job, stage, task, ..
+                    } => match self.jobs[job].task_state_of(stage, task) {
+                        TaskState::Running { exec: Some(e) } => Some(sharded.shard_of(e as usize)),
+                        _ => None,
+                    },
+                    Event::Arrival { .. } => {
+                        unreachable!("window bound is capped by the next arrival")
+                    }
+                };
+                if let Some(s) = shard {
+                    items[s].push((i as u32, time, ev));
+                }
+            }
+        }
+        for (s, v) in items.iter().enumerate() {
+            if !v.is_empty() {
+                self.shard_stats[s].batches += 1;
+                self.shard_stats[s].events += v.len() as u64;
+            }
+        }
+        let busy = items.iter().filter(|v| !v.is_empty()).count();
+        if !crate::par::should_thread_window(batch.len(), busy, self.hw_threads) {
+            return;
+        }
+        self.par_rounds += 1;
+        let results = {
+            let Backend::Sharded(sharded) = &mut self.llm else {
+                unreachable!("partitioned loop runs on the sharded backend")
+            };
+            let bases: Vec<usize> = sharded.bases().to_vec();
+            let shards = sharded.shards_dyn_mut();
+            let jobs: &[JobRt] = &self.jobs;
+            let latency = &self.cfg.latency;
+            let items: &[Vec<(u32, SimTime, Event)>] = items;
+            type ShardRound = (usize, std::time::Duration, Vec<(u32, HookFx)>);
+            let results: Vec<ShardRound> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (s, ((shard, base), slice)) in shards
+                    .into_iter()
+                    .zip(bases.iter().copied())
+                    .zip(items)
+                    .enumerate()
+                {
+                    if slice.is_empty() {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || {
+                        let start = std::time::Instant::now();
+                        let fx = run_shard(shard, base, jobs, latency, slice);
+                        (s, start.elapsed(), fx)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            results
+        };
+        for (s, busy, shard_fx) in results {
+            self.shard_stats[s].threaded_batches += 1;
+            self.shard_stats[s].busy += busy;
+            if self.probe_on {
+                self.probe.record(&ProbeEvent::ShardRound {
+                    at: self.now,
+                    round: self.rounds,
+                    shard: s as u32,
+                    events: items[s].len() as u32,
+                    busy,
+                });
+            }
+            for (idx, f) in shard_fx {
+                fx[idx as usize] = Some(f);
+            }
+        }
+    }
+
+    /// Live-applies queued events with keys before `key` and times before
+    /// `w` (events the window replay posted back into its own span).
+    fn drain_window_live(&mut self, key: u128, w: SimTime) {
+        // `time < w` is exactly `key < w<<64` on the packed `(time, seq)`
+        // key, so a single peek bounds both the replay order and the
+        // window end.
+        let cap = key.min((w.0 as u128) << 64);
+        while self.queue.peek_key().is_some_and(|k| k < cap) {
+            let (_, t, ev) = self.queue.pop_keyed().expect("peeked");
+            if t > self.now {
+                self.advance_integrals(t);
+                self.now = t;
+            }
+            let changed = self.apply(ev);
+            debug_assert!(
+                !changed,
+                "lookahead bound violated: replay-posted event {ev:?} at {t:?} changed \
+                 state inside the window ending at {w:?}"
+            );
         }
     }
 
@@ -428,6 +819,18 @@ impl Engine<'_> {
         items: &mut [Vec<(u32, SimTime, Event)>],
         fx: &mut Vec<Option<HookFx>>,
     ) -> bool {
+        // Single-event rounds — the overwhelmingly common case outside
+        // co-timed bursts — can never engage a second shard, demoted
+        // runs never thread at all, and a single hardware thread makes
+        // spawning pure overhead: apply in place, skipping
+        // classification, routing, and per-shard accounting.
+        if self.demoted || self.hw_threads < 2 || batch.len() < 2 {
+            let mut effective = false;
+            for &(_, ev) in batch {
+                effective |= self.apply(ev);
+            }
+            return effective;
+        }
         for v in items.iter_mut() {
             v.clear();
         }
@@ -702,6 +1105,8 @@ impl Engine<'_> {
                     self.try_auto_complete(job, s);
                 }
                 self.finalize_completion(job);
+                // The job's ready work becomes dispatchable only now.
+                self.ready_unstarted += self.jobs[job].ready_unstarted_tasks();
                 true
             }
             Event::TaskFinish {
@@ -740,6 +1145,11 @@ impl Engine<'_> {
     /// slot and recorded the resulting re-timings, so the live drain is
     /// skipped and the record is flushed at the same point instead.
     fn finish_task_with(&mut self, job: usize, stage: u32, task: u32, recorded: Option<Vec<Post>>) {
+        // The completion cascade below (stage completions, reveals, void
+        // chains, auto-completes) is confined to this job; recount its
+        // dispatchable work across the whole cascade instead of threading
+        // adjustments through every transition.
+        let ready_before = self.jobs[job].ready_unstarted_tasks();
         let spec_work = self.jobs[job].spec.task_work(StageId(stage), task);
         let TaskState::Running { exec } = self.jobs[job].task_state_of(stage, task) else {
             unreachable!("validated by caller")
@@ -800,6 +1210,8 @@ impl Engine<'_> {
             self.complete_stage(job, stage);
         }
         self.finalize_completion(job);
+        let ready_after = self.jobs[job].ready_unstarted_tasks();
+        self.ready_unstarted = self.ready_unstarted - ready_before + ready_after;
     }
 
     /// Marks `stage` complete, propagates dependency counts, processes
@@ -993,6 +1405,7 @@ impl Engine<'_> {
                 backend: &self.backend_desc,
                 regular_total: self.cfg.regular_executors,
                 regular_busy: self.regular_busy,
+                dispatchable: self.ready_unstarted,
                 templates: self.templates,
                 latency: &self.cfg.latency,
             };
@@ -1008,7 +1421,9 @@ impl Engine<'_> {
         };
         self.sched_wall += elapsed;
         self.sched_samples.push(elapsed);
-        let seq = self.sched_calls;
+        // Opportunity sequence: skipped opportunities consume numbers too,
+        // so records carry the same seq whether or not coalescing is on.
+        let seq = self.sched_calls + self.sched_skipped;
         self.sched_calls += 1;
         // The batch is delivered exactly once; dispatch deltas below open
         // the next batch.
@@ -1097,6 +1512,9 @@ impl Engine<'_> {
         };
         let epoch = self.jobs[j].start_task(tr.stage.0, tr.task, None, self.now);
         self.regular_busy += 1;
+        self.ready_unstarted -= 1;
+        self.regular_finishes
+            .push(std::cmp::Reverse(self.now + duration));
         self.emit(SchedDelta::TasksDispatched {
             job: tr.job,
             stage: tr.stage,
@@ -1125,6 +1543,7 @@ impl Engine<'_> {
 
     fn start_llm(&mut self, j: usize, tr: &TaskRef, e: usize, work: LlmWork) {
         self.jobs[j].start_task(tr.stage.0, tr.task, Some(e as u32), self.now);
+        self.ready_unstarted -= 1;
         self.emit(SchedDelta::TasksDispatched {
             job: tr.job,
             stage: tr.stage,
@@ -1342,10 +1761,22 @@ mod tests {
         assert!(seq.par.is_none());
         let stats = par.par.as_ref().expect("partitioned run reports ParStats");
         assert_eq!(stats.partitions, 2);
-        assert!(
-            stats.parallel_rounds > 0,
-            "co-timed finishes on both shards must thread: {stats:?}"
-        );
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if hw >= 2 {
+            assert!(
+                stats.parallel_rounds > 0,
+                "co-timed finishes on both shards must thread: {stats:?}"
+            );
+        } else {
+            // Single-hardware-thread hosts must never spawn: workers
+            // would only serialize behind the main thread.
+            assert_eq!(
+                stats.parallel_rounds, 0,
+                "1-thread host spawned workers: {stats:?}"
+            );
+        }
         assert_eq!(par.events, seq.events);
         assert_eq!(par.makespan, seq.makespan);
         assert_eq!(

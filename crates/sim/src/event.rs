@@ -127,6 +127,14 @@ impl EventQueue {
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.pop_keyed().map(|(_, time, ev)| (time, ev))
+    }
+
+    /// Removes and returns the earliest event together with its packed
+    /// `(time, seq)` ordering key. The partitioned engine's window replay
+    /// interleaves a pre-popped batch with live queue drains by comparing
+    /// these keys, reproducing the sequential pop order exactly.
+    pub(crate) fn pop_keyed(&mut self) -> Option<(u128, SimTime, Event)> {
         let top = *self.heap.first()?;
         let last = self.heap.pop().expect("non-empty");
         if !self.heap.is_empty() {
@@ -135,7 +143,7 @@ impl EventQueue {
         }
         self.free.push(top.slot);
         let time = SimTime((top.key >> 64) as u64);
-        Some((time, self.arena[top.slot as usize]))
+        Some((top.key, time, self.arena[top.slot as usize]))
     }
 
     /// The timestamp of the earliest event without removing it.

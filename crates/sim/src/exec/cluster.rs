@@ -17,10 +17,12 @@
 //! capacity and queued decode tokens.
 
 use llmsched_cluster::{ClusterSpec, ReplicaView, RouteRequest, Router};
+use llmsched_dag::time::SimTime;
 use llmsched_dag::work::LlmWork;
 
 use super::batching::ReplicaBatch;
 use super::{ExecCtx, ExecutorBackend, LlmTaskRef, StepOutcome};
+use crate::latency::LatencyProfile;
 
 /// The heterogeneous routed multi-replica backend.
 #[derive(Debug)]
@@ -84,6 +86,12 @@ impl ExecutorBackend for ClusterExec {
         self.units[exec].capacity
     }
 
+    fn for_each_slot(&self, f: &mut dyn FnMut(usize, usize)) {
+        for u in &self.units {
+            f(u.len(), u.capacity);
+        }
+    }
+
     fn place(&mut self, task: LlmTaskRef, work: LlmWork) -> Option<usize> {
         let mut views = std::mem::take(&mut self.view_scratch);
         views.clear();
@@ -139,6 +147,17 @@ impl ExecutorBackend for ClusterExec {
             exec: exec as u32,
             occupancy,
         });
+    }
+
+    /// Minimum over replicas of each replica's own-curve lower bound (the
+    /// engine-wide reference curve is irrelevant here: every replica
+    /// decodes against its group curve).
+    fn lookahead(&self, now: SimTime, _latency: &LatencyProfile) -> SimTime {
+        self.units
+            .iter()
+            .map(|u| u.lookahead(now))
+            .min()
+            .unwrap_or(SimTime(u64::MAX))
     }
 }
 

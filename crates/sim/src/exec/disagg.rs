@@ -32,6 +32,7 @@ use llmsched_dag::work::LlmWork;
 
 use super::batching::ReplicaBatch;
 use super::{ExecCtx, ExecutorBackend, LlmTaskRef, StepOutcome};
+use crate::latency::LatencyProfile;
 
 /// One task prefilling / in KV transfer toward a decode replica.
 #[derive(Debug, Clone)]
@@ -207,6 +208,12 @@ impl ExecutorBackend for DisaggExec {
         self.units[exec].batch.capacity
     }
 
+    fn for_each_slot(&self, f: &mut dyn FnMut(usize, usize)) {
+        for u in &self.units {
+            f(u.batch.len() + u.transit.len(), u.batch.capacity);
+        }
+    }
+
     fn place(&mut self, task: LlmTaskRef, work: LlmWork) -> Option<usize> {
         let mut views = std::mem::take(&mut self.view_scratch);
         views.clear();
@@ -285,6 +292,26 @@ impl ExecutorBackend for DisaggExec {
             exec: exec as u32,
             occupancy,
         });
+    }
+
+    /// Per decode replica: the batch's own-curve bound, and for every
+    /// request still in KV transfer the earliest it could finish *after*
+    /// joining — `ready_at + decode_tokens × min_per_token` (valid even
+    /// when the handoff is already due, since decode starts no earlier
+    /// than `ready_at`). Handoff steps themselves are never effective and
+    /// finish nothing, so they need no term; the global prefill pool
+    /// generates no events at all (arrival times are resolved at
+    /// admission).
+    fn lookahead(&self, now: SimTime, _latency: &LatencyProfile) -> SimTime {
+        let mut bound = SimTime(u64::MAX);
+        for unit in &self.units {
+            bound = bound.min(unit.batch.lookahead(now));
+            let mpt = unit.batch.min_per_token();
+            for tr in &unit.transit {
+                bound = bound.min(tr.ready_at + mpt * tr.decode_tokens);
+            }
+        }
+        bound
     }
 }
 

@@ -264,6 +264,20 @@ pub trait ExecutorBackend: std::fmt::Debug + Send {
     /// Maximum batch slots on executor `exec`.
     fn capacity(&self, exec: usize) -> usize;
 
+    /// Streams `(occupancy, capacity)` of every executor, in index
+    /// order, to `f`. The engine's per-timestamp utilization integrals
+    /// and per-invocation occupancy snapshots go through this instead
+    /// of calling [`occupancy`](ExecutorBackend::occupancy) per
+    /// executor, so composite backends (the sharded wrapper) can walk
+    /// their pools directly rather than translating every index. The
+    /// default loops over the per-executor accessors; overrides must
+    /// visit the exact same values in the same order.
+    fn for_each_slot(&self, f: &mut dyn FnMut(usize, usize)) {
+        for e in 0..self.n_execs() {
+            f(self.occupancy(e), self.capacity(e));
+        }
+    }
+
     /// Routes `task` to an executor with a free slot, or `None` when the
     /// pool is full. The default is the paper's least-loaded placement
     /// (fewest occupied slots, ties by index); cluster backends override
@@ -289,4 +303,22 @@ pub trait ExecutorBackend: std::fmt::Debug + Send {
     /// engine for every LLM task completion; must be a no-op if the
     /// backend already removed the task during the step that finished it.
     fn drain(&mut self, exec: usize, task: LlmTaskRef, cx: &mut ExecCtx<'_>);
+
+    /// A conservative lower bound on the earliest future time at which
+    /// this backend could complete a task (i.e. produce a
+    /// scheduler-relevant event). The partitioned engine advances through
+    /// `[now, bound)` without scheduler barriers: every event inside the
+    /// window is guaranteed to be a stale finish, an ineffective step, or
+    /// an internal hand-off that changes nothing a scheduler observes.
+    ///
+    /// Contract: with the backend in its state at `now` and no further
+    /// admissions, no valid [`Event::TaskFinish`] and no
+    /// [`StepOutcome`] with `effective == true` or non-empty `finished`
+    /// may occur strictly before the returned time. An idle backend may
+    /// return [`SimTime`]`(u64::MAX)`; the default returns `now`
+    /// (a vacuous bound — the window never opens), which is always safe.
+    fn lookahead(&self, now: SimTime, latency: &LatencyProfile) -> SimTime {
+        let _ = latency;
+        now
+    }
 }

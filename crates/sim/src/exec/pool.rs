@@ -76,23 +76,27 @@ pub fn views(backend: &dyn ExecutorBackend) -> Vec<LlmExecutorView> {
 /// this once per scheduler invocation instead of collecting a fresh `Vec`.
 pub fn views_into(backend: &dyn ExecutorBackend, out: &mut Vec<LlmExecutorView>) {
     out.clear();
-    out.extend((0..backend.n_execs()).map(|e| LlmExecutorView {
-        index: e,
-        batch_len: backend.occupancy(e),
-        max_batch: backend.capacity(e),
-    }));
+    let mut index = 0usize;
+    backend.for_each_slot(&mut |occ, cap| {
+        out.push(LlmExecutorView {
+            index,
+            batch_len: occ,
+            max_batch: cap,
+        });
+        index += 1;
+    });
 }
 
 /// `(occupied slots, non-idle executors)` across the pool — the inputs to
-/// the engine's utilization integrals.
+/// the engine's utilization integrals, probed at every timestamp advance
+/// (hence the bulk walk rather than per-executor accessor calls).
 pub fn slot_stats(backend: &dyn ExecutorBackend) -> (usize, usize) {
     let mut slots = 0usize;
     let mut busy = 0usize;
-    for e in 0..backend.n_execs() {
-        let occ = backend.occupancy(e);
+    backend.for_each_slot(&mut |occ, _| {
         slots += occ;
         busy += usize::from(occ > 0);
-    }
+    });
     (slots, busy)
 }
 
@@ -112,6 +116,7 @@ mod tests {
             iteration_chunk: 2,
             spec: None,
             parallelism: crate::par::Parallelism::Off,
+            coalescing: true,
         }
     }
 

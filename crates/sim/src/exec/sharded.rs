@@ -286,14 +286,41 @@ impl ExecutorBackend for ShardedBackend {
         self.shard_ref(s).capacity(exec - self.base[s])
     }
 
+    /// Walks each shard's pool directly — shard-contiguous chunks cover
+    /// the global index space in order, so no per-executor shard/base
+    /// translation is needed. The engine probes this once per timestamp
+    /// (utilization integrals) and once per scheduler invocation
+    /// (occupancy views); the translating per-executor accessors made
+    /// those scans the largest fixed overhead of the partitioned path.
+    fn for_each_slot(&self, f: &mut dyn FnMut(usize, usize)) {
+        match &self.kind {
+            ShardKind::Analytic(v) => v.iter().for_each(|s| s.for_each_slot(&mut *f)),
+            ShardKind::Token(v) => v.iter().for_each(|s| s.for_each_slot(&mut *f)),
+            ShardKind::Cluster(v) => v.iter().for_each(|s| s.for_each_slot(&mut *f)),
+            ShardKind::Disagg { shards, .. } => {
+                shards.iter().for_each(|s| s.for_each_slot(&mut *f))
+            }
+        }
+    }
+
     fn place(&mut self, task: LlmTaskRef, work: LlmWork) -> Option<usize> {
         match &self.kind {
             // Homogeneous pools: the paper's least-loaded rule over the
             // global index space (identical to the trait default the
-            // monolithic backends use).
-            ShardKind::Analytic(_) | ShardKind::Token(_) => (0..self.shard_of.len())
-                .filter(|&e| self.occupancy(e) < self.capacity(e))
-                .min_by_key(|&e| self.occupancy(e)),
+            // monolithic backends use — first minimum in index order —
+            // but walking each shard's pool directly instead of
+            // translating every global index).
+            ShardKind::Analytic(_) | ShardKind::Token(_) => {
+                let mut best: Option<(usize, usize)> = None;
+                let mut e = 0usize;
+                self.for_each_slot(&mut |occ, cap| {
+                    if occ < cap && best.map_or(true, |(b, _)| occ < b) {
+                        best = Some((occ, e));
+                    }
+                    e += 1;
+                });
+                best.map(|(_, e)| e)
+            }
             // Routed pools: compose the global view table and ask the
             // single global router, exactly like the monolithic backend.
             _ => {
@@ -417,6 +444,16 @@ impl ExecutorBackend for ShardedBackend {
             exec: exec as u32,
             occupancy,
         });
+    }
+
+    /// The window bound of a partitioned pool is the minimum over its
+    /// shards' bounds (each shard sees only its own replicas; the global
+    /// prefill pool contributes nothing — see [`DisaggExec::lookahead`]).
+    fn lookahead(&self, now: SimTime, latency: &LatencyProfile) -> SimTime {
+        (0..self.base.len())
+            .map(|s| self.shard_ref(s).lookahead(now, latency))
+            .min()
+            .unwrap_or(SimTime(u64::MAX))
     }
 }
 

@@ -78,6 +78,13 @@ pub struct SimResult {
     pub makespan: SimTime,
     /// Number of scheduler invocations.
     pub sched_calls: u64,
+    /// Scheduler opportunities skipped by invocation coalescing (the
+    /// engine proved nothing was dispatchable, so the policy was not
+    /// called; the accumulated deltas carried over to the next real
+    /// invocation). Always 0 with coalescing off. Opportunity sequence
+    /// numbers count both, so `sched_calls + sched_skipped` is the total
+    /// number of decision points the run evaluated.
+    pub sched_skipped: u64,
     /// Total wall-clock time spent inside the scheduler (delta delivery +
     /// `Scheduler::schedule`).
     pub sched_wall: std::time::Duration,
@@ -228,6 +235,7 @@ mod tests {
             jobs,
             makespan: SimTime::from_secs_f64(10.0),
             sched_calls: 4,
+            sched_skipped: 0,
             sched_wall: std::time::Duration::from_millis(2),
             sched_wall_samples: (1..=4)
                 .map(|i| std::time::Duration::from_micros(250 * i))

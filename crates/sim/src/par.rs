@@ -62,16 +62,63 @@ impl Parallelism {
 pub struct ParStats {
     /// Shard count the run used.
     pub partitions: usize,
-    /// Same-timestamp event rounds processed.
+    /// Event rounds processed (same-timestamp batches plus lookahead
+    /// window rounds).
     pub rounds: u64,
     /// Rounds whose hook work spanned ≥ 2 shards and therefore ran on
     /// scoped worker threads.
     pub parallel_rounds: u64,
+    /// Scheduler barriers: iterations of the partitioned outer loop, each
+    /// ending in (at most) one scheduler-invocation opportunity. Without
+    /// lookahead windows this equals the number of distinct event
+    /// timestamps; windows collapse many timestamps into one barrier.
+    pub barriers: u64,
+    /// Lookahead window rounds that batched at least one event past the
+    /// head timestamp (a window spanning a single timestamp counts as an
+    /// ordinary round).
+    pub windows: u64,
+    /// Whether a [`Parallelism::Auto`] run demoted itself to inline
+    /// stepping after observing no multi-shard batches (see
+    /// [`should_demote`]).
+    pub demoted: bool,
     /// Per-shard work breakdown, indexed by shard. Batch counts cover
     /// every round the shard had events in; busy time accrues only on
     /// threaded rounds (inlined rounds run on the main thread, where
     /// per-shard timing would just re-measure the event loop).
     pub per_shard: Vec<ShardStats>,
+}
+
+/// Rounds a [`Parallelism::Auto`] run observes before concluding the
+/// workload never engages a second shard and demoting itself to inline
+/// stepping (threading overhead with no parallel work is pure loss —
+/// BENCH_scale.json's 0.75× analytic+p4 row at 100k jobs).
+pub const AUTO_DEMOTE_AFTER: u64 = 4096;
+
+/// Whether an Auto run that has processed `rounds` rounds, of which
+/// `parallel_rounds` engaged ≥ 2 busy shards, should stop offloading hook
+/// work to worker threads. Purely a performance decision: the demoted
+/// path replays the same events in the same order inline.
+pub fn should_demote(rounds: u64, parallel_rounds: u64) -> bool {
+    rounds >= AUTO_DEMOTE_AFTER && parallel_rounds == 0
+}
+
+/// Minimum conservative-window batch size worth offloading to worker
+/// threads. A `thread::scope` spawn costs tens of microseconds while a
+/// hook event costs well under one, so threading a typical 2–3-event
+/// window is a pure loss (measured 0.46× at the quick scale tier before
+/// this gate); windows below the threshold replay inline. Same-timestamp
+/// barrier rounds keep the plain ≥ 2-busy-shards gate — multi-shard
+/// co-timed rounds are rare enough that their spawn cost never shows.
+pub const WINDOW_THREAD_MIN_EVENTS: usize = 64;
+
+/// Whether a conservative-window batch of `total_events` events spanning
+/// `busy_shards` shards with queued work should run its hook phase on
+/// worker threads, given `hw_threads` hardware threads. Purely a
+/// performance decision: the inline path replays the same events in the
+/// same order. On a single-hardware-thread host, spawned workers only
+/// serialize behind the main thread, so threading is never worth it.
+pub fn should_thread_window(total_events: usize, busy_shards: usize, hw_threads: usize) -> bool {
+    hw_threads >= 2 && busy_shards >= 2 && total_events >= WINDOW_THREAD_MIN_EVENTS
 }
 
 /// One shard's share of a partitioned run (see [`ParStats::per_shard`]).
@@ -118,6 +165,23 @@ impl EventQueues {
             EventQueues::Sharded(q) => q.peek_time(),
         }
     }
+
+    /// Packed `(time, seq)` key of the earliest event (window replay
+    /// interleaves pre-popped batches with live pops by this key).
+    pub(crate) fn peek_key(&self) -> Option<u128> {
+        match self {
+            EventQueues::Single(q) => q.peek_key(),
+            EventQueues::Sharded(q) => q.peek_key(),
+        }
+    }
+
+    /// Pops the earliest event together with its ordering key.
+    pub(crate) fn pop_keyed(&mut self) -> Option<(u128, SimTime, Event)> {
+        match self {
+            EventQueues::Single(q) => q.pop_keyed(),
+            EventQueues::Sharded(q) => q.pop_keyed(),
+        }
+    }
 }
 
 /// Per-shard event heaps sharing one global `(time, seq)` key space.
@@ -134,6 +198,12 @@ pub(crate) struct ShardedQueue {
     seq: u64,
     /// Executor index → owning shard, from the backend's partition map.
     exec_shard: Vec<usize>,
+    /// Always-valid `(key, shard)` of the global head, or `None` when
+    /// empty. A push can only improve the minimum (one compare); a pop
+    /// removes the head and rescans the `O(shards)` heads once. Peeks —
+    /// which the engine issues far more often than pops during window
+    /// negotiation — are therefore O(1) instead of an argmin scan.
+    cached: Option<(u128, usize)>,
 }
 
 impl ShardedQueue {
@@ -145,6 +215,19 @@ impl ShardedQueue {
                 .collect(),
             seq: 0,
             exec_shard,
+            cached: None,
+        }
+    }
+
+    /// Rescans shard heads and re-establishes the cache invariant.
+    fn recompute_min(&mut self) {
+        self.cached = None;
+        for (i, q) in self.shards.iter().enumerate() {
+            if let Some(key) = q.peek_key() {
+                if self.cached.map_or(true, |(bk, _)| key < bk) {
+                    self.cached = Some((key, i));
+                }
+            }
         }
     }
 
@@ -165,26 +248,32 @@ impl ShardedQueue {
         let seq = self.seq;
         self.seq += 1;
         self.shards[shard].push_with_seq(time, seq, event);
+        // Global sequence numbers make keys unique, so a strict compare
+        // suffices; the new event can only improve the cached minimum.
+        let key = self.shards[shard].peek_key().expect("just pushed");
+        if self.cached.map_or(true, |(bk, _)| key < bk) {
+            self.cached = Some((key, shard));
+        }
     }
 
     pub(crate) fn pop(&mut self) -> Option<(SimTime, Event)> {
-        let mut best: Option<(u128, usize)> = None;
-        for (i, q) in self.shards.iter().enumerate() {
-            if let Some(key) = q.peek_key() {
-                if best.map_or(true, |(bk, _)| key < bk) {
-                    best = Some((key, i));
-                }
-            }
-        }
-        best.and_then(|(_, i)| self.shards[i].pop())
+        self.pop_keyed().map(|(_, time, ev)| (time, ev))
+    }
+
+    pub(crate) fn pop_keyed(&mut self) -> Option<(u128, SimTime, Event)> {
+        let (_, shard) = self.cached?;
+        let popped = self.shards[shard].pop_keyed();
+        debug_assert!(popped.is_some(), "cache pointed at an empty shard");
+        self.recompute_min();
+        popped
+    }
+
+    pub(crate) fn peek_key(&self) -> Option<u128> {
+        self.cached.map(|(key, _)| key)
     }
 
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.shards
-            .iter()
-            .filter_map(|q| q.peek_key())
-            .min()
-            .map(|key| SimTime((key >> 64) as u64))
+        self.cached.map(|(key, _)| SimTime((key >> 64) as u64))
     }
 }
 
@@ -226,6 +315,58 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn cached_min_pop_order_matches_argmin_under_ties() {
+        // Reference argmin over shard heads, recomputed from scratch on
+        // every pop (the pre-cache implementation).
+        fn argmin_pop(shards: &mut [EventQueue]) -> Option<(SimTime, Event)> {
+            let mut best: Option<(u128, usize)> = None;
+            for (i, q) in shards.iter().enumerate() {
+                if let Some(key) = q.peek_key() {
+                    if best.map_or(true, |(bk, _)| key < bk) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+            best.and_then(|(_, i)| shards[i].pop())
+        }
+        // Heavy time ties across shards, interleaved with pops so the
+        // cache is exercised in both the push-improves and the
+        // pop-recomputes directions.
+        let times = [3u64, 3, 3, 1, 1, 3, 2, 2, 1, 3, 2, 1];
+        let mut reference: Vec<EventQueue> = (0..3).map(|_| EventQueue::new()).collect();
+        let mut q = ShardedQueue::new(3, vec![0, 1, 2], 8);
+        let mut popped = Vec::new();
+        let mut expected = Vec::new();
+        for (i, &t) in times.iter().enumerate() {
+            let ev = step(i % 3);
+            q.push(SimTime(t), ev);
+            reference[i % 3].push_with_seq(SimTime(t), i as u64, ev);
+            if i % 4 == 3 {
+                popped.push(q.pop());
+                expected.push(argmin_pop(&mut reference));
+            }
+        }
+        while let Some(e) = argmin_pop(&mut reference) {
+            expected.push(Some(e));
+            popped.push(q.pop());
+        }
+        assert_eq!(popped, expected, "cached-min diverged from argmin");
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn auto_demotes_only_after_a_long_all_inline_prefix() {
+        assert!(!should_demote(0, 0));
+        assert!(!should_demote(AUTO_DEMOTE_AFTER - 1, 0));
+        assert!(should_demote(AUTO_DEMOTE_AFTER, 0));
+        assert!(
+            !should_demote(AUTO_DEMOTE_AFTER * 4, 1),
+            "any threaded round keeps it"
+        );
     }
 
     #[test]

@@ -381,6 +381,13 @@ pub struct SchedContext<'a> {
     pub regular_total: usize,
     /// Currently busy regular executors.
     pub regular_busy: usize,
+    /// Number of ready, unstarted tasks across active jobs — the amount of
+    /// work a preference could actually start right now. Zero means this
+    /// invocation cannot dispatch anything; policies short-circuit on it
+    /// (and the engine's coalescing skips such invocations entirely when
+    /// [`ClusterConfig::coalescing`](crate::engine::ClusterConfig) is on),
+    /// so policy state evolves identically either way.
+    pub dispatchable: usize,
     /// Registered application templates.
     pub templates: &'a TemplateSet,
     /// The cluster's decode-latency curve (public knowledge: providers
@@ -595,6 +602,7 @@ mod tests {
             backend: "analytic",
             regular_total: 1,
             regular_busy: 0,
+            dispatchable: jobs.iter().map(|j| j.ready_unstarted_tasks()).sum(),
             templates: &templates,
             latency: &latency,
         };

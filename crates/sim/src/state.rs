@@ -411,6 +411,13 @@ impl JobRt {
             .filter_map(|(i, &s)| (s == TaskState::NotStarted).then_some(i as u32))
     }
 
+    /// Total unstarted tasks across the job's ready stages — the job's
+    /// contribution to the engine's dispatchable-work count (which drives
+    /// scheduler-invocation coalescing). O(ready stages).
+    pub fn ready_unstarted_tasks(&self) -> usize {
+        self.ready.iter().map(|&s| self.unstarted_count(s)).sum()
+    }
+
     /// Number of unstarted tasks of a ready stage (0 if not ready).
     pub fn unstarted_count(&self, stage: StageId) -> usize {
         if !self.stage_ready(stage) {

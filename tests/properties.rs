@@ -146,6 +146,7 @@ fn llmsched_preferences_are_valid() {
             backend: "analytic",
             regular_total: 2,
             regular_busy: 0,
+            dispatchable: jobs.iter().map(|j| j.ready_unstarted_tasks()).sum(),
             templates: &w.templates,
             latency: &latency,
         };

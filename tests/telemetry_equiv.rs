@@ -214,7 +214,10 @@ fn llmsched_runs_carry_decision_provenance() {
     for d in &decisions {
         assert!(known_jobs.contains(&d.job), "provenance names unknown job");
         assert!(d.tasks > 0, "a decision must attach at least one task ref");
-        assert!(d.seq < r.sched_calls, "seq beyond the invocation count");
+        assert!(
+            d.seq < r.sched_calls + r.sched_skipped,
+            "seq beyond the decision-point count"
+        );
         assert!(
             d.expected_work.is_finite() && d.expected_work >= 0.0,
             "posterior work estimate must be finite"
