@@ -140,6 +140,12 @@ impl Scheduler for CalibProbe {
     fn drain_provenance(&mut self, out: &mut Vec<llmsched_sim::telemetry::DecisionRecord>) {
         self.inner.drain_provenance(out);
     }
+
+    // Forwarded so capacity-aware elision sees the wrapped policy's real
+    // contract; the probe itself only records, never decides.
+    fn is_work_conserving(&self) -> bool {
+        self.inner.is_work_conserving()
+    }
 }
 
 /// Calibration *bias* of completion-order thirds:

@@ -270,6 +270,13 @@ impl BeliefStore {
     /// Eq. 6 uncertainty-reduction score for a ready stage, memoized in
     /// the job's belief. One profile lookup per call — this is where the
     /// old path's double `profiler.profile()` per score went.
+    ///
+    /// Sequential composition of the split API below:
+    /// [`memoized_reduction`](Self::memoized_reduction) →
+    /// [`score`](Self::score) →
+    /// [`memoize_reduction`](Self::memoize_reduction). Batch callers
+    /// (parallel candidate scoring) run the same three phases with the
+    /// middle one fork-joined; values are identical either way.
     pub fn reduction(
         &mut self,
         store: &ProfileStore,
@@ -277,53 +284,79 @@ impl BeliefStore {
         job: &JobRt,
         stage: StageId,
     ) -> f64 {
+        if let Some(r) = self.memoized_reduction(job.id(), stage) {
+            return r;
+        }
+        let r = self.score(store, mi, job, stage);
+        self.memoize_reduction(job.id(), stage, r);
+        r
+    }
+
+    /// Probes the per-job Eq. 6 memo without computing anything.
+    pub fn memoized_reduction(&self, job: JobId, stage: StageId) -> Option<f64> {
+        self.beliefs
+            .get(&job)
+            .and_then(|b| b.reductions.get(&stage.0).copied())
+    }
+
+    /// Computes a ready stage's Eq. 6 score against the held belief
+    /// **without mutating the store** — safe to call from several worker
+    /// threads at once over disjoint candidates. The only shared write is
+    /// the per-evidence MI memo behind its mutex
+    /// ([`EvidencePosteriors`]); the MI term is a pure function of
+    /// `(application, evidence, stage)`, so racing fills store the same
+    /// value whichever thread lands first and results stay bit-identical
+    /// to the sequential order.
+    pub fn score(&self, store: &ProfileStore, mi: MiEstimator, job: &JobRt, stage: StageId) -> f64 {
         let Some(profile) = store.profile(job.app()) else {
             return 0.0;
         };
         if stage.index() >= profile.n_stages() {
             return 0.0; // generated stages carry no BN variable of their own
         }
-        match self.beliefs.get_mut(&job.id()) {
-            Some(b) => {
-                if let Some(&r) = b.reductions.get(&stage.0) {
-                    return r;
-                }
-                let r = match &b.shared {
-                    // Cached path: the MI term is shared across jobs under
-                    // this evidence; only the dynamic-expansion bonus is
-                    // job-specific. Composition and guards mirror
-                    // `uncertainty_reduction` exactly.
-                    Some(ep) if ep.has_bn_cache() => {
-                        if b.evidence.contains_key(&stage.index()) {
-                            0.0
-                        } else {
-                            let memoized = ep.mi_memo(stage.0);
-                            let part = match memoized {
-                                Some(m) => m,
-                                None => {
-                                    let m = crate::uncertainty::mi_part_cached(
-                                        profile,
-                                        job,
-                                        stage,
-                                        &b.evidence,
-                                        ep,
-                                        mi,
-                                    );
-                                    ep.mi_memo_insert(stage.0, m);
-                                    m
-                                }
-                            };
-                            crate::uncertainty::add_dynamic_bonus(profile, job, stage, part)
-                        }
+        match self.beliefs.get(&job.id()) {
+            Some(b) => match &b.shared {
+                // Cached path: the MI term is shared across jobs under
+                // this evidence; only the dynamic-expansion bonus is
+                // job-specific. Composition and guards mirror
+                // `uncertainty_reduction` exactly.
+                Some(ep) if ep.has_bn_cache() => {
+                    if b.evidence.contains_key(&stage.index()) {
+                        0.0
+                    } else {
+                        let memoized = ep.mi_memo(stage.0);
+                        let part = match memoized {
+                            Some(m) => m,
+                            None => {
+                                let m = crate::uncertainty::mi_part_cached(
+                                    profile,
+                                    job,
+                                    stage,
+                                    &b.evidence,
+                                    ep,
+                                    mi,
+                                );
+                                ep.mi_memo_insert(stage.0, m);
+                                m
+                            }
+                        };
+                        crate::uncertainty::add_dynamic_bonus(profile, job, stage, part)
                     }
-                    _ => uncertainty_reduction(profile, job, stage, &b.evidence, mi),
-                };
-                b.reductions.insert(stage.0, r);
-                r
-            }
+                }
+                _ => uncertainty_reduction(profile, job, stage, &b.evidence, mi),
+            },
             // No belief (context outside the delta stream and not yet
             // refreshed): compute against fresh evidence, uncached.
             None => uncertainty_reduction(profile, job, stage, &profile.evidence_of(job), mi),
+        }
+    }
+
+    /// Commits one computed score into the job's belief memo (no-op when
+    /// the job holds no belief, matching the sequential path, which never
+    /// memoizes belief-less scores).
+    pub fn memoize_reduction(&mut self, job: JobId, stage: StageId, r: f64) {
+        if let Some(b) = self.beliefs.get_mut(&job) {
+            b.reductions.insert(stage.0, r);
         }
     }
 }
@@ -356,6 +389,10 @@ mod tests {
             regular_total: 2,
             regular_busy: 0,
             dispatchable: jobs.iter().map(|j| j.ready_unstarted_tasks()).sum(),
+            dispatchable_regular: jobs.iter().map(|j| j.ready_unstarted_by_class().0).sum(),
+            dispatchable_llm: jobs.iter().map(|j| j.ready_unstarted_by_class().1).sum(),
+            could_dispatch: true,
+            pool: None,
             templates,
             latency,
         }

@@ -141,9 +141,11 @@ pub struct EvidencePosteriors {
     /// Shared memo of Eq. 6 MI terms per stage: the term is a pure
     /// function of `(application, evidence)` (see
     /// [`crate::uncertainty`]), so every job under this evidence reuses
-    /// one computation. A `Mutex` (never contended — scheduling is
-    /// single-threaded; it only keeps the type `Sync` for multi-threaded
-    /// bench harnesses) guards the lazy fills.
+    /// one computation. The `Mutex` guards the lazy fills: parallel
+    /// candidate scoring computes misses from several worker threads at
+    /// once, and because the memoized value is a pure function of the
+    /// key, racing fills write the same bits whichever thread lands
+    /// first.
     pub(crate) mi: std::sync::Mutex<std::collections::HashMap<u32, f64>>,
 }
 

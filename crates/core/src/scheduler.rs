@@ -72,6 +72,19 @@ pub struct LlmSchedConfig {
     /// the rebuild-per-call reference path; both produce bit-identical
     /// schedules.
     pub incremental: bool,
+    /// Declare the policy work-conserving: `schedule` returns an empty
+    /// preference **before any RNG draw or state sync** whenever the
+    /// engine reports no startable task
+    /// ([`SchedContext::could_dispatch`]), and
+    /// [`Scheduler::is_work_conserving`] returns `true`, opting the
+    /// policy into the engine's capacity-aware decision-point elision.
+    ///
+    /// Defaults to `false` because it is **not** RNG-neutral: the stock
+    /// merge advances the ε-draw stream even at capacity-starved points
+    /// (the fast drain), so flipping this changes which draws later
+    /// decisions see — a different (neither better nor worse) schedule.
+    /// Golden pins therefore stay on `false`; throughput benches opt in.
+    pub work_conserving: bool,
     /// Online-profiling cadence for the scheduler's [`ProfileStore`]:
     /// how often completed-stage observations are folded into new profile
     /// snapshots. The default, [`ProfileUpdate::Frozen`], reproduces the
@@ -92,6 +105,7 @@ impl Default for LlmSchedConfig {
             interval_tail_mass: crate::estimator::INTERVAL_TAIL_MASS,
             seed: 0xC0FFEE,
             incremental: true,
+            work_conserving: false,
             profile_update: ProfileUpdate::Frozen,
         }
     }
@@ -140,6 +154,14 @@ pub struct LlmSched {
     merge_emitted: HashMap<(usize, StageId), usize>,
     st_mat_buf: Vec<StageRef>,
     su_heap_buf: std::collections::BinaryHeap<SuEntry>,
+    /// Group-scoring scratch: the current non-overlapping group's
+    /// ready-stage frontier and its Eq. 6 scores (parallel arrays).
+    su_cands_buf: Vec<(usize, StageId)>,
+    su_scores_buf: Vec<f64>,
+    /// Candidates scored via the worker-pool fork-join route since
+    /// construction/reset — observability only, never consulted by the
+    /// schedule itself.
+    par_scored: u64,
     /// Decision-provenance collection, flipped by the engine via
     /// [`Scheduler::set_telemetry`]. Observation-only: records are built
     /// from values both paths already computed, so the ε-greedy RNG
@@ -258,6 +280,9 @@ impl LlmSched {
             merge_emitted: HashMap::new(),
             st_mat_buf: Vec::new(),
             su_heap_buf: std::collections::BinaryHeap::new(),
+            su_cands_buf: Vec::new(),
+            su_scores_buf: Vec::new(),
+            par_scored: 0,
             telemetry: false,
             decisions: Vec::new(),
             name,
@@ -278,6 +303,12 @@ impl LlmSched {
     /// cadence, feeds with completed-stage observations).
     pub fn profile_store(&self) -> &ProfileStore {
         &self.store
+    }
+
+    /// Number of Eq. 6 candidates scored on the engine's worker pool
+    /// (the fork-join route) since construction or the last reset.
+    pub fn par_scored(&self) -> u64 {
+        self.par_scored
     }
 
     // ------------------------------------------------------------------
@@ -557,6 +588,9 @@ impl LlmSched {
             ref mut merge_emitted,
             ref mut st_mat_buf,
             ref mut su_heap_buf,
+            ref mut su_cands_buf,
+            ref mut su_scores_buf,
+            ref mut par_scored,
             ref mut decisions,
             ..
         } = *self;
@@ -607,9 +641,11 @@ impl LlmSched {
                     // Materialize the next non-overlapping group: scan the
                     // interval order, merging while lower bounds stay
                     // within the group's running upper bound (exactly
-                    // `non_overlapping_groups`).
+                    // `non_overlapping_groups`), collecting the group's
+                    // ready-stage frontier as scoring candidates.
                     let mut cur_hi = f64::NEG_INFINITY;
                     let mut first = true;
+                    su_cands_buf.clear();
                     while let Some(&(lo, id)) = iv_src.peek() {
                         if !first && lo > cur_hi {
                             break;
@@ -626,14 +662,33 @@ impl LlmSched {
                             continue;
                         };
                         for &s in ctx.jobs[idx].ready_stage_ids() {
-                            let r = beliefs.reduction(store, cfg.mi, &ctx.jobs[idx], s);
-                            heap.push(SuEntry {
-                                score: FiniteF64(r),
-                                tie: std::cmp::Reverse((ctx.jobs[idx].id(), s)),
-                                job_idx: idx,
-                                stage: s,
-                            });
+                            su_cands_buf.push((idx, s));
                         }
+                    }
+                    // Score the frontier — fork-joined across the engine's
+                    // worker pool when one is attached and the group is
+                    // wide enough to amortize the fan-out, inline
+                    // otherwise; bit-identical either way (see
+                    // `score_group`). The heap's order is total (ties
+                    // break on unique (job, stage)), so the pops — and
+                    // with them the ε-draw consumption — never observe
+                    // which route ran or the push order.
+                    *par_scored += score_group(
+                        beliefs,
+                        store,
+                        cfg.mi,
+                        ctx,
+                        su_cands_buf,
+                        su_scores_buf,
+                        ctx.pool,
+                    );
+                    for (&(idx, s), &r) in su_cands_buf.iter().zip(su_scores_buf.iter()) {
+                        heap.push(SuEntry {
+                            score: FiniteF64(r),
+                            tie: std::cmp::Reverse((ctx.jobs[idx].id(), s)),
+                            job_idx: idx,
+                            stage: s,
+                        });
                     }
                 }
                 let popped = heap.pop();
@@ -964,6 +1019,80 @@ fn provenance_record(
     }
 }
 
+/// Minimum group frontier size before a scoring batch fans out across the
+/// worker pool: below this the per-task coordination costs more than the
+/// Eq. 6 inference being parallelized.
+const MIN_PAR_FRONTIER: usize = 16;
+
+/// Scores one non-overlapping group's ready-stage frontier (Eq. 6) into
+/// `scores` (kept parallel to `cands`); returns how many candidates were
+/// scored on the worker pool (0 on the inline route).
+///
+/// Three phases, equivalent to calling [`BeliefStore::reduction`] per
+/// candidate in order:
+/// 1. probe the per-job memos (sequential, read-only);
+/// 2. compute the misses — fork-joined across `pool` when one is attached
+///    and the miss count reaches [`MIN_PAR_FRONTIER`], inline otherwise.
+///    Compute takes `&BeliefStore`; the only shared write is the
+///    per-evidence MI memo behind its mutex, whose fills are pure
+///    functions of the key, so racing threads store identical bits;
+/// 3. commit the computed scores into the per-job memos (sequential) —
+///    exactly the mutations the sequential path performs.
+///
+/// The one observable difference from strict sequential order: two
+/// same-evidence candidates that would have shared an MI memo fill may
+/// both compute it concurrently. The values are identical, so the scores
+/// — and everything downstream — are bit-identical.
+fn score_group(
+    beliefs: &mut BeliefStore,
+    store: &ProfileStore,
+    mi: MiEstimator,
+    ctx: &SchedContext<'_>,
+    cands: &[(usize, StageId)],
+    scores: &mut Vec<f64>,
+    pool: Option<&llmsched_sim::par::WorkerPool>,
+) -> u64 {
+    scores.clear();
+    scores.resize(cands.len(), 0.0);
+    let mut misses: Vec<usize> = Vec::new();
+    for (k, &(idx, s)) in cands.iter().enumerate() {
+        match beliefs.memoized_reduction(ctx.jobs[idx].id(), s) {
+            Some(r) => scores[k] = r,
+            None => misses.push(k),
+        }
+    }
+    let mut fanned = 0u64;
+    let computed: Vec<f64> = match pool {
+        Some(pool) if misses.len() >= MIN_PAR_FRONTIER => {
+            fanned = misses.len() as u64;
+            let shared: &BeliefStore = beliefs;
+            let out: llmsched_sim::par::TaskSlots<f64> =
+                llmsched_sim::par::TaskSlots::new(misses.len());
+            pool.run(misses.len(), &|i| {
+                let (idx, s) = cands[misses[i]];
+                out.put(i, shared.score(store, mi, &ctx.jobs[idx], s));
+            });
+            out.into_inner()
+                .into_iter()
+                .map(|v| v.expect("every scoring task fills its slot"))
+                .collect()
+        }
+        _ => misses
+            .iter()
+            .map(|&k| {
+                let (idx, s) = cands[k];
+                beliefs.score(store, mi, &ctx.jobs[idx], s)
+            })
+            .collect(),
+    };
+    for (&k, r) in misses.iter().zip(computed) {
+        let (idx, s) = cands[k];
+        scores[k] = r;
+        beliefs.memoize_reduction(ctx.jobs[idx].id(), s, r);
+    }
+    fanned
+}
+
 /// Most-uncertainty-reduction-first ordering within one group (ties by
 /// (job id, stage id) so runs are deterministic).
 fn sort_scored(scored: &mut [(f64, StageRef)], ctx: &SchedContext<'_>) {
@@ -1057,6 +1186,7 @@ impl Scheduler for LlmSched {
         self.ready_dirty.clear();
         self.total_ready = ReadyProfile::default();
         self.rng = StdRng::seed_from_u64(self.cfg.seed);
+        self.par_scored = 0;
         self.decisions.clear();
     }
 
@@ -1071,6 +1201,18 @@ impl Scheduler for LlmSched {
             // bit-identical. Pinned by the coalescing equivalence suite.
             return Preference::new();
         }
+        if self.cfg.work_conserving && !ctx.could_dispatch {
+            // Work-conserving mode: ready tasks exist but no executor of
+            // a ready class is free, so nothing emitted here could start.
+            // Return before any RNG draw or state sync — the empty-handed
+            // merge would otherwise advance the ε-draw stream (the fast
+            // drain) — making this call an exact no-op that the engine's
+            // capacity-aware elision can skip wholesale. The predicate is
+            // engine-computed (same bit the elision branch tests), so the
+            // two sides can never disagree; pinned by the elision
+            // equivalence suite.
+            return Preference::new();
+        }
         if self.cfg.incremental {
             self.schedule_incremental(ctx)
         } else {
@@ -1081,6 +1223,10 @@ impl Scheduler for LlmSched {
     fn set_telemetry(&mut self, enabled: bool) {
         self.telemetry = enabled;
         self.decisions.clear();
+    }
+
+    fn is_work_conserving(&self) -> bool {
+        self.cfg.work_conserving
     }
 
     fn drain_provenance(&mut self, out: &mut Vec<DecisionRecord>) {

@@ -65,10 +65,19 @@ impl Scheduler for Fcfs {
         self.index.clear();
     }
 
+    // The `!could_dispatch` early-return above every decision makes the
+    // policy a provable no-op at capacity-starved points: capacity-aware
+    // elision is sound.
+    fn is_work_conserving(&self) -> bool {
+        true
+    }
+
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        if ctx.dispatchable == 0 {
-            // Nothing could start: decide nothing, touch no state, so a
-            // coalescing engine (which skips this call) stays bit-identical.
+        if !ctx.could_dispatch {
+            // Nothing could start (no ready work, or no free executor of
+            // a ready class): decide nothing, touch no state, so an
+            // engine that coalesces or elides this call stays
+            // bit-identical.
             return Preference::new();
         }
         let mut p = Preference::new();
@@ -187,10 +196,19 @@ impl Scheduler for Fair {
         self.index.clear();
     }
 
+    // The `!could_dispatch` early-return above every decision makes the
+    // policy a provable no-op at capacity-starved points: capacity-aware
+    // elision is sound.
+    fn is_work_conserving(&self) -> bool {
+        true
+    }
+
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        if ctx.dispatchable == 0 {
-            // Nothing could start: decide nothing, touch no state, so a
-            // coalescing engine (which skips this call) stays bit-identical.
+        if !ctx.could_dispatch {
+            // Nothing could start (no ready work, or no free executor of
+            // a ready class): decide nothing, touch no state, so an
+            // engine that coalesces or elides this call stays
+            // bit-identical.
             return Preference::new();
         }
         let mut p = Preference::new();
@@ -267,10 +285,19 @@ impl Scheduler for Sjf {
         self.index.clear();
     }
 
+    // The `!could_dispatch` early-return above every decision makes the
+    // policy a provable no-op at capacity-starved points: capacity-aware
+    // elision is sound.
+    fn is_work_conserving(&self) -> bool {
+        true
+    }
+
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        if ctx.dispatchable == 0 {
-            // Nothing could start: decide nothing, touch no state, so a
-            // coalescing engine (which skips this call) stays bit-identical.
+        if !ctx.could_dispatch {
+            // Nothing could start (no ready work, or no free executor of
+            // a ready class): decide nothing, touch no state, so an
+            // engine that coalesces or elides this call stays
+            // bit-identical.
             return Preference::new();
         }
         let mut p = Preference::new();
@@ -351,10 +378,19 @@ impl Scheduler for Srtf {
         self.index.clear();
     }
 
+    // The `!could_dispatch` early-return above every decision makes the
+    // policy a provable no-op at capacity-starved points: capacity-aware
+    // elision is sound.
+    fn is_work_conserving(&self) -> bool {
+        true
+    }
+
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        if ctx.dispatchable == 0 {
-            // Nothing could start: decide nothing, touch no state, so a
-            // coalescing engine (which skips this call) stays bit-identical.
+        if !ctx.could_dispatch {
+            // Nothing could start (no ready work, or no free executor of
+            // a ready class): decide nothing, touch no state, so an
+            // engine that coalesces or elides this call stays
+            // bit-identical.
             return Preference::new();
         }
         let mut p = Preference::new();

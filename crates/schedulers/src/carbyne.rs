@@ -154,10 +154,19 @@ impl Scheduler for CarbyneLike {
         self.estimates.clear();
     }
 
+    // The `!could_dispatch` early-return above every decision makes the
+    // policy a provable no-op at capacity-starved points: capacity-aware
+    // elision is sound.
+    fn is_work_conserving(&self) -> bool {
+        true
+    }
+
     fn schedule(&mut self, ctx: &SchedContext<'_>) -> Preference {
-        if ctx.dispatchable == 0 {
-            // Nothing could start: decide nothing, touch no state, so a
-            // coalescing engine (which skips this call) stays bit-identical.
+        if !ctx.could_dispatch {
+            // Nothing could start (no ready work, or no free executor of
+            // a ready class): decide nothing, touch no state, so an
+            // engine that coalesces or elides this call stays
+            // bit-identical.
             return Preference::new();
         }
         let mut p = Preference::new();

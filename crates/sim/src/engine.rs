@@ -45,7 +45,9 @@ use crate::exec::sharded::{run_shard, HookFx, ShardedBackend};
 use crate::exec::{pool, ExecCtx, ExecutorBackend, LlmTaskRef, Post};
 use crate::latency::LatencyProfile;
 use crate::metrics::{JobOutcome, SimResult, Utilization};
-use crate::par::{EventQueues, ParStats, Parallelism, ShardStats, ShardedQueue};
+use crate::par::{
+    EventQueues, ParStats, Parallelism, ShardStats, ShardedQueue, TaskSlots, WorkerPool,
+};
 use crate::scheduler::{ActiveJobs, Preference, SchedContext, SchedDelta, Scheduler, TaskRef};
 use crate::state::{JobRt, LlmExecutorView, TaskState, Visibility};
 
@@ -88,6 +90,26 @@ pub struct ClusterConfig {
     /// `DESIGN.md` §12). On by default; the A/B equivalence suite runs
     /// both settings.
     pub coalescing: bool,
+    /// Capacity-aware decision-point elision: additionally skip decision
+    /// points at which work is ready but *no executor of the matching
+    /// class has a free slot* — provided the active policy declares
+    /// itself work-conserving
+    /// ([`Scheduler::is_work_conserving`](crate::scheduler::Scheduler)),
+    /// i.e. guarantees an empty no-side-effect decision whenever
+    /// [`SchedContext::could_dispatch`](crate::scheduler::SchedContext)
+    /// is false. Deltas carry over exactly as under coalescing, elided
+    /// opportunities keep their sequence numbers, and on the partitioned
+    /// path an elided decision point is an elided *barrier*. On by
+    /// default; a no-op for policies that don't opt in (every policy
+    /// defaults to not-work-conserving). See `DESIGN.md` §13.
+    pub elision: bool,
+    /// Worker-pool size override: `None` (the default) sizes the
+    /// persistent pool to [`std::thread::available_parallelism`] and
+    /// skips building one entirely on single-thread hosts; `Some(n)`
+    /// forces an `n`-thread pool (and `n`-way threading gates), which is
+    /// how the determinism suites exercise the threaded paths on
+    /// single-core CI runners.
+    pub pool_threads: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -102,6 +124,8 @@ impl Default for ClusterConfig {
             spec: None,
             parallelism: Parallelism::Off,
             coalescing: true,
+            elision: true,
+            pool_threads: None,
         }
     }
 }
@@ -182,15 +206,31 @@ struct Engine<'a> {
     /// `Parallelism::Auto` demotion latch: set when a long prefix of
     /// rounds never threaded; all later rounds run inline.
     demoted: bool,
-    /// [`std::thread::available_parallelism`], cached once per run —
-    /// window threading is skipped outright on single-thread hosts.
+    /// Effective thread budget: [`ClusterConfig::pool_threads`] if set,
+    /// else [`std::thread::available_parallelism`], cached once per run —
+    /// window threading (and the pool itself) is skipped outright when
+    /// this is 1.
     hw_threads: usize,
+    /// The persistent parked-worker pool (`None` when `hw_threads < 2`):
+    /// shard window stepping and policy-side parallel scoring share it,
+    /// so per-round thread-spawn overhead is paid once per *run*.
+    pool: Option<crate::par::WorkerPool>,
     /// Ready, unstarted tasks across active jobs — the dispatchable-work
     /// count behind scheduler-invocation coalescing. Maintained
     /// incrementally at arrivals, dispatches and completion cascades.
     ready_unstarted: usize,
+    /// `ready_unstarted` split by executor class (regular / LLM) — the
+    /// per-class halves of the capacity-aware elision predicate.
+    ready_reg: usize,
+    ready_llm: usize,
     /// Scheduler opportunities skipped because nothing was dispatchable.
     sched_skipped: u64,
+    /// Scheduler opportunities elided because ready work had no free
+    /// executor of its class and the policy is work-conserving.
+    sched_elided: u64,
+    /// Reused per-shard event-count scratch for inline-round attribution
+    /// (sized `parts`; see [`ShardStats`]).
+    inline_counts: Vec<u64>,
     /// All job arrival times, sorted ascending, with an advancing cursor —
     /// the window bound's "next arrival" input.
     arrivals: Vec<SimTime>,
@@ -316,6 +356,11 @@ pub fn simulate_probed(
     };
     let backend_desc = llm.get().descriptor();
     let probe_on = probe.enabled();
+    let hw_threads = cfg.pool_threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     let mut engine = Engine {
         cfg,
         templates,
@@ -332,11 +377,14 @@ pub fn simulate_probed(
         barriers: 0,
         windows: 0,
         demoted: false,
-        hw_threads: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        hw_threads,
+        pool: (hw_threads >= 2).then(|| crate::par::WorkerPool::new(hw_threads)),
         ready_unstarted: 0,
+        ready_reg: 0,
+        ready_llm: 0,
         sched_skipped: 0,
+        sched_elided: 0,
+        inline_counts: vec![0; parts],
         arrivals: Vec::new(),
         arrival_ptr: 0,
         regular_finishes: std::collections::BinaryHeap::new(),
@@ -393,6 +441,7 @@ impl Engine<'_> {
             makespan,
             sched_calls: self.sched_calls,
             sched_skipped: self.sched_skipped,
+            sched_elided: self.sched_elided,
             sched_wall: self.sched_wall,
             sched_wall_samples: std::mem::take(&mut self.sched_samples),
             utilization: Utilization {
@@ -412,6 +461,11 @@ impl Engine<'_> {
                 windows: self.windows,
                 demoted: self.demoted,
                 per_shard: std::mem::take(&mut self.shard_stats),
+                pool_threads: self.pool.as_ref().map_or(0, |p| p.threads()),
+                pool_busy: self
+                    .pool
+                    .as_ref()
+                    .map_or_else(Vec::new, |p| p.worker_busy()),
             }),
             timeseries: self.probe.take_timeseries(makespan),
         }
@@ -434,13 +488,18 @@ impl Engine<'_> {
         }
     }
 
-    /// One scheduler decision point. With coalescing on and nothing
-    /// dispatchable the invocation is skipped outright — the pending
-    /// deltas stay queued for the next real invocation, and the
-    /// opportunity still consumes a sequence number so provenance streams
-    /// align bit-for-bit with an uncoalesced run (whose policies
-    /// short-circuit on `dispatchable == 0` and decide nothing).
-    fn scheduler_opportunity(&mut self, scheduler: &mut dyn Scheduler) {
+    /// One scheduler decision point; returns whether the policy was
+    /// actually invoked. With coalescing on and nothing dispatchable the
+    /// invocation is skipped outright — the pending deltas stay queued
+    /// for the next real invocation, and the opportunity still consumes
+    /// a sequence number so provenance streams align bit-for-bit with an
+    /// uncoalesced run (whose policies short-circuit on
+    /// `dispatchable == 0` and decide nothing). With elision on and a
+    /// work-conserving policy, decision points whose ready work has no
+    /// free executor of the matching class are skipped the same way: the
+    /// policy's `!could_dispatch` early-return guarantees the elided
+    /// invocation would have decided nothing and touched no state.
+    fn scheduler_opportunity(&mut self, scheduler: &mut dyn Scheduler) -> bool {
         debug_assert_eq!(
             self.ready_unstarted,
             self.active
@@ -449,11 +508,37 @@ impl Engine<'_> {
                 .sum::<usize>(),
             "dispatchable-work counter drifted from ground truth"
         );
+        debug_assert_eq!(
+            (self.ready_reg, self.ready_llm),
+            self.active.iter().fold((0, 0), |(r, l), &j| {
+                let (jr, jl) = self.jobs[j as usize].ready_unstarted_by_class();
+                (r + jr, l + jl)
+            }),
+            "per-class dispatchable-work counters drifted from ground truth"
+        );
         if self.cfg.coalescing && self.ready_unstarted == 0 {
             self.sched_skipped += 1;
-        } else {
-            self.invoke_scheduler(scheduler);
+            return false;
         }
+        if self.cfg.elision && !self.could_dispatch() && scheduler.is_work_conserving() {
+            self.sched_elided += 1;
+            return false;
+        }
+        self.invoke_scheduler(scheduler);
+        true
+    }
+
+    /// The capacity-aware elision predicate: true iff at least one ready,
+    /// unstarted task could start right now. The engine's dispatch loops
+    /// enforce exactly these two gates (`regular_busy` caps the regular
+    /// loop; `pool::has_free_slot` caps the LLM loop), so when both
+    /// halves fail, dispatch is provably a no-op regardless of what the
+    /// policy prefers. The same value is handed to policies as
+    /// [`SchedContext::could_dispatch`], so the policy-side early-return
+    /// and the engine-side elision can never disagree.
+    fn could_dispatch(&self) -> bool {
+        (self.ready_reg > 0 && self.regular_busy < self.cfg.regular_executors)
+            || (self.ready_llm > 0 && pool::has_free_slot(self.llm.get()))
     }
 
     /// The partitioned loop: drain one timestamp as one or more event
@@ -476,7 +561,6 @@ impl Engine<'_> {
         let mut fx: Vec<Option<HookFx>> = Vec::new();
         let auto = self.cfg.parallelism == Parallelism::Auto;
         while let Some(t) = self.queue.peek_time() {
-            self.barriers += 1;
             if auto && !self.demoted && crate::par::should_demote(self.rounds, self.par_rounds) {
                 // A long all-inline prefix: the workload never yields
                 // co-timed cross-shard work, so stop paying the routing
@@ -497,8 +581,19 @@ impl Engine<'_> {
                     break;
                 }
             }
+            // Barrier accounting: an iteration costs a synchronization
+            // point when its decision either had to run (the policy was
+            // invoked) or offered no scheduler opportunity at all (no
+            // effective event / no capacity / no active job — the loop
+            // still synchronized at `t`). Opportunities coalesced or
+            // elided away cost nothing: proving the skip needed only the
+            // engine's own counters, no cross-shard rendezvous.
             if effective && self.has_free_capacity() && !self.active.is_empty() {
-                self.scheduler_opportunity(scheduler);
+                if self.scheduler_opportunity(scheduler) {
+                    self.barriers += 1;
+                }
+            } else {
+                self.barriers += 1;
             }
             // The scheduler (or its skip) ran at `t`; dispatches above are
             // reflected in the backend, so the bound is computed on the
@@ -604,8 +699,13 @@ impl Engine<'_> {
         } else {
             usize::MAX
         };
+        let drain_start = std::time::Instant::now();
+        let mut drained = 0u64;
         while inline_budget > 0 && self.queue.peek_key().is_some_and(|k| k < w_key) {
             let (_, t, ev) = self.queue.pop_keyed().expect("peeked");
+            if let Some(s) = self.shard_of_event(&ev) {
+                self.inline_counts[s] += 1;
+            }
             if t > self.now {
                 self.advance_integrals(t);
                 self.now = t;
@@ -617,7 +717,12 @@ impl Engine<'_> {
                  the window ending at {w:?}"
             );
             inline_budget -= 1;
+            drained += 1;
         }
+        // Inline window work is attributed to the shards that own the
+        // events (it would have run on their worker threads under a
+        // larger budget); single-event drains skip the clock.
+        self.attribute_inline((drained > 1).then(|| drain_start.elapsed()));
         if !self.queue.peek_key().is_some_and(|k| k < w_key) {
             return;
         }
@@ -687,8 +792,8 @@ impl Engine<'_> {
     /// windows at or above [`par::WINDOW_THREAD_MIN_EVENTS`]: assigns
     /// each hook-bearing event to the shard owning its executor, and —
     /// when ≥ 2 shards have work — runs the shard hooks concurrently
-    /// under [`std::thread::scope`], recording their [`HookFx`] effects
-    /// into `fx` for the in-order replay.
+    /// across the persistent [`WorkerPool`], recording their [`HookFx`]
+    /// effects into `fx` for the in-order replay.
     fn classify_and_thread_window(
         &mut self,
         batch: &[(u128, SimTime, Event)],
@@ -732,6 +837,10 @@ impl Engine<'_> {
         }
         self.par_rounds += 1;
         let results = {
+            let pool = self
+                .pool
+                .as_ref()
+                .expect("threaded rounds only run with the worker pool up");
             let Backend::Sharded(sharded) = &mut self.llm else {
                 unreachable!("partitioned loop runs on the sharded backend")
             };
@@ -740,30 +849,7 @@ impl Engine<'_> {
             let jobs: &[JobRt] = &self.jobs;
             let latency = &self.cfg.latency;
             let items: &[Vec<(u32, SimTime, Event)>] = items;
-            type ShardRound = (usize, std::time::Duration, Vec<(u32, HookFx)>);
-            let results: Vec<ShardRound> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (s, ((shard, base), slice)) in shards
-                    .into_iter()
-                    .zip(bases.iter().copied())
-                    .zip(items)
-                    .enumerate()
-                {
-                    if slice.is_empty() {
-                        continue;
-                    }
-                    handles.push(scope.spawn(move || {
-                        let start = std::time::Instant::now();
-                        let fx = run_shard(shard, base, jobs, latency, slice);
-                        (s, start.elapsed(), fx)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
-            results
+            run_shards_pooled(pool, shards, &bases, items, jobs, latency)
         };
         for (s, busy, shard_fx) in results {
             self.shard_stats[s].threaded_batches += 1;
@@ -779,6 +865,51 @@ impl Engine<'_> {
             }
             for (idx, f) in shard_fx {
                 fx[idx as usize] = Some(f);
+            }
+        }
+    }
+
+    /// The shard owning an event's executor (`None` for arrivals, regular
+    /// finishes, and stale finishes) — the same classification the
+    /// threaded paths run, exposed for inline-round attribution. Must be
+    /// consulted *before* [`Engine::apply`], which may retire the task
+    /// state the classification reads.
+    fn shard_of_event(&self, ev: &Event) -> Option<usize> {
+        let Backend::Sharded(sharded) = &self.llm else {
+            return None;
+        };
+        match *ev {
+            Event::LlmStep { exec, .. } => Some(sharded.shard_of(exec)),
+            Event::TaskFinish {
+                job, stage, task, ..
+            } => match self.jobs[job].task_state_of(stage, task) {
+                TaskState::Running { exec: Some(e) } => Some(sharded.shard_of(e as usize)),
+                _ => None,
+            },
+            Event::Arrival { .. } => None,
+        }
+    }
+
+    /// Folds this round's inline per-shard event counts
+    /// (`inline_counts`) into `shard_stats`, optionally spreading a
+    /// whole-drain wall-clock measurement pro rata by event count (the
+    /// documented approximation for inline busy time; un-timed rounds
+    /// pass `None`). Resets the scratch for the next round.
+    fn attribute_inline(&mut self, elapsed: Option<std::time::Duration>) {
+        let total: u64 = self.inline_counts.iter().sum();
+        if total == 0 {
+            return;
+        }
+        for s in 0..self.inline_counts.len() {
+            let c = self.inline_counts[s];
+            if c == 0 {
+                continue;
+            }
+            self.inline_counts[s] = 0;
+            self.shard_stats[s].batches += 1;
+            self.shard_stats[s].events += c;
+            if let Some(e) = elapsed {
+                self.shard_stats[s].busy += e.mul_f64(c as f64 / total as f64);
             }
         }
     }
@@ -808,8 +939,8 @@ impl Engine<'_> {
     /// Processes one same-timestamp event round. Hook-bearing events
     /// (`LlmStep`s and `TaskFinish`es whose task currently runs on an
     /// LLM executor) are assigned to the shard owning that executor;
-    /// when ≥ 2 shards have work, the shards run concurrently under
-    /// [`std::thread::scope`] with read-only access to the job table,
+    /// when ≥ 2 shards have work, the shards run concurrently across the
+    /// persistent [`WorkerPool`] with read-only access to the job table,
     /// and their recorded [`HookFx`] effects are replayed here in batch
     /// order. Rounds with ≤ 1 busy shard take the inline sequential
     /// path — identical semantics, no thread launch.
@@ -822,13 +953,19 @@ impl Engine<'_> {
         // Single-event rounds — the overwhelmingly common case outside
         // co-timed bursts — can never engage a second shard, demoted
         // runs never thread at all, and a single hardware thread makes
-        // spawning pure overhead: apply in place, skipping
-        // classification, routing, and per-shard accounting.
+        // spawning pure overhead: apply in place, skipping routing.
+        // Shard attribution still happens (a cheap state read per
+        // event), so `per_shard` reflects real work even on hosts where
+        // nothing ever threads.
         if self.demoted || self.hw_threads < 2 || batch.len() < 2 {
             let mut effective = false;
             for &(_, ev) in batch {
+                if let Some(s) = self.shard_of_event(&ev) {
+                    self.inline_counts[s] += 1;
+                }
                 effective |= self.apply(ev);
             }
+            self.attribute_inline(None);
             return effective;
         }
         for v in items.iter_mut() {
@@ -874,6 +1011,10 @@ impl Engine<'_> {
         fx.clear();
         fx.resize_with(batch.len(), || None);
         let results = {
+            let pool = self
+                .pool
+                .as_ref()
+                .expect("threaded rounds only run with the worker pool up");
             let Backend::Sharded(sharded) = &mut self.llm else {
                 unreachable!("partitioned loop runs on the sharded backend")
             };
@@ -882,31 +1023,7 @@ impl Engine<'_> {
             let jobs: &[JobRt] = &self.jobs;
             let latency = &self.cfg.latency;
             let items: &[Vec<(u32, SimTime, Event)>] = items;
-            // (shard index, wall-clock busy time, per-event hook effects).
-            type ShardRound = (usize, std::time::Duration, Vec<(u32, HookFx)>);
-            let results: Vec<ShardRound> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for (s, ((shard, base), slice)) in shards
-                    .into_iter()
-                    .zip(bases.iter().copied())
-                    .zip(items)
-                    .enumerate()
-                {
-                    if slice.is_empty() {
-                        continue;
-                    }
-                    handles.push(scope.spawn(move || {
-                        let start = std::time::Instant::now();
-                        let fx = run_shard(shard, base, jobs, latency, slice);
-                        (s, start.elapsed(), fx)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            });
-            results
+            run_shards_pooled(pool, shards, &bases, items, jobs, latency)
         };
         for (s, busy, shard_fx) in results {
             self.shard_stats[s].threaded_batches += 1;
@@ -1106,7 +1223,10 @@ impl Engine<'_> {
                 }
                 self.finalize_completion(job);
                 // The job's ready work becomes dispatchable only now.
-                self.ready_unstarted += self.jobs[job].ready_unstarted_tasks();
+                let (reg, llm) = self.jobs[job].ready_unstarted_by_class();
+                self.ready_unstarted += reg + llm;
+                self.ready_reg += reg;
+                self.ready_llm += llm;
                 true
             }
             Event::TaskFinish {
@@ -1149,7 +1269,7 @@ impl Engine<'_> {
         // chains, auto-completes) is confined to this job; recount its
         // dispatchable work across the whole cascade instead of threading
         // adjustments through every transition.
-        let ready_before = self.jobs[job].ready_unstarted_tasks();
+        let (reg_before, llm_before) = self.jobs[job].ready_unstarted_by_class();
         let spec_work = self.jobs[job].spec.task_work(StageId(stage), task);
         let TaskState::Running { exec } = self.jobs[job].task_state_of(stage, task) else {
             unreachable!("validated by caller")
@@ -1210,8 +1330,10 @@ impl Engine<'_> {
             self.complete_stage(job, stage);
         }
         self.finalize_completion(job);
-        let ready_after = self.jobs[job].ready_unstarted_tasks();
-        self.ready_unstarted = self.ready_unstarted - ready_before + ready_after;
+        let (reg_after, llm_after) = self.jobs[job].ready_unstarted_by_class();
+        self.ready_reg = self.ready_reg - reg_before + reg_after;
+        self.ready_llm = self.ready_llm - llm_before + llm_after;
+        self.ready_unstarted = self.ready_reg + self.ready_llm;
     }
 
     /// Marks `stage` complete, propagates dependency counts, processes
@@ -1406,6 +1528,10 @@ impl Engine<'_> {
                 regular_total: self.cfg.regular_executors,
                 regular_busy: self.regular_busy,
                 dispatchable: self.ready_unstarted,
+                dispatchable_regular: self.ready_reg,
+                dispatchable_llm: self.ready_llm,
+                could_dispatch: self.could_dispatch(),
+                pool: self.pool.as_ref(),
                 templates: self.templates,
                 latency: &self.cfg.latency,
             };
@@ -1421,9 +1547,10 @@ impl Engine<'_> {
         };
         self.sched_wall += elapsed;
         self.sched_samples.push(elapsed);
-        // Opportunity sequence: skipped opportunities consume numbers too,
-        // so records carry the same seq whether or not coalescing is on.
-        let seq = self.sched_calls + self.sched_skipped;
+        // Opportunity sequence: skipped and elided opportunities consume
+        // numbers too, so records carry the same seq whether or not
+        // coalescing / elision is on.
+        let seq = self.sched_calls + self.sched_skipped + self.sched_elided;
         self.sched_calls += 1;
         // The batch is delivered exactly once; dispatch deltas below open
         // the next batch.
@@ -1513,6 +1640,7 @@ impl Engine<'_> {
         let epoch = self.jobs[j].start_task(tr.stage.0, tr.task, None, self.now);
         self.regular_busy += 1;
         self.ready_unstarted -= 1;
+        self.ready_reg -= 1;
         self.regular_finishes
             .push(std::cmp::Reverse(self.now + duration));
         self.emit(SchedDelta::TasksDispatched {
@@ -1544,6 +1672,7 @@ impl Engine<'_> {
     fn start_llm(&mut self, j: usize, tr: &TaskRef, e: usize, work: LlmWork) {
         self.jobs[j].start_task(tr.stage.0, tr.task, Some(e as u32), self.now);
         self.ready_unstarted -= 1;
+        self.ready_llm -= 1;
         self.emit(SchedDelta::TasksDispatched {
             job: tr.job,
             stage: tr.stage,
@@ -1571,6 +1700,46 @@ impl Engine<'_> {
         );
         self.flush_own_posts();
     }
+}
+
+/// Fans one round's shard hook work out across the persistent worker
+/// pool: each busy shard becomes one pool task holding exclusive access
+/// to its `&mut dyn ExecutorBackend` (handed through [`TaskSlots`]), and
+/// the calling thread participates as pool worker 0. Returns
+/// `(shard index, wall-clock busy, per-event hook effects)` per busy
+/// shard — the same contract the old per-round `std::thread::scope`
+/// fan-out had, minus the per-round spawn/join cost.
+type ShardRoundFx = (usize, std::time::Duration, Vec<(u32, HookFx)>);
+
+fn run_shards_pooled<'s>(
+    pool: &WorkerPool,
+    shards: Vec<&'s mut dyn ExecutorBackend>,
+    bases: &[usize],
+    items: &[Vec<(u32, SimTime, Event)>],
+    jobs: &[JobRt],
+    latency: &LatencyProfile,
+) -> Vec<ShardRoundFx> {
+    let n_busy = items.iter().filter(|v| !v.is_empty()).count();
+    let inputs: TaskSlots<(usize, &'s mut dyn ExecutorBackend)> = TaskSlots::new(n_busy);
+    let outputs: TaskSlots<ShardRoundFx> = TaskSlots::new(n_busy);
+    let mut k = 0;
+    for (s, shard) in shards.into_iter().enumerate() {
+        if items[s].is_empty() {
+            continue;
+        }
+        inputs.put(k, (s, shard));
+        k += 1;
+    }
+    debug_assert_eq!(k, n_busy);
+    pool.run(n_busy, &|i| {
+        let (s, shard) = inputs
+            .take(i)
+            .expect("pool task index is claimed exactly once");
+        let start = std::time::Instant::now();
+        let fx = run_shard(shard, bases[s], jobs, latency, &items[s]);
+        outputs.put(i, (s, start.elapsed(), fx));
+    });
+    outputs.into_inner().into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -117,6 +117,8 @@ mod tests {
             spec: None,
             parallelism: crate::par::Parallelism::Off,
             coalescing: true,
+            elision: true,
+            pool_threads: None,
         }
     }
 

@@ -82,9 +82,20 @@ pub struct SimResult {
     /// engine proved nothing was dispatchable, so the policy was not
     /// called; the accumulated deltas carried over to the next real
     /// invocation). Always 0 with coalescing off. Opportunity sequence
-    /// numbers count both, so `sched_calls + sched_skipped` is the total
-    /// number of decision points the run evaluated.
+    /// numbers count skipped and elided opportunities alongside real
+    /// calls — see [`SimResult::sched_elided`] for the full invariant.
     pub sched_skipped: u64,
+    /// Scheduler opportunities elided by the capacity-aware check: work
+    /// was dispatchable in principle (`ready_unstarted > 0`) but no
+    /// executor of the matching class had a free slot, and the active
+    /// policy declared itself work-conserving
+    /// ([`Scheduler::is_work_conserving`](crate::scheduler::Scheduler)),
+    /// so the invocation was provably a no-op and was skipped. Always 0
+    /// with elision off or under a non-work-conserving policy.
+    /// Opportunity sequence numbers count all three outcomes, so
+    /// `sched_calls + sched_skipped + sched_elided` is the total number
+    /// of decision points the run evaluated.
+    pub sched_elided: u64,
     /// Total wall-clock time spent inside the scheduler (delta delivery +
     /// `Scheduler::schedule`).
     pub sched_wall: std::time::Duration,
@@ -236,6 +247,7 @@ mod tests {
             makespan: SimTime::from_secs_f64(10.0),
             sched_calls: 4,
             sched_skipped: 0,
+            sched_elided: 0,
             sched_wall: std::time::Duration::from_millis(2),
             sched_wall_samples: (1..=4)
                 .map(|i| std::time::Duration::from_micros(250 * i))

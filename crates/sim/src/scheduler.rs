@@ -388,6 +388,30 @@ pub struct SchedContext<'a> {
     /// [`ClusterConfig::coalescing`](crate::engine::ClusterConfig) is on),
     /// so policy state evolves identically either way.
     pub dispatchable: usize,
+    /// [`SchedContext::dispatchable`] restricted to regular-executor
+    /// stages. Informational split for policies that want per-class
+    /// frontier sizes without rescanning.
+    pub dispatchable_regular: usize,
+    /// [`SchedContext::dispatchable`] restricted to LLM-executor stages.
+    pub dispatchable_llm: usize,
+    /// Engine-computed capacity verdict: true iff at least one ready,
+    /// unstarted task could start *right now* — a free regular executor
+    /// with ready regular work, or a free LLM batch slot with ready LLM
+    /// work. This is exactly the predicate the engine's capacity-aware
+    /// elision uses (see [`ClusterConfig::elision`](crate::engine::ClusterConfig)):
+    /// a policy that early-returns an empty preference whenever
+    /// `!could_dispatch` — before touching any RNG or order-dependent
+    /// state — may declare [`Scheduler::is_work_conserving`] and have
+    /// such invocations elided entirely, bit-identically. The field is
+    /// engine-computed (not derived from the views) so the policy-side
+    /// early-return and the engine-side elision can never disagree.
+    pub could_dispatch: bool,
+    /// The engine's persistent worker pool, when one is running (the
+    /// engine builds it for effective `hw_threads >= 2`). Policies with
+    /// embarrassingly parallel per-job work (LLMSched's Eq. 6 scoring)
+    /// may fork-join across it, provided the merge is deterministic —
+    /// results must be bit-identical to the sequential fold.
+    pub pool: Option<&'a crate::par::WorkerPool>,
     /// Registered application templates.
     pub templates: &'a TemplateSet,
     /// The cluster's decode-latency curve (public knowledge: providers
@@ -476,6 +500,22 @@ pub trait Scheduler {
     fn drain_provenance(&mut self, out: &mut Vec<llmsched_telemetry::DecisionRecord>) {
         let _ = out;
     }
+
+    /// Declares that this policy is *work-conserving*: whenever
+    /// [`SchedContext::could_dispatch`] is false, its [`Scheduler::schedule`]
+    /// returns an empty preference without touching any RNG or other
+    /// order-dependent state. The engine may then elide such invocations
+    /// entirely (skipping the decision point — and, in the partitioned
+    /// engine, its barrier) when
+    /// [`ClusterConfig::elision`](crate::engine::ClusterConfig) is on,
+    /// with bit-identical results guaranteed by `tests/elision_equiv.rs`.
+    ///
+    /// The default is `false` (never elide), so policies that don't opt
+    /// in see identical behavior. Wrapper schedulers MUST forward this
+    /// hook, or elision silently turns off under them.
+    fn is_work_conserving(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket impl so `Box<dyn Scheduler>` is itself a scheduler — lets the
@@ -503,6 +543,10 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
 
     fn drain_provenance(&mut self, out: &mut Vec<llmsched_telemetry::DecisionRecord>) {
         (**self).drain_provenance(out)
+    }
+
+    fn is_work_conserving(&self) -> bool {
+        (**self).is_work_conserving()
     }
 }
 
@@ -603,6 +647,10 @@ mod tests {
             regular_total: 1,
             regular_busy: 0,
             dispatchable: jobs.iter().map(|j| j.ready_unstarted_tasks()).sum(),
+            dispatchable_regular: jobs.iter().map(|j| j.ready_unstarted_by_class().0).sum(),
+            dispatchable_llm: jobs.iter().map(|j| j.ready_unstarted_by_class().1).sum(),
+            could_dispatch: true,
+            pool: None,
             templates: &templates,
             latency: &latency,
         };

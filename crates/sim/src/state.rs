@@ -418,6 +418,27 @@ impl JobRt {
         self.ready.iter().map(|&s| self.unstarted_count(s)).sum()
     }
 
+    /// [`JobRt::ready_unstarted_tasks`] split by executor class:
+    /// `(regular, llm)`. Dynamic placeholders never enter the ready set
+    /// (they auto-complete), so the two classes partition the total.
+    /// Drives capacity-aware decision-point elision: an invocation can
+    /// be skipped when neither class has both ready work *and* a free
+    /// executor of that class.
+    pub fn ready_unstarted_by_class(&self) -> (usize, usize) {
+        let (mut regular, mut llm) = (0usize, 0usize);
+        for &s in &self.ready {
+            let n = self.unstarted_count(s);
+            match self.spec.stage(s).kind {
+                llmsched_dag::job::StageKind::Regular => regular += n,
+                llmsched_dag::job::StageKind::Llm => llm += n,
+                llmsched_dag::job::StageKind::DynamicPlaceholder => {
+                    debug_assert_eq!(n, 0, "placeholders are never ready with tasks")
+                }
+            }
+        }
+        (regular, llm)
+    }
+
     /// Number of unstarted tasks of a ready stage (0 if not ready).
     pub fn unstarted_count(&self, stage: StageId) -> usize {
         if !self.stage_ready(stage) {

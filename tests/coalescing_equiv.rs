@@ -11,9 +11,10 @@
 //! and the partitioned engine.
 //!
 //! The accounting invariant ties the two modes together: every decision
-//! point keeps its sequence number whether it ran or was skipped, so
-//! `sched_calls + sched_skipped` (coalesced) equals `sched_calls`
-//! (uncoalesced), and provenance `seq` values match exactly.
+//! point keeps its sequence number whether it ran, was skipped, or was
+//! elided (capacity-aware elision stays at its default here, so both
+//! sides may elide), so `sched_calls + sched_skipped + sched_elided` is
+//! the same total either way, and provenance `seq` values match exactly.
 
 use std::sync::OnceLock;
 
@@ -98,11 +99,14 @@ fn assert_equiv(on: &SimResult, off: &SimResult, label: &str) {
         off.avg_jct_secs().to_bits(),
         "{label}: avg JCT bit pattern"
     );
-    // The accounting invariant: skipping never loses a decision point.
+    // The accounting invariant: neither skipping nor eliding loses a
+    // decision point. (A point coalesced on one side may instead be
+    // elided on the other — `ready_unstarted == 0` implies
+    // `!could_dispatch` — so only the three-way total is comparable.)
     assert_eq!(off.sched_skipped, 0, "{label}: uncoalesced run skipped");
     assert_eq!(
-        on.sched_calls + on.sched_skipped,
-        off.sched_calls,
+        on.sched_calls + on.sched_skipped + on.sched_elided,
+        off.sched_calls + off.sched_elided,
         "{label}: decision-point count"
     );
     // Identical windowed trajectories (WindowRow is PartialEq over every

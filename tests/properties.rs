@@ -147,6 +147,10 @@ fn llmsched_preferences_are_valid() {
             regular_total: 2,
             regular_busy: 0,
             dispatchable: jobs.iter().map(|j| j.ready_unstarted_tasks()).sum(),
+            dispatchable_regular: jobs.iter().map(|j| j.ready_unstarted_by_class().0).sum(),
+            dispatchable_llm: jobs.iter().map(|j| j.ready_unstarted_by_class().1).sum(),
+            could_dispatch: true,
+            pool: None,
             templates: &w.templates,
             latency: &latency,
         };
