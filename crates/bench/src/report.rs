@@ -162,6 +162,7 @@ mod tests {
             sched_calls: 1,
             sched_skipped: 0,
             sched_elided: 0,
+            sched_deferred: 0,
             sched_wall: std::time::Duration::ZERO,
             sched_wall_samples: [std::time::Duration::ZERO].into_iter().collect(),
             utilization: Utilization::default(),

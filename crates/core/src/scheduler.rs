@@ -158,6 +158,20 @@ pub struct LlmSched {
     /// ready-stage frontier and its Eq. 6 scores (parallel arrays).
     su_cands_buf: Vec<(usize, StageId)>,
     su_scores_buf: Vec<f64>,
+    /// Dirty-set scored frontier: each job's ready-stage list with its
+    /// Eq. 6 scores, in `ready_stage_ids` order, persisted across
+    /// invocations. A job is re-scored only when a delta actually touched
+    /// it — its ready-stage set moved (arrival / stage completion /
+    /// reveal / dispatch) or its belief was replaced (evidence mask or
+    /// profile version moved, reported by [`BeliefStore::refresh`]);
+    /// untouched jobs replay their cached entries straight into the Su
+    /// heap without a single memo probe or job scan. Values are the
+    /// belief memos' (pure, bit-stable), so the merge — and the schedule
+    /// — is bit-identical to scoring from scratch every time.
+    frontier: HashMap<JobId, Vec<(StageId, f64)>>,
+    /// Scratch: `(job, su_cands_buf offset)` of each frontier miss in the
+    /// group being materialized (offsets delimit each job's candidates).
+    frontier_miss_buf: Vec<(JobId, usize)>,
     /// Candidates scored via the worker-pool fork-join route since
     /// construction/reset — observability only, never consulted by the
     /// schedule itself.
@@ -282,6 +296,8 @@ impl LlmSched {
             su_heap_buf: std::collections::BinaryHeap::new(),
             su_cands_buf: Vec::new(),
             su_scores_buf: Vec::new(),
+            frontier: HashMap::new(),
+            frontier_miss_buf: Vec::new(),
             par_scored: 0,
             telemetry: false,
             decisions: Vec::new(),
@@ -492,6 +508,13 @@ impl LlmSched {
             self.cfg.use_bn,
             self.cfg.interval_tail_mass,
         );
+        // A replaced belief cleared its Eq. 6 memos: the job's cached
+        // scored frontier is stale with it. (Calibration moves, by
+        // contrast, leave the frontier valid — Eq. 6 reductions are
+        // calibration-free; only the expected-work keys re-derive below.)
+        for id in &changed {
+            self.frontier.remove(id);
+        }
         if self.last_calib == Some(calib) {
             // Calibration stable: reposition only the jobs whose belief
             // moved (arrivals included — their upsert is the insert).
@@ -533,6 +556,10 @@ impl LlmSched {
         if self.ready_counts.len() != ctx.jobs.len() {
             self.ready_counts.clear();
             self.total_ready = ReadyProfile::default();
+            // Same bypassed-delta-stream safety net for the frontier: the
+            // ready-stage sets can no longer be trusted, so drop every
+            // cached scoring wholesale.
+            self.frontier.clear();
             for job in &ctx.jobs {
                 let p = ReadyProfile::of(job);
                 self.ready_counts.insert(job.id(), p);
@@ -590,6 +617,8 @@ impl LlmSched {
             ref mut su_heap_buf,
             ref mut su_cands_buf,
             ref mut su_scores_buf,
+            ref mut frontier,
+            ref mut frontier_miss_buf,
             ref mut par_scored,
             ref mut decisions,
             ..
@@ -646,6 +675,7 @@ impl LlmSched {
                     let mut cur_hi = f64::NEG_INFINITY;
                     let mut first = true;
                     su_cands_buf.clear();
+                    frontier_miss_buf.clear();
                     while let Some(&(lo, id)) = iv_src.peek() {
                         if !first && lo > cur_hi {
                             break;
@@ -661,18 +691,36 @@ impl LlmSched {
                         let Some(idx) = ctx.job_index(id) else {
                             continue;
                         };
-                        for &s in ctx.jobs[idx].ready_stage_ids() {
-                            su_cands_buf.push((idx, s));
+                        // Dirty-set partial rescoring: a job no delta
+                        // touched since its last scoring replays its
+                        // persistent (stage, score) frontier straight
+                        // into the heap — no job scan, no memo probes.
+                        // Only the misses fall through to `score_group`.
+                        if let Some(fr) = frontier.get(&id) {
+                            for &(s, r) in fr {
+                                heap.push(SuEntry {
+                                    score: FiniteF64(r),
+                                    tie: std::cmp::Reverse((id, s)),
+                                    job_idx: idx,
+                                    stage: s,
+                                });
+                            }
+                        } else {
+                            frontier_miss_buf.push((id, su_cands_buf.len()));
+                            for &s in ctx.jobs[idx].ready_stage_ids() {
+                                su_cands_buf.push((idx, s));
+                            }
                         }
                     }
-                    // Score the frontier — fork-joined across the engine's
-                    // worker pool when one is attached and the group is
-                    // wide enough to amortize the fan-out, inline
-                    // otherwise; bit-identical either way (see
-                    // `score_group`). The heap's order is total (ties
+                    // Score the missed jobs' candidates — fork-joined
+                    // across the engine's worker pool when one is attached
+                    // and the batch is wide enough to amortize the
+                    // fan-out, inline otherwise; bit-identical either way
+                    // (see `score_group`). The heap's order is total (ties
                     // break on unique (job, stage)), so the pops — and
                     // with them the ε-draw consumption — never observe
-                    // which route ran or the push order.
+                    // which route ran, the push order, or which jobs came
+                    // out of the persistent frontier.
                     *par_scored += score_group(
                         beliefs,
                         store,
@@ -682,13 +730,23 @@ impl LlmSched {
                         su_scores_buf,
                         ctx.pool,
                     );
-                    for (&(idx, s), &r) in su_cands_buf.iter().zip(su_scores_buf.iter()) {
-                        heap.push(SuEntry {
-                            score: FiniteF64(r),
-                            tie: std::cmp::Reverse((ctx.jobs[idx].id(), s)),
-                            job_idx: idx,
-                            stage: s,
-                        });
+                    for (m, &(id, start)) in frontier_miss_buf.iter().enumerate() {
+                        let end = frontier_miss_buf
+                            .get(m + 1)
+                            .map_or(su_cands_buf.len(), |&(_, off)| off);
+                        let mut fr = Vec::with_capacity(end - start);
+                        for k in start..end {
+                            let (idx, s) = su_cands_buf[k];
+                            let r = su_scores_buf[k];
+                            fr.push((s, r));
+                            heap.push(SuEntry {
+                                score: FiniteF64(r),
+                                tie: std::cmp::Reverse((id, s)),
+                                job_idx: idx,
+                                stage: s,
+                            });
+                        }
+                        frontier.insert(id, fr);
                     }
                 }
                 let popped = heap.pop();
@@ -1153,6 +1211,7 @@ impl Scheduler for LlmSched {
                     self.total_ready.sub(c);
                 }
                 self.ready_dirty.remove(job);
+                self.frontier.remove(job);
             }
             // Every event that can change a job's ready-stage set: arrival,
             // stage completion (done flags / predecessor counts), reveals
@@ -1164,6 +1223,9 @@ impl Scheduler for LlmSched {
             | SchedDelta::StageRevealed { job, .. }
             | SchedDelta::TasksDispatched { job, .. } => {
                 self.ready_dirty.insert(*job);
+                // The ready-stage set may have moved: the cached scored
+                // frontier no longer lists the right candidates.
+                self.frontier.remove(job);
             }
             // Pure observations: consumed by the store above, no
             // ready-set or belief change until a snapshot publishes.
@@ -1185,6 +1247,7 @@ impl Scheduler for LlmSched {
         self.ready_counts.clear();
         self.ready_dirty.clear();
         self.total_ready = ReadyProfile::default();
+        self.frontier.clear();
         self.rng = StdRng::seed_from_u64(self.cfg.seed);
         self.par_scored = 0;
         self.decisions.clear();

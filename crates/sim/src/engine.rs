@@ -110,6 +110,22 @@ pub struct ClusterConfig {
     /// how the determinism suites exercise the threaded paths on
     /// single-core CI runners.
     pub pool_threads: Option<usize>,
+    /// Bounded-staleness decision batching: with `Some(ε)` (simulated
+    /// seconds, ε > 0), a decision point falling within ε of the previous
+    /// policy invocation is *deferred* — its deltas keep accumulating on
+    /// the existing [`SchedDelta`](crate::scheduler::SchedDelta) stream —
+    /// and all deferred points fold into one batched invocation at the
+    /// horizon edge (the clock advances to exactly
+    /// `previous invocation + ε` when no earlier event exists). `None`
+    /// (the default) and `Some(0.0)` are the exact mode: every decision
+    /// point is evaluated at its own timestamp, bit-identical to an
+    /// engine without this field (pinned by `tests/batching_equiv.rs`).
+    /// ε > 0 is a *relaxation*: dispatch can lag a ready task by at most
+    /// ε, bounding the avg-JCT drift (gated at ≤ 0.5 % by
+    /// `scale_throughput --check`), and on the partitioned path every
+    /// deferred decision point is a deleted scheduler barrier. See
+    /// `DESIGN.md` §14.
+    pub decision_horizon: Option<f64>,
 }
 
 impl Default for ClusterConfig {
@@ -126,6 +142,7 @@ impl Default for ClusterConfig {
             coalescing: true,
             elision: true,
             pool_threads: None,
+            decision_horizon: None,
         }
     }
 }
@@ -228,6 +245,20 @@ struct Engine<'a> {
     /// Scheduler opportunities elided because ready work had no free
     /// executor of its class and the policy is work-conserving.
     sched_elided: u64,
+    /// [`ClusterConfig::decision_horizon`] in clock ticks (0 = exact).
+    horizon: u64,
+    /// Time of the last actual policy invocation — the anchor the
+    /// bounded-staleness horizon is measured from.
+    last_sched_at: Option<SimTime>,
+    /// Pending batched decision: the horizon edge at which the deferred
+    /// decision points fold into one invocation. At most one is
+    /// outstanding (every deferral inside the window shares the edge).
+    flush_at: Option<SimTime>,
+    /// Scheduler opportunities deferred under the staleness horizon.
+    sched_deferred: u64,
+    /// Deferrals folded into the *next* invocation (reset when it runs) —
+    /// surfaced as `SchedInvoked::folded` provenance.
+    deferred_fold: u32,
     /// Reused per-shard event-count scratch for inline-round attribution
     /// (sized `parts`; see [`ShardStats`]).
     inline_counts: Vec<u64>,
@@ -384,6 +415,13 @@ pub fn simulate_probed(
         ready_llm: 0,
         sched_skipped: 0,
         sched_elided: 0,
+        horizon: cfg
+            .decision_horizon
+            .map_or(0, |s| llmsched_dag::time::SimDuration::from_secs_f64(s).0),
+        last_sched_at: None,
+        flush_at: None,
+        sched_deferred: 0,
+        deferred_fold: 0,
         inline_counts: vec![0; parts],
         arrivals: Vec::new(),
         arrival_ptr: 0,
@@ -442,6 +480,7 @@ impl Engine<'_> {
             sched_calls: self.sched_calls,
             sched_skipped: self.sched_skipped,
             sched_elided: self.sched_elided,
+            sched_deferred: self.sched_deferred,
             sched_wall: self.sched_wall,
             sched_wall_samples: std::mem::take(&mut self.sched_samples),
             utilization: Utilization {
@@ -474,7 +513,25 @@ impl Engine<'_> {
     /// The single-threaded reference loop — the oracle every partitioned
     /// run is equivalence-tested against.
     fn run_sequential(&mut self, scheduler: &mut dyn Scheduler) {
-        while let Some((t, ev)) = self.queue.pop() {
+        loop {
+            // A pending batched decision strictly before every queued
+            // event fires on its own: advance the clock to the horizon
+            // edge and evaluate the folded decision point there. (Exact
+            // mode never sets `flush_at`, so this is dead code there.)
+            if let Some(f) = self.flush_at {
+                if self.queue.peek_time().map_or(true, |t| f < t) {
+                    self.flush_at = None;
+                    self.advance_integrals(f);
+                    self.now = f;
+                    if self.has_free_capacity() && !self.active.is_empty() {
+                        self.scheduler_opportunity(scheduler);
+                    }
+                    continue;
+                }
+            }
+            let Some((t, ev)) = self.queue.pop() else {
+                break;
+            };
             self.advance_integrals(t);
             self.now = t;
             let mut effective = self.apply(ev);
@@ -482,7 +539,14 @@ impl Engine<'_> {
                 let (_, ev) = self.queue.pop().expect("peeked");
                 effective |= self.apply(ev);
             }
-            if effective && self.has_free_capacity() && !self.active.is_empty() {
+            // A horizon edge coinciding with (or overtaken by) an event
+            // timestamp folds into this timestamp's decision point — even
+            // when the events themselves were all stale.
+            let flush_due = self.flush_at.is_some_and(|f| f <= t);
+            if flush_due {
+                self.flush_at = None;
+            }
+            if (effective || flush_due) && self.has_free_capacity() && !self.active.is_empty() {
                 self.scheduler_opportunity(scheduler);
             }
         }
@@ -524,6 +588,23 @@ impl Engine<'_> {
             self.sched_elided += 1;
             return false;
         }
+        // Bounded-staleness batching (after the free skips — deferring a
+        // point that coalescing or elision would discard anyway would
+        // manufacture a pointless future flush): within ε of the previous
+        // invocation the decision is deferred to the horizon edge. The
+        // deferred opportunity keeps its sequence number; its deltas stay
+        // queued and fold into the batched invocation.
+        if self.horizon > 0 {
+            if let Some(last) = self.last_sched_at {
+                let edge = SimTime(last.0.saturating_add(self.horizon));
+                if self.now < edge {
+                    self.flush_at = Some(edge);
+                    self.sched_deferred += 1;
+                    self.deferred_fold += 1;
+                    return false;
+                }
+            }
+        }
         self.invoke_scheduler(scheduler);
         true
     }
@@ -560,7 +641,42 @@ impl Engine<'_> {
         let mut items: Vec<Vec<(u32, SimTime, Event)>> = vec![Vec::new(); self.parts];
         let mut fx: Vec<Option<HookFx>> = Vec::new();
         let auto = self.cfg.parallelism == Parallelism::Auto;
-        while let Some(t) = self.queue.peek_time() {
+        loop {
+            // Batched decision pending strictly before every queued event:
+            // advance to the horizon edge and evaluate the folded decision
+            // point. The invocation is a real synchronization point (it
+            // dispatches into the sharded backend), so it counts a
+            // barrier — but it replaces every barrier its deferred
+            // constituents would have cost.
+            if let Some(f) = self.flush_at {
+                if self.queue.peek_time().map_or(true, |t| f < t) {
+                    self.flush_at = None;
+                    self.advance_integrals(f);
+                    self.now = f;
+                    if self.has_free_capacity()
+                        && !self.active.is_empty()
+                        && self.scheduler_opportunity(scheduler)
+                    {
+                        self.barriers += 1;
+                    }
+                    // The batched decision ran (or provably skipped) at
+                    // the edge, so this is a window anchor like any other
+                    // barrier: without it, the stale span behind the next
+                    // real decision point degenerates into one dead
+                    // iteration — one counted barrier — per timestamp,
+                    // and the relaxation leaks the very barriers it
+                    // deleted.
+                    if let Some(head) = self.queue.peek_time() {
+                        if let Some(w) = self.window_bound(head) {
+                            self.run_window(w, &mut wbatch, &mut items, &mut fx);
+                        }
+                    }
+                    continue;
+                }
+            }
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
             if auto && !self.demoted && crate::par::should_demote(self.rounds, self.par_rounds) {
                 // A long all-inline prefix: the workload never yields
                 // co-timed cross-shard work, so stop paying the routing
@@ -585,10 +701,16 @@ impl Engine<'_> {
             // point when its decision either had to run (the policy was
             // invoked) or offered no scheduler opportunity at all (no
             // effective event / no capacity / no active job — the loop
-            // still synchronized at `t`). Opportunities coalesced or
-            // elided away cost nothing: proving the skip needed only the
-            // engine's own counters, no cross-shard rendezvous.
-            if effective && self.has_free_capacity() && !self.active.is_empty() {
+            // still synchronized at `t`). Opportunities coalesced, elided
+            // or deferred away cost nothing: proving the skip needed only
+            // the engine's own counters, no cross-shard rendezvous —
+            // under a staleness horizon every deferred decision point is
+            // a deleted barrier.
+            let flush_due = self.flush_at.is_some_and(|f| f <= t);
+            if flush_due {
+                self.flush_at = None;
+            }
+            if (effective || flush_due) && self.has_free_capacity() && !self.active.is_empty() {
                 if self.scheduler_opportunity(scheduler) {
                     self.barriers += 1;
                 }
@@ -622,6 +744,14 @@ impl Engine<'_> {
     /// term already caps the window at or before `head`, which is the
     /// common case at every real dispatch point.
     fn window_bound(&mut self, head: SimTime) -> Option<SimTime> {
+        // A pending batched decision caps the window outright: the folded
+        // invocation at the horizon edge dispatches into the backend, so
+        // no event at or past the edge may replay barrier-free.
+        if let Some(f) = self.flush_at {
+            if head >= f {
+                return None;
+            }
+        }
         while self
             .arrivals
             .get(self.arrival_ptr)
@@ -653,7 +783,8 @@ impl Engine<'_> {
             return None;
         }
         let llm = self.llm.get().lookahead(self.now, &self.cfg.latency);
-        let w = arrival.min(regular).min(llm);
+        let flush = self.flush_at.unwrap_or(SimTime(u64::MAX));
+        let w = arrival.min(regular).min(llm).min(flush);
         (head < w).then_some(w)
     }
 
@@ -1547,11 +1678,14 @@ impl Engine<'_> {
         };
         self.sched_wall += elapsed;
         self.sched_samples.push(elapsed);
-        // Opportunity sequence: skipped and elided opportunities consume
-        // numbers too, so records carry the same seq whether or not
-        // coalescing / elision is on.
-        let seq = self.sched_calls + self.sched_skipped + self.sched_elided;
+        // Opportunity sequence: skipped, elided and deferred opportunities
+        // consume numbers too, so records carry the same seq whether or
+        // not coalescing / elision is on (deferral shifts timing by
+        // design, so its seqs align only within one configuration).
+        let seq = self.sched_calls + self.sched_skipped + self.sched_elided + self.sched_deferred;
         self.sched_calls += 1;
+        self.last_sched_at = Some(self.now);
+        let folded = std::mem::take(&mut self.deferred_fold);
         // The batch is delivered exactly once; dispatch deltas below open
         // the next batch.
         self.deltas.clear();
@@ -1561,6 +1695,7 @@ impl Engine<'_> {
                 seq,
                 wall: elapsed,
                 deltas: n_deltas as u32,
+                folded,
                 regular: pref.regular.len() as u32,
                 llm: pref.llm.len() as u32,
             });

@@ -119,6 +119,7 @@ mod tests {
             coalescing: true,
             elision: true,
             pool_threads: None,
+            decision_horizon: None,
         }
     }
 

@@ -96,6 +96,16 @@ pub struct SimResult {
     /// `sched_calls + sched_skipped + sched_elided` is the total number
     /// of decision points the run evaluated.
     pub sched_elided: u64,
+    /// Scheduler opportunities deferred under the bounded-staleness
+    /// horizon ([`ClusterConfig::decision_horizon`]
+    /// (crate::engine::ClusterConfig)): the decision point fell within ε
+    /// of the previous invocation, so it was folded — deltas and all —
+    /// into the batched invocation at the horizon edge. Always 0 in
+    /// exact mode (`None` / `Some(0.0)`). Deferred opportunities consume
+    /// sequence numbers alongside the other three outcomes, so
+    /// `sched_calls + sched_skipped + sched_elided + sched_deferred` is
+    /// the total number of decision points the run evaluated.
+    pub sched_deferred: u64,
     /// Total wall-clock time spent inside the scheduler (delta delivery +
     /// `Scheduler::schedule`).
     pub sched_wall: std::time::Duration,
@@ -248,6 +258,7 @@ mod tests {
             sched_calls: 4,
             sched_skipped: 0,
             sched_elided: 0,
+            sched_deferred: 0,
             sched_wall: std::time::Duration::from_millis(2),
             sched_wall_samples: (1..=4)
                 .map(|i| std::time::Duration::from_micros(250 * i))

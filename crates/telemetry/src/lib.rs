@@ -126,6 +126,11 @@ pub enum ProbeEvent {
         wall: std::time::Duration,
         /// Deltas delivered to this invocation.
         deltas: u32,
+        /// Deferred decision points this invocation folded under the
+        /// bounded-staleness horizon (0 in exact mode): the batched-
+        /// invocation provenance — `at` is the horizon edge, `deltas`
+        /// carries everything the deferred points accumulated.
+        folded: u32,
         /// Regular task refs the returned preference held.
         regular: u32,
         /// LLM task refs the returned preference held.

@@ -255,13 +255,14 @@ fn event_jsonl(out: &mut String, ev: &ProbeEvent) {
             seq,
             wall,
             deltas,
+            folded,
             regular,
             llm,
         } => {
             let _ = write!(
                 out,
                 "{{\"type\":\"{kind}\",\"t\":{},\"seq\":{seq},\"wall_us\":{},\
-                 \"deltas\":{deltas},\"regular\":{regular},\"llm\":{llm}}}",
+                 \"deltas\":{deltas},\"folded\":{folded},\"regular\":{regular},\"llm\":{llm}}}",
                 num(at.as_secs_f64()),
                 num(wall.as_secs_f64() * 1e6)
             );
@@ -441,13 +442,15 @@ fn event_chrome(evs: &mut Vec<String>, ev: &ProbeEvent) {
             seq,
             wall,
             deltas,
+            folded,
             regular,
             llm,
         } => {
             evs.push(format!(
                 "{{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":{},\"dur\":{},\
                  \"name\":\"schedule#{seq}\",\"cat\":\"sched\",\
-                 \"args\":{{\"deltas\":{deltas},\"regular\":{regular},\"llm\":{llm}}}}}",
+                 \"args\":{{\"deltas\":{deltas},\"folded\":{folded},\
+                 \"regular\":{regular},\"llm\":{llm}}}}}",
                 at.0,
                 wall.as_micros()
             ));
@@ -564,6 +567,7 @@ mod tests {
             seq: 0,
             wall: Duration::from_micros(42),
             deltas: 1,
+            folded: 0,
             regular: 1,
             llm: 2,
         });
